@@ -1,0 +1,101 @@
+// E8 -- Three-dimensional packaging bounds (Section 7).
+//
+// Paper results:
+//   * Ultrascalar I, small M: volume Theta(n L^{3/2}),
+//     wire Theta(n^{1/3} L^{1/2}); M = Omega(n^{2/3+e}) adds
+//     Theta(M(n)^{3/2}) volume.
+//   * Ultrascalar II: volume Theta(n^2 + L^2).
+//   * Hybrid: optimal cluster Theta(L^{3/4}), volume Theta(n L^{3/4}).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "vlsi/vlsi.hpp"
+
+int main() {
+  using namespace ultra;
+  using memory::BandwidthProfile;
+  using memory::BandwidthRegime;
+
+  std::printf("=== E8: three-dimensional packaging ===\n\n");
+  const auto profile = BandwidthProfile::ForRegime(BandwidthRegime::kConstant);
+
+  {
+    const int L = 32;
+    const vlsi::UltrascalarILayout3D usi(L, profile);
+    const vlsi::UltrascalarIILayout3D usii(L);
+    std::printf("--- volume and wire vs n (L = %d) ---\n", L);
+    analysis::Table table({"n", "USI wire [cm]", "USI vol [cm^3]",
+                           "USII vol [cm^3]"});
+    std::vector<double> ns, wires, vols, vols2;
+    for (int e = 8; e <= 20; e += 2) {
+      const std::int64_t n = std::int64_t{1} << e;
+      const auto g = usi.At(n);
+      table.Row()
+          .Cell(n)
+          .Cell(g.wire_um / 1e4)
+          .Cell(g.volume_um3() / 1e12)
+          .Cell(usii.VolumeUm3(n) / 1e12);
+      ns.push_back(static_cast<double>(n));
+      wires.push_back(g.wire_um);
+      vols.push_back(g.volume_um3());
+      vols2.push_back(usii.VolumeUm3(n));
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf(
+        "  USI wire exponent:  %.3f (paper: 1/3)\n"
+        "  USI vol exponent:   %.3f (paper: 1)\n"
+        "  USII vol exponent:  %.3f (paper: 2)\n\n",
+        vlsi::FitPowerLaw(ns, wires).exponent,
+        vlsi::FitPowerLaw(ns, vols).exponent,
+        vlsi::FitPowerLaw(ns, vols2).exponent);
+  }
+
+  {
+    std::printf("--- volume vs L at n = 2^22 ---\n");
+    analysis::Table table({"L", "USI vol [cm^3]", "hybrid(C*) vol [cm^3]",
+                           "C*", "L^{3/4}"});
+    std::vector<double> ls, usivols, hyvols, cs;
+    for (const int L : {16, 64, 256, 1024}) {
+      const vlsi::UltrascalarILayout3D usi(L, profile);
+      const int c = vlsi::OptimalClusterSize3D(L, 1 << 22, profile);
+      const vlsi::HybridLayout3D hybrid(L, c, profile);
+      table.Row()
+          .Cell(L)
+          .Cell(usi.At(1 << 22).volume_um3() / 1e12)
+          .Cell(hybrid.At(1 << 22).volume_um3() / 1e12)
+          .Cell(c)
+          .Cell(std::pow(static_cast<double>(L), 0.75), 1);
+      ls.push_back(L);
+      usivols.push_back(usi.At(1 << 22).volume_um3());
+      hyvols.push_back(hybrid.At(1 << 22).volume_um3());
+      cs.push_back(c);
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf(
+        "  USI volume L-exponent:    %.3f (paper: 3/2)\n"
+        "  hybrid volume L-exponent: %.3f (paper: 3/4)\n"
+        "  C*(L) exponent:           %.3f (paper: 3/4)\n\n",
+        vlsi::FitPowerLaw(ls, usivols).exponent,
+        vlsi::FitPowerLaw(ls, hyvols).exponent,
+        vlsi::FitPowerLaw(ls, cs).exponent);
+  }
+
+  {
+    std::printf("--- large memory bandwidth in 3-D ---\n");
+    // M(n) = Omega(n^{2/3+e}): volume needs an extra Theta(M(n)^{3/2}).
+    const auto big = BandwidthProfile("M(n)=n^0.8", 8.0, 0.8);
+    const vlsi::UltrascalarILayout3D usi(32, big);
+    std::vector<double> ns, vols;
+    for (int e = 12; e <= 24; e += 2) {
+      const std::int64_t n = std::int64_t{1} << e;
+      ns.push_back(static_cast<double>(n));
+      vols.push_back(usi.At(n).volume_um3());
+    }
+    const auto fit = vlsi::FitPowerLaw(ns, vols);
+    std::printf(
+        "  M(n)=8 n^0.8: USI volume exponent %.3f (paper: (0.8)*(3/2)=1.2)\n",
+        fit.exponent);
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+// E6 -- Figure 11: the grand comparison table.
+//
+// For each memory-bandwidth regime the paper tabulates gate delay, wire
+// delay, total delay, and area of the Ultrascalar I (log gates), the
+// Ultrascalar II (linear gates and log gates), and the hybrid (linear-gate
+// clusters, C = L). We print, for each cell:
+//   * the paper's Theta bound,
+//   * the measured/modelled value at a reference design point, and
+//   * the fitted n-exponent over a sweep (which should match the bound).
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "vlsi/vlsi.hpp"
+
+namespace {
+
+using namespace ultra;
+using memory::BandwidthProfile;
+using memory::BandwidthRegime;
+
+struct Theory {
+  const char* gate;
+  const char* wire;
+  const char* total;
+  const char* area;
+};
+
+struct Column {
+  const char* name;
+  Theory theory;
+  std::function<double(std::int64_t)> gate;
+  std::function<double(std::int64_t)> wire_um;
+  std::function<double(std::int64_t)> area_um2;
+};
+
+void PrintRegime(const char* title, const BandwidthProfile& profile,
+                 const Theory& usi_t, const Theory& usii_lin_t,
+                 const Theory& usii_log_t, const Theory& hybrid_t) {
+  const int L = 32;
+  const vlsi::UltrascalarILayout usi(L, profile);
+  const vlsi::UltrascalarIILayout usii(L);
+  const vlsi::HybridLayout hybrid(L, L, profile);
+
+  std::vector<Column> cols;
+  cols.push_back(
+      {"UltrascalarI (log gates)", usi_t,
+       [&](std::int64_t n) {
+         return vlsi::MeasureGateDelays(n, L, L).usi_tree;
+       },
+       [&](std::int64_t n) { return usi.At(n).wire_um; },
+       [&](std::int64_t n) { return usi.At(n).area_um2(); }});
+  cols.push_back(
+      {"UltrascalarII (linear)", usii_lin_t,
+       [&](std::int64_t n) {
+         return vlsi::MeasureGateDelays(n, L, L).usii_grid;
+       },
+       [&](std::int64_t n) {
+         return usii.At(n, vlsi::UltrascalarIILayout::Depth::kLinear).wire_um;
+       },
+       [&](std::int64_t n) {
+         return usii.At(n, vlsi::UltrascalarIILayout::Depth::kLinear)
+             .area_um2();
+       }});
+  cols.push_back(
+      {"UltrascalarII (log gates)", usii_log_t,
+       [&](std::int64_t n) {
+         return vlsi::MeasureGateDelays(n, L, L).usii_mesh;
+       },
+       [&](std::int64_t n) {
+         return usii.At(n, vlsi::UltrascalarIILayout::Depth::kLogViaTreeOfMeshes)
+             .wire_um;
+       },
+       [&](std::int64_t n) {
+         return usii
+             .At(n, vlsi::UltrascalarIILayout::Depth::kLogViaTreeOfMeshes)
+             .area_um2();
+       }});
+  cols.push_back(
+      {"Hybrid (C = L)", hybrid_t,
+       [&](std::int64_t n) {
+         return vlsi::MeasureGateDelays(n, L, L).hybrid;
+       },
+       [&](std::int64_t n) { return hybrid.At(n).wire_um; },
+       [&](std::int64_t n) { return hybrid.At(n).area_um2(); }});
+
+  std::printf("--- %s (L = %d) ---\n", title, L);
+  analysis::Table table({"processor", "quantity", "paper Theta",
+                         "value @ n=4096", "fitted n-exp"});
+  const std::int64_t ref = 4096;
+  for (const auto& col : cols) {
+    std::vector<double> ns, gates, wires, areas;
+    for (int e = 8; e <= 14; e += 2) {
+      const std::int64_t n = std::int64_t{1} << e;
+      ns.push_back(static_cast<double>(n));
+      gates.push_back(col.gate(n));
+      wires.push_back(col.wire_um(n));
+      areas.push_back(col.area_um2(n));
+    }
+    const auto gfit = vlsi::FitPowerLaw(ns, gates);
+    const auto wfit = vlsi::FitPowerLaw(ns, wires);
+    const auto afit = vlsi::FitPowerLaw(ns, areas);
+    table.Row()
+        .Cell(col.name)
+        .Cell("gate delay")
+        .Cell(col.theory.gate)
+        .Cell(std::to_string(static_cast<long long>(col.gate(ref))) +
+              " gates")
+        .Cell(gfit.exponent);
+    table.Row()
+        .Cell("")
+        .Cell("wire delay")
+        .Cell(col.theory.wire)
+        .Cell(analysis::Humanize(col.wire_um(ref) / 1e4) + " cm")
+        .Cell(wfit.exponent);
+    // Total delay: gates at gate_ps plus repeated-wire delay.
+    const auto total_ps = [&](std::int64_t nn) {
+      return col.gate(nn) * vlsi::kDefaultConstants.gate_ps +
+             col.wire_um(nn) / 1000.0 * vlsi::kDefaultConstants.wire_ps_per_mm;
+    };
+    std::vector<double> totals;
+    for (const double nn : ns) {
+      totals.push_back(total_ps(static_cast<std::int64_t>(nn)));
+    }
+    const auto tfit = vlsi::FitPowerLaw(ns, totals);
+    table.Row()
+        .Cell("")
+        .Cell("total delay")
+        .Cell(col.theory.total)
+        .Cell(analysis::Humanize(total_ps(ref) / 1000.0) + " ns")
+        .Cell(tfit.exponent);
+    table.Row()
+        .Cell("")
+        .Cell("area")
+        .Cell(col.theory.area)
+        .Cell(analysis::Humanize(col.area_um2(ref) / 1e8) + " cm^2")
+        .Cell(afit.exponent);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6 / Figure 11: processor comparison across M(n) ===\n\n");
+
+  PrintRegime("M(n) = O(n^{1/2-e})",
+              BandwidthProfile::ForRegime(BandwidthRegime::kSqrtMinus),
+              {"Th(log n)", "Th(sqrt(n) L)", "Th(sqrt(n) L)", "Th(n L^2)"},
+              {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
+              {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
+               "Th((n+L)^2 log^2(n+L))"},
+              {"Th(L+log n)", "Th(sqrt(nL))", "Th(sqrt(nL))", "Th(nL)"});
+
+  PrintRegime("M(n) = Theta(n^{1/2})",
+              BandwidthProfile::ForRegime(BandwidthRegime::kSqrt),
+              {"Th(log n)", "Th(sqrt(n)(L+log n))", "Th(sqrt(n)(L+log n))",
+               "Th(n(L^2+log^2 n))"},
+              {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
+              {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
+               "Th((n+L)^2 log^2(n+L))"},
+              {"Th(L+log n)", "Th(sqrt(nL))", "Th(sqrt(nL))", "Th(nL)"});
+
+  PrintRegime("M(n) = Omega(n^{1/2+e})",
+              BandwidthProfile::ForRegime(BandwidthRegime::kSqrtPlus, 60.0),
+              {"Th(log n)", "Th(sqrt(n)L + M(n))", "Th(sqrt(n)L + M(n))",
+               "Th(nL^2 + M(n)^2)"},
+              {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
+              {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
+               "Th((n+L)^2 log^2(n+L))"},
+              {"Th(L+log n)", "Th(sqrt(nL)+M(n))", "Th(sqrt(nL)+M(n))",
+               "Th(nL + M(n)^2)"});
+
+  std::printf(
+      "Dominance summary (Section 7): for n < Theta(L^2) the Ultrascalar II\n"
+      "wire delay beats the Ultrascalar I by Theta(L/sqrt(n)); for larger n\n"
+      "the Ultrascalar I wins by Theta(sqrt(n)/L); the hybrid dominates both\n"
+      "for n >= L, by an extra factor Theta(sqrt(L)) over the Ultrascalar I.\n");
+  return 0;
+}

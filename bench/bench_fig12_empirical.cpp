@@ -1,0 +1,64 @@
+// E7 -- Figure 12: the empirical Magic-layout comparison.
+//
+// Paper (Section 7, 0.35 um, 3 metal layers, L = 32 x 32-bit, register
+// datapath only):
+//   (a) 64-station Ultrascalar I:     7 cm x 7 cm     ~13,000 stations/m^2
+//   (b) 128-station 4-cluster hybrid: 3.2 cm x 2.7 cm ~150,000 stations/m^2
+//   => the hybrid is about 11.5x denser.
+// Our layout model is calibrated on these two points; this bench prints the
+// comparison and then extrapolates to neighbouring design points.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "vlsi/vlsi.hpp"
+
+int main() {
+  using namespace ultra;
+  std::printf("=== E7 / Figure 12: Magic layout comparison ===\n\n");
+
+  const auto usi = vlsi::MagicUsiDatapath();
+  const auto hybrid = vlsi::MagicHybridDatapath();
+
+  analysis::Table table({"datapath", "paper area", "model area",
+                         "paper density", "model density"});
+  table.Row()
+      .Cell("UltrascalarI(64)")
+      .Cell("49.0 cm^2")
+      .Cell(analysis::Humanize(usi.geom.area_cm2()) + " cm^2")
+      .Cell("~13k /m^2")
+      .Cell(analysis::Humanize(usi.stations_per_m2()) + " /m^2");
+  table.Row()
+      .Cell("Hybrid(128, C=32)")
+      .Cell("8.64 cm^2")
+      .Cell(analysis::Humanize(hybrid.geom.area_cm2()) + " cm^2")
+      .Cell("~150k /m^2")
+      .Cell(analysis::Humanize(hybrid.stations_per_m2()) + " /m^2");
+  std::printf("%s\n", table.ToString().c_str());
+
+  const double ratio = hybrid.stations_per_m2() / usi.stations_per_m2();
+  std::printf("density ratio: %.2fx   (paper: about 11.5x)\n\n", ratio);
+
+  std::printf("Extrapolation to other design points (same constants):\n");
+  analysis::Table extra({"n", "USI area [cm^2]", "hybrid area [cm^2]",
+                         "hybrid advantage"});
+  for (const std::int64_t n : {16, 32, 64, 128, 256, 512, 1024}) {
+    const auto a = vlsi::MagicUsiDatapath(n);
+    const auto b = vlsi::MagicHybridDatapath(n, 32);
+    extra.Row()
+        .Cell(n)
+        .Cell(a.geom.area_cm2())
+        .Cell(b.geom.area_cm2())
+        .Cell(a.geom.area_cm2() / b.geom.area_cm2());
+  }
+  std::printf("%s", extra.ToString().c_str());
+  std::printf(
+      "\n(Per-station area advantage approaches Theta(L) = 32 as n grows;\n"
+      "at the paper's n = 128 design point it is ~11.5x at equal station\n"
+      "count 64 vs 128 as published.)\n");
+
+  std::printf(
+      "\nPaper caveat reproduced: the paper's 128-wide hybrid is compared\n"
+      "against a 64-wide Ultrascalar I; the model agrees at both points by\n"
+      "construction, and the extrapolation shows the trend is monotone.\n");
+  return 0;
+}

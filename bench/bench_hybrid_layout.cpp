@@ -1,0 +1,87 @@
+// E5 -- Hybrid floorplan and optimal cluster size (Section 6, Figure 10).
+//
+//   U(n) = Theta(n + L)                 if n <= C
+//   U(n) = Theta(L + M(n)) + 2 U(n/4)   otherwise
+// with solution U(n) = Theta(M(n) + L sqrt(n)/sqrt(C) + sqrt(n C)); the
+// side is minimized at C = Theta(L), giving U(n) = Theta(M(n) + sqrt(n L)).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "vlsi/vlsi.hpp"
+
+int main() {
+  using namespace ultra;
+  using memory::BandwidthProfile;
+  using memory::BandwidthRegime;
+
+  std::printf("=== E5: hybrid side length U(n) and optimal cluster size ===\n\n");
+  const auto profile = BandwidthProfile::ForRegime(BandwidthRegime::kConstant);
+
+  // U(n) as a function of C at a fixed design point.
+  {
+    const int L = 32;
+    const std::int64_t n = 1 << 14;
+    std::printf("--- U(n) vs cluster size, n = %lld, L = %d ---\n",
+                static_cast<long long>(n), L);
+    analysis::Table table({"C", "U(n) [cm]", "C/L"});
+    for (int c = 1; c <= 1 << 10; c *= 2) {
+      const vlsi::HybridLayout layout(L, c, profile);
+      table.Row()
+          .Cell(c)
+          .Cell(layout.SideUm(n) / 1e4)
+          .Cell(static_cast<double>(c) / L);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  // Optimal C as a function of L: the paper's dU/dC = 0 gives C = Theta(L).
+  {
+    std::printf("--- optimal C vs L (paper: C* = Theta(L)) ---\n");
+    analysis::Table table({"L", "C* (argmin U)", "C*/L"});
+    std::vector<double> ls, cs;
+    for (const int L : {4, 8, 16, 32, 64}) {
+      const int c = vlsi::OptimalClusterSize(L, 1 << 16, profile);
+      table.Row().Cell(L).Cell(c).Cell(static_cast<double>(c) / L);
+      ls.push_back(L);
+      cs.push_back(c);
+    }
+    std::printf("%s", table.ToString().c_str());
+    const auto fit = vlsi::FitPowerLaw(ls, cs);
+    std::printf("  fitted C*(L) exponent: %.3f (paper: 1.0)\n\n",
+                fit.exponent);
+  }
+
+  // U(n) scaling at C = L across regimes.
+  struct Regime {
+    BandwidthRegime regime;
+    double scale;
+    const char* closed_form;
+    double expected;
+  };
+  const Regime regimes[] = {
+      {BandwidthRegime::kConstant, 1.0, "U = Theta(sqrt(nL))", 0.5},
+      {BandwidthRegime::kSqrtPlus, 60.0, "U = Theta(sqrt(nL)+M(n))", 0.75},
+      {BandwidthRegime::kLinear, 1.0, "U = Theta(n)", 1.0},
+  };
+  for (const auto& r : regimes) {
+    const int L = 32;
+    const vlsi::HybridLayout layout(
+        L, L, BandwidthProfile::ForRegime(r.regime, r.scale));
+    std::vector<double> ns, sides;
+    analysis::Table table({"n", "U(n) [cm]", "wire [cm]"});
+    for (int e = 8; e <= 20; e += 2) {
+      const std::int64_t n = std::int64_t{1} << e;
+      const auto g = layout.At(n);
+      table.Row().Cell(n).Cell(g.side_cm()).Cell(g.wire_um / 1e4);
+      ns.push_back(static_cast<double>(n));
+      sides.push_back(g.side_um);
+    }
+    const auto fit = vlsi::FitPowerLaw(ns, sides);
+    std::printf("--- %s, paper: %s ---\n%s  fitted exponent %.3f (expect %.2f)\n\n",
+                BandwidthProfile::ForRegime(r.regime, r.scale).name().c_str(),
+                r.closed_form, table.ToString().c_str(), fit.exponent,
+                r.expected);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E9 -- ILP equivalence (the Section 1/2 functional claim).
+//
+// "All three processors ... implement identical instruction sets, with
+// identical scheduling policies. The only differences between the
+// processors are in their VLSI complexities."
+//
+// We run a battery of kernels and generated workloads on all four models
+// with identical windows, predictors, and memory timing. The Ultrascalar I
+// and the hybrid must match the ideal out-of-order baseline cycle for
+// cycle; the batch-mode Ultrascalar II pays its documented refill idle time.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/core.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace ultra;
+  std::printf("=== E9: ILP equivalence across microarchitectures ===\n\n");
+
+  core::CoreConfig cfg;
+  cfg.window_size = 64;
+  cfg.cluster_size = 16;
+  cfg.predictor = core::PredictorKind::kBtfn;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+
+  struct Workload {
+    std::string name;
+    isa::Program program;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"figure3", workloads::Figure3Example()});
+  workloads.push_back({"fib(20)", workloads::Fibonacci(20)});
+  workloads.push_back({"dot(32)", workloads::DotProduct(32)});
+  workloads.push_back({"memcpy(48)", workloads::MemCopy(48)});
+  workloads.push_back({"bubble(12)", workloads::BubbleSort(12)});
+  workloads.push_back({"indirect(24)", workloads::IndirectSum(24)});
+  workloads.push_back(
+      {"chains(ilp=8)",
+       workloads::DependencyChains({.num_instructions = 256, .ilp = 8})});
+  workloads.push_back(
+      {"chains(ilp=1)",
+       workloads::DependencyChains({.num_instructions = 128, .ilp = 1})});
+  workloads.push_back(
+      {"mix(256)", workloads::RandomMix({.num_instructions = 256})});
+  workloads.push_back({"branchstorm(64)", workloads::BranchStorm(64)});
+
+  analysis::Table table({"workload", "insns", "ideal cyc", "USI cyc",
+                         "hybrid cyc", "USII cyc", "USI==ideal",
+                         "hyb==ideal", "USII/ideal"});
+  int equal_usi = 0;
+  int equal_hybrid = 0;
+  for (const auto& w : workloads) {
+    std::vector<core::RunResult> results;
+    for (const auto kind :
+         {core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
+          core::ProcessorKind::kHybrid, core::ProcessorKind::kUltrascalarII}) {
+      results.push_back(core::MakeProcessor(kind, cfg)->Run(w.program));
+    }
+    const auto& ideal = results[0];
+    const bool usi_eq = results[1].cycles == ideal.cycles;
+    const bool hyb_eq = results[2].cycles == ideal.cycles;
+    equal_usi += usi_eq;
+    equal_hybrid += hyb_eq;
+    table.Row()
+        .Cell(w.name)
+        .Cell(ideal.committed)
+        .Cell(ideal.cycles)
+        .Cell(results[1].cycles)
+        .Cell(results[2].cycles)
+        .Cell(results[3].cycles)
+        .Cell(usi_eq ? "yes" : "NO")
+        .Cell(hyb_eq ? "yes" : "NO")
+        .Cell(static_cast<double>(results[3].cycles) /
+                  static_cast<double>(ideal.cycles),
+              2);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "UltrascalarI matched ideal on %d/%zu workloads; hybrid on %d/%zu.\n"
+      "(The hybrid can trail when the window binds: its deallocation unit is\n"
+      "a whole cluster. The UltrascalarII ratio > 1 is the paper's stated\n"
+      "batch-refill inefficiency.)\n",
+      equal_usi, workloads.size(), equal_hybrid, workloads.size());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E11 -- Simulator micro-benchmarks (google-benchmark).
+//
+// Engineering numbers for the reproduction itself: how fast the prefix
+// circuits evaluate, how fast the datapaths propagate, and how many
+// simulated cycles per second the full cores run.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "circuit/circuit.hpp"
+#include "core/core.hpp"
+#include "datapath/datapath.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ultra;
+
+void BM_CsppValues(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<int> inputs(n);
+  std::vector<std::uint8_t> segs(n, 0);
+  std::mt19937 rng(7);
+  for (auto& v : inputs) v = static_cast<int>(rng());
+  for (auto& s : segs) s = (rng() % 8) == 0;
+  segs[0] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        circuit::CsppValues<int, circuit::PassFirstOp>(inputs, segs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CsppValues)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CsppTreeDepthTracked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<circuit::Signal<int>> inputs(n);
+  std::vector<circuit::Signal<bool>> segs(n);
+  segs[0] = {true, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        circuit::CsppTreeEvaluate<int, circuit::PassFirstOp>(inputs, segs));
+  }
+}
+BENCHMARK(BM_CsppTreeDepthTracked)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_UsiPropagate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int L = 32;
+  const datapath::UltrascalarIDatapath dp(n, L);
+  std::vector<datapath::RegBinding> outgoing(
+      static_cast<std::size_t>(n) * L);
+  std::vector<std::uint8_t> modified(static_cast<std::size_t>(n) * L, 0);
+  std::mt19937 rng(11);
+  for (int i = 0; i < n; ++i) {
+    modified[static_cast<std::size_t>(i) * L + rng() % L] = 1;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.Propagate(outgoing, modified, 0));
+  }
+}
+BENCHMARK(BM_UsiPropagate)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_UsiiPropagate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int L = 32;
+  const datapath::UltrascalarIIDatapath dp(n, L);
+  std::vector<datapath::RegBinding> regfile(static_cast<std::size_t>(L));
+  std::vector<datapath::StationRequest> reqs(static_cast<std::size_t>(n));
+  std::mt19937 rng(13);
+  for (auto& r : reqs) {
+    r.reads1 = true;
+    r.arg1 = static_cast<isa::RegId>(rng() % L);
+    r.reads2 = true;
+    r.arg2 = static_cast<isa::RegId>(rng() % L);
+    r.writes = true;
+    r.dest = static_cast<isa::RegId>(rng() % L);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.Propagate(regfile, reqs));
+  }
+}
+BENCHMARK(BM_UsiiPropagate)->Arg(16)->Arg(64)->Arg(256);
+
+void RunCore(benchmark::State& state, core::ProcessorKind kind) {
+  core::CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  const auto program = workloads::Fibonacci(64);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    auto proc = core::MakeProcessor(kind, cfg);
+    const auto result = proc->Run(program);
+    cycles += result.cycles;
+    benchmark::DoNotOptimize(result.committed);
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_IdealCore(benchmark::State& state) {
+  RunCore(state, core::ProcessorKind::kIdeal);
+}
+void BM_UltrascalarICore(benchmark::State& state) {
+  RunCore(state, core::ProcessorKind::kUltrascalarI);
+}
+void BM_UltrascalarIICore(benchmark::State& state) {
+  RunCore(state, core::ProcessorKind::kUltrascalarII);
+}
+void BM_HybridCore(benchmark::State& state) {
+  RunCore(state, core::ProcessorKind::kHybrid);
+}
+BENCHMARK(BM_IdealCore);
+BENCHMARK(BM_UltrascalarICore);
+BENCHMARK(BM_UltrascalarIICore);
+BENCHMARK(BM_HybridCore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Ablation: pipelining the register datapath (Section 7).
+//
+// "For each of the three processors, it is possible to pipeline the system
+// ... so that the long communications paths would include latches. ...
+// Understanding the overall performance improvement of such schemes will
+// require detailed performance simulations, since some operations, but not
+// all, would then run much faster. A back-of-the-envelope calculation is
+// promising however: Half of the communications paths from one station to
+// its successor are completely local."
+//
+// This is that performance simulation. With a latch every s H-tree levels,
+// a value crossing 2h levels takes ceil(2h/s) cycles, but the clock period
+// shrinks from the whole-datapath delay to one stage. Programs whose
+// instructions "depend on their immediate predecessors" keep most
+// communication at 1 cycle and win; scattered dependence patterns pay the
+// extra latency.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/core.hpp"
+#include "vlsi/vlsi.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ultra;
+
+/// Stage clock: the full synchronous datapath delay divided across the
+/// pipeline stages, plus a latch overhead per stage.
+double StageClockPs(int window, int num_regs, int levels_per_stage) {
+  const vlsi::UltrascalarILayout layout(
+      num_regs,
+      memory::BandwidthProfile::ForRegime(memory::BandwidthRegime::kConstant));
+  const double wire_ps = 2.0 * layout.WireToLeafUm(window) / 1000.0 *
+                         vlsi::kDefaultConstants.wire_ps_per_mm;
+  const double gate_ps =
+      vlsi::kDefaultConstants.gate_ps *
+      vlsi::MeasureGateDelays(window, num_regs, num_regs).usi_tree;
+  const double full = wire_ps + gate_ps;
+  if (levels_per_stage <= 0) return full;
+  int levels = 2;  // Up and down.
+  for (int v = window; v > 1; v /= 4) levels += 2;
+  const int stages = std::max(1, (levels + levels_per_stage - 1) /
+                                     levels_per_stage);
+  const double latch_ps = 60.0;
+  return full / stages + latch_ps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: pipelined Ultrascalar I datapath ===\n\n");
+  const int window = 64;
+  const int L = 32;
+
+  struct Workload {
+    std::string name;
+    isa::Program program;
+  };
+  const Workload suite[] = {
+      {"chains(ilp=1, local)",
+       workloads::DependencyChains({.num_instructions = 192, .ilp = 1})},
+      {"chains(ilp=16, scattered)",
+       workloads::DependencyChains({.num_instructions = 384, .ilp = 16})},
+      {"fib(32)", workloads::Fibonacci(32)},
+      {"figure3", workloads::Figure3Example()},
+      {"mix(256)", workloads::RandomMix({.num_instructions = 256})},
+  };
+
+  for (const auto& w : suite) {
+    std::printf("--- %s ---\n", w.name.c_str());
+    analysis::Table table({"latch every", "cycles", "clock [ps]",
+                           "time [ns]", "speedup vs unpipelined"});
+    double baseline_ns = 0.0;
+    for (const int s : {0, 8, 4, 2}) {
+      core::CoreConfig cfg;
+      cfg.window_size = window;
+      cfg.cluster_size = 16;
+      cfg.mem.mode = memory::MemTimingMode::kMagic;
+      cfg.pipeline_levels_per_stage = s;
+      auto proc =
+          core::MakeProcessor(core::ProcessorKind::kUltrascalarI, cfg);
+      const auto result = proc->Run(w.program);
+      const double clock = StageClockPs(window, L, s);
+      const double ns = static_cast<double>(result.cycles) * clock / 1000.0;
+      if (s == 0) baseline_ns = ns;
+      table.Row()
+          .Cell(s == 0 ? std::string("(single cycle)")
+                       : std::to_string(s) + " levels")
+          .Cell(result.cycles)
+          .Cell(clock, 0)
+          .Cell(ns, 1)
+          .Cell(baseline_ns / ns, 2);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf(
+      "Serial, neighbour-to-neighbour code pipelines almost for free (its\n"
+      "values cross few latches) and gains nearly the full clock speedup;\n"
+      "scattered dependence patterns pay multi-cycle forwarding and keep\n"
+      "less of it -- exactly the paper's back-of-the-envelope intuition.\n"
+      "(The committed register file is modelled as immediately visible; only\n"
+      "in-flight station-to-station values pay the latch latency.)\n");
+  return 0;
+}

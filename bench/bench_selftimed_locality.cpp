@@ -1,0 +1,136 @@
+// E12 -- The self-timed back-of-the-envelope estimate (Section 7).
+//
+// "Half of the communications paths from one station to its successor are
+// completely local. In such a processor, a program could run faster if most
+// of its instructions depend on their immediate predecessors rather than on
+// far-previous instructions."
+//
+// We measure, over real committed schedules, the distribution of
+// producer-to-consumer distances in program order: the fraction within
+// distance 1 (same/adjacent station), within a cluster (C), and beyond.
+#include <cstdio>
+
+#include "analysis/analysis.hpp"
+#include "core/core.hpp"
+#include "vlsi/vlsi.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ultra;
+
+/// Self-timed estimate: replay a committed schedule and charge each cycle
+/// only the wire delay its critical register communication actually needs
+/// (H-tree distance between producer and consumer stations), instead of the
+/// full-chip worst case the synchronous clock must assume.
+double SelfTimedSpeedup(const core::RunResult& result, int window,
+                        int num_regs) {
+  const vlsi::UltrascalarILayout layout(
+      num_regs,
+      memory::BandwidthProfile::ForRegime(memory::BandwidthRegime::kConstant));
+  const auto wire_ps = [&](std::int64_t subtree) {
+    return 2.0 * layout.WireToLeafUm(subtree) / 1000.0 *
+           vlsi::kDefaultConstants.wire_ps_per_mm;
+  };
+  const double gate_ps =
+      vlsi::kDefaultConstants.gate_ps *
+      vlsi::MeasureGateDelays(window, num_regs, num_regs).usi_tree;
+  const double full_cycle_ps = gate_ps + wire_ps(window);
+
+  // Smallest aligned 4^h H-tree block containing two stations.
+  const auto block = [&](int a, int b) {
+    std::int64_t size = 1;
+    while (a != b) {
+      a /= 4;
+      b /= 4;
+      size *= 4;
+    }
+    return std::min<std::int64_t>(size, window);
+  };
+
+  // Per-cycle critical communication distance: a producer finishing at t-1
+  // whose consumer issues at t constrains cycle t.
+  std::vector<std::size_t> last_writer(isa::kMaxLogicalRegisters, SIZE_MAX);
+  std::unordered_map<std::uint64_t, std::int64_t> critical;  // cycle->block.
+  const auto& tl = result.timeline;
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    const isa::Instruction& inst = tl[i].inst;
+    const auto account = [&](isa::RegId r) {
+      const std::size_t w = last_writer[r];
+      if (w == SIZE_MAX) return;
+      if (tl[i].issue_cycle != tl[w].complete_cycle + 1) return;
+      auto& blk = critical[tl[i].issue_cycle];
+      blk = std::max(blk, block(tl[i].station, tl[w].station));
+    };
+    if (isa::ReadsRs1(inst.op)) account(inst.rs1);
+    if (isa::ReadsRs2(inst.op)) account(inst.rs2);
+    if (isa::WritesRd(inst.op)) last_writer[inst.rd] = i;
+  }
+
+  double self_timed_ps = 0.0;
+  for (std::uint64_t t = 0; t < result.cycles; ++t) {
+    const auto it = critical.find(t);
+    const std::int64_t blk = it == critical.end() ? 1 : it->second;
+    self_timed_ps += gate_ps + wire_ps(blk);
+  }
+  const double sync_ps = static_cast<double>(result.cycles) * full_cycle_ps;
+  return sync_ps / self_timed_ps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E12: producer->consumer locality & self-timed estimate ===\n\n");
+
+  core::CoreConfig cfg;
+  cfg.window_size = 64;
+  cfg.cluster_size = 16;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+
+  struct Workload {
+    std::string name;
+    isa::Program program;
+  };
+  const Workload workloads[] = {
+      {"figure3", workloads::Figure3Example()},
+      {"fib(24)", workloads::Fibonacci(24)},
+      {"dot(32)", workloads::DotProduct(32)},
+      {"bubble(12)", workloads::BubbleSort(12)},
+      {"chains(ilp=1)",
+       workloads::DependencyChains({.num_instructions = 128, .ilp = 1})},
+      {"chains(ilp=16)",
+       workloads::DependencyChains({.num_instructions = 256, .ilp = 16})},
+      {"mix(256)", workloads::RandomMix({.num_instructions = 256})},
+  };
+
+  analysis::Table table({"workload", "dist<=1", "dist<=2", "dist<=4",
+                         "dist<=8", "dist<=16 (C)", "dist<=64 (n)",
+                         "self-timed speedup"});
+  for (const auto& w : workloads) {
+    auto proc = core::MakeProcessor(core::ProcessorKind::kUltrascalarI, cfg);
+    const auto result = proc->Run(w.program);
+    const auto frac = [&](std::uint64_t d) {
+      return analysis::LocalCommunicationFraction(result.timeline, d);
+    };
+    table.Row()
+        .Cell(w.name)
+        .Cell(frac(1), 2)
+        .Cell(frac(2), 2)
+        .Cell(frac(4), 2)
+        .Cell(frac(8), 2)
+        .Cell(frac(16), 2)
+        .Cell(frac(64), 2)
+        .Cell(SelfTimedSpeedup(result, cfg.window_size, cfg.num_regs), 2);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The paper's estimate holds when the dist<=1 column is around 0.5: in\n"
+      "a self-timed Ultrascalar those register values travel only\n"
+      "station-to-neighbour wires. The last column quantifies it: replaying\n"
+      "the schedule and charging each cycle only its critical communication\n"
+      "distance (H-tree wire model) instead of the full-chip worst case --\n"
+      "\"a program could run faster if most of its instructions depend on\n"
+      "their immediate predecessors rather than on far-previous\n"
+      "instructions\".\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E3 -- Ultrascalar I floorplan analysis (Section 3, Figure 6).
+//
+// Solves the paper's recurrences numerically:
+//   X(n) = Theta(L) + Theta(M(n)) + 2 X(n/4)
+//   W(n) = X(n/4) + Theta(L + M(n)) + W(n/2)
+// across the three bandwidth regimes and reports side length, wire delay,
+// and area, with fitted exponents against the paper's closed forms:
+//   Case 1 (M = O(n^{1/2-e}))    : X = Theta(sqrt(n) L)
+//   Case 2 (M = Theta(n^{1/2}))  : X = Theta(sqrt(n) (L + log n))
+//   Case 3 (M = Omega(n^{1/2+e})): X = Theta(sqrt(n) L + M(n))
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "vlsi/vlsi.hpp"
+
+int main() {
+  using namespace ultra;
+  using memory::BandwidthProfile;
+  using memory::BandwidthRegime;
+
+  std::printf("=== E3: Ultrascalar I side length X(n) and wire delay ===\n\n");
+  const int L = 32;
+
+  struct Regime {
+    BandwidthRegime regime;
+    double scale;
+    const char* closed_form;
+    double expected_exp;
+  };
+  const Regime regimes[] = {
+      {BandwidthRegime::kSqrtMinus, 1.0, "X = Theta(sqrt(n) L)", 0.5},
+      {BandwidthRegime::kSqrt, 1.0, "X = Theta(sqrt(n)(L + log n))", 0.5},
+      {BandwidthRegime::kSqrtPlus, 60.0, "X = Theta(sqrt(n) L + M(n))",
+       0.75},
+      {BandwidthRegime::kLinear, 1.0, "X = Theta(n) (full bandwidth)", 1.0},
+  };
+
+  for (const auto& r : regimes) {
+    const auto profile = BandwidthProfile::ForRegime(r.regime, r.scale);
+    const vlsi::UltrascalarILayout layout(L, profile);
+    std::printf("--- %s, paper: %s ---\n", profile.name().c_str(),
+                r.closed_form);
+    analysis::Table table(
+        {"n", "X(n) [cm]", "2W(n) wire [cm]", "area [cm^2]"});
+    std::vector<double> ns, sides;
+    for (int e = 6; e <= 20; e += 2) {
+      const std::int64_t n = std::int64_t{1} << e;
+      const auto g = layout.At(n);
+      table.Row().Cell(n).Cell(g.side_cm()).Cell(g.wire_um / 1e4).Cell(
+          g.area_cm2());
+      ns.push_back(static_cast<double>(n));
+      sides.push_back(g.side_um);
+    }
+    std::printf("%s", table.ToString().c_str());
+    const auto fit = vlsi::FitPowerLaw(ns, sides);
+    std::printf("  fitted side exponent: %.3f (paper: %.2f), R^2 = %.4f\n\n",
+                fit.exponent, r.expected_exp, fit.r_squared);
+  }
+
+  std::printf(
+      "Wire length == side length to within a constant (Section 3:\n"
+      "\"W(n) = Theta(X(n))\"):\n");
+  const vlsi::UltrascalarILayout layout(
+      L, BandwidthProfile::ForRegime(BandwidthRegime::kSqrtMinus));
+  analysis::Table ratio({"n", "2W(n)/X(n)"});
+  for (int e = 6; e <= 20; e += 2) {
+    const std::int64_t n = std::int64_t{1} << e;
+    const auto g = layout.At(n);
+    ratio.Row().Cell(n).Cell(g.wire_um / g.side_um);
+  }
+  std::printf("%s", ratio.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E13 -- Window-size limit study (Section 1 context).
+//
+// The paper motivates scalability with limit studies: "Lam and Wilson
+// suggest that ILP of ten to twenty is available with an infinite
+// instruction window and good branch prediction [8]. ... Patt et al argue
+// that a window size of 1000's is the best way to use large chips [14].
+// The amount of parallelism available in a thousand-wide instruction window
+// with realistic branch prediction ... is not well understood."
+//
+// With the scalable cores in hand we can run that study directly: IPC as a
+// function of window size under oracle ("good") and BTFN ("realistic")
+// prediction, on workloads of different inherent ILP.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/core.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace ultra;
+  std::printf("=== E13: IPC vs window size (limit study) ===\n\n");
+
+  struct Workload {
+    std::string name;
+    isa::Program program;
+  };
+  const Workload suite[] = {
+      {"chains(ilp=32)",
+       workloads::DependencyChains({.num_instructions = 2048, .ilp = 30})},
+      {"fib(128)", workloads::Fibonacci(128)},
+      {"dot(128)", workloads::DotProduct(128)},
+      {"bubble(24)", workloads::BubbleSort(24)},
+      {"mix(1024)", workloads::RandomMix({.num_instructions = 1024})},
+  };
+
+  for (const auto predictor :
+       {core::PredictorKind::kOracle, core::PredictorKind::kBtfn}) {
+    std::printf("--- %s prediction, UltrascalarI ---\n",
+                predictor == core::PredictorKind::kOracle ? "oracle"
+                                                          : "BTFN");
+    analysis::Table table({"workload", "w=8", "w=16", "w=32", "w=64",
+                           "w=128", "w=256"});
+    for (const auto& w : suite) {
+      analysis::Table& row = table.Row();
+      row.Cell(w.name);
+      for (const int window : {8, 16, 32, 64, 128, 256}) {
+        core::CoreConfig cfg;
+        cfg.window_size = window;
+        cfg.predictor = predictor;
+        cfg.mem.mode = memory::MemTimingMode::kMagic;
+        auto proc =
+            core::MakeProcessor(core::ProcessorKind::kUltrascalarI, cfg);
+        row.Cell(proc->Run(w.program).Ipc(), 2);
+      }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "IPC saturates at each workload's dataflow limit once the window\n"
+      "covers it; with realistic static prediction the branchy kernels\n"
+      "plateau much earlier -- squashes keep the effective window small.\n"
+      "This is the regime where the paper's scalable windows pay off only\n"
+      "together with better prediction (its trace-cache citations).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Assembler + cross-processor runner: assemble a program from a file (or
+// stdin) and execute it on all four processor models, comparing results and
+// timing.
+//
+// Usage:
+//   asm_runner [file.s]        # reads stdin when no file is given
+//
+// Example program:
+//   li r1, 6
+//   li r2, 7
+//   mul r3, r1, r2
+//   st r3, 0(r0)
+//   halt
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "core/core.hpp"
+#include "isa/isa.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ultra;
+
+  std::string source;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    source = os.str();
+  } else {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    source = os.str();
+  }
+
+  auto assembled = isa::Assemble(source);
+  if (const auto* err = std::get_if<isa::AssemblyError>(&assembled)) {
+    std::fprintf(stderr, "assembly error: %s\n", err->ToString().c_str());
+    return 1;
+  }
+  const auto& program = std::get<isa::Program>(assembled);
+  std::printf("assembled %zu instructions\n\n", program.size());
+
+  core::CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.predictor = core::PredictorKind::kBtfn;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+
+  core::FunctionalSimulator reference;
+  const auto ref = reference.Run(program);
+
+  analysis::Table table({"processor", "cycles", "IPC", "mispredicts",
+                         "regs == reference"});
+  for (const auto kind :
+       {core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
+        core::ProcessorKind::kUltrascalarII, core::ProcessorKind::kHybrid}) {
+    auto proc = core::MakeProcessor(kind, cfg);
+    const auto result = proc->Run(program);
+    bool match = result.halted;
+    for (std::size_t r = 0; r < ref.regs.size(); ++r) {
+      if (result.regs[r] != ref.regs[r]) match = false;
+    }
+    table.Row()
+        .Cell(std::string(core::ProcessorKindName(kind)))
+        .Cell(result.cycles)
+        .Cell(result.Ipc(), 2)
+        .Cell(result.stats.mispredictions)
+        .Cell(match ? "yes" : "NO");
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf("\nfinal architectural registers (non-zero):\n");
+  for (std::size_t r = 0; r < ref.regs.size(); ++r) {
+    if (ref.regs[r] != 0) {
+      std::printf("  r%-2zu = %u (0x%x)\n", r, ref.regs[r], ref.regs[r]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Design-space explorer: for a target issue width, register count, and
+// memory-bandwidth profile, report each architecture's clock-limiting delay
+// and area, and recommend the winner -- the decision Figure 11 encodes.
+//
+// Usage:
+//   design_space_explorer [n] [L] [regime]
+//     n:      issue width / window size (default 1024)
+//     L:      logical registers         (default 32)
+//     regime: const | sqrtminus | sqrt | sqrtplus | linear (default sqrtminus)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "vlsi/vlsi.hpp"
+
+namespace {
+
+using namespace ultra;
+
+memory::BandwidthRegime ParseRegime(const std::string& name) {
+  if (name == "const") return memory::BandwidthRegime::kConstant;
+  if (name == "sqrtminus") return memory::BandwidthRegime::kSqrtMinus;
+  if (name == "sqrt") return memory::BandwidthRegime::kSqrt;
+  if (name == "sqrtplus") return memory::BandwidthRegime::kSqrtPlus;
+  if (name == "linear") return memory::BandwidthRegime::kLinear;
+  std::fprintf(stderr, "unknown regime '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 1024;
+  const int L = argc > 2 ? std::atoi(argv[2]) : 32;
+  const auto regime = ParseRegime(argc > 3 ? argv[3] : "sqrtminus");
+  const auto profile = memory::BandwidthProfile::ForRegime(regime);
+
+  std::printf("Design point: n = %lld stations, L = %d registers, %s\n\n",
+              static_cast<long long>(n), L, profile.name().c_str());
+
+  const auto cmp = vlsi::Compare(n, L, profile);
+
+  analysis::Table table({"architecture", "gate [ps]", "wire [ps]",
+                         "total [ps]", "clock [MHz]", "area [cm^2]"});
+  const auto add = [&](const char* name, const vlsi::DelaySummary& d,
+                       const vlsi::Geometry& g) {
+    table.Row()
+        .Cell(name)
+        .Cell(d.gate_ps, 0)
+        .Cell(d.wire_ps, 0)
+        .Cell(d.total_ps(), 0)
+        .Cell(1e6 / d.total_ps(), 1)
+        .Cell(g.area_cm2());
+  };
+  add("UltrascalarI (tree)", cmp.usi, cmp.usi_geom);
+  add("UltrascalarII (grid)", cmp.usii_linear, cmp.usii_linear_geom);
+  add("UltrascalarII (mesh)", cmp.usii_log, cmp.usii_log_geom);
+  add("Hybrid (C=L)", cmp.hybrid, cmp.hybrid_geom);
+  std::printf("%s\n", table.ToString().c_str());
+
+  const double best_total =
+      std::min({cmp.usi.total_ps(), cmp.usii_linear.total_ps(),
+                cmp.usii_log.total_ps(), cmp.hybrid.total_ps()});
+  const char* winner =
+      best_total == cmp.hybrid.total_ps()          ? "Hybrid"
+      : best_total == cmp.usi.total_ps()           ? "UltrascalarI"
+      : best_total == cmp.usii_linear.total_ps()   ? "UltrascalarII (grid)"
+                                                   : "UltrascalarII (mesh)";
+  std::printf("fastest clock: %s\n", winner);
+
+  const int c_star = vlsi::OptimalClusterSize(L, n, profile);
+  std::printf("optimal hybrid cluster size C* = %d (C*/L = %.2f)\n", c_star,
+              static_cast<double>(c_star) / L);
+
+  std::printf(
+      "\nRule of thumb from the paper: Ultrascalar II below n ~ L^2 = %lld,\n"
+      "hybrid at or above it; memory bandwidth beyond Theta(sqrt n) "
+      "dominates\neverything.\n",
+      static_cast<long long>(L) * L);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Feature tour: the Section 7 extensions, all in one run.
+//
+// Configures a hybrid Ultrascalar with shared ALUs, store-to-load
+// forwarding, and distributed per-cluster caches, and compares it against
+// the plain base design on a memory- and ALU-intensive workload.
+//
+//   ./build/examples/feature_tour
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/core.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace ultra;
+
+  const auto program = workloads::BubbleSort(20);
+  std::printf("workload: bubble sort, 20 elements (%zu static instrs)\n\n",
+              program.size());
+
+  analysis::Table table({"configuration", "cycles", "IPC", "tree loads",
+                         "forwarded"});
+
+  const auto run = [&](const char* name, core::CoreConfig cfg) {
+    cfg.window_size = 64;
+    cfg.cluster_size = 16;
+    cfg.predictor = core::PredictorKind::kOracle;
+    cfg.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+    cfg.mem.regime = memory::BandwidthRegime::kConstant;  // Thin memory.
+    auto proc = core::MakeProcessor(core::ProcessorKind::kHybrid, cfg);
+    const auto result = proc->Run(program);
+    table.Row()
+        .Cell(name)
+        .Cell(result.cycles)
+        .Cell(result.Ipc(), 2)
+        .Cell(result.stats.load_count)
+        .Cell(result.stats.forwarded_loads);
+    return result;
+  };
+
+  core::CoreConfig base;
+  run("base design (ALU per station)", base);
+
+  core::CoreConfig shared = base;
+  shared.num_alus = 8;
+  run("+ 8 shared ALUs", shared);
+
+  core::CoreConfig fwd = shared;
+  fwd.store_forwarding = true;
+  run("+ store-to-load forwarding", fwd);
+
+  core::CoreConfig cached = fwd;
+  cached.mem.cluster_cache_leaves = 16;
+  run("+ distributed cluster caches", cached);
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Eight shared ALUs cost almost nothing; forwarding and the cluster\n"
+      "caches then claw back the performance the Theta(1) memory bandwidth\n"
+      "took away -- the Section 7 road map, executed.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Pipetrace: per-cycle station-occupancy map, reconstructed from the
+// committed timeline.
+//
+//   rows    = execution stations
+//   columns = cycles
+//   '.' empty   'o' holding an instruction (waiting or done)
+//   'X' executing
+//
+// Makes the microarchitectural difference between the models visible: the
+// Ultrascalar I ring stays densely packed (stations refill continually),
+// while the batch-mode Ultrascalar II drains to empty before every refill.
+//
+// Usage: pipetrace [processor] [workload] [window]
+//   processor: ideal | usi | usii | hybrid   (default usii)
+//   workload:  fib | dot | chains | storm    (default fib)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ultra;
+
+core::ProcessorKind ParseKind(const std::string& name) {
+  if (name == "ideal") return core::ProcessorKind::kIdeal;
+  if (name == "usi") return core::ProcessorKind::kUltrascalarI;
+  if (name == "usii") return core::ProcessorKind::kUltrascalarII;
+  if (name == "hybrid") return core::ProcessorKind::kHybrid;
+  std::fprintf(stderr, "unknown processor '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+isa::Program ParseWorkload(const std::string& name) {
+  if (name == "fib") return workloads::Fibonacci(10);
+  if (name == "dot") return workloads::DotProduct(8);
+  if (name == "chains") {
+    return workloads::DependencyChains(
+        {.num_instructions = 48, .ilp = 4, .use_long_ops = true});
+  }
+  if (name == "storm") return workloads::BranchStorm(8);
+  std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string kind_name = argc > 1 ? argv[1] : "usii";
+  const std::string workload = argc > 2 ? argv[2] : "fib";
+  const int window = argc > 3 ? std::atoi(argv[3]) : 12;
+
+  core::CoreConfig cfg;
+  cfg.window_size = window;
+  cfg.cluster_size = std::max(1, window / 4);
+  cfg.predictor = core::PredictorKind::kBtfn;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+
+  const auto kind = ParseKind(kind_name);
+  const auto program = ParseWorkload(workload);
+  auto proc = core::MakeProcessor(kind, cfg);
+  const auto result = proc->Run(program);
+
+  const int max_cols = 160;
+  const auto cycles =
+      static_cast<int>(std::min<std::uint64_t>(result.cycles, max_cols));
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(window),
+      std::string(static_cast<std::size_t>(cycles), '.'));
+  for (const auto& t : result.timeline) {
+    auto& row = grid[static_cast<std::size_t>(t.station)];
+    for (std::uint64_t c = t.fetch_cycle;
+         c <= t.commit_cycle && c < static_cast<std::uint64_t>(cycles); ++c) {
+      char mark = 'o';
+      if (c >= t.issue_cycle && c <= t.complete_cycle) mark = 'X';
+      row[static_cast<std::size_t>(c)] = mark;
+    }
+  }
+
+  std::printf("%s, window=%d, workload=%s: %llu cycles, IPC %.2f\n\n",
+              std::string(core::ProcessorKindName(kind)).c_str(), window,
+              workload.c_str(),
+              static_cast<unsigned long long>(result.cycles), result.Ipc());
+  std::printf("station  cycle 0..%d\n", cycles - 1);
+  for (int s = 0; s < window; ++s) {
+    std::printf("  %3d    %s\n", s, grid[static_cast<std::size_t>(s)].c_str());
+  }
+  if (result.cycles > static_cast<std::uint64_t>(max_cols)) {
+    std::printf("  ... truncated at %d cycles\n", max_cols);
+  }
+  std::printf(
+      "\n('.' empty, 'o' occupied, 'X' executing. Compare `pipetrace usii`\n"
+      "with `pipetrace usi`: the batch machine moves in lockstep waves --\n"
+      "every station waits for the slowest before the next refill -- while\n"
+      "the ring's stations turn over independently.)\n");
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Umbrella header for the analysis/reporting library.
+#pragma once
+
+#include "analysis/floorplan.hpp"       // IWYU pragma: export
+#include "analysis/table.hpp"           // IWYU pragma: export
+#include "analysis/timing_diagram.hpp"  // IWYU pragma: export

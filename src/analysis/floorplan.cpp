@@ -1,0 +1,141 @@
+#include "analysis/floorplan.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace ultra::analysis {
+
+namespace {
+
+/// A character canvas with (row, col) addressing.
+class Canvas {
+ public:
+  Canvas(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        cells_(static_cast<std::size_t>(rows) * cols, ' ') {}
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+
+  char& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return cells_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  void Blit(const Canvas& src, int r0, int c0) {
+    for (int r = 0; r < src.rows_; ++r) {
+      for (int c = 0; c < src.cols_; ++c) {
+        at(r0 + r, c0 + c) = src.cells_[static_cast<std::size_t>(r) *
+                                            src.cols_ +
+                                        c];
+      }
+    }
+  }
+
+  [[nodiscard]] std::string ToString() const {
+    std::string out;
+    for (int r = 0; r < rows_; ++r) {
+      out.append("  ");
+      out.append(cells_.begin() + static_cast<std::ptrdiff_t>(r) * cols_,
+                 cells_.begin() + static_cast<std::ptrdiff_t>(r + 1) * cols_);
+      out.push_back('\n');
+    }
+    return out;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<char> cells_;
+};
+
+/// One Ultrascalar I execution station (3x3 box).
+Canvas StationTile() {
+  Canvas c(3, 3);
+  c.at(0, 0) = '+'; c.at(0, 1) = '-'; c.at(0, 2) = '+';
+  c.at(1, 0) = '|'; c.at(1, 1) = 'S'; c.at(1, 2) = '|';
+  c.at(2, 0) = '+'; c.at(2, 1) = '-'; c.at(2, 2) = '+';
+  return c;
+}
+
+/// Recursive H-tree: four quadrants around a P/M joint.
+Canvas HTree(int n) {
+  if (n <= 1) return StationTile();
+  const Canvas sub = HTree(n / 4);
+  const int s = sub.rows();
+  Canvas c(2 * s + 3, 2 * s + 3);
+  c.Blit(sub, 0, 0);
+  c.Blit(sub, 0, s + 3);
+  c.Blit(sub, s + 3, 0);
+  c.Blit(sub, s + 3, s + 3);
+  const int mid = s + 1;
+  for (int k = 0; k < c.cols(); ++k) c.at(mid, k) = '=';
+  for (int k = 0; k < c.rows(); ++k) c.at(k, mid) = '|';
+  // The register prefix nodes (P) and the memory switch (M) at the joint.
+  c.at(mid, mid) = 'P';
+  c.at(mid, mid + 1) = 'M';
+  return c;
+}
+
+/// One Ultrascalar II cluster (Figure 7 shape): stations E on the diagonal,
+/// register datapath R below, memory switches M above.
+Canvas ClusterTile(int stations) {
+  const int s = stations + 2;  // Border.
+  Canvas c(s, s);
+  for (int k = 0; k < s; ++k) {
+    c.at(0, k) = '-'; c.at(s - 1, k) = '-';
+    c.at(k, 0) = '|'; c.at(k, s - 1) = '|';
+  }
+  c.at(0, 0) = '+'; c.at(0, s - 1) = '+';
+  c.at(s - 1, 0) = '+'; c.at(s - 1, s - 1) = '+';
+  for (int k = 1; k + 1 < s; ++k) {
+    for (int m = 1; m + 1 < s; ++m) {
+      if (k == m) {
+        c.at(k, m) = 'E';
+      } else if (k > m) {
+        c.at(k, m) = 'R';
+      } else {
+        c.at(k, m) = 'M';
+      }
+    }
+  }
+  return c;
+}
+
+/// H-tree over clusters.
+Canvas HybridTree(int clusters, int cluster_size) {
+  if (clusters <= 1) return ClusterTile(cluster_size);
+  const Canvas sub = HybridTree(clusters / 4, cluster_size);
+  const int s = sub.rows();
+  Canvas c(2 * s + 3, 2 * s + 3);
+  c.Blit(sub, 0, 0);
+  c.Blit(sub, 0, s + 3);
+  c.Blit(sub, s + 3, 0);
+  c.Blit(sub, s + 3, s + 3);
+  const int mid = s + 1;
+  for (int k = 0; k < c.cols(); ++k) c.at(mid, k) = '=';
+  for (int k = 0; k < c.rows(); ++k) c.at(k, mid) = '|';
+  c.at(mid, mid) = 'P';
+  c.at(mid, mid + 1) = 'M';
+  return c;
+}
+
+int RoundUpPow4(int n) {
+  int p = 1;
+  while (p < n) p *= 4;
+  return p;
+}
+
+}  // namespace
+
+std::string RenderHTreeFloorplan(int n) {
+  return HTree(RoundUpPow4(n)).ToString();
+}
+
+std::string RenderHybridFloorplan(int n, int c) {
+  assert(c >= 1);
+  const int clusters = RoundUpPow4((n + c - 1) / c);
+  return HybridTree(clusters, c).ToString();
+}
+
+}  // namespace ultra::analysis

@@ -1,0 +1,20 @@
+// ASCII floorplan rendering: Figures 6 and 10 of the paper.
+#pragma once
+
+#include <string>
+
+namespace ultra::analysis {
+
+/// Figure 6: the Ultrascalar I H-tree floorplan. @p n stations (a power of
+/// four) in a 2-D matrix, connected via H-tree wiring; each internal joint
+/// holds the register parallel-prefix nodes (P) and a fat-tree memory
+/// switch (M).
+std::string RenderHTreeFloorplan(int n);
+
+/// Figure 10: the hybrid floorplan. @p n stations in clusters of @p c; each
+/// cluster is an Ultrascalar II (stations E on the diagonal, register
+/// datapath R below, memory switches M above); clusters join via the
+/// Ultrascalar I H-tree.
+std::string RenderHybridFloorplan(int n, int c);
+
+}  // namespace ultra::analysis

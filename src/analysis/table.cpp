@@ -1,0 +1,80 @@
+#include "analysis/table.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace ultra::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(const char* value) { return Cell(std::string(value)); }
+
+Table& Table::Cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return Cell(os.str());
+}
+
+Table& Table::Cell(std::int64_t value) { return Cell(std::to_string(value)); }
+Table& Table::Cell(std::uint64_t value) { return Cell(std::to_string(value)); }
+Table& Table::Cell(int value) { return Cell(std::to_string(value)); }
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 2 * widths.size();
+  for (const auto w : widths) total += w;
+  os << "  " << std::string(total - 2, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Humanize(double value, int precision) {
+  const char* suffix = "";
+  double v = value;
+  if (std::fabs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (std::fabs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (std::fabs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << suffix;
+  return os.str();
+}
+
+}  // namespace ultra::analysis

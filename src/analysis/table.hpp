@@ -1,0 +1,35 @@
+// Fixed-width text tables for the benchmark harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ultra::analysis {
+
+/// Builds and prints a column-aligned table of strings; numeric convenience
+/// overloads format with sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; chain Cell() calls to fill it.
+  Table& Row();
+  Table& Cell(const std::string& value);
+  Table& Cell(const char* value);
+  Table& Cell(double value, int precision = 3);
+  Table& Cell(std::int64_t value);
+  Table& Cell(std::uint64_t value);
+  Table& Cell(int value);
+
+  /// Renders the table with a header underline.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a value with an SI-ish suffix (k, M, G) for compact tables.
+std::string Humanize(double value, int precision = 2);
+
+}  // namespace ultra::analysis

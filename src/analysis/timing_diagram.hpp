@@ -1,0 +1,31 @@
+// ASCII rendering of per-instruction execution timing (Figure 3 style).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace ultra::core {
+struct InstrTiming;
+}
+
+namespace ultra::analysis {
+
+/// Renders a Figure 3-style diagram: one row per committed instruction (in
+/// program order), '#' marks spanning the execution interval, with cycle
+/// numbers normalized so the first issue is cycle 0.
+///
+///   div r3, r1, r2   |##########            |
+///   add r0, r0, r3   |          #           |
+std::string RenderTimingDiagram(std::span<const core::InstrTiming> timeline,
+                                int max_rows = 64);
+
+/// Fraction of register-communicating instruction pairs
+/// (producer -> nearest consumer) whose distance in program order is at
+/// most `window`: the Section 7 "half of the communication paths ... are
+/// completely local" estimate.
+double LocalCommunicationFraction(
+    std::span<const core::InstrTiming> timeline, std::uint64_t distance);
+
+}  // namespace ultra::analysis

@@ -1,0 +1,7 @@
+// Umbrella header for the circuit substrate.
+#pragma once
+
+#include "circuit/cspp.hpp"    // IWYU pragma: export
+#include "circuit/fast.hpp"    // IWYU pragma: export
+#include "circuit/ops.hpp"     // IWYU pragma: export
+#include "circuit/signal.hpp"  // IWYU pragma: export

@@ -1,0 +1,258 @@
+// Segmented parallel-prefix circuits, linear and logarithmic.
+//
+// These are the paper's two building blocks:
+//
+//  * A ring of multiplexers (Figure 1) -- the linear-gate-delay cyclic
+//    segmented prefix. Output i is the fold, under an associative operator,
+//    of the contributions of the stations preceding i, going back (cyclically)
+//    to and including the nearest station whose segment bit is high.
+//
+//  * A cyclic segmented parallel-prefix (CSPP) tree (Figures 4 and 5,
+//    following Henry & Kuszmaul, Ultrascalar Memo 1) -- the same function in
+//    Theta(log n) gate delay, built from an up-sweep that folds intervals and
+//    a down-sweep that distributes prefixes, with the top of the tree tied
+//    around to make the circuit cyclic.
+//
+// Both carry Signal<T> values so that evaluating a circuit also measures its
+// critical-path gate depth. Both require at least one segment bit to be set
+// (in the processors the oldest station always sets it); this is asserted.
+//
+// The noncyclic variant (SppEvaluate) takes an initial value that acts as a
+// virtual segment station before position 0 -- exactly the role the register
+// file plays at the bottom of an Ultrascalar II column (Figure 7).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/ops.hpp"
+#include "circuit/signal.hpp"
+
+namespace ultra::circuit {
+
+/// Reference (specification) implementation: walks backward from each
+/// position to the nearest segment. O(n^2) worst case; used to cross-check
+/// the two circuit implementations in tests.
+template <typename T, typename Op>
+std::vector<T> CsppReference(std::span<const T> inputs,
+                             std::span<const std::uint8_t> segments, Op op) {
+  const std::size_t n = inputs.size();
+  assert(segments.size() == n);
+  std::vector<T> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Find the nearest preceding segment position j (cyclically).
+    std::size_t j = (i + n - 1) % n;
+    std::size_t steps = 1;
+    while (!segments[j] && steps < n) {
+      j = (j + n - 1) % n;
+      ++steps;
+    }
+    assert(segments[j] && "CSPP requires at least one segment bit");
+    // Left-associative fold of x_j .. x_{i-1}.
+    T acc = inputs[j];
+    for (std::size_t k = (j + 1) % n; k != i; k = (k + 1) % n) {
+      acc = op(acc, inputs[k]);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+/// The Figure 1 ring of multiplexers. Linear gate delay: output depth grows
+/// with the distance from the nearest segment station.
+template <typename T, typename Op>
+std::vector<Signal<T>> CsppRingEvaluate(std::span<const Signal<T>> inputs,
+                                        std::span<const Signal<bool>> segments,
+                                        Op op = Op{}) {
+  const std::size_t n = inputs.size();
+  assert(segments.size() == n);
+  std::vector<Signal<T>> out(n);
+  // Find a segment station to start the combinational settling from.
+  std::size_t start = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (segments[i].value) start = i;
+  }
+  assert(start < n && "CSPP ring requires at least one segment bit");
+
+  // Walk the ring once. "carry" is the value on the wire leaving station i,
+  // i.e. the fold of contributions back to the nearest segment, inclusive.
+  Signal<T> carry;  // Valid after the first (segment) station.
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (start + step) % n;
+    Signal<T> next;
+    if (segments[i].value) {
+      next.value = inputs[i].value;
+      next.depth =
+          MaxDepth({inputs[i].depth, segments[i].depth}) + Op::kGateCost;
+    } else {
+      next.value = op(carry.value, inputs[i].value);
+      next.depth = MaxDepth({carry.depth, inputs[i].depth,
+                             segments[i].depth}) +
+                   Op::kGateCost;
+    }
+    out[(i + 1) % n] = next;
+    carry = next;
+  }
+  return out;
+}
+
+namespace detail {
+
+/// One node of the prefix tree: the segmented fold of its interval.
+template <typename T>
+struct UpNode {
+  std::size_t lo = 0, hi = 0;   // Interval [lo, hi).
+  int left = -1, right = -1;    // Child node indices (-1 for leaves).
+  Signal<T> value;              // Fold back to the nearest segment inside.
+  Signal<bool> seg;             // Whether the interval contains a segment.
+};
+
+template <typename T, typename Op>
+int BuildUp(std::vector<UpNode<T>>& nodes, std::span<const Signal<T>> inputs,
+            std::span<const Signal<bool>> segments, std::size_t lo,
+            std::size_t hi, Op op) {
+  UpNode<T> node;
+  node.lo = lo;
+  node.hi = hi;
+  if (hi - lo == 1) {
+    node.value = inputs[lo];
+    node.seg = segments[lo];
+    nodes.push_back(node);
+    return static_cast<int>(nodes.size() - 1);
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const int l = BuildUp(nodes, inputs, segments, lo, mid, op);
+  const int r = BuildUp(nodes, inputs, segments, mid, hi, op);
+  node.left = l;
+  node.right = r;
+  const auto& ln = nodes[static_cast<std::size_t>(l)];
+  const auto& rn = nodes[static_cast<std::size_t>(r)];
+  // If the right interval contains a segment, the fold restarts there and the
+  // left half is invisible; otherwise the fold crosses the boundary.
+  if (rn.seg.value) {
+    node.value.value = rn.value.value;
+  } else {
+    node.value.value = op(ln.value.value, rn.value.value);
+  }
+  node.value.depth = MaxDepth({ln.value.depth, rn.value.depth,
+                               rn.seg.depth}) +
+                     Op::kGateCost + kMuxCost;
+  node.seg.value = ln.seg.value || rn.seg.value;
+  node.seg.depth = MaxDepth({ln.seg.depth, rn.seg.depth}) + kOrCost;
+  nodes.push_back(node);
+  return static_cast<int>(nodes.size() - 1);
+}
+
+template <typename T, typename Op>
+void SweepDown(const std::vector<UpNode<T>>& nodes, int idx,
+               const Signal<T>& incoming, std::vector<Signal<T>>& out, Op op) {
+  const auto& node = nodes[static_cast<std::size_t>(idx)];
+  if (node.left < 0) {
+    out[node.lo] = incoming;
+    return;
+  }
+  const auto& ln = nodes[static_cast<std::size_t>(node.left)];
+  // Left child sees what the parent sees; right child sees the fold through
+  // the left sibling (restarted at a segment if the left half has one).
+  SweepDown(nodes, node.left, incoming, out, op);
+  Signal<T> right_in;
+  if (ln.seg.value) {
+    right_in.value = ln.value.value;
+  } else {
+    right_in.value = op(incoming.value, ln.value.value);
+  }
+  right_in.depth = MaxDepth({incoming.depth, ln.value.depth, ln.seg.depth}) +
+                   Op::kGateCost + kMuxCost;
+  SweepDown(nodes, node.right, right_in, out, op);
+}
+
+}  // namespace detail
+
+/// The CSPP tree (Figures 4/5): same function as CsppRingEvaluate in
+/// Theta(log n) gate delay. The data lines at the top of the tree are tied
+/// together (the root's interval fold wraps around to become the prefix of
+/// the earliest stations), making the circuit cyclic.
+template <typename T, typename Op>
+std::vector<Signal<T>> CsppTreeEvaluate(std::span<const Signal<T>> inputs,
+                                        std::span<const Signal<bool>> segments,
+                                        Op op = Op{}) {
+  const std::size_t n = inputs.size();
+  assert(segments.size() == n);
+  assert(n >= 1);
+  std::vector<detail::UpNode<T>> nodes;
+  nodes.reserve(2 * n);
+  const int root =
+      detail::BuildUp(nodes, inputs, segments, 0, n, op);
+  const auto& rn = nodes[static_cast<std::size_t>(root)];
+  assert(rn.seg.value && "CSPP tree requires at least one segment bit");
+  // Tie the top of the tree around: the whole-ring fold (which stops at the
+  // last segment) is what the earliest stations see as their prefix.
+  Signal<T> wrap;
+  wrap.value = rn.value.value;
+  wrap.depth = rn.value.depth + kBufferCost;
+  std::vector<Signal<T>> out(n);
+  detail::SweepDown(nodes, root, wrap, out, op);
+  return out;
+}
+
+/// Noncyclic segmented parallel prefix over a chain (linear gate delay).
+/// @p initial acts as a virtual segment station before position 0.
+template <typename T, typename Op>
+std::vector<Signal<T>> SppChainEvaluate(const Signal<T>& initial,
+                                        std::span<const Signal<T>> inputs,
+                                        std::span<const Signal<bool>> segments,
+                                        Op op = Op{}) {
+  const std::size_t n = inputs.size();
+  assert(segments.size() == n);
+  std::vector<Signal<T>> out(n);
+  Signal<T> carry = initial;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = carry;
+    Signal<T> next;
+    if (segments[i].value) {
+      next.value = inputs[i].value;
+    } else {
+      next.value = op(carry.value, inputs[i].value);
+    }
+    next.depth = MaxDepth({carry.depth, inputs[i].depth, segments[i].depth}) +
+                 Op::kGateCost;
+    carry = next;
+  }
+  return out;
+}
+
+/// Noncyclic segmented parallel prefix as a tree (logarithmic gate delay).
+/// Same function as SppChainEvaluate.
+template <typename T, typename Op>
+std::vector<Signal<T>> SppTreeEvaluate(const Signal<T>& initial,
+                                       std::span<const Signal<T>> inputs,
+                                       std::span<const Signal<bool>> segments,
+                                       Op op = Op{}) {
+  const std::size_t n = inputs.size();
+  assert(segments.size() == n);
+  if (n == 0) return {};
+  std::vector<detail::UpNode<T>> nodes;
+  nodes.reserve(2 * n);
+  const int root = detail::BuildUp(nodes, inputs, segments, 0, n, op);
+  std::vector<Signal<T>> out(n);
+  detail::SweepDown(nodes, root, initial, out, op);
+  return out;
+}
+
+/// Reference for the noncyclic variant.
+template <typename T, typename Op>
+std::vector<T> SppReference(const T& initial, std::span<const T> inputs,
+                            std::span<const std::uint8_t> segments, Op op) {
+  const std::size_t n = inputs.size();
+  std::vector<T> out(n);
+  T carry = initial;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = carry;
+    carry = segments[i] ? inputs[i] : op(carry, inputs[i]);
+  }
+  return out;
+}
+
+}  // namespace ultra::circuit

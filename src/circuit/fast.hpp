@@ -1,0 +1,53 @@
+// Value-only prefix evaluation for the cycle-level simulators.
+//
+// The depth-tracked circuits in cspp.hpp measure gate delay; the processor
+// models in src/core evaluate the same functions once per simulated cycle
+// and only need the logical values. These helpers compute them in O(n).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ultra::circuit {
+
+/// Value-only cyclic segmented prefix: out[i] = fold of inputs from the
+/// nearest preceding segment position (inclusive, cyclic) through i-1.
+/// Requires at least one segment bit.
+template <typename T, typename Op>
+std::vector<T> CsppValues(std::span<const T> inputs,
+                          std::span<const std::uint8_t> segments, Op op = Op{}) {
+  const std::size_t n = inputs.size();
+  assert(segments.size() == n);
+  std::size_t start = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (segments[i]) start = i;
+  }
+  assert(start < n && "cyclic segmented prefix requires a segment bit");
+  std::vector<T> out(n);
+  T carry{};
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (start + step) % n;
+    carry = segments[i] ? inputs[i] : op(carry, inputs[i]);
+    out[(i + 1) % n] = carry;
+  }
+  return out;
+}
+
+/// Value-only noncyclic segmented prefix with a virtual initial segment.
+template <typename T, typename Op>
+std::vector<T> SppValues(const T& initial, std::span<const T> inputs,
+                         std::span<const std::uint8_t> segments, Op op = Op{}) {
+  const std::size_t n = inputs.size();
+  assert(segments.size() == n);
+  std::vector<T> out(n);
+  T carry = initial;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = carry;
+    carry = segments[i] ? inputs[i] : op(carry, inputs[i]);
+  }
+  return out;
+}
+
+}  // namespace ultra::circuit

@@ -1,0 +1,60 @@
+// Associative operators used by the paper's prefix circuits.
+//
+// Section 2: the register-propagation CSPP uses "the associative operator
+// (a (x) b = a) [which] simply passes earlier values"; the three sequencing
+// CSPPs of Figure 5 use "the 1-bit-wide associative operator a (x) b = a AND b".
+#pragma once
+
+#include <algorithm>
+
+#include "circuit/signal.hpp"
+
+namespace ultra::circuit {
+
+/// a (x) b = a. Passes the earlier (left) value: folding a run of stations
+/// back to the nearest segment yields the segment station's value, i.e. the
+/// most recent writer of the register.
+struct PassFirstOp {
+  template <typename T>
+  T operator()(const T& a, const T& /*b*/) const {
+    return a;
+  }
+  static constexpr int kGateCost = kMuxCost;
+};
+
+/// a (x) b = a AND b, the Figure 5 operator ("have all earlier stations met
+/// the condition?").
+struct AndOp {
+  bool operator()(bool a, bool b) const { return a && b; }
+  static constexpr int kGateCost = kAndCost;
+};
+
+/// a (x) b = a OR b. Used by the hybrid's modified-bit OR trees (Figure 9)
+/// and handy for "has any earlier station ..." queries.
+struct OrOp {
+  bool operator()(bool a, bool b) const { return a || b; }
+  static constexpr int kGateCost = kOrCost;
+};
+
+/// a (x) b = a + b. Not used by the processor datapaths themselves but by
+/// the scheduling/allocation circuitry (Ultrascalar Memo 2) and by tests,
+/// which need a non-idempotent operator to catch fold-order bugs.
+struct AddOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+  static constexpr int kGateCost = 1;
+};
+
+/// a (x) b = min(a, b). Idempotent but order-sensitive under segmentation;
+/// used in tests and by the ALU-allocation model.
+struct MinOp {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::min(a, b);
+  }
+  static constexpr int kGateCost = 1;
+};
+
+}  // namespace ultra::circuit

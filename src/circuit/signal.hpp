@@ -1,0 +1,60 @@
+// Depth-tracked signals.
+//
+// Every combinational value in the circuit substrate carries the gate depth
+// at which it stabilizes. Gates propagate depth as max(inputs) + cost, so
+// evaluating a circuit yields both its logical outputs and its critical-path
+// gate delay -- the quantity the paper's gate-delay results are about.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+
+namespace ultra::circuit {
+
+/// Gate-cost constants (in "gate delays", the paper's unit). A 2-input
+/// mux / AND / OR costs one gate delay; a buffer in a fan-out tree costs one.
+inline constexpr int kMuxCost = 1;
+inline constexpr int kAndCost = 1;
+inline constexpr int kOrCost = 1;
+inline constexpr int kBufferCost = 1;
+
+/// A logical value together with the gate depth at which it is stable.
+template <typename T>
+struct Signal {
+  T value{};
+  int depth = 0;
+
+  friend bool operator==(const Signal&, const Signal&) = default;
+};
+
+/// Depth of the latest-arriving input.
+inline int MaxDepth(std::initializer_list<int> depths) {
+  int m = 0;
+  for (int d : depths) m = std::max(m, d);
+  return m;
+}
+
+/// Ceiling of log2 for sizes >= 1 (log2 of 1 is 0).
+constexpr int CeilLog2(long long n) {
+  int bits = 0;
+  long long v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Gate depth of a balanced tree of 2-input gates reducing @p n inputs.
+constexpr int ReductionDepth(long long n) { return n <= 1 ? 0 : CeilLog2(n); }
+
+/// Gate depth added by a buffer tree fanning one signal out to @p n sinks.
+/// (The paper's mesh-of-trees conversion, Section 4.)
+constexpr int FanoutDepth(long long n) { return n <= 1 ? 0 : CeilLog2(n); }
+
+/// Gate depth of an equality comparator over @p bits bits: one XNOR level
+/// plus an AND-reduction tree. The paper quotes O(log log L) for comparing
+/// register numbers of log2(L) bits.
+constexpr int ComparatorDepth(int bits) { return 1 + ReductionDepth(bits); }
+
+}  // namespace ultra::circuit

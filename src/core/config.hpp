@@ -1,0 +1,104 @@
+// Shared configuration and result types for all processor models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "memory/memory_system.hpp"
+
+namespace ultra::core {
+
+/// Which branch predictor the fetch engine uses. For cycle-identical
+/// cross-processor comparisons use a static predictor or the oracle (see
+/// memory/branch_predictor.hpp).
+enum class PredictorKind : std::uint8_t {
+  kNotTaken,
+  kBtfn,
+  kTwoBit,
+  kOracle,  // Requires a prior functional run; see Processor::Run.
+};
+
+/// How many instructions fetch can supply per cycle and across how many
+/// predicted-taken control transfers.
+enum class FetchMode : std::uint8_t {
+  kIdeal,       // Full width, any number of taken branches per cycle.
+  kBasicBlock,  // Stops at the first predicted-taken control transfer.
+  kTraceCache,  // Crosses up to trace_branches taken transfers on a hit.
+};
+
+struct CoreConfig {
+  int window_size = 32;  // n: execution stations (= issue width; Section 1).
+  int num_regs = isa::kDefaultLogicalRegisters;  // L.
+  int cluster_size = 8;  // C, hybrid only (paper: C = Theta(L) is optimal).
+  int fetch_width = 0;   // 0 = same as window_size (the paper couples them).
+  FetchMode fetch_mode = FetchMode::kIdeal;
+  int trace_cache_capacity = 256;
+  int trace_branches = 3;
+  PredictorKind predictor = PredictorKind::kBtfn;
+  isa::LatencyModel latencies;
+  memory::MemoryConfig mem;
+  std::uint64_t max_cycles = 10'000'000;
+
+  /// Shared ALUs (Section 7 / Ultrascalar Memo 2). 0 = one ALU per station
+  /// (the paper's base design); k > 0 = k shared ALUs allocated oldest-first
+  /// by the AluScheduler prefix circuit each cycle.
+  int num_alus = 0;
+
+  /// Memory renaming / store-to-load forwarding (Section 7: "The memory
+  /// bandwidth pressure can also be reduced by using memory-renaming
+  /// hardware, which can be implemented by CSPP circuits").
+  bool store_forwarding = false;
+
+  /// Pipelined register datapath (Section 7: "it is possible to pipeline
+  /// the system ... so that the long communications paths would include
+  /// latches"). 0 = the paper's base single-cycle datapath; k > 0 inserts
+  /// a latch every k H-tree levels, so a value crossing 2h levels reaches
+  /// its reader after ceil(2h / k) cycles, while the clock shrinks to one
+  /// pipeline stage. Ultrascalar I core only.
+  int pipeline_levels_per_stage = 0;
+
+  [[nodiscard]] int EffectiveFetchWidth() const {
+    return fetch_width > 0 ? fetch_width : window_size;
+  }
+};
+
+/// Per-dynamic-instruction timing record (the raw material of Figure 3).
+struct InstrTiming {
+  std::uint64_t seq = 0;        // Dynamic sequence number (commit order).
+  int station = 0;              // Execution-station slot that ran it.
+  std::size_t pc = 0;
+  isa::Instruction inst;
+  std::uint64_t fetch_cycle = 0;
+  std::uint64_t issue_cycle = 0;     // First execution cycle.
+  std::uint64_t complete_cycle = 0;  // Cycle at whose end the result is ready.
+  std::uint64_t commit_cycle = 0;
+};
+
+struct RunStats {
+  std::uint64_t mispredictions = 0;
+  std::uint64_t forwarded_loads = 0;  // Loads satisfied without memory.
+  std::uint64_t squashed_instructions = 0;
+  std::uint64_t load_count = 0;
+  std::uint64_t store_count = 0;
+  std::uint64_t fetch_stall_cycles = 0;   // Cycles with free slots, no fetch.
+  std::uint64_t window_full_cycles = 0;
+};
+
+struct RunResult {
+  bool halted = false;           // False = hit max_cycles.
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;   // Dynamic instructions committed (w/ halt).
+  std::vector<isa::Word> regs;   // Final architectural register file.
+  std::vector<InstrTiming> timeline;  // In commit order.
+  RunStats stats;
+
+  [[nodiscard]] double Ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed) /
+                             static_cast<double>(cycles);
+  }
+};
+
+}  // namespace ultra::core

@@ -1,0 +1,13 @@
+// Umbrella header for the processor-core library.
+#pragma once
+
+#include "core/config.hpp"          // IWYU pragma: export
+#include "core/exec.hpp"            // IWYU pragma: export
+#include "core/fetch.hpp"           // IWYU pragma: export
+#include "core/functional_sim.hpp"  // IWYU pragma: export
+#include "core/hybrid_core.hpp"     // IWYU pragma: export
+#include "core/ideal_core.hpp"      // IWYU pragma: export
+#include "core/processor.hpp"       // IWYU pragma: export
+#include "core/station.hpp"         // IWYU pragma: export
+#include "core/usi_core.hpp"        // IWYU pragma: export
+#include "core/usii_core.hpp"       // IWYU pragma: export

@@ -1,0 +1,126 @@
+#include "core/fetch.hpp"
+
+#include <cassert>
+
+namespace ultra::core {
+
+FetchEngine::FetchEngine(const isa::Program* program,
+                         const CoreConfig& config,
+                         std::unique_ptr<memory::BranchPredictor> predictor)
+    : program_(program),
+      config_(config),
+      predictor_(std::move(predictor)) {
+  assert(program_ != nullptr);
+  assert(predictor_ != nullptr);
+  if (config_.fetch_mode == FetchMode::kTraceCache) {
+    trace_cache_ = std::make_unique<memory::TraceCache>(
+        config_.trace_cache_capacity, config_.trace_branches,
+        config_.EffectiveFetchWidth());
+  }
+}
+
+void FetchEngine::Redirect(std::size_t pc) {
+  pending_.clear();
+  next_pc_ = pc;
+  stalled_ = pc >= program_->size();
+  ++stats_.redirects;
+}
+
+bool FetchEngine::GenerateOne() {
+  if (stalled_ || next_pc_ >= program_->size()) {
+    stalled_ = true;
+    return false;
+  }
+  FetchedInstr f;
+  f.pc = next_pc_;
+  f.inst = program_->at(next_pc_);
+  f.is_control = isa::IsControlFlow(f.inst.op);
+  if (f.is_control) {
+    f.predicted_taken = predictor_->PredictTaken(f.pc, f.inst);
+    f.predicted_next_pc = f.predicted_taken
+                              ? static_cast<std::size_t>(f.inst.imm)
+                              : f.pc + 1;
+  } else {
+    f.predicted_next_pc = f.pc + 1;
+  }
+  pending_.push_back(f);
+  if (f.inst.op == isa::Opcode::kHalt) {
+    stalled_ = true;  // Nothing meaningful follows a fetched halt.
+  } else {
+    next_pc_ = f.predicted_next_pc;
+    stalled_ = next_pc_ >= program_->size();
+  }
+  return true;
+}
+
+void FetchEngine::FillPending(std::size_t count) {
+  while (pending_.size() < count) {
+    if (!GenerateOne()) break;
+  }
+}
+
+std::vector<FetchedInstr> FetchEngine::FetchCycle(int max_count) {
+  std::vector<FetchedInstr> out;
+  if (max_count <= 0) return out;
+  const auto width = static_cast<std::size_t>(max_count);
+  FillPending(width);
+  if (pending_.empty()) return out;
+
+  // How many predicted-taken control transfers may this cycle cross?
+  int taken_budget = 0;
+  switch (config_.fetch_mode) {
+    case FetchMode::kIdeal:
+      taken_budget = max_count;  // Effectively unlimited.
+      break;
+    case FetchMode::kBasicBlock:
+      taken_budget = 0;  // Deliver up to and including the first taken.
+      break;
+    case FetchMode::kTraceCache: {
+      // Key: start pc + predicted outcomes of the leading conditional
+      // branches in the pending prefix.
+      std::uint32_t bits = 0;
+      int nbranches = 0;
+      std::vector<std::size_t> pcs;
+      for (const auto& f : pending_) {
+        if (pcs.size() >= width) break;
+        if (isa::IsConditionalBranch(f.inst.op)) {
+          if (nbranches >= trace_cache_->max_branches()) break;
+          if (f.predicted_taken) bits |= 1u << nbranches;
+          ++nbranches;
+        }
+        pcs.push_back(f.pc);
+        if (f.is_control && f.predicted_taken &&
+            !isa::IsConditionalBranch(f.inst.op) &&
+            nbranches >= trace_cache_->max_branches()) {
+          break;
+        }
+      }
+      if (trace_cache_->Lookup(pending_.front().pc, bits) != nullptr) {
+        taken_budget = trace_cache_->max_branches();
+      } else {
+        trace_cache_->Install(pending_.front().pc, bits, std::move(pcs));
+        taken_budget = 0;  // Miss: fall back to basic-block fetch.
+      }
+      break;
+    }
+  }
+
+  while (out.size() < width && !pending_.empty()) {
+    const FetchedInstr& f = pending_.front();
+    out.push_back(f);
+    pending_.pop_front();
+    ++stats_.fetched;
+    if (out.back().is_control && out.back().predicted_taken) {
+      if (taken_budget == 0) break;
+      --taken_budget;
+    }
+    if (out.back().inst.op == isa::Opcode::kHalt) break;
+  }
+  return out;
+}
+
+void FetchEngine::NotifyOutcome(std::size_t pc, bool taken) {
+  predictor_->Update(pc, taken);
+}
+
+}  // namespace ultra::core

@@ -1,0 +1,76 @@
+// Speculative instruction fetch along the predicted path.
+//
+// Shared by every processor model. Supplies up to fetch-width instructions
+// per cycle; how many predicted-taken control transfers a single cycle can
+// cross depends on the FetchMode (ideal / basic-block / trace cache, the
+// latter following the paper's pointer to trace caches [20, 15]).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "memory/branch_predictor.hpp"
+#include "memory/trace_cache.hpp"
+
+namespace ultra::core {
+
+struct FetchedInstr {
+  std::size_t pc = 0;
+  isa::Instruction inst;
+  bool is_control = false;
+  bool predicted_taken = false;
+  std::size_t predicted_next_pc = 0;
+};
+
+struct FetchStats {
+  std::uint64_t fetched = 0;
+  std::uint64_t redirects = 0;
+};
+
+class FetchEngine {
+ public:
+  FetchEngine(const isa::Program* program, const CoreConfig& config,
+              std::unique_ptr<memory::BranchPredictor> predictor);
+
+  /// Restarts fetch at @p pc, discarding any buffered wrong-path work.
+  void Redirect(std::size_t pc);
+
+  /// Delivers the instructions fetched this cycle (at most @p max_count).
+  std::vector<FetchedInstr> FetchCycle(int max_count);
+
+  /// Reports a resolved control-flow outcome in commit order (predictor
+  /// training).
+  void NotifyOutcome(std::size_t pc, bool taken);
+
+  /// True when fetch has run past a halt or off the end of the program and
+  /// is waiting for a redirect.
+  [[nodiscard]] bool stalled() const { return stalled_ && pending_.empty(); }
+
+  [[nodiscard]] const FetchStats& stats() const { return stats_; }
+  [[nodiscard]] const memory::TraceCacheStats* trace_cache_stats() const {
+    return trace_cache_ ? &trace_cache_->stats() : nullptr;
+  }
+
+ private:
+  const isa::Program* program_;
+  CoreConfig config_;
+  std::unique_ptr<memory::BranchPredictor> predictor_;
+  std::unique_ptr<memory::TraceCache> trace_cache_;
+
+  std::size_t next_pc_ = 0;
+  bool stalled_ = false;
+  std::deque<FetchedInstr> pending_;  // Fetched but not yet delivered.
+  FetchStats stats_;
+
+  /// Extends pending_ by one instruction along the predicted path.
+  bool GenerateOne();
+  /// Ensures pending_ holds at least @p count instructions (or fetch is
+  /// stalled).
+  void FillPending(std::size_t count);
+};
+
+}  // namespace ultra::core

@@ -1,0 +1,61 @@
+#include "core/functional_sim.hpp"
+
+namespace ultra::core {
+
+FunctionalResult FunctionalSimulator::Run(const isa::Program& program,
+                                          std::uint64_t max_steps) const {
+  FunctionalResult out;
+  out.regs.assign(static_cast<std::size_t>(num_regs_), 0);
+  out.memory.Load(program.initial_memory());
+  out.outcomes_by_pc.assign(program.size(), {});
+
+  std::size_t pc = 0;
+  while (out.instructions < max_steps) {
+    if (pc >= program.size()) break;  // Fell off the end: treat as halt.
+    const isa::Instruction& inst = program.at(pc);
+    out.trace.push_back(pc);
+    ++out.instructions;
+
+    const isa::Word a = isa::ReadsRs1(inst.op) ? out.regs[inst.rs1] : 0;
+    const isa::Word b = isa::ReadsRs2(inst.op) ? out.regs[inst.rs2] : 0;
+
+    std::size_t next_pc = pc + 1;
+    switch (isa::ClassOf(inst.op)) {
+      case isa::OpClass::kNop:
+        break;
+      case isa::OpClass::kHalt:
+        out.halted = true;
+        return out;
+      case isa::OpClass::kIntSimple:
+      case isa::OpClass::kIntMul:
+      case isa::OpClass::kIntDiv:
+        out.regs[inst.rd] = isa::AluResult(inst, a, b);
+        break;
+      case isa::OpClass::kLoad:
+        out.regs[inst.rd] =
+            out.memory.ReadWord(isa::EffectiveAddress(inst, a));
+        break;
+      case isa::OpClass::kStore:
+        out.memory.WriteWord(isa::EffectiveAddress(inst, a), b);
+        break;
+      case isa::OpClass::kBranch: {
+        const bool taken = isa::BranchTaken(inst, a, b);
+        out.outcomes_by_pc[pc].push_back(taken ? 1 : 0);
+        if (taken) next_pc = static_cast<std::size_t>(inst.imm);
+        break;
+      }
+      case isa::OpClass::kJump: {
+        out.outcomes_by_pc[pc].push_back(1);
+        if (inst.op == isa::Opcode::kJal) {
+          out.regs[inst.rd] = static_cast<isa::Word>(pc + 1);
+        }
+        next_pc = static_cast<std::size_t>(inst.imm);
+        break;
+      }
+    }
+    pc = next_pc;
+  }
+  return out;
+}
+
+}  // namespace ultra::core

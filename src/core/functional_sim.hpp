@@ -1,0 +1,42 @@
+// In-order functional reference simulator.
+//
+// Executes a program architecturally, one instruction at a time. It defines
+// the correct final state every cycle-level processor must reproduce, and
+// produces the dynamic trace used by the oracle branch predictor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "memory/backing_store.hpp"
+
+namespace ultra::core {
+
+struct FunctionalResult {
+  bool halted = false;                // False = step limit reached.
+  std::uint64_t instructions = 0;     // Executed, including halt.
+  std::vector<isa::Word> regs;
+  memory::BackingStore memory;
+  std::vector<std::size_t> trace;     // Dynamic PC sequence.
+  /// outcomes_by_pc[pc] = taken/not-taken per dynamic execution of the
+  /// control transfer at pc (for memory::OraclePredictor).
+  std::vector<std::vector<std::uint8_t>> outcomes_by_pc;
+};
+
+class FunctionalSimulator {
+ public:
+  explicit FunctionalSimulator(int num_regs = isa::kDefaultLogicalRegisters)
+      : num_regs_(num_regs) {}
+
+  /// Runs @p program from pc 0 until halt, falling off the end of the code,
+  /// or @p max_steps instructions.
+  [[nodiscard]] FunctionalResult Run(
+      const isa::Program& program,
+      std::uint64_t max_steps = 10'000'000) const;
+
+ private:
+  int num_regs_;
+};
+
+}  // namespace ultra::core

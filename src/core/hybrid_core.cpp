@@ -1,0 +1,243 @@
+#include "core/hybrid_core.hpp"
+
+#include <cassert>
+
+#include "core/exec.hpp"
+#include "core/fetch.hpp"
+#include "datapath/datapath.hpp"
+#include "datapath/scheduler.hpp"
+
+namespace ultra::core {
+
+RunResult HybridCore::Run(const isa::Program& program) {
+  const int C = config_.cluster_size;
+  const int K = std::max(1, config_.window_size / C);
+  const int n = K * C;  // Effective window (round down to whole clusters).
+  const int L = config_.num_regs;
+  datapath::HybridDatapath dp(n, L, C);
+  memory::MemorySystem mem(config_.mem, n);
+  mem.Reset(program.initial_memory());
+  FetchEngine fetch(&program, config_, MakePredictor(config_, program));
+
+  // Stations are stored cluster-major in absolute ring positions; program
+  // position p (counted from the head cluster's slot 0) maps to station
+  // StationIndex(p).
+  std::vector<Station> stations(static_cast<std::size_t>(n));
+  std::vector<datapath::RegBinding> committed(static_cast<std::size_t>(L));
+  for (auto& b : committed) b.ready = true;
+
+  int head_cluster = 0;
+  int tail = 0;        // Program positions [0, tail) hold instructions.
+  int commit_ptr = 0;  // Positions [0, commit_ptr) are committed.
+  std::uint64_t next_seq = 0;
+  InflightMap inflight;
+  RunResult result;
+  bool done = false;
+
+  const auto station_index = [&](int pos) {
+    const int cluster = (head_cluster + pos / C) % K;
+    return cluster * C + pos % C;
+  };
+
+  std::vector<datapath::StationRequest> requests(
+      static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> no_load(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
+
+  for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
+       ++cycle) {
+    result.cycles = cycle + 1;
+
+    // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
+    for (int i = 0; i < n; ++i) {
+      datapath::StationRequest& req = requests[static_cast<std::size_t>(i)];
+      req = datapath::StationRequest{};
+      const Station& st = stations[static_cast<std::size_t>(i)];
+      if (st.valid) {
+        const isa::Instruction& inst = st.inst();
+        req.reads1 = isa::ReadsRs1(inst.op);
+        req.arg1 = inst.rs1;
+        req.reads2 = isa::ReadsRs2(inst.op);
+        req.arg2 = inst.rs2;
+        req.writes = isa::WritesRd(inst.op);
+        req.dest = inst.rd;
+        req.result = st.result;
+      }
+    }
+    const auto prop = dp.Propagate(committed, requests, head_cluster);
+
+    // Sequencing flags in program order over the allocated positions.
+    for (int p = 0; p < tail; ++p) {
+      const Station& st =
+          stations[static_cast<std::size_t>(station_index(p))];
+      const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
+      const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
+      no_store[static_cast<std::size_t>(p)] = !is_store || st.finished;
+      no_load[static_cast<std::size_t>(p)] = !is_load || st.finished;
+      branch_ok[static_cast<std::size_t>(p)] =
+          !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
+    }
+    const std::span<const std::uint8_t> live_store(no_store.data(),
+                                                   static_cast<std::size_t>(tail));
+    const std::span<const std::uint8_t> live_load(no_load.data(),
+                                                  static_cast<std::size_t>(tail));
+    const std::span<const std::uint8_t> live_branch(
+        branch_ok.data(), static_cast<std::size_t>(tail));
+    const auto prev_stores_done = datapath::AllPrecedingSatisfyAcyclic(live_store);
+    const auto prev_loads_done = datapath::AllPrecedingSatisfyAcyclic(live_load);
+    const auto prev_confirmed = datapath::AllPrecedingSatisfyAcyclic(live_branch);
+
+    // --- Phase 2: memory responses. ---
+    mem.Tick();
+    for (const auto& resp : mem.DrainCompleted()) {
+      const auto it = inflight.find(resp.id);
+      if (it == inflight.end()) continue;
+      const MemTag tag = it->second;
+      inflight.erase(it);
+      Station& st = stations[static_cast<std::size_t>(tag.tag)];
+      if (st.valid && st.generation == tag.generation) {
+        ApplyMemResponse(st, resp, cycle);
+      }
+    }
+
+    // --- Phase 3: execute in program order. ---
+    const int live = tail;
+    std::vector<MemWindowEntry> mem_window;
+    if (config_.store_forwarding) {
+      mem_window.resize(static_cast<std::size_t>(live));
+      for (int p = 0; p < live; ++p) {
+        const int i = station_index(p);
+        mem_window[static_cast<std::size_t>(p)] = MakeMemWindowEntry(
+            stations[static_cast<std::size_t>(i)],
+            prop.args[static_cast<std::size_t>(i)]);
+      }
+    }
+    std::vector<std::uint8_t> alu_grant;  // Indexed by program position.
+    if (config_.num_alus > 0) {
+      std::vector<std::uint8_t> requests(static_cast<std::size_t>(live), 0);
+      int occupied = 0;
+      for (int p = 0; p < live; ++p) {
+        const Station& st =
+            stations[static_cast<std::size_t>(station_index(p))];
+        requests[static_cast<std::size_t>(p)] = WantsAlu(
+            st, prop.args[static_cast<std::size_t>(station_index(p))]);
+        if (st.valid && st.issued && !st.finished && NeedsAlu(st.inst().op)) {
+          ++occupied;
+        }
+      }
+      alu_grant = datapath::AluScheduler::GrantAcyclic(
+          requests, std::max(0, config_.num_alus - occupied));
+    }
+    for (int p = commit_ptr; p < live; ++p) {
+      const int i = station_index(p);
+      Station& st = stations[static_cast<std::size_t>(i)];
+      if (!st.valid || st.finished) continue;
+      StepContext ctx;
+      ctx.prev_stores_done =
+          prev_stores_done[static_cast<std::size_t>(p)] != 0;
+      ctx.prev_loads_done = prev_loads_done[static_cast<std::size_t>(p)] != 0;
+      ctx.committed_ok = prev_confirmed[static_cast<std::size_t>(p)] != 0;
+      ctx.alu_granted = config_.num_alus == 0 ||
+                        alu_grant[static_cast<std::size_t>(p)] != 0;
+      ctx.forwarding_enabled = config_.store_forwarding;
+      if (ctx.forwarding_enabled && st.inst().op == isa::Opcode::kLoad &&
+          mem_window[static_cast<std::size_t>(p)].addr_known) {
+        const auto decision =
+            ResolveLoadForwarding(mem_window, static_cast<std::size_t>(p));
+        ctx.load_can_proceed = decision.can_proceed;
+        ctx.load_forward = decision.forward;
+        ctx.forward_value = decision.value;
+      }
+      const bool mispredicted = StepStation(
+          st, prop.args[static_cast<std::size_t>(i)], ctx, config_.latencies,
+          mem, cycle, i, static_cast<std::uint64_t>(i), inflight,
+          result.stats);
+      if (mispredicted) {
+        ++result.stats.mispredictions;
+        for (int m = p + 1; m < tail; ++m) {
+          Station& victim =
+              stations[static_cast<std::size_t>(station_index(m))];
+          if (victim.valid) {
+            ++result.stats.squashed_instructions;
+            victim.Clear();
+            ++victim.generation;
+          }
+        }
+        tail = p + 1;
+        fetch.Redirect(st.actual_next_pc);
+      }
+    }
+
+    // --- Phase 4: commit in program order; free whole clusters. ---
+    while (commit_ptr < tail) {
+      Station& st =
+          stations[static_cast<std::size_t>(station_index(commit_ptr))];
+      assert(st.valid);
+      if (!st.finished) break;
+      st.timing.commit_cycle = cycle;
+      const isa::Instruction& inst = st.inst();
+      if (isa::WritesRd(inst.op)) {
+        assert(st.result.ready);
+        committed[inst.rd] = st.result;
+      }
+      if (isa::IsControlFlow(inst.op)) {
+        fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
+      }
+      result.timeline.push_back(st.timing);
+      ++result.committed;
+      const bool was_halt = inst.op == isa::Opcode::kHalt;
+      ++commit_ptr;
+      if (was_halt) {
+        done = true;
+        result.halted = true;
+        break;
+      }
+    }
+    // A fully committed head cluster is deallocated as a unit and becomes
+    // available for refilling (the "super execution station" reuse rule).
+    while (commit_ptr >= C) {
+      for (int s = 0; s < C; ++s) {
+        Station& st =
+            stations[static_cast<std::size_t>(head_cluster * C + s)];
+        st.Clear();
+        ++st.generation;
+      }
+      head_cluster = (head_cluster + 1) % K;
+      commit_ptr -= C;
+      tail -= C;
+    }
+
+    // --- Phase 5: fetch. ---
+    if (!done) {
+      const int free = n - tail;
+      if (free == 0) ++result.stats.window_full_cycles;
+      const int width = std::min(config_.EffectiveFetchWidth(), free);
+      const auto batch = fetch.FetchCycle(width);
+      if (batch.empty() && free > 0 && tail > commit_ptr) {
+        ++result.stats.fetch_stall_cycles;
+      }
+      for (const auto& f : batch) {
+        FillStation(
+            stations[static_cast<std::size_t>(station_index(tail))], f,
+            next_seq++, cycle);
+        stations[static_cast<std::size_t>(station_index(tail))]
+            .timing.station = station_index(tail);
+        ++tail;
+      }
+      if (fetch.stalled() && commit_ptr == tail) {
+        done = true;
+        result.halted = true;
+      }
+    }
+  }
+
+  result.regs.resize(static_cast<std::size_t>(L));
+  for (int r = 0; r < L; ++r) {
+    result.regs[static_cast<std::size_t>(r)] =
+        committed[static_cast<std::size_t>(r)].value;
+  }
+  return result;
+}
+
+}  // namespace ultra::core

@@ -1,0 +1,265 @@
+#include "core/ideal_core.hpp"
+
+#include <cassert>
+#include <deque>
+#include <optional>
+
+#include "core/exec.hpp"
+#include "core/fetch.hpp"
+#include "datapath/scheduler.hpp"
+#include "datapath/sequencing.hpp"
+
+namespace ultra::core {
+
+namespace {
+
+/// A window entry: a Station plus renamed dependencies. A source is either
+/// an immediately available value (captured from the committed register
+/// file at rename time) or a pointer (sequence number) to the in-flight
+/// producer.
+struct Entry {
+  Station st;
+  bool dep1_inflight = false;
+  std::uint64_t dep1_seq = 0;
+  isa::Word val1 = 0;
+  bool dep2_inflight = false;
+  std::uint64_t dep2_seq = 0;
+  isa::Word val2 = 0;
+};
+
+}  // namespace
+
+RunResult IdealCore::Run(const isa::Program& program) {
+  const int n = config_.window_size;
+  const int L = config_.num_regs;
+  memory::MemorySystem mem(config_.mem, n);
+  mem.Reset(program.initial_memory());
+  FetchEngine fetch(&program, config_, MakePredictor(config_, program));
+
+  std::deque<Entry> window;
+  std::vector<isa::Word> regs(static_cast<std::size_t>(L), 0);
+  // rename[r]: sequence number of the youngest in-flight writer of r.
+  std::vector<std::optional<std::uint64_t>> rename(
+      static_cast<std::size_t>(L));
+  std::uint64_t next_seq = 0;
+  InflightMap inflight;
+  RunResult result;
+  bool done = false;
+
+  const auto find_entry = [&](std::uint64_t seq) -> Entry* {
+    for (auto& e : window) {
+      if (e.st.seq == seq) return &e;
+    }
+    return nullptr;
+  };
+
+  const auto rebuild_rename = [&] {
+    for (auto& r : rename) r.reset();
+    for (const auto& e : window) {
+      if (isa::WritesRd(e.st.inst().op)) {
+        rename[e.st.inst().rd] = e.st.seq;
+      }
+    }
+  };
+
+  for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
+       ++cycle) {
+    result.cycles = cycle + 1;
+
+    // --- Phase 1: snapshot end-of-last-cycle readiness (results become
+    // visible to consumers one cycle after they are produced, matching the
+    // Ultrascalar datapath propagation). ---
+    std::vector<std::uint64_t> finished_seqs;
+    std::vector<std::uint8_t> no_store(window.size());
+    std::vector<std::uint8_t> no_load(window.size());
+    std::vector<std::uint8_t> branch_ok(window.size());
+    for (std::size_t k = 0; k < window.size(); ++k) {
+      const Station& st = window[k].st;
+      if (st.finished) finished_seqs.push_back(st.seq);
+      const bool is_store = st.inst().op == isa::Opcode::kStore;
+      const bool is_load = st.inst().op == isa::Opcode::kLoad;
+      no_store[k] = !is_store || st.finished;
+      no_load[k] = !is_load || st.finished;
+      branch_ok[k] = !isa::IsControlFlow(st.inst().op) || st.resolved;
+    }
+    const auto prev_stores_done = datapath::AllPrecedingSatisfyAcyclic(no_store);
+    const auto prev_loads_done = datapath::AllPrecedingSatisfyAcyclic(no_load);
+    const auto prev_confirmed = datapath::AllPrecedingSatisfyAcyclic(branch_ok);
+    const auto was_finished = [&](std::uint64_t seq) {
+      for (const std::uint64_t s : finished_seqs) {
+        if (s == seq) return true;
+      }
+      return false;
+    };
+
+    // --- Phase 2: memory responses. ---
+    mem.Tick();
+    for (const auto& resp : mem.DrainCompleted()) {
+      const auto it = inflight.find(resp.id);
+      if (it == inflight.end()) continue;
+      const MemTag tag = it->second;
+      inflight.erase(it);
+      if (Entry* e = find_entry(tag.tag); e != nullptr) {
+        ApplyMemResponse(e->st, resp, cycle);
+      }
+    }
+
+    // --- Phase 3a: wake-up (argument resolution) in program order. ---
+    const std::size_t live = window.size();
+    std::vector<datapath::ResolvedArgs> args_at(live);
+    std::vector<MemWindowEntry> mem_window(
+        config_.store_forwarding ? live : 0);
+    for (std::size_t k = 0; k < live; ++k) {
+      Entry& e = window[k];
+      datapath::ResolvedArgs args;
+      const isa::Instruction& inst = e.st.inst();
+      if (isa::ReadsRs1(inst.op)) {
+        if (!e.dep1_inflight) {
+          args.arg1 = {e.val1, true};
+        } else if (was_finished(e.dep1_seq)) {
+          const Entry* prod = find_entry(e.dep1_seq);
+          assert(prod != nullptr && prod->st.result.ready);
+          args.arg1 = prod->st.result;
+        }
+      }
+      if (isa::ReadsRs2(inst.op)) {
+        if (!e.dep2_inflight) {
+          args.arg2 = {e.val2, true};
+        } else if (was_finished(e.dep2_seq)) {
+          const Entry* prod = find_entry(e.dep2_seq);
+          assert(prod != nullptr && prod->st.result.ready);
+          args.arg2 = prod->st.result;
+        }
+      }
+      args_at[k] = args;
+      if (config_.store_forwarding) {
+        mem_window[k] = MakeMemWindowEntry(e.st, args);
+      }
+    }
+    std::vector<std::uint8_t> alu_grant;
+    if (config_.num_alus > 0) {
+      std::vector<std::uint8_t> requests(live, 0);
+      int occupied = 0;
+      for (std::size_t k = 0; k < live; ++k) {
+        const Station& st = window[k].st;
+        requests[k] = WantsAlu(st, args_at[k]);
+        if (st.issued && !st.finished && NeedsAlu(st.inst().op)) {
+          ++occupied;
+        }
+      }
+      alu_grant = datapath::AluScheduler::GrantAcyclic(
+          requests, std::max(0, config_.num_alus - occupied));
+    }
+
+    // --- Phase 3b: execute. ---
+    for (std::size_t k = 0; k < live && k < window.size(); ++k) {
+      Entry& e = window[k];
+      StepContext ctx;
+      ctx.prev_stores_done = prev_stores_done[k] != 0;
+      ctx.prev_loads_done = prev_loads_done[k] != 0;
+      ctx.committed_ok = prev_confirmed[k] != 0;
+      ctx.alu_granted = config_.num_alus == 0 || alu_grant[k] != 0;
+      ctx.forwarding_enabled = config_.store_forwarding;
+      if (ctx.forwarding_enabled && e.st.inst().op == isa::Opcode::kLoad &&
+          mem_window[k].addr_known) {
+        const auto decision = ResolveLoadForwarding(mem_window, k);
+        ctx.load_can_proceed = decision.can_proceed;
+        ctx.load_forward = decision.forward;
+        ctx.forward_value = decision.value;
+      }
+      const bool mispredicted = StepStation(
+          e.st, args_at[k], ctx, config_.latencies, mem, cycle,
+          static_cast<int>(k), e.st.seq, inflight, result.stats);
+      if (mispredicted) {
+        ++result.stats.mispredictions;
+        while (window.size() > k + 1) {
+          ++result.stats.squashed_instructions;
+          window.pop_back();
+        }
+        rebuild_rename();
+        fetch.Redirect(e.st.actual_next_pc);
+      }
+    }
+
+    // --- Phase 4: in-order commit. ---
+    while (!window.empty() && window.front().st.finished) {
+      Entry& e = window.front();
+      Station& st = e.st;
+      st.timing.commit_cycle = cycle;
+      const isa::Instruction& inst = st.inst();
+      if (isa::WritesRd(inst.op)) {
+        assert(st.result.ready);
+        regs[inst.rd] = st.result.value;
+        if (rename[inst.rd] == st.seq) rename[inst.rd].reset();
+        // The producer leaves the window: convert consumers' renamed
+        // dependencies into immediate values so they can still wake up.
+        for (std::size_t k = 1; k < window.size(); ++k) {
+          Entry& c = window[k];
+          if (c.dep1_inflight && c.dep1_seq == st.seq) {
+            c.dep1_inflight = false;
+            c.val1 = st.result.value;
+          }
+          if (c.dep2_inflight && c.dep2_seq == st.seq) {
+            c.dep2_inflight = false;
+            c.val2 = st.result.value;
+          }
+        }
+      }
+      if (isa::IsControlFlow(inst.op)) {
+        fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
+      }
+      result.timeline.push_back(st.timing);
+      ++result.committed;
+      const bool was_halt = inst.op == isa::Opcode::kHalt;
+      window.pop_front();
+      if (was_halt) {
+        done = true;
+        result.halted = true;
+        break;
+      }
+    }
+
+    // --- Phase 5: fetch and rename. ---
+    if (!done) {
+      const int free = n - static_cast<int>(window.size());
+      if (free == 0) ++result.stats.window_full_cycles;
+      const int width = std::min(config_.EffectiveFetchWidth(), free);
+      const auto batch = fetch.FetchCycle(width);
+      if (batch.empty() && free > 0 && !window.empty()) {
+        ++result.stats.fetch_stall_cycles;
+      }
+      for (const auto& f : batch) {
+        Entry e;
+        FillStation(e.st, f, next_seq++, cycle);
+        const isa::Instruction& inst = f.inst;
+        if (isa::ReadsRs1(inst.op)) {
+          if (rename[inst.rs1].has_value()) {
+            e.dep1_inflight = true;
+            e.dep1_seq = *rename[inst.rs1];
+          } else {
+            e.val1 = regs[inst.rs1];
+          }
+        }
+        if (isa::ReadsRs2(inst.op)) {
+          if (rename[inst.rs2].has_value()) {
+            e.dep2_inflight = true;
+            e.dep2_seq = *rename[inst.rs2];
+          } else {
+            e.val2 = regs[inst.rs2];
+          }
+        }
+        if (isa::WritesRd(inst.op)) rename[inst.rd] = e.st.seq;
+        window.push_back(std::move(e));
+      }
+      if (fetch.stalled() && window.empty()) {
+        done = true;
+        result.halted = true;
+      }
+    }
+  }
+
+  result.regs = regs;
+  return result;
+}
+
+}  // namespace ultra::core

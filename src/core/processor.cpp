@@ -1,0 +1,61 @@
+#include "core/processor.hpp"
+
+#include <stdexcept>
+
+#include "core/functional_sim.hpp"
+#include "core/hybrid_core.hpp"
+#include "core/ideal_core.hpp"
+#include "core/usi_core.hpp"
+#include "core/usii_core.hpp"
+
+namespace ultra::core {
+
+std::string_view ProcessorKindName(ProcessorKind kind) {
+  switch (kind) {
+    case ProcessorKind::kIdeal:
+      return "Ideal";
+    case ProcessorKind::kUltrascalarI:
+      return "UltrascalarI";
+    case ProcessorKind::kUltrascalarII:
+      return "UltrascalarII";
+    case ProcessorKind::kHybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+std::unique_ptr<Processor> MakeProcessor(ProcessorKind kind,
+                                         const CoreConfig& config) {
+  switch (kind) {
+    case ProcessorKind::kIdeal:
+      return std::make_unique<IdealCore>(config);
+    case ProcessorKind::kUltrascalarI:
+      return std::make_unique<UltrascalarICore>(config);
+    case ProcessorKind::kUltrascalarII:
+      return std::make_unique<UltrascalarIICore>(config);
+    case ProcessorKind::kHybrid:
+      return std::make_unique<HybridCore>(config);
+  }
+  throw std::invalid_argument("unknown processor kind");
+}
+
+std::unique_ptr<memory::BranchPredictor> MakePredictor(
+    const CoreConfig& config, const isa::Program& program) {
+  switch (config.predictor) {
+    case PredictorKind::kNotTaken:
+      return std::make_unique<memory::NotTakenPredictor>();
+    case PredictorKind::kBtfn:
+      return std::make_unique<memory::BtfnPredictor>();
+    case PredictorKind::kTwoBit:
+      return std::make_unique<memory::TwoBitPredictor>();
+    case PredictorKind::kOracle: {
+      FunctionalSimulator sim(config.num_regs);
+      auto fn = sim.Run(program);
+      return std::make_unique<memory::OraclePredictor>(
+          std::move(fn.outcomes_by_pc));
+    }
+  }
+  throw std::invalid_argument("unknown predictor kind");
+}
+
+}  // namespace ultra::core

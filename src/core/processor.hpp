@@ -1,0 +1,49 @@
+// Abstract processor interface and factory.
+//
+// All four processors (Ultrascalar I, Ultrascalar II, hybrid, and the
+// idealized conventional out-of-order baseline) implement identical
+// instruction sets with identical scheduling policies (Section 1); they
+// differ only in microarchitecture. Run() executes a program to completion
+// and reports architectural state, cycle counts, and a per-instruction
+// timeline.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "isa/program.hpp"
+#include "memory/branch_predictor.hpp"
+
+namespace ultra::core {
+
+class Processor {
+ public:
+  virtual ~Processor() = default;
+
+  /// Runs @p program from pc 0 until the halt commits (or max_cycles).
+  [[nodiscard]] virtual RunResult Run(const isa::Program& program) = 0;
+
+  [[nodiscard]] virtual std::string_view Name() const = 0;
+  [[nodiscard]] virtual const CoreConfig& config() const = 0;
+};
+
+enum class ProcessorKind : std::uint8_t {
+  kIdeal,
+  kUltrascalarI,
+  kUltrascalarII,
+  kHybrid,
+};
+
+std::string_view ProcessorKindName(ProcessorKind kind);
+
+/// Builds a processor of @p kind with @p config.
+std::unique_ptr<Processor> MakeProcessor(ProcessorKind kind,
+                                         const CoreConfig& config);
+
+/// Builds the predictor selected by @p config. The oracle predictor is
+/// derived from a functional pre-run of @p program.
+std::unique_ptr<memory::BranchPredictor> MakePredictor(
+    const CoreConfig& config, const isa::Program& program);
+
+}  // namespace ultra::core

@@ -1,0 +1,281 @@
+#include "core/usi_core.hpp"
+
+#include <cassert>
+
+#include "core/exec.hpp"
+#include "core/fetch.hpp"
+#include "datapath/datapath.hpp"
+#include "datapath/scheduler.hpp"
+
+namespace ultra::core {
+
+namespace {
+
+/// H-tree levels from station @p a to the root of the smallest 4-ary
+/// subtree also containing @p b.
+int HTreeLevels(int a, int b) {
+  int h = 0;
+  while (a != b) {
+    a /= 4;
+    b /= 4;
+    ++h;
+  }
+  return h;
+}
+
+/// Cycles for a value to travel from station @p from to station @p to in a
+/// datapath latched every @p levels_per_stage levels (0 = single-cycle).
+int PipeCycles(int from, int to, int levels_per_stage) {
+  if (levels_per_stage <= 0) return 1;
+  const int crossing = 2 * HTreeLevels(from, to);  // Up, then down.
+  return std::max(1, (crossing + levels_per_stage - 1) / levels_per_stage);
+}
+
+}  // namespace
+
+RunResult UltrascalarICore::Run(const isa::Program& program) {
+  const int n = config_.window_size;
+  const int L = config_.num_regs;
+  datapath::UltrascalarIDatapath dp(n, L);
+  datapath::SequencingCspp seq(n);
+  datapath::AluScheduler alu_scheduler(n);
+  memory::MemorySystem mem(config_.mem, n);
+  mem.Reset(program.initial_memory());
+  FetchEngine fetch(&program, config_, MakePredictor(config_, program));
+
+  std::vector<Station> stations(static_cast<std::size_t>(n));
+  std::vector<datapath::RegBinding> committed(static_cast<std::size_t>(L));
+  for (auto& b : committed) b.ready = true;
+  // Cycle at which each committed register last changed (pipelined-datapath
+  // visibility; see the read lambda below).
+  std::vector<std::uint64_t> committed_at(static_cast<std::size_t>(L), 0);
+
+  int head = 0;   // Ring index of the oldest station.
+  int count = 0;  // Allocated stations: [head, head + count) mod n.
+  std::uint64_t next_seq = 0;
+  InflightMap inflight;
+  RunResult result;
+  bool done = false;
+
+  std::vector<datapath::RegBinding> outgoing(
+      static_cast<std::size_t>(n) * L);
+  std::vector<std::uint8_t> modified(static_cast<std::size_t>(n) * L);
+  std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> no_load(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
+
+  for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
+       ++cycle) {
+    result.cycles = cycle + 1;
+
+    // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
+    std::fill(modified.begin(), modified.end(), 0);
+    for (auto& b : outgoing) b = datapath::RegBinding{};
+    for (int r = 0; r < L; ++r) {
+      outgoing[static_cast<std::size_t>(head) * L + r] =
+          committed[static_cast<std::size_t>(r)];
+    }
+    for (int i = 0; i < n; ++i) {
+      const Station& st = stations[static_cast<std::size_t>(i)];
+      const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
+      const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
+      no_store[static_cast<std::size_t>(i)] = !is_store || st.finished;
+      no_load[static_cast<std::size_t>(i)] = !is_load || st.finished;
+      branch_ok[static_cast<std::size_t>(i)] =
+          !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
+      if (st.valid && isa::WritesRd(st.inst().op)) {
+        const std::size_t idx =
+            static_cast<std::size_t>(i) * L + st.inst().rd;
+        outgoing[idx] = st.result;
+        modified[idx] = 1;
+      }
+    }
+    const auto incoming = dp.Propagate(outgoing, modified, head);
+    const auto prev_stores_done = seq.AllPrecedingSatisfy(no_store, head);
+    const auto prev_loads_done = seq.AllPrecedingSatisfy(no_load, head);
+    const auto prev_confirmed = seq.AllPrecedingSatisfy(branch_ok, head);
+
+    // --- Phase 2: memory responses arriving this cycle. ---
+    mem.Tick();
+    for (const auto& resp : mem.DrainCompleted()) {
+      const auto it = inflight.find(resp.id);
+      if (it == inflight.end()) continue;
+      const MemTag tag = it->second;
+      inflight.erase(it);
+      Station& st = stations[static_cast<std::size_t>(tag.tag)];
+      if (st.valid && st.generation == tag.generation) {
+        ApplyMemResponse(st, resp, cycle);
+      }
+    }
+
+    // --- Phase 3a: resolve arguments and schedule shared resources. ---
+    const int live = count;
+    std::vector<datapath::ResolvedArgs> args_at(static_cast<std::size_t>(n));
+    std::vector<core::MemWindowEntry> mem_window(
+        static_cast<std::size_t>(live));
+    for (int k = 0; k < live; ++k) {
+      const int i = (head + k) % n;
+      const Station& st = stations[static_cast<std::size_t>(i)];
+      if (!st.valid) continue;
+      const isa::Instruction& inst = st.inst();
+      datapath::ResolvedArgs args;
+      // The oldest station ignores the ring and reads the committed file.
+      const auto read = [&](isa::RegId r) -> datapath::RegBinding {
+        if (k == 0) return committed[r];
+        if (config_.pipeline_levels_per_stage <= 0) {
+          return incoming[static_cast<std::size_t>(i) * L + r];
+        }
+        // Pipelined datapath: walk to the nearest preceding writer and
+        // apply the distance-dependent latch latency.
+        for (int m = 1; m <= k; ++m) {
+          const int j = (head + k - m) % n;
+          const Station& w = stations[static_cast<std::size_t>(j)];
+          if (!w.valid || !isa::WritesRd(w.inst().op) || w.inst().rd != r) {
+            continue;
+          }
+          if (!w.finished) return {w.result.value, false};
+          const int lat =
+              PipeCycles(j, i, config_.pipeline_levels_per_stage);
+          if (cycle >= w.timing.complete_cycle +
+                           static_cast<std::uint64_t>(lat)) {
+            return w.result;
+          }
+          return {w.result.value, false};  // Still in flight on the tree.
+        }
+        // Committed-file read: the file lives in the oldest station, so the
+        // value still crosses the tree from there.
+        const int lat =
+            PipeCycles(head, i, config_.pipeline_levels_per_stage);
+        if (cycle >= committed_at[r] + static_cast<std::uint64_t>(lat)) {
+          return committed[r];
+        }
+        return {committed[r].value, false};
+      };
+      if (isa::ReadsRs1(inst.op)) args.arg1 = read(inst.rs1);
+      if (isa::ReadsRs2(inst.op)) args.arg2 = read(inst.rs2);
+      args_at[static_cast<std::size_t>(i)] = args;
+      if (config_.store_forwarding) {
+        mem_window[static_cast<std::size_t>(k)] =
+            MakeMemWindowEntry(st, args);
+      }
+    }
+    std::vector<std::uint8_t> alu_grant;
+    if (config_.num_alus > 0) {
+      std::vector<std::uint8_t> requests(static_cast<std::size_t>(n), 0);
+      int occupied = 0;
+      for (int i = 0; i < n; ++i) {
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        requests[static_cast<std::size_t>(i)] =
+            WantsAlu(st, args_at[static_cast<std::size_t>(i)]);
+        if (st.valid && st.issued && !st.finished && NeedsAlu(st.inst().op)) {
+          ++occupied;
+        }
+      }
+      alu_grant = alu_scheduler.Grant(
+          requests, std::max(0, config_.num_alus - occupied), head);
+    }
+
+    // --- Phase 3b: execute, in program order from the oldest station. ---
+    for (int k = 0; k < live; ++k) {
+      const int i = (head + k) % n;
+      Station& st = stations[static_cast<std::size_t>(i)];
+      if (!st.valid) continue;  // Squashed earlier this cycle.
+      const datapath::ResolvedArgs& args =
+          args_at[static_cast<std::size_t>(i)];
+      StepContext ctx;
+      ctx.prev_stores_done =
+          k == 0 || prev_stores_done[static_cast<std::size_t>(i)] != 0;
+      ctx.prev_loads_done =
+          k == 0 || prev_loads_done[static_cast<std::size_t>(i)] != 0;
+      ctx.committed_ok =
+          k == 0 || prev_confirmed[static_cast<std::size_t>(i)] != 0;
+      ctx.alu_granted = config_.num_alus == 0 ||
+                        alu_grant[static_cast<std::size_t>(i)] != 0;
+      ctx.forwarding_enabled = config_.store_forwarding;
+      if (ctx.forwarding_enabled && st.inst().op == isa::Opcode::kLoad &&
+          mem_window[static_cast<std::size_t>(k)].addr_known) {
+        const auto decision = ResolveLoadForwarding(
+            mem_window, static_cast<std::size_t>(k));
+        ctx.load_can_proceed = decision.can_proceed;
+        ctx.load_forward = decision.forward;
+        ctx.forward_value = decision.value;
+      }
+      const bool mispredicted =
+          StepStation(st, args, ctx, config_.latencies, mem, cycle, i,
+                      static_cast<std::uint64_t>(i), inflight, result.stats);
+      if (mispredicted) {
+        ++result.stats.mispredictions;
+        for (int m = k + 1; m < count; ++m) {
+          Station& victim = stations[static_cast<std::size_t>((head + m) % n)];
+          if (victim.valid) {
+            ++result.stats.squashed_instructions;
+            victim.Clear();
+            ++victim.generation;
+          }
+        }
+        count = k + 1;
+        fetch.Redirect(st.actual_next_pc);
+      }
+    }
+
+    // --- Phase 4: commit finished instructions in program order. ---
+    while (count > 0) {
+      Station& st = stations[static_cast<std::size_t>(head)];
+      assert(st.valid && "the oldest slot is never a squash victim");
+      if (!st.finished) break;
+      st.timing.commit_cycle = cycle;
+      const isa::Instruction& inst = st.inst();
+      if (isa::WritesRd(inst.op)) {
+        assert(st.result.ready);
+        committed[inst.rd] = st.result;
+        committed_at[inst.rd] = cycle;
+      }
+      if (isa::IsControlFlow(inst.op)) {
+        fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
+      }
+      result.timeline.push_back(st.timing);
+      ++result.committed;
+      const bool was_halt = inst.op == isa::Opcode::kHalt;
+      st.Clear();
+      head = (head + 1) % n;
+      --count;
+      if (was_halt) {
+        done = true;
+        result.halted = true;
+        break;
+      }
+    }
+
+    // --- Phase 5: fetch into freed slots. ---
+    if (!done) {
+      const int free = n - count;
+      if (free == 0) ++result.stats.window_full_cycles;
+      const int width = std::min(config_.EffectiveFetchWidth(), free);
+      const auto batch = fetch.FetchCycle(width);
+      if (batch.empty() && free > 0 && count > 0) {
+        ++result.stats.fetch_stall_cycles;
+      }
+      for (const auto& f : batch) {
+        const int slot = (head + count) % n;
+        FillStation(stations[static_cast<std::size_t>(slot)], f, next_seq++,
+                    cycle);
+        stations[static_cast<std::size_t>(slot)].timing.station = slot;
+        ++count;
+      }
+      if (fetch.stalled() && count == 0) {
+        // Ran off the end of the program without a halt.
+        done = true;
+        result.halted = true;
+      }
+    }
+  }
+
+  result.regs.resize(static_cast<std::size_t>(L));
+  for (int r = 0; r < L; ++r) {
+    result.regs[static_cast<std::size_t>(r)] =
+        committed[static_cast<std::size_t>(r)].value;
+  }
+  return result;
+}
+
+}  // namespace ultra::core

@@ -1,0 +1,228 @@
+#include "core/usii_core.hpp"
+
+#include <cassert>
+
+#include "core/exec.hpp"
+#include "core/fetch.hpp"
+#include "datapath/datapath.hpp"
+#include "datapath/scheduler.hpp"
+
+namespace ultra::core {
+
+namespace {
+
+datapath::StationRequest MakeRequest(const Station& st) {
+  datapath::StationRequest req;
+  if (!st.valid) return req;
+  const isa::Instruction& inst = st.inst();
+  req.reads1 = isa::ReadsRs1(inst.op);
+  req.arg1 = inst.rs1;
+  req.reads2 = isa::ReadsRs2(inst.op);
+  req.arg2 = inst.rs2;
+  req.writes = isa::WritesRd(inst.op);
+  req.dest = inst.rd;
+  req.result = st.result;
+  return req;
+}
+
+}  // namespace
+
+RunResult UltrascalarIICore::Run(const isa::Program& program) {
+  const int n = config_.window_size;
+  const int L = config_.num_regs;
+  datapath::UltrascalarIIDatapath dp(n, L);
+  memory::MemorySystem mem(config_.mem, n);
+  mem.Reset(program.initial_memory());
+  FetchEngine fetch(&program, config_, MakePredictor(config_, program));
+
+  std::vector<Station> stations(static_cast<std::size_t>(n));
+  std::vector<datapath::RegBinding> regfile(static_cast<std::size_t>(L));
+  for (auto& b : regfile) b.ready = true;
+
+  int fill = 0;  // Slots [0, fill) of the current batch hold instructions.
+  std::uint64_t next_seq = 0;
+  InflightMap inflight;
+  RunResult result;
+  bool done = false;
+
+  std::vector<datapath::StationRequest> requests(
+      static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> no_load(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
+
+  for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
+       ++cycle) {
+    result.cycles = cycle + 1;
+
+    // --- Phase 1: combinational propagation and batch-completion check,
+    // both against end-of-last-cycle state. ---
+    bool all_finished = true;
+    bool any_valid = false;
+    for (int i = 0; i < n; ++i) {
+      const Station& st = stations[static_cast<std::size_t>(i)];
+      requests[static_cast<std::size_t>(i)] = MakeRequest(st);
+      if (st.valid) {
+        any_valid = true;
+        if (!st.finished) all_finished = false;
+      }
+      const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
+      const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
+      no_store[static_cast<std::size_t>(i)] = !is_store || st.finished;
+      no_load[static_cast<std::size_t>(i)] = !is_load || st.finished;
+      branch_ok[static_cast<std::size_t>(i)] =
+          !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
+    }
+    const auto prop = dp.Propagate(regfile, requests);
+    const auto prev_stores_done = datapath::AllPrecedingSatisfyAcyclic(no_store);
+    const auto prev_loads_done = datapath::AllPrecedingSatisfyAcyclic(no_load);
+    const auto prev_confirmed = datapath::AllPrecedingSatisfyAcyclic(branch_ok);
+
+    // The batch completes once every station is finished and no more
+    // instructions are on the way into it ("At that time, the final values
+    // are latched into the register file. The stations refill ... and
+    // computation resumes.").
+    const bool batch_complete =
+        any_valid && all_finished && (fill == n || fetch.stalled());
+    if (batch_complete) {
+      for (int r = 0; r < L; ++r) {
+        assert(prop.final_regs[static_cast<std::size_t>(r)].ready);
+        regfile[static_cast<std::size_t>(r)] =
+            prop.final_regs[static_cast<std::size_t>(r)];
+      }
+      for (int i = 0; i < fill && !done; ++i) {
+        Station& st = stations[static_cast<std::size_t>(i)];
+        if (!st.valid) continue;
+        st.timing.commit_cycle = cycle;
+        if (isa::IsControlFlow(st.inst().op)) {
+          fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
+        }
+        result.timeline.push_back(st.timing);
+        ++result.committed;
+        if (st.inst().op == isa::Opcode::kHalt) {
+          done = true;
+          result.halted = true;
+        }
+        st.Clear();
+        ++st.generation;
+      }
+      for (auto& st : stations) {
+        if (st.valid) {
+          st.Clear();
+          ++st.generation;
+        }
+      }
+      fill = 0;
+    }
+
+    // --- Phase 2: memory responses. ---
+    mem.Tick();
+    for (const auto& resp : mem.DrainCompleted()) {
+      const auto it = inflight.find(resp.id);
+      if (it == inflight.end()) continue;
+      const MemTag tag = it->second;
+      inflight.erase(it);
+      Station& st = stations[static_cast<std::size_t>(tag.tag)];
+      if (st.valid && st.generation == tag.generation) {
+        ApplyMemResponse(st, resp, cycle);
+      }
+    }
+
+    // --- Phase 3: execute, in program order within the batch. ---
+    if (!batch_complete && !done) {
+      std::vector<MemWindowEntry> mem_window;
+      if (config_.store_forwarding) {
+        mem_window.resize(static_cast<std::size_t>(fill));
+        for (int i = 0; i < fill; ++i) {
+          mem_window[static_cast<std::size_t>(i)] = MakeMemWindowEntry(
+              stations[static_cast<std::size_t>(i)],
+              prop.args[static_cast<std::size_t>(i)]);
+        }
+      }
+      std::vector<std::uint8_t> alu_grant;
+      if (config_.num_alus > 0) {
+        std::vector<std::uint8_t> requests(static_cast<std::size_t>(fill), 0);
+        int occupied = 0;
+        for (int i = 0; i < fill; ++i) {
+          const Station& st = stations[static_cast<std::size_t>(i)];
+          requests[static_cast<std::size_t>(i)] =
+              WantsAlu(st, prop.args[static_cast<std::size_t>(i)]);
+          if (st.valid && st.issued && !st.finished &&
+              NeedsAlu(st.inst().op)) {
+            ++occupied;
+          }
+        }
+        alu_grant = datapath::AluScheduler::GrantAcyclic(
+            requests, std::max(0, config_.num_alus - occupied));
+      }
+      for (int i = 0; i < fill; ++i) {
+        Station& st = stations[static_cast<std::size_t>(i)];
+        if (!st.valid) continue;
+        StepContext ctx;
+        ctx.prev_stores_done =
+            prev_stores_done[static_cast<std::size_t>(i)] != 0;
+        ctx.prev_loads_done =
+            prev_loads_done[static_cast<std::size_t>(i)] != 0;
+        ctx.committed_ok = prev_confirmed[static_cast<std::size_t>(i)] != 0;
+        ctx.alu_granted = config_.num_alus == 0 ||
+                          alu_grant[static_cast<std::size_t>(i)] != 0;
+        ctx.forwarding_enabled = config_.store_forwarding;
+        if (ctx.forwarding_enabled && st.inst().op == isa::Opcode::kLoad &&
+            mem_window[static_cast<std::size_t>(i)].addr_known) {
+          const auto decision = ResolveLoadForwarding(
+              mem_window, static_cast<std::size_t>(i));
+          ctx.load_can_proceed = decision.can_proceed;
+          ctx.load_forward = decision.forward;
+          ctx.forward_value = decision.value;
+        }
+        const bool mispredicted = StepStation(
+            st, prop.args[static_cast<std::size_t>(i)], ctx,
+            config_.latencies, mem, cycle, i, static_cast<std::uint64_t>(i),
+            inflight, result.stats);
+        if (mispredicted) {
+          ++result.stats.mispredictions;
+          for (int m = i + 1; m < fill; ++m) {
+            Station& victim = stations[static_cast<std::size_t>(m)];
+            if (victim.valid) {
+              ++result.stats.squashed_instructions;
+              victim.Clear();
+              ++victim.generation;
+            }
+          }
+          fill = i + 1;
+          fetch.Redirect(st.actual_next_pc);
+        }
+      }
+    }
+
+    // --- Phase 4: fill the batch. ---
+    if (!done) {
+      const int free = n - fill;
+      if (free == 0) ++result.stats.window_full_cycles;
+      const int width = std::min(config_.EffectiveFetchWidth(), free);
+      const auto batch = fetch.FetchCycle(width);
+      if (batch.empty() && free > 0 && fill > 0 && !fetch.stalled()) {
+        ++result.stats.fetch_stall_cycles;
+      }
+      for (const auto& f : batch) {
+        FillStation(stations[static_cast<std::size_t>(fill)], f, next_seq++,
+                    cycle);
+        stations[static_cast<std::size_t>(fill)].timing.station = fill;
+        ++fill;
+      }
+      if (fetch.stalled() && fill == 0) {
+        done = true;
+        result.halted = true;
+      }
+    }
+  }
+
+  result.regs.resize(static_cast<std::size_t>(L));
+  for (int r = 0; r < L; ++r) {
+    result.regs[static_cast<std::size_t>(r)] =
+        regfile[static_cast<std::size_t>(r)].value;
+  }
+  return result;
+}
+
+}  // namespace ultra::core

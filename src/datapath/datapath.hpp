@@ -1,0 +1,9 @@
+// Umbrella header for the register-datapath library.
+#pragma once
+
+#include "datapath/hybrid.hpp"       // IWYU pragma: export
+#include "datapath/reg_binding.hpp"  // IWYU pragma: export
+#include "datapath/scheduler.hpp"    // IWYU pragma: export
+#include "datapath/sequencing.hpp"   // IWYU pragma: export
+#include "datapath/usi.hpp"          // IWYU pragma: export
+#include "datapath/usii.hpp"         // IWYU pragma: export

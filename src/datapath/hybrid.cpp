@@ -1,0 +1,111 @@
+#include "datapath/hybrid.hpp"
+
+#include <cassert>
+
+#include "circuit/circuit.hpp"
+
+namespace ultra::datapath {
+
+using circuit::CeilLog2;
+using circuit::ReductionDepth;
+
+HybridDatapath::HybridDatapath(int num_stations, int num_regs,
+                               int cluster_size, UsiiImpl cluster_impl,
+                               PrefixImpl tree_impl)
+    : n_(num_stations),
+      L_(num_regs),
+      C_(cluster_size),
+      cluster_impl_(cluster_impl),
+      tree_impl_(tree_impl) {
+  assert(n_ >= 1 && C_ >= 1);
+  assert(n_ % C_ == 0 && "station count must be a multiple of cluster size");
+  assert(L_ >= 1 && L_ <= isa::kMaxLogicalRegisters);
+}
+
+HybridPropagation HybridDatapath::Propagate(
+    std::span<const RegBinding> committed_regfile,
+    std::span<const StationRequest> stations, int oldest_cluster) const {
+  assert(committed_regfile.size() == static_cast<std::size_t>(L_));
+  assert(stations.size() == static_cast<std::size_t>(n_));
+  const int num_clusters = n_ / C_;
+  assert(oldest_cluster >= 0 && oldest_cluster < num_clusters);
+
+  // Step 1 (Figure 9): each cluster's outgoing register values and modified
+  // bits. Outgoing value for register r = result of the last station in the
+  // cluster writing r; modified bit = OR over the cluster's write lines.
+  std::vector<RegBinding> cluster_out(
+      static_cast<std::size_t>(num_clusters) * L_);
+  std::vector<std::uint8_t> cluster_modified(
+      static_cast<std::size_t>(num_clusters) * L_, 0);
+  for (int k = 0; k < num_clusters; ++k) {
+    for (int r = 0; r < L_; ++r) {
+      const std::size_t idx = static_cast<std::size_t>(k) * L_ + r;
+      for (int j = C_ - 1; j >= 0; --j) {
+        const auto& s = stations[static_cast<std::size_t>(k * C_ + j)];
+        if (s.writes && s.dest == r) {
+          cluster_out[idx] = s.result;
+          cluster_modified[idx] = 1;
+          break;
+        }
+      }
+    }
+  }
+  // The oldest cluster inserts the committed register file for every
+  // register it does not itself overwrite. (All its modified bits are set;
+  // the UltrascalarIDatapath treats the oldest's bits as all-set anyway, so
+  // we must also supply the committed values on unmodified registers.)
+  for (int r = 0; r < L_; ++r) {
+    const std::size_t idx =
+        static_cast<std::size_t>(oldest_cluster) * L_ + r;
+    if (!cluster_modified[idx]) {
+      cluster_out[idx] = committed_regfile[r];
+    }
+  }
+
+  // Step 2: inter-cluster Ultrascalar I ring delivers each cluster's
+  // incoming register file.
+  const UltrascalarIDatapath ring(num_clusters, L_, tree_impl_);
+  HybridPropagation out;
+  out.cluster_in = ring.Propagate(cluster_out, cluster_modified,
+                                  oldest_cluster);
+  // The oldest cluster ignores the ring and uses the committed file.
+  for (int r = 0; r < L_; ++r) {
+    out.cluster_in[static_cast<std::size_t>(oldest_cluster) * L_ + r] =
+        committed_regfile[r];
+  }
+
+  // Step 3: intra-cluster argument resolution -- each cluster is an
+  // Ultrascalar II whose register file is the cluster's incoming values.
+  out.args.resize(static_cast<std::size_t>(n_));
+  const UltrascalarIIDatapath grid(C_, L_, cluster_impl_);
+  for (int k = 0; k < num_clusters; ++k) {
+    const std::span<const RegBinding> cluster_regfile(
+        out.cluster_in.data() + static_cast<std::size_t>(k) * L_,
+        static_cast<std::size_t>(L_));
+    const std::span<const StationRequest> cluster_stations(
+        stations.data() + static_cast<std::size_t>(k) * C_,
+        static_cast<std::size_t>(C_));
+    auto prop = grid.Propagate(cluster_regfile, cluster_stations);
+    for (int j = 0; j < C_; ++j) {
+      out.args[static_cast<std::size_t>(k * C_ + j)] =
+          prop.args[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+int HybridDatapath::WorstCaseGateDepth() const {
+  const int num_clusters = n_ / C_;
+  // A value produced in one cluster and consumed in another traverses:
+  // the producing cluster's outgoing-register column, the modified-bit OR
+  // tree, the inter-cluster CSPP, and the consuming cluster's argument
+  // column.
+  const UltrascalarIIDatapath grid(C_, L_, cluster_impl_);
+  const int column = grid.WorstCaseGateDepth();
+  const int or_tree = ReductionDepth(C_) * circuit::kOrCost;
+  const UltrascalarIDatapath ring(num_clusters, L_, tree_impl_);
+  const int inter = ring.WorstCaseGateDepth();
+  return column + or_tree + inter + column;
+}
+
+}  // namespace ultra::datapath

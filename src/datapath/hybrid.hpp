@@ -1,0 +1,69 @@
+// The hybrid Ultrascalar register datapath (Section 6, Figures 9 and 10).
+//
+// The window is divided into n/C clusters of C stations. Each cluster is an
+// Ultrascalar II datapath extended with per-register modified bits computed
+// by OR trees over the stations' write lines (Figure 9). The clusters are
+// then connected by the Ultrascalar I CSPP datapath, with each cluster
+// acting as a "super execution station": exactly one cluster is the oldest
+// on any cycle and holds the committed register file.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datapath/reg_binding.hpp"
+#include "datapath/usi.hpp"
+#include "datapath/usii.hpp"
+
+namespace ultra::datapath {
+
+struct HybridPropagation {
+  std::vector<ResolvedArgs> args;        // Per station (n entries).
+  std::vector<RegBinding> cluster_in;    // Per cluster x register
+                                         // [cluster*L + r]: what the
+                                         // inter-cluster ring delivers.
+};
+
+class HybridDatapath {
+ public:
+  /// @p num_stations must be a multiple of @p cluster_size.
+  HybridDatapath(int num_stations, int num_regs, int cluster_size,
+                 UsiiImpl cluster_impl = UsiiImpl::kGrid,
+                 PrefixImpl tree_impl = PrefixImpl::kTree);
+
+  [[nodiscard]] int num_stations() const { return n_; }
+  [[nodiscard]] int num_regs() const { return L_; }
+  [[nodiscard]] int cluster_size() const { return C_; }
+  [[nodiscard]] int num_clusters() const { return n_ / C_; }
+
+  /// Combinational propagation for one cycle.
+  ///
+  /// @p committed_regfile  the committed register file (L entries), inserted
+  ///                       into the inter-cluster ring by the oldest cluster.
+  /// @p stations           n station requests, cluster-major (stations
+  ///                       [k*C, (k+1)*C) belong to cluster k, in program
+  ///                       order within the cluster).
+  /// @p oldest_cluster     index of the oldest cluster.
+  ///
+  /// Argument resolution: nearest preceding writer within the station's own
+  /// cluster, else the cluster's incoming inter-cluster value, which comes
+  /// from the nearest preceding cluster (cyclically, stopping at the oldest)
+  /// that modified the register.
+  [[nodiscard]] HybridPropagation Propagate(
+      std::span<const RegBinding> committed_regfile,
+      std::span<const StationRequest> stations, int oldest_cluster) const;
+
+  /// Critical-path gate depth: intra-cluster grid/mesh search + modified-bit
+  /// OR tree + inter-cluster CSPP + intra-cluster argument resolution.
+  [[nodiscard]] int WorstCaseGateDepth() const;
+
+ private:
+  int n_;
+  int L_;
+  int C_;
+  UsiiImpl cluster_impl_;
+  PrefixImpl tree_impl_;
+};
+
+}  // namespace ultra::datapath

@@ -1,0 +1,70 @@
+#include "datapath/scheduler.hpp"
+
+#include <cassert>
+
+#include "circuit/circuit.hpp"
+
+namespace ultra::datapath {
+
+std::vector<std::uint8_t> AluScheduler::Grant(
+    std::span<const std::uint8_t> requests, int available, int oldest) const {
+  assert(requests.size() == static_cast<std::size_t>(n_));
+  assert(oldest >= 0 && oldest < n_);
+  std::vector<int> counts(static_cast<std::size_t>(n_));
+  std::vector<std::uint8_t> segs(static_cast<std::size_t>(n_), 0);
+  for (int i = 0; i < n_; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        requests[static_cast<std::size_t>(i)] ? 1 : 0;
+  }
+  segs[static_cast<std::size_t>(oldest)] = 1;
+  // rank[i] = number of requesting stations from the oldest through i-1.
+  const auto rank =
+      circuit::CsppValues<int, circuit::AddOp>(counts, segs);
+  std::vector<std::uint8_t> grants(static_cast<std::size_t>(n_), 0);
+  for (int i = 0; i < n_; ++i) {
+    // The oldest station's incoming value wraps around the whole ring;
+    // its own rank is zero by definition.
+    const int r = i == oldest ? 0 : rank[static_cast<std::size_t>(i)];
+    grants[static_cast<std::size_t>(i)] =
+        requests[static_cast<std::size_t>(i)] != 0 && r < available;
+  }
+  return grants;
+}
+
+std::vector<std::uint8_t> AluScheduler::GrantAcyclic(
+    std::span<const std::uint8_t> requests, int available) {
+  std::vector<std::uint8_t> grants(requests.size(), 0);
+  int rank = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i] != 0) {
+      grants[i] = rank < available;
+      ++rank;
+    }
+  }
+  return grants;
+}
+
+int AluScheduler::MeasureGateDepth(std::span<const std::uint8_t> requests,
+                                   int oldest) const {
+  assert(requests.size() == static_cast<std::size_t>(n_));
+  std::vector<circuit::Signal<int>> inputs(static_cast<std::size_t>(n_));
+  std::vector<circuit::Signal<bool>> segs(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    inputs[static_cast<std::size_t>(i)] = {
+        requests[static_cast<std::size_t>(i)] ? 1 : 0, 0};
+    segs[static_cast<std::size_t>(i)] = {i == oldest, 0};
+  }
+  const auto out =
+      impl_ == PrefixImpl::kRing
+          ? circuit::CsppRingEvaluate<int, circuit::AddOp>(inputs, segs)
+          : circuit::CsppTreeEvaluate<int, circuit::AddOp>(inputs, segs);
+  int worst = 0;
+  for (const auto& s : out) {
+    worst = std::max(worst, s.depth);
+  }
+  // Comparing the rank against the free-ALU count costs one comparator over
+  // log2(n)-bit numbers.
+  return worst + circuit::ComparatorDepth(circuit::CeilLog2(n_ + 1));
+}
+
+}  // namespace ultra::datapath

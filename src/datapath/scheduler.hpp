@@ -1,0 +1,53 @@
+// Prioritized shared-ALU scheduler (Henry & Kuszmaul, Ultrascalar Memo 2;
+// cited in Sections 1 and 7: "in the designs presented here, the ALU is
+// replicated n times ... In practice, ALUs can be effectively shared ... We
+// have shown how to implement efficient scheduling logic for a superscalar
+// processor that shares ALUs [6]").
+//
+// The circuit is one more cyclic segmented parallel prefix, over integer
+// counts instead of bits: every station wanting to start execution raises a
+// request; the prefix sum from the oldest station ranks the requests in
+// program order; a station is granted an ALU iff its rank is below the
+// number of free ALUs. Oldest-first priority falls out of the prefix order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datapath/usi.hpp"
+
+namespace ultra::datapath {
+
+class AluScheduler {
+ public:
+  explicit AluScheduler(int num_stations,
+                        PrefixImpl impl = PrefixImpl::kTree)
+      : n_(num_stations), impl_(impl) {}
+
+  [[nodiscard]] int num_stations() const { return n_; }
+
+  /// Grants up to @p available ALUs to requesting stations, oldest first.
+  /// @p requests[i] is 1 when station i is ready to begin execution this
+  /// cycle. Returns grant flags.
+  [[nodiscard]] std::vector<std::uint8_t> Grant(
+      std::span<const std::uint8_t> requests, int available,
+      int oldest) const;
+
+  /// Acyclic variant for the batch-mode Ultrascalar II (program order =
+  /// slot order, no wrap-around).
+  static std::vector<std::uint8_t> GrantAcyclic(
+      std::span<const std::uint8_t> requests, int available);
+
+  /// Critical-path gate depth of one scheduling decision. The prefix nodes
+  /// add log2(n)-bit numbers, so the depth is O(log n * log log n)-ish but
+  /// measured, not assumed.
+  [[nodiscard]] int MeasureGateDepth(std::span<const std::uint8_t> requests,
+                                     int oldest) const;
+
+ private:
+  int n_;
+  PrefixImpl impl_;
+};
+
+}  // namespace ultra::datapath

@@ -1,0 +1,76 @@
+#include "datapath/sequencing.hpp"
+
+#include <cassert>
+
+#include "circuit/circuit.hpp"
+
+namespace ultra::datapath {
+
+using circuit::Signal;
+
+namespace {
+
+std::vector<std::uint8_t> RunCyclic(std::span<const std::uint8_t> condition,
+                                    int oldest, int n, bool use_or) {
+  assert(condition.size() == static_cast<std::size_t>(n));
+  assert(oldest >= 0 && oldest < n);
+  std::vector<std::uint8_t> inputs(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> segs(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    inputs[static_cast<std::size_t>(i)] =
+        condition[static_cast<std::size_t>(i)] != 0;
+  }
+  segs[static_cast<std::size_t>(oldest)] = 1;
+  const auto out =
+      use_or ? circuit::CsppValues<std::uint8_t, circuit::OrOp>(inputs, segs)
+             : circuit::CsppValues<std::uint8_t, circuit::AndOp>(inputs, segs);
+  std::vector<std::uint8_t> result(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    result[static_cast<std::size_t>(i)] = out[static_cast<std::size_t>(i)];
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SequencingCspp::AllPrecedingSatisfy(
+    std::span<const std::uint8_t> condition, int oldest) const {
+  return RunCyclic(condition, oldest, n_, /*use_or=*/false);
+}
+
+std::vector<std::uint8_t> SequencingCspp::AnyPrecedingSatisfies(
+    std::span<const std::uint8_t> condition, int oldest) const {
+  return RunCyclic(condition, oldest, n_, /*use_or=*/true);
+}
+
+int SequencingCspp::MeasureGateDepth(std::span<const std::uint8_t> condition,
+                                     int oldest) const {
+  assert(condition.size() == static_cast<std::size_t>(n_));
+  std::vector<Signal<bool>> inputs(static_cast<std::size_t>(n_));
+  std::vector<Signal<bool>> segs(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    inputs[static_cast<std::size_t>(i)] = {
+        condition[static_cast<std::size_t>(i)] != 0, 0};
+    segs[static_cast<std::size_t>(i)] = {i == oldest, 0};
+  }
+  const auto out =
+      impl_ == PrefixImpl::kRing
+          ? circuit::CsppRingEvaluate<bool, circuit::AndOp>(inputs, segs)
+          : circuit::CsppTreeEvaluate<bool, circuit::AndOp>(inputs, segs);
+  int worst = 0;
+  for (const auto& s : out) worst = std::max(worst, s.depth);
+  return worst;
+}
+
+std::vector<std::uint8_t> AllPrecedingSatisfyAcyclic(
+    std::span<const std::uint8_t> condition) {
+  std::vector<std::uint8_t> out(condition.size());
+  std::uint8_t carry = 1;  // Vacuously true before position 0.
+  for (std::size_t i = 0; i < condition.size(); ++i) {
+    out[i] = carry;
+    carry = static_cast<std::uint8_t>(carry && condition[i]);
+  }
+  return out;
+}
+
+}  // namespace ultra::datapath

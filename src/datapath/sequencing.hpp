@@ -1,0 +1,53 @@
+// The 1-bit sequencing circuits of Figure 5.
+//
+// Each is a cyclic segmented parallel prefix with operator a AND b whose
+// segment bit is raised by the oldest station: station i learns whether all
+// stations from the oldest through i-1 satisfy a condition. The paper uses
+// four instances: oldest-station computation (all preceding finished),
+// store serialization (all preceding stores finished), load serialization
+// (all preceding loads finished), and branch commitment (all preceding
+// branches confirmed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datapath/usi.hpp"
+
+namespace ultra::datapath {
+
+class SequencingCspp {
+ public:
+  explicit SequencingCspp(int num_stations,
+                          PrefixImpl impl = PrefixImpl::kTree)
+      : n_(num_stations), impl_(impl) {}
+
+  [[nodiscard]] int num_stations() const { return n_; }
+
+  /// For each station i: AND of @p condition over stations oldest..i-1
+  /// (cyclically). The value delivered to the oldest station itself wraps
+  /// all the way around and is ignored by the oldest in the processors.
+  [[nodiscard]] std::vector<std::uint8_t> AllPrecedingSatisfy(
+      std::span<const std::uint8_t> condition, int oldest) const;
+
+  /// For each station i: OR of @p condition over stations oldest..i-1.
+  /// ("Does any earlier station ..." -- used by memory renaming tests.)
+  [[nodiscard]] std::vector<std::uint8_t> AnyPrecedingSatisfies(
+      std::span<const std::uint8_t> condition, int oldest) const;
+
+  /// Critical-path gate depth of one evaluation.
+  [[nodiscard]] int MeasureGateDepth(std::span<const std::uint8_t> condition,
+                                     int oldest) const;
+
+ private:
+  int n_;
+  PrefixImpl impl_;
+};
+
+/// Noncyclic variant for the batch-mode Ultrascalar II: position 0 sees
+/// @p initial (vacuously true for AND).
+std::vector<std::uint8_t> AllPrecedingSatisfyAcyclic(
+    std::span<const std::uint8_t> condition);
+
+}  // namespace ultra::datapath

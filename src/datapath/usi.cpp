@@ -1,0 +1,99 @@
+#include "datapath/usi.hpp"
+
+#include <cassert>
+
+#include "circuit/circuit.hpp"
+
+namespace ultra::datapath {
+
+using circuit::Signal;
+
+UltrascalarIDatapath::UltrascalarIDatapath(int num_stations, int num_regs,
+                                           PrefixImpl impl)
+    : n_(num_stations), L_(num_regs), impl_(impl) {
+  assert(n_ >= 1);
+  assert(L_ >= 1 && L_ <= isa::kMaxLogicalRegisters);
+}
+
+std::vector<RegBinding> UltrascalarIDatapath::Propagate(
+    std::span<const RegBinding> outgoing,
+    std::span<const std::uint8_t> modified, int oldest) const {
+  assert(outgoing.size() == static_cast<std::size_t>(n_) * L_);
+  assert(modified.size() == outgoing.size());
+  assert(oldest >= 0 && oldest < n_);
+
+  std::vector<RegBinding> incoming(outgoing.size());
+  std::vector<RegBinding> ring(static_cast<std::size_t>(n_));
+  std::vector<std::uint8_t> segs(static_cast<std::size_t>(n_));
+  // One cyclic segmented prefix per logical register. The ring and tree
+  // circuits compute the same function; the functional model uses the O(n)
+  // value walk (CsppValues) for both.
+  for (int r = 0; r < L_; ++r) {
+    for (int i = 0; i < n_; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i) * L_ + r;
+      ring[static_cast<std::size_t>(i)] = outgoing[idx];
+      segs[static_cast<std::size_t>(i)] = modified[idx] != 0 || i == oldest;
+    }
+    const auto out = circuit::CsppValues<RegBinding, circuit::PassFirstOp>(
+        ring, segs, circuit::PassFirstOp{});
+    for (int i = 0; i < n_; ++i) {
+      incoming[static_cast<std::size_t>(i) * L_ + r] =
+          out[static_cast<std::size_t>(i)];
+    }
+  }
+  return incoming;
+}
+
+int UltrascalarIDatapath::MeasureGateDepth(
+    std::span<const std::uint8_t> modified, int oldest) const {
+  assert(modified.size() == static_cast<std::size_t>(n_) * L_);
+  int worst = 0;
+  std::vector<Signal<RegBinding>> ring(static_cast<std::size_t>(n_));
+  std::vector<Signal<bool>> segs(static_cast<std::size_t>(n_));
+  for (int r = 0; r < L_; ++r) {
+    for (int i = 0; i < n_; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i) * L_ + r;
+      ring[static_cast<std::size_t>(i)] = {RegBinding{}, 0};
+      segs[static_cast<std::size_t>(i)] = {modified[idx] != 0 || i == oldest,
+                                           0};
+    }
+    const auto out =
+        impl_ == PrefixImpl::kRing
+            ? circuit::CsppRingEvaluate<RegBinding, circuit::PassFirstOp>(
+                  ring, segs)
+            : circuit::CsppTreeEvaluate<RegBinding, circuit::PassFirstOp>(
+                  ring, segs);
+    for (const auto& s : out) worst = std::max(worst, s.depth);
+  }
+  return worst;
+}
+
+int UltrascalarIDatapath::WorstCaseGateDepth() const {
+  // A single writer immediately after the oldest station: its value must
+  // reach the station just before it, traversing the whole ring. One
+  // register suffices; all registers have identical circuits.
+  std::vector<std::uint8_t> modified(static_cast<std::size_t>(n_) * L_, 0);
+  const int oldest = 0;
+  if (n_ > 1) {
+    modified[static_cast<std::size_t>(1) * L_ + 0] = 1;
+  }
+  // Depth of register 0's circuit only (others are all-unmodified and
+  // cheaper or equal).
+  std::vector<Signal<RegBinding>> ring(static_cast<std::size_t>(n_));
+  std::vector<Signal<bool>> segs(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    segs[static_cast<std::size_t>(i)] = {
+        modified[static_cast<std::size_t>(i) * L_] != 0 || i == oldest, 0};
+  }
+  const auto out =
+      impl_ == PrefixImpl::kRing
+          ? circuit::CsppRingEvaluate<RegBinding, circuit::PassFirstOp>(ring,
+                                                                        segs)
+          : circuit::CsppTreeEvaluate<RegBinding, circuit::PassFirstOp>(ring,
+                                                                        segs);
+  int worst = 0;
+  for (const auto& s : out) worst = std::max(worst, s.depth);
+  return worst;
+}
+
+}  // namespace ultra::datapath

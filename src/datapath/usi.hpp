@@ -1,0 +1,65 @@
+// The Ultrascalar I register datapath (Sections 2-3, Figures 1 and 4).
+//
+// One cyclic segmented parallel-prefix circuit per logical register carries
+// the register's latest (value, ready) to successive stations. A station
+// that writes the register asserts its "modified" bit (the CSPP segment
+// bit); the oldest station asserts modified for every register, inserting
+// the committed register file into the ring.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datapath/reg_binding.hpp"
+
+namespace ultra::datapath {
+
+/// Which circuit family implements the datapath.
+enum class PrefixImpl : std::uint8_t {
+  kRing,  // Figure 1: ring of multiplexers, Theta(n) gate delay.
+  kTree,  // Figure 4: CSPP tree, Theta(log n) gate delay.
+};
+
+class UltrascalarIDatapath {
+ public:
+  /// @p num_stations is n, @p num_regs is L.
+  UltrascalarIDatapath(int num_stations, int num_regs,
+                       PrefixImpl impl = PrefixImpl::kTree);
+
+  [[nodiscard]] int num_stations() const { return n_; }
+  [[nodiscard]] int num_regs() const { return L_; }
+  [[nodiscard]] PrefixImpl impl() const { return impl_; }
+
+  /// Combinational propagation for one cycle.
+  ///
+  /// @p outgoing  n*L bindings, indexed [station*L + reg]: what each station
+  ///              drives into the ring for each register (its result for the
+  ///              destination register; its register-file copy otherwise).
+  /// @p modified  n*L flags: the mux select of Figure 1. The oldest
+  ///              station's flags are treated as all-set regardless.
+  /// @p oldest    index of the oldest station.
+  /// @returns     n*L incoming bindings: for station i and register r, the
+  ///              binding from the nearest preceding station (cyclically,
+  ///              stopping at the oldest) that modified r.
+  [[nodiscard]] std::vector<RegBinding> Propagate(
+      std::span<const RegBinding> outgoing,
+      std::span<const std::uint8_t> modified, int oldest) const;
+
+  /// Critical-path gate depth of one propagation with the given modified
+  /// pattern (measured by evaluating the depth-tracked circuit). The ring
+  /// grows as Theta(n); the tree as Theta(log n).
+  [[nodiscard]] int MeasureGateDepth(std::span<const std::uint8_t> modified,
+                                     int oldest) const;
+
+  /// Worst case over single-writer placements: a value written by the
+  /// station just after the oldest must travel the whole ring.
+  [[nodiscard]] int WorstCaseGateDepth() const;
+
+ private:
+  int n_;
+  int L_;
+  PrefixImpl impl_;
+};
+
+}  // namespace ultra::datapath

@@ -1,0 +1,116 @@
+#include "datapath/usii.hpp"
+
+#include <cassert>
+
+#include "circuit/circuit.hpp"
+
+namespace ultra::datapath {
+
+using circuit::CeilLog2;
+using circuit::ComparatorDepth;
+using circuit::FanoutDepth;
+using circuit::Signal;
+
+UltrascalarIIDatapath::UltrascalarIIDatapath(int num_stations, int num_regs,
+                                             UsiiImpl impl)
+    : n_(num_stations), L_(num_regs), impl_(impl) {
+  assert(n_ >= 1);
+  assert(L_ >= 1 && L_ <= isa::kMaxLogicalRegisters);
+}
+
+UsiiPropagation UltrascalarIIDatapath::Propagate(
+    std::span<const RegBinding> regfile,
+    std::span<const StationRequest> stations) const {
+  assert(regfile.size() == static_cast<std::size_t>(L_));
+  assert(stations.size() == static_cast<std::size_t>(n_));
+
+  UsiiPropagation out;
+  out.args.resize(static_cast<std::size_t>(n_));
+
+  const auto resolve = [&](int station, isa::RegId reg) -> RegBinding {
+    for (int j = station - 1; j >= 0; --j) {
+      const auto& s = stations[static_cast<std::size_t>(j)];
+      if (s.writes && s.dest == reg) return s.result;
+    }
+    return regfile[reg];
+  };
+
+  for (int i = 0; i < n_; ++i) {
+    const auto& s = stations[static_cast<std::size_t>(i)];
+    if (s.reads1) out.args[static_cast<std::size_t>(i)].arg1 = resolve(i, s.arg1);
+    if (s.reads2) out.args[static_cast<std::size_t>(i)].arg2 = resolve(i, s.arg2);
+  }
+
+  out.final_regs.resize(static_cast<std::size_t>(L_));
+  for (int r = 0; r < L_; ++r) {
+    out.final_regs[static_cast<std::size_t>(r)] =
+        resolve(n_, static_cast<isa::RegId>(r));
+  }
+  return out;
+}
+
+namespace {
+
+/// Gate depth of one column that searches @p num_station_rows station rows
+/// plus L register-file rows for its argument register.
+int ColumnDepth(UsiiImpl impl, int n, int L, int num_station_rows) {
+  const int reg_number_bits = std::max(1, CeilLog2(L));
+  const int rows = L + num_station_rows;
+  // Build the column structurally: one signal per row, segment = comparator
+  // match. The exact match pattern does not change the critical path (every
+  // row contributes a mux level in the chain; the tree is balanced), so we
+  // use an arbitrary single match at the register file.
+  std::vector<Signal<RegBinding>> inputs(static_cast<std::size_t>(rows));
+  std::vector<Signal<bool>> segs(static_cast<std::size_t>(rows));
+  const int row_broadcast_width = 2 * n + L - 2;  // Columns a row can feed.
+  const int column_height = rows;
+  for (int row = 0; row < rows; ++row) {
+    const bool is_regfile_row = row < L;
+    int value_depth = 0;
+    int seg_depth = ComparatorDepth(reg_number_bits);
+    if (impl == UsiiImpl::kMeshOfTrees) {
+      // Result bindings fan out across the row; the argument register number
+      // fans out down the column before the comparators fire.
+      if (!is_regfile_row) value_depth += FanoutDepth(row_broadcast_width);
+      seg_depth += FanoutDepth(column_height);
+    }
+    inputs[static_cast<std::size_t>(row)] = {RegBinding{}, value_depth};
+    segs[static_cast<std::size_t>(row)] = {row == 0, seg_depth};
+  }
+  const Signal<RegBinding> initial{RegBinding{}, 0};
+  // We need the fold over the whole column (a segmented reduction); append a
+  // sentinel row and read the prefix delivered to it.
+  inputs.push_back({RegBinding{}, 0});
+  segs.push_back({false, 0});
+  const auto out =
+      impl == UsiiImpl::kGrid
+          ? circuit::SppChainEvaluate<RegBinding, circuit::PassFirstOp>(
+                initial, inputs, segs)
+          : circuit::SppTreeEvaluate<RegBinding, circuit::PassFirstOp>(
+                initial, inputs, segs);
+  return out.back().depth;
+}
+
+}  // namespace
+
+int UltrascalarIIDatapath::MeasureGateDepth(
+    std::span<const StationRequest> stations) const {
+  assert(stations.size() == static_cast<std::size_t>(n_));
+  int worst = 0;
+  for (int i = 0; i < n_; ++i) {
+    const auto& s = stations[static_cast<std::size_t>(i)];
+    const int cols = (s.reads1 ? 1 : 0) + (s.reads2 ? 1 : 0);
+    if (cols > 0) {
+      worst = std::max(worst, ColumnDepth(impl_, n_, L_, i));
+    }
+  }
+  // The L outgoing register-file columns search every station row.
+  worst = std::max(worst, ColumnDepth(impl_, n_, L_, n_));
+  return worst;
+}
+
+int UltrascalarIIDatapath::WorstCaseGateDepth() const {
+  return ColumnDepth(impl_, n_, L_, n_);
+}
+
+}  // namespace ultra::datapath

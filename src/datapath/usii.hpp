@@ -1,0 +1,70 @@
+// The Ultrascalar II register datapath (Sections 4-5, Figures 7 and 8).
+//
+// Instead of passing the whole register file to every station, the
+// Ultrascalar II routes only the argument and result registers. Stations
+// send their argument register *numbers* down their columns; each station's
+// result (number, value, ready) runs along its row; a comparator at every
+// crosspoint detects a match, and each column returns the value of the
+// nearest (most recent) matching row, falling back to the initial register
+// file at the bottom. A final set of L columns computes the outgoing
+// register file. The datapath does not wrap around: the window refills as a
+// batch once every station has finished (Section 4).
+//
+// Two implementations:
+//  * kGrid (Figure 7): broadcast wires and linear column searches,
+//    Theta(n + L) gate delay.
+//  * kMeshOfTrees (Figure 8): fan-out trees plus segmented reduction trees,
+//    Theta(log(n + L)) gate delay.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datapath/reg_binding.hpp"
+
+namespace ultra::datapath {
+
+enum class UsiiImpl : std::uint8_t { kGrid, kMeshOfTrees };
+
+/// Result of one combinational propagation.
+struct UsiiPropagation {
+  std::vector<ResolvedArgs> args;      // Per station.
+  std::vector<RegBinding> final_regs;  // L outgoing register values.
+};
+
+class UltrascalarIIDatapath {
+ public:
+  UltrascalarIIDatapath(int num_stations, int num_regs,
+                        UsiiImpl impl = UsiiImpl::kMeshOfTrees);
+
+  [[nodiscard]] int num_stations() const { return n_; }
+  [[nodiscard]] int num_regs() const { return L_; }
+  [[nodiscard]] UsiiImpl impl() const { return impl_; }
+
+  /// Combinational propagation: resolves every station's arguments against
+  /// the nearest preceding writer (or @p regfile) and computes the outgoing
+  /// register file (last writer per register, or @p regfile).
+  ///
+  /// A station with writes==false contributes nothing to any column (e.g. a
+  /// squashed or empty station).
+  [[nodiscard]] UsiiPropagation Propagate(
+      std::span<const RegBinding> regfile,
+      std::span<const StationRequest> stations) const;
+
+  /// Critical-path gate depth of one propagation for the given requests,
+  /// modelling broadcasts as buffer chains (grid) or fan-out trees (mesh).
+  [[nodiscard]] int MeasureGateDepth(
+      std::span<const StationRequest> stations) const;
+
+  /// Depth with every station reading two registers and writing one -- the
+  /// configuration that exercises the longest column.
+  [[nodiscard]] int WorstCaseGateDepth() const;
+
+ private:
+  int n_;
+  int L_;
+  UsiiImpl impl_;
+};
+
+}  // namespace ultra::datapath

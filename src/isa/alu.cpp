@@ -1,0 +1,107 @@
+#include "isa/alu.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace ultra::isa {
+namespace {
+
+Word SignedDiv(Word a, Word b) {
+  if (b == 0) return ~Word{0};
+  const auto sa = static_cast<SWord>(a);
+  const auto sb = static_cast<SWord>(b);
+  // INT_MIN / -1 overflows in C++; the reference machine wraps.
+  if (sa == std::numeric_limits<SWord>::min() && sb == -1) return a;
+  return static_cast<Word>(sa / sb);
+}
+
+Word SignedRem(Word a, Word b) {
+  if (b == 0) return a;
+  const auto sa = static_cast<SWord>(a);
+  const auto sb = static_cast<SWord>(b);
+  if (sa == std::numeric_limits<SWord>::min() && sb == -1) return 0;
+  return static_cast<Word>(sa % sb);
+}
+
+}  // namespace
+
+Word AluResult(const Instruction& inst, Word a, Word b) {
+  const auto imm = static_cast<Word>(inst.imm);
+  switch (inst.op) {
+    case Opcode::kAdd:
+      return a + b;
+    case Opcode::kSub:
+      return a - b;
+    case Opcode::kMul:
+      return a * b;
+    case Opcode::kDiv:
+      return SignedDiv(a, b);
+    case Opcode::kRem:
+      return SignedRem(a, b);
+    case Opcode::kAnd:
+      return a & b;
+    case Opcode::kOr:
+      return a | b;
+    case Opcode::kXor:
+      return a ^ b;
+    case Opcode::kSll:
+      return a << (b & 31u);
+    case Opcode::kSrl:
+      return a >> (b & 31u);
+    case Opcode::kSra:
+      return static_cast<Word>(static_cast<SWord>(a) >>
+                               static_cast<int>(b & 31u));
+    case Opcode::kSlt:
+      return static_cast<SWord>(a) < static_cast<SWord>(b) ? 1u : 0u;
+    case Opcode::kSltu:
+      return a < b ? 1u : 0u;
+    case Opcode::kAddi:
+      return a + imm;
+    case Opcode::kAndi:
+      return a & imm;
+    case Opcode::kOri:
+      return a | imm;
+    case Opcode::kXori:
+      return a ^ imm;
+    case Opcode::kSlli:
+      return a << (imm & 31u);
+    case Opcode::kSrli:
+      return a >> (imm & 31u);
+    case Opcode::kSrai:
+      return static_cast<Word>(static_cast<SWord>(a) >>
+                               static_cast<int>(imm & 31u));
+    case Opcode::kSlti:
+      return static_cast<SWord>(a) < inst.imm ? 1u : 0u;
+    case Opcode::kLui:
+      return imm << 16;
+    case Opcode::kLi:
+      return imm;
+    default:
+      assert(false && "AluResult called on a non-ALU opcode");
+      return 0;
+  }
+}
+
+bool BranchTaken(const Instruction& inst, Word a, Word b) {
+  switch (inst.op) {
+    case Opcode::kBeq:
+      return a == b;
+    case Opcode::kBne:
+      return a != b;
+    case Opcode::kBlt:
+      return static_cast<SWord>(a) < static_cast<SWord>(b);
+    case Opcode::kBge:
+      return static_cast<SWord>(a) >= static_cast<SWord>(b);
+    case Opcode::kJmp:
+    case Opcode::kJal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Word EffectiveAddress(const Instruction& inst, Word base) {
+  return base + static_cast<Word>(inst.imm);
+}
+
+}  // namespace ultra::isa

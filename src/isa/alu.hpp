@@ -1,0 +1,25 @@
+// Architectural semantics of ALU and branch operations.
+//
+// Single source of truth for instruction semantics: every processor model
+// (Ultrascalar I / II / hybrid / the ideal-superscalar baseline) calls these
+// functions, so a semantics bug cannot masquerade as a timing difference.
+#pragma once
+
+#include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
+
+namespace ultra::isa {
+
+/// Computes the result of a non-memory, non-control instruction given its
+/// two register operands (unused operands are ignored). Division by zero
+/// yields all-ones (the common RISC convention), remainder by zero yields
+/// the dividend.
+Word AluResult(const Instruction& inst, Word a, Word b);
+
+/// Evaluates a conditional-branch predicate.
+bool BranchTaken(const Instruction& inst, Word a, Word b);
+
+/// Effective address of a load/store: rs1 + imm (byte address).
+Word EffectiveAddress(const Instruction& inst, Word base);
+
+}  // namespace ultra::isa

@@ -1,0 +1,252 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ultra::isa {
+namespace {
+
+/// Splits a statement into tokens, treating ',', '(' and ')' as separators.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',' || c == '(' ||
+        c == ')') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+std::optional<RegId> ParseReg(std::string_view tok) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) return std::nullopt;
+  int value = 0;
+  const auto* begin = tok.data() + 1;
+  const auto* end = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  if (value < 0 || value >= kMaxLogicalRegisters) return std::nullopt;
+  return static_cast<RegId>(value);
+}
+
+std::optional<std::int64_t> ParseInt(std::string_view tok) {
+  std::int64_t value = 0;
+  int base = 10;
+  std::string_view body = tok;
+  bool negative = false;
+  if (!body.empty() && (body[0] == '-' || body[0] == '+')) {
+    negative = body[0] == '-';
+    body.remove_prefix(1);
+  }
+  if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    base = 16;
+    body.remove_prefix(2);
+  }
+  if (body.empty()) return std::nullopt;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value, base);
+  if (ec != std::errc{} || ptr != body.data() + body.size()) {
+    return std::nullopt;
+  }
+  return negative ? -value : value;
+}
+
+/// A pending reference to a label (or numeric target) for pass two.
+struct Fixup {
+  std::size_t inst_index;
+  std::string target;
+  int line;
+};
+
+}  // namespace
+
+std::string AssemblyError::ToString() const {
+  std::ostringstream os;
+  os << "line " << line << ": " << message;
+  return os.str();
+}
+
+AssemblyResult Assemble(std::string_view source) {
+  Program program;
+  std::vector<Fixup> fixups;
+
+  const auto fail = [](int line, std::string msg) {
+    return AssemblyResult{AssemblyError{line, std::move(msg)}};
+  };
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view line = source.substr(
+        pos, eol == std::string_view::npos ? source.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+
+    auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+
+    // Labels: "name:" possibly followed by an instruction on the same line.
+    while (!tokens.empty() && tokens.front().back() == ':') {
+      std::string name = tokens.front().substr(0, tokens.front().size() - 1);
+      if (name.empty()) return fail(line_no, "empty label");
+      program.AddLabel(std::move(name), program.size());
+      tokens.erase(tokens.begin());
+    }
+    if (tokens.empty()) continue;
+
+    const std::string& mnemonic = tokens[0];
+
+    if (mnemonic == ".word") {
+      if (tokens.size() != 3) return fail(line_no, ".word needs ADDR VALUE");
+      const auto addr = ParseInt(tokens[1]);
+      const auto value = ParseInt(tokens[2]);
+      if (!addr || !value) return fail(line_no, "bad .word operand");
+      program.SetInitialWord(static_cast<Word>(*addr),
+                             static_cast<Word>(*value));
+      continue;
+    }
+
+    const Opcode op = OpcodeFromName(mnemonic);
+    if (op == Opcode::kCount_) {
+      return fail(line_no, "unknown mnemonic '" + mnemonic + "'");
+    }
+
+    Instruction inst;
+    inst.op = op;
+    const auto operands = std::vector<std::string>(tokens.begin() + 1,
+                                                   tokens.end());
+    const auto need = [&](std::size_t n) { return operands.size() == n; };
+
+    switch (ClassOf(op)) {
+      case OpClass::kNop:
+      case OpClass::kHalt:
+        if (!need(0)) return fail(line_no, "operands not allowed");
+        break;
+      case OpClass::kIntSimple:
+      case OpClass::kIntMul:
+      case OpClass::kIntDiv: {
+        if (ReadsRs2(op)) {  // rd, rs1, rs2
+          if (!need(3)) return fail(line_no, "expected rd, rs1, rs2");
+          const auto rd = ParseReg(operands[0]);
+          const auto rs1 = ParseReg(operands[1]);
+          const auto rs2 = ParseReg(operands[2]);
+          if (!rd || !rs1 || !rs2) return fail(line_no, "bad register");
+          inst.rd = *rd;
+          inst.rs1 = *rs1;
+          inst.rs2 = *rs2;
+        } else if (ReadsRs1(op)) {  // rd, rs1, imm
+          if (!need(3)) return fail(line_no, "expected rd, rs1, imm");
+          const auto rd = ParseReg(operands[0]);
+          const auto rs1 = ParseReg(operands[1]);
+          const auto imm = ParseInt(operands[2]);
+          if (!rd || !rs1 || !imm) return fail(line_no, "bad operand");
+          inst.rd = *rd;
+          inst.rs1 = *rs1;
+          inst.imm = static_cast<std::int32_t>(*imm);
+        } else {  // li/lui: rd, imm
+          if (!need(2)) return fail(line_no, "expected rd, imm");
+          const auto rd = ParseReg(operands[0]);
+          const auto imm = ParseInt(operands[1]);
+          if (!rd || !imm) return fail(line_no, "bad operand");
+          inst.rd = *rd;
+          inst.imm = static_cast<std::int32_t>(*imm);
+        }
+        break;
+      }
+      case OpClass::kLoad: {
+        if (!need(3)) return fail(line_no, "expected rd, offset(rbase)");
+        const auto rd = ParseReg(operands[0]);
+        const auto off = ParseInt(operands[1]);
+        const auto base = ParseReg(operands[2]);
+        if (!rd || !off || !base) return fail(line_no, "bad operand");
+        inst.rd = *rd;
+        inst.rs1 = *base;
+        inst.imm = static_cast<std::int32_t>(*off);
+        break;
+      }
+      case OpClass::kStore: {
+        if (!need(3)) return fail(line_no, "expected rvalue, offset(rbase)");
+        const auto rv = ParseReg(operands[0]);
+        const auto off = ParseInt(operands[1]);
+        const auto base = ParseReg(operands[2]);
+        if (!rv || !off || !base) return fail(line_no, "bad operand");
+        inst.rs2 = *rv;
+        inst.rs1 = *base;
+        inst.imm = static_cast<std::int32_t>(*off);
+        break;
+      }
+      case OpClass::kBranch: {
+        if (!need(3)) return fail(line_no, "expected rs1, rs2, target");
+        const auto rs1 = ParseReg(operands[0]);
+        const auto rs2 = ParseReg(operands[1]);
+        if (!rs1 || !rs2) return fail(line_no, "bad register");
+        inst.rs1 = *rs1;
+        inst.rs2 = *rs2;
+        fixups.push_back({program.size(), operands[2], line_no});
+        break;
+      }
+      case OpClass::kJump: {
+        if (op == Opcode::kJal) {
+          if (!need(2)) return fail(line_no, "expected rd, target");
+          const auto rd = ParseReg(operands[0]);
+          if (!rd) return fail(line_no, "bad register");
+          inst.rd = *rd;
+          fixups.push_back({program.size(), operands[1], line_no});
+        } else {
+          if (!need(1)) return fail(line_no, "expected target");
+          fixups.push_back({program.size(), operands[0], line_no});
+        }
+        break;
+      }
+    }
+    program.Append(inst);
+  }
+
+  // Pass two: resolve branch/jump targets.
+  std::vector<Instruction> code = program.code();
+  for (const Fixup& fx : fixups) {
+    std::int32_t target = 0;
+    if (const auto it = program.labels().find(fx.target);
+        it != program.labels().end()) {
+      target = static_cast<std::int32_t>(it->second);
+    } else if (const auto num = ParseInt(fx.target)) {
+      target = static_cast<std::int32_t>(*num);
+    } else {
+      return AssemblyResult{
+          AssemblyError{fx.line, "undefined label '" + fx.target + "'"}};
+    }
+    code[fx.inst_index].imm = target;
+  }
+
+  Program resolved(std::move(code));
+  for (const auto& [name, index] : program.labels()) {
+    resolved.AddLabel(name, index);
+  }
+  for (const auto& [addr, value] : program.initial_memory()) {
+    resolved.SetInitialWord(addr, value);
+  }
+  return AssemblyResult{std::move(resolved)};
+}
+
+Program AssembleOrDie(std::string_view source) {
+  auto result = Assemble(source);
+  if (auto* err = std::get_if<AssemblyError>(&result)) {
+    throw std::runtime_error("assembly failed: " + err->ToString());
+  }
+  return std::get<Program>(std::move(result));
+}
+
+}  // namespace ultra::isa

@@ -1,0 +1,42 @@
+// Two-pass assembler for the reference ISA.
+//
+// Syntax (one statement per line, '#' starts a comment):
+//   label:                    -- define a label at the next instruction
+//   add  r1, r2, r3           -- register-register ALU
+//   addi r1, r2, -5           -- register-immediate ALU
+//   li   r1, 42               -- load immediate
+//   ld   r1, 8(r2)            -- load word
+//   st   r1, 8(r2)            -- store word (r1 is the value)
+//   beq  r1, r2, label        -- branch to label (or absolute index)
+//   jmp  label
+//   jal  r31, label
+//   halt / nop
+//   .word ADDR VALUE          -- initial data memory (byte address)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "isa/program.hpp"
+
+namespace ultra::isa {
+
+struct AssemblyError {
+  int line = 0;             // 1-based source line
+  std::string message;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+using AssemblyResult = std::variant<Program, AssemblyError>;
+
+/// Assembles @p source. On success returns the Program; on the first error
+/// returns an AssemblyError naming the offending line.
+AssemblyResult Assemble(std::string_view source);
+
+/// Convenience wrapper that throws std::runtime_error on assembly errors;
+/// used by examples and tests where failure is a bug.
+Program AssembleOrDie(std::string_view source);
+
+}  // namespace ultra::isa

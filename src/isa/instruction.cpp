@@ -1,0 +1,114 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace ultra::isa {
+
+Instruction MakeRRR(Opcode op, RegId rd, RegId rs1, RegId rs2) {
+  return Instruction{.op = op, .rd = rd, .rs1 = rs1, .rs2 = rs2, .imm = 0};
+}
+
+Instruction MakeRRI(Opcode op, RegId rd, RegId rs1, std::int32_t imm) {
+  return Instruction{.op = op, .rd = rd, .rs1 = rs1, .rs2 = 0, .imm = imm};
+}
+
+Instruction MakeLi(RegId rd, std::int32_t imm) {
+  return Instruction{.op = Opcode::kLi, .rd = rd, .rs1 = 0, .rs2 = 0,
+                     .imm = imm};
+}
+
+Instruction MakeLoad(RegId rd, RegId base, std::int32_t offset) {
+  return Instruction{.op = Opcode::kLoad, .rd = rd, .rs1 = base, .rs2 = 0,
+                     .imm = offset};
+}
+
+Instruction MakeStore(RegId value, RegId base, std::int32_t offset) {
+  // STORE reads rs1 = base address and rs2 = value to store.
+  return Instruction{.op = Opcode::kStore, .rd = 0, .rs1 = base, .rs2 = value,
+                     .imm = offset};
+}
+
+Instruction MakeBranch(Opcode op, RegId rs1, RegId rs2, std::int32_t target) {
+  return Instruction{.op = op, .rd = 0, .rs1 = rs1, .rs2 = rs2, .imm = target};
+}
+
+Instruction MakeJmp(std::int32_t target) {
+  return Instruction{.op = Opcode::kJmp, .rd = 0, .rs1 = 0, .rs2 = 0,
+                     .imm = target};
+}
+
+Instruction MakeHalt() { return Instruction{.op = Opcode::kHalt}; }
+Instruction MakeNop() { return Instruction{.op = Opcode::kNop}; }
+
+std::uint64_t Encode(const Instruction& inst) {
+  const auto imm_bits =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(inst.imm));
+  return static_cast<std::uint64_t>(inst.op) |
+         (static_cast<std::uint64_t>(inst.rd) << 8) |
+         (static_cast<std::uint64_t>(inst.rs1) << 16) |
+         (static_cast<std::uint64_t>(inst.rs2) << 24) | (imm_bits << 32);
+}
+
+std::optional<Instruction> Decode(std::uint64_t word) {
+  const auto op_raw = static_cast<std::uint8_t>(word & 0xff);
+  if (op_raw >= static_cast<std::uint8_t>(Opcode::kCount_)) {
+    return std::nullopt;
+  }
+  Instruction inst;
+  inst.op = static_cast<Opcode>(op_raw);
+  inst.rd = static_cast<RegId>((word >> 8) & 0xff);
+  inst.rs1 = static_cast<RegId>((word >> 16) & 0xff);
+  inst.rs2 = static_cast<RegId>((word >> 24) & 0xff);
+  inst.imm = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>((word >> 32) & 0xffffffffu));
+  if (inst.rd >= kMaxLogicalRegisters || inst.rs1 >= kMaxLogicalRegisters ||
+      inst.rs2 >= kMaxLogicalRegisters) {
+    return std::nullopt;
+  }
+  return inst;
+}
+
+std::string ToString(const Instruction& inst) {
+  std::ostringstream os;
+  os << OpcodeName(inst.op);
+  switch (ClassOf(inst.op)) {
+    case OpClass::kNop:
+    case OpClass::kHalt:
+      break;
+    case OpClass::kIntSimple:
+    case OpClass::kIntMul:
+    case OpClass::kIntDiv:
+      if (ReadsRs2(inst.op)) {
+        os << " r" << int(inst.rd) << ", r" << int(inst.rs1) << ", r"
+           << int(inst.rs2);
+      } else if (ReadsRs1(inst.op)) {
+        os << " r" << int(inst.rd) << ", r" << int(inst.rs1) << ", "
+           << inst.imm;
+      } else {
+        os << " r" << int(inst.rd) << ", " << inst.imm;
+      }
+      break;
+    case OpClass::kLoad:
+      os << " r" << int(inst.rd) << ", " << inst.imm << "(r" << int(inst.rs1)
+         << ")";
+      break;
+    case OpClass::kStore:
+      os << " r" << int(inst.rs2) << ", " << inst.imm << "(r" << int(inst.rs1)
+         << ")";
+      break;
+    case OpClass::kBranch:
+      os << " r" << int(inst.rs1) << ", r" << int(inst.rs2) << ", "
+         << inst.imm;
+      break;
+    case OpClass::kJump:
+      if (inst.op == Opcode::kJal) {
+        os << " r" << int(inst.rd) << ", " << inst.imm;
+      } else {
+        os << " " << inst.imm;
+      }
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ultra::isa

@@ -1,0 +1,57 @@
+// Instruction representation and binary encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/opcode.hpp"
+
+namespace ultra::isa {
+
+/// One decoded instruction. Branch/jump targets are absolute instruction
+/// indices held in @c imm (the reference machine is word-addressed for
+/// instructions, byte-addressed for data).
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  RegId rd = 0;
+  RegId rs1 = 0;
+  RegId rs2 = 0;
+  std::int32_t imm = 0;
+
+  /// Number of register sources actually read (0..2).
+  [[nodiscard]] int NumSources() const {
+    return (ReadsRs1(op) ? 1 : 0) + (ReadsRs2(op) ? 1 : 0);
+  }
+  [[nodiscard]] bool HasDest() const { return WritesRd(op); }
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Convenience constructors used throughout tests and workloads.
+Instruction MakeRRR(Opcode op, RegId rd, RegId rs1, RegId rs2);
+Instruction MakeRRI(Opcode op, RegId rd, RegId rs1, std::int32_t imm);
+Instruction MakeLi(RegId rd, std::int32_t imm);
+Instruction MakeLoad(RegId rd, RegId base, std::int32_t offset);
+Instruction MakeStore(RegId value, RegId base, std::int32_t offset);
+Instruction MakeBranch(Opcode op, RegId rs1, RegId rs2, std::int32_t target);
+Instruction MakeJmp(std::int32_t target);
+Instruction MakeHalt();
+Instruction MakeNop();
+
+/// Fixed 64-bit binary encoding:
+///   bits [0,8)   opcode
+///   bits [8,16)  rd
+///   bits [16,24) rs1
+///   bits [24,32) rs2
+///   bits [32,64) imm (two's complement)
+std::uint64_t Encode(const Instruction& inst);
+
+/// Decodes @p word; returns std::nullopt when the opcode or a register field
+/// is out of range.
+std::optional<Instruction> Decode(std::uint64_t word);
+
+/// Human-readable disassembly (inverse of the assembler syntax).
+std::string ToString(const Instruction& inst);
+
+}  // namespace ultra::isa

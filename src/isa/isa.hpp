@@ -1,0 +1,9 @@
+// Umbrella header for the reference ISA library.
+#pragma once
+
+#include "isa/alu.hpp"          // IWYU pragma: export
+#include "isa/assembler.hpp"    // IWYU pragma: export
+#include "isa/instruction.hpp"  // IWYU pragma: export
+#include "isa/latency.hpp"      // IWYU pragma: export
+#include "isa/opcode.hpp"       // IWYU pragma: export
+#include "isa/program.hpp"      // IWYU pragma: export

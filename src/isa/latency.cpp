@@ -1,0 +1,18 @@
+#include "isa/latency.hpp"
+
+#include <cassert>
+
+namespace ultra::isa {
+
+LatencyModel::LatencyModel() {
+  table_.fill(1);
+  Set(OpClass::kIntMul, 3);
+  Set(OpClass::kIntDiv, 10);
+}
+
+void LatencyModel::Set(OpClass cls, int cycles) {
+  assert(cycles >= 1);
+  table_[static_cast<std::size_t>(cls)] = cycles;
+}
+
+}  // namespace ultra::isa

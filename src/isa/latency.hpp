@@ -1,0 +1,33 @@
+// Operation latency model.
+//
+// Figure 3 of the paper fixes the reference latencies: "We assume that
+// division takes 10 clock cycles, multiplication 3, and addition 1."
+// Loads/stores additionally pay whatever the memory subsystem charges; the
+// values here are the execution-station occupancy for the ALU portion.
+#pragma once
+
+#include <array>
+
+#include "isa/opcode.hpp"
+
+namespace ultra::isa {
+
+class LatencyModel {
+ public:
+  /// Builds the Figure 3 model: simple int 1, mul 3, div/rem 10, memory
+  /// address-generation 1, branches/jumps 1, nop/halt 1.
+  LatencyModel();
+
+  /// Overrides the latency of one opcode class (must be >= 1).
+  void Set(OpClass cls, int cycles);
+
+  [[nodiscard]] int Cycles(OpClass cls) const {
+    return table_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] int Cycles(Opcode op) const { return Cycles(ClassOf(op)); }
+
+ private:
+  std::array<int, 9> table_;
+};
+
+}  // namespace ultra::isa

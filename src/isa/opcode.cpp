@@ -1,0 +1,88 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+namespace ultra::isa {
+namespace {
+
+struct OpInfo {
+  std::string_view name;
+  OpClass cls;
+  bool reads_rs1;
+  bool reads_rs2;
+  bool writes_rd;
+  bool uses_imm;
+};
+
+constexpr std::array<OpInfo, kNumOpcodes> kOpInfo = {{
+    /* kNop   */ {"nop", OpClass::kNop, false, false, false, false},
+    /* kHalt  */ {"halt", OpClass::kHalt, false, false, false, false},
+    /* kAdd   */ {"add", OpClass::kIntSimple, true, true, true, false},
+    /* kSub   */ {"sub", OpClass::kIntSimple, true, true, true, false},
+    /* kMul   */ {"mul", OpClass::kIntMul, true, true, true, false},
+    /* kDiv   */ {"div", OpClass::kIntDiv, true, true, true, false},
+    /* kRem   */ {"rem", OpClass::kIntDiv, true, true, true, false},
+    /* kAnd   */ {"and", OpClass::kIntSimple, true, true, true, false},
+    /* kOr    */ {"or", OpClass::kIntSimple, true, true, true, false},
+    /* kXor   */ {"xor", OpClass::kIntSimple, true, true, true, false},
+    /* kSll   */ {"sll", OpClass::kIntSimple, true, true, true, false},
+    /* kSrl   */ {"srl", OpClass::kIntSimple, true, true, true, false},
+    /* kSra   */ {"sra", OpClass::kIntSimple, true, true, true, false},
+    /* kSlt   */ {"slt", OpClass::kIntSimple, true, true, true, false},
+    /* kSltu  */ {"sltu", OpClass::kIntSimple, true, true, true, false},
+    /* kAddi  */ {"addi", OpClass::kIntSimple, true, false, true, true},
+    /* kAndi  */ {"andi", OpClass::kIntSimple, true, false, true, true},
+    /* kOri   */ {"ori", OpClass::kIntSimple, true, false, true, true},
+    /* kXori  */ {"xori", OpClass::kIntSimple, true, false, true, true},
+    /* kSlli  */ {"slli", OpClass::kIntSimple, true, false, true, true},
+    /* kSrli  */ {"srli", OpClass::kIntSimple, true, false, true, true},
+    /* kSrai  */ {"srai", OpClass::kIntSimple, true, false, true, true},
+    /* kSlti  */ {"slti", OpClass::kIntSimple, true, false, true, true},
+    /* kLui   */ {"lui", OpClass::kIntSimple, false, false, true, true},
+    /* kLi    */ {"li", OpClass::kIntSimple, false, false, true, true},
+    /* kLoad  */ {"ld", OpClass::kLoad, true, false, true, true},
+    /* kStore */ {"st", OpClass::kStore, true, true, false, true},
+    /* kBeq   */ {"beq", OpClass::kBranch, true, true, false, true},
+    /* kBne   */ {"bne", OpClass::kBranch, true, true, false, true},
+    /* kBlt   */ {"blt", OpClass::kBranch, true, true, false, true},
+    /* kBge   */ {"bge", OpClass::kBranch, true, true, false, true},
+    /* kJmp   */ {"jmp", OpClass::kJump, false, false, false, true},
+    /* kJal   */ {"jal", OpClass::kJump, false, false, true, true},
+}};
+
+const OpInfo& Info(Opcode op) { return kOpInfo[static_cast<std::size_t>(op)]; }
+
+}  // namespace
+
+std::string_view OpcodeName(Opcode op) { return Info(op).name; }
+
+Opcode OpcodeFromName(std::string_view name) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    if (kOpInfo[static_cast<std::size_t>(i)].name == name) {
+      return static_cast<Opcode>(i);
+    }
+  }
+  return Opcode::kCount_;
+}
+
+OpClass ClassOf(Opcode op) { return Info(op).cls; }
+bool ReadsRs1(Opcode op) { return Info(op).reads_rs1; }
+bool ReadsRs2(Opcode op) { return Info(op).reads_rs2; }
+bool WritesRd(Opcode op) { return Info(op).writes_rd; }
+bool UsesImm(Opcode op) { return Info(op).uses_imm; }
+
+bool IsConditionalBranch(Opcode op) {
+  return ClassOf(op) == OpClass::kBranch;
+}
+
+bool IsControlFlow(Opcode op) {
+  const OpClass c = ClassOf(op);
+  return c == OpClass::kBranch || c == OpClass::kJump;
+}
+
+bool IsMemory(Opcode op) {
+  const OpClass c = ClassOf(op);
+  return c == OpClass::kLoad || c == OpClass::kStore;
+}
+
+}  // namespace ultra::isa

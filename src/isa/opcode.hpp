@@ -1,0 +1,110 @@
+// Opcode definitions for the Ultrascalar reference ISA.
+//
+// The paper (Section 7) evaluates "a very simple RISC instruction set
+// architecture" with 32 32-bit logical registers, no floating point, where
+// every instruction reads at most two registers and writes at most one.
+// This ISA follows those constraints exactly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ultra::isa {
+
+/// Machine word. The reference architecture is 32-bit; arithmetic wraps
+/// modulo 2^32 and signed operations use two's complement.
+using Word = std::uint32_t;
+using SWord = std::int32_t;
+
+/// Logical register identifier. The ISA supports up to 64 logical registers
+/// (the paper treats L as a scaling parameter; the empirical study uses 32).
+using RegId = std::uint8_t;
+
+inline constexpr int kMaxLogicalRegisters = 64;
+inline constexpr int kDefaultLogicalRegisters = 32;
+
+/// Every opcode of the reference ISA. Each reads <= 2 registers and
+/// writes <= 1 register (the Ultrascalar II datapath of Figure 7 depends on
+/// this bound: two argument columns and one result row per station).
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kHalt,
+  // Register-register ALU.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kAnd,
+  kOr,
+  kXor,
+  kSll,
+  kSrl,
+  kSra,
+  kSlt,   // set-if-less-than, signed
+  kSltu,  // set-if-less-than, unsigned
+  // Register-immediate ALU.
+  kAddi,
+  kAndi,
+  kOri,
+  kXori,
+  kSlli,
+  kSrli,
+  kSrai,
+  kSlti,
+  kLui,  // load upper immediate (reads no registers)
+  kLi,   // load immediate (reads no registers)
+  // Memory.
+  kLoad,   // rd = mem[rs1 + imm]
+  kStore,  // mem[rs1 + imm] = rs2
+  // Control flow. Branch targets are instruction indices (imm is absolute).
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kJmp,  // unconditional, reads nothing, writes nothing
+  kJal,  // jump and link: rd = pc + 1, then jump
+  kCount_,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount_);
+
+/// Broad class of an opcode, used by the latency model and the schedulers.
+enum class OpClass : std::uint8_t {
+  kNop,
+  kHalt,
+  kIntSimple,  // add/sub/logic/shift/compare: 1 cycle in Figure 3
+  kIntMul,     // 3 cycles in Figure 3
+  kIntDiv,     // 10 cycles in Figure 3
+  kLoad,
+  kStore,
+  kBranch,
+  kJump,
+};
+
+/// Returns the mnemonic for @p op (e.g. "add").
+std::string_view OpcodeName(Opcode op);
+
+/// Parses a mnemonic; returns Opcode::kCount_ when unknown.
+Opcode OpcodeFromName(std::string_view name);
+
+/// Returns the broad class of @p op.
+OpClass ClassOf(Opcode op);
+
+/// True when @p op reads rs1 as a source register.
+bool ReadsRs1(Opcode op);
+/// True when @p op reads rs2 as a source register.
+bool ReadsRs2(Opcode op);
+/// True when @p op writes a destination register rd.
+bool WritesRd(Opcode op);
+/// True when @p op uses the immediate field.
+bool UsesImm(Opcode op);
+
+/// True for conditional branches (kBeq..kBge).
+bool IsConditionalBranch(Opcode op);
+/// True for any control transfer (conditional branch, kJmp, kJal).
+bool IsControlFlow(Opcode op);
+/// True for kLoad / kStore.
+bool IsMemory(Opcode op);
+
+}  // namespace ultra::isa

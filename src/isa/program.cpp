@@ -1,0 +1,18 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+
+namespace ultra::isa {
+
+std::string Program::Disassemble() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    for (const auto& [name, index] : labels_) {
+      if (index == i) os << name << ":\n";
+    }
+    os << "  " << i << ": " << ToString(code_[i]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ultra::isa

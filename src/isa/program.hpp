@@ -1,0 +1,55 @@
+// Program container: a sequence of instructions plus initial data memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace ultra::isa {
+
+/// A program for the reference machine. Instructions are addressed by index
+/// (the fetch unit is word-addressed); data memory is byte-addressed.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Instruction> code) : code_(std::move(code)) {}
+
+  [[nodiscard]] const std::vector<Instruction>& code() const { return code_; }
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] bool empty() const { return code_.empty(); }
+  [[nodiscard]] const Instruction& at(std::size_t pc) const {
+    return code_.at(pc);
+  }
+
+  void Append(const Instruction& inst) { code_.push_back(inst); }
+
+  /// Initial data-memory image (sparse, byte address -> 32-bit word stored
+  /// at that address).
+  [[nodiscard]] const std::map<Word, Word>& initial_memory() const {
+    return initial_memory_;
+  }
+  void SetInitialWord(Word byte_address, Word value) {
+    initial_memory_[byte_address] = value;
+  }
+
+  /// Named label -> instruction index, populated by the assembler.
+  [[nodiscard]] const std::map<std::string, std::size_t>& labels() const {
+    return labels_;
+  }
+  void AddLabel(std::string name, std::size_t index) {
+    labels_.emplace(std::move(name), index);
+  }
+
+  /// Full disassembly listing, one instruction per line.
+  [[nodiscard]] std::string Disassemble() const;
+
+ private:
+  std::vector<Instruction> code_;
+  std::map<Word, Word> initial_memory_;
+  std::map<std::string, std::size_t> labels_;
+};
+
+}  // namespace ultra::isa

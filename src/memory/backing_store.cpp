@@ -1,0 +1,21 @@
+#include "memory/backing_store.hpp"
+
+namespace ultra::memory {
+
+void BackingStore::Load(const std::map<isa::Word, isa::Word>& image) {
+  words_.clear();
+  for (const auto& [addr, value] : image) {
+    words_[Align(addr)] = value;
+  }
+}
+
+isa::Word BackingStore::ReadWord(isa::Word byte_address) const {
+  const auto it = words_.find(Align(byte_address));
+  return it == words_.end() ? 0 : it->second;
+}
+
+void BackingStore::WriteWord(isa::Word byte_address, isa::Word value) {
+  words_[Align(byte_address)] = value;
+}
+
+}  // namespace ultra::memory

@@ -1,0 +1,31 @@
+// Word-granular sparse backing store (main memory).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "isa/opcode.hpp"
+
+namespace ultra::memory {
+
+/// Byte-addressed main memory storing 32-bit words. Unaligned addresses are
+/// rounded down to word boundaries (the reference machine has no unaligned
+/// access). Unwritten locations read as zero.
+class BackingStore {
+ public:
+  BackingStore() = default;
+
+  /// Replaces the contents with @p image (byte address -> word).
+  void Load(const std::map<isa::Word, isa::Word>& image);
+
+  [[nodiscard]] isa::Word ReadWord(isa::Word byte_address) const;
+  void WriteWord(isa::Word byte_address, isa::Word value);
+
+  [[nodiscard]] std::size_t footprint_words() const { return words_.size(); }
+
+ private:
+  static isa::Word Align(isa::Word a) { return a & ~isa::Word{3}; }
+  std::unordered_map<isa::Word, isa::Word> words_;
+};
+
+}  // namespace ultra::memory

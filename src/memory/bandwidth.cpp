@@ -1,0 +1,22 @@
+#include "memory/bandwidth.hpp"
+
+namespace ultra::memory {
+
+BandwidthProfile BandwidthProfile::ForRegime(BandwidthRegime regime,
+                                             double scale, double eps) {
+  switch (regime) {
+    case BandwidthRegime::kConstant:
+      return {"M(n)=Theta(1)", scale, 0.0};
+    case BandwidthRegime::kSqrtMinus:
+      return {"M(n)=Theta(n^(1/2-e))", scale, 0.5 - eps};
+    case BandwidthRegime::kSqrt:
+      return {"M(n)=Theta(n^(1/2))", scale, 0.5};
+    case BandwidthRegime::kSqrtPlus:
+      return {"M(n)=Theta(n^(1/2+e))", scale, 0.5 + eps};
+    case BandwidthRegime::kLinear:
+      return {"M(n)=Theta(n)", scale, 1.0};
+  }
+  return {"M(n)=Theta(1)", scale, 0.0};
+}
+
+}  // namespace ultra::memory

@@ -1,0 +1,66 @@
+// Memory-bandwidth profiles M(n).
+//
+// The paper analyzes every processor under a family of bandwidth functions:
+// M(n) = O(n^{1/2-eps}), M(n) = Theta(n^{1/2}), and M(n) = Omega(n^{1/2+eps})
+// (with M(n) = O(n) always, "since it makes no sense to provide more memory
+// bandwidth than the total instruction issue rate"). Case 3 additionally
+// assumes the regularity property M(n/4) <= c * M(n)/2.
+//
+// A profile is used in two places: the VLSI layout models (wire counts and
+// switch sizes at each level of the H-tree / fat tree) and the cycle-level
+// memory system (how many memory operations per cycle the chip accepts).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace ultra::memory {
+
+/// The paper's three asymptotic regimes (plus the two natural endpoints).
+enum class BandwidthRegime {
+  kConstant,      // M(n) = Theta(1)         -- Case 1 (below sqrt)
+  kSqrtMinus,     // M(n) = Theta(n^{1/2-e}) -- Case 1
+  kSqrt,          // M(n) = Theta(n^{1/2})   -- Case 2
+  kSqrtPlus,      // M(n) = Theta(n^{1/2+e}) -- Case 3
+  kLinear,        // M(n) = Theta(n)         -- Case 3, full bandwidth
+};
+
+/// M(n) = scale * n^exponent, the concrete family used throughout.
+class BandwidthProfile {
+ public:
+  /// Builds the canonical profile for a regime (eps = 0.25 by default).
+  static BandwidthProfile ForRegime(BandwidthRegime regime,
+                                    double scale = 1.0, double eps = 0.25);
+
+  BandwidthProfile(std::string name, double scale, double exponent)
+      : name_(std::move(name)), scale_(scale), exponent_(exponent) {}
+
+  /// M(n) as a real number (layout models); >= scale for n >= 1.
+  [[nodiscard]] double operator()(double n) const {
+    return scale_ * std::pow(n, exponent_);
+  }
+
+  /// M(n) rounded to a usable per-cycle operation count (cycle simulators);
+  /// always at least 1.
+  [[nodiscard]] int OpsPerCycle(int n) const {
+    return std::max(1, static_cast<int>(std::floor((*this)(n))));
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double exponent() const { return exponent_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// The paper's regularity requirement for Case 3: M(n/4) <= c*M(n)/2 for
+  /// some constant c. For pure powers n^a it holds iff a >= ... any a with
+  /// c = 2/4^a; we report the witness c for the caller to inspect.
+  [[nodiscard]] double RegularityWitness() const {
+    return 2.0 / std::pow(4.0, exponent_);
+  }
+
+ private:
+  std::string name_;
+  double scale_;
+  double exponent_;
+};
+
+}  // namespace ultra::memory

@@ -1,0 +1,53 @@
+#include "memory/branch_predictor.hpp"
+
+namespace ultra::memory {
+
+bool NotTakenPredictor::PredictTaken(std::size_t /*pc*/,
+                                     const isa::Instruction& inst) {
+  return !isa::IsConditionalBranch(inst.op);  // Jumps are always taken.
+}
+
+bool BtfnPredictor::PredictTaken(std::size_t pc,
+                                 const isa::Instruction& inst) {
+  if (!isa::IsConditionalBranch(inst.op)) return true;
+  return static_cast<std::size_t>(inst.imm) <= pc;  // Backward => taken.
+}
+
+TwoBitPredictor::TwoBitPredictor(int table_size)
+    : counters_(static_cast<std::size_t>(table_size), 1) {}
+
+bool TwoBitPredictor::PredictTaken(std::size_t pc,
+                                   const isa::Instruction& inst) {
+  if (!isa::IsConditionalBranch(inst.op)) return true;
+  return counters_[pc % counters_.size()] >= 2;
+}
+
+void TwoBitPredictor::Update(std::size_t pc, bool taken) {
+  auto& c = counters_[pc % counters_.size()];
+  if (taken && c < 3) ++c;
+  if (!taken && c > 0) --c;
+}
+
+OraclePredictor::OraclePredictor(
+    std::vector<std::vector<std::uint8_t>> outcomes_by_pc)
+    : outcomes_by_pc_(std::move(outcomes_by_pc)),
+      next_index_(outcomes_by_pc_.size(), 0) {}
+
+bool OraclePredictor::PredictTaken(std::size_t pc,
+                                   const isa::Instruction& inst) {
+  if (pc >= outcomes_by_pc_.size()) {
+    return !isa::IsConditionalBranch(inst.op);
+  }
+  auto& k = next_index_[pc];
+  const auto& outcomes = outcomes_by_pc_[pc];
+  if (k >= outcomes.size()) {
+    return !isa::IsConditionalBranch(inst.op);
+  }
+  return outcomes[k++] != 0;
+}
+
+std::unique_ptr<BranchPredictor> OraclePredictor::Clone() const {
+  return std::make_unique<OraclePredictor>(outcomes_by_pc_);
+}
+
+}  // namespace ultra::memory

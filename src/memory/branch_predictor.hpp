@@ -1,0 +1,87 @@
+// Branch predictors used by the fetch engines.
+//
+// For the cycle-identical ILP-equivalence experiments (DESIGN.md E9) the
+// predictors must be a pure function of the branch's PC (static or oracle),
+// because different microarchitectures interleave fetch and commit
+// differently. The two-bit predictor is provided for the realism benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace ultra::memory {
+
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  /// Predicts whether the control transfer at @p pc is taken. Unconditional
+  /// jumps must be predicted taken by every implementation.
+  virtual bool PredictTaken(std::size_t pc, const isa::Instruction& inst) = 0;
+
+  /// Reports the resolved outcome (called in commit order).
+  virtual void Update(std::size_t pc, bool taken) = 0;
+
+  /// Fresh predictor of the same kind (for running several processors on
+  /// identical initial predictor state).
+  [[nodiscard]] virtual std::unique_ptr<BranchPredictor> Clone() const = 0;
+};
+
+/// Conditional branches predicted not taken.
+class NotTakenPredictor final : public BranchPredictor {
+ public:
+  bool PredictTaken(std::size_t pc, const isa::Instruction& inst) override;
+  void Update(std::size_t, bool) override {}
+  [[nodiscard]] std::unique_ptr<BranchPredictor> Clone() const override {
+    return std::make_unique<NotTakenPredictor>();
+  }
+};
+
+/// Backward taken, forward not taken (loops predicted taken).
+class BtfnPredictor final : public BranchPredictor {
+ public:
+  bool PredictTaken(std::size_t pc, const isa::Instruction& inst) override;
+  void Update(std::size_t, bool) override {}
+  [[nodiscard]] std::unique_ptr<BranchPredictor> Clone() const override {
+    return std::make_unique<BtfnPredictor>();
+  }
+};
+
+/// Classic two-bit saturating counters indexed by PC.
+class TwoBitPredictor final : public BranchPredictor {
+ public:
+  explicit TwoBitPredictor(int table_size = 1024);
+  bool PredictTaken(std::size_t pc, const isa::Instruction& inst) override;
+  void Update(std::size_t pc, bool taken) override;
+  [[nodiscard]] std::unique_ptr<BranchPredictor> Clone() const override {
+    return std::make_unique<TwoBitPredictor>(
+        static_cast<int>(counters_.size()));
+  }
+
+ private:
+  std::vector<std::uint8_t> counters_;  // 0..3; >=2 predicts taken.
+};
+
+/// Replays a precomputed outcome sequence per PC (an oracle built by the
+/// functional simulator). Prediction for the k-th dynamic occurrence of a
+/// branch PC is its k-th recorded outcome, so it never mispredicts as long
+/// as fetch follows the committed path.
+class OraclePredictor final : public BranchPredictor {
+ public:
+  /// @p outcomes_by_pc[pc] lists the outcomes of successive dynamic
+  /// executions of the control transfer at pc.
+  explicit OraclePredictor(
+      std::vector<std::vector<std::uint8_t>> outcomes_by_pc);
+  bool PredictTaken(std::size_t pc, const isa::Instruction& inst) override;
+  void Update(std::size_t, bool) override {}
+  [[nodiscard]] std::unique_ptr<BranchPredictor> Clone() const override;
+
+ private:
+  std::vector<std::vector<std::uint8_t>> outcomes_by_pc_;
+  std::vector<std::size_t> next_index_;
+};
+
+}  // namespace ultra::memory

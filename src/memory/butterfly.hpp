@@ -1,0 +1,73 @@
+// Butterfly network (Section 2: "We propose to connect the Ultrascalar I
+// datapath to an interleaved data cache and to an instruction trace cache
+// via two fat-tree or butterfly networks [10]").
+//
+// A radix-2 butterfly with n inputs (stations) and n outputs (cache banks):
+// log2(n) stages; at stage s a message at row p goes straight or crosses to
+// row p XOR 2^s, steering by the s-th bit of p XOR destination. Unlike the
+// fat tree, aggregate bandwidth is n but there is exactly one path per
+// (source, destination) pair, so adversarial traffic (every station hitting
+// one bank) serializes on shared links.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ultra::memory {
+
+struct ButterflyStats {
+  std::uint64_t messages = 0;
+  std::uint64_t queue_cycles = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
+class ButterflyNetwork {
+ public:
+  /// @p num_leaves is rounded up to a power of two.
+  explicit ButterflyNetwork(int num_leaves);
+
+  [[nodiscard]] int num_leaves() const { return leaves_; }
+  [[nodiscard]] int stages() const { return stages_; }
+
+  /// Injects a request at @p leaf destined for output port @p bank.
+  void SubmitForward(int leaf, int bank, std::uint64_t id);
+  /// Injects a response at @p bank destined for @p leaf (reverse network).
+  void SubmitReverse(int bank, int leaf, std::uint64_t id);
+
+  /// Advances one cycle: each node forwards at most one message per output
+  /// link in each direction.
+  void Tick();
+
+  struct Arrival {
+    int port;  // Bank (forward) or leaf (reverse).
+    std::uint64_t id;
+  };
+  std::vector<Arrival> DrainForward();
+  std::vector<Arrival> DrainReverse();
+
+  [[nodiscard]] const ButterflyStats& stats() const { return stats_; }
+
+ private:
+  struct Msg {
+    std::uint64_t id;
+    int dest;  // Destination row.
+  };
+  struct Node {
+    std::deque<Msg> queue;
+  };
+
+  int leaves_;  // Power of two.
+  int stages_;
+  // fwd_[s][p]: messages waiting at stage s, row p (stage 0 = injection).
+  std::vector<std::vector<Node>> fwd_;
+  std::vector<std::vector<Node>> rev_;
+  std::vector<Arrival> fwd_out_;
+  std::vector<Arrival> rev_out_;
+  ButterflyStats stats_;
+
+  void TickDirection(std::vector<std::vector<Node>>& net,
+                     std::vector<Arrival>& out);
+};
+
+}  // namespace ultra::memory

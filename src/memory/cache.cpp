@@ -1,0 +1,88 @@
+#include "memory/cache.hpp"
+
+#include <cassert>
+
+namespace ultra::memory {
+
+namespace {
+bool IsPowerOfTwo(int v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+InterleavedCache::InterleavedCache(const CacheConfig& config,
+                                   BackingStore* store)
+    : config_(config), store_(store) {
+  assert(IsPowerOfTwo(config_.num_banks));
+  assert(IsPowerOfTwo(config_.line_bytes));
+  assert(config_.sets_per_bank >= 1 && config_.ways >= 1);
+  assert(config_.ports_per_bank >= 1);
+  lines_.resize(static_cast<std::size_t>(config_.num_banks) *
+                config_.sets_per_bank * config_.ways);
+  ports_used_.resize(static_cast<std::size_t>(config_.num_banks), 0);
+}
+
+int InterleavedCache::BankOf(isa::Word byte_address) const {
+  const auto line = byte_address / static_cast<isa::Word>(config_.line_bytes);
+  return static_cast<int>(line % static_cast<isa::Word>(config_.num_banks));
+}
+
+std::size_t InterleavedCache::LineIndex(int bank, int set, int way) const {
+  return (static_cast<std::size_t>(bank) * config_.sets_per_bank + set) *
+             config_.ways +
+         way;
+}
+
+int InterleavedCache::Access(isa::Word byte_address, bool is_store) {
+  const int bank = BankOf(byte_address);
+  if (ports_used_[static_cast<std::size_t>(bank)] >= config_.ports_per_bank) {
+    ++stats_.bank_conflicts;
+    return -1;
+  }
+  ++ports_used_[static_cast<std::size_t>(bank)];
+
+  const auto line_no =
+      byte_address / static_cast<isa::Word>(config_.line_bytes);
+  const auto set = static_cast<int>(
+      (line_no / static_cast<isa::Word>(config_.num_banks)) %
+      static_cast<isa::Word>(config_.sets_per_bank));
+  const auto tag = static_cast<std::uint64_t>(
+      line_no / static_cast<isa::Word>(config_.num_banks) /
+      static_cast<isa::Word>(config_.sets_per_bank));
+
+  ++access_counter_;
+  int free_way = -1;
+  int lru_way = 0;
+  std::uint64_t lru_min = ~std::uint64_t{0};
+  for (int w = 0; w < config_.ways; ++w) {
+    Line& line = lines_[LineIndex(bank, set, w)];
+    if (line.valid && line.tag == tag) {
+      line.lru = access_counter_;
+      ++stats_.hits;
+      return config_.hit_latency;
+    }
+    if (!line.valid && free_way < 0) free_way = w;
+    if (line.lru < lru_min) {
+      lru_min = line.lru;
+      lru_way = w;
+    }
+  }
+  // Miss: fill (write-allocate for both loads and stores).
+  ++stats_.misses;
+  const int victim = free_way >= 0 ? free_way : lru_way;
+  Line& line = lines_[LineIndex(bank, set, victim)];
+  line.valid = true;
+  line.tag = tag;
+  line.lru = access_counter_;
+  (void)is_store;  // Write-through: timing identical, data lives in store_.
+  (void)store_;
+  return config_.hit_latency + config_.miss_penalty;
+}
+
+void InterleavedCache::NewCycle() {
+  for (auto& p : ports_used_) p = 0;
+}
+
+void InterleavedCache::Flush() {
+  for (auto& line : lines_) line.valid = false;
+}
+
+}  // namespace ultra::memory

@@ -1,0 +1,83 @@
+// Interleaved, banked data cache (Section 2: "We propose to connect the
+// Ultrascalar I datapath to an interleaved data cache ... via fat-tree or
+// butterfly networks").
+//
+// Lines are interleaved across banks at line granularity, so consecutive
+// lines live in different banks and independent accesses proceed in
+// parallel. Each bank is set-associative with LRU replacement and accepts a
+// fixed number of accesses per cycle; excess accesses are bank conflicts the
+// caller must retry or queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.hpp"
+#include "memory/backing_store.hpp"
+
+namespace ultra::memory {
+
+struct CacheConfig {
+  int num_banks = 8;      // Power of two.
+  int sets_per_bank = 64;
+  int ways = 2;
+  int line_bytes = 16;    // Power of two.
+  int hit_latency = 1;    // Cycles from bank access to data.
+  int miss_penalty = 10;  // Additional cycles on a miss.
+  int ports_per_bank = 1; // Accesses a bank accepts per cycle.
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bank_conflicts = 0;
+
+  [[nodiscard]] double HitRate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// The cache is a timing model layered over a BackingStore: data always
+/// comes from / goes to the store (write-through), and the cache decides how
+/// many cycles the access takes. This keeps the architectural state in one
+/// place, which the correctness tests rely on.
+class InterleavedCache {
+ public:
+  InterleavedCache(const CacheConfig& config, BackingStore* store);
+
+  /// Which bank serves @p byte_address.
+  [[nodiscard]] int BankOf(isa::Word byte_address) const;
+
+  /// Starts one access (load or store). Returns the total latency in cycles,
+  /// or -1 if the bank is out of ports this cycle (a bank conflict; the
+  /// caller retries next cycle). Call NewCycle() once per simulated cycle.
+  int Access(isa::Word byte_address, bool is_store);
+
+  /// Resets per-cycle port counts; call at the start of every cycle.
+  void NewCycle();
+
+  /// Drops all cached lines (e.g. between benchmark runs).
+  void Flush();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;  // Larger = more recently used.
+  };
+
+  CacheConfig config_;
+  BackingStore* store_;
+  std::vector<Line> lines_;  // [bank][set][way] flattened.
+  std::vector<int> ports_used_;
+  std::uint64_t access_counter_ = 0;
+  CacheStats stats_;
+
+  [[nodiscard]] std::size_t LineIndex(int bank, int set, int way) const;
+};
+
+}  // namespace ultra::memory

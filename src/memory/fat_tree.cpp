@@ -1,0 +1,130 @@
+#include "memory/fat_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "circuit/signal.hpp"
+
+namespace ultra::memory {
+
+namespace {
+int NextPowerOfTwo(int v) {
+  int p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+FatTreeNetwork::FatTreeNetwork(int num_leaves, const BandwidthProfile& profile)
+    : leaves_(NextPowerOfTwo(std::max(1, num_leaves))),
+      levels_(circuit::CeilLog2(leaves_)),
+      profile_(profile) {
+  nodes_.resize(static_cast<std::size_t>(2 * leaves_));
+}
+
+int FatTreeNetwork::SubtreeLeaves(int node) const {
+  int depth = 0;
+  for (int v = node; v > 1; v >>= 1) ++depth;
+  return leaves_ >> depth;
+}
+
+int FatTreeNetwork::LinkCapacity(int subtree_leaves) const {
+  return std::max(1, static_cast<int>(std::floor(
+                         profile_(static_cast<double>(subtree_leaves)))));
+}
+
+void FatTreeNetwork::SubmitUp(int leaf, std::uint64_t id) {
+  assert(leaf >= 0 && leaf < leaves_);
+  nodes_[static_cast<std::size_t>(LeafNode(leaf))].up.push_back({id, leaf});
+  ++stats_.messages_up;
+}
+
+void FatTreeNetwork::SubmitDown(int leaf, std::uint64_t id) {
+  assert(leaf >= 0 && leaf < leaves_);
+  nodes_[1].down.push_back({id, leaf});
+  ++stats_.messages_down;
+}
+
+void FatTreeNetwork::Tick() {
+  // Up direction: shallow nodes first, so a message moves one level per
+  // cycle. The root's uplink is the memory port itself with capacity
+  // M(leaves); processing it before the deeper nodes keeps the one-hop-per-
+  // cycle discipline.
+  {
+    auto& q = nodes_[1].up;
+    const int cap = LinkCapacity(leaves_);
+    for (int moved = 0; moved < cap && !q.empty(); ++moved) {
+      at_root_.push_back(q.front().id);
+      q.pop_front();
+    }
+    stats_.queue_cycles += q.size();
+  }
+  for (int node = 2; node < 2 * leaves_; ++node) {
+    auto& q = nodes_[static_cast<std::size_t>(node)].up;
+    const int cap = LinkCapacity(SubtreeLeaves(node));
+    const int parent = node / 2;
+    for (int moved = 0; moved < cap && !q.empty(); ++moved) {
+      Msg m = q.front();
+      q.pop_front();
+      nodes_[static_cast<std::size_t>(parent)].up.push_back(m);
+    }
+    stats_.queue_cycles += q.size();
+    stats_.max_queue_depth = std::max<std::uint64_t>(
+        stats_.max_queue_depth, q.size());
+  }
+
+  // Down direction: deep nodes first.
+  for (int node = 2 * leaves_ - 1; node >= 1; --node) {
+    auto& q = nodes_[static_cast<std::size_t>(node)].down;
+    if (node >= leaves_) {
+      // Leaf node: deliver everything that has arrived.
+      while (!q.empty()) {
+        at_leaves_.push_back({q.front().leaf, q.front().id});
+        q.pop_front();
+      }
+      continue;
+    }
+    // Internal node: route each message toward the child containing its
+    // target leaf, subject to the per-child link capacity.
+    const int left = 2 * node;
+    const int right = 2 * node + 1;
+    const int child_cap = LinkCapacity(SubtreeLeaves(left));
+    int moved_left = 0;
+    int moved_right = 0;
+    std::deque<Msg> stay;
+    while (!q.empty()) {
+      Msg m = q.front();
+      q.pop_front();
+      const int leaf_node = LeafNode(m.leaf);
+      // Is the target leaf under the right child?
+      int v = leaf_node;
+      while (v / 2 != node) v /= 2;
+      if (v == left && moved_left < child_cap) {
+        nodes_[static_cast<std::size_t>(left)].down.push_back(m);
+        ++moved_left;
+      } else if (v == right && moved_right < child_cap) {
+        nodes_[static_cast<std::size_t>(right)].down.push_back(m);
+        ++moved_right;
+      } else {
+        stay.push_back(m);
+      }
+    }
+    q = std::move(stay);
+    stats_.queue_cycles += q.size();
+  }
+}
+
+std::vector<std::uint64_t> FatTreeNetwork::DrainRoot() {
+  auto out = std::move(at_root_);
+  at_root_.clear();
+  return out;
+}
+
+std::vector<FatTreeNetwork::Delivery> FatTreeNetwork::DrainLeaves() {
+  auto out = std::move(at_leaves_);
+  at_leaves_.clear();
+  return out;
+}
+
+}  // namespace ultra::memory

@@ -1,0 +1,81 @@
+// Fat-tree interconnect between execution stations and the memory system
+// (Leiserson-style fat tree; Section 2 and the M nodes of Figure 6).
+//
+// A complete binary tree with the n stations at the leaves and the cache at
+// the root. The capacity of the link from a subtree of s leaves toward the
+// root is Theta(M(s)) messages per cycle -- "one can choose how much
+// bandwidth to implement by adjusting the fatness of the trees". Messages
+// advance one level per cycle and queue at each node when a link is
+// saturated.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "memory/bandwidth.hpp"
+
+namespace ultra::memory {
+
+struct FatTreeStats {
+  std::uint64_t messages_up = 0;
+  std::uint64_t messages_down = 0;
+  std::uint64_t queue_cycles = 0;  // Total cycles messages spent queued.
+  std::uint64_t max_queue_depth = 0;
+};
+
+class FatTreeNetwork {
+ public:
+  /// @p num_leaves is rounded up to a power of two internally. Messages
+  /// advance one tree level per cycle.
+  FatTreeNetwork(int num_leaves, const BandwidthProfile& profile);
+
+  [[nodiscard]] int num_leaves() const { return leaves_; }
+  [[nodiscard]] int levels() const { return levels_; }
+
+  /// Injects a message (request id) at a leaf, headed to the root.
+  void SubmitUp(int leaf, std::uint64_t id);
+  /// Injects a message at the root, headed to @p leaf.
+  void SubmitDown(int leaf, std::uint64_t id);
+
+  /// Advances one cycle: every link moves up to its capacity.
+  void Tick();
+
+  /// Drains messages that reached the root / their leaf this cycle.
+  std::vector<std::uint64_t> DrainRoot();
+  struct Delivery {
+    int leaf;
+    std::uint64_t id;
+  };
+  std::vector<Delivery> DrainLeaves();
+
+  /// Capacity of the uplink of a subtree with @p subtree_leaves leaves.
+  [[nodiscard]] int LinkCapacity(int subtree_leaves) const;
+
+  [[nodiscard]] const FatTreeStats& stats() const { return stats_; }
+
+ private:
+  struct Msg {
+    std::uint64_t id;
+    int leaf;  // Destination (down) or origin (up).
+  };
+  struct Node {
+    std::deque<Msg> up;
+    std::deque<Msg> down;
+  };
+
+  int leaves_;   // Power of two.
+  int levels_;   // Tree height; leaves are at depth levels_.
+  BandwidthProfile profile_;
+  std::vector<Node> nodes_;  // Heap layout: node 1 = root, children 2i, 2i+1.
+  std::vector<std::uint64_t> at_root_;
+  std::vector<Delivery> at_leaves_;
+  FatTreeStats stats_;
+
+  [[nodiscard]] int LeafNode(int leaf) const {
+    return leaves_ + leaf;
+  }
+  [[nodiscard]] int SubtreeLeaves(int node) const;
+};
+
+}  // namespace ultra::memory

@@ -1,0 +1,284 @@
+#include "memory/memory_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ultra::memory {
+
+MemorySystem::MemorySystem(const MemoryConfig& config, int num_leaves)
+    : config_(config),
+      num_leaves_(std::max(1, num_leaves)),
+      ops_per_cycle_(1),
+      profile_(BandwidthProfile::ForRegime(config.regime,
+                                           config.bandwidth_scale)) {
+  ops_per_cycle_ = profile_.OpsPerCycle(num_leaves_);
+  cache_ = std::make_unique<InterleavedCache>(config_.cache, &store_);
+  if (config_.mode == MemTimingMode::kFatTree) {
+    network_ = std::make_unique<FatTreeNetwork>(num_leaves_, profile_);
+  }
+  if (config_.mode == MemTimingMode::kButterfly) {
+    butterfly_ = std::make_unique<ButterflyNetwork>(num_leaves_);
+  }
+  if (config_.cluster_cache_leaves > 0) {
+    const int clusters =
+        (num_leaves_ + config_.cluster_cache_leaves - 1) /
+        config_.cluster_cache_leaves;
+    cluster_caches_.assign(static_cast<std::size_t>(clusters), {});
+  }
+}
+
+int MemorySystem::ButterflyPort(isa::Word addr) const {
+  return cache_->BankOf(addr) % num_leaves_;
+}
+
+int MemorySystem::ClusterOf(int leaf) const {
+  return leaf / config_.cluster_cache_leaves;
+}
+
+bool MemorySystem::ClusterCacheLookup(int cluster, isa::Word addr) {
+  auto& cache = cluster_caches_[static_cast<std::size_t>(cluster)];
+  const auto it = std::find(cache.begin(), cache.end(), addr & ~isa::Word{3});
+  if (it == cache.end()) {
+    ++cluster_stats_.local_misses;
+    return false;
+  }
+  // LRU: move to the back (most recent).
+  cache.erase(it);
+  cache.push_back(addr & ~isa::Word{3});
+  ++cluster_stats_.local_hits;
+  return true;
+}
+
+void MemorySystem::ClusterCacheInsert(int cluster, isa::Word addr) {
+  auto& cache = cluster_caches_[static_cast<std::size_t>(cluster)];
+  const isa::Word aligned = addr & ~isa::Word{3};
+  if (std::find(cache.begin(), cache.end(), aligned) != cache.end()) return;
+  if (static_cast<int>(cache.size()) >= config_.cluster_cache_words) {
+    cache.erase(cache.begin());  // Evict LRU.
+  }
+  cache.push_back(aligned);
+}
+
+void MemorySystem::ClusterCacheInvalidate(isa::Word addr) {
+  const isa::Word aligned = addr & ~isa::Word{3};
+  for (auto& cache : cluster_caches_) {
+    const auto it = std::find(cache.begin(), cache.end(), aligned);
+    if (it != cache.end()) {
+      cache.erase(it);
+      ++cluster_stats_.invalidations;
+    }
+  }
+}
+
+void MemorySystem::Reset(const std::map<isa::Word, isa::Word>& image) {
+  store_.Load(image);
+  cache_->Flush();
+  for (auto& c : cluster_caches_) c.clear();
+  if (config_.mode == MemTimingMode::kFatTree) {
+    network_ = std::make_unique<FatTreeNetwork>(num_leaves_, profile_);
+  }
+  if (config_.mode == MemTimingMode::kButterfly) {
+    butterfly_ = std::make_unique<ButterflyNetwork>(num_leaves_);
+  }
+  admission_queue_ = {};
+  root_retry_queue_ = {};
+  completions_.clear();
+  in_network_.clear();
+  completed_.clear();
+  now_ = 0;
+}
+
+std::uint64_t MemorySystem::Submit(int leaf, bool is_store, isa::Word addr,
+                                   isa::Word value) {
+  Request req;
+  req.id = next_id_++;
+  req.leaf = leaf % num_leaves_;
+  req.is_store = is_store;
+  req.addr = addr;
+  // Architectural effect now: stores are submitted post-serialization, so
+  // program order is already correct, and any later load is held back by the
+  // Figure 5 circuits until this store's completion signal.
+  if (is_store) {
+    store_.WriteWord(addr, value);
+    // Write-through with invalidation keeps the distributed caches
+    // coherent; the Figure 5 circuits already order loads after stores.
+    if (!cluster_caches_.empty()) ClusterCacheInvalidate(addr);
+  } else {
+    req.loaded_value = store_.ReadWord(addr);
+    // A distributed-cache hit completes locally, spending no tree
+    // bandwidth (the whole point of the Section 7 suggestion).
+    if (!cluster_caches_.empty() &&
+        ClusterCacheLookup(ClusterOf(req.leaf), addr)) {
+      CompleteAt(now_ + static_cast<std::uint64_t>(
+                            config_.cluster_cache_hit_latency),
+                 req);
+      return req.id;
+    }
+  }
+
+  switch (config_.mode) {
+    case MemTimingMode::kMagic:
+      CompleteAt(now_ + static_cast<std::uint64_t>(
+                            is_store ? config_.magic_store_latency
+                                     : config_.magic_load_latency),
+                 req);
+      break;
+    case MemTimingMode::kBandwidthLimited:
+      admission_queue_.push(req);
+      break;
+    case MemTimingMode::kFatTree:
+      in_network_.emplace(req.id, req);
+      network_->SubmitUp(req.leaf, req.id);
+      break;
+    case MemTimingMode::kButterfly:
+      in_network_.emplace(req.id, req);
+      butterfly_->SubmitForward(req.leaf, ButterflyPort(addr), req.id);
+      break;
+  }
+  return req.id;
+}
+
+std::uint64_t MemorySystem::SubmitLoad(int leaf, isa::Word addr) {
+  return Submit(leaf, /*is_store=*/false, addr, 0);
+}
+
+std::uint64_t MemorySystem::SubmitStore(int leaf, isa::Word addr,
+                                        isa::Word value) {
+  return Submit(leaf, /*is_store=*/true, addr, value);
+}
+
+void MemorySystem::CompleteAt(std::uint64_t cycle, const Request& req) {
+  if (!req.is_store && !cluster_caches_.empty()) {
+    ClusterCacheInsert(ClusterOf(req.leaf), req.addr);
+  }
+  MemResponse resp;
+  resp.id = req.id;
+  resp.is_store = req.is_store;
+  resp.value = req.loaded_value;
+  completions_[cycle].push_back(resp);
+}
+
+void MemorySystem::ServiceAtCache(const Request& req,
+                                  int extra_delay_before_response) {
+  const int latency = cache_->Access(req.addr, req.is_store);
+  if (latency < 0) {
+    // Bank conflict: retry next cycle at the cache side.
+    root_retry_queue_.push(req);
+    return;
+  }
+  if (config_.mode == MemTimingMode::kFatTree ||
+      config_.mode == MemTimingMode::kButterfly) {
+    // The response starts its return trip once the cache latency elapses.
+    pending_downs_.push_back({now_ + static_cast<std::uint64_t>(latency), req});
+    return;
+  }
+  CompleteAt(now_ + static_cast<std::uint64_t>(latency +
+                                               extra_delay_before_response),
+             req);
+}
+
+void MemorySystem::Tick() {
+  ++now_;
+  cache_->NewCycle();
+
+  switch (config_.mode) {
+    case MemTimingMode::kMagic:
+      break;
+    case MemTimingMode::kBandwidthLimited: {
+      // Retried bank-conflict requests compete for bandwidth first.
+      int budget = ops_per_cycle_;
+      while (budget > 0 && !root_retry_queue_.empty()) {
+        Request req = root_retry_queue_.front();
+        root_retry_queue_.pop();
+        --budget;
+        ServiceAtCache(req, 0);
+      }
+      while (budget > 0 && !admission_queue_.empty()) {
+        Request req = admission_queue_.front();
+        admission_queue_.pop();
+        --budget;
+        ServiceAtCache(req, 0);
+      }
+      break;
+    }
+    case MemTimingMode::kFatTree: {
+      network_->Tick();
+      for (const std::uint64_t id : network_->DrainRoot()) {
+        const auto it = in_network_.find(id);
+        assert(it != in_network_.end());
+        ServiceAtCache(it->second, 0);
+      }
+      // Bank-conflict retries at the root.
+      const std::size_t retries = root_retry_queue_.size();
+      for (std::size_t i = 0; i < retries; ++i) {
+        Request req = root_retry_queue_.front();
+        root_retry_queue_.pop();
+        ServiceAtCache(req, 0);
+      }
+      // Responses whose cache latency has elapsed start the downward trip.
+      std::vector<std::pair<std::uint64_t, Request>> still_waiting;
+      for (auto& [ready, req] : pending_downs_) {
+        if (ready <= now_) {
+          network_->SubmitDown(req.leaf, req.id);
+        } else {
+          still_waiting.emplace_back(ready, req);
+        }
+      }
+      pending_downs_ = std::move(still_waiting);
+      for (const auto& delivery : network_->DrainLeaves()) {
+        const auto it = in_network_.find(delivery.id);
+        assert(it != in_network_.end());
+        CompleteAt(now_, it->second);
+        in_network_.erase(it);
+      }
+      break;
+    }
+    case MemTimingMode::kButterfly: {
+      butterfly_->Tick();
+      for (const auto& arrival : butterfly_->DrainForward()) {
+        const auto it = in_network_.find(arrival.id);
+        assert(it != in_network_.end());
+        ServiceAtCache(it->second, 0);
+      }
+      const std::size_t retries = root_retry_queue_.size();
+      for (std::size_t i = 0; i < retries; ++i) {
+        Request req = root_retry_queue_.front();
+        root_retry_queue_.pop();
+        ServiceAtCache(req, 0);
+      }
+      std::vector<std::pair<std::uint64_t, Request>> still_waiting;
+      for (auto& [ready, req] : pending_downs_) {
+        if (ready <= now_) {
+          butterfly_->SubmitReverse(ButterflyPort(req.addr), req.leaf,
+                                    req.id);
+        } else {
+          still_waiting.emplace_back(ready, req);
+        }
+      }
+      pending_downs_ = std::move(still_waiting);
+      for (const auto& arrival : butterfly_->DrainReverse()) {
+        const auto it = in_network_.find(arrival.id);
+        assert(it != in_network_.end());
+        CompleteAt(now_, it->second);
+        in_network_.erase(it);
+      }
+      break;
+    }
+  }
+
+  // Publish completions due this cycle.
+  while (!completions_.empty() && completions_.begin()->first <= now_) {
+    for (const auto& resp : completions_.begin()->second) {
+      completed_.push_back(resp);
+    }
+    completions_.erase(completions_.begin());
+  }
+}
+
+std::vector<MemResponse> MemorySystem::DrainCompleted() {
+  auto out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+}  // namespace ultra::memory

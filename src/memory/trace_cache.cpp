@@ -1,0 +1,49 @@
+#include "memory/trace_cache.hpp"
+
+#include <cassert>
+
+namespace ultra::memory {
+
+TraceCache::TraceCache(int capacity, int max_branches, int max_length)
+    : capacity_(capacity), max_branches_(max_branches),
+      max_length_(max_length) {
+  assert(capacity_ >= 1);
+  assert(max_branches_ >= 0 && max_branches_ < 20);
+  assert(max_length_ >= 1);
+}
+
+const std::vector<std::size_t>* TraceCache::Lookup(
+    std::size_t pc, std::uint32_t outcome_bits) {
+  const Key key = MakeKey(pc, outcome_bits);
+  const auto it = traces_.find(key);
+  if (it == traces_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.second);
+  lru_.push_front(key);
+  it->second.second = lru_.begin();
+  return &it->second.first;
+}
+
+void TraceCache::Install(std::size_t pc, std::uint32_t outcome_bits,
+                         std::vector<std::size_t> pcs) {
+  const Key key = MakeKey(pc, outcome_bits);
+  if (const auto it = traces_.find(key); it != traces_.end()) {
+    it->second.first = std::move(pcs);
+    lru_.erase(it->second.second);
+    lru_.push_front(key);
+    it->second.second = lru_.begin();
+    return;
+  }
+  if (static_cast<int>(traces_.size()) >= capacity_) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    traces_.erase(victim);
+  }
+  lru_.push_front(key);
+  traces_.emplace(key, std::make_pair(std::move(pcs), lru_.begin()));
+}
+
+}  // namespace ultra::memory

@@ -1,0 +1,60 @@
+// Instruction trace cache (Rotenberg/Bennett/Smith-style), the fetch-side
+// structure the paper proposes to connect through the instruction fat tree.
+//
+// A trace is a run of dynamic instructions starting at a PC under a specific
+// vector of predicted branch outcomes. A hit supplies the whole run in one
+// cycle; a miss falls back to sequential fetch (which stops at the first
+// predicted-taken transfer) and installs the observed run.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace ultra::memory {
+
+struct TraceCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class TraceCache {
+ public:
+  /// @p capacity is the number of traces held (LRU replacement);
+  /// @p max_branches is the number of embedded conditional branches a single
+  /// trace may contain; @p max_length is the trace length in instructions.
+  TraceCache(int capacity, int max_branches, int max_length);
+
+  [[nodiscard]] int max_branches() const { return max_branches_; }
+  [[nodiscard]] int max_length() const { return max_length_; }
+
+  /// Looks up the trace starting at @p pc under predicted @p outcome_bits
+  /// (bit k = outcome of the k-th conditional branch in the trace).
+  /// Returns nullptr on miss.
+  const std::vector<std::size_t>* Lookup(std::size_t pc,
+                                         std::uint32_t outcome_bits);
+
+  /// Installs a trace (called after a miss).
+  void Install(std::size_t pc, std::uint32_t outcome_bits,
+               std::vector<std::size_t> pcs);
+
+  [[nodiscard]] const TraceCacheStats& stats() const { return stats_; }
+
+ private:
+  using Key = std::uint64_t;
+  static Key MakeKey(std::size_t pc, std::uint32_t outcome_bits) {
+    return (static_cast<std::uint64_t>(pc) << 20) ^ outcome_bits;
+  }
+
+  int capacity_;
+  int max_branches_;
+  int max_length_;
+  std::list<Key> lru_;  // Front = most recent.
+  std::unordered_map<Key, std::pair<std::vector<std::size_t>,
+                                    std::list<Key>::iterator>>
+      traces_;
+  TraceCacheStats stats_;
+};
+
+}  // namespace ultra::memory

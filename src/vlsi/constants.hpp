@@ -1,0 +1,67 @@
+// Physical/layout constants for the VLSI models.
+//
+// The paper's empirical study (Section 7) uses a 0.35 micrometer CMOS
+// process with three metal layers and a home-grown standard-cell library.
+// We do not have those cells; instead the constants below are calibrated so
+// that the layout recurrences reproduce the paper's two published data
+// points:
+//
+//   * 64-station Ultrascalar I register datapath: 7 cm x 7 cm
+//     (~13,000 stations/m^2),
+//   * 128-station 4-cluster hybrid: 3.2 cm x 2.7 cm (~150,000 stations/m^2,
+//     about 11.5x denser),
+//
+// both for L = 32 32-bit registers. Everything else (scaling exponents,
+// crossovers, optimal cluster sizes) is then *derived*, not fitted.
+#pragma once
+
+namespace ultra::vlsi {
+
+struct LayoutConstants {
+  int word_bits = 32;  // Register width (the paper's ISA is 32-bit).
+
+  /// Metal track pitch in um for the 0.35 um, 3-metal process. One register
+  /// requires word_bits+1 tracks (value + ready bit) in each direction.
+  double track_pitch_um = 2.2;
+
+  /// Side of one execution station (register file + simple integer ALU +
+  /// decode + control) in um: base + per-register term. The paper's base
+  /// case is X(1) = Theta(L) -- a station holds a copy of all L registers.
+  double station_base_um = 500.0;
+  double station_per_reg_um = 62.5;  // 500 + 62.5*32 = 2500 um at L = 32.
+
+  /// Extra side length contributed by one CSPP prefix node per register bit
+  /// (the P nodes of Figure 6), in um.
+  double prefix_cell_um = 4.8;
+
+  /// Side length of a memory fat-tree switch per unit of bandwidth (the M
+  /// nodes of Figure 6), in um.
+  double memory_port_um = 180.0;
+
+  /// Ultrascalar II grid: height of one row / width of one column of the
+  /// crosspoint array, per word, in um (comparator + mux + wiring for a
+  /// 32-bit binding).
+  double grid_pitch_um = 173.0;
+
+  /// Wire-delay conversion: picoseconds per millimeter of repeated wire
+  /// (Dally & Poulton-style repeated-wire velocity in 0.35 um).
+  double wire_ps_per_mm = 75.0;
+
+  /// Gate delay in picoseconds (one 2-input gate, 0.35 um).
+  double gate_ps = 120.0;
+
+  // --- 3-D packaging (Section 7) ---
+  /// Station cell volume per register bit in um^3 (3-D stacking).
+  double station_cell_um3 = 600.0;
+  /// Memory switch cross-section side per sqrt(bandwidth) unit in um.
+  double memory_port_3d_um = 20.0;
+
+  [[nodiscard]] double StationSideUm(int num_regs) const {
+    return station_base_um + station_per_reg_um * num_regs;
+  }
+};
+
+/// The constants used throughout the reproduction.
+inline constexpr LayoutConstants kDefaultConstants{};
+
+}  // namespace ultra::vlsi

@@ -1,0 +1,63 @@
+#include "vlsi/delay.hpp"
+
+#include <cassert>
+
+#include "datapath/datapath.hpp"
+
+namespace ultra::vlsi {
+
+GateDelays MeasureGateDelays(std::int64_t n, int num_regs, int cluster_size) {
+  assert(n >= 1);
+  const int ni = static_cast<int>(n);
+  GateDelays d;
+  {
+    const datapath::UltrascalarIDatapath ring(ni, 1, datapath::PrefixImpl::kRing);
+    d.usi_ring = ring.WorstCaseGateDepth();
+    const datapath::UltrascalarIDatapath tree(ni, 1, datapath::PrefixImpl::kTree);
+    d.usi_tree = tree.WorstCaseGateDepth();
+  }
+  {
+    const datapath::UltrascalarIIDatapath grid(ni, num_regs,
+                                               datapath::UsiiImpl::kGrid);
+    d.usii_grid = grid.WorstCaseGateDepth();
+    const datapath::UltrascalarIIDatapath mesh(
+        ni, num_regs, datapath::UsiiImpl::kMeshOfTrees);
+    d.usii_mesh = mesh.WorstCaseGateDepth();
+  }
+  {
+    const int c = std::min<std::int64_t>(cluster_size, n);
+    const int whole = (ni / c) * c;  // Whole clusters only.
+    const datapath::HybridDatapath hybrid(std::max(whole, c), num_regs, c);
+    d.hybrid = hybrid.WorstCaseGateDepth();
+  }
+  return d;
+}
+
+Comparison Compare(std::int64_t n, int num_regs,
+                   const memory::BandwidthProfile& profile,
+                   LayoutConstants constants) {
+  Comparison cmp;
+  const GateDelays gates = MeasureGateDelays(n, num_regs, num_regs);
+
+  const UltrascalarILayout usi(num_regs, profile, constants);
+  const UltrascalarIILayout usii(num_regs, constants);
+  const HybridLayout hybrid(num_regs, num_regs, profile, constants);
+
+  cmp.usi_geom = usi.At(n);
+  cmp.usii_linear_geom = usii.At(n, UltrascalarIILayout::Depth::kLinear);
+  cmp.usii_log_geom = usii.At(n, UltrascalarIILayout::Depth::kLogViaTreeOfMeshes);
+  cmp.hybrid_geom = hybrid.At(n);
+
+  const auto wire_ps = [&](const Geometry& g) {
+    return g.wire_um / 1000.0 * constants.wire_ps_per_mm;
+  };
+  cmp.usi = {gates.usi_tree * constants.gate_ps, wire_ps(cmp.usi_geom)};
+  cmp.usii_linear = {gates.usii_grid * constants.gate_ps,
+                     wire_ps(cmp.usii_linear_geom)};
+  cmp.usii_log = {gates.usii_mesh * constants.gate_ps,
+                  wire_ps(cmp.usii_log_geom)};
+  cmp.hybrid = {gates.hybrid * constants.gate_ps, wire_ps(cmp.hybrid_geom)};
+  return cmp;
+}
+
+}  // namespace ultra::vlsi

@@ -1,0 +1,58 @@
+// Delay models: measured gate depths + modelled wire delays.
+//
+// Gate depths come straight from the depth-tracked circuits in
+// src/datapath, so the numbers in the Figure 11 reproduction are the
+// critical paths of the actual networks, not formulas. Wire delays convert
+// the layout models' wire lengths with the repeated-wire constant
+// ("Wire delay can be made linear in wire length by inserting repeater
+// buffers at appropriate intervals", Section 3).
+#pragma once
+
+#include <cstdint>
+
+#include "memory/bandwidth.hpp"
+#include "vlsi/constants.hpp"
+#include "vlsi/layout.hpp"
+
+namespace ultra::vlsi {
+
+/// Measured critical-path gate depth of one full register-datapath
+/// propagation.
+struct GateDelays {
+  int usi_ring = 0;        // Figure 1 (linear).
+  int usi_tree = 0;        // Figure 4 (logarithmic).
+  int usii_grid = 0;       // Figure 7 (linear).
+  int usii_mesh = 0;       // Figure 8 (logarithmic).
+  int hybrid = 0;          // Figure 9/10, linear-gate clusters of size C.
+};
+
+/// Builds the circuits for an (n, L, C) design point and measures them.
+GateDelays MeasureGateDelays(std::int64_t n, int num_regs, int cluster_size);
+
+/// One processor's delay summary at a design point, in picoseconds.
+struct DelaySummary {
+  double gate_ps = 0.0;
+  double wire_ps = 0.0;
+
+  [[nodiscard]] double total_ps() const { return gate_ps + wire_ps; }
+};
+
+/// The three processors the paper compares in Figure 11 (the Ultrascalar II
+/// in both depth flavours).
+struct Comparison {
+  DelaySummary usi;          // Ultrascalar I, log-depth CSPP trees.
+  DelaySummary usii_linear;  // Ultrascalar II, grid.
+  DelaySummary usii_log;     // Ultrascalar II, tree of meshes.
+  DelaySummary hybrid;       // Hybrid, linear-gate clusters, C = L.
+  Geometry usi_geom;
+  Geometry usii_linear_geom;
+  Geometry usii_log_geom;
+  Geometry hybrid_geom;
+};
+
+/// Evaluates every processor at one design point.
+Comparison Compare(std::int64_t n, int num_regs,
+                   const memory::BandwidthProfile& profile,
+                   LayoutConstants constants = kDefaultConstants);
+
+}  // namespace ultra::vlsi

@@ -1,0 +1,160 @@
+#include "vlsi/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "circuit/signal.hpp"
+
+namespace ultra::vlsi {
+
+namespace {
+std::int64_t CeilDiv4(std::int64_t n) { return (n + 3) / 4; }
+}  // namespace
+
+// --- Ultrascalar I -----------------------------------------------------------
+
+UltrascalarILayout::UltrascalarILayout(int num_regs,
+                                       memory::BandwidthProfile profile,
+                                       LayoutConstants constants)
+    : L_(num_regs), profile_(std::move(profile)), c_(constants) {
+  assert(L_ >= 1);
+}
+
+double UltrascalarILayout::BlockSideUm(std::int64_t n) const {
+  // Theta(L) wires and Theta(L) prefix nodes (value + ready bit per
+  // register), plus a fat-tree switch of side Theta(M(n)).
+  const double reg_tracks =
+      static_cast<double>(L_) * (c_.word_bits + 1) * c_.track_pitch_um;
+  const double prefix_cells =
+      static_cast<double>(L_) * c_.word_bits * c_.prefix_cell_um;
+  const double memory = c_.memory_port_um * profile_(static_cast<double>(n));
+  return reg_tracks + prefix_cells + memory;
+}
+
+double UltrascalarILayout::SideUm(std::int64_t n) const {
+  // X(n) = block(n) + 2 X(ceil(n/4)); X(1) = station side.
+  if (n <= 1) return c_.StationSideUm(L_);
+  return BlockSideUm(n) + 2.0 * SideUm(CeilDiv4(n));
+}
+
+double UltrascalarILayout::WireToLeafUm(std::int64_t n) const {
+  // W(n) = X(n/4) + Theta(L + M(n)) + W(n/2); W(1) = half a station.
+  if (n <= 1) return c_.StationSideUm(L_) / 2.0;
+  return SideUm(CeilDiv4(n)) + BlockSideUm(n) + WireToLeafUm((n + 1) / 2);
+}
+
+Geometry UltrascalarILayout::At(std::int64_t n) const {
+  Geometry g;
+  g.side_um = SideUm(n);
+  // "every datapath signal goes up the tree, and then down ... the longest
+  // datapath signal is 2 W(n)."
+  g.wire_um = 2.0 * WireToLeafUm(n);
+  return g;
+}
+
+// --- Ultrascalar II ----------------------------------------------------------
+
+UltrascalarIILayout::UltrascalarIILayout(int num_regs,
+                                         LayoutConstants constants)
+    : L_(num_regs), c_(constants) {
+  assert(L_ >= 1);
+}
+
+double UltrascalarIILayout::SideUm(std::int64_t n, Depth depth) const {
+  const double linear =
+      c_.grid_pitch_um * static_cast<double>(n + L_);
+  switch (depth) {
+    case Depth::kLinear:
+      return linear;
+    case Depth::kLogViaTreeOfMeshes:
+      // Full fan-out/reduction trees cost a log(n+L) blow-up in both
+      // dimensions (Section 5).
+      return linear *
+             std::max(1, circuit::CeilLog2(static_cast<long long>(n + L_)));
+    case Depth::kMixed:
+      // Replace the part of each tree near the root with a linear prefix:
+      // same asymptotics and area as kLinear, "with greatly improved
+      // constant factors" on delay. In our own layout experiment about
+      // three tree levels fit without growing the area.
+      return linear * 1.15;
+  }
+  return linear;
+}
+
+double UltrascalarIILayout::WraparoundSideUm(std::int64_t n,
+                                             Depth depth) const {
+  return SideUm(n, depth) * std::sqrt(2.0);
+}
+
+Geometry UltrascalarIILayout::At(std::int64_t n, Depth depth) const {
+  Geometry g;
+  g.side_um = SideUm(n, depth);
+  // The longest datapath wire spans the grid: from the last station's
+  // column down to the register file and across -- Theta(side).
+  g.wire_um = 2.0 * g.side_um;
+  return g;
+}
+
+// --- Hybrid ------------------------------------------------------------------
+
+HybridLayout::HybridLayout(int num_regs, int cluster_size,
+                           memory::BandwidthProfile profile,
+                           LayoutConstants constants)
+    : L_(num_regs),
+      C_(cluster_size),
+      profile_(std::move(profile)),
+      c_(constants),
+      cluster_(num_regs, constants) {
+  assert(C_ >= 1);
+}
+
+double HybridLayout::SideUm(std::int64_t n) const {
+  // U(n) = Theta(n + L) for n <= C; U(n) = Theta(L + M(n)) + 2 U(n/4) above.
+  if (n <= C_) return cluster_.SideUm(n, UltrascalarIILayout::Depth::kLinear);
+  const double reg_tracks =
+      static_cast<double>(L_) * (c_.word_bits + 1) * c_.track_pitch_um;
+  const double prefix_cells =
+      static_cast<double>(L_) * c_.word_bits * c_.prefix_cell_um;
+  const double memory = c_.memory_port_um * profile_(static_cast<double>(n));
+  return reg_tracks + prefix_cells + memory + 2.0 * SideUm(CeilDiv4(n));
+}
+
+double HybridLayout::WireToLeafUm(std::int64_t n) const {
+  if (n <= C_) {
+    return cluster_.SideUm(n, UltrascalarIILayout::Depth::kLinear);
+  }
+  const double reg_tracks =
+      static_cast<double>(L_) * (c_.word_bits + 1) * c_.track_pitch_um;
+  const double prefix_cells =
+      static_cast<double>(L_) * c_.word_bits * c_.prefix_cell_um;
+  const double memory = c_.memory_port_um * profile_(static_cast<double>(n));
+  return SideUm(CeilDiv4(n)) + reg_tracks + prefix_cells + memory +
+         WireToLeafUm((n + 1) / 2);
+}
+
+Geometry HybridLayout::At(std::int64_t n) const {
+  Geometry g;
+  g.side_um = SideUm(n);
+  g.wire_um = 2.0 * WireToLeafUm(n);
+  return g;
+}
+
+int OptimalClusterSize(int num_regs, std::int64_t n,
+                       const memory::BandwidthProfile& profile,
+                       LayoutConstants constants) {
+  int best_c = 1;
+  double best_side = std::numeric_limits<double>::infinity();
+  for (int c = 1; c <= n; c *= 2) {
+    const HybridLayout layout(num_regs, c, profile, constants);
+    const double side = layout.SideUm(n);
+    if (side < best_side) {
+      best_side = side;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace ultra::vlsi

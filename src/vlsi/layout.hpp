@@ -1,0 +1,107 @@
+// VLSI layout models: the paper's side-length and wire-length recurrences,
+// solved numerically with calibrated constants.
+//
+// Section 3 (Ultrascalar I, H-tree floorplan of Figure 6):
+//   X(n) = Theta(L) + Theta(M(n)) + 2 X(n/4),  X(1) = Theta(L)
+//   W(n) = X(n/4) + Theta(L + M(n)) + W(n/2),  W(1) = Theta(1)
+// Section 5 (Ultrascalar II): side Theta(n + L) linear-depth,
+//   Theta((n+L) log(n+L)) log-depth, linear again for the mixed strategy.
+// Section 6 (hybrid, Figure 10):
+//   U(n) = Theta(n + L)                      if n <= C,
+//   U(n) = Theta(L + M(n)) + 2 U(n/4)        otherwise.
+//
+// Gate delays are not modelled here with formulas: they are *measured* by
+// building the depth-tracked circuits from src/datapath (see delay.hpp), so
+// the analytical layer cannot drift from the circuits.
+#pragma once
+
+#include <cstdint>
+
+#include "memory/bandwidth.hpp"
+#include "vlsi/constants.hpp"
+
+namespace ultra::vlsi {
+
+/// Geometry of one design point.
+struct Geometry {
+  double side_um = 0.0;
+  double wire_um = 0.0;  // Longest point-to-point datapath wire.
+
+  [[nodiscard]] double area_um2() const { return side_um * side_um; }
+  [[nodiscard]] double area_cm2() const { return area_um2() / 1e8; }
+  [[nodiscard]] double side_cm() const { return side_um / 1e4; }
+};
+
+/// The Ultrascalar I H-tree layout.
+class UltrascalarILayout {
+ public:
+  UltrascalarILayout(int num_regs, memory::BandwidthProfile profile,
+                     LayoutConstants constants = kDefaultConstants);
+
+  /// X(n): side length of an n-station layout, in um.
+  [[nodiscard]] double SideUm(std::int64_t n) const;
+  /// W(n): root-to-leaf wire length; the longest datapath signal is 2 W(n).
+  [[nodiscard]] double WireToLeafUm(std::int64_t n) const;
+  [[nodiscard]] Geometry At(std::int64_t n) const;
+
+  /// Side of the central block at a subtree of n stations (Theta(L + M(n))).
+  [[nodiscard]] double BlockSideUm(std::int64_t n) const;
+
+ private:
+  int L_;
+  memory::BandwidthProfile profile_;
+  LayoutConstants c_;
+};
+
+/// The Ultrascalar II floorplan (Figure 7): stations along the diagonal,
+/// register datapath below, memory switches above.
+class UltrascalarIILayout {
+ public:
+  enum class Depth { kLinear, kLogViaTreeOfMeshes, kMixed };
+
+  UltrascalarIILayout(int num_regs,
+                      LayoutConstants constants = kDefaultConstants);
+
+  [[nodiscard]] double SideUm(std::int64_t n, Depth depth) const;
+  [[nodiscard]] Geometry At(std::int64_t n,
+                            Depth depth = Depth::kLinear) const;
+
+  /// The wrap-around Ultrascalar II (Section 4: "The Ultrascalar II can
+  /// easily be modified to handle wrap-around ... it appears to cost nearly
+  /// a factor of two in area"): same asymptotics, 2x area (sqrt(2) side).
+  [[nodiscard]] double WraparoundSideUm(std::int64_t n, Depth depth) const;
+
+ private:
+  int L_;
+  LayoutConstants c_;
+};
+
+/// The hybrid layout (Figure 10): Ultrascalar II clusters of C stations,
+/// connected by the Ultrascalar I H-tree.
+class HybridLayout {
+ public:
+  HybridLayout(int num_regs, int cluster_size,
+               memory::BandwidthProfile profile,
+               LayoutConstants constants = kDefaultConstants);
+
+  [[nodiscard]] int cluster_size() const { return C_; }
+  [[nodiscard]] double SideUm(std::int64_t n) const;
+  [[nodiscard]] double WireToLeafUm(std::int64_t n) const;
+  [[nodiscard]] Geometry At(std::int64_t n) const;
+
+ private:
+  int L_;
+  int C_;
+  memory::BandwidthProfile profile_;
+  LayoutConstants c_;
+  UltrascalarIILayout cluster_;
+};
+
+/// Numerically minimizes the hybrid side length over the cluster size for a
+/// given n (the paper differentiates dU/dC = 0 and finds C = Theta(L)).
+/// Searches powers of two in [1, n].
+int OptimalClusterSize(int num_regs, std::int64_t n,
+                       const memory::BandwidthProfile& profile,
+                       LayoutConstants constants = kDefaultConstants);
+
+}  // namespace ultra::vlsi

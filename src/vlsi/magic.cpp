@@ -1,0 +1,33 @@
+#include "vlsi/magic.hpp"
+
+namespace ultra::vlsi {
+
+namespace {
+/// The Figure 12 layouts omit the memory datapath.
+memory::BandwidthProfile NoMemory() {
+  return memory::BandwidthProfile("M(n)=0", 0.0, 0.0);
+}
+}  // namespace
+
+MagicDataPoint MagicUsiDatapath(std::int64_t n, int num_regs,
+                                LayoutConstants constants) {
+  const UltrascalarILayout layout(num_regs, NoMemory(), constants);
+  MagicDataPoint p;
+  p.name = "UltrascalarI(" + std::to_string(n) + ")";
+  p.stations = n;
+  p.geom = layout.At(n);
+  return p;
+}
+
+MagicDataPoint MagicHybridDatapath(std::int64_t n, int cluster_size,
+                                   int num_regs, LayoutConstants constants) {
+  const HybridLayout layout(num_regs, cluster_size, NoMemory(), constants);
+  MagicDataPoint p;
+  p.name = "Hybrid(" + std::to_string(n) + ",C=" +
+           std::to_string(cluster_size) + ")";
+  p.stations = n;
+  p.geom = layout.At(n);
+  return p;
+}
+
+}  // namespace ultra::vlsi

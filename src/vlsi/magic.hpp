@@ -1,0 +1,52 @@
+// The Figure 12 empirical comparison, as a model.
+//
+// The paper lays out two register datapaths with the Magic VLSI editor in a
+// 0.35 um, 3-metal process (L = 32 32-bit registers, no memory datapath):
+//
+//   (a) 64-station Ultrascalar I:      7 cm x 7 cm   (~13,000 stations/m^2)
+//   (b) 128-station 4-cluster hybrid:  3.2 cm x 2.7 cm (~150,000/m^2,
+//                                      about 11.5x denser)
+//
+// We reproduce the experiment by evaluating the calibrated layout models at
+// the same design points (register datapath only: the memory term is zero,
+// matching "The layouts implement communication among instructions; they do
+// not implement communication to memory").
+#pragma once
+
+#include <string>
+
+#include "vlsi/layout.hpp"
+
+namespace ultra::vlsi {
+
+struct MagicDataPoint {
+  std::string name;
+  std::int64_t stations = 0;
+  Geometry geom;
+
+  [[nodiscard]] double stations_per_m2() const {
+    const double m2 = geom.area_cm2() / 1e4;
+    return static_cast<double>(stations) / m2;
+  }
+};
+
+/// Paper-reported reference values.
+struct Fig12PaperValues {
+  static constexpr double kUsiAreaCm2 = 49.0;        // 7 cm x 7 cm.
+  static constexpr double kUsiDensityPerM2 = 13000.0;
+  static constexpr double kHybridAreaCm2 = 8.64;     // 3.2 cm x 2.7 cm.
+  static constexpr double kHybridDensityPerM2 = 150000.0;
+  static constexpr double kDensityRatio = 11.5;
+};
+
+/// The 64-station Ultrascalar I register datapath of Figure 12(a).
+MagicDataPoint MagicUsiDatapath(std::int64_t n = 64, int num_regs = 32,
+                                LayoutConstants constants = kDefaultConstants);
+
+/// The 128-station 4-cluster hybrid register datapath of Figure 12(b).
+MagicDataPoint MagicHybridDatapath(std::int64_t n = 128, int cluster_size = 32,
+                                   int num_regs = 32,
+                                   LayoutConstants constants =
+                                       kDefaultConstants);
+
+}  // namespace ultra::vlsi

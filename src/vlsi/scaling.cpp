@@ -1,0 +1,36 @@
+#include "vlsi/scaling.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ultra::vlsi {
+
+PowerFit FitPowerLaw(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  assert(x.size() >= 2);
+  const std::size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(x[i] > 0 && y[i] > 0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  PowerFit fit;
+  fit.exponent = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.exponent * sx) / dn;
+  fit.coefficient = std::exp(intercept);
+  const double ss_tot = syy - sy * sy / dn;
+  const double ss_res =
+      ss_tot - fit.exponent * (sxy - sx * sy / dn);
+  fit.r_squared = ss_tot <= 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace ultra::vlsi

@@ -1,0 +1,19 @@
+// Log-log power-law fitting, used to compare measured scaling against the
+// paper's Theta-bounds (Figure 11).
+#pragma once
+
+#include <span>
+
+namespace ultra::vlsi {
+
+struct PowerFit {
+  double exponent = 0.0;   // Slope of log y vs log x.
+  double coefficient = 0.0;  // exp(intercept): y ~ coefficient * x^exponent.
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit of log(y) = a + b log(x). Requires x, y > 0 and at
+/// least two points.
+PowerFit FitPowerLaw(std::span<const double> x, std::span<const double> y);
+
+}  // namespace ultra::vlsi

@@ -1,0 +1,145 @@
+#include "vlsi/three_d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ultra::vlsi {
+
+namespace {
+std::int64_t CeilDiv8(std::int64_t n) { return (n + 7) / 8; }
+}  // namespace
+
+// --- Ultrascalar I in 3-D ----------------------------------------------------
+
+UltrascalarILayout3D::UltrascalarILayout3D(int num_regs,
+                                           memory::BandwidthProfile profile,
+                                           LayoutConstants constants)
+    : L_(num_regs), profile_(std::move(profile)), c_(constants) {
+  assert(L_ >= 1);
+}
+
+double UltrascalarILayout3D::BlockSideUm(std::int64_t n) const {
+  // A bundle of L*(word_bits+1) register wires crossing a cut occupies a
+  // cross-section of that many track cells: side Theta(sqrt(L)). The
+  // memory switch of bandwidth M(n) likewise needs side Theta(sqrt(M(n))).
+  const double reg_bundle =
+      std::sqrt(static_cast<double>(L_) * (c_.word_bits + 1)) *
+      c_.track_pitch_um * 8.0;
+  const double memory =
+      std::sqrt(std::max(0.0, profile_(static_cast<double>(n)))) *
+      c_.memory_port_3d_um;
+  return reg_bundle + memory;
+}
+
+double UltrascalarILayout3D::SideUm(std::int64_t n) const {
+  if (n <= 1) {
+    // One station of volume Theta(L): side Theta(cbrt(L)).
+    return std::cbrt(static_cast<double>(L_) * (c_.word_bits + 1) *
+                     c_.station_cell_um3);
+  }
+  return BlockSideUm(n) + 2.0 * SideUm(CeilDiv8(n));
+}
+
+Geometry3D UltrascalarILayout3D::At(std::int64_t n) const {
+  Geometry3D g;
+  g.side_um = SideUm(n);
+  g.wire_um = 2.0 * g.side_um;  // Up and down the octree: Theta(side).
+  return g;
+}
+
+// --- Ultrascalar II in 3-D ---------------------------------------------------
+
+UltrascalarIILayout3D::UltrascalarIILayout3D(int num_regs,
+                                             LayoutConstants constants)
+    : L_(num_regs), c_(constants) {}
+
+double UltrascalarIILayout3D::VolumeUm3(std::int64_t n) const {
+  // "The Ultrascalar II requires volume only O(n^2 + L^2) whether the
+  // linear-depth or log-depth circuits are used" -- the crosspoint array
+  // has Theta((n+L)^2) = Theta(n^2 + L^2) word cells.
+  const double nl = static_cast<double>(n + L_);
+  const double cell_volume =
+      c_.grid_pitch_um * c_.grid_pitch_um * 10.0;  // One word crosspoint.
+  return nl * nl * cell_volume;
+}
+
+Geometry3D UltrascalarIILayout3D::At(std::int64_t n) const {
+  Geometry3D g;
+  g.side_um = std::cbrt(VolumeUm3(n));
+  g.wire_um = 2.0 * g.side_um;
+  return g;
+}
+
+// --- Hybrid in 3-D -----------------------------------------------------------
+
+HybridLayout3D::HybridLayout3D(int num_regs, int cluster_size,
+                               memory::BandwidthProfile profile,
+                               LayoutConstants constants)
+    : L_(num_regs),
+      C_(cluster_size),
+      profile_(std::move(profile)),
+      c_(constants),
+      cluster_(num_regs, constants) {
+  assert(C_ >= 1);
+}
+
+double HybridLayout3D::ClusterSideUm(std::int64_t c) const {
+  // In 3-D the cluster routes only the <= 2C argument values its stations
+  // actually request (the Ultrascalar II principle of sending only needed
+  // registers), so the crosspoint volume is Theta(C^2); the L incoming
+  // registers cost only Theta(L) storage, not an L-wide grid. This is what
+  // makes the paper's optimal cluster Theta(L^{3/4}) reachable: with a full
+  // (C+L)^2 grid per cluster the optimum degenerates to Theta(L).
+  const double routing = static_cast<double>(c) * static_cast<double>(c) *
+                         c_.grid_pitch_um * c_.grid_pitch_um * 10.0;
+  const double storage = static_cast<double>(L_) * (c_.word_bits + 1) *
+                         c_.station_cell_um3;
+  return std::cbrt(routing + storage);
+}
+
+double HybridLayout3D::SideUm(std::int64_t n) const {
+  if (n <= C_) return ClusterSideUm(n);
+  // Closed-form solution of U3(n) = block + 2 U3(n/8), U3(C) = cluster
+  // side, with a real-valued level count so the model is smooth in C (the
+  // integer recursion quantizes by factors of 8 and makes the argmin over C
+  // meaninglessly lumpy).
+  const double reg_bundle =
+      std::sqrt(static_cast<double>(L_) * (c_.word_bits + 1)) *
+      c_.track_pitch_um * 8.0;
+  const double memory =
+      std::sqrt(std::max(0.0, profile_(static_cast<double>(n)))) *
+      c_.memory_port_3d_um;
+  const double block = reg_bundle + memory;
+  const double levels =
+      std::log(static_cast<double>(n) / C_) / std::log(8.0);
+  const double scale = std::pow(2.0, levels);  // (n/C)^{1/3}.
+  return block * (scale - 1.0) + scale * ClusterSideUm(C_);
+}
+
+Geometry3D HybridLayout3D::At(std::int64_t n) const {
+  Geometry3D g;
+  g.side_um = SideUm(n);
+  g.wire_um = 2.0 * g.side_um;
+  return g;
+}
+
+int OptimalClusterSize3D(int num_regs, std::int64_t n,
+                         const memory::BandwidthProfile& profile,
+                         LayoutConstants constants) {
+  int best_c = 1;
+  double best_side = std::numeric_limits<double>::infinity();
+  for (double c = 1; c <= static_cast<double>(n); c *= 1.1892) {  // 2^{1/4}.
+    const int ci = std::max(1, static_cast<int>(c));
+    const HybridLayout3D layout(num_regs, ci, profile, constants);
+    const double side = layout.SideUm(n);
+    if (side < best_side) {
+      best_side = side;
+      best_c = ci;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace ultra::vlsi

@@ -1,0 +1,92 @@
+// Three-dimensional packaging bounds (Section 7).
+//
+// "In a true three-dimensional packaging technology the Ultrascalar bounds
+// do improve because, intuitively, there is more space in three dimensions
+// than in two." The recurrences become octree recursions: a subtree of n
+// stations splits into 8 subcubes of n/8, and a bundle of L registers
+// crossing a cut needs a cross-section of Theta(L), i.e. a side of
+// Theta(sqrt(L)).
+//
+// Paper results reproduced here:
+//   * Ultrascalar I, small M(n): volume Theta(n L^{3/2}),
+//     wire Theta(n^{1/3} L^{1/2}); large M(n) = Omega(n^{2/3+e}) adds
+//     Theta(M(n)^{3/2}) volume.
+//   * Ultrascalar II: volume Theta(n^2 + L^2) for both depth flavours.
+//   * Hybrid: optimal cluster C = Theta(L^{3/4}), volume Theta(n L^{3/4}).
+#pragma once
+
+#include <cstdint>
+
+#include "memory/bandwidth.hpp"
+#include "vlsi/constants.hpp"
+
+namespace ultra::vlsi {
+
+struct Geometry3D {
+  double side_um = 0.0;
+  double wire_um = 0.0;
+
+  [[nodiscard]] double volume_um3() const {
+    return side_um * side_um * side_um;
+  }
+};
+
+class UltrascalarILayout3D {
+ public:
+  UltrascalarILayout3D(int num_regs, memory::BandwidthProfile profile,
+                       LayoutConstants constants = kDefaultConstants);
+
+  /// X3(n) = Theta(sqrt(L)) + Theta(sqrt(M(n))) + 2 X3(n/8).
+  [[nodiscard]] double SideUm(std::int64_t n) const;
+  [[nodiscard]] Geometry3D At(std::int64_t n) const;
+
+ private:
+  int L_;
+  memory::BandwidthProfile profile_;
+  LayoutConstants c_;
+
+  [[nodiscard]] double BlockSideUm(std::int64_t n) const;
+};
+
+class UltrascalarIILayout3D {
+ public:
+  explicit UltrascalarIILayout3D(int num_regs,
+                                 LayoutConstants constants = kDefaultConstants);
+
+  /// Volume Theta(n^2 + L^2), side its cube root.
+  [[nodiscard]] double VolumeUm3(std::int64_t n) const;
+  [[nodiscard]] Geometry3D At(std::int64_t n) const;
+
+ private:
+  int L_;
+  LayoutConstants c_;
+};
+
+class HybridLayout3D {
+ public:
+  HybridLayout3D(int num_regs, int cluster_size,
+                 memory::BandwidthProfile profile,
+                 LayoutConstants constants = kDefaultConstants);
+
+  [[nodiscard]] int cluster_size() const { return C_; }
+  [[nodiscard]] double SideUm(std::int64_t n) const;
+  [[nodiscard]] Geometry3D At(std::int64_t n) const;
+
+ private:
+  int L_;
+  int C_;
+  memory::BandwidthProfile profile_;
+  LayoutConstants c_;
+  UltrascalarIILayout3D cluster_;
+
+  /// Side of one cluster: Theta(C^2) routing + Theta(L) register storage.
+  [[nodiscard]] double ClusterSideUm(std::int64_t c) const;
+};
+
+/// Numeric argmin of the 3-D hybrid side length over power-of-two cluster
+/// sizes (the paper reports C = Theta(L^{3/4})).
+int OptimalClusterSize3D(int num_regs, std::int64_t n,
+                         const memory::BandwidthProfile& profile,
+                         LayoutConstants constants = kDefaultConstants);
+
+}  // namespace ultra::vlsi

@@ -1,0 +1,9 @@
+// Umbrella header for the VLSI complexity-model library.
+#pragma once
+
+#include "vlsi/constants.hpp"  // IWYU pragma: export
+#include "vlsi/delay.hpp"      // IWYU pragma: export
+#include "vlsi/layout.hpp"     // IWYU pragma: export
+#include "vlsi/magic.hpp"      // IWYU pragma: export
+#include "vlsi/scaling.hpp"    // IWYU pragma: export
+#include "vlsi/three_d.hpp"    // IWYU pragma: export

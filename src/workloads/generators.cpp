@@ -1,0 +1,179 @@
+#include "workloads/generators.hpp"
+
+#include <cassert>
+#include <random>
+#include <sstream>
+
+#include "isa/assembler.hpp"
+
+namespace ultra::workloads {
+
+isa::Program DependencyChains(const ChainConfig& config) {
+  assert(config.ilp >= 1);
+  assert(config.num_regs >= config.ilp + 2);
+  std::mt19937 rng(config.seed);
+  std::ostringstream os;
+  // Chain c accumulates into register c+1; r0 stays zero.
+  for (int c = 0; c < config.ilp; ++c) {
+    os << "  li r" << c + 1 << ", " << c + 1 << "\n";
+  }
+  for (int i = 0; i < config.num_instructions; ++i) {
+    const int c = i % config.ilp;
+    const int r = c + 1;
+    if (config.use_long_ops && rng() % 8 == 0) {
+      os << "  mul r" << r << ", r" << r << ", r" << r << "\n";
+    } else if (config.use_long_ops && rng() % 16 == 0) {
+      os << "  div r" << r << ", r" << r << ", r" << r << "\n";
+    } else {
+      os << "  addi r" << r << ", r" << r << ", 1\n";
+    }
+  }
+  os << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program RandomMix(const MixConfig& config) {
+  assert(config.num_regs >= 8);
+  assert(config.memory_words >= 1);
+  std::mt19937 rng(config.seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const auto reg = [&](int lo) {
+    return lo + static_cast<int>(rng() % static_cast<unsigned>(
+                                     config.num_regs - lo));
+  };
+  const auto offset = [&] {
+    return 4 * static_cast<int>(rng() %
+                                static_cast<unsigned>(config.memory_words));
+  };
+  std::ostringstream os;
+  os << "  li r1, 0\n";  // Memory base register.
+  for (int r = 2; r < std::min(8, config.num_regs); ++r) {
+    os << "  li r" << r << ", " << rng() % 1000 << "\n";
+  }
+  for (int i = 0; i < config.num_instructions; ++i) {
+    const double p = uni(rng);
+    if (p < config.load_fraction) {
+      os << "  ld r" << reg(2) << ", " << offset() << "(r1)\n";
+    } else if (p < config.load_fraction + config.store_fraction) {
+      os << "  st r" << reg(2) << ", " << offset() << "(r1)\n";
+    } else if (p < config.load_fraction + config.store_fraction +
+                       config.mul_fraction) {
+      os << "  mul r" << reg(2) << ", r" << reg(2) << ", r" << reg(2) << "\n";
+    } else if (p < config.load_fraction + config.store_fraction +
+                       config.mul_fraction + config.div_fraction) {
+      os << "  div r" << reg(2) << ", r" << reg(2) << ", r" << reg(2) << "\n";
+    } else {
+      const char* ops[] = {"add", "sub", "xor", "and", "or"};
+      os << "  " << ops[rng() % 5] << " r" << reg(2) << ", r" << reg(2)
+         << ", r" << reg(2) << "\n";
+    }
+  }
+  os << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program MemoryStream(const StreamConfig& config) {
+  assert(config.iterations >= 1 && config.loads_per_iter >= 1);
+  assert(config.loads_per_iter <= 20);
+  std::mt19937 rng(config.seed);
+  std::ostringstream os;
+  const int span = config.loads_per_iter * config.stride_words;
+  for (int w = 0; w < span; ++w) {
+    os << "  .word " << 4 * w << " " << rng() % 100 << "\n";
+  }
+  os << "  li r1, 0\n"   // base
+     << "  li r2, 0\n"   // i
+     << "  li r3, " << config.iterations << "\n"
+     << "  li r4, 0\n"   // sum
+     << "loop:\n";
+  for (int k = 0; k < config.loads_per_iter; ++k) {
+    // Independent loads into distinct registers (r8..).
+    os << "  ld r" << 8 + k << ", " << 4 * k * config.stride_words
+       << "(r1)\n";
+  }
+  for (int k = 0; k < config.loads_per_iter; ++k) {
+    os << "  add r4, r4, r" << 8 + k << "\n";
+  }
+  os << "  addi r2, r2, 1\n"
+     << "  blt r2, r3, loop\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program RandomForwardDag(const DagConfig& config) {
+  assert(config.num_blocks >= 1 && config.block_size >= 1);
+  assert(config.num_regs >= 8);
+  std::mt19937 rng(config.seed);
+  const auto reg = [&](int lo) {
+    return lo + static_cast<int>(rng() % static_cast<unsigned>(
+                                     config.num_regs - lo));
+  };
+  std::ostringstream os;
+  os << "  li r1, 0\n";  // Memory base.
+  for (int r = 2; r < 8; ++r) {
+    os << "  li r" << r << ", " << rng() % 64 << "\n";
+  }
+  for (int b = 0; b < config.num_blocks; ++b) {
+    os << "blk" << b << ":\n";
+    for (int i = 0; i < config.block_size; ++i) {
+      switch (rng() % 6) {
+        case 0:
+          os << "  ld r" << reg(2) << ", "
+             << 4 * (rng() % static_cast<unsigned>(config.memory_words))
+             << "(r1)\n";
+          break;
+        case 1:
+          os << "  st r" << reg(2) << ", "
+             << 4 * (rng() % static_cast<unsigned>(config.memory_words))
+             << "(r1)\n";
+          break;
+        case 2:
+          os << "  mul r" << reg(2) << ", r" << reg(2) << ", r" << reg(2)
+             << "\n";
+          break;
+        default:
+          os << "  add r" << reg(2) << ", r" << reg(2) << ", r" << reg(2)
+             << "\n";
+      }
+    }
+    if (b + 1 < config.num_blocks) {
+      // Forward target: any strictly later block (keeps the graph acyclic).
+      const int target =
+          b + 1 + static_cast<int>(rng() % static_cast<unsigned>(
+                                       config.num_blocks - b - 1));
+      if (std::uniform_real_distribution<double>(0, 1)(rng) <
+          config.branch_prob) {
+        const char* ops[] = {"beq", "bne", "blt", "bge"};
+        os << "  " << ops[rng() % 4] << " r" << reg(2) << ", r" << reg(2)
+           << ", blk" << target << "\n";
+      } else if (rng() % 3 == 0) {
+        os << "  jmp blk" << target << "\n";
+      }
+    }
+  }
+  os << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program BranchStorm(int iterations) {
+  assert(iterations >= 1);
+  std::ostringstream os;
+  os << "  li r1, 0\n"   // i
+     << "  li r2, " << iterations << "\n"
+     << "  li r3, 0\n"   // acc
+     << "loop:\n"
+     << "  andi r4, r1, 1\n"
+     << "  li r5, 0\n"
+     << "  beq r4, r5, even\n"
+     << "  addi r3, r3, 7\n"
+     << "  jmp next\n"
+     << "even:\n"
+     << "  addi r3, r3, 1\n"
+     << "next:\n"
+     << "  addi r1, r1, 1\n"
+     << "  blt r1, r2, loop\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+}  // namespace ultra::workloads

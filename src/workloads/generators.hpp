@@ -1,0 +1,65 @@
+// Parameterized synthetic workload generators.
+//
+// The paper's evaluation is about microarchitecture scaling, not benchmark
+// suites; these generators produce programs whose instruction-level
+// parallelism, memory intensity, and branchiness are controlled knobs, so
+// the benches can sweep exactly the dimension under study.
+#pragma once
+
+#include "isa/program.hpp"
+
+namespace ultra::workloads {
+
+/// `ilp` independent chains of dependent single-cycle ops, interleaved
+/// round-robin: the dataflow-limit IPC is exactly min(ilp, window).
+struct ChainConfig {
+  int num_instructions = 256;
+  int ilp = 4;              // Number of independent chains (>= 1).
+  int num_regs = 32;
+  bool use_long_ops = false;  // Sprinkle mul/div into the chains.
+  unsigned seed = 1;
+};
+isa::Program DependencyChains(const ChainConfig& config);
+
+/// Straight-line random ALU/memory mix (no branches): deterministic across
+/// all processors regardless of predictor.
+struct MixConfig {
+  int num_instructions = 256;
+  double load_fraction = 0.15;
+  double store_fraction = 0.10;
+  double mul_fraction = 0.10;
+  double div_fraction = 0.02;
+  int num_regs = 32;
+  int memory_words = 64;    // Addresses span [0, 4*memory_words).
+  unsigned seed = 2;
+};
+isa::Program RandomMix(const MixConfig& config);
+
+/// A loop issuing `loads_per_iter` independent loads per iteration: IPC is
+/// limited by memory bandwidth M(n), the knob of experiment E10.
+struct StreamConfig {
+  int iterations = 64;
+  int loads_per_iter = 8;
+  int stride_words = 1;
+  unsigned seed = 3;
+};
+isa::Program MemoryStream(const StreamConfig& config);
+
+/// A loop whose conditional branch alternates taken/not-taken: worst case
+/// for static predictors, exercising misprediction recovery.
+isa::Program BranchStorm(int iterations);
+
+/// Random control-flow DAG: blocks of straight-line code linked by forward
+/// conditional branches and jumps only, so every path terminates. The
+/// fuzzing workhorse for cross-processor equivalence under speculation.
+struct DagConfig {
+  int num_blocks = 12;
+  int block_size = 6;       // Instructions per block (before the branch).
+  double branch_prob = 0.7; // Chance a block ends in a conditional branch.
+  int num_regs = 32;
+  int memory_words = 32;
+  unsigned seed = 4;
+};
+isa::Program RandomForwardDag(const DagConfig& config);
+
+}  // namespace ultra::workloads

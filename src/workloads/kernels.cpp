@@ -1,0 +1,204 @@
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <sstream>
+
+#include "isa/assembler.hpp"
+
+namespace ultra::workloads {
+
+isa::Program Figure3Example() {
+  return isa::AssembleOrDie(R"(
+    div r3, r1, r2
+    add r0, r0, r3
+    add r1, r5, r6
+    add r1, r0, r1
+    mul r2, r5, r6
+    add r2, r2, r4
+    sub r0, r5, r6
+    add r4, r0, r7
+    halt
+  )");
+}
+
+isa::Program Fibonacci(int k) {
+  assert(k >= 0);
+  std::ostringstream os;
+  os << "  li r1, 0\n"     // fib(i)
+     << "  li r2, 1\n"     // fib(i+1)
+     << "  li r3, 0\n"     // i
+     << "  li r4, " << k << "\n"
+     << "  bge r3, r4, done\n"
+     << "loop:\n"
+     << "  add r5, r1, r2\n"
+     << "  add r1, r2, r0\n"
+     << "  add r2, r5, r0\n"
+     << "  addi r3, r3, 1\n"
+     << "  blt r3, r4, loop\n"
+     << "done:\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program DotProduct(int len, unsigned seed) {
+  assert(len >= 1);
+  std::mt19937 rng(seed);
+  std::ostringstream os;
+  for (int i = 0; i < len; ++i) {
+    os << "  .word " << 4 * i << " " << rng() % 100 << "\n";
+    os << "  .word " << 4 * (len + i) << " " << rng() % 100 << "\n";
+  }
+  os << "  li r1, 0\n"                     // &a[0]
+     << "  li r2, 0\n"                     // sum
+     << "  li r3, 0\n"                     // i
+     << "  li r4, " << len << "\n"
+     << "loop:\n"
+     << "  slli r5, r3, 2\n"
+     << "  add r6, r5, r1\n"
+     << "  ld r7, 0(r6)\n"
+     << "  ld r8, " << 4 * len << "(r6)\n"
+     << "  mul r9, r7, r8\n"
+     << "  add r2, r2, r9\n"
+     << "  addi r3, r3, 1\n"
+     << "  blt r3, r4, loop\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program MemCopy(int words, unsigned seed) {
+  assert(words >= 1);
+  std::mt19937 rng(seed);
+  std::ostringstream os;
+  for (int i = 0; i < words; ++i) {
+    os << "  .word " << 4 * i << " " << rng() % 1000 << "\n";
+  }
+  os << "  li r1, 0\n"                      // src
+     << "  li r2, " << 4 * words << "\n"    // dst
+     << "  li r3, 0\n"                      // i
+     << "  li r4, " << words << "\n"
+     << "loop:\n"
+     << "  slli r5, r3, 2\n"
+     << "  add r6, r5, r1\n"
+     << "  add r7, r5, r2\n"
+     << "  ld r8, 0(r6)\n"
+     << "  st r8, 0(r7)\n"
+     << "  addi r3, r3, 1\n"
+     << "  blt r3, r4, loop\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program BubbleSort(int len, unsigned seed) {
+  assert(len >= 2);
+  std::mt19937 rng(seed);
+  std::ostringstream os;
+  for (int i = 0; i < len; ++i) {
+    os << "  .word " << 4 * i << " " << rng() % 1000 << "\n";
+  }
+  os << "  li r1, 0\n"                   // base
+     << "  li r2, " << len << "\n"       // n
+     << "  addi r10, r2, -1\n"           // outer bound
+     << "  li r3, 0\n"                   // i
+     << "outer:\n"
+     << "  li r4, 0\n"                   // j
+     << "  sub r11, r2, r3\n"
+     << "  addi r11, r11, -1\n"          // inner bound = n - i - 1
+     << "inner:\n"
+     << "  slli r5, r4, 2\n"
+     << "  add r5, r5, r1\n"
+     << "  ld r6, 0(r5)\n"
+     << "  ld r7, 4(r5)\n"
+     << "  bge r7, r6, noswap\n"
+     << "  st r7, 0(r5)\n"
+     << "  st r6, 4(r5)\n"
+     << "noswap:\n"
+     << "  addi r4, r4, 1\n"
+     << "  blt r4, r11, inner\n"
+     << "  addi r3, r3, 1\n"
+     << "  blt r3, r10, outer\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program IndirectSum(int len, unsigned seed) {
+  assert(len >= 1);
+  std::mt19937 rng(seed);
+  std::ostringstream os;
+  // Index vector at 0, data at 4*len.
+  std::vector<int> perm(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (int i = 0; i < len; ++i) {
+    os << "  .word " << 4 * i << " " << perm[static_cast<std::size_t>(i)]
+       << "\n";
+    os << "  .word " << 4 * (len + i) << " " << rng() % 500 << "\n";
+  }
+  os << "  li r1, 0\n"
+     << "  li r2, " << 4 * len << "\n"   // data base
+     << "  li r3, 0\n"                   // i
+     << "  li r4, " << len << "\n"
+     << "  li r5, 0\n"                   // sum
+     << "loop:\n"
+     << "  slli r6, r3, 2\n"
+     << "  add r6, r6, r1\n"
+     << "  ld r7, 0(r6)\n"               // idx = index[i]
+     << "  slli r7, r7, 2\n"
+     << "  add r7, r7, r2\n"
+     << "  ld r8, 0(r7)\n"               // data[idx]
+     << "  add r5, r5, r8\n"
+     << "  addi r3, r3, 1\n"
+     << "  blt r3, r4, loop\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program MatMul(int n, unsigned seed) {
+  assert(n >= 1 && n <= 16);
+  std::mt19937 rng(seed);
+  std::ostringstream os;
+  const int nn = n * n;
+  for (int i = 0; i < nn; ++i) {
+    os << "  .word " << 4 * i << " " << rng() % 20 << "\n";
+    os << "  .word " << 4 * (nn + i) << " " << rng() % 20 << "\n";
+  }
+  os << "  li r1, 0\n"                  // A
+     << "  li r2, " << 4 * nn << "\n"   // B
+     << "  li r3, " << 8 * nn << "\n"   // C
+     << "  li r4, " << n << "\n"        // N
+     << "  li r5, 0\n"                  // i
+     << "iloop:\n"
+     << "  li r6, 0\n"                  // j
+     << "jloop:\n"
+     << "  li r7, 0\n"                  // k
+     << "  li r8, 0\n"                  // acc
+     << "kloop:\n"
+     << "  mul r9, r5, r4\n"
+     << "  add r9, r9, r7\n"
+     << "  slli r9, r9, 2\n"
+     << "  add r9, r9, r1\n"
+     << "  ld r10, 0(r9)\n"             // A[i][k]
+     << "  mul r11, r7, r4\n"
+     << "  add r11, r11, r6\n"
+     << "  slli r11, r11, 2\n"
+     << "  add r11, r11, r2\n"
+     << "  ld r12, 0(r11)\n"            // B[k][j]
+     << "  mul r13, r10, r12\n"
+     << "  add r8, r8, r13\n"
+     << "  addi r7, r7, 1\n"
+     << "  blt r7, r4, kloop\n"
+     << "  mul r9, r5, r4\n"
+     << "  add r9, r9, r6\n"
+     << "  slli r9, r9, 2\n"
+     << "  add r9, r9, r3\n"
+     << "  st r8, 0(r9)\n"              // C[i][j]
+     << "  addi r6, r6, 1\n"
+     << "  blt r6, r4, jloop\n"
+     << "  addi r5, r5, 1\n"
+     << "  blt r5, r4, iloop\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+}  // namespace ultra::workloads

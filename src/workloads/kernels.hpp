@@ -1,0 +1,32 @@
+// Reference kernels: small, named programs in the reference ISA.
+//
+// Used by examples, tests, and the benchmark harness. All kernels terminate
+// with halt and are verified against the functional simulator.
+#pragma once
+
+#include "isa/program.hpp"
+
+namespace ultra::workloads {
+
+/// The paper's eight-instruction sequence (Section 2 / Figure 3).
+isa::Program Figure3Example();
+
+/// Iteratively computes fib(k) into r1.
+isa::Program Fibonacci(int k);
+
+/// Dot product of two length-len vectors with seeded contents; result in r2.
+isa::Program DotProduct(int len, unsigned seed = 1);
+
+/// Copies words from address 0 to address 4*words.
+isa::Program MemCopy(int words, unsigned seed = 2);
+
+/// Bubble-sorts len (>= 2) seeded words in place at address 0.
+isa::Program BubbleSort(int len, unsigned seed = 3);
+
+/// Sums an array indirectly through an index vector (pointer chasing-ish).
+isa::Program IndirectSum(int len, unsigned seed = 4);
+
+/// N x N integer matrix multiply, C = A * B; A at 0, B at 4N^2, C at 8N^2.
+isa::Program MatMul(int n, unsigned seed = 5);
+
+}  // namespace ultra::workloads

@@ -1,0 +1,5 @@
+// Umbrella header for the workload library.
+#pragma once
+
+#include "workloads/generators.hpp"  // IWYU pragma: export
+#include "workloads/kernels.hpp"     // IWYU pragma: export

@@ -1,0 +1,162 @@
+// Tests for the butterfly network and the kButterfly memory-system mode.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/core.hpp"
+#include "memory/memory.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ultra::memory {
+namespace {
+
+TEST(Butterfly, SingleMessageTakesOneCyclePerStage) {
+  ButterflyNetwork net(16);
+  EXPECT_EQ(net.stages(), 4);
+  net.SubmitForward(5, 11, 77);
+  int cycles = 0;
+  std::vector<ButterflyNetwork::Arrival> got;
+  while (got.empty() && cycles < 20) {
+    net.Tick();
+    ++cycles;
+    got = net.DrainForward();
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].port, 11);
+  EXPECT_EQ(got[0].id, 77u);
+  EXPECT_EQ(cycles, net.stages());
+}
+
+TEST(Butterfly, EverySourceReachesEveryDestination) {
+  const int n = 8;
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      ButterflyNetwork net(n);
+      net.SubmitForward(src, dst, 1);
+      std::vector<ButterflyNetwork::Arrival> got;
+      for (int i = 0; i < 10 && got.empty(); ++i) {
+        net.Tick();
+        got = net.DrainForward();
+      }
+      ASSERT_EQ(got.size(), 1u) << src << "->" << dst;
+      EXPECT_EQ(got[0].port, dst) << src << "->" << dst;
+    }
+  }
+}
+
+TEST(Butterfly, ReverseDirectionRoutesToLeaves) {
+  ButterflyNetwork net(8);
+  net.SubmitReverse(2, 6, 9);
+  std::vector<ButterflyNetwork::Arrival> got;
+  for (int i = 0; i < 10 && got.empty(); ++i) {
+    net.Tick();
+    got = net.DrainReverse();
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].port, 6);
+}
+
+TEST(Butterfly, UniformTrafficFlowsAtFullBandwidth) {
+  // A permutation without shared links (identity) drains in stages cycles.
+  const int n = 16;
+  ButterflyNetwork net(n);
+  for (int i = 0; i < n; ++i) {
+    net.SubmitForward(i, i, static_cast<std::uint64_t>(i));
+  }
+  int cycles = 0;
+  std::size_t total = 0;
+  while (total < static_cast<std::size_t>(n) && cycles < 100) {
+    net.Tick();
+    ++cycles;
+    total += net.DrainForward().size();
+  }
+  EXPECT_EQ(cycles, net.stages());
+}
+
+TEST(Butterfly, HotSpotTrafficSerializesOnTheSharedLink) {
+  // Everyone targets bank 0: the last link admits one message per cycle.
+  const int n = 16;
+  ButterflyNetwork net(n);
+  for (int i = 0; i < n; ++i) {
+    net.SubmitForward(i, 0, static_cast<std::uint64_t>(i));
+  }
+  int cycles = 0;
+  std::size_t total = 0;
+  while (total < static_cast<std::size_t>(n) && cycles < 200) {
+    net.Tick();
+    ++cycles;
+    total += net.DrainForward().size();
+  }
+  EXPECT_GE(cycles, n / 2);  // Far slower than the permutation case.
+}
+
+TEST(Butterfly, ManyRandomMessagesAllArriveExactlyOnce) {
+  const int n = 32;
+  ButterflyNetwork net(n);
+  std::mt19937 rng(9);
+  std::set<std::uint64_t> outstanding;
+  std::vector<int> expected_port(400);
+  for (std::uint64_t id = 0; id < 400; ++id) {
+    const int src = static_cast<int>(rng() % n);
+    const int dst = static_cast<int>(rng() % n);
+    expected_port[id] = dst;
+    net.SubmitForward(src, dst, id);
+    outstanding.insert(id);
+  }
+  for (int i = 0; i < 1000 && !outstanding.empty(); ++i) {
+    net.Tick();
+    for (const auto& a : net.DrainForward()) {
+      ASSERT_EQ(outstanding.erase(a.id), 1u);
+      EXPECT_EQ(a.port, expected_port[a.id]);
+    }
+  }
+  EXPECT_TRUE(outstanding.empty());
+}
+
+TEST(ButterflyMemory, LoadsCompleteWithCorrectValues) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kButterfly;
+  MemorySystem mem(cfg, 16);
+  mem.Reset({{40, 7}, {80, 9}});
+  const auto a = mem.SubmitLoad(3, 40);
+  const auto b = mem.SubmitLoad(9, 80);
+  std::set<std::uint64_t> pending = {a, b};
+  for (int i = 0; i < 100 && !pending.empty(); ++i) {
+    mem.Tick();
+    for (const auto& r : mem.DrainCompleted()) {
+      pending.erase(r.id);
+      if (r.id == a) {
+        EXPECT_EQ(r.value, 7u);
+      }
+      if (r.id == b) {
+        EXPECT_EQ(r.value, 9u);
+      }
+    }
+  }
+  EXPECT_TRUE(pending.empty());
+}
+
+TEST(ButterflyMemory, CoresRunCorrectlyOverTheButterfly) {
+  const auto program = workloads::MemCopy(24);
+  core::CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 4;
+  cfg.mem.mode = MemTimingMode::kButterfly;
+  core::FunctionalSimulator fn;
+  const auto ref = fn.Run(program);
+  for (const auto kind :
+       {core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
+        core::ProcessorKind::kUltrascalarII, core::ProcessorKind::kHybrid}) {
+    SCOPED_TRACE(core::ProcessorKindName(kind));
+    auto proc = core::MakeProcessor(kind, cfg);
+    const auto result = proc->Run(program);
+    ASSERT_TRUE(result.halted);
+    for (std::size_t r = 0; r < ref.regs.size(); ++r) {
+      ASSERT_EQ(result.regs[r], ref.regs[r]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ultra::memory

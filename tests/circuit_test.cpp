@@ -1,0 +1,336 @@
+// Tests for the parallel-prefix circuit substrate: the two CSPP
+// implementations (mux ring and tree) must agree with the walking-backward
+// reference on arbitrary inputs, and their gate depths must scale as the
+// paper claims (Theta(n) for the ring, Theta(log n) for the tree).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuit/circuit.hpp"
+
+namespace ultra::circuit {
+namespace {
+
+using U8 = std::uint8_t;
+
+// --- Static helpers -------------------------------------------------------
+
+TEST(SignalHelpers, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(SignalHelpers, ReductionDepth) {
+  EXPECT_EQ(ReductionDepth(1), 0);
+  EXPECT_EQ(ReductionDepth(2), 1);
+  EXPECT_EQ(ReductionDepth(8), 3);
+  EXPECT_EQ(ReductionDepth(9), 4);
+}
+
+TEST(SignalHelpers, ComparatorDepthGrowsDoublyLogarithmically) {
+  // Comparing log2(L)-bit register numbers takes O(log log L) gate delay.
+  EXPECT_EQ(ComparatorDepth(1), 1);
+  EXPECT_EQ(ComparatorDepth(5), 1 + 3);   // 32 registers -> 5-bit numbers.
+  EXPECT_EQ(ComparatorDepth(6), 1 + 3);   // 64 registers -> 6-bit numbers.
+}
+
+// --- The Figure 5 worked example ------------------------------------------
+
+TEST(CsppReference, Figure5Example) {
+  // Station 6 is the oldest (segment). Stations 6,7,0,1,3 raise their
+  // condition inputs. The circuit outputs high to stations 7,0,1,2.
+  const std::vector<U8> inputs = {1, 1, 0, 1, 0, 0, 1, 1};
+  std::vector<U8> segments(8, 0);
+  segments[6] = 1;
+  const auto out = CsppReference<U8, AndOp>(inputs, segments, AndOp{});
+  const std::vector<U8> expected = {1, 1, 1, 0, 0, 0, 0, 1};
+  // out[i] = AND over stations oldest..i-1.
+  for (int i = 0; i < 8; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(out[static_cast<std::size_t>(i)] != 0,
+              expected[static_cast<std::size_t>(i)] != 0);
+  }
+}
+
+TEST(CsppRing, Figure5Example) {
+  const std::vector<U8> raw_inputs = {1, 1, 0, 1, 0, 0, 1, 1};
+  std::vector<Signal<bool>> inputs(8);
+  std::vector<Signal<bool>> segments(8);
+  for (int i = 0; i < 8; ++i) {
+    inputs[static_cast<std::size_t>(i)] = {raw_inputs[static_cast<std::size_t>(i)] != 0, 0};
+    segments[static_cast<std::size_t>(i)] = {i == 6, 0};
+  }
+  const auto out = CsppRingEvaluate<bool, AndOp>(inputs, segments);
+  EXPECT_TRUE(out[7].value);
+  EXPECT_TRUE(out[0].value);
+  EXPECT_TRUE(out[1].value);
+  EXPECT_TRUE(out[2].value);
+  EXPECT_FALSE(out[3].value);
+  EXPECT_FALSE(out[4].value);
+  EXPECT_FALSE(out[5].value);
+}
+
+// --- Randomized equivalence: ring == tree == reference --------------------
+
+struct CsppCase {
+  int n;
+  unsigned seed;
+};
+
+class CsppEquivalence : public testing::TestWithParam<CsppCase> {};
+
+TEST_P(CsppEquivalence, AndOpMatchesReference) {
+  const auto [n, seed] = GetParam();
+  std::mt19937 rng(seed);
+  std::vector<U8> raw(static_cast<std::size_t>(n));
+  std::vector<U8> segs(static_cast<std::size_t>(n), 0);
+  for (auto& v : raw) v = static_cast<U8>(rng() & 1);
+  for (auto& s : segs) s = static_cast<U8>((rng() % 4) == 0);
+  segs[rng() % static_cast<unsigned>(n)] = 1;  // At least one segment.
+
+  const auto ref = CsppReference<U8, AndOp>(raw, segs, AndOp{});
+
+  std::vector<Signal<bool>> inputs(static_cast<std::size_t>(n));
+  std::vector<Signal<bool>> segments(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inputs[static_cast<std::size_t>(i)] = {raw[static_cast<std::size_t>(i)] != 0, 0};
+    segments[static_cast<std::size_t>(i)] = {segs[static_cast<std::size_t>(i)] != 0, 0};
+  }
+  const auto ring = CsppRingEvaluate<bool, AndOp>(inputs, segments);
+  const auto tree = CsppTreeEvaluate<bool, AndOp>(inputs, segments);
+  for (int i = 0; i < n; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(ring[static_cast<std::size_t>(i)].value, ref[static_cast<std::size_t>(i)] != 0);
+    EXPECT_EQ(tree[static_cast<std::size_t>(i)].value, ref[static_cast<std::size_t>(i)] != 0);
+  }
+}
+
+TEST_P(CsppEquivalence, AddOpMatchesReference) {
+  // A non-idempotent, non-commutative-sensitive operator catches fold-order
+  // and double-counting bugs that AND/OR cannot.
+  const auto [n, seed] = GetParam();
+  std::mt19937 rng(seed ^ 0xbeef);
+  std::vector<long long> raw(static_cast<std::size_t>(n));
+  std::vector<U8> segs(static_cast<std::size_t>(n), 0);
+  for (auto& v : raw) v = static_cast<long long>(rng() % 1000);
+  for (auto& s : segs) s = static_cast<U8>((rng() % 3) == 0);
+  segs[rng() % static_cast<unsigned>(n)] = 1;
+
+  const auto ref = CsppReference<long long, AddOp>(raw, segs, AddOp{});
+
+  std::vector<Signal<long long>> inputs(static_cast<std::size_t>(n));
+  std::vector<Signal<bool>> segments(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inputs[static_cast<std::size_t>(i)] = {raw[static_cast<std::size_t>(i)], 0};
+    segments[static_cast<std::size_t>(i)] = {segs[static_cast<std::size_t>(i)] != 0, 0};
+  }
+  const auto ring = CsppRingEvaluate<long long, AddOp>(inputs, segments);
+  const auto tree = CsppTreeEvaluate<long long, AddOp>(inputs, segments);
+  for (int i = 0; i < n; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(ring[static_cast<std::size_t>(i)].value, ref[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(tree[static_cast<std::size_t>(i)].value, ref[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_P(CsppEquivalence, PassFirstMatchesReference) {
+  // The register-propagation operator: output = nearest preceding writer.
+  const auto [n, seed] = GetParam();
+  std::mt19937 rng(seed ^ 0xcafe);
+  std::vector<int> raw(static_cast<std::size_t>(n));
+  std::vector<U8> segs(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) raw[static_cast<std::size_t>(i)] = i + 1;
+  for (auto& s : segs) s = static_cast<U8>((rng() % 3) == 0);
+  segs[rng() % static_cast<unsigned>(n)] = 1;
+
+  const auto ref = CsppReference<int, PassFirstOp>(raw, segs, PassFirstOp{});
+
+  std::vector<Signal<int>> inputs(static_cast<std::size_t>(n));
+  std::vector<Signal<bool>> segments(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inputs[static_cast<std::size_t>(i)] = {raw[static_cast<std::size_t>(i)], 0};
+    segments[static_cast<std::size_t>(i)] = {segs[static_cast<std::size_t>(i)] != 0, 0};
+  }
+  const auto ring = CsppRingEvaluate<int, PassFirstOp>(inputs, segments);
+  const auto tree = CsppTreeEvaluate<int, PassFirstOp>(inputs, segments);
+  const auto fast = CsppValues<int, PassFirstOp>(raw, segs);
+  for (int i = 0; i < n; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(ring[static_cast<std::size_t>(i)].value, ref[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(tree[static_cast<std::size_t>(i)].value, ref[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(fast[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CsppEquivalence,
+    testing::Values(CsppCase{1, 1}, CsppCase{2, 2}, CsppCase{3, 3},
+                    CsppCase{4, 4}, CsppCase{5, 5}, CsppCase{7, 6},
+                    CsppCase{8, 7}, CsppCase{13, 8}, CsppCase{16, 9},
+                    CsppCase{31, 10}, CsppCase{32, 11}, CsppCase{64, 12},
+                    CsppCase{100, 13}, CsppCase{128, 14}, CsppCase{255, 15},
+                    CsppCase{256, 16}),
+    [](const testing::TestParamInfo<CsppCase>& info) {
+      return "n" + std::to_string(info.param.n);
+    });
+
+// --- Noncyclic segmented prefix -------------------------------------------
+
+class SppEquivalence : public testing::TestWithParam<CsppCase> {};
+
+TEST_P(SppEquivalence, ChainAndTreeMatchReference) {
+  const auto [n, seed] = GetParam();
+  std::mt19937 rng(seed ^ 0xf00d);
+  std::vector<long long> raw(static_cast<std::size_t>(n));
+  std::vector<U8> segs(static_cast<std::size_t>(n), 0);
+  for (auto& v : raw) v = static_cast<long long>(rng() % 100);
+  for (auto& s : segs) s = static_cast<U8>((rng() % 4) == 0);
+  const long long initial = 10000;
+
+  const auto ref = SppReference<long long, AddOp>(initial, raw, segs, AddOp{});
+
+  std::vector<Signal<long long>> inputs(static_cast<std::size_t>(n));
+  std::vector<Signal<bool>> segments(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inputs[static_cast<std::size_t>(i)] = {raw[static_cast<std::size_t>(i)], 0};
+    segments[static_cast<std::size_t>(i)] = {segs[static_cast<std::size_t>(i)] != 0, 0};
+  }
+  const Signal<long long> init{initial, 0};
+  const auto chain = SppChainEvaluate<long long, AddOp>(init, inputs, segments);
+  const auto tree = SppTreeEvaluate<long long, AddOp>(init, inputs, segments);
+  const auto fast = SppValues<long long, AddOp>(initial, raw, segs);
+  for (int i = 0; i < n; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(chain[static_cast<std::size_t>(i)].value, ref[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(tree[static_cast<std::size_t>(i)].value, ref[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(fast[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SppEquivalence,
+    testing::Values(CsppCase{1, 21}, CsppCase{2, 22}, CsppCase{5, 23},
+                    CsppCase{8, 24}, CsppCase{16, 25}, CsppCase{33, 26},
+                    CsppCase{64, 27}, CsppCase{200, 28}),
+    [](const testing::TestParamInfo<CsppCase>& info) {
+      return "n" + std::to_string(info.param.n);
+    });
+
+// --- Gate-depth scaling ----------------------------------------------------
+
+int WorstRingDepth(int n) {
+  // Single writer just after the segment: the value crosses n-1 muxes.
+  std::vector<Signal<int>> inputs(static_cast<std::size_t>(n));
+  std::vector<Signal<bool>> segments(static_cast<std::size_t>(n));
+  segments[0] = {true, 0};
+  const auto out = CsppRingEvaluate<int, PassFirstOp>(inputs, segments);
+  int worst = 0;
+  for (const auto& s : out) worst = std::max(worst, s.depth);
+  return worst;
+}
+
+int WorstTreeDepth(int n) {
+  std::vector<Signal<int>> inputs(static_cast<std::size_t>(n));
+  std::vector<Signal<bool>> segments(static_cast<std::size_t>(n));
+  segments[0] = {true, 0};
+  const auto out = CsppTreeEvaluate<int, PassFirstOp>(inputs, segments);
+  int worst = 0;
+  for (const auto& s : out) worst = std::max(worst, s.depth);
+  return worst;
+}
+
+TEST(GateDepth, RingIsLinear) {
+  // The Figure 1 datapath: "the processor's clock cycle is O(n) gate
+  // delays" -- and Omega(n) in the worst case.
+  for (const int n : {8, 16, 64, 256, 1024}) {
+    SCOPED_TRACE(n);
+    const int depth = WorstRingDepth(n);
+    EXPECT_GE(depth, n - 1);
+    EXPECT_LE(depth, 2 * n);
+  }
+}
+
+TEST(GateDepth, TreeIsLogarithmic) {
+  // Figure 4: "With CSPP circuits implementing the datapath, the circuit
+  // has gate delay O(log n)."
+  for (const int n : {8, 16, 64, 256, 1024, 4096}) {
+    SCOPED_TRACE(n);
+    const int depth = WorstTreeDepth(n);
+    const int log_n = CeilLog2(n);
+    EXPECT_LE(depth, 6 * log_n + 6);
+    EXPECT_GE(depth, log_n);
+  }
+}
+
+TEST(GateDepth, TreeBeatsRingForLargeN) {
+  EXPECT_LT(WorstTreeDepth(1024), WorstRingDepth(1024) / 10);
+}
+
+TEST(GateDepth, RingDepthDoublesWithN) {
+  const int d256 = WorstRingDepth(256);
+  const int d512 = WorstRingDepth(512);
+  EXPECT_NEAR(static_cast<double>(d512) / d256, 2.0, 0.1);
+}
+
+TEST_P(CsppEquivalence, MinOpMatchesReference) {
+  // Idempotent but order-revealing under segmentation.
+  const auto [n, seed] = GetParam();
+  std::mt19937 rng(seed ^ 0x5a5a);
+  std::vector<int> raw(static_cast<std::size_t>(n));
+  std::vector<U8> segs(static_cast<std::size_t>(n), 0);
+  for (auto& v : raw) v = static_cast<int>(rng() % 1000);
+  for (auto& s : segs) s = static_cast<U8>((rng() % 5) == 0);
+  segs[rng() % static_cast<unsigned>(n)] = 1;
+  const auto ref = CsppReference<int, MinOp>(raw, segs, MinOp{});
+  std::vector<Signal<int>> inputs(static_cast<std::size_t>(n));
+  std::vector<Signal<bool>> segments(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inputs[static_cast<std::size_t>(i)] = {raw[static_cast<std::size_t>(i)], 0};
+    segments[static_cast<std::size_t>(i)] = {segs[static_cast<std::size_t>(i)] != 0, 0};
+  }
+  const auto tree = CsppTreeEvaluate<int, MinOp>(inputs, segments);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(tree[static_cast<std::size_t>(i)].value,
+              ref[static_cast<std::size_t>(i)])
+        << i;
+  }
+}
+
+TEST(GateDepth, InputDepthsPropagateThroughTheTree) {
+  // A late-arriving input pushes every downstream output later.
+  const int n = 16;
+  std::vector<Signal<int>> inputs(static_cast<std::size_t>(n));
+  std::vector<Signal<bool>> segments(static_cast<std::size_t>(n));
+  segments[0] = {true, 0};
+  const auto base = CsppTreeEvaluate<int, PassFirstOp>(inputs, segments);
+  inputs[0].depth = 100;  // The segment station's value arrives late.
+  const auto late = CsppTreeEvaluate<int, PassFirstOp>(inputs, segments);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_GE(late[static_cast<std::size_t>(i)].depth,
+              base[static_cast<std::size_t>(i)].depth + 100)
+        << i;
+  }
+}
+
+TEST(GateDepth, NonPowerOfTwoSizesStayLogarithmic) {
+  for (const int n : {3, 5, 17, 100, 1000, 4095}) {
+    SCOPED_TRACE(n);
+    const int depth = WorstTreeDepth(n);
+    EXPECT_LE(depth, 6 * CeilLog2(n) + 6);
+  }
+}
+
+TEST(GateDepth, TreeDepthGrowsAdditivelyWhenNDoubles) {
+  const int d256 = WorstTreeDepth(256);
+  const int d512 = WorstTreeDepth(512);
+  EXPECT_LE(d512 - d256, 6);
+  EXPECT_GE(d512 - d256, 1);
+}
+
+}  // namespace
+}  // namespace ultra::circuit

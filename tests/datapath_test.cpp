@@ -1,0 +1,350 @@
+// Tests for the three register datapaths: the Figure 1 worked example,
+// randomized equivalence against program-order references, sequencing
+// circuits, and gate-depth shapes.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datapath/datapath.hpp"
+
+namespace ultra::datapath {
+namespace {
+
+// --- Ultrascalar I: the Figure 1 snapshot ------------------------------------
+
+TEST(UltrascalarI, Figure1Snapshot) {
+  // Ring for register R0, eight stations, station 6 oldest.
+  // Oldest inserts the initial value 10 (ready). Station 7 writes R0 but
+  // has not computed (ready=0). Station 4 writes R0 = 42 (ready).
+  const int n = 8;
+  const int L = 1;
+  UltrascalarIDatapath dp(n, L);
+  std::vector<RegBinding> outgoing(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> modified(static_cast<std::size_t>(n), 0);
+  outgoing[6] = {10, true};   // Committed file inserted by the oldest.
+  outgoing[7] = {0, false};   // Not yet computed.
+  modified[7] = 1;
+  outgoing[4] = {42, true};
+  modified[4] = 1;
+  const auto incoming = dp.Propagate(outgoing, modified, /*oldest=*/6);
+
+  // "Stations 0-4": the value of R0 is not yet ready (from station 7).
+  for (const int i : {0, 1, 2, 3, 4}) {
+    SCOPED_TRACE(i);
+    EXPECT_FALSE(incoming[static_cast<std::size_t>(i)].ready);
+  }
+  // Stations 5 and 6 see 42, ready (from station 4).
+  EXPECT_TRUE(incoming[5].ready);
+  EXPECT_EQ(incoming[5].value, 42u);
+  EXPECT_TRUE(incoming[6].ready);
+  EXPECT_EQ(incoming[6].value, 42u);
+  // Station 7 sees the initial value from the oldest station.
+  EXPECT_TRUE(incoming[7].ready);
+  EXPECT_EQ(incoming[7].value, 10u);
+}
+
+TEST(UltrascalarI, OldestStationModifiedBitsAreForced) {
+  // Even with no station writing anything, every station receives the
+  // committed value inserted by the oldest.
+  const int n = 4;
+  const int L = 2;
+  UltrascalarIDatapath dp(n, L);
+  std::vector<RegBinding> outgoing(static_cast<std::size_t>(n * L));
+  std::vector<std::uint8_t> modified(static_cast<std::size_t>(n * L), 0);
+  outgoing[2 * L + 0] = {111, true};  // Oldest = 2, register 0.
+  outgoing[2 * L + 1] = {222, true};
+  const auto incoming = dp.Propagate(outgoing, modified, 2);
+  for (const int i : {3, 0, 1}) {
+    EXPECT_EQ(incoming[static_cast<std::size_t>(i * L)].value, 111u);
+    EXPECT_EQ(incoming[static_cast<std::size_t>(i * L + 1)].value, 222u);
+  }
+}
+
+/// Program-order reference for the US-I ring.
+std::vector<RegBinding> UsiReference(int n, int L,
+                                     const std::vector<RegBinding>& outgoing,
+                                     const std::vector<std::uint8_t>& modified,
+                                     int oldest) {
+  std::vector<RegBinding> incoming(static_cast<std::size_t>(n) * L);
+  for (int r = 0; r < L; ++r) {
+    for (int i = 0; i < n; ++i) {
+      // Walk backward (cyclically) to the nearest modifier; the oldest
+      // station's forced modified bit terminates the walk. Note the oldest
+      // itself receives the wrap-around value (which the cores ignore).
+      RegBinding value{};
+      for (int m = 1; m <= n; ++m) {
+        const int j = (i - m + n) % n;
+        if (j == oldest ||
+            modified[static_cast<std::size_t>(j) * L + r] != 0) {
+          value = outgoing[static_cast<std::size_t>(j) * L + r];
+          break;
+        }
+      }
+      incoming[static_cast<std::size_t>(i) * L + r] = value;
+    }
+  }
+  return incoming;
+}
+
+class UsiRandom : public testing::TestWithParam<int> {};
+
+TEST_P(UsiRandom, PropagateMatchesReference) {
+  const int n = GetParam();
+  const int L = 4;
+  std::mt19937 rng(static_cast<unsigned>(n) * 7919);
+  UltrascalarIDatapath dp(n, L);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<RegBinding> outgoing(static_cast<std::size_t>(n) * L);
+    std::vector<std::uint8_t> modified(static_cast<std::size_t>(n) * L, 0);
+    for (auto& b : outgoing) {
+      b.value = rng() % 1000;
+      b.ready = rng() % 2;
+    }
+    for (auto& m : modified) m = (rng() % 3) == 0;
+    const int oldest = static_cast<int>(rng() % static_cast<unsigned>(n));
+    const auto got = dp.Propagate(outgoing, modified, oldest);
+    const auto want = UsiReference(n, L, outgoing, modified, oldest);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t idx = 0; idx < got.size(); ++idx) {
+      SCOPED_TRACE(idx);
+      EXPECT_EQ(got[idx], want[idx]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UsiRandom,
+                         testing::Values(1, 2, 3, 4, 8, 16, 33, 64),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// --- Sequencing CSPPs ---------------------------------------------------------
+
+TEST(Sequencing, AllPrecedingSatisfyMatchesManualWalk) {
+  const int n = 8;
+  SequencingCspp seq(n);
+  const std::vector<std::uint8_t> cond = {1, 1, 0, 1, 0, 0, 1, 1};
+  const auto out = seq.AllPrecedingSatisfy(cond, /*oldest=*/6);
+  // Same as the Figure 5 example in circuit_test.
+  EXPECT_TRUE(out[7]);
+  EXPECT_TRUE(out[0]);
+  EXPECT_TRUE(out[1]);
+  EXPECT_TRUE(out[2]);
+  EXPECT_FALSE(out[3]);
+  EXPECT_FALSE(out[4]);
+  EXPECT_FALSE(out[5]);
+}
+
+TEST(Sequencing, AnyPrecedingSatisfies) {
+  const int n = 6;
+  SequencingCspp seq(n);
+  const std::vector<std::uint8_t> cond = {0, 0, 1, 0, 0, 0};
+  const auto out = seq.AnyPrecedingSatisfies(cond, /*oldest=*/0);
+  EXPECT_FALSE(out[1]);
+  EXPECT_FALSE(out[2]);
+  EXPECT_TRUE(out[3]);
+  EXPECT_TRUE(out[4]);
+  EXPECT_TRUE(out[5]);
+}
+
+TEST(Sequencing, AcyclicVariantIsVacuouslyTrueAtPositionZero) {
+  const std::vector<std::uint8_t> cond = {0, 1, 1};
+  const auto out = AllPrecedingSatisfyAcyclic(cond);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);  // Position 0 is unsatisfied.
+  EXPECT_FALSE(out[2]);
+}
+
+TEST(Sequencing, TreeDepthIsLogarithmic) {
+  const std::vector<std::uint8_t> cond(1024, 1);
+  const SequencingCspp tree(1024, PrefixImpl::kTree);
+  const SequencingCspp ring(1024, PrefixImpl::kRing);
+  EXPECT_LE(tree.MeasureGateDepth(cond, 0), 60);
+  EXPECT_GE(ring.MeasureGateDepth(cond, 0), 1023);
+}
+
+// --- Ultrascalar II ------------------------------------------------------------
+
+StationRequest Req(bool r1, isa::RegId a1, bool r2, isa::RegId a2, bool w,
+                   isa::RegId d, RegBinding result = {}) {
+  StationRequest req;
+  req.reads1 = r1;
+  req.arg1 = a1;
+  req.reads2 = r2;
+  req.arg2 = a2;
+  req.writes = w;
+  req.dest = d;
+  req.result = result;
+  return req;
+}
+
+TEST(UltrascalarII, Figure7Example) {
+  // Station 3's left column searches for R2: station 2 wrote R2 = 9
+  // (finished), station 0 wrote R2 but is unfinished; the nearest match
+  // wins, so station 3 reads 9, ready -- issuing out of order.
+  const int n = 4;
+  const int L = 4;
+  UltrascalarIIDatapath dp(n, L);
+  std::vector<RegBinding> regfile(static_cast<std::size_t>(L));
+  for (int r = 0; r < L; ++r) regfile[static_cast<std::size_t>(r)] = {
+      static_cast<isa::Word>(100 + r), true};
+  std::vector<StationRequest> stations(static_cast<std::size_t>(n));
+  stations[0] = Req(false, 0, false, 0, true, 2, {0, false});  // R2 pending.
+  stations[1] = Req(false, 0, false, 0, true, 1, {7, true});   // R1 = 7.
+  stations[2] = Req(false, 0, false, 0, true, 2, {9, true});   // R2 = 9.
+  stations[3] = Req(true, 2, true, 1, false, 0);
+  const auto prop = dp.Propagate(regfile, stations);
+  EXPECT_TRUE(prop.args[3].arg1.ready);
+  EXPECT_EQ(prop.args[3].arg1.value, 9u);
+  EXPECT_TRUE(prop.args[3].arg2.ready);
+  EXPECT_EQ(prop.args[3].arg2.value, 7u);
+  // Outgoing register file: R1 and R2 from stations, R0/R3 from the file.
+  EXPECT_EQ(prop.final_regs[0].value, 100u);
+  EXPECT_EQ(prop.final_regs[1].value, 7u);
+  EXPECT_EQ(prop.final_regs[2].value, 9u);
+  EXPECT_TRUE(prop.final_regs[2].ready);
+  EXPECT_EQ(prop.final_regs[3].value, 103u);
+}
+
+TEST(UltrascalarII, UnwrittenArgFallsBackToRegfile) {
+  const int n = 2;
+  const int L = 2;
+  UltrascalarIIDatapath dp(n, L);
+  std::vector<RegBinding> regfile = {{5, true}, {6, true}};
+  std::vector<StationRequest> stations(2);
+  stations[0] = Req(true, 1, false, 0, true, 0, {50, true});
+  stations[1] = Req(true, 0, true, 1, false, 0);
+  const auto prop = dp.Propagate(regfile, stations);
+  EXPECT_EQ(prop.args[0].arg1.value, 6u);   // From the register file.
+  EXPECT_EQ(prop.args[1].arg1.value, 50u);  // From station 0.
+  EXPECT_EQ(prop.args[1].arg2.value, 6u);
+}
+
+TEST(UltrascalarII, SquashedStationContributesNothing) {
+  const int n = 3;
+  const int L = 1;
+  UltrascalarIIDatapath dp(n, L);
+  std::vector<RegBinding> regfile = {{1, true}};
+  std::vector<StationRequest> stations(3);
+  stations[0] = Req(false, 0, false, 0, true, 0, {99, true});
+  stations[1] = StationRequest{};  // Squashed: writes == false.
+  stations[2] = Req(true, 0, false, 0, false, 0);
+  const auto prop = dp.Propagate(regfile, stations);
+  EXPECT_EQ(prop.args[2].arg1.value, 99u);
+}
+
+TEST(UltrascalarII, GateDepthGridLinearMeshLogarithmic) {
+  const int L = 32;
+  const UltrascalarIIDatapath grid_small(64, L, UsiiImpl::kGrid);
+  const UltrascalarIIDatapath grid_large(512, L, UsiiImpl::kGrid);
+  const UltrascalarIIDatapath mesh_small(64, L, UsiiImpl::kMeshOfTrees);
+  const UltrascalarIIDatapath mesh_large(512, L, UsiiImpl::kMeshOfTrees);
+  const int g1 = grid_small.WorstCaseGateDepth();
+  const int g2 = grid_large.WorstCaseGateDepth();
+  const int m1 = mesh_small.WorstCaseGateDepth();
+  const int m2 = mesh_large.WorstCaseGateDepth();
+  EXPECT_NEAR(static_cast<double>(g2) / g1, (512.0 + L) / (64 + L), 0.2);
+  // Four logarithmic stages (two fan-outs, comparator, reduction tree) each
+  // grow by ~3 levels when n goes 64 -> 512.
+  EXPECT_LE(m2 - m1, 20);
+  EXPECT_LT(m2, g2 / 4);
+}
+
+// --- Hybrid ---------------------------------------------------------------------
+
+/// Program-order reference: the hybrid's argument resolution must equal
+/// "nearest preceding writer in program order, else the committed file".
+RegBinding FlatResolve(const std::vector<StationRequest>& program_order,
+                       std::size_t pos, isa::RegId reg,
+                       const std::vector<RegBinding>& committed) {
+  for (std::size_t j = pos; j-- > 0;) {
+    if (program_order[j].writes && program_order[j].dest == reg) {
+      return program_order[j].result;
+    }
+  }
+  return committed[reg];
+}
+
+class HybridRandom : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HybridRandom, MatchesFlatProgramOrderResolution) {
+  const auto [num_clusters, cluster_size] = GetParam();
+  const int n = num_clusters * cluster_size;
+  const int L = 6;
+  std::mt19937 rng(static_cast<unsigned>(n) * 31 + cluster_size);
+  HybridDatapath dp(n, L, cluster_size);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<RegBinding> committed(static_cast<std::size_t>(L));
+    for (int r = 0; r < L; ++r) {
+      committed[static_cast<std::size_t>(r)] = {
+          static_cast<isa::Word>(1000 + r), true};
+    }
+    const int oldest = static_cast<int>(rng() % static_cast<unsigned>(
+                                            num_clusters));
+    std::vector<StationRequest> stations(static_cast<std::size_t>(n));
+    for (auto& s : stations) {
+      s.reads1 = rng() % 2;
+      s.arg1 = static_cast<isa::RegId>(rng() % L);
+      s.reads2 = rng() % 2;
+      s.arg2 = static_cast<isa::RegId>(rng() % L);
+      s.writes = rng() % 2;
+      s.dest = static_cast<isa::RegId>(rng() % L);
+      s.result = {static_cast<isa::Word>(rng() % 10000),
+                  static_cast<bool>(rng() % 2)};
+    }
+    const auto prop = dp.Propagate(committed, stations, oldest);
+
+    // Build the flattened program order: clusters from the oldest, stations
+    // in index order within each cluster.
+    std::vector<StationRequest> program_order;
+    std::vector<int> station_of_pos;
+    for (int k = 0; k < num_clusters; ++k) {
+      const int cluster = (oldest + k) % num_clusters;
+      for (int s = 0; s < cluster_size; ++s) {
+        const int idx = cluster * cluster_size + s;
+        program_order.push_back(stations[static_cast<std::size_t>(idx)]);
+        station_of_pos.push_back(idx);
+      }
+    }
+    for (std::size_t pos = 0; pos < program_order.size(); ++pos) {
+      const int idx = station_of_pos[pos];
+      const auto& req = program_order[pos];
+      if (req.reads1) {
+        SCOPED_TRACE(pos);
+        EXPECT_EQ(prop.args[static_cast<std::size_t>(idx)].arg1,
+                  FlatResolve(program_order, pos, req.arg1, committed));
+      }
+      if (req.reads2) {
+        SCOPED_TRACE(pos);
+        EXPECT_EQ(prop.args[static_cast<std::size_t>(idx)].arg2,
+                  FlatResolve(program_order, pos, req.arg2, committed));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HybridRandom,
+    testing::Values(std::make_tuple(1, 4), std::make_tuple(2, 4),
+                    std::make_tuple(4, 4), std::make_tuple(4, 8),
+                    std::make_tuple(8, 2), std::make_tuple(2, 16)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "c" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Hybrid, GateDepthDominatedByClusterTerm) {
+  // Theta(L + log n): doubling n barely moves it; doubling L moves it a lot.
+  const HybridDatapath small_n(256, 32, 32);
+  const HybridDatapath large_n(1024, 32, 32);
+  const HybridDatapath large_l(256, 64, 64);
+  const int dn1 = small_n.WorstCaseGateDepth();
+  const int dn2 = large_n.WorstCaseGateDepth();
+  const int dl2 = large_l.WorstCaseGateDepth();
+  EXPECT_LE(dn2 - dn1, 10);
+  EXPECT_GT(dl2, dn1 + 32);
+}
+
+}  // namespace
+}  // namespace ultra::datapath

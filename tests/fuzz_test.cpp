@@ -1,0 +1,115 @@
+// Randomized cross-processor fuzzing with speculative control flow.
+//
+// RandomForwardDag generates acyclic control-flow graphs (forward branches
+// and jumps only), so every program terminates on every path. Each seed is
+// run on all four processor models under several predictors and feature
+// combinations and must reproduce the functional simulator's state.
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ultra {
+namespace {
+
+using core::CoreConfig;
+using core::ProcessorKind;
+
+void ExpectMatchesFunctional(const isa::Program& program,
+                             const CoreConfig& cfg) {
+  core::FunctionalSimulator fn;
+  const auto ref = fn.Run(program);
+  ASSERT_TRUE(ref.halted);
+  for (const auto kind :
+       {ProcessorKind::kIdeal, ProcessorKind::kUltrascalarI,
+        ProcessorKind::kUltrascalarII, ProcessorKind::kHybrid}) {
+    SCOPED_TRACE(core::ProcessorKindName(kind));
+    auto proc = core::MakeProcessor(kind, cfg);
+    const auto result = proc->Run(program);
+    ASSERT_TRUE(result.halted);
+    for (std::size_t r = 0; r < ref.regs.size(); ++r) {
+      ASSERT_EQ(result.regs[r], ref.regs[r]) << "r" << r;
+    }
+    ASSERT_EQ(result.committed, ref.instructions);
+  }
+}
+
+class DagFuzz : public testing::TestWithParam<unsigned> {};
+
+TEST_P(DagFuzz, BtfnPredictor) {
+  const auto program = workloads::RandomForwardDag({.seed = GetParam()});
+  CoreConfig cfg;
+  cfg.window_size = 24;
+  cfg.cluster_size = 8;
+  cfg.predictor = core::PredictorKind::kBtfn;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  ExpectMatchesFunctional(program, cfg);
+}
+
+TEST_P(DagFuzz, NotTakenPredictorWithBandwidthLimit) {
+  const auto program = workloads::RandomForwardDag(
+      {.num_blocks = 10, .block_size = 5, .seed = GetParam() ^ 0x5555});
+  CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 4;
+  cfg.predictor = core::PredictorKind::kNotTaken;
+  cfg.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+  cfg.mem.regime = memory::BandwidthRegime::kSqrt;
+  ExpectMatchesFunctional(program, cfg);
+}
+
+TEST_P(DagFuzz, TwoBitPredictorWithForwardingAndSharedAlus) {
+  const auto program = workloads::RandomForwardDag(
+      {.num_blocks = 14, .block_size = 4, .branch_prob = 0.9,
+       .memory_words = 8, .seed = GetParam() ^ 0xaaaa});
+  CoreConfig cfg;
+  cfg.window_size = 20;
+  cfg.cluster_size = 5;
+  cfg.predictor = core::PredictorKind::kTwoBit;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  cfg.store_forwarding = true;
+  cfg.num_alus = 3;
+  ExpectMatchesFunctional(program, cfg);
+}
+
+TEST_P(DagFuzz, OracleWithFatTreeMemory) {
+  const auto program = workloads::RandomForwardDag(
+      {.num_blocks = 8, .block_size = 8, .seed = GetParam() ^ 0x1234});
+  CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.predictor = core::PredictorKind::kOracle;
+  cfg.mem.mode = memory::MemTimingMode::kFatTree;
+  cfg.mem.regime = memory::BandwidthRegime::kSqrt;
+  ExpectMatchesFunctional(program, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagFuzz, testing::Range(400u, 420u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(DagGenerator, AlwaysTerminates) {
+  for (unsigned seed = 0; seed < 50; ++seed) {
+    const auto program = workloads::RandomForwardDag({.seed = seed});
+    core::FunctionalSimulator fn;
+    const auto ref = fn.Run(program, 100000);
+    EXPECT_TRUE(ref.halted) << "seed " << seed;
+  }
+}
+
+TEST(DagGenerator, BranchTargetsAreStrictlyForward) {
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    const auto program = workloads::RandomForwardDag({.seed = seed});
+    for (std::size_t pc = 0; pc < program.size(); ++pc) {
+      const auto& inst = program.at(pc);
+      if (isa::IsControlFlow(inst.op)) {
+        EXPECT_GT(static_cast<std::size_t>(inst.imm), pc)
+            << "seed " << seed << " pc " << pc;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ultra

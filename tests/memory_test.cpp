@@ -1,0 +1,526 @@
+// Tests for the memory substrate: backing store, interleaved cache,
+// fat-tree network, bandwidth profiles, branch predictors, trace cache, and
+// the MemorySystem facade in all three timing modes.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "memory/memory.hpp"
+
+namespace ultra::memory {
+namespace {
+
+// --- Backing store -------------------------------------------------------------
+
+TEST(BackingStore, ReadsZeroWhenUnwritten) {
+  BackingStore store;
+  EXPECT_EQ(store.ReadWord(0), 0u);
+  EXPECT_EQ(store.ReadWord(1234), 0u);
+}
+
+TEST(BackingStore, RoundTripsAndAligns) {
+  BackingStore store;
+  store.WriteWord(100, 7);
+  EXPECT_EQ(store.ReadWord(100), 7u);
+  EXPECT_EQ(store.ReadWord(101), 7u);  // Same aligned word.
+  EXPECT_EQ(store.ReadWord(103), 7u);
+  EXPECT_EQ(store.ReadWord(104), 0u);
+  store.WriteWord(102, 9);  // Aligns down to 100.
+  EXPECT_EQ(store.ReadWord(100), 9u);
+}
+
+TEST(BackingStore, LoadReplacesContents) {
+  BackingStore store;
+  store.WriteWord(0, 1);
+  store.Load({{4, 2}});
+  EXPECT_EQ(store.ReadWord(0), 0u);
+  EXPECT_EQ(store.ReadWord(4), 2u);
+}
+
+// --- Interleaved cache -----------------------------------------------------------
+
+TEST(Cache, ConsecutiveLinesMapToDifferentBanks) {
+  BackingStore store;
+  CacheConfig cfg;
+  cfg.num_banks = 8;
+  cfg.line_bytes = 16;
+  InterleavedCache cache(cfg, &store);
+  for (int line = 0; line < 8; ++line) {
+    EXPECT_EQ(cache.BankOf(static_cast<isa::Word>(line * 16)), line);
+  }
+  EXPECT_EQ(cache.BankOf(8 * 16), 0);  // Wraps.
+}
+
+TEST(Cache, MissThenHit) {
+  BackingStore store;
+  CacheConfig cfg;
+  cfg.hit_latency = 1;
+  cfg.miss_penalty = 10;
+  InterleavedCache cache(cfg, &store);
+  cache.NewCycle();
+  EXPECT_EQ(cache.Access(64, false), 11);  // Cold miss.
+  cache.NewCycle();
+  EXPECT_EQ(cache.Access(64, false), 1);   // Hit.
+  cache.NewCycle();
+  EXPECT_EQ(cache.Access(68, false), 1);   // Same line.
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, BankConflictWithinACycle) {
+  BackingStore store;
+  CacheConfig cfg;
+  cfg.num_banks = 4;
+  cfg.line_bytes = 16;
+  cfg.ports_per_bank = 1;
+  InterleavedCache cache(cfg, &store);
+  cache.NewCycle();
+  EXPECT_GT(cache.Access(0, false), 0);
+  // Same bank (same line) again in the same cycle: conflict.
+  EXPECT_EQ(cache.Access(4, false), -1);
+  // A different bank still has ports.
+  EXPECT_GT(cache.Access(16, false), 0);
+  cache.NewCycle();
+  EXPECT_GT(cache.Access(4, false), 0);  // Retried next cycle.
+  EXPECT_EQ(cache.stats().bank_conflicts, 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  BackingStore store;
+  CacheConfig cfg;
+  cfg.num_banks = 1;
+  cfg.sets_per_bank = 1;
+  cfg.ways = 2;
+  cfg.line_bytes = 16;
+  cfg.ports_per_bank = 8;
+  InterleavedCache cache(cfg, &store);
+  cache.NewCycle();
+  cache.Access(0 * 16, false);   // Miss, fills way 0.
+  cache.Access(1 * 16, false);   // Miss, fills way 1.
+  cache.Access(0 * 16, false);   // Hit: 0 is now MRU.
+  cache.Access(2 * 16, false);   // Evicts line 1 (LRU).
+  cache.NewCycle();
+  EXPECT_EQ(cache.Access(0 * 16, false), cfg.hit_latency);
+  EXPECT_EQ(cache.Access(1 * 16, false),
+            cfg.hit_latency + cfg.miss_penalty);  // Was evicted.
+}
+
+TEST(Cache, FlushDropsEverything) {
+  BackingStore store;
+  InterleavedCache cache(CacheConfig{}, &store);
+  cache.NewCycle();
+  cache.Access(0, false);
+  cache.Flush();
+  cache.NewCycle();
+  EXPECT_GT(cache.Access(0, false), CacheConfig{}.hit_latency);
+}
+
+// --- Bandwidth profiles -----------------------------------------------------------
+
+TEST(Bandwidth, RegimeShapes) {
+  const double n = 4096;
+  EXPECT_NEAR(BandwidthProfile::ForRegime(BandwidthRegime::kConstant)(n),
+              1.0, 1e-9);
+  EXPECT_NEAR(BandwidthProfile::ForRegime(BandwidthRegime::kSqrt)(n), 64.0,
+              1e-9);
+  EXPECT_NEAR(BandwidthProfile::ForRegime(BandwidthRegime::kLinear)(n),
+              4096.0, 1e-9);
+  EXPECT_LT(BandwidthProfile::ForRegime(BandwidthRegime::kSqrtMinus)(n),
+            64.0);
+  EXPECT_GT(BandwidthProfile::ForRegime(BandwidthRegime::kSqrtPlus)(n),
+            64.0);
+}
+
+// --- Fat tree -----------------------------------------------------------------------
+
+TEST(FatTree, SingleMessageTakesOneCyclePerLevel) {
+  FatTreeNetwork net(8, BandwidthProfile::ForRegime(BandwidthRegime::kLinear));
+  EXPECT_EQ(net.levels(), 3);
+  net.SubmitUp(3, 42);
+  int cycles = 0;
+  std::vector<std::uint64_t> arrived;
+  while (arrived.empty() && cycles < 10) {
+    net.Tick();
+    ++cycles;
+    arrived = net.DrainRoot();
+  }
+  ASSERT_EQ(arrived.size(), 1u);
+  EXPECT_EQ(arrived[0], 42u);
+  EXPECT_EQ(cycles, net.levels() + 1);  // One hop per level + memory port.
+}
+
+TEST(FatTree, DownDeliveryReachesTheRightLeaf) {
+  FatTreeNetwork net(8, BandwidthProfile::ForRegime(BandwidthRegime::kLinear));
+  net.SubmitDown(5, 7);
+  std::vector<FatTreeNetwork::Delivery> got;
+  for (int i = 0; i < 10 && got.empty(); ++i) {
+    net.Tick();
+    got = net.DrainLeaves();
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].leaf, 5);
+  EXPECT_EQ(got[0].id, 7u);
+}
+
+TEST(FatTree, ThinRootLinkSerializesTraffic) {
+  // Constant bandwidth: the root link carries 1 message per cycle, so 8
+  // simultaneous messages take ~8 extra cycles to drain.
+  FatTreeNetwork thin(8,
+                      BandwidthProfile::ForRegime(BandwidthRegime::kConstant));
+  FatTreeNetwork fat(8, BandwidthProfile::ForRegime(BandwidthRegime::kLinear));
+  for (int leaf = 0; leaf < 8; ++leaf) {
+    thin.SubmitUp(leaf, static_cast<std::uint64_t>(leaf));
+    fat.SubmitUp(leaf, static_cast<std::uint64_t>(leaf));
+  }
+  const auto drain = [](FatTreeNetwork& net) {
+    int cycles = 0;
+    std::size_t total = 0;
+    while (total < 8 && cycles < 100) {
+      net.Tick();
+      ++cycles;
+      total += net.DrainRoot().size();
+    }
+    return cycles;
+  };
+  const int thin_cycles = drain(thin);
+  const int fat_cycles = drain(fat);
+  EXPECT_EQ(fat_cycles, 4);
+  EXPECT_GE(thin_cycles, 8);
+}
+
+TEST(FatTree, LinkCapacityFollowsTheProfile) {
+  FatTreeNetwork net(64, BandwidthProfile::ForRegime(BandwidthRegime::kSqrt));
+  EXPECT_EQ(net.LinkCapacity(64), 8);
+  EXPECT_EQ(net.LinkCapacity(16), 4);
+  EXPECT_EQ(net.LinkCapacity(4), 2);
+  EXPECT_EQ(net.LinkCapacity(1), 1);
+}
+
+// --- Branch predictors -----------------------------------------------------------
+
+TEST(Predictors, NotTakenPredictsJumpsTaken) {
+  NotTakenPredictor p;
+  EXPECT_FALSE(p.PredictTaken(0, isa::MakeBranch(isa::Opcode::kBeq, 0, 0, 5)));
+  EXPECT_TRUE(p.PredictTaken(0, isa::MakeJmp(3)));
+}
+
+TEST(Predictors, BtfnPredictsBackwardTaken) {
+  BtfnPredictor p;
+  EXPECT_TRUE(p.PredictTaken(10, isa::MakeBranch(isa::Opcode::kBne, 0, 0, 3)));
+  EXPECT_FALSE(
+      p.PredictTaken(10, isa::MakeBranch(isa::Opcode::kBne, 0, 0, 20)));
+}
+
+TEST(Predictors, TwoBitSaturates) {
+  TwoBitPredictor p(16);
+  const auto br = isa::MakeBranch(isa::Opcode::kBeq, 0, 0, 5);
+  EXPECT_FALSE(p.PredictTaken(3, br));  // Initial state: weakly not-taken.
+  p.Update(3, true);
+  EXPECT_TRUE(p.PredictTaken(3, br));
+  p.Update(3, true);
+  p.Update(3, true);
+  p.Update(3, false);  // One not-taken does not flip a saturated counter.
+  EXPECT_TRUE(p.PredictTaken(3, br));
+  p.Update(3, false);
+  p.Update(3, false);
+  EXPECT_FALSE(p.PredictTaken(3, br));
+}
+
+TEST(Predictors, OracleReplaysPerPcSequences) {
+  std::vector<std::vector<std::uint8_t>> outcomes(4);
+  outcomes[2] = {1, 0, 1};
+  OraclePredictor p(outcomes);
+  const auto br = isa::MakeBranch(isa::Opcode::kBlt, 0, 0, 0);
+  EXPECT_TRUE(p.PredictTaken(2, br));
+  EXPECT_FALSE(p.PredictTaken(2, br));
+  EXPECT_TRUE(p.PredictTaken(2, br));
+  EXPECT_FALSE(p.PredictTaken(2, br));  // Exhausted: default not-taken.
+}
+
+TEST(Predictors, CloneResetsDynamicState) {
+  std::vector<std::vector<std::uint8_t>> outcomes(1);
+  outcomes[0] = {1};
+  OraclePredictor p(outcomes);
+  const auto br = isa::MakeBranch(isa::Opcode::kBlt, 0, 0, 0);
+  EXPECT_TRUE(p.PredictTaken(0, br));
+  auto clone = p.Clone();
+  EXPECT_TRUE(clone->PredictTaken(0, br));  // Fresh index.
+}
+
+// --- Trace cache -------------------------------------------------------------------
+
+TEST(TraceCache, MissThenHit) {
+  TraceCache tc(4, 3, 16);
+  EXPECT_EQ(tc.Lookup(10, 0b101), nullptr);
+  tc.Install(10, 0b101, {10, 11, 12});
+  const auto* trace = tc.Lookup(10, 0b101);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->size(), 3u);
+  EXPECT_EQ(tc.Lookup(10, 0b100), nullptr);  // Different outcome vector.
+  EXPECT_EQ(tc.stats().hits, 1u);
+  EXPECT_EQ(tc.stats().misses, 2u);
+}
+
+TEST(TraceCache, LruEviction) {
+  TraceCache tc(2, 3, 16);
+  tc.Install(1, 0, {1});
+  tc.Install(2, 0, {2});
+  ASSERT_NE(tc.Lookup(1, 0), nullptr);  // Touch 1: 2 becomes LRU.
+  tc.Install(3, 0, {3});                // Evicts 2.
+  EXPECT_NE(tc.Lookup(1, 0), nullptr);
+  EXPECT_EQ(tc.Lookup(2, 0), nullptr);
+  EXPECT_NE(tc.Lookup(3, 0), nullptr);
+}
+
+// --- MemorySystem facade -------------------------------------------------------------
+
+TEST(MemorySystem, MagicModeFixedLatency) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kMagic;
+  cfg.magic_load_latency = 3;
+  MemorySystem mem(cfg, 8);
+  mem.Reset({{100, 55}});
+  const auto id = mem.SubmitLoad(0, 100);
+  std::vector<MemResponse> got;
+  int cycles = 0;
+  while (got.empty() && cycles < 10) {
+    mem.Tick();
+    ++cycles;
+    got = mem.DrainCompleted();
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, id);
+  EXPECT_EQ(got[0].value, 55u);
+  EXPECT_EQ(cycles, 3);
+}
+
+TEST(MemorySystem, StoreIsArchitecturallyImmediate) {
+  MemoryConfig cfg;
+  MemorySystem mem(cfg, 8);
+  mem.Reset({});
+  mem.SubmitStore(0, 64, 9);
+  EXPECT_EQ(mem.ReadWord(64), 9u);  // Visible before the timing completes.
+}
+
+TEST(MemorySystem, BandwidthLimitThrottlesCompletionRate) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kBandwidthLimited;
+  cfg.regime = BandwidthRegime::kConstant;  // 1 op/cycle.
+  cfg.cache.num_banks = 16;
+  MemorySystem mem(cfg, 16);
+  mem.Reset({});
+  for (int i = 0; i < 8; ++i) {
+    mem.SubmitLoad(i, static_cast<isa::Word>(i * 64));
+  }
+  int cycles = 0;
+  std::size_t done = 0;
+  while (done < 8 && cycles < 100) {
+    mem.Tick();
+    ++cycles;
+    done += mem.DrainCompleted().size();
+  }
+  EXPECT_GE(cycles, 8);  // At most one admission per cycle.
+}
+
+TEST(MemorySystem, LinearBandwidthCompletesInParallel) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kBandwidthLimited;
+  cfg.regime = BandwidthRegime::kLinear;
+  cfg.cache.num_banks = 16;
+  MemorySystem mem(cfg, 16);
+  mem.Reset({});
+  for (int i = 0; i < 8; ++i) {
+    mem.SubmitLoad(i, static_cast<isa::Word>(i * 64));
+  }
+  int cycles = 0;
+  std::size_t done = 0;
+  while (done < 8 && cycles < 100) {
+    mem.Tick();
+    ++cycles;
+    done += mem.DrainCompleted().size();
+  }
+  EXPECT_LE(cycles, 15);  // All admitted the same cycle; only misses serialize.
+}
+
+TEST(MemorySystem, FatTreeModeDeliversCorrectValues) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kFatTree;
+  cfg.regime = BandwidthRegime::kSqrt;
+  MemorySystem mem(cfg, 16);
+  mem.Reset({{8, 123}});
+  const auto id = mem.SubmitLoad(3, 8);
+  std::vector<MemResponse> got;
+  for (int i = 0; i < 50 && got.empty(); ++i) {
+    mem.Tick();
+    got = mem.DrainCompleted();
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, id);
+  EXPECT_EQ(got[0].value, 123u);
+}
+
+TEST(MemorySystem, FatTreeRoundTripCostsAtLeastTwoTreeDepths) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kFatTree;
+  cfg.regime = BandwidthRegime::kLinear;
+  MemorySystem mem(cfg, 64);  // 6 levels.
+  mem.Reset({});
+  mem.SubmitLoad(0, 0);
+  int cycles = 0;
+  while (mem.DrainCompleted().empty() && cycles < 60) {
+    mem.Tick();
+    ++cycles;
+  }
+  EXPECT_GE(cycles, 2 * 6);
+}
+
+TEST(MemorySystem, ManyRandomOpsAreAllCompletedExactlyOnce) {
+  for (const auto mode :
+       {MemTimingMode::kMagic, MemTimingMode::kBandwidthLimited,
+        MemTimingMode::kFatTree}) {
+    MemoryConfig cfg;
+    cfg.mode = mode;
+    cfg.regime = BandwidthRegime::kSqrt;
+    MemorySystem mem(cfg, 16);
+    mem.Reset({});
+    std::mt19937 rng(5);
+    std::set<std::uint64_t> outstanding;
+    for (int i = 0; i < 200; ++i) {
+      const auto addr = static_cast<isa::Word>((rng() % 256) * 4);
+      if (rng() % 2) {
+        outstanding.insert(mem.SubmitLoad(static_cast<int>(rng() % 16), addr));
+      } else {
+        outstanding.insert(
+            mem.SubmitStore(static_cast<int>(rng() % 16), addr, rng()));
+      }
+    }
+    int cycles = 0;
+    while (!outstanding.empty() && cycles < 10000) {
+      mem.Tick();
+      ++cycles;
+      for (const auto& resp : mem.DrainCompleted()) {
+        ASSERT_EQ(outstanding.erase(resp.id), 1u)
+            << "duplicate or unknown completion";
+      }
+    }
+    EXPECT_TRUE(outstanding.empty()) << "mode " << static_cast<int>(mode);
+  }
+}
+
+// --- Distributed per-cluster caches (Section 7) ------------------------------
+
+TEST(ClusterCache, SecondLoadFromSameClusterHitsLocally) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kBandwidthLimited;
+  cfg.regime = BandwidthRegime::kConstant;
+  cfg.cluster_cache_leaves = 4;
+  MemorySystem mem(cfg, 16);
+  mem.Reset({{64, 9}});
+  const auto drain_one = [&](std::uint64_t id) {
+    for (int i = 0; i < 100; ++i) {
+      mem.Tick();
+      for (const auto& r : mem.DrainCompleted()) {
+        if (r.id == id) return r;
+      }
+    }
+    ADD_FAILURE() << "request never completed";
+    return MemResponse{};
+  };
+  const auto first = drain_one(mem.SubmitLoad(1, 64));
+  EXPECT_EQ(first.value, 9u);
+  EXPECT_EQ(mem.cluster_cache_stats().local_hits, 0u);
+  const auto second = drain_one(mem.SubmitLoad(2, 64));  // Same cluster.
+  EXPECT_EQ(second.value, 9u);
+  EXPECT_EQ(mem.cluster_cache_stats().local_hits, 1u);
+  // A different cluster misses its own local cache.
+  drain_one(mem.SubmitLoad(9, 64));
+  EXPECT_EQ(mem.cluster_cache_stats().local_hits, 1u);
+}
+
+TEST(ClusterCache, StoreInvalidatesEveryLocalCopy) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kBandwidthLimited;
+  cfg.cluster_cache_leaves = 4;
+  MemorySystem mem(cfg, 8);
+  mem.Reset({{32, 1}});
+  const auto run = [&] {
+    for (int i = 0; i < 50; ++i) mem.Tick();
+    mem.DrainCompleted();
+  };
+  mem.SubmitLoad(0, 32);  // Fills cluster 0's cache.
+  mem.SubmitLoad(5, 32);  // Fills cluster 1's cache.
+  run();
+  mem.SubmitStore(0, 32, 2);
+  run();
+  EXPECT_EQ(mem.cluster_cache_stats().invalidations, 2u);
+  // The reload sees the new value (from memory, not a stale copy).
+  const auto id = mem.SubmitLoad(5, 32);
+  isa::Word got = 0;
+  for (int i = 0; i < 50; ++i) {
+    mem.Tick();
+    for (const auto& r : mem.DrainCompleted()) {
+      if (r.id == id) got = r.value;
+    }
+  }
+  EXPECT_EQ(got, 2u);
+}
+
+TEST(ClusterCache, LruEvictionBoundsTheFootprint) {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kMagic;
+  cfg.cluster_cache_leaves = 8;
+  cfg.cluster_cache_words = 2;
+  MemorySystem mem(cfg, 8);
+  mem.Reset({});
+  const auto run = [&] {
+    for (int i = 0; i < 10; ++i) mem.Tick();
+    mem.DrainCompleted();
+  };
+  mem.SubmitLoad(0, 0);
+  mem.SubmitLoad(0, 4);
+  mem.SubmitLoad(0, 8);  // Evicts address 0.
+  run();
+  mem.SubmitLoad(0, 0);
+  run();
+  EXPECT_EQ(mem.cluster_cache_stats().local_hits, 0u);
+  mem.SubmitLoad(0, 8);  // Still resident.
+  run();
+  EXPECT_EQ(mem.cluster_cache_stats().local_hits, 1u);
+}
+
+TEST(ClusterCache, CoresStayCorrectWithDistributedCaches) {
+  // Full-system check lives in core tests; here a store/load interleaving
+  // through the facade must match the backing store at every step.
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kBandwidthLimited;
+  cfg.regime = BandwidthRegime::kSqrt;
+  cfg.cluster_cache_leaves = 4;
+  MemorySystem mem(cfg, 16);
+  mem.Reset({});
+  std::mt19937 rng(3);
+  for (int step = 0; step < 300; ++step) {
+    const auto addr = static_cast<isa::Word>((rng() % 16) * 4);
+    if (rng() % 2) {
+      mem.SubmitStore(static_cast<int>(rng() % 16), addr, rng() % 1000);
+      for (int i = 0; i < 30; ++i) mem.Tick();
+      mem.DrainCompleted();
+    } else {
+      const auto id = mem.SubmitLoad(static_cast<int>(rng() % 16), addr);
+      const isa::Word expected = mem.ReadWord(addr);
+      bool done = false;
+      for (int i = 0; i < 60 && !done; ++i) {
+        mem.Tick();
+        for (const auto& r : mem.DrainCompleted()) {
+          if (r.id == id) {
+            ASSERT_EQ(r.value, expected) << "addr " << addr;
+            done = true;
+          }
+        }
+      }
+      ASSERT_TRUE(done);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ultra::memory

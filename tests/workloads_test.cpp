@@ -1,0 +1,193 @@
+// Tests for the workload kernels and generators: each must assemble, halt,
+// and compute the architecturally correct result.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "core/functional_sim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ultra::workloads {
+namespace {
+
+core::FunctionalResult RunFunctional(const isa::Program& program) {
+  core::FunctionalSimulator sim;
+  auto result = sim.Run(program);
+  EXPECT_TRUE(result.halted);
+  return result;
+}
+
+TEST(Kernels, Figure3HasNineInstructions) {
+  const auto program = Figure3Example();
+  EXPECT_EQ(program.size(), 9u);
+  EXPECT_EQ(program.at(8).op, isa::Opcode::kHalt);
+}
+
+TEST(Kernels, FibonacciComputesTheSequence) {
+  const int expected[] = {0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55};
+  for (int k = 0; k <= 10; ++k) {
+    SCOPED_TRACE(k);
+    const auto result = RunFunctional(Fibonacci(k));
+    EXPECT_EQ(result.regs[1], static_cast<isa::Word>(expected[k]));
+  }
+}
+
+TEST(Kernels, Fibonacci32BitWraps) {
+  const auto result = RunFunctional(Fibonacci(50));
+  // fib(50) mod 2^32.
+  std::uint64_t a = 0, b = 1;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t t = (a + b) & 0xffffffffu;
+    a = b;
+    b = t;
+  }
+  EXPECT_EQ(result.regs[1], static_cast<isa::Word>(a));
+}
+
+TEST(Kernels, DotProductMatchesDirectComputation) {
+  const unsigned seed = 17;
+  const int len = 13;
+  const auto result = RunFunctional(DotProduct(len, seed));
+  std::mt19937 rng(seed);
+  std::uint32_t expected = 0;
+  std::vector<std::uint32_t> a, b;
+  for (int i = 0; i < len; ++i) {
+    a.push_back(rng() % 100);
+    b.push_back(rng() % 100);
+  }
+  for (int i = 0; i < len; ++i) expected += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  EXPECT_EQ(result.regs[2], expected);
+}
+
+TEST(Kernels, MemCopyCopiesEveryWord) {
+  const int words = 9;
+  const unsigned seed = 23;
+  const auto result = RunFunctional(MemCopy(words, seed));
+  std::mt19937 rng(seed);
+  for (int i = 0; i < words; ++i) {
+    const isa::Word expected = rng() % 1000;
+    EXPECT_EQ(result.memory.ReadWord(static_cast<isa::Word>(4 * i)),
+              expected);
+    EXPECT_EQ(
+        result.memory.ReadWord(static_cast<isa::Word>(4 * (words + i))),
+        expected);
+  }
+}
+
+TEST(Kernels, BubbleSortSorts) {
+  const int len = 10;
+  const unsigned seed = 31;
+  const auto result = RunFunctional(BubbleSort(len, seed));
+  std::mt19937 rng(seed);
+  std::vector<std::int32_t> expected;
+  for (int i = 0; i < len; ++i) expected.push_back(static_cast<std::int32_t>(rng() % 1000));
+  std::sort(expected.begin(), expected.end());
+  for (int i = 0; i < len; ++i) {
+    EXPECT_EQ(static_cast<std::int32_t>(
+                  result.memory.ReadWord(static_cast<isa::Word>(4 * i))),
+              expected[static_cast<std::size_t>(i)])
+        << "index " << i;
+  }
+}
+
+TEST(Kernels, IndirectSumEqualsDirectSum) {
+  const int len = 11;
+  const unsigned seed = 41;
+  const auto result = RunFunctional(IndirectSum(len, seed));
+  // The permutation visits every element exactly once, so the indirect sum
+  // equals the plain sum of the data vector.
+  std::mt19937 rng(seed);
+  std::vector<int> perm(static_cast<std::size_t>(len));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::uint32_t expected = 0;
+  for (int i = 0; i < len; ++i) expected += rng() % 500;
+  EXPECT_EQ(result.regs[5], expected);
+}
+
+TEST(Generators, DependencyChainsExposeExactIlp) {
+  // With k independent chains the dataflow-limit IPC is k; the functional
+  // check here is that every chain accumulated its own count.
+  const auto program =
+      DependencyChains({.num_instructions = 120, .ilp = 4, .seed = 5});
+  const auto result = RunFunctional(program);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(result.regs[static_cast<std::size_t>(c + 1)],
+              static_cast<isa::Word>(c + 1 + 30));  // Seeded + 120/4 adds.
+  }
+}
+
+TEST(Generators, DependencyChainsDeterministicInSeed) {
+  const ChainConfig cfg{.num_instructions = 64, .ilp = 3,
+                        .use_long_ops = true, .seed = 9};
+  const auto a = DependencyChains(cfg);
+  const auto b = DependencyChains(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Generators, RandomMixIsStraightLine) {
+  const auto program = RandomMix({.num_instructions = 200, .seed = 3});
+  for (const auto& inst : program.code()) {
+    EXPECT_FALSE(isa::IsControlFlow(inst.op)) << isa::ToString(inst);
+  }
+  EXPECT_EQ(program.code().back().op, isa::Opcode::kHalt);
+  RunFunctional(program);
+}
+
+TEST(Generators, RandomMixRespectsFractionsRoughly) {
+  const auto program = RandomMix({.num_instructions = 2000,
+                                  .load_fraction = 0.3,
+                                  .store_fraction = 0.2,
+                                  .seed = 77});
+  int loads = 0, stores = 0;
+  for (const auto& inst : program.code()) {
+    loads += inst.op == isa::Opcode::kLoad;
+    stores += inst.op == isa::Opcode::kStore;
+  }
+  EXPECT_NEAR(loads / 2000.0, 0.3, 0.05);
+  EXPECT_NEAR(stores / 2000.0, 0.2, 0.05);
+}
+
+TEST(Generators, MemoryStreamSumsTheArrayEachIteration) {
+  const StreamConfig cfg{.iterations = 5, .loads_per_iter = 4,
+                         .stride_words = 1, .seed = 13};
+  const auto result = RunFunctional(MemoryStream(cfg));
+  std::mt19937 rng(13);
+  std::uint32_t per_iter = 0;
+  for (int i = 0; i < 4; ++i) per_iter += rng() % 100;
+  EXPECT_EQ(result.regs[4], per_iter * 5);
+}
+
+TEST(Kernels, MatMulMatchesDirectComputation) {
+  const int n = 4;
+  const unsigned seed = 19;
+  const auto result = RunFunctional(MatMul(n, seed));
+  std::mt19937 rng(seed);
+  std::vector<std::uint32_t> a, b;
+  for (int i = 0; i < n * n; ++i) {
+    a.push_back(rng() % 20);
+    b.push_back(rng() % 20);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::uint32_t c = 0;
+      for (int k = 0; k < n; ++k) {
+        c += a[static_cast<std::size_t>(i * n + k)] *
+             b[static_cast<std::size_t>(k * n + j)];
+      }
+      const auto addr = static_cast<isa::Word>(4 * (2 * n * n + i * n + j));
+      EXPECT_EQ(result.memory.ReadWord(addr), c) << i << "," << j;
+    }
+  }
+}
+
+TEST(Generators, BranchStormAlternates) {
+  const auto result = RunFunctional(BranchStorm(10));
+  // Even iterations add 1, odd add 7: 5*1 + 5*7 = 40.
+  EXPECT_EQ(result.regs[3], 40u);
+}
+
+}  // namespace
+}  // namespace ultra::workloads
