@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_3d_scaling.dir/bench_3d_scaling.cpp.o"
+  "CMakeFiles/bench_3d_scaling.dir/bench_3d_scaling.cpp.o.d"
+  "bench_3d_scaling"
+  "bench_3d_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_3d_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

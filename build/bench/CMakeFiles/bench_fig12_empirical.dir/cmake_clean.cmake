@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_empirical.dir/bench_fig12_empirical.cpp.o"
+  "CMakeFiles/bench_fig12_empirical.dir/bench_fig12_empirical.cpp.o.d"
+  "bench_fig12_empirical"
+  "bench_fig12_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

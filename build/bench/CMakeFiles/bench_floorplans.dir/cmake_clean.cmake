@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_floorplans.dir/bench_floorplans.cpp.o"
+  "CMakeFiles/bench_floorplans.dir/bench_floorplans.cpp.o.d"
+  "bench_floorplans"
+  "bench_floorplans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_floorplans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

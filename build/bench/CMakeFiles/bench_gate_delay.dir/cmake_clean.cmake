@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gate_delay.dir/bench_gate_delay.cpp.o"
+  "CMakeFiles/bench_gate_delay.dir/bench_gate_delay.cpp.o.d"
+  "bench_gate_delay"
+  "bench_gate_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_layout.dir/bench_hybrid_layout.cpp.o"
+  "CMakeFiles/bench_hybrid_layout.dir/bench_hybrid_layout.cpp.o.d"
+  "bench_hybrid_layout"
+  "bench_hybrid_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

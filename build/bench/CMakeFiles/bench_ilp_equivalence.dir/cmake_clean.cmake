@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_equivalence.dir/bench_ilp_equivalence.cpp.o"
+  "CMakeFiles/bench_ilp_equivalence.dir/bench_ilp_equivalence.cpp.o.d"
+  "bench_ilp_equivalence"
+  "bench_ilp_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_bandwidth.dir/bench_memory_bandwidth.cpp.o"
+  "CMakeFiles/bench_memory_bandwidth.dir/bench_memory_bandwidth.cpp.o.d"
+  "bench_memory_bandwidth"
+  "bench_memory_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_renaming.dir/bench_memory_renaming.cpp.o"
+  "CMakeFiles/bench_memory_renaming.dir/bench_memory_renaming.cpp.o.d"
+  "bench_memory_renaming"
+  "bench_memory_renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

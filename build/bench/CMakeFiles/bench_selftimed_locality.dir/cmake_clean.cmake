@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selftimed_locality.dir/bench_selftimed_locality.cpp.o"
+  "CMakeFiles/bench_selftimed_locality.dir/bench_selftimed_locality.cpp.o.d"
+  "bench_selftimed_locality"
+  "bench_selftimed_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selftimed_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usi_layout.dir/bench_usi_layout.cpp.o"
+  "CMakeFiles/bench_usi_layout.dir/bench_usi_layout.cpp.o.d"
+  "bench_usi_layout"
+  "bench_usi_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usi_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

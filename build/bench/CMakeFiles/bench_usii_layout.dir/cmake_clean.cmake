@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usii_layout.dir/bench_usii_layout.cpp.o"
+  "CMakeFiles/bench_usii_layout.dir/bench_usii_layout.cpp.o.d"
+  "bench_usii_layout"
+  "bench_usii_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usii_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_ilp.dir/bench_window_ilp.cpp.o"
+  "CMakeFiles/bench_window_ilp.dir/bench_window_ilp.cpp.o.d"
+  "bench_window_ilp"
+  "bench_window_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_runner.dir/asm_runner.cpp.o"
+  "CMakeFiles/asm_runner.dir/asm_runner.cpp.o.d"
+  "asm_runner"
+  "asm_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

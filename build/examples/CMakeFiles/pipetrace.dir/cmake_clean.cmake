@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipetrace.dir/pipetrace.cpp.o"
+  "CMakeFiles/pipetrace.dir/pipetrace.cpp.o.d"
+  "pipetrace"
+  "pipetrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipetrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

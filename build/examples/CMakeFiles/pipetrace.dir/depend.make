@@ -1,0 +1,2 @@
+# Empty dependencies file for pipetrace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_analysis.dir/floorplan.cpp.o"
+  "CMakeFiles/ultra_analysis.dir/floorplan.cpp.o.d"
+  "CMakeFiles/ultra_analysis.dir/table.cpp.o"
+  "CMakeFiles/ultra_analysis.dir/table.cpp.o.d"
+  "CMakeFiles/ultra_analysis.dir/timing_diagram.cpp.o"
+  "CMakeFiles/ultra_analysis.dir/timing_diagram.cpp.o.d"
+  "libultra_analysis.a"
+  "libultra_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exec.cpp" "src/core/CMakeFiles/ultra_core.dir/exec.cpp.o" "gcc" "src/core/CMakeFiles/ultra_core.dir/exec.cpp.o.d"
+  "/root/repo/src/core/fetch.cpp" "src/core/CMakeFiles/ultra_core.dir/fetch.cpp.o" "gcc" "src/core/CMakeFiles/ultra_core.dir/fetch.cpp.o.d"
+  "/root/repo/src/core/functional_sim.cpp" "src/core/CMakeFiles/ultra_core.dir/functional_sim.cpp.o" "gcc" "src/core/CMakeFiles/ultra_core.dir/functional_sim.cpp.o.d"
+  "/root/repo/src/core/hybrid_core.cpp" "src/core/CMakeFiles/ultra_core.dir/hybrid_core.cpp.o" "gcc" "src/core/CMakeFiles/ultra_core.dir/hybrid_core.cpp.o.d"
+  "/root/repo/src/core/ideal_core.cpp" "src/core/CMakeFiles/ultra_core.dir/ideal_core.cpp.o" "gcc" "src/core/CMakeFiles/ultra_core.dir/ideal_core.cpp.o.d"
+  "/root/repo/src/core/processor.cpp" "src/core/CMakeFiles/ultra_core.dir/processor.cpp.o" "gcc" "src/core/CMakeFiles/ultra_core.dir/processor.cpp.o.d"
+  "/root/repo/src/core/usi_core.cpp" "src/core/CMakeFiles/ultra_core.dir/usi_core.cpp.o" "gcc" "src/core/CMakeFiles/ultra_core.dir/usi_core.cpp.o.d"
+  "/root/repo/src/core/usii_core.cpp" "src/core/CMakeFiles/ultra_core.dir/usii_core.cpp.o" "gcc" "src/core/CMakeFiles/ultra_core.dir/usii_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ultra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/datapath/CMakeFiles/ultra_datapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/ultra_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_core.dir/exec.cpp.o"
+  "CMakeFiles/ultra_core.dir/exec.cpp.o.d"
+  "CMakeFiles/ultra_core.dir/fetch.cpp.o"
+  "CMakeFiles/ultra_core.dir/fetch.cpp.o.d"
+  "CMakeFiles/ultra_core.dir/functional_sim.cpp.o"
+  "CMakeFiles/ultra_core.dir/functional_sim.cpp.o.d"
+  "CMakeFiles/ultra_core.dir/hybrid_core.cpp.o"
+  "CMakeFiles/ultra_core.dir/hybrid_core.cpp.o.d"
+  "CMakeFiles/ultra_core.dir/ideal_core.cpp.o"
+  "CMakeFiles/ultra_core.dir/ideal_core.cpp.o.d"
+  "CMakeFiles/ultra_core.dir/processor.cpp.o"
+  "CMakeFiles/ultra_core.dir/processor.cpp.o.d"
+  "CMakeFiles/ultra_core.dir/usi_core.cpp.o"
+  "CMakeFiles/ultra_core.dir/usi_core.cpp.o.d"
+  "CMakeFiles/ultra_core.dir/usii_core.cpp.o"
+  "CMakeFiles/ultra_core.dir/usii_core.cpp.o.d"
+  "libultra_core.a"
+  "libultra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

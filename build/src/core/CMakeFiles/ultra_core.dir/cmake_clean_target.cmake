@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libultra_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datapath/hybrid.cpp" "src/datapath/CMakeFiles/ultra_datapath.dir/hybrid.cpp.o" "gcc" "src/datapath/CMakeFiles/ultra_datapath.dir/hybrid.cpp.o.d"
+  "/root/repo/src/datapath/scheduler.cpp" "src/datapath/CMakeFiles/ultra_datapath.dir/scheduler.cpp.o" "gcc" "src/datapath/CMakeFiles/ultra_datapath.dir/scheduler.cpp.o.d"
+  "/root/repo/src/datapath/sequencing.cpp" "src/datapath/CMakeFiles/ultra_datapath.dir/sequencing.cpp.o" "gcc" "src/datapath/CMakeFiles/ultra_datapath.dir/sequencing.cpp.o.d"
+  "/root/repo/src/datapath/usi.cpp" "src/datapath/CMakeFiles/ultra_datapath.dir/usi.cpp.o" "gcc" "src/datapath/CMakeFiles/ultra_datapath.dir/usi.cpp.o.d"
+  "/root/repo/src/datapath/usii.cpp" "src/datapath/CMakeFiles/ultra_datapath.dir/usii.cpp.o" "gcc" "src/datapath/CMakeFiles/ultra_datapath.dir/usii.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ultra_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

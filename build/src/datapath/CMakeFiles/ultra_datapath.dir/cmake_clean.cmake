@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_datapath.dir/hybrid.cpp.o"
+  "CMakeFiles/ultra_datapath.dir/hybrid.cpp.o.d"
+  "CMakeFiles/ultra_datapath.dir/scheduler.cpp.o"
+  "CMakeFiles/ultra_datapath.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ultra_datapath.dir/sequencing.cpp.o"
+  "CMakeFiles/ultra_datapath.dir/sequencing.cpp.o.d"
+  "CMakeFiles/ultra_datapath.dir/usi.cpp.o"
+  "CMakeFiles/ultra_datapath.dir/usi.cpp.o.d"
+  "CMakeFiles/ultra_datapath.dir/usii.cpp.o"
+  "CMakeFiles/ultra_datapath.dir/usii.cpp.o.d"
+  "libultra_datapath.a"
+  "libultra_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_isa.dir/alu.cpp.o"
+  "CMakeFiles/ultra_isa.dir/alu.cpp.o.d"
+  "CMakeFiles/ultra_isa.dir/assembler.cpp.o"
+  "CMakeFiles/ultra_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/ultra_isa.dir/instruction.cpp.o"
+  "CMakeFiles/ultra_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/ultra_isa.dir/latency.cpp.o"
+  "CMakeFiles/ultra_isa.dir/latency.cpp.o.d"
+  "CMakeFiles/ultra_isa.dir/opcode.cpp.o"
+  "CMakeFiles/ultra_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/ultra_isa.dir/program.cpp.o"
+  "CMakeFiles/ultra_isa.dir/program.cpp.o.d"
+  "libultra_isa.a"
+  "libultra_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/backing_store.cpp" "src/memory/CMakeFiles/ultra_memory.dir/backing_store.cpp.o" "gcc" "src/memory/CMakeFiles/ultra_memory.dir/backing_store.cpp.o.d"
+  "/root/repo/src/memory/bandwidth.cpp" "src/memory/CMakeFiles/ultra_memory.dir/bandwidth.cpp.o" "gcc" "src/memory/CMakeFiles/ultra_memory.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/memory/branch_predictor.cpp" "src/memory/CMakeFiles/ultra_memory.dir/branch_predictor.cpp.o" "gcc" "src/memory/CMakeFiles/ultra_memory.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/memory/butterfly.cpp" "src/memory/CMakeFiles/ultra_memory.dir/butterfly.cpp.o" "gcc" "src/memory/CMakeFiles/ultra_memory.dir/butterfly.cpp.o.d"
+  "/root/repo/src/memory/cache.cpp" "src/memory/CMakeFiles/ultra_memory.dir/cache.cpp.o" "gcc" "src/memory/CMakeFiles/ultra_memory.dir/cache.cpp.o.d"
+  "/root/repo/src/memory/fat_tree.cpp" "src/memory/CMakeFiles/ultra_memory.dir/fat_tree.cpp.o" "gcc" "src/memory/CMakeFiles/ultra_memory.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/memory/memory_system.cpp" "src/memory/CMakeFiles/ultra_memory.dir/memory_system.cpp.o" "gcc" "src/memory/CMakeFiles/ultra_memory.dir/memory_system.cpp.o.d"
+  "/root/repo/src/memory/trace_cache.cpp" "src/memory/CMakeFiles/ultra_memory.dir/trace_cache.cpp.o" "gcc" "src/memory/CMakeFiles/ultra_memory.dir/trace_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ultra_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_memory.dir/backing_store.cpp.o"
+  "CMakeFiles/ultra_memory.dir/backing_store.cpp.o.d"
+  "CMakeFiles/ultra_memory.dir/bandwidth.cpp.o"
+  "CMakeFiles/ultra_memory.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/ultra_memory.dir/branch_predictor.cpp.o"
+  "CMakeFiles/ultra_memory.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/ultra_memory.dir/butterfly.cpp.o"
+  "CMakeFiles/ultra_memory.dir/butterfly.cpp.o.d"
+  "CMakeFiles/ultra_memory.dir/cache.cpp.o"
+  "CMakeFiles/ultra_memory.dir/cache.cpp.o.d"
+  "CMakeFiles/ultra_memory.dir/fat_tree.cpp.o"
+  "CMakeFiles/ultra_memory.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/ultra_memory.dir/memory_system.cpp.o"
+  "CMakeFiles/ultra_memory.dir/memory_system.cpp.o.d"
+  "CMakeFiles/ultra_memory.dir/trace_cache.cpp.o"
+  "CMakeFiles/ultra_memory.dir/trace_cache.cpp.o.d"
+  "libultra_memory.a"
+  "libultra_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vlsi/delay.cpp" "src/vlsi/CMakeFiles/ultra_vlsi.dir/delay.cpp.o" "gcc" "src/vlsi/CMakeFiles/ultra_vlsi.dir/delay.cpp.o.d"
+  "/root/repo/src/vlsi/layout.cpp" "src/vlsi/CMakeFiles/ultra_vlsi.dir/layout.cpp.o" "gcc" "src/vlsi/CMakeFiles/ultra_vlsi.dir/layout.cpp.o.d"
+  "/root/repo/src/vlsi/magic.cpp" "src/vlsi/CMakeFiles/ultra_vlsi.dir/magic.cpp.o" "gcc" "src/vlsi/CMakeFiles/ultra_vlsi.dir/magic.cpp.o.d"
+  "/root/repo/src/vlsi/scaling.cpp" "src/vlsi/CMakeFiles/ultra_vlsi.dir/scaling.cpp.o" "gcc" "src/vlsi/CMakeFiles/ultra_vlsi.dir/scaling.cpp.o.d"
+  "/root/repo/src/vlsi/three_d.cpp" "src/vlsi/CMakeFiles/ultra_vlsi.dir/three_d.cpp.o" "gcc" "src/vlsi/CMakeFiles/ultra_vlsi.dir/three_d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/ultra_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/datapath/CMakeFiles/ultra_datapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ultra_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_vlsi.dir/delay.cpp.o"
+  "CMakeFiles/ultra_vlsi.dir/delay.cpp.o.d"
+  "CMakeFiles/ultra_vlsi.dir/layout.cpp.o"
+  "CMakeFiles/ultra_vlsi.dir/layout.cpp.o.d"
+  "CMakeFiles/ultra_vlsi.dir/magic.cpp.o"
+  "CMakeFiles/ultra_vlsi.dir/magic.cpp.o.d"
+  "CMakeFiles/ultra_vlsi.dir/scaling.cpp.o"
+  "CMakeFiles/ultra_vlsi.dir/scaling.cpp.o.d"
+  "CMakeFiles/ultra_vlsi.dir/three_d.cpp.o"
+  "CMakeFiles/ultra_vlsi.dir/three_d.cpp.o.d"
+  "libultra_vlsi.a"
+  "libultra_vlsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_workloads.dir/generators.cpp.o"
+  "CMakeFiles/ultra_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/ultra_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/ultra_workloads.dir/kernels.cpp.o.d"
+  "libultra_workloads.a"
+  "libultra_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
