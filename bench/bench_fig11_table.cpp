@@ -7,11 +7,18 @@
 //   * the paper's Theta bound,
 //   * the measured/modelled value at a reference design point, and
 //   * the fitted n-exponent over a sweep (which should match the bound).
+//
+// Every (regime x architecture x n) model evaluation is dispatched through
+// runtime::SweepRunner::Map; results come back in submission order, so the
+// printed table is byte-identical at any thread count.
+//
+// Usage: bench_fig11_table [--threads=N]
 #include <cstdio>
-#include <functional>
+#include <string>
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "runtime/runtime.hpp"
 #include "vlsi/vlsi.hpp"
 
 namespace {
@@ -20,6 +27,9 @@ using namespace ultra;
 using memory::BandwidthProfile;
 using memory::BandwidthRegime;
 
+constexpr int kL = 32;
+constexpr std::int64_t kRefN = 4096;
+
 struct Theory {
   const char* gate;
   const char* wire;
@@ -27,114 +37,119 @@ struct Theory {
   const char* area;
 };
 
-struct Column {
-  const char* name;
-  Theory theory;
-  std::function<double(std::int64_t)> gate;
-  std::function<double(std::int64_t)> wire_um;
-  std::function<double(std::int64_t)> area_um2;
+enum class Arch { kUsi, kUsiiLinear, kUsiiLog, kHybrid };
+
+constexpr Arch kArchs[] = {Arch::kUsi, Arch::kUsiiLinear, Arch::kUsiiLog,
+                           Arch::kHybrid};
+
+const char* ArchName(Arch arch) {
+  switch (arch) {
+    case Arch::kUsi:
+      return "UltrascalarI (log gates)";
+    case Arch::kUsiiLinear:
+      return "UltrascalarII (linear)";
+    case Arch::kUsiiLog:
+      return "UltrascalarII (log gates)";
+    case Arch::kHybrid:
+      return "Hybrid (C = L)";
+  }
+  return "?";
+}
+
+/// One model evaluation: gate delay, wire length, and area of @p arch at
+/// design point @p n under @p profile.
+struct CellValues {
+  double gate = 0.0;
+  double wire_um = 0.0;
+  double area_um2 = 0.0;
 };
 
-void PrintRegime(const char* title, const BandwidthProfile& profile,
-                 const Theory& usi_t, const Theory& usii_lin_t,
-                 const Theory& usii_log_t, const Theory& hybrid_t) {
-  const int L = 32;
-  const vlsi::UltrascalarILayout usi(L, profile);
-  const vlsi::UltrascalarIILayout usii(L);
-  const vlsi::HybridLayout hybrid(L, L, profile);
+CellValues Eval(Arch arch, const BandwidthProfile& profile, std::int64_t n) {
+  const auto gates = vlsi::MeasureGateDelays(n, kL, kL);
+  switch (arch) {
+    case Arch::kUsi: {
+      const vlsi::UltrascalarILayout usi(kL, profile);
+      const auto g = usi.At(n);
+      return {gates.usi_tree, g.wire_um, g.area_um2()};
+    }
+    case Arch::kUsiiLinear: {
+      const vlsi::UltrascalarIILayout usii(kL);
+      const auto g = usii.At(n, vlsi::UltrascalarIILayout::Depth::kLinear);
+      return {gates.usii_grid, g.wire_um, g.area_um2()};
+    }
+    case Arch::kUsiiLog: {
+      const vlsi::UltrascalarIILayout usii(kL);
+      const auto g =
+          usii.At(n, vlsi::UltrascalarIILayout::Depth::kLogViaTreeOfMeshes);
+      return {gates.usii_mesh, g.wire_um, g.area_um2()};
+    }
+    case Arch::kHybrid: {
+      const vlsi::HybridLayout hybrid(kL, kL, profile);
+      const auto g = hybrid.At(n);
+      return {gates.hybrid, g.wire_um, g.area_um2()};
+    }
+  }
+  return {};
+}
 
-  std::vector<Column> cols;
-  cols.push_back(
-      {"UltrascalarI (log gates)", usi_t,
-       [&](std::int64_t n) {
-         return vlsi::MeasureGateDelays(n, L, L).usi_tree;
-       },
-       [&](std::int64_t n) { return usi.At(n).wire_um; },
-       [&](std::int64_t n) { return usi.At(n).area_um2(); }});
-  cols.push_back(
-      {"UltrascalarII (linear)", usii_lin_t,
-       [&](std::int64_t n) {
-         return vlsi::MeasureGateDelays(n, L, L).usii_grid;
-       },
-       [&](std::int64_t n) {
-         return usii.At(n, vlsi::UltrascalarIILayout::Depth::kLinear).wire_um;
-       },
-       [&](std::int64_t n) {
-         return usii.At(n, vlsi::UltrascalarIILayout::Depth::kLinear)
-             .area_um2();
-       }});
-  cols.push_back(
-      {"UltrascalarII (log gates)", usii_log_t,
-       [&](std::int64_t n) {
-         return vlsi::MeasureGateDelays(n, L, L).usii_mesh;
-       },
-       [&](std::int64_t n) {
-         return usii.At(n, vlsi::UltrascalarIILayout::Depth::kLogViaTreeOfMeshes)
-             .wire_um;
-       },
-       [&](std::int64_t n) {
-         return usii
-             .At(n, vlsi::UltrascalarIILayout::Depth::kLogViaTreeOfMeshes)
-             .area_um2();
-       }});
-  cols.push_back(
-      {"Hybrid (C = L)", hybrid_t,
-       [&](std::int64_t n) {
-         return vlsi::MeasureGateDelays(n, L, L).hybrid;
-       },
-       [&](std::int64_t n) { return hybrid.At(n).wire_um; },
-       [&](std::int64_t n) { return hybrid.At(n).area_um2(); }});
+struct Regime {
+  const char* title;
+  BandwidthProfile profile;
+  Theory theories[4];  // Indexed like kArchs.
+};
 
-  std::printf("--- %s (L = %d) ---\n", title, L);
+/// All evaluated design points of one (regime, architecture) column: the
+/// sweep values used for the power-law fit plus the n = kRefN reference.
+struct Column {
+  std::vector<double> ns, gates, wires, areas;
+  CellValues ref;
+};
+
+void PrintRegime(const Regime& regime, const std::vector<Column>& columns) {
+  std::printf("--- %s (L = %d) ---\n", regime.title, kL);
   analysis::Table table({"processor", "quantity", "paper Theta",
                          "value @ n=4096", "fitted n-exp"});
-  const std::int64_t ref = 4096;
-  for (const auto& col : cols) {
-    std::vector<double> ns, gates, wires, areas;
-    for (int e = 8; e <= 14; e += 2) {
-      const std::int64_t n = std::int64_t{1} << e;
-      ns.push_back(static_cast<double>(n));
-      gates.push_back(col.gate(n));
-      wires.push_back(col.wire_um(n));
-      areas.push_back(col.area_um2(n));
-    }
-    const auto gfit = vlsi::FitPowerLaw(ns, gates);
-    const auto wfit = vlsi::FitPowerLaw(ns, wires);
-    const auto afit = vlsi::FitPowerLaw(ns, areas);
+  for (std::size_t c = 0; c < std::size(kArchs); ++c) {
+    const Column& col = columns[c];
+    const Theory& theory = regime.theories[c];
+    const auto gfit = vlsi::FitPowerLaw(col.ns, col.gates);
+    const auto wfit = vlsi::FitPowerLaw(col.ns, col.wires);
+    const auto afit = vlsi::FitPowerLaw(col.ns, col.areas);
     table.Row()
-        .Cell(col.name)
+        .Cell(ArchName(kArchs[c]))
         .Cell("gate delay")
-        .Cell(col.theory.gate)
-        .Cell(std::to_string(static_cast<long long>(col.gate(ref))) +
+        .Cell(theory.gate)
+        .Cell(std::to_string(static_cast<long long>(col.ref.gate)) +
               " gates")
         .Cell(gfit.exponent);
     table.Row()
         .Cell("")
         .Cell("wire delay")
-        .Cell(col.theory.wire)
-        .Cell(analysis::Humanize(col.wire_um(ref) / 1e4) + " cm")
+        .Cell(theory.wire)
+        .Cell(analysis::Humanize(col.ref.wire_um / 1e4) + " cm")
         .Cell(wfit.exponent);
     // Total delay: gates at gate_ps plus repeated-wire delay.
-    const auto total_ps = [&](std::int64_t nn) {
-      return col.gate(nn) * vlsi::kDefaultConstants.gate_ps +
-             col.wire_um(nn) / 1000.0 * vlsi::kDefaultConstants.wire_ps_per_mm;
+    const auto total_ps = [](const CellValues& v) {
+      return v.gate * vlsi::kDefaultConstants.gate_ps +
+             v.wire_um / 1000.0 * vlsi::kDefaultConstants.wire_ps_per_mm;
     };
     std::vector<double> totals;
-    for (const double nn : ns) {
-      totals.push_back(total_ps(static_cast<std::int64_t>(nn)));
+    for (std::size_t k = 0; k < col.ns.size(); ++k) {
+      totals.push_back(total_ps(
+          {col.gates[k], col.wires[k], col.areas[k]}));
     }
-    const auto tfit = vlsi::FitPowerLaw(ns, totals);
+    const auto tfit = vlsi::FitPowerLaw(col.ns, totals);
     table.Row()
         .Cell("")
         .Cell("total delay")
-        .Cell(col.theory.total)
-        .Cell(analysis::Humanize(total_ps(ref) / 1000.0) + " ns")
+        .Cell(theory.total)
+        .Cell(analysis::Humanize(total_ps(col.ref) / 1000.0) + " ns")
         .Cell(tfit.exponent);
     table.Row()
         .Cell("")
         .Cell("area")
-        .Cell(col.theory.area)
-        .Cell(analysis::Humanize(col.area_um2(ref) / 1e8) + " cm^2")
+        .Cell(theory.area)
+        .Cell(analysis::Humanize(col.ref.area_um2 / 1e8) + " cm^2")
         .Cell(afit.exponent);
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -142,35 +157,69 @@ void PrintRegime(const char* title, const BandwidthProfile& profile,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = runtime::ParseSweepCli(argc, argv);
   std::printf("=== E6 / Figure 11: processor comparison across M(n) ===\n\n");
 
-  PrintRegime("M(n) = O(n^{1/2-e})",
-              BandwidthProfile::ForRegime(BandwidthRegime::kSqrtMinus),
-              {"Th(log n)", "Th(sqrt(n) L)", "Th(sqrt(n) L)", "Th(n L^2)"},
-              {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
-              {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
-               "Th((n+L)^2 log^2(n+L))"},
-              {"Th(L+log n)", "Th(sqrt(nL))", "Th(sqrt(nL))", "Th(nL)"});
+  const Regime regimes[] = {
+      {"M(n) = O(n^{1/2-e})",
+       BandwidthProfile::ForRegime(BandwidthRegime::kSqrtMinus),
+       {{"Th(log n)", "Th(sqrt(n) L)", "Th(sqrt(n) L)", "Th(n L^2)"},
+        {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
+        {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
+         "Th((n+L)^2 log^2(n+L))"},
+        {"Th(L+log n)", "Th(sqrt(nL))", "Th(sqrt(nL))", "Th(nL)"}}},
+      {"M(n) = Theta(n^{1/2})",
+       BandwidthProfile::ForRegime(BandwidthRegime::kSqrt),
+       {{"Th(log n)", "Th(sqrt(n)(L+log n))", "Th(sqrt(n)(L+log n))",
+         "Th(n(L^2+log^2 n))"},
+        {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
+        {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
+         "Th((n+L)^2 log^2(n+L))"},
+        {"Th(L+log n)", "Th(sqrt(nL))", "Th(sqrt(nL))", "Th(nL)"}}},
+      {"M(n) = Omega(n^{1/2+e})",
+       BandwidthProfile::ForRegime(BandwidthRegime::kSqrtPlus, 60.0),
+       {{"Th(log n)", "Th(sqrt(n)L + M(n))", "Th(sqrt(n)L + M(n))",
+         "Th(nL^2 + M(n)^2)"},
+        {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
+        {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
+         "Th((n+L)^2 log^2(n+L))"},
+        {"Th(L+log n)", "Th(sqrt(nL)+M(n))", "Th(sqrt(nL)+M(n))",
+         "Th(nL + M(n)^2)"}}},
+  };
 
-  PrintRegime("M(n) = Theta(n^{1/2})",
-              BandwidthProfile::ForRegime(BandwidthRegime::kSqrt),
-              {"Th(log n)", "Th(sqrt(n)(L+log n))", "Th(sqrt(n)(L+log n))",
-               "Th(n(L^2+log^2 n))"},
-              {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
-              {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
-               "Th((n+L)^2 log^2(n+L))"},
-              {"Th(L+log n)", "Th(sqrt(nL))", "Th(sqrt(nL))", "Th(nL)"});
+  // Design points: the fit sweep n = 2^8 .. 2^14 plus the n = 4096
+  // reference cell. One flattened task per (regime, arch, n).
+  std::vector<std::int64_t> sweep_ns;
+  for (int e = 8; e <= 14; e += 2) sweep_ns.push_back(std::int64_t{1} << e);
+  const std::size_t per_col = sweep_ns.size() + 1;  // +1: reference point.
+  const std::size_t num_cells =
+      std::size(regimes) * std::size(kArchs) * per_col;
 
-  PrintRegime("M(n) = Omega(n^{1/2+e})",
-              BandwidthProfile::ForRegime(BandwidthRegime::kSqrtPlus, 60.0),
-              {"Th(log n)", "Th(sqrt(n)L + M(n))", "Th(sqrt(n)L + M(n))",
-               "Th(nL^2 + M(n)^2)"},
-              {"Th(n+L)", "Th(n+L)", "Th(n+L)", "Th(n^2+L^2)"},
-              {"Th(log(n+L))", "Th((n+L)log(n+L))", "Th((n+L)log(n+L))",
-               "Th((n+L)^2 log^2(n+L))"},
-              {"Th(L+log n)", "Th(sqrt(nL)+M(n))", "Th(sqrt(nL)+M(n))",
-               "Th(nL + M(n)^2)"});
+  const runtime::SweepRunner runner({.num_threads = cli.threads});
+  const auto cells = runner.Map<CellValues>(num_cells, [&](std::size_t i) {
+    const std::size_t r = i / (std::size(kArchs) * per_col);
+    const std::size_t c = i / per_col % std::size(kArchs);
+    const std::size_t k = i % per_col;
+    const std::int64_t n = k < sweep_ns.size() ? sweep_ns[k] : kRefN;
+    return Eval(kArchs[c], regimes[r].profile, n);
+  });
+
+  for (std::size_t r = 0; r < std::size(regimes); ++r) {
+    std::vector<Column> columns(std::size(kArchs));
+    for (std::size_t c = 0; c < std::size(kArchs); ++c) {
+      Column& col = columns[c];
+      const std::size_t base = (r * std::size(kArchs) + c) * per_col;
+      for (std::size_t k = 0; k < sweep_ns.size(); ++k) {
+        col.ns.push_back(static_cast<double>(sweep_ns[k]));
+        col.gates.push_back(cells[base + k].gate);
+        col.wires.push_back(cells[base + k].wire_um);
+        col.areas.push_back(cells[base + k].area_um2);
+      }
+      col.ref = cells[base + sweep_ns.size()];
+    }
+    PrintRegime(regimes[r], columns);
+  }
 
   std::printf(
       "Dominance summary (Section 7): for n < Theta(L^2) the Ultrascalar II\n"

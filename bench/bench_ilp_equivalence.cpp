@@ -8,16 +8,24 @@
 // with identical windows, predictors, and memory timing. The Ultrascalar I
 // and the hybrid must match the ideal out-of-order baseline cycle for
 // cycle; the batch-mode Ultrascalar II pays its documented refill idle time.
+// The (workload x processor) grid runs under the runtime::SweepRunner with
+// architectural-state checking on: every point is additionally verified
+// against the shared functional-simulation oracle.
+//
+// Usage: bench_ilp_equivalence [--threads=N] [--csv=PATH] [--json=PATH]
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/table.hpp"
 #include "core/core.hpp"
+#include "runtime/runtime.hpp"
 #include "workloads/workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ultra;
+  const auto cli = runtime::ParseSweepCli(argc, argv);
   std::printf("=== E9: ILP equivalence across microarchitectures ===\n\n");
 
   core::CoreConfig cfg;
@@ -28,52 +36,73 @@ int main() {
 
   struct Workload {
     std::string name;
-    isa::Program program;
+    std::shared_ptr<const isa::Program> program;
   };
   std::vector<Workload> workloads;
-  workloads.push_back({"figure3", workloads::Figure3Example()});
-  workloads.push_back({"fib(20)", workloads::Fibonacci(20)});
-  workloads.push_back({"dot(32)", workloads::DotProduct(32)});
-  workloads.push_back({"memcpy(48)", workloads::MemCopy(48)});
-  workloads.push_back({"bubble(12)", workloads::BubbleSort(12)});
-  workloads.push_back({"indirect(24)", workloads::IndirectSum(24)});
-  workloads.push_back(
-      {"chains(ilp=8)",
-       workloads::DependencyChains({.num_instructions = 256, .ilp = 8})});
-  workloads.push_back(
-      {"chains(ilp=1)",
-       workloads::DependencyChains({.num_instructions = 128, .ilp = 1})});
-  workloads.push_back(
-      {"mix(256)", workloads::RandomMix({.num_instructions = 256})});
-  workloads.push_back({"branchstorm(64)", workloads::BranchStorm(64)});
+  const auto add = [&](std::string name, isa::Program program) {
+    workloads.push_back(
+        {std::move(name),
+         std::make_shared<const isa::Program>(std::move(program))});
+  };
+  add("figure3", workloads::Figure3Example());
+  add("fib(20)", workloads::Fibonacci(20));
+  add("dot(32)", workloads::DotProduct(32));
+  add("memcpy(48)", workloads::MemCopy(48));
+  add("bubble(12)", workloads::BubbleSort(12));
+  add("indirect(24)", workloads::IndirectSum(24));
+  add("chains(ilp=8)",
+      workloads::DependencyChains({.num_instructions = 256, .ilp = 8}));
+  add("chains(ilp=1)",
+      workloads::DependencyChains({.num_instructions = 128, .ilp = 1}));
+  add("mix(256)", workloads::RandomMix({.num_instructions = 256}));
+  add("branchstorm(64)", workloads::BranchStorm(64));
+
+  const core::ProcessorKind kinds[] = {
+      core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
+      core::ProcessorKind::kHybrid, core::ProcessorKind::kUltrascalarII};
+  std::vector<runtime::SweepPoint> points;
+  for (const auto& w : workloads) {
+    for (const auto kind : kinds) {
+      points.push_back({kind, cfg, w.program, w.name});
+    }
+  }
+  const runtime::SweepRunner runner(
+      {.num_threads = cli.threads, .check_architectural_state = true});
+  const auto outcomes = runner.Run(points);
 
   analysis::Table table({"workload", "insns", "ideal cyc", "USI cyc",
                          "hybrid cyc", "USII cyc", "USI==ideal",
                          "hyb==ideal", "USII/ideal"});
   int equal_usi = 0;
   int equal_hybrid = 0;
-  for (const auto& w : workloads) {
-    std::vector<core::RunResult> results;
-    for (const auto kind :
-         {core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
-          core::ProcessorKind::kHybrid, core::ProcessorKind::kUltrascalarII}) {
-      results.push_back(core::MakeProcessor(kind, cfg)->Run(w.program));
+  int arch_failures = 0;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const auto* row_outcomes = &outcomes[w * std::size(kinds)];
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+      if (!row_outcomes[k].ok) {
+        ++arch_failures;
+        std::fprintf(stderr, "ARCH MISMATCH %s on %s: %s\n",
+                     workloads[w].name.c_str(),
+                     std::string(core::ProcessorKindName(row_outcomes[k].kind))
+                         .c_str(),
+                     row_outcomes[k].error.c_str());
+      }
     }
-    const auto& ideal = results[0];
-    const bool usi_eq = results[1].cycles == ideal.cycles;
-    const bool hyb_eq = results[2].cycles == ideal.cycles;
+    const auto& ideal = row_outcomes[0].result;
+    const bool usi_eq = row_outcomes[1].result.cycles == ideal.cycles;
+    const bool hyb_eq = row_outcomes[2].result.cycles == ideal.cycles;
     equal_usi += usi_eq;
     equal_hybrid += hyb_eq;
     table.Row()
-        .Cell(w.name)
+        .Cell(workloads[w].name)
         .Cell(ideal.committed)
         .Cell(ideal.cycles)
-        .Cell(results[1].cycles)
-        .Cell(results[2].cycles)
-        .Cell(results[3].cycles)
+        .Cell(row_outcomes[1].result.cycles)
+        .Cell(row_outcomes[2].result.cycles)
+        .Cell(row_outcomes[3].result.cycles)
         .Cell(usi_eq ? "yes" : "NO")
         .Cell(hyb_eq ? "yes" : "NO")
-        .Cell(static_cast<double>(results[3].cycles) /
+        .Cell(static_cast<double>(row_outcomes[3].result.cycles) /
                   static_cast<double>(ideal.cycles),
               2);
   }
@@ -84,5 +113,6 @@ int main() {
       "a whole cluster. The UltrascalarII ratio > 1 is the paper's stated\n"
       "batch-refill inefficiency.)\n",
       equal_usi, workloads.size(), equal_hybrid, workloads.size());
-  return 0;
+  if (!runtime::ExportOutcomes(cli, outcomes)) return 1;
+  return arch_failures == 0 ? 0 : 1;
 }

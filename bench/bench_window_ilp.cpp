@@ -9,30 +9,67 @@
 //
 // With the scalable cores in hand we can run that study directly: IPC as a
 // function of window size under oracle ("good") and BTFN ("realistic")
-// prediction, on workloads of different inherent ILP.
+// prediction, on workloads of different inherent ILP. The (predictor x
+// workload x window) grid is dispatched through the runtime::SweepRunner;
+// results are aggregated in submission order, so the printed tables (and
+// any --csv/--json export) are identical at every thread count.
+//
+// Usage: bench_window_ilp [--threads=N] [--csv=PATH] [--json=PATH]
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "analysis/table.hpp"
 #include "core/core.hpp"
+#include "runtime/runtime.hpp"
 #include "workloads/workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ultra;
+  const auto cli = runtime::ParseSweepCli(argc, argv);
   std::printf("=== E13: IPC vs window size (limit study) ===\n\n");
 
   struct Workload {
     std::string name;
-    isa::Program program;
+    std::shared_ptr<const isa::Program> program;
   };
   const Workload suite[] = {
       {"chains(ilp=32)",
-       workloads::DependencyChains({.num_instructions = 2048, .ilp = 30})},
-      {"fib(128)", workloads::Fibonacci(128)},
-      {"dot(128)", workloads::DotProduct(128)},
-      {"bubble(24)", workloads::BubbleSort(24)},
-      {"mix(1024)", workloads::RandomMix({.num_instructions = 1024})},
+       std::make_shared<isa::Program>(workloads::DependencyChains(
+           {.num_instructions = 2048, .ilp = 30}))},
+      {"fib(128)", std::make_shared<isa::Program>(workloads::Fibonacci(128))},
+      {"dot(128)",
+       std::make_shared<isa::Program>(workloads::DotProduct(128))},
+      {"bubble(24)",
+       std::make_shared<isa::Program>(workloads::BubbleSort(24))},
+      {"mix(1024)", std::make_shared<isa::Program>(
+                        workloads::RandomMix({.num_instructions = 1024}))},
   };
+  const int windows[] = {8, 16, 32, 64, 128, 256};
 
+  // One sweep over the full grid; the shared FunctionalSimCache means the
+  // oracle's functional pre-run happens once per workload, not once per
+  // (workload x window) point.
+  std::vector<runtime::SweepPoint> points;
+  for (const auto predictor :
+       {core::PredictorKind::kOracle, core::PredictorKind::kBtfn}) {
+    for (const auto& w : suite) {
+      for (const int window : windows) {
+        runtime::SweepPoint point;
+        point.kind = core::ProcessorKind::kUltrascalarI;
+        point.config.window_size = window;
+        point.config.predictor = predictor;
+        point.config.mem.mode = memory::MemTimingMode::kMagic;
+        point.program = w.program;
+        point.workload = w.name;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  const runtime::SweepRunner runner({.num_threads = cli.threads});
+  const auto outcomes = runner.Run(points);
+
+  std::size_t next = 0;
   for (const auto predictor :
        {core::PredictorKind::kOracle, core::PredictorKind::kBtfn}) {
     std::printf("--- %s prediction, UltrascalarI ---\n",
@@ -43,14 +80,8 @@ int main() {
     for (const auto& w : suite) {
       analysis::Table& row = table.Row();
       row.Cell(w.name);
-      for (const int window : {8, 16, 32, 64, 128, 256}) {
-        core::CoreConfig cfg;
-        cfg.window_size = window;
-        cfg.predictor = predictor;
-        cfg.mem.mode = memory::MemTimingMode::kMagic;
-        auto proc =
-            core::MakeProcessor(core::ProcessorKind::kUltrascalarI, cfg);
-        row.Cell(proc->Run(w.program).Ipc(), 2);
+      for (std::size_t i = 0; i < std::size(windows); ++i) {
+        row.Cell(outcomes[next++].result.Ipc(), 2);
       }
     }
     std::printf("%s\n", table.ToString().c_str());
@@ -61,5 +92,5 @@ int main() {
       "plateau much earlier -- squashes keep the effective window small.\n"
       "This is the regime where the paper's scalable windows pay off only\n"
       "together with better prediction (its trace-cache citations).\n");
-  return 0;
+  return runtime::ExportOutcomes(cli, outcomes) ? 0 : 1;
 }

@@ -2,17 +2,23 @@
 // memory-bandwidth profile, report each architecture's clock-limiting delay
 // and area, and recommend the winner -- the decision Figure 11 encodes.
 //
+// Multiple design points may be given as a comma-separated n list; they are
+// evaluated in parallel through runtime::SweepRunner::Map and printed in
+// order, so the output does not depend on the thread count.
+//
 // Usage:
-//   design_space_explorer [n] [L] [regime]
-//     n:      issue width / window size (default 1024)
+//   design_space_explorer [--threads=N] [n[,n...]] [L] [regime]
+//     n:      issue width / window size, comma-separated list (default 1024)
 //     L:      logical registers         (default 32)
 //     regime: const | sqrtminus | sqrt | sqrtplus | linear (default sqrtminus)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "analysis/table.hpp"
+#include "runtime/runtime.hpp"
 #include "vlsi/vlsi.hpp"
 
 namespace {
@@ -29,19 +35,31 @@ memory::BandwidthRegime ParseRegime(const std::string& name) {
   std::exit(1);
 }
 
-}  // namespace
+std::vector<std::int64_t> ParseNList(const std::string& arg) {
+  std::vector<std::int64_t> ns;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = std::min(arg.find(',', pos), arg.size());
+    ns.push_back(std::atoll(arg.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  if (ns.empty()) ns.push_back(1024);
+  return ns;
+}
 
-int main(int argc, char** argv) {
-  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 1024;
-  const int L = argc > 2 ? std::atoi(argv[2]) : 32;
-  const auto regime = ParseRegime(argc > 3 ? argv[3] : "sqrtminus");
-  const auto profile = memory::BandwidthProfile::ForRegime(regime);
+/// Everything one design point's report needs, computed off-thread.
+struct PointReport {
+  std::int64_t n = 0;
+  vlsi::Comparison cmp;
+  int c_star = 0;
+};
 
+void PrintPoint(const PointReport& point, int L,
+                const memory::BandwidthProfile& profile) {
   std::printf("Design point: n = %lld stations, L = %d registers, %s\n\n",
-              static_cast<long long>(n), L, profile.name().c_str());
+              static_cast<long long>(point.n), L, profile.name().c_str());
 
-  const auto cmp = vlsi::Compare(n, L, profile);
-
+  const auto& cmp = point.cmp;
   analysis::Table table({"architecture", "gate [ps]", "wire [ps]",
                          "total [ps]", "clock [MHz]", "area [cm^2]"});
   const auto add = [&](const char* name, const vlsi::DelaySummary& d,
@@ -69,10 +87,30 @@ int main(int argc, char** argv) {
       : best_total == cmp.usii_linear.total_ps()   ? "UltrascalarII (grid)"
                                                    : "UltrascalarII (mesh)";
   std::printf("fastest clock: %s\n", winner);
+  std::printf("optimal hybrid cluster size C* = %d (C*/L = %.2f)\n",
+              point.c_star, static_cast<double>(point.c_star) / L);
+}
 
-  const int c_star = vlsi::OptimalClusterSize(L, n, profile);
-  std::printf("optimal hybrid cluster size C* = %d (C*/L = %.2f)\n", c_star,
-              static_cast<double>(c_star) / L);
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = runtime::ParseSweepCli(argc, argv);
+  const auto ns = ParseNList(argc > 1 ? argv[1] : "1024");
+  const int L = argc > 2 ? std::atoi(argv[2]) : 32;
+  const auto regime = ParseRegime(argc > 3 ? argv[3] : "sqrtminus");
+  const auto profile = memory::BandwidthProfile::ForRegime(regime);
+
+  const runtime::SweepRunner runner({.num_threads = cli.threads});
+  const auto reports =
+      runner.Map<PointReport>(ns.size(), [&](std::size_t i) {
+        return PointReport{ns[i], vlsi::Compare(ns[i], L, profile),
+                           vlsi::OptimalClusterSize(L, ns[i], profile)};
+      });
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) std::printf("\n");
+    PrintPoint(reports[i], L, profile);
+  }
 
   std::printf(
       "\nRule of thumb from the paper: Ultrascalar II below n ~ L^2 = %lld,\n"

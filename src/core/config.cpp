@@ -1,0 +1,50 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ultra::core {
+
+void CoreConfig::Validate(bool for_hybrid) const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("CoreConfig: " + what);
+  };
+  if (window_size <= 0) {
+    fail("window_size must be positive, got " + std::to_string(window_size));
+  }
+  if (num_regs <= 0) {
+    fail("num_regs must be positive, got " + std::to_string(num_regs));
+  }
+  if (max_cycles == 0) {
+    fail("max_cycles must be nonzero (a zero budget can never commit)");
+  }
+  if (num_alus < 0) {
+    fail("num_alus must be >= 0 (0 = one ALU per station), got " +
+         std::to_string(num_alus));
+  }
+  if (fetch_width < 0) {
+    fail("fetch_width must be >= 0 (0 = window-wide), got " +
+         std::to_string(fetch_width));
+  }
+  if (pipeline_levels_per_stage < 0) {
+    fail("pipeline_levels_per_stage must be >= 0, got " +
+         std::to_string(pipeline_levels_per_stage));
+  }
+  if (fetch_mode == FetchMode::kTraceCache) {
+    if (trace_cache_capacity <= 0) {
+      fail("trace_cache_capacity must be positive, got " +
+           std::to_string(trace_cache_capacity));
+    }
+    if (trace_branches < 0) {
+      fail("trace_branches must be >= 0, got " +
+           std::to_string(trace_branches));
+    }
+  }
+  if (for_hybrid && (cluster_size < 1 || cluster_size > window_size)) {
+    fail("hybrid cluster_size must lie in [1, window_size]: C = " +
+         std::to_string(cluster_size) + ", n = " +
+         std::to_string(window_size));
+  }
+}
+
+}  // namespace ultra::core

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,13 @@ struct CoreConfig {
   [[nodiscard]] int EffectiveFetchWidth() const {
     return fetch_width > 0 ? fetch_width : window_size;
   }
+
+  /// Rejects configurations that would hang or index out of bounds
+  /// (window_size <= 0, num_regs <= 0, max_cycles == 0, negative num_alus,
+  /// negative fetch_width, and -- when @p for_hybrid is set -- cluster_size
+  /// outside [1, window_size]). Throws std::invalid_argument naming the bad
+  /// field. MakeProcessor calls this for every core it builds.
+  void Validate(bool for_hybrid = false) const;
 };
 
 /// Per-dynamic-instruction timing record (the raw material of Figure 3).
@@ -82,7 +90,11 @@ struct RunStats {
   std::uint64_t squashed_instructions = 0;
   std::uint64_t load_count = 0;
   std::uint64_t store_count = 0;
-  std::uint64_t fetch_stall_cycles = 0;   // Cycles with free slots, no fetch.
+  /// Cycles in which the window had in-flight work and free slots but fetch
+  /// supplied nothing, *excluding* cycles where fetch had simply run past
+  /// the end of the program (those are drain cycles, not stalls). All four
+  /// cores share this definition.
+  std::uint64_t fetch_stall_cycles = 0;
   std::uint64_t window_full_cycles = 0;
 };
 
@@ -91,6 +103,9 @@ struct RunResult {
   std::uint64_t cycles = 0;
   std::uint64_t committed = 0;   // Dynamic instructions committed (w/ halt).
   std::vector<isa::Word> regs;   // Final architectural register file.
+  /// Final architectural data memory (byte address -> word), for
+  /// cross-processor equivalence checks against the functional simulator.
+  std::map<isa::Word, isa::Word> memory;
   std::vector<InstrTiming> timeline;  // In commit order.
   RunStats stats;
 

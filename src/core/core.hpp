@@ -4,7 +4,8 @@
 #include "core/config.hpp"          // IWYU pragma: export
 #include "core/exec.hpp"            // IWYU pragma: export
 #include "core/fetch.hpp"           // IWYU pragma: export
-#include "core/functional_sim.hpp"  // IWYU pragma: export
+#include "core/functional_sim.hpp"        // IWYU pragma: export
+#include "core/functional_sim_cache.hpp"  // IWYU pragma: export
 #include "core/hybrid_core.hpp"     // IWYU pragma: export
 #include "core/ideal_core.hpp"      // IWYU pragma: export
 #include "core/processor.hpp"       // IWYU pragma: export

@@ -1,0 +1,93 @@
+#include "core/functional_sim_cache.hpp"
+
+#include "isa/instruction.hpp"
+
+namespace ultra::core {
+
+namespace {
+
+/// FNV-1a over the key material; collisions are resolved by exact
+/// comparison in the entry list, so the hash only needs to spread.
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ull;
+}
+
+std::uint64_t HashKey(const std::vector<std::uint64_t>& code,
+                      const std::vector<std::pair<isa::Word, isa::Word>>& mem,
+                      int num_regs, std::uint64_t max_steps) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint64_t w : code) h = Mix(h, w);
+  for (const auto& [addr, value] : mem) {
+    h = Mix(h, addr);
+    h = Mix(h, value);
+  }
+  h = Mix(h, static_cast<std::uint64_t>(num_regs));
+  h = Mix(h, max_steps);
+  return h;
+}
+
+}  // namespace
+
+FunctionalSimCache& FunctionalSimCache::Global() {
+  static FunctionalSimCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FunctionalResult> FunctionalSimCache::Get(
+    const isa::Program& program, int num_regs, std::uint64_t max_steps) {
+  std::vector<std::uint64_t> code;
+  code.reserve(program.size());
+  for (const auto& inst : program.code()) code.push_back(isa::Encode(inst));
+  std::vector<std::pair<isa::Word, isa::Word>> mem(
+      program.initial_memory().begin(), program.initial_memory().end());
+  const std::uint64_t hash = HashKey(code, mem, num_regs, max_steps);
+
+  const auto matches = [&](const Entry& e) {
+    return e.num_regs == num_regs && e.max_steps == max_steps &&
+           e.encoded_code == code && e.initial_memory == mem;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = entries_.find(hash); it != entries_.end()) {
+      for (const Entry& e : it->second) {
+        if (matches(e)) {
+          ++stats_.hits;
+          return e.result;
+        }
+      }
+    }
+  }
+
+  // Miss: simulate outside the lock (runs can be long; workers must not
+  // serialize on each other's unrelated programs).
+  FunctionalSimulator sim(num_regs);
+  auto result =
+      std::make_shared<const FunctionalResult>(sim.Run(program, max_steps));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& bucket = entries_[hash];
+  for (const Entry& e : bucket) {
+    if (matches(e)) {  // Lost a race; adopt the canonical entry.
+      ++stats_.hits;
+      return e.result;
+    }
+  }
+  ++stats_.misses;
+  bucket.push_back(Entry{std::move(code), std::move(mem), num_regs,
+                         max_steps, result});
+  return result;
+}
+
+void FunctionalSimCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+FunctionalSimCache::Stats FunctionalSimCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ultra::core

@@ -1,0 +1,68 @@
+// Process-wide, thread-safe cache of functional-simulation results.
+//
+// Several consumers need the functional pre-run of a program: the oracle
+// branch predictor (MakePredictor used to re-run the simulation for every
+// processor it built), the runtime::SweepRunner's expected-architectural-
+// state checks, and the cross-core equivalence tests. A sweep that runs the
+// same program on four cores under an oracle predictor would otherwise pay
+// for the identical functional run four times per design point. The cache
+// keys on program *content* (encoded instructions plus the initial memory
+// image) and the register count, so structurally identical programs share
+// one entry regardless of object identity.
+//
+// Thread safety: Get() may be called concurrently from sweep worker
+// threads. Misses are computed outside the lock; a losing racer adopts the
+// winner's entry, so callers always observe one canonical result object.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/functional_sim.hpp"
+#include "isa/program.hpp"
+
+namespace ultra::core {
+
+class FunctionalSimCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// The shared process-wide instance (used by MakePredictor and the sweep
+  /// runner). Separate instances are only useful for isolation in tests.
+  static FunctionalSimCache& Global();
+
+  /// Returns the functional result for @p program under @p num_regs
+  /// logical registers, running the simulation only on the first request.
+  /// @p max_steps participates in the key: a truncated run is not
+  /// interchangeable with a complete one.
+  std::shared_ptr<const FunctionalResult> Get(
+      const isa::Program& program, int num_regs,
+      std::uint64_t max_steps = 10'000'000);
+
+  /// Drops every entry (tests; long-lived processes changing workloads).
+  void Clear();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    // Full key material, compared on hash hits to rule out collisions.
+    std::vector<std::uint64_t> encoded_code;
+    std::vector<std::pair<isa::Word, isa::Word>> initial_memory;
+    int num_regs = 0;
+    std::uint64_t max_steps = 0;
+    std::shared_ptr<const FunctionalResult> result;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  Stats stats_;
+};
+
+}  // namespace ultra::core

@@ -44,6 +44,11 @@ RunResult HybridCore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> no_load(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
+  // Per-cycle scratch, hoisted out of the loop so the hot path does not
+  // touch the allocator (capacity is reused across cycles).
+  std::vector<MemWindowEntry> mem_window;
+  std::vector<std::uint8_t> alu_requests;
+  std::vector<std::uint8_t> alu_grant;  // Indexed by program position.
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
@@ -103,9 +108,8 @@ RunResult HybridCore::Run(const isa::Program& program) {
 
     // --- Phase 3: execute in program order. ---
     const int live = tail;
-    std::vector<MemWindowEntry> mem_window;
     if (config_.store_forwarding) {
-      mem_window.resize(static_cast<std::size_t>(live));
+      mem_window.assign(static_cast<std::size_t>(live), MemWindowEntry{});
       for (int p = 0; p < live; ++p) {
         const int i = station_index(p);
         mem_window[static_cast<std::size_t>(p)] = MakeMemWindowEntry(
@@ -113,21 +117,20 @@ RunResult HybridCore::Run(const isa::Program& program) {
             prop.args[static_cast<std::size_t>(i)]);
       }
     }
-    std::vector<std::uint8_t> alu_grant;  // Indexed by program position.
     if (config_.num_alus > 0) {
-      std::vector<std::uint8_t> requests(static_cast<std::size_t>(live), 0);
+      alu_requests.assign(static_cast<std::size_t>(live), 0);
       int occupied = 0;
       for (int p = 0; p < live; ++p) {
         const Station& st =
             stations[static_cast<std::size_t>(station_index(p))];
-        requests[static_cast<std::size_t>(p)] = WantsAlu(
+        alu_requests[static_cast<std::size_t>(p)] = WantsAlu(
             st, prop.args[static_cast<std::size_t>(station_index(p))]);
         if (st.valid && st.issued && !st.finished && NeedsAlu(st.inst().op)) {
           ++occupied;
         }
       }
       alu_grant = datapath::AluScheduler::GrantAcyclic(
-          requests, std::max(0, config_.num_alus - occupied));
+          alu_requests, std::max(0, config_.num_alus - occupied));
     }
     for (int p = commit_ptr; p < live; ++p) {
       const int i = station_index(p);
@@ -214,7 +217,8 @@ RunResult HybridCore::Run(const isa::Program& program) {
       if (free == 0) ++result.stats.window_full_cycles;
       const int width = std::min(config_.EffectiveFetchWidth(), free);
       const auto batch = fetch.FetchCycle(width);
-      if (batch.empty() && free > 0 && tail > commit_ptr) {
+      if (batch.empty() && free > 0 && tail > commit_ptr &&
+          !fetch.stalled()) {
         ++result.stats.fetch_stall_cycles;
       }
       for (const auto& f : batch) {
@@ -237,6 +241,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
     result.regs[static_cast<std::size_t>(r)] =
         committed[static_cast<std::size_t>(r)].value;
   }
+  result.memory = mem.store().Snapshot();
   return result;
 }
 

@@ -225,7 +225,7 @@ RunResult IdealCore::Run(const isa::Program& program) {
       if (free == 0) ++result.stats.window_full_cycles;
       const int width = std::min(config_.EffectiveFetchWidth(), free);
       const auto batch = fetch.FetchCycle(width);
-      if (batch.empty() && free > 0 && !window.empty()) {
+      if (batch.empty() && free > 0 && !window.empty() && !fetch.stalled()) {
         ++result.stats.fetch_stall_cycles;
       }
       for (const auto& f : batch) {
@@ -259,6 +259,7 @@ RunResult IdealCore::Run(const isa::Program& program) {
   }
 
   result.regs = regs;
+  result.memory = mem.store().Snapshot();
   return result;
 }
 

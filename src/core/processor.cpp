@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "core/functional_sim.hpp"
+#include "core/functional_sim_cache.hpp"
 #include "core/hybrid_core.hpp"
 #include "core/ideal_core.hpp"
 #include "core/usi_core.hpp"
@@ -26,6 +26,7 @@ std::string_view ProcessorKindName(ProcessorKind kind) {
 
 std::unique_ptr<Processor> MakeProcessor(ProcessorKind kind,
                                          const CoreConfig& config) {
+  config.Validate(kind == ProcessorKind::kHybrid);
   switch (kind) {
     case ProcessorKind::kIdeal:
       return std::make_unique<IdealCore>(config);
@@ -49,10 +50,12 @@ std::unique_ptr<memory::BranchPredictor> MakePredictor(
     case PredictorKind::kTwoBit:
       return std::make_unique<memory::TwoBitPredictor>();
     case PredictorKind::kOracle: {
-      FunctionalSimulator sim(config.num_regs);
-      auto fn = sim.Run(program);
-      return std::make_unique<memory::OraclePredictor>(
-          std::move(fn.outcomes_by_pc));
+      // The functional pre-run is shared across every processor built for
+      // this program (and with the sweep runner's architectural checks)
+      // instead of being recomputed per construction.
+      const auto fn =
+          FunctionalSimCache::Global().Get(program, config.num_regs);
+      return std::make_unique<memory::OraclePredictor>(fn->outcomes_by_pc);
     }
   }
   throw std::invalid_argument("unknown predictor kind");

@@ -63,6 +63,12 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> no_load(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
+  // Per-cycle scratch, hoisted out of the loop so the hot path does not
+  // touch the allocator (capacity is reused across cycles).
+  std::vector<datapath::ResolvedArgs> args_at(static_cast<std::size_t>(n));
+  std::vector<core::MemWindowEntry> mem_window;
+  std::vector<std::uint8_t> alu_requests(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> alu_grant;
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
@@ -110,9 +116,8 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
 
     // --- Phase 3a: resolve arguments and schedule shared resources. ---
     const int live = count;
-    std::vector<datapath::ResolvedArgs> args_at(static_cast<std::size_t>(n));
-    std::vector<core::MemWindowEntry> mem_window(
-        static_cast<std::size_t>(live));
+    std::fill(args_at.begin(), args_at.end(), datapath::ResolvedArgs{});
+    mem_window.assign(static_cast<std::size_t>(live), core::MemWindowEntry{});
     for (int k = 0; k < live; ++k) {
       const int i = (head + k) % n;
       const Station& st = stations[static_cast<std::size_t>(i)];
@@ -159,20 +164,18 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
             MakeMemWindowEntry(st, args);
       }
     }
-    std::vector<std::uint8_t> alu_grant;
     if (config_.num_alus > 0) {
-      std::vector<std::uint8_t> requests(static_cast<std::size_t>(n), 0);
       int occupied = 0;
       for (int i = 0; i < n; ++i) {
         const Station& st = stations[static_cast<std::size_t>(i)];
-        requests[static_cast<std::size_t>(i)] =
+        alu_requests[static_cast<std::size_t>(i)] =
             WantsAlu(st, args_at[static_cast<std::size_t>(i)]);
         if (st.valid && st.issued && !st.finished && NeedsAlu(st.inst().op)) {
           ++occupied;
         }
       }
       alu_grant = alu_scheduler.Grant(
-          requests, std::max(0, config_.num_alus - occupied), head);
+          alu_requests, std::max(0, config_.num_alus - occupied), head);
     }
 
     // --- Phase 3b: execute, in program order from the oldest station. ---
@@ -252,7 +255,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       if (free == 0) ++result.stats.window_full_cycles;
       const int width = std::min(config_.EffectiveFetchWidth(), free);
       const auto batch = fetch.FetchCycle(width);
-      if (batch.empty() && free > 0 && count > 0) {
+      if (batch.empty() && free > 0 && count > 0 && !fetch.stalled()) {
         ++result.stats.fetch_stall_cycles;
       }
       for (const auto& f : batch) {
@@ -275,6 +278,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
     result.regs[static_cast<std::size_t>(r)] =
         committed[static_cast<std::size_t>(r)].value;
   }
+  result.memory = mem.store().Snapshot();
   return result;
 }
 

@@ -50,6 +50,11 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> no_load(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
+  // Per-cycle scratch, hoisted out of the loop so the hot path does not
+  // touch the allocator (capacity is reused across cycles).
+  std::vector<MemWindowEntry> mem_window;
+  std::vector<std::uint8_t> alu_requests;
+  std::vector<std::uint8_t> alu_grant;
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
@@ -130,22 +135,20 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
 
     // --- Phase 3: execute, in program order within the batch. ---
     if (!batch_complete && !done) {
-      std::vector<MemWindowEntry> mem_window;
       if (config_.store_forwarding) {
-        mem_window.resize(static_cast<std::size_t>(fill));
+        mem_window.assign(static_cast<std::size_t>(fill), MemWindowEntry{});
         for (int i = 0; i < fill; ++i) {
           mem_window[static_cast<std::size_t>(i)] = MakeMemWindowEntry(
               stations[static_cast<std::size_t>(i)],
               prop.args[static_cast<std::size_t>(i)]);
         }
       }
-      std::vector<std::uint8_t> alu_grant;
       if (config_.num_alus > 0) {
-        std::vector<std::uint8_t> requests(static_cast<std::size_t>(fill), 0);
+        alu_requests.assign(static_cast<std::size_t>(fill), 0);
         int occupied = 0;
         for (int i = 0; i < fill; ++i) {
           const Station& st = stations[static_cast<std::size_t>(i)];
-          requests[static_cast<std::size_t>(i)] =
+          alu_requests[static_cast<std::size_t>(i)] =
               WantsAlu(st, prop.args[static_cast<std::size_t>(i)]);
           if (st.valid && st.issued && !st.finished &&
               NeedsAlu(st.inst().op)) {
@@ -153,7 +156,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
           }
         }
         alu_grant = datapath::AluScheduler::GrantAcyclic(
-            requests, std::max(0, config_.num_alus - occupied));
+            alu_requests, std::max(0, config_.num_alus - occupied));
       }
       for (int i = 0; i < fill; ++i) {
         Station& st = stations[static_cast<std::size_t>(i)];
@@ -222,6 +225,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
     result.regs[static_cast<std::size_t>(r)] =
         regfile[static_cast<std::size_t>(r)].value;
   }
+  result.memory = mem.store().Snapshot();
   return result;
 }
 

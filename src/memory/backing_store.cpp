@@ -18,4 +18,8 @@ void BackingStore::WriteWord(isa::Word byte_address, isa::Word value) {
   words_[Align(byte_address)] = value;
 }
 
+std::map<isa::Word, isa::Word> BackingStore::Snapshot() const {
+  return {words_.begin(), words_.end()};
+}
+
 }  // namespace ultra::memory

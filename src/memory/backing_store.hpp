@@ -23,6 +23,10 @@ class BackingStore {
 
   [[nodiscard]] std::size_t footprint_words() const { return words_.size(); }
 
+  /// Sorted copy of every populated word (byte address -> word), for
+  /// cross-simulator final-state comparison and result export.
+  [[nodiscard]] std::map<isa::Word, isa::Word> Snapshot() const;
+
  private:
   static isa::Word Align(isa::Word a) { return a & ~isa::Word{3}; }
   std::unordered_map<isa::Word, isa::Word> words_;

@@ -1,0 +1,200 @@
+#include "runtime/sweep_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+namespace ultra::runtime {
+
+namespace {
+
+const char* PredictorName(core::PredictorKind kind) {
+  switch (kind) {
+    case core::PredictorKind::kNotTaken:
+      return "not_taken";
+    case core::PredictorKind::kBtfn:
+      return "btfn";
+    case core::PredictorKind::kTwoBit:
+      return "two_bit";
+    case core::PredictorKind::kOracle:
+      return "oracle";
+  }
+  return "?";
+}
+
+const char* FetchModeName(core::FetchMode mode) {
+  switch (mode) {
+    case core::FetchMode::kIdeal:
+      return "ideal";
+    case core::FetchMode::kBasicBlock:
+      return "basic_block";
+    case core::FetchMode::kTraceCache:
+      return "trace_cache";
+  }
+  return "?";
+}
+
+const char* MemModeName(memory::MemTimingMode mode) {
+  switch (mode) {
+    case memory::MemTimingMode::kMagic:
+      return "magic";
+    case memory::MemTimingMode::kBandwidthLimited:
+      return "bandwidth_limited";
+    case memory::MemTimingMode::kFatTree:
+      return "fat_tree";
+    case memory::MemTimingMode::kButterfly:
+      return "butterfly";
+  }
+  return "?";
+}
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatIpc(const core::RunResult& result) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", result.Ipc());
+  return buf;
+}
+
+}  // namespace
+
+void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
+  os << "index,workload,processor,window_size,num_regs,cluster_size,"
+        "fetch_width,fetch_mode,predictor,mem_mode,num_alus,"
+        "store_forwarding,pipeline_levels_per_stage,ok,error,halted,cycles,"
+        "committed,ipc,mispredictions,squashed_instructions,forwarded_loads,"
+        "load_count,store_count,fetch_stall_cycles,window_full_cycles\n";
+  for (const SweepOutcome& o : outcomes) {
+    const core::CoreConfig& c = o.config;
+    const core::RunStats& s = o.result.stats;
+    os << o.index << ',' << CsvEscape(o.workload) << ','
+       << core::ProcessorKindName(o.kind) << ',' << c.window_size << ','
+       << c.num_regs << ',' << c.cluster_size << ',' << c.fetch_width << ','
+       << FetchModeName(c.fetch_mode) << ',' << PredictorName(c.predictor)
+       << ',' << MemModeName(c.mem.mode) << ',' << c.num_alus << ','
+       << (c.store_forwarding ? 1 : 0) << ',' << c.pipeline_levels_per_stage
+       << ',' << (o.ok ? 1 : 0) << ',' << CsvEscape(o.error) << ','
+       << (o.result.halted ? 1 : 0) << ',' << o.result.cycles << ','
+       << o.result.committed << ',' << FormatIpc(o.result) << ','
+       << s.mispredictions << ',' << s.squashed_instructions << ','
+       << s.forwarded_loads << ',' << s.load_count << ',' << s.store_count
+       << ',' << s.fetch_stall_cycles << ',' << s.window_full_cycles << '\n';
+  }
+}
+
+void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
+  os << "[\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    const core::CoreConfig& c = o.config;
+    const core::RunStats& s = o.result.stats;
+    os << "  {\"index\": " << o.index << ", \"workload\": \""
+       << JsonEscape(o.workload) << "\", \"processor\": \""
+       << core::ProcessorKindName(o.kind) << "\",\n"
+       << "   \"config\": {\"window_size\": " << c.window_size
+       << ", \"num_regs\": " << c.num_regs
+       << ", \"cluster_size\": " << c.cluster_size
+       << ", \"fetch_width\": " << c.fetch_width << ", \"fetch_mode\": \""
+       << FetchModeName(c.fetch_mode) << "\", \"predictor\": \""
+       << PredictorName(c.predictor) << "\", \"mem_mode\": \""
+       << MemModeName(c.mem.mode) << "\", \"num_alus\": " << c.num_alus
+       << ", \"store_forwarding\": " << (c.store_forwarding ? "true" : "false")
+       << ", \"pipeline_levels_per_stage\": " << c.pipeline_levels_per_stage
+       << ", \"max_cycles\": " << c.max_cycles << "},\n"
+       << "   \"ok\": " << (o.ok ? "true" : "false") << ", \"error\": \""
+       << JsonEscape(o.error) << "\",\n"
+       << "   \"result\": {\"halted\": " << (o.result.halted ? "true" : "false")
+       << ", \"cycles\": " << o.result.cycles
+       << ", \"committed\": " << o.result.committed << ", \"ipc\": "
+       << FormatIpc(o.result)
+       << ",\n    \"stats\": {\"mispredictions\": " << s.mispredictions
+       << ", \"squashed_instructions\": " << s.squashed_instructions
+       << ", \"forwarded_loads\": " << s.forwarded_loads
+       << ", \"load_count\": " << s.load_count
+       << ", \"store_count\": " << s.store_count
+       << ", \"fetch_stall_cycles\": " << s.fetch_stall_cycles
+       << ", \"window_full_cycles\": " << s.window_full_cycles << "}}}"
+       << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+SweepCli ParseSweepCli(int& argc, char** argv) {
+  SweepCli cli;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      cli.threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      cli.csv_path = arg + 6;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      cli.json_path = arg + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return cli;
+}
+
+bool ExportOutcomes(const SweepCli& cli,
+                    const std::vector<SweepOutcome>& outcomes) {
+  bool ok = true;
+  const auto write = [&](const std::string& path, auto writer) {
+    if (path.empty()) return;
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      ok = false;
+      return;
+    }
+    writer(os, outcomes);
+  };
+  write(cli.csv_path, WriteCsv);
+  write(cli.json_path, WriteJson);
+  return ok;
+}
+
+}  // namespace ultra::runtime

@@ -1,0 +1,43 @@
+// CSV / JSON export of sweep results, plus the shared command-line flags
+// the migrated benches accept.
+//
+// Both formats carry the same per-point record (see docs/runtime.md for the
+// full schema) and are deterministic: field order is fixed, floating-point
+// values use a fixed format, and per-point wall times are excluded, so two
+// sweeps of the same points produce byte-identical files regardless of the
+// thread count.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep_runner.hpp"
+
+namespace ultra::runtime {
+
+/// One row per outcome; the first line is the header.
+void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes);
+
+/// A JSON array of per-point objects.
+void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes);
+
+/// Flags shared by the sweep-based benches:
+///   --threads=N   worker threads (default: ULTRA_SWEEP_THREADS or cores)
+///   --csv=PATH    write results as CSV after the run
+///   --json=PATH   write results as JSON after the run
+/// Recognized flags are removed from argv; everything else is left for the
+/// binary's own positional arguments.
+struct SweepCli {
+  int threads = 0;  // 0 = DefaultThreadCount().
+  std::string csv_path;
+  std::string json_path;
+};
+SweepCli ParseSweepCli(int& argc, char** argv);
+
+/// Writes the requested export files (no-op for empty paths). Returns false
+/// and prints to stderr when a file cannot be written.
+bool ExportOutcomes(const SweepCli& cli,
+                    const std::vector<SweepOutcome>& outcomes);
+
+}  // namespace ultra::runtime

@@ -1,0 +1,135 @@
+#include "runtime/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/functional_sim_cache.hpp"
+
+namespace ultra::runtime {
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("ULTRA_SWEEP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int num_threads, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  if (count == 0) return;
+  if (num_threads == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t spawn =
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads), count);
+  std::vector<std::thread> threads;
+  threads.reserve(spawn);
+  for (std::size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+/// Compares a cycle-level run against the shared functional oracle.
+/// Returns an empty string on agreement.
+std::string CheckArchitecturalState(const SweepPoint& point,
+                                    const core::RunResult& result) {
+  const auto fn = core::FunctionalSimCache::Global().Get(
+      *point.program, point.config.num_regs);
+  if (!fn->halted) return {};  // No terminating reference to compare to.
+  if (!result.halted) {
+    return "processor hit max_cycles but the functional reference halts";
+  }
+  std::ostringstream err;
+  if (result.committed != fn->instructions) {
+    err << "committed " << result.committed << " instructions, expected "
+        << fn->instructions;
+    return err.str();
+  }
+  for (std::size_t r = 0; r < fn->regs.size(); ++r) {
+    if (result.regs.at(r) != fn->regs[r]) {
+      err << "r" << r << " = " << result.regs.at(r) << ", expected "
+          << fn->regs[r];
+      return err.str();
+    }
+  }
+  if (result.memory != fn->memory.Snapshot()) {
+    return "final data memory differs from the functional reference";
+  }
+  return {};
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(options),
+      num_threads_(options.num_threads > 0 ? options.num_threads
+                                           : DefaultThreadCount()) {}
+
+std::vector<SweepOutcome> SweepRunner::Run(
+    const std::vector<SweepPoint>& points) const {
+  std::vector<SweepOutcome> outcomes(points.size());
+  ParallelFor(num_threads_, points.size(), [&](std::size_t i) {
+    const SweepPoint& point = points[i];
+    SweepOutcome& out = outcomes[i];
+    out.index = i;
+    out.kind = point.kind;
+    out.workload = point.workload;
+    out.config = point.config;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      if (!point.program) throw std::invalid_argument("null program");
+      auto proc = core::MakeProcessor(point.kind, point.config);
+      out.result = proc->Run(*point.program);
+      out.ok = true;
+      if (options_.check_architectural_state) {
+        if (auto err = CheckArchitecturalState(point, out.result);
+            !err.empty()) {
+          out.ok = false;
+          out.error = std::move(err);
+        }
+      }
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = e.what();
+    } catch (...) {
+      out.ok = false;
+      out.error = "unknown error";
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  });
+  return outcomes;
+}
+
+}  // namespace ultra::runtime

@@ -1,0 +1,104 @@
+// Deterministic parallel sweep engine.
+//
+// Every empirical figure in this reproduction is a sweep: (processor kind x
+// core configuration x workload) simulation points whose results feed a
+// table. SweepRunner fans those points out across a fixed-size thread pool
+// and aggregates results in submission order, so the output of a sweep is
+// byte-identical whether it ran on one thread or sixteen: each point's
+// simulation is single-threaded and deterministic, results land in a slot
+// chosen by submission index, and nothing is reported until every point has
+// finished.
+//
+// The only cross-thread shared state a simulation touches is the
+// FunctionalSimCache (mutex-protected), which oracle predictors and the
+// optional architectural-state checks consult so the functional pre-run
+// happens once per distinct program rather than once per processor.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/processor.hpp"
+#include "isa/program.hpp"
+
+namespace ultra::runtime {
+
+/// Worker count used when SweepOptions.num_threads <= 0: the
+/// ULTRA_SWEEP_THREADS environment variable if set to a positive integer,
+/// else std::thread::hardware_concurrency() (at least 1).
+int DefaultThreadCount();
+
+/// Runs body(0) .. body(count - 1) across at most @p num_threads workers
+/// (<= 0 resolves via DefaultThreadCount). Indices are claimed dynamically,
+/// so callers must not rely on which worker runs which index -- only on all
+/// of them having run when the call returns. The first exception thrown by
+/// any body is rethrown on the calling thread after all workers join.
+void ParallelFor(int num_threads, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+/// One simulation point of a sweep.
+struct SweepPoint {
+  core::ProcessorKind kind = core::ProcessorKind::kUltrascalarI;
+  core::CoreConfig config;
+  std::shared_ptr<const isa::Program> program;  // Shared across points.
+  std::string workload;                         // Label for reports/export.
+};
+
+/// The result of one point, tagged with its submission index.
+struct SweepOutcome {
+  std::size_t index = 0;
+  core::ProcessorKind kind = core::ProcessorKind::kUltrascalarI;
+  std::string workload;
+  core::CoreConfig config;
+  bool ok = false;        // False: error holds what went wrong.
+  std::string error;
+  core::RunResult result;
+  /// Wall time of this point alone. Informational only -- deliberately
+  /// excluded from the CSV/JSON exports so they stay deterministic.
+  double wall_seconds = 0.0;
+};
+
+struct SweepOptions {
+  int num_threads = 0;  // <= 0: DefaultThreadCount().
+  /// Verify each point's final registers, memory, and committed count
+  /// against the shared functional-simulation oracle; mismatches mark the
+  /// outcome !ok with a description (points that hit max_cycles are
+  /// reported as not halted but are not failed against the oracle).
+  bool check_architectural_state = false;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Runs every point and returns outcomes in submission order. A point
+  /// that throws (e.g. an invalid configuration) yields ok == false rather
+  /// than aborting the sweep.
+  [[nodiscard]] std::vector<SweepOutcome> Run(
+      const std::vector<SweepPoint>& points) const;
+
+  /// Deterministic parallel map for analytic sweeps (VLSI models, delay
+  /// fits) that are not Processor::Run points: results are returned in
+  /// index order regardless of scheduling. R must be default-constructible.
+  template <typename R>
+  [[nodiscard]] std::vector<R> Map(
+      std::size_t count, const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> out(count);
+    ParallelFor(num_threads_, count,
+                [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+  [[nodiscard]] const SweepOptions& options() const { return options_; }
+
+ private:
+  SweepOptions options_;
+  int num_threads_;
+};
+
+}  // namespace ultra::runtime

@@ -203,6 +203,7 @@ TEST(Halt, ImmediateHaltProgram) {
   const auto program = isa::AssembleOrDie("halt\n");
   CoreConfig cfg;
   cfg.window_size = 4;
+  cfg.cluster_size = 4;  // Must fit the window for the hybrid core.
   cfg.mem.mode = memory::MemTimingMode::kMagic;
   for (const auto kind :
        {ProcessorKind::kIdeal, ProcessorKind::kUltrascalarI,
@@ -213,6 +214,46 @@ TEST(Halt, ImmediateHaltProgram) {
     EXPECT_EQ(result.committed, 1u);
     EXPECT_LE(result.cycles, 5u);
   }
+}
+
+// --- fetch_stall_cycles --------------------------------------------------------
+
+TEST(FetchStallCycles, DrainCyclesCountTheSameOnAllCores) {
+  // A short dependent-divide chain fetched whole into a 16-entry window:
+  // execution drags on for tens of cycles after fetch exhausts the program.
+  // Those drain cycles are not fetch stalls (the window is simply waiting
+  // on the divides), and every core must agree on that -- the UltrascalarI,
+  // hybrid, and ideal cores used to count them while the UltrascalarII did
+  // not, so the same run reported different stall totals per core.
+  const auto program = isa::AssembleOrDie(R"(
+    li r1, 96
+    li r2, 2
+    div r3, r1, r2
+    div r4, r3, r2
+    div r5, r4, r2
+    halt
+  )");
+  CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 4;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+
+  std::vector<std::uint64_t> stalls;
+  for (const auto kind :
+       {ProcessorKind::kIdeal, ProcessorKind::kUltrascalarI,
+        ProcessorKind::kUltrascalarII, ProcessorKind::kHybrid}) {
+    SCOPED_TRACE(ProcessorKindName(kind));
+    const auto result = RunProc(kind, program, cfg);
+    ASSERT_TRUE(result.halted);
+    ASSERT_GT(result.cycles, 20u);  // The divides dominate: real drain time.
+    stalls.push_back(result.stats.fetch_stall_cycles);
+  }
+  for (std::size_t i = 1; i < stalls.size(); ++i) {
+    EXPECT_EQ(stalls[i], stalls[0]);
+  }
+  // With ideal fetch the only empty batches are drain cycles, so the
+  // aligned definition reports zero stalls here on every core.
+  EXPECT_EQ(stalls[0], 0u);
 }
 
 // --- Determinism ---------------------------------------------------------------

@@ -15,11 +15,15 @@ namespace {
 using core::CoreConfig;
 using core::ProcessorKind;
 
+// Cross-core equivalence harness: runs @p program on all four processor
+// models under @p cfg and asserts each reproduces the functional
+// simulator's final registers, final data memory, and committed count.
 void ExpectMatchesFunctional(const isa::Program& program,
                              const CoreConfig& cfg) {
   core::FunctionalSimulator fn;
   const auto ref = fn.Run(program);
   ASSERT_TRUE(ref.halted);
+  const auto ref_memory = ref.memory.Snapshot();
   for (const auto kind :
        {ProcessorKind::kIdeal, ProcessorKind::kUltrascalarI,
         ProcessorKind::kUltrascalarII, ProcessorKind::kHybrid}) {
@@ -30,6 +34,7 @@ void ExpectMatchesFunctional(const isa::Program& program,
     for (std::size_t r = 0; r < ref.regs.size(); ++r) {
       ASSERT_EQ(result.regs[r], ref.regs[r]) << "r" << r;
     }
+    ASSERT_EQ(result.memory, ref_memory);
     ASSERT_EQ(result.committed, ref.instructions);
   }
 }
@@ -88,6 +93,65 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DagFuzz, testing::Range(400u, 420u),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// Straight-line and loop generators round out the DAG programs above: heavy
+// memory traffic, shared-ALU contention, and store forwarding all have to
+// leave the same architectural state as the functional simulator.
+class MixFuzz : public testing::TestWithParam<unsigned> {};
+
+TEST_P(MixFuzz, StraightLineMixAllCores) {
+  const auto program = workloads::RandomMix(
+      {.num_instructions = 200, .memory_words = 32, .seed = GetParam()});
+  CoreConfig cfg;
+  cfg.window_size = 24;
+  cfg.cluster_size = 6;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  ExpectMatchesFunctional(program, cfg);
+}
+
+TEST_P(MixFuzz, StoreHeavyMixWithForwardingAndSharedAlus) {
+  const auto program = workloads::RandomMix(
+      {.num_instructions = 160, .load_fraction = 0.25,
+       .store_fraction = 0.25, .memory_words = 16,
+       .seed = GetParam() ^ 0x9e37});
+  CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 4;
+  cfg.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+  cfg.mem.regime = memory::BandwidthRegime::kSqrt;
+  cfg.store_forwarding = true;
+  cfg.num_alus = 2;
+  ExpectMatchesFunctional(program, cfg);
+}
+
+TEST_P(MixFuzz, MemoryStreamUnderFatTree) {
+  const auto program = workloads::MemoryStream(
+      {.iterations = 12, .loads_per_iter = 6,
+       .stride_words = 1 + int(GetParam() % 3), .seed = GetParam()});
+  CoreConfig cfg;
+  cfg.window_size = 20;
+  cfg.cluster_size = 5;
+  cfg.predictor = core::PredictorKind::kBtfn;
+  cfg.mem.mode = memory::MemTimingMode::kFatTree;
+  cfg.mem.regime = memory::BandwidthRegime::kSqrt;
+  ExpectMatchesFunctional(program, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixFuzz, testing::Range(700u, 712u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(KernelEquivalence, SortAndIndirectionMatchFunctionalState) {
+  CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.predictor = core::PredictorKind::kTwoBit;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  ExpectMatchesFunctional(workloads::BubbleSort(10), cfg);
+  ExpectMatchesFunctional(workloads::IndirectSum(16), cfg);
+  ExpectMatchesFunctional(workloads::MemCopy(24), cfg);
+}
 
 TEST(DagGenerator, AlwaysTerminates) {
   for (unsigned seed = 0; seed < 50; ++seed) {

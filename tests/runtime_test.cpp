@@ -1,0 +1,232 @@
+// Tests for the runtime layer: ParallelFor, the deterministic SweepRunner,
+// CSV/JSON export, the shared FunctionalSimCache, and CoreConfig::Validate.
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+#include "runtime/runtime.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ultra {
+namespace {
+
+// --- ParallelFor ---------------------------------------------------------
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 257;
+  std::vector<std::atomic<int>> seen(kCount);
+  runtime::ParallelFor(4, kCount, [&](std::size_t i) { ++seen[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(seen[i].load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  runtime::ParallelFor(4, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  EXPECT_THROW(
+      runtime::ParallelFor(4, 16,
+                           [](std::size_t i) {
+                             if (i == 7) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SerialAndParallelAgree) {
+  std::vector<int> serial(100), parallel(100);
+  runtime::ParallelFor(1, serial.size(),
+                       [&](std::size_t i) { serial[i] = int(i) * 3; });
+  runtime::ParallelFor(4, parallel.size(),
+                       [&](std::size_t i) { parallel[i] = int(i) * 3; });
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- SweepRunner ---------------------------------------------------------
+
+std::vector<runtime::SweepPoint> SmallGrid() {
+  const auto fib = std::make_shared<const isa::Program>(
+      workloads::Fibonacci(10));
+  const auto dot = std::make_shared<const isa::Program>(
+      workloads::DotProduct(8));
+  std::vector<runtime::SweepPoint> points;
+  for (const auto kind :
+       {core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
+        core::ProcessorKind::kUltrascalarII, core::ProcessorKind::kHybrid}) {
+    for (const int window : {8, 32}) {
+      runtime::SweepPoint p;
+      p.kind = kind;
+      p.config.window_size = window;
+      p.config.cluster_size = 4;
+      p.config.mem.mode = memory::MemTimingMode::kMagic;
+      p.program = kind == core::ProcessorKind::kHybrid ? dot : fib;
+      p.workload = p.program == fib ? "fib(10)" : "dot(8)";
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+TEST(SweepRunner, OutcomesKeepSubmissionOrder) {
+  const auto points = SmallGrid();
+  const auto outcomes = runtime::SweepRunner({.num_threads = 4}).Run(points);
+  ASSERT_EQ(outcomes.size(), points.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].index, i);
+    EXPECT_EQ(outcomes[i].kind, points[i].kind);
+    EXPECT_EQ(outcomes[i].workload, points[i].workload);
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_TRUE(outcomes[i].result.halted);
+  }
+}
+
+TEST(SweepRunner, ExportIsIdenticalAtAnyThreadCount) {
+  const auto points = SmallGrid();
+  const auto one = runtime::SweepRunner({.num_threads = 1}).Run(points);
+  const auto four = runtime::SweepRunner({.num_threads = 4}).Run(points);
+  std::ostringstream csv1, csv4, json1, json4;
+  runtime::WriteCsv(csv1, one);
+  runtime::WriteCsv(csv4, four);
+  runtime::WriteJson(json1, one);
+  runtime::WriteJson(json4, four);
+  EXPECT_EQ(csv1.str(), csv4.str());
+  EXPECT_EQ(json1.str(), json4.str());
+  EXPECT_NE(csv1.str().find("fib(10)"), std::string::npos);
+}
+
+TEST(SweepRunner, ArchitecturalStateCheckPassesOnCorrectCores) {
+  const auto outcomes =
+      runtime::SweepRunner(
+          {.num_threads = 2, .check_architectural_state = true})
+          .Run(SmallGrid());
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok) << o.error;
+}
+
+TEST(SweepRunner, InvalidConfigFailsThePointNotTheSweep) {
+  auto points = SmallGrid();
+  points[1].config.window_size = 0;  // Validate() must reject this point.
+  const auto outcomes = runtime::SweepRunner({.num_threads = 2}).Run(points);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_NE(outcomes[1].error.find("window_size"), std::string::npos);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_TRUE(outcomes[2].ok) << outcomes[2].error;
+}
+
+TEST(SweepRunner, MapReturnsResultsInIndexOrder) {
+  const runtime::SweepRunner runner({.num_threads = 4});
+  const auto squares = runner.Map<std::size_t>(
+      64, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+// --- FunctionalSimCache --------------------------------------------------
+
+TEST(FunctionalSimCache, SecondRequestIsAHitOnTheSameObject) {
+  core::FunctionalSimCache cache;
+  const auto program = workloads::Fibonacci(12);
+  const auto a = cache.Get(program, isa::kDefaultLogicalRegisters);
+  const auto b = cache.Get(program, isa::kDefaultLogicalRegisters);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // Cached: literally the same result object.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_TRUE(a->halted);
+}
+
+TEST(FunctionalSimCache, KeysOnContentNotIdentity) {
+  core::FunctionalSimCache cache;
+  const auto a = cache.Get(workloads::Fibonacci(12), 32);
+  const auto b = cache.Get(workloads::Fibonacci(12), 32);  // Fresh object.
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(FunctionalSimCache, DistinguishesRegCountAndProgram) {
+  core::FunctionalSimCache cache;
+  const auto program = workloads::Fibonacci(12);
+  const auto a = cache.Get(program, 32);
+  const auto b = cache.Get(program, 16);
+  const auto c = cache.Get(workloads::DotProduct(8), 32);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(FunctionalSimCache, ClearDropsEntries) {
+  core::FunctionalSimCache cache;
+  const auto program = workloads::Fibonacci(12);
+  (void)cache.Get(program, 32);
+  cache.Clear();
+  (void)cache.Get(program, 32);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(FunctionalSimCache, ConcurrentGetsConverge) {
+  core::FunctionalSimCache cache;
+  const auto program = workloads::Fibonacci(16);
+  std::vector<std::shared_ptr<const core::FunctionalResult>> results(8);
+  runtime::ParallelFor(8, results.size(), [&](std::size_t i) {
+    results[i] = cache.Get(program, 32);
+  });
+  for (const auto& r : results) EXPECT_EQ(r.get(), results[0].get());
+}
+
+// --- CoreConfig::Validate ------------------------------------------------
+
+TEST(ValidateConfig, AcceptsDefaults) {
+  EXPECT_NO_THROW(core::CoreConfig{}.Validate());
+  EXPECT_NO_THROW(core::CoreConfig{}.Validate(/*for_hybrid=*/true));
+}
+
+TEST(ValidateConfig, RejectsDegenerateFields) {
+  const auto expect_rejected = [](auto mutate) {
+    core::CoreConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  };
+  expect_rejected([](core::CoreConfig& c) { c.window_size = 0; });
+  expect_rejected([](core::CoreConfig& c) { c.window_size = -4; });
+  expect_rejected([](core::CoreConfig& c) { c.num_regs = 0; });
+  expect_rejected([](core::CoreConfig& c) { c.max_cycles = 0; });
+  expect_rejected([](core::CoreConfig& c) { c.num_alus = -1; });
+  expect_rejected([](core::CoreConfig& c) { c.fetch_width = -1; });
+  expect_rejected(
+      [](core::CoreConfig& c) { c.pipeline_levels_per_stage = -1; });
+}
+
+TEST(ValidateConfig, HybridClusterSizeMustFitTheWindow) {
+  core::CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 32;
+  EXPECT_NO_THROW(cfg.Validate());  // Non-hybrid cores ignore cluster_size.
+  EXPECT_THROW(cfg.Validate(/*for_hybrid=*/true), std::invalid_argument);
+  cfg.cluster_size = 0;
+  EXPECT_THROW(cfg.Validate(/*for_hybrid=*/true), std::invalid_argument);
+  cfg.cluster_size = 16;
+  EXPECT_NO_THROW(cfg.Validate(/*for_hybrid=*/true));
+}
+
+TEST(ValidateConfig, MakeProcessorRejectsBadConfigs) {
+  core::CoreConfig cfg;
+  cfg.window_size = 0;
+  EXPECT_THROW(
+      core::MakeProcessor(core::ProcessorKind::kUltrascalarI, cfg),
+      std::invalid_argument);
+  cfg.window_size = 8;
+  cfg.cluster_size = 64;
+  EXPECT_THROW(core::MakeProcessor(core::ProcessorKind::kHybrid, cfg),
+               std::invalid_argument);
+  // The same cluster_size is fine for a non-hybrid core.
+  EXPECT_NO_THROW(
+      core::MakeProcessor(core::ProcessorKind::kUltrascalarII, cfg));
+}
+
+}  // namespace
+}  // namespace ultra
