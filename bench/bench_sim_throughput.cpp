@@ -1,0 +1,213 @@
+// Simulator throughput benchmark (engineering, not a paper figure).
+//
+// Measures how fast the cycle-level models themselves run -- simulated
+// cycles per wall second and committed instructions per wall second -- for
+// every core kind across window sizes and workloads, and compares the
+// incremental datapath evaluation (CoreConfig::datapath_eval =
+// kIncremental, the default) against the full-recompute reference path on
+// the largest Ultrascalar I configuration. The incremental path re-runs
+// only dirty register columns and never allocates in steady state, so its
+// advantage grows with n * L.
+//
+// Points are dispatched through runtime::SweepRunner (single worker by
+// default so per-point wall times are not corrupted by oversubscription);
+// each point's wall_seconds comes from the runner.
+//
+// Usage: bench_sim_throughput [--quick] [--threads=N] [--json=PATH]
+//   --quick    smaller grid and shorter workloads (CI smoke run)
+//   --json     output path (default BENCH_sim_throughput.json)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/core.hpp"
+#include "runtime/runtime.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+struct Options {
+  bool quick = false;
+  int threads = 1;
+  std::string json_path = "BENCH_sim_throughput.json";
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = arg.substr(std::strlen("--json="));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+  return opt;
+}
+
+const char* EvalName(ultra::core::DatapathEval eval) {
+  return eval == ultra::core::DatapathEval::kIncremental ? "incremental"
+                                                         : "full";
+}
+
+double PerSecond(std::uint64_t count, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ultra;
+  const Options opt = ParseArgs(argc, argv);
+  std::printf("=== Simulator throughput (cycles/sec, instructions/sec) ===\n");
+  std::printf("mode: %s\n\n", opt.quick ? "quick" : "full");
+
+  struct Workload {
+    std::string name;
+    std::shared_ptr<const isa::Program> program;
+  };
+  const int chain_len = opt.quick ? 2048 : 8192;
+  const int mix_len = opt.quick ? 1024 : 4096;
+  const std::vector<Workload> suite = {
+      {"chains(ilp=4)",
+       std::make_shared<isa::Program>(workloads::DependencyChains(
+           {.num_instructions = chain_len, .ilp = 4}))},
+      {"mix", std::make_shared<isa::Program>(
+                  workloads::RandomMix({.num_instructions = mix_len}))},
+  };
+  const std::vector<int> windows =
+      opt.quick ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024};
+  const int L = 32;
+  const core::ProcessorKind kinds[] = {
+      core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
+      core::ProcessorKind::kUltrascalarII, core::ProcessorKind::kHybrid};
+
+  // --- Grid: every core kind, incremental evaluation. ---
+  std::vector<runtime::SweepPoint> points;
+  for (const auto kind : kinds) {
+    for (const auto& w : suite) {
+      for (const int n : windows) {
+        runtime::SweepPoint point;
+        point.kind = kind;
+        point.config.window_size = n;
+        point.config.num_regs = L;
+        point.config.mem.mode = memory::MemTimingMode::kMagic;
+        point.program = w.program;
+        point.workload = w.name;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  // --- Comparison: the largest Ultrascalar I window, both eval paths. ---
+  const int big_n = opt.quick ? windows.back() : 1024;
+  const std::size_t compare_base = points.size();
+  for (const auto eval :
+       {core::DatapathEval::kFullRecompute, core::DatapathEval::kIncremental}) {
+    runtime::SweepPoint point;
+    point.kind = core::ProcessorKind::kUltrascalarI;
+    point.config.window_size = big_n;
+    point.config.num_regs = L;
+    point.config.datapath_eval = eval;
+    point.config.mem.mode = memory::MemTimingMode::kMagic;
+    point.program = suite[0].program;
+    point.workload = suite[0].name;
+    points.push_back(std::move(point));
+  }
+
+  const runtime::SweepRunner runner({.num_threads = opt.threads});
+  const auto outcomes = runner.Run(points);
+  for (const auto& o : outcomes) {
+    if (!o.ok) {
+      std::fprintf(stderr, "point %zu failed: %s\n", o.index,
+                   o.error.c_str());
+      return 1;
+    }
+  }
+
+  std::size_t next = 0;
+  for (const auto kind : kinds) {
+    std::printf("--- %s ---\n",
+                std::string(core::ProcessorKindName(kind)).c_str());
+    analysis::Table table({"workload", "n", "cycles", "wall_s", "Mcyc/s",
+                           "Minstr/s"});
+    for (const auto& w : suite) {
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        const auto& o = outcomes[next++];
+        analysis::Table& row = table.Row();
+        row.Cell(w.name);
+        row.Cell(static_cast<double>(o.config.window_size), 0);
+        row.Cell(static_cast<double>(o.result.cycles), 0);
+        row.Cell(o.wall_seconds, 4);
+        row.Cell(PerSecond(o.result.cycles, o.wall_seconds) / 1e6, 3);
+        row.Cell(PerSecond(o.result.committed, o.wall_seconds) / 1e6, 3);
+      }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  const auto& full = outcomes[compare_base];
+  const auto& incr = outcomes[compare_base + 1];
+  const double full_cps = PerSecond(full.result.cycles, full.wall_seconds);
+  const double incr_cps = PerSecond(incr.result.cycles, incr.wall_seconds);
+  const double speedup = full_cps > 0.0 ? incr_cps / full_cps : 0.0;
+  std::printf(
+      "--- UltrascalarI n=%d L=%d, %s: incremental vs full recompute ---\n",
+      big_n, L, suite[0].name.c_str());
+  std::printf("full:        %10.0f cycles/s  (%.4f s, %llu cycles)\n",
+              full_cps, full.wall_seconds,
+              static_cast<unsigned long long>(full.result.cycles));
+  std::printf("incremental: %10.0f cycles/s  (%.4f s, %llu cycles)\n",
+              incr_cps, incr.wall_seconds,
+              static_cast<unsigned long long>(incr.result.cycles));
+  std::printf("speedup:     %.2fx\n\n", speedup);
+  if (full.result.cycles != incr.result.cycles ||
+      full.result.committed != incr.result.committed) {
+    std::fprintf(stderr,
+                 "eval paths disagree: full %llu cycles / %llu committed, "
+                 "incremental %llu cycles / %llu committed\n",
+                 static_cast<unsigned long long>(full.result.cycles),
+                 static_cast<unsigned long long>(full.result.committed),
+                 static_cast<unsigned long long>(incr.result.cycles),
+                 static_cast<unsigned long long>(incr.result.committed));
+    return 1;
+  }
+
+  std::ofstream out(opt.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"mode\": \"" << (opt.quick ? "quick" : "full")
+      << "\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    out << "    {\"kind\": \"" << core::ProcessorKindName(o.kind)
+        << "\", \"workload\": \"" << o.workload
+        << "\", \"n\": " << o.config.window_size
+        << ", \"L\": " << o.config.num_regs << ", \"eval\": \""
+        << EvalName(o.config.datapath_eval)
+        << "\", \"cycles\": " << o.result.cycles
+        << ", \"committed\": " << o.result.committed
+        << ", \"wall_seconds\": " << o.wall_seconds
+        << ", \"cycles_per_sec\": "
+        << PerSecond(o.result.cycles, o.wall_seconds)
+        << ", \"instructions_per_sec\": "
+        << PerSecond(o.result.committed, o.wall_seconds) << "}"
+        << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"usi_big_comparison\": {\"n\": " << big_n
+      << ", \"L\": " << L << ", \"full_cycles_per_sec\": " << full_cps
+      << ", \"incremental_cycles_per_sec\": " << incr_cps
+      << ", \"speedup\": " << speedup << "}\n}\n";
+  out.close();
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return 0;
+}

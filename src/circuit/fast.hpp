@@ -3,50 +3,91 @@
 // The depth-tracked circuits in cspp.hpp measure gate delay; the processor
 // models in src/core evaluate the same functions once per simulated cycle
 // and only need the logical values. These helpers compute them in O(n).
+//
+// The *Into variants write into caller-owned buffers so the simulators'
+// steady-state cycle loops never touch the allocator; the allocating
+// wrappers remain for tests and one-shot callers. Callers that know a
+// segment position (the cores always know the oldest station) pass it as
+// @p start_hint and skip the O(n) scan for one.
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace ultra::circuit {
 
-/// Value-only cyclic segmented prefix: out[i] = fold of inputs from the
-/// nearest preceding segment position (inclusive, cyclic) through i-1.
-/// Requires at least one segment bit.
+/// Sentinel for "no known segment position; scan for one".
+inline constexpr std::ptrdiff_t kNoSegmentHint = -1;
+
+/// Value-only cyclic segmented prefix into a caller-owned buffer:
+/// out[i] = fold of inputs from the nearest preceding segment position
+/// (inclusive, cyclic) through i-1. Requires at least one segment bit.
+/// @p start_hint, when not kNoSegmentHint, must name a set segment bit
+/// (asserted); it replaces the scan, not the semantics — any set segment
+/// position yields the same outputs.
 template <typename T, typename Op>
-std::vector<T> CsppValues(std::span<const T> inputs,
-                          std::span<const std::uint8_t> segments, Op op = Op{}) {
+void CsppValuesInto(std::span<const T> inputs,
+                    std::span<const std::uint8_t> segments, std::span<T> out,
+                    Op op = Op{}, std::ptrdiff_t start_hint = kNoSegmentHint) {
   const std::size_t n = inputs.size();
   assert(segments.size() == n);
-  std::size_t start = n;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (segments[i]) start = i;
+  assert(out.size() == n);
+  std::size_t start;
+  if (start_hint != kNoSegmentHint) {
+    assert(start_hint >= 0 && static_cast<std::size_t>(start_hint) < n);
+    assert(segments[static_cast<std::size_t>(start_hint)] &&
+           "start_hint must name a set segment bit");
+    start = static_cast<std::size_t>(start_hint);
+  } else {
+    start = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (segments[i]) start = i;
+    }
+    assert(start < n && "cyclic segmented prefix requires a segment bit");
   }
-  assert(start < n && "cyclic segmented prefix requires a segment bit");
-  std::vector<T> out(n);
   T carry{};
   for (std::size_t step = 0; step < n; ++step) {
     const std::size_t i = (start + step) % n;
     carry = segments[i] ? inputs[i] : op(carry, inputs[i]);
     out[(i + 1) % n] = carry;
   }
+}
+
+/// Allocating wrapper around CsppValuesInto.
+template <typename T, typename Op>
+std::vector<T> CsppValues(std::span<const T> inputs,
+                          std::span<const std::uint8_t> segments, Op op = Op{},
+                          std::ptrdiff_t start_hint = kNoSegmentHint) {
+  std::vector<T> out(inputs.size());
+  CsppValuesInto<T, Op>(inputs, segments, out, op, start_hint);
   return out;
 }
 
-/// Value-only noncyclic segmented prefix with a virtual initial segment.
+/// Value-only noncyclic segmented prefix with a virtual initial segment,
+/// into a caller-owned buffer.
 template <typename T, typename Op>
-std::vector<T> SppValues(const T& initial, std::span<const T> inputs,
-                         std::span<const std::uint8_t> segments, Op op = Op{}) {
+void SppValuesInto(const T& initial, std::span<const T> inputs,
+                   std::span<const std::uint8_t> segments, std::span<T> out,
+                   Op op = Op{}) {
   const std::size_t n = inputs.size();
   assert(segments.size() == n);
-  std::vector<T> out(n);
+  assert(out.size() == n);
   T carry = initial;
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = carry;
     carry = segments[i] ? inputs[i] : op(carry, inputs[i]);
   }
+}
+
+/// Allocating wrapper around SppValuesInto.
+template <typename T, typename Op>
+std::vector<T> SppValues(const T& initial, std::span<const T> inputs,
+                         std::span<const std::uint8_t> segments, Op op = Op{}) {
+  std::vector<T> out(inputs.size());
+  SppValuesInto<T, Op>(initial, inputs, segments, out, op);
   return out;
 }
 

@@ -29,6 +29,15 @@ enum class FetchMode : std::uint8_t {
   kTraceCache,  // Crosses up to trace_branches taken transfers on a hit.
 };
 
+/// How the cycle loop evaluates the register datapaths. Both paths compute
+/// the same function and produce identical RunResults (the fuzz tests
+/// assert this); the incremental path re-evaluates only what changed since
+/// the previous cycle and never allocates in steady state.
+enum class DatapathEval : std::uint8_t {
+  kIncremental,    // Dirty-set propagation into persistent state (default).
+  kFullRecompute,  // Rebuild-everything reference path.
+};
+
 struct CoreConfig {
   int window_size = 32;  // n: execution stations (= issue width; Section 1).
   int num_regs = isa::kDefaultLogicalRegisters;  // L.
@@ -59,6 +68,12 @@ struct CoreConfig {
   /// its reader after ceil(2h / k) cycles, while the clock shrinks to one
   /// pipeline stage. Ultrascalar I core only.
   int pipeline_levels_per_stage = 0;
+
+  /// Simulator-internal knob (not a hardware parameter, not exported by
+  /// sweep_io): which evaluation strategy the cycle loops use. Results are
+  /// identical either way; kFullRecompute exists as the reference for the
+  /// differential tests and the throughput benchmark's baseline.
+  DatapathEval datapath_eval = DatapathEval::kIncremental;
 
   [[nodiscard]] int EffectiveFetchWidth() const {
     return fetch_width > 0 ? fetch_width : window_size;

@@ -21,6 +21,7 @@ FetchEngine::FetchEngine(const isa::Program* program,
 
 void FetchEngine::Redirect(std::size_t pc) {
   pending_.clear();
+  head_ = 0;
   next_pc_ = pc;
   stalled_ = pc >= program_->size();
   ++stats_.redirects;
@@ -54,6 +55,13 @@ bool FetchEngine::GenerateOne() {
 }
 
 void FetchEngine::FillPending(std::size_t count) {
+  // Compact the delivered prefix so capacity is reused; moves at most one
+  // fetch-width of trivially-copyable entries and never allocates.
+  if (head_ > 0) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
   while (pending_.size() < count) {
     if (!GenerateOne()) break;
   }
@@ -61,10 +69,16 @@ void FetchEngine::FillPending(std::size_t count) {
 
 std::vector<FetchedInstr> FetchEngine::FetchCycle(int max_count) {
   std::vector<FetchedInstr> out;
-  if (max_count <= 0) return out;
+  FetchCycle(max_count, out);
+  return out;
+}
+
+void FetchEngine::FetchCycle(int max_count, std::vector<FetchedInstr>& out) {
+  out.clear();
+  if (max_count <= 0) return;
   const auto width = static_cast<std::size_t>(max_count);
   FillPending(width);
-  if (pending_.empty()) return out;
+  if (pending_.empty()) return;
 
   // How many predicted-taken control transfers may this cycle cross?
   int taken_budget = 0;
@@ -105,10 +119,9 @@ std::vector<FetchedInstr> FetchEngine::FetchCycle(int max_count) {
     }
   }
 
-  while (out.size() < width && !pending_.empty()) {
-    const FetchedInstr& f = pending_.front();
-    out.push_back(f);
-    pending_.pop_front();
+  while (out.size() < width && head_ < pending_.size()) {
+    out.push_back(pending_[head_]);
+    ++head_;
     ++stats_.fetched;
     if (out.back().is_control && out.back().predicted_taken) {
       if (taken_budget == 0) break;
@@ -116,7 +129,6 @@ std::vector<FetchedInstr> FetchEngine::FetchCycle(int max_count) {
     }
     if (out.back().inst.op == isa::Opcode::kHalt) break;
   }
-  return out;
 }
 
 void FetchEngine::NotifyOutcome(std::size_t pc, bool taken) {

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -42,13 +41,19 @@ class FetchEngine {
   /// Delivers the instructions fetched this cycle (at most @p max_count).
   std::vector<FetchedInstr> FetchCycle(int max_count);
 
+  /// Same, into a caller-owned buffer (cleared first). Allocation-free in
+  /// steady state once @p out has warmed up to the fetch width.
+  void FetchCycle(int max_count, std::vector<FetchedInstr>& out);
+
   /// Reports a resolved control-flow outcome in commit order (predictor
   /// training).
   void NotifyOutcome(std::size_t pc, bool taken);
 
   /// True when fetch has run past a halt or off the end of the program and
   /// is waiting for a redirect.
-  [[nodiscard]] bool stalled() const { return stalled_ && pending_.empty(); }
+  [[nodiscard]] bool stalled() const {
+    return stalled_ && head_ == pending_.size();
+  }
 
   [[nodiscard]] const FetchStats& stats() const { return stats_; }
   [[nodiscard]] const memory::TraceCacheStats* trace_cache_stats() const {
@@ -63,13 +68,16 @@ class FetchEngine {
 
   std::size_t next_pc_ = 0;
   bool stalled_ = false;
-  std::deque<FetchedInstr> pending_;  // Fetched but not yet delivered.
+  // Fetched but not yet delivered: a vector ring ([head_, size) live) so
+  // steady-state fetch reuses capacity instead of churning deque blocks.
+  std::vector<FetchedInstr> pending_;
+  std::size_t head_ = 0;
   FetchStats stats_;
 
   /// Extends pending_ by one instruction along the predicted path.
   bool GenerateOne();
-  /// Ensures pending_ holds at least @p count instructions (or fetch is
-  /// stalled).
+  /// Ensures pending_ holds at least @p count undelivered instructions (or
+  /// fetch is stalled). Compacts the consumed prefix first.
   void FillPending(std::size_t count);
 };
 

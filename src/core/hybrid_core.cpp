@@ -39,6 +39,16 @@ RunResult HybridCore::Run(const isa::Program& program) {
     return cluster * C + pos % C;
   };
 
+  const bool incremental =
+      config_.datapath_eval == DatapathEval::kIncremental;
+
+  // Persistent datapath state for the incremental path.
+  datapath::HybridDatapathState dp_state(n, L, C);
+  for (int r = 0; r < L; ++r) {
+    dp_state.SetCommitted(r, committed[static_cast<std::size_t>(r)]);
+  }
+  datapath::HybridPropagation prop;  // Full-recompute path only.
+
   std::vector<datapath::StationRequest> requests(
       static_cast<std::size_t>(n));
   std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
@@ -46,9 +56,18 @@ RunResult HybridCore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
   // Per-cycle scratch, hoisted out of the loop so the hot path does not
   // touch the allocator (capacity is reused across cycles).
+  std::vector<std::uint8_t> prev_stores_done(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_loads_done(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_confirmed(static_cast<std::size_t>(n));
   std::vector<MemWindowEntry> mem_window;
   std::vector<std::uint8_t> alu_requests;
   std::vector<std::uint8_t> alu_grant;  // Indexed by program position.
+  std::vector<FetchedInstr> fetch_batch;
+
+  const auto args_of = [&](int i) -> const datapath::ResolvedArgs& {
+    return incremental ? dp_state.args(i)
+                       : prop.args[static_cast<std::size_t>(i)];
+  };
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
@@ -70,7 +89,15 @@ RunResult HybridCore::Run(const isa::Program& program) {
         req.result = st.result;
       }
     }
-    const auto prop = dp.Propagate(committed, requests, head_cluster);
+    if (incremental) {
+      dp_state.SetOldestCluster(head_cluster);
+      for (int i = 0; i < n; ++i) {
+        dp_state.SetStation(i, requests[static_cast<std::size_t>(i)]);
+      }
+      dp.PropagateIncremental(dp_state);
+    } else {
+      prop = dp.Propagate(committed, requests, head_cluster);
+    }
 
     // Sequencing flags in program order over the allocated positions.
     for (int p = 0; p < tail; ++p) {
@@ -89,9 +116,15 @@ RunResult HybridCore::Run(const isa::Program& program) {
                                                   static_cast<std::size_t>(tail));
     const std::span<const std::uint8_t> live_branch(
         branch_ok.data(), static_cast<std::size_t>(tail));
-    const auto prev_stores_done = datapath::AllPrecedingSatisfyAcyclic(live_store);
-    const auto prev_loads_done = datapath::AllPrecedingSatisfyAcyclic(live_load);
-    const auto prev_confirmed = datapath::AllPrecedingSatisfyAcyclic(live_branch);
+    datapath::AllPrecedingSatisfyAcyclicInto(
+        live_store, std::span<std::uint8_t>(prev_stores_done.data(),
+                                            static_cast<std::size_t>(tail)));
+    datapath::AllPrecedingSatisfyAcyclicInto(
+        live_load, std::span<std::uint8_t>(prev_loads_done.data(),
+                                           static_cast<std::size_t>(tail)));
+    datapath::AllPrecedingSatisfyAcyclicInto(
+        live_branch, std::span<std::uint8_t>(prev_confirmed.data(),
+                                             static_cast<std::size_t>(tail)));
 
     // --- Phase 2: memory responses. ---
     mem.Tick();
@@ -113,8 +146,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
       for (int p = 0; p < live; ++p) {
         const int i = station_index(p);
         mem_window[static_cast<std::size_t>(p)] = MakeMemWindowEntry(
-            stations[static_cast<std::size_t>(i)],
-            prop.args[static_cast<std::size_t>(i)]);
+            stations[static_cast<std::size_t>(i)], args_of(i));
       }
     }
     if (config_.num_alus > 0) {
@@ -123,14 +155,15 @@ RunResult HybridCore::Run(const isa::Program& program) {
       for (int p = 0; p < live; ++p) {
         const Station& st =
             stations[static_cast<std::size_t>(station_index(p))];
-        alu_requests[static_cast<std::size_t>(p)] = WantsAlu(
-            st, prop.args[static_cast<std::size_t>(station_index(p))]);
+        alu_requests[static_cast<std::size_t>(p)] =
+            WantsAlu(st, args_of(station_index(p)));
         if (st.valid && st.issued && !st.finished && NeedsAlu(st.inst().op)) {
           ++occupied;
         }
       }
-      alu_grant = datapath::AluScheduler::GrantAcyclic(
-          alu_requests, std::max(0, config_.num_alus - occupied));
+      alu_grant.resize(static_cast<std::size_t>(live));
+      datapath::AluScheduler::GrantAcyclicInto(
+          alu_requests, std::max(0, config_.num_alus - occupied), alu_grant);
     }
     for (int p = commit_ptr; p < live; ++p) {
       const int i = station_index(p);
@@ -153,9 +186,8 @@ RunResult HybridCore::Run(const isa::Program& program) {
         ctx.forward_value = decision.value;
       }
       const bool mispredicted = StepStation(
-          st, prop.args[static_cast<std::size_t>(i)], ctx, config_.latencies,
-          mem, cycle, i, static_cast<std::uint64_t>(i), inflight,
-          result.stats);
+          st, args_of(i), ctx, config_.latencies, mem, cycle, i,
+          static_cast<std::uint64_t>(i), inflight, result.stats);
       if (mispredicted) {
         ++result.stats.mispredictions;
         for (int m = p + 1; m < tail; ++m) {
@@ -183,6 +215,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
       if (isa::WritesRd(inst.op)) {
         assert(st.result.ready);
         committed[inst.rd] = st.result;
+        if (incremental) dp_state.SetCommitted(inst.rd, st.result);
       }
       if (isa::IsControlFlow(inst.op)) {
         fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
@@ -216,12 +249,12 @@ RunResult HybridCore::Run(const isa::Program& program) {
       const int free = n - tail;
       if (free == 0) ++result.stats.window_full_cycles;
       const int width = std::min(config_.EffectiveFetchWidth(), free);
-      const auto batch = fetch.FetchCycle(width);
-      if (batch.empty() && free > 0 && tail > commit_ptr &&
+      fetch.FetchCycle(width, fetch_batch);
+      if (fetch_batch.empty() && free > 0 && tail > commit_ptr &&
           !fetch.stalled()) {
         ++result.stats.fetch_stall_cycles;
       }
-      for (const auto& f : batch) {
+      for (const auto& f : fetch_batch) {
         FillStation(
             stations[static_cast<std::size_t>(station_index(tail))], f,
             next_seq++, cycle);

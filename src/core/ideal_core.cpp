@@ -1,8 +1,8 @@
 #include "core/ideal_core.hpp"
 
 #include <cassert>
-#include <deque>
 #include <optional>
+#include <span>
 
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
@@ -36,7 +36,12 @@ RunResult IdealCore::Run(const isa::Program& program) {
   mem.Reset(program.initial_memory());
   FetchEngine fetch(&program, config_, MakePredictor(config_, program));
 
-  std::deque<Entry> window;
+  // The instruction window as a fixed ring of n entries: program positions
+  // [0, count) live at ring slots (head + k) % n, so commits and refills
+  // reuse storage instead of churning deque blocks.
+  std::vector<Entry> window(static_cast<std::size_t>(n));
+  int head = 0;
+  int count = 0;
   std::vector<isa::Word> regs(static_cast<std::size_t>(L), 0);
   // rename[r]: sequence number of the youngest in-flight writer of r.
   std::vector<std::optional<std::uint64_t>> rename(
@@ -46,21 +51,41 @@ RunResult IdealCore::Run(const isa::Program& program) {
   RunResult result;
   bool done = false;
 
+  const auto ent = [&](int k) -> Entry& {
+    return window[static_cast<std::size_t>((head + k) % n)];
+  };
+
   const auto find_entry = [&](std::uint64_t seq) -> Entry* {
-    for (auto& e : window) {
-      if (e.st.seq == seq) return &e;
+    for (int k = 0; k < count; ++k) {
+      if (ent(k).st.seq == seq) return &ent(k);
     }
     return nullptr;
   };
 
   const auto rebuild_rename = [&] {
     for (auto& r : rename) r.reset();
-    for (const auto& e : window) {
+    for (int k = 0; k < count; ++k) {
+      const Entry& e = ent(k);
       if (isa::WritesRd(e.st.inst().op)) {
         rename[e.st.inst().rd] = e.st.seq;
       }
     }
   };
+
+  // Per-cycle scratch, hoisted so the steady-state loop never allocates.
+  std::vector<std::uint64_t> finished_seqs;
+  finished_seqs.reserve(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> no_load(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_stores_done(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_loads_done(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_confirmed(static_cast<std::size_t>(n));
+  std::vector<datapath::ResolvedArgs> args_at(static_cast<std::size_t>(n));
+  std::vector<MemWindowEntry> mem_window;
+  std::vector<std::uint8_t> alu_requests;
+  std::vector<std::uint8_t> alu_grant;
+  std::vector<FetchedInstr> fetch_batch;
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
@@ -69,22 +94,27 @@ RunResult IdealCore::Run(const isa::Program& program) {
     // --- Phase 1: snapshot end-of-last-cycle readiness (results become
     // visible to consumers one cycle after they are produced, matching the
     // Ultrascalar datapath propagation). ---
-    std::vector<std::uint64_t> finished_seqs;
-    std::vector<std::uint8_t> no_store(window.size());
-    std::vector<std::uint8_t> no_load(window.size());
-    std::vector<std::uint8_t> branch_ok(window.size());
-    for (std::size_t k = 0; k < window.size(); ++k) {
-      const Station& st = window[k].st;
+    finished_seqs.clear();
+    for (int k = 0; k < count; ++k) {
+      const Station& st = ent(k).st;
       if (st.finished) finished_seqs.push_back(st.seq);
       const bool is_store = st.inst().op == isa::Opcode::kStore;
       const bool is_load = st.inst().op == isa::Opcode::kLoad;
-      no_store[k] = !is_store || st.finished;
-      no_load[k] = !is_load || st.finished;
-      branch_ok[k] = !isa::IsControlFlow(st.inst().op) || st.resolved;
+      const std::size_t ks = static_cast<std::size_t>(k);
+      no_store[ks] = !is_store || st.finished;
+      no_load[ks] = !is_load || st.finished;
+      branch_ok[ks] = !isa::IsControlFlow(st.inst().op) || st.resolved;
     }
-    const auto prev_stores_done = datapath::AllPrecedingSatisfyAcyclic(no_store);
-    const auto prev_loads_done = datapath::AllPrecedingSatisfyAcyclic(no_load);
-    const auto prev_confirmed = datapath::AllPrecedingSatisfyAcyclic(branch_ok);
+    const std::size_t live_size = static_cast<std::size_t>(count);
+    datapath::AllPrecedingSatisfyAcyclicInto(
+        std::span<const std::uint8_t>(no_store.data(), live_size),
+        std::span<std::uint8_t>(prev_stores_done.data(), live_size));
+    datapath::AllPrecedingSatisfyAcyclicInto(
+        std::span<const std::uint8_t>(no_load.data(), live_size),
+        std::span<std::uint8_t>(prev_loads_done.data(), live_size));
+    datapath::AllPrecedingSatisfyAcyclicInto(
+        std::span<const std::uint8_t>(branch_ok.data(), live_size),
+        std::span<std::uint8_t>(prev_confirmed.data(), live_size));
     const auto was_finished = [&](std::uint64_t seq) {
       for (const std::uint64_t s : finished_seqs) {
         if (s == seq) return true;
@@ -105,12 +135,14 @@ RunResult IdealCore::Run(const isa::Program& program) {
     }
 
     // --- Phase 3a: wake-up (argument resolution) in program order. ---
-    const std::size_t live = window.size();
-    std::vector<datapath::ResolvedArgs> args_at(live);
-    std::vector<MemWindowEntry> mem_window(
-        config_.store_forwarding ? live : 0);
-    for (std::size_t k = 0; k < live; ++k) {
-      Entry& e = window[k];
+    const int live = count;
+    std::fill(args_at.begin(), args_at.begin() + live,
+              datapath::ResolvedArgs{});
+    mem_window.assign(
+        config_.store_forwarding ? static_cast<std::size_t>(live) : 0,
+        MemWindowEntry{});
+    for (int k = 0; k < live; ++k) {
+      Entry& e = ent(k);
       datapath::ResolvedArgs args;
       const isa::Instruction& inst = e.st.inst();
       if (isa::ReadsRs1(inst.op)) {
@@ -131,59 +163,60 @@ RunResult IdealCore::Run(const isa::Program& program) {
           args.arg2 = prod->st.result;
         }
       }
-      args_at[k] = args;
+      args_at[static_cast<std::size_t>(k)] = args;
       if (config_.store_forwarding) {
-        mem_window[k] = MakeMemWindowEntry(e.st, args);
+        mem_window[static_cast<std::size_t>(k)] = MakeMemWindowEntry(e.st, args);
       }
     }
-    std::vector<std::uint8_t> alu_grant;
     if (config_.num_alus > 0) {
-      std::vector<std::uint8_t> requests(live, 0);
+      alu_requests.assign(static_cast<std::size_t>(live), 0);
       int occupied = 0;
-      for (std::size_t k = 0; k < live; ++k) {
-        const Station& st = window[k].st;
-        requests[k] = WantsAlu(st, args_at[k]);
+      for (int k = 0; k < live; ++k) {
+        const Station& st = ent(k).st;
+        alu_requests[static_cast<std::size_t>(k)] =
+            WantsAlu(st, args_at[static_cast<std::size_t>(k)]);
         if (st.issued && !st.finished && NeedsAlu(st.inst().op)) {
           ++occupied;
         }
       }
-      alu_grant = datapath::AluScheduler::GrantAcyclic(
-          requests, std::max(0, config_.num_alus - occupied));
+      alu_grant.resize(static_cast<std::size_t>(live));
+      datapath::AluScheduler::GrantAcyclicInto(
+          alu_requests, std::max(0, config_.num_alus - occupied), alu_grant);
     }
 
     // --- Phase 3b: execute. ---
-    for (std::size_t k = 0; k < live && k < window.size(); ++k) {
-      Entry& e = window[k];
+    for (int k = 0; k < live && k < count; ++k) {
+      Entry& e = ent(k);
+      const std::size_t ks = static_cast<std::size_t>(k);
       StepContext ctx;
-      ctx.prev_stores_done = prev_stores_done[k] != 0;
-      ctx.prev_loads_done = prev_loads_done[k] != 0;
-      ctx.committed_ok = prev_confirmed[k] != 0;
-      ctx.alu_granted = config_.num_alus == 0 || alu_grant[k] != 0;
+      ctx.prev_stores_done = prev_stores_done[ks] != 0;
+      ctx.prev_loads_done = prev_loads_done[ks] != 0;
+      ctx.committed_ok = prev_confirmed[ks] != 0;
+      ctx.alu_granted = config_.num_alus == 0 || alu_grant[ks] != 0;
       ctx.forwarding_enabled = config_.store_forwarding;
       if (ctx.forwarding_enabled && e.st.inst().op == isa::Opcode::kLoad &&
-          mem_window[k].addr_known) {
-        const auto decision = ResolveLoadForwarding(mem_window, k);
+          mem_window[ks].addr_known) {
+        const auto decision = ResolveLoadForwarding(mem_window, ks);
         ctx.load_can_proceed = decision.can_proceed;
         ctx.load_forward = decision.forward;
         ctx.forward_value = decision.value;
       }
       const bool mispredicted = StepStation(
-          e.st, args_at[k], ctx, config_.latencies, mem, cycle,
-          static_cast<int>(k), e.st.seq, inflight, result.stats);
+          e.st, args_at[ks], ctx, config_.latencies, mem, cycle, k, e.st.seq,
+          inflight, result.stats);
       if (mispredicted) {
         ++result.stats.mispredictions;
-        while (window.size() > k + 1) {
-          ++result.stats.squashed_instructions;
-          window.pop_back();
-        }
+        result.stats.squashed_instructions +=
+            static_cast<std::uint64_t>(count - (k + 1));
+        count = k + 1;
         rebuild_rename();
         fetch.Redirect(e.st.actual_next_pc);
       }
     }
 
     // --- Phase 4: in-order commit. ---
-    while (!window.empty() && window.front().st.finished) {
-      Entry& e = window.front();
+    while (count > 0 && ent(0).st.finished) {
+      Entry& e = ent(0);
       Station& st = e.st;
       st.timing.commit_cycle = cycle;
       const isa::Instruction& inst = st.inst();
@@ -193,8 +226,8 @@ RunResult IdealCore::Run(const isa::Program& program) {
         if (rename[inst.rd] == st.seq) rename[inst.rd].reset();
         // The producer leaves the window: convert consumers' renamed
         // dependencies into immediate values so they can still wake up.
-        for (std::size_t k = 1; k < window.size(); ++k) {
-          Entry& c = window[k];
+        for (int k = 1; k < count; ++k) {
+          Entry& c = ent(k);
           if (c.dep1_inflight && c.dep1_seq == st.seq) {
             c.dep1_inflight = false;
             c.val1 = st.result.value;
@@ -211,7 +244,8 @@ RunResult IdealCore::Run(const isa::Program& program) {
       result.timeline.push_back(st.timing);
       ++result.committed;
       const bool was_halt = inst.op == isa::Opcode::kHalt;
-      window.pop_front();
+      head = (head + 1) % n;
+      --count;
       if (was_halt) {
         done = true;
         result.halted = true;
@@ -221,16 +255,22 @@ RunResult IdealCore::Run(const isa::Program& program) {
 
     // --- Phase 5: fetch and rename. ---
     if (!done) {
-      const int free = n - static_cast<int>(window.size());
+      const int free = n - count;
       if (free == 0) ++result.stats.window_full_cycles;
       const int width = std::min(config_.EffectiveFetchWidth(), free);
-      const auto batch = fetch.FetchCycle(width);
-      if (batch.empty() && free > 0 && !window.empty() && !fetch.stalled()) {
+      fetch.FetchCycle(width, fetch_batch);
+      if (fetch_batch.empty() && free > 0 && count > 0 && !fetch.stalled()) {
         ++result.stats.fetch_stall_cycles;
       }
-      for (const auto& f : batch) {
-        Entry e;
+      for (const auto& f : fetch_batch) {
+        Entry& e = ent(count);
         FillStation(e.st, f, next_seq++, cycle);
+        e.dep1_inflight = false;
+        e.dep1_seq = 0;
+        e.val1 = 0;
+        e.dep2_inflight = false;
+        e.dep2_seq = 0;
+        e.val2 = 0;
         const isa::Instruction& inst = f.inst;
         if (isa::ReadsRs1(inst.op)) {
           if (rename[inst.rs1].has_value()) {
@@ -249,9 +289,9 @@ RunResult IdealCore::Run(const isa::Program& program) {
           }
         }
         if (isa::WritesRd(inst.op)) rename[inst.rd] = e.st.seq;
-        window.push_back(std::move(e));
+        ++count;
       }
-      if (fetch.stalled() && window.empty()) {
+      if (fetch.stalled() && count == 0) {
         done = true;
         result.halted = true;
       }

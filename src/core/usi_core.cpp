@@ -57,30 +57,48 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
   RunResult result;
   bool done = false;
 
-  std::vector<datapath::RegBinding> outgoing(
-      static_cast<std::size_t>(n) * L);
-  std::vector<std::uint8_t> modified(static_cast<std::size_t>(n) * L);
+  const bool incremental =
+      config_.datapath_eval == DatapathEval::kIncremental;
+  const bool pipelined = config_.pipeline_levels_per_stage > 0;
+
+  // Persistent datapath state for the incremental path: mutated through
+  // self-diffing setters each cycle, so only changed register columns are
+  // re-propagated and nothing is allocated.
+  datapath::UsiDatapathState dp_state(n, L);
+  for (int r = 0; r < L; ++r) {
+    dp_state.SetCommitted(r, committed[static_cast<std::size_t>(r)]);
+  }
+  // Full-recompute buffers (reference path only).
+  std::vector<datapath::RegBinding> outgoing;
+  std::vector<std::uint8_t> modified;
+  std::vector<datapath::RegBinding> incoming;
+  if (!incremental) {
+    outgoing.resize(static_cast<std::size_t>(n) * L);
+    modified.resize(static_cast<std::size_t>(n) * L);
+  }
+
   std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> no_load(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
   // Per-cycle scratch, hoisted out of the loop so the hot path does not
   // touch the allocator (capacity is reused across cycles).
+  std::vector<std::uint8_t> prev_stores_done(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_loads_done(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_confirmed(static_cast<std::size_t>(n));
   std::vector<datapath::ResolvedArgs> args_at(static_cast<std::size_t>(n));
   std::vector<core::MemWindowEntry> mem_window;
   std::vector<std::uint8_t> alu_requests(static_cast<std::size_t>(n));
-  std::vector<std::uint8_t> alu_grant;
+  std::vector<std::uint8_t> alu_grant(static_cast<std::size_t>(n));
+  // Program-order last writer per register during phase 3a (pipelined
+  // datapath only); replaces the per-operand backward window scan.
+  std::vector<int> last_writer(static_cast<std::size_t>(L));
+  std::vector<FetchedInstr> fetch_batch;
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
     result.cycles = cycle + 1;
 
     // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
-    std::fill(modified.begin(), modified.end(), 0);
-    for (auto& b : outgoing) b = datapath::RegBinding{};
-    for (int r = 0; r < L; ++r) {
-      outgoing[static_cast<std::size_t>(head) * L + r] =
-          committed[static_cast<std::size_t>(r)];
-    }
     for (int i = 0; i < n; ++i) {
       const Station& st = stations[static_cast<std::size_t>(i)];
       const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
@@ -89,17 +107,39 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       no_load[static_cast<std::size_t>(i)] = !is_load || st.finished;
       branch_ok[static_cast<std::size_t>(i)] =
           !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
-      if (st.valid && isa::WritesRd(st.inst().op)) {
-        const std::size_t idx =
-            static_cast<std::size_t>(i) * L + st.inst().rd;
-        outgoing[idx] = st.result;
-        modified[idx] = 1;
-      }
     }
-    const auto incoming = dp.Propagate(outgoing, modified, head);
-    const auto prev_stores_done = seq.AllPrecedingSatisfy(no_store, head);
-    const auto prev_loads_done = seq.AllPrecedingSatisfy(no_load, head);
-    const auto prev_confirmed = seq.AllPrecedingSatisfy(branch_ok, head);
+    if (incremental) {
+      // Diff the window into the persistent state; commits already pushed
+      // their register updates in phase 4 of the previous cycle.
+      dp_state.SetOldest(head);
+      for (int i = 0; i < n; ++i) {
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        const bool writes = st.valid && isa::WritesRd(st.inst().op);
+        dp_state.SetStationWrite(i, writes, writes ? st.inst().rd : 0,
+                                 st.result);
+      }
+      dp.PropagateIncremental(dp_state);
+    } else {
+      std::fill(modified.begin(), modified.end(), 0);
+      for (auto& b : outgoing) b = datapath::RegBinding{};
+      for (int r = 0; r < L; ++r) {
+        outgoing[static_cast<std::size_t>(head) * L + r] =
+            committed[static_cast<std::size_t>(r)];
+      }
+      for (int i = 0; i < n; ++i) {
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (st.valid && isa::WritesRd(st.inst().op)) {
+          const std::size_t idx =
+              static_cast<std::size_t>(i) * L + st.inst().rd;
+          outgoing[idx] = st.result;
+          modified[idx] = 1;
+        }
+      }
+      incoming = dp.Propagate(outgoing, modified, head);
+    }
+    seq.AllPrecedingSatisfyInto(no_store, head, prev_stores_done);
+    seq.AllPrecedingSatisfyInto(no_load, head, prev_loads_done);
+    seq.AllPrecedingSatisfyInto(branch_ok, head, prev_confirmed);
 
     // --- Phase 2: memory responses arriving this cycle. ---
     mem.Tick();
@@ -118,6 +158,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
     const int live = count;
     std::fill(args_at.begin(), args_at.end(), datapath::ResolvedArgs{});
     mem_window.assign(static_cast<std::size_t>(live), core::MemWindowEntry{});
+    if (pipelined) std::fill(last_writer.begin(), last_writer.end(), -1);
     for (int k = 0; k < live; ++k) {
       const int i = (head + k) % n;
       const Station& st = stations[static_cast<std::size_t>(i)];
@@ -127,17 +168,17 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       // The oldest station ignores the ring and reads the committed file.
       const auto read = [&](isa::RegId r) -> datapath::RegBinding {
         if (k == 0) return committed[r];
-        if (config_.pipeline_levels_per_stage <= 0) {
-          return incoming[static_cast<std::size_t>(i) * L + r];
+        if (!pipelined) {
+          return incremental
+                     ? dp_state.incoming(i, r)
+                     : incoming[static_cast<std::size_t>(i) * L + r];
         }
-        // Pipelined datapath: walk to the nearest preceding writer and
-        // apply the distance-dependent latch latency.
-        for (int m = 1; m <= k; ++m) {
-          const int j = (head + k - m) % n;
+        // Pipelined datapath: the nearest preceding writer (tracked per
+        // register by the program-order sweep) plus the distance-dependent
+        // latch latency.
+        const int j = last_writer[static_cast<std::size_t>(r)];
+        if (j >= 0) {
           const Station& w = stations[static_cast<std::size_t>(j)];
-          if (!w.valid || !isa::WritesRd(w.inst().op) || w.inst().rd != r) {
-            continue;
-          }
           if (!w.finished) return {w.result.value, false};
           const int lat =
               PipeCycles(j, i, config_.pipeline_levels_per_stage);
@@ -159,6 +200,9 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       if (isa::ReadsRs1(inst.op)) args.arg1 = read(inst.rs1);
       if (isa::ReadsRs2(inst.op)) args.arg2 = read(inst.rs2);
       args_at[static_cast<std::size_t>(i)] = args;
+      if (pipelined && isa::WritesRd(inst.op)) {
+        last_writer[static_cast<std::size_t>(inst.rd)] = i;
+      }
       if (config_.store_forwarding) {
         mem_window[static_cast<std::size_t>(k)] =
             MakeMemWindowEntry(st, args);
@@ -174,8 +218,9 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
           ++occupied;
         }
       }
-      alu_grant = alu_scheduler.Grant(
-          alu_requests, std::max(0, config_.num_alus - occupied), head);
+      alu_scheduler.GrantInto(alu_requests,
+                              std::max(0, config_.num_alus - occupied), head,
+                              alu_grant);
     }
 
     // --- Phase 3b: execute, in program order from the oldest station. ---
@@ -232,6 +277,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         assert(st.result.ready);
         committed[inst.rd] = st.result;
         committed_at[inst.rd] = cycle;
+        if (incremental) dp_state.SetCommitted(inst.rd, st.result);
       }
       if (isa::IsControlFlow(inst.op)) {
         fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
@@ -254,11 +300,11 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       const int free = n - count;
       if (free == 0) ++result.stats.window_full_cycles;
       const int width = std::min(config_.EffectiveFetchWidth(), free);
-      const auto batch = fetch.FetchCycle(width);
-      if (batch.empty() && free > 0 && count > 0 && !fetch.stalled()) {
+      fetch.FetchCycle(width, fetch_batch);
+      if (fetch_batch.empty() && free > 0 && count > 0 && !fetch.stalled()) {
         ++result.stats.fetch_stall_cycles;
       }
-      for (const auto& f : batch) {
+      for (const auto& f : fetch_batch) {
         const int slot = (head + count) % n;
         FillStation(stations[static_cast<std::size_t>(slot)], f, next_seq++,
                     cycle);

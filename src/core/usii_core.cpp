@@ -45,6 +45,9 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   RunResult result;
   bool done = false;
 
+  const bool incremental =
+      config_.datapath_eval == DatapathEval::kIncremental;
+
   std::vector<datapath::StationRequest> requests(
       static_cast<std::size_t>(n));
   std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
@@ -52,9 +55,16 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> branch_ok(static_cast<std::size_t>(n));
   // Per-cycle scratch, hoisted out of the loop so the hot path does not
   // touch the allocator (capacity is reused across cycles).
+  datapath::UsiiPropagation prop;  // Reused output buffer.
+  bool prop_valid = false;   // prop matches the current (regfile, requests).
+  bool regfile_changed = true;
+  std::vector<std::uint8_t> prev_stores_done(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_loads_done(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> prev_confirmed(static_cast<std::size_t>(n));
   std::vector<MemWindowEntry> mem_window;
   std::vector<std::uint8_t> alu_requests;
   std::vector<std::uint8_t> alu_grant;
+  std::vector<FetchedInstr> fetch_batch;
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
@@ -64,9 +74,14 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
     // both against end-of-last-cycle state. ---
     bool all_finished = true;
     bool any_valid = false;
+    bool requests_changed = false;
     for (int i = 0; i < n; ++i) {
       const Station& st = stations[static_cast<std::size_t>(i)];
-      requests[static_cast<std::size_t>(i)] = MakeRequest(st);
+      datapath::StationRequest req = MakeRequest(st);
+      if (req != requests[static_cast<std::size_t>(i)]) {
+        requests[static_cast<std::size_t>(i)] = req;
+        requests_changed = true;
+      }
       if (st.valid) {
         any_valid = true;
         if (!st.finished) all_finished = false;
@@ -78,10 +93,21 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
       branch_ok[static_cast<std::size_t>(i)] =
           !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
     }
-    const auto prop = dp.Propagate(regfile, requests);
-    const auto prev_stores_done = datapath::AllPrecedingSatisfyAcyclic(no_store);
-    const auto prev_loads_done = datapath::AllPrecedingSatisfyAcyclic(no_load);
-    const auto prev_confirmed = datapath::AllPrecedingSatisfyAcyclic(branch_ok);
+    if (incremental) {
+      // The whole propagation is a pure function of (regfile, requests):
+      // skip it when neither moved since the last evaluation (common while
+      // stations wait on long-latency operations).
+      if (!prop_valid || requests_changed || regfile_changed) {
+        dp.PropagateInto(regfile, requests, prop);
+        prop_valid = true;
+        regfile_changed = false;
+      }
+    } else {
+      prop = dp.Propagate(regfile, requests);
+    }
+    datapath::AllPrecedingSatisfyAcyclicInto(no_store, prev_stores_done);
+    datapath::AllPrecedingSatisfyAcyclicInto(no_load, prev_loads_done);
+    datapath::AllPrecedingSatisfyAcyclicInto(branch_ok, prev_confirmed);
 
     // The batch completes once every station is finished and no more
     // instructions are on the way into it ("At that time, the final values
@@ -95,6 +121,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         regfile[static_cast<std::size_t>(r)] =
             prop.final_regs[static_cast<std::size_t>(r)];
       }
+      regfile_changed = true;
       for (int i = 0; i < fill && !done; ++i) {
         Station& st = stations[static_cast<std::size_t>(i)];
         if (!st.valid) continue;
@@ -155,8 +182,10 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
             ++occupied;
           }
         }
-        alu_grant = datapath::AluScheduler::GrantAcyclic(
-            alu_requests, std::max(0, config_.num_alus - occupied));
+        alu_grant.resize(static_cast<std::size_t>(fill));
+        datapath::AluScheduler::GrantAcyclicInto(
+            alu_requests, std::max(0, config_.num_alus - occupied),
+            alu_grant);
       }
       for (int i = 0; i < fill; ++i) {
         Station& st = stations[static_cast<std::size_t>(i)];
@@ -203,11 +232,11 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
       const int free = n - fill;
       if (free == 0) ++result.stats.window_full_cycles;
       const int width = std::min(config_.EffectiveFetchWidth(), free);
-      const auto batch = fetch.FetchCycle(width);
-      if (batch.empty() && free > 0 && fill > 0 && !fetch.stalled()) {
+      fetch.FetchCycle(width, fetch_batch);
+      if (fetch_batch.empty() && free > 0 && fill > 0 && !fetch.stalled()) {
         ++result.stats.fetch_stall_cycles;
       }
-      for (const auto& f : batch) {
+      for (const auto& f : fetch_batch) {
         FillStation(stations[static_cast<std::size_t>(fill)], f, next_seq++,
                     cycle);
         stations[static_cast<std::size_t>(fill)].timing.station = fill;

@@ -1,5 +1,6 @@
 #include "datapath/hybrid.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "circuit/circuit.hpp"
@@ -8,6 +9,59 @@ namespace ultra::datapath {
 
 using circuit::CeilLog2;
 using circuit::ReductionDepth;
+
+// --- HybridDatapathState -----------------------------------------------------
+
+HybridDatapathState::HybridDatapathState(int num_stations, int num_regs,
+                                         int cluster_size)
+    : n_(num_stations),
+      L_(num_regs),
+      C_(cluster_size),
+      K_(num_stations / cluster_size),
+      ring_(num_stations / cluster_size, num_regs) {
+  assert(n_ >= 1 && C_ >= 1 && n_ % C_ == 0);
+  stations_.resize(static_cast<std::size_t>(n_));
+  cluster_dirty_.assign(static_cast<std::size_t>(K_), 1);
+  cluster_in_dirty_.assign(static_cast<std::size_t>(K_), 1);
+  args_.resize(static_cast<std::size_t>(n_));
+  ring_changed_.resize(static_cast<std::size_t>(K_));
+  sweep_written_.resize(static_cast<std::size_t>(L_));
+  sweep_val_.resize(static_cast<std::size_t>(L_));
+  resolve_regs_.resize(static_cast<std::size_t>(L_));
+}
+
+void HybridDatapathState::SetStation(int station,
+                                     const StationRequest& request) {
+  auto& slot = stations_[static_cast<std::size_t>(station)];
+  if (slot == request) return;
+  slot = request;
+  cluster_dirty_[static_cast<std::size_t>(station / C_)] = 1;
+}
+
+void HybridDatapathState::SetCommitted(int reg, const RegBinding& value) {
+  if (ring_.committed(reg) == value) return;
+  ring_.SetCommitted(reg, value);
+  // The oldest cluster resolves against the committed file directly (it
+  // bypasses the ring), so its argument resolution must re-run.
+  cluster_in_dirty_[static_cast<std::size_t>(ring_.oldest())] = 1;
+}
+
+void HybridDatapathState::SetOldestCluster(int cluster) {
+  if (cluster == ring_.oldest()) return;
+  // Both the old and the new oldest cluster switch register-file source
+  // (ring delivery <-> committed file).
+  cluster_in_dirty_[static_cast<std::size_t>(ring_.oldest())] = 1;
+  cluster_in_dirty_[static_cast<std::size_t>(cluster)] = 1;
+  ring_.SetOldest(cluster);
+}
+
+void HybridDatapathState::MarkAllDirty() {
+  std::fill(cluster_dirty_.begin(), cluster_dirty_.end(), 1);
+  std::fill(cluster_in_dirty_.begin(), cluster_in_dirty_.end(), 1);
+  ring_.MarkAllDirty();
+}
+
+// --- HybridDatapath ----------------------------------------------------------
 
 HybridDatapath::HybridDatapath(int num_stations, int num_regs,
                                int cluster_size, UsiiImpl cluster_impl,
@@ -92,6 +146,69 @@ HybridPropagation HybridDatapath::Propagate(
     }
   }
   return out;
+}
+
+void HybridDatapath::PropagateIncremental(HybridDatapathState& state) const {
+  assert(state.n_ == n_ && state.L_ == L_ && state.C_ == C_);
+  // Step 1: refresh the inter-cluster ring's cells for clusters whose
+  // station requests changed. The cluster's outgoing value for register r
+  // is its last writer's result; registers without a writer clear their
+  // modified bit (the oldest cluster's committed insertion is handled by
+  // the ring itself). The ring's setters self-diff, so a dirty cluster
+  // whose outgoing registers end up unchanged dirties nothing downstream.
+  for (int k = 0; k < state.K_; ++k) {
+    if (!state.cluster_dirty_[static_cast<std::size_t>(k)]) continue;
+    std::fill(state.sweep_written_.begin(), state.sweep_written_.end(), 0);
+    for (int j = 0; j < C_; ++j) {
+      const auto& s = state.stations_[static_cast<std::size_t>(k * C_ + j)];
+      if (s.writes) {
+        state.sweep_written_[s.dest] = 1;
+        state.sweep_val_[s.dest] = s.result;
+      }
+    }
+    for (int r = 0; r < L_; ++r) {
+      if (state.sweep_written_[static_cast<std::size_t>(r)]) {
+        state.ring_.SetWrite(k, r,
+                             state.sweep_val_[static_cast<std::size_t>(r)]);
+      } else {
+        state.ring_.ClearWrite(k, r);
+      }
+    }
+  }
+
+  // Step 2: inter-cluster Ultrascalar I ring, incrementally; record which
+  // clusters saw any incoming register change.
+  const int num_clusters = state.K_;
+  const UltrascalarIDatapath ring(num_clusters, L_, tree_impl_);
+  std::fill(state.ring_changed_.begin(), state.ring_changed_.end(), 0);
+  ring.PropagateIncremental(state.ring_, state.ring_changed_);
+
+  // Step 3: intra-cluster argument resolution, only where inputs moved. A
+  // cluster's args depend on its own requests and its register-file source
+  // (committed file when oldest, ring delivery otherwise) — each covered by
+  // one of the three flags.
+  for (int k = 0; k < num_clusters; ++k) {
+    const std::size_t ks = static_cast<std::size_t>(k);
+    if (!state.cluster_dirty_[ks] && !state.cluster_in_dirty_[ks] &&
+        !state.ring_changed_[ks]) {
+      continue;
+    }
+    state.cluster_dirty_[ks] = 0;
+    state.cluster_in_dirty_[ks] = 0;
+    const bool is_oldest = k == state.ring_.oldest();
+    for (int r = 0; r < L_; ++r) {
+      state.resolve_regs_[static_cast<std::size_t>(r)] =
+          is_oldest ? state.ring_.committed(r) : state.ring_.incoming(k, r);
+    }
+    for (int j = 0; j < C_; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(k * C_ + j);
+      const auto& s = state.stations_[idx];
+      auto& a = state.args_[idx];
+      a.arg1 = s.reads1 ? state.resolve_regs_[s.arg1] : RegBinding{};
+      a.arg2 = s.reads2 ? state.resolve_regs_[s.arg2] : RegBinding{};
+      if (s.writes) state.resolve_regs_[s.dest] = s.result;
+    }
+  }
 }
 
 int HybridDatapath::WorstCaseGateDepth() const {

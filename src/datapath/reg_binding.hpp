@@ -28,6 +28,9 @@ struct StationRequest {
   bool writes = false;
   isa::RegId dest = 0;
   RegBinding result;  // Valid when writes; ready once the ALU has finished.
+
+  friend bool operator==(const StationRequest&, const StationRequest&) =
+      default;
 };
 
 /// What a register datapath hands back to one station: its two resolved
@@ -35,6 +38,8 @@ struct StationRequest {
 struct ResolvedArgs {
   RegBinding arg1;
   RegBinding arg2;
+
+  friend bool operator==(const ResolvedArgs&, const ResolvedArgs&) = default;
 };
 
 }  // namespace ultra::datapath

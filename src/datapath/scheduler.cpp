@@ -31,17 +31,46 @@ std::vector<std::uint8_t> AluScheduler::Grant(
   return grants;
 }
 
+void AluScheduler::GrantInto(std::span<const std::uint8_t> requests,
+                             int available, int oldest,
+                             std::span<std::uint8_t> grants) const {
+  assert(requests.size() == static_cast<std::size_t>(n_));
+  assert(grants.size() == static_cast<std::size_t>(n_));
+  assert(oldest >= 0 && oldest < n_);
+  assert(requests.empty() || grants.data() != requests.data());
+  // Walking from the oldest station, the running request count IS the
+  // prefix-sum rank each station would receive from the CSPP (the oldest's
+  // own rank is zero by definition).
+  int rank = 0;
+  int i = oldest;
+  for (int step = 0; step < n_; ++step) {
+    const bool req = requests[static_cast<std::size_t>(i)] != 0;
+    grants[static_cast<std::size_t>(i)] = req && rank < available;
+    if (req) ++rank;
+    i = i + 1 == n_ ? 0 : i + 1;
+  }
+}
+
 std::vector<std::uint8_t> AluScheduler::GrantAcyclic(
     std::span<const std::uint8_t> requests, int available) {
   std::vector<std::uint8_t> grants(requests.size(), 0);
+  GrantAcyclicInto(requests, available, grants);
+  return grants;
+}
+
+void AluScheduler::GrantAcyclicInto(std::span<const std::uint8_t> requests,
+                                    int available,
+                                    std::span<std::uint8_t> grants) {
+  assert(grants.size() == requests.size());
+  assert(requests.empty() || grants.data() != requests.data());
   int rank = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
+    grants[i] = 0;
     if (requests[i] != 0) {
       grants[i] = rank < available;
       ++rank;
     }
   }
-  return grants;
 }
 
 int AluScheduler::MeasureGateDepth(std::span<const std::uint8_t> requests,

@@ -34,10 +34,22 @@ class AluScheduler {
       std::span<const std::uint8_t> requests, int available,
       int oldest) const;
 
+  /// Grant into a caller-owned buffer (allocation-free): one rank walk from
+  /// the oldest station replaces the prefix-sum vectors. @p grants may not
+  /// alias @p requests.
+  void GrantInto(std::span<const std::uint8_t> requests, int available,
+                 int oldest, std::span<std::uint8_t> grants) const;
+
   /// Acyclic variant for the batch-mode Ultrascalar II (program order =
   /// slot order, no wrap-around).
   static std::vector<std::uint8_t> GrantAcyclic(
       std::span<const std::uint8_t> requests, int available);
+
+  /// Acyclic grant into a caller-owned buffer (allocation-free). @p grants
+  /// may not alias @p requests.
+  static void GrantAcyclicInto(std::span<const std::uint8_t> requests,
+                               int available,
+                               std::span<std::uint8_t> grants);
 
   /// Critical-path gate depth of one scheduling decision. The prefix nodes
   /// add log2(n)-bit numbers, so the depth is O(log n * log log n)-ish but

@@ -31,6 +31,28 @@ std::vector<std::uint8_t> RunCyclic(std::span<const std::uint8_t> condition,
   return result;
 }
 
+// Allocation-free equivalent of RunCyclic: one carry walk from the oldest
+// station's segment, writing each position's delivered prefix directly.
+void RunCyclicInto(std::span<const std::uint8_t> condition, int oldest, int n,
+                   bool use_or, std::span<std::uint8_t> out) {
+  assert(condition.size() == static_cast<std::size_t>(n));
+  assert(out.size() == static_cast<std::size_t>(n));
+  assert(oldest >= 0 && oldest < n);
+  assert(condition.empty() || out.data() != condition.data());
+  std::uint8_t carry = 0;
+  int i = oldest;
+  for (int step = 0; step < n; ++step) {
+    const bool c = condition[static_cast<std::size_t>(i)] != 0;
+    if (step == 0) {
+      carry = c;
+    } else {
+      carry = use_or ? (carry || c) : (carry && c);
+    }
+    i = i + 1 == n ? 0 : i + 1;
+    out[static_cast<std::size_t>(i)] = carry;
+  }
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> SequencingCspp::AllPrecedingSatisfy(
@@ -38,9 +60,21 @@ std::vector<std::uint8_t> SequencingCspp::AllPrecedingSatisfy(
   return RunCyclic(condition, oldest, n_, /*use_or=*/false);
 }
 
+void SequencingCspp::AllPrecedingSatisfyInto(
+    std::span<const std::uint8_t> condition, int oldest,
+    std::span<std::uint8_t> out) const {
+  RunCyclicInto(condition, oldest, n_, /*use_or=*/false, out);
+}
+
 std::vector<std::uint8_t> SequencingCspp::AnyPrecedingSatisfies(
     std::span<const std::uint8_t> condition, int oldest) const {
   return RunCyclic(condition, oldest, n_, /*use_or=*/true);
+}
+
+void SequencingCspp::AnyPrecedingSatisfiesInto(
+    std::span<const std::uint8_t> condition, int oldest,
+    std::span<std::uint8_t> out) const {
+  RunCyclicInto(condition, oldest, n_, /*use_or=*/true, out);
 }
 
 int SequencingCspp::MeasureGateDepth(std::span<const std::uint8_t> condition,
@@ -65,12 +99,19 @@ int SequencingCspp::MeasureGateDepth(std::span<const std::uint8_t> condition,
 std::vector<std::uint8_t> AllPrecedingSatisfyAcyclic(
     std::span<const std::uint8_t> condition) {
   std::vector<std::uint8_t> out(condition.size());
+  AllPrecedingSatisfyAcyclicInto(condition, out);
+  return out;
+}
+
+void AllPrecedingSatisfyAcyclicInto(std::span<const std::uint8_t> condition,
+                                    std::span<std::uint8_t> out) {
+  assert(out.size() == condition.size());
+  assert(condition.empty() || out.data() != condition.data());
   std::uint8_t carry = 1;  // Vacuously true before position 0.
   for (std::size_t i = 0; i < condition.size(); ++i) {
     out[i] = carry;
     carry = static_cast<std::uint8_t>(carry && condition[i]);
   }
-  return out;
 }
 
 }  // namespace ultra::datapath

@@ -31,10 +31,21 @@ class SequencingCspp {
   [[nodiscard]] std::vector<std::uint8_t> AllPrecedingSatisfy(
       std::span<const std::uint8_t> condition, int oldest) const;
 
+  /// AllPrecedingSatisfy into a caller-owned buffer (allocation-free).
+  /// @p out may not alias @p condition.
+  void AllPrecedingSatisfyInto(std::span<const std::uint8_t> condition,
+                               int oldest, std::span<std::uint8_t> out) const;
+
   /// For each station i: OR of @p condition over stations oldest..i-1.
   /// ("Does any earlier station ..." -- used by memory renaming tests.)
   [[nodiscard]] std::vector<std::uint8_t> AnyPrecedingSatisfies(
       std::span<const std::uint8_t> condition, int oldest) const;
+
+  /// AnyPrecedingSatisfies into a caller-owned buffer (allocation-free).
+  /// @p out may not alias @p condition.
+  void AnyPrecedingSatisfiesInto(std::span<const std::uint8_t> condition,
+                                 int oldest,
+                                 std::span<std::uint8_t> out) const;
 
   /// Critical-path gate depth of one evaluation.
   [[nodiscard]] int MeasureGateDepth(std::span<const std::uint8_t> condition,
@@ -49,5 +60,10 @@ class SequencingCspp {
 /// @p initial (vacuously true for AND).
 std::vector<std::uint8_t> AllPrecedingSatisfyAcyclic(
     std::span<const std::uint8_t> condition);
+
+/// Acyclic variant into a caller-owned buffer (allocation-free). @p out may
+/// not alias @p condition.
+void AllPrecedingSatisfyAcyclicInto(std::span<const std::uint8_t> condition,
+                                    std::span<std::uint8_t> out);
 
 }  // namespace ultra::datapath

@@ -49,6 +49,28 @@ UsiiPropagation UltrascalarIIDatapath::Propagate(
   return out;
 }
 
+void UltrascalarIIDatapath::PropagateInto(
+    std::span<const RegBinding> regfile,
+    std::span<const StationRequest> stations, UsiiPropagation& out) const {
+  assert(regfile.size() == static_cast<std::size_t>(L_));
+  assert(stations.size() == static_cast<std::size_t>(n_));
+
+  out.args.resize(static_cast<std::size_t>(n_));
+  // final_regs doubles as the running last-writer map of the forward sweep:
+  // before station i it holds, per register, the nearest preceding writer's
+  // binding (or the initial register file). After the sweep it is exactly
+  // the outgoing register file.
+  out.final_regs.assign(regfile.begin(), regfile.end());
+
+  for (int i = 0; i < n_; ++i) {
+    const auto& s = stations[static_cast<std::size_t>(i)];
+    auto& args = out.args[static_cast<std::size_t>(i)];
+    args.arg1 = s.reads1 ? out.final_regs[s.arg1] : RegBinding{};
+    args.arg2 = s.reads2 ? out.final_regs[s.arg2] : RegBinding{};
+    if (s.writes) out.final_regs[s.dest] = s.result;
+  }
+}
+
 namespace {
 
 /// Gate depth of one column that searches @p num_station_rows station rows

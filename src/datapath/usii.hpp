@@ -48,9 +48,21 @@ class UltrascalarIIDatapath {
   ///
   /// A station with writes==false contributes nothing to any column (e.g. a
   /// squashed or empty station).
+  ///
+  /// This is the full-recompute reference path: it allocates its result and
+  /// resolves each column with an O(n) backward search.
   [[nodiscard]] UsiiPropagation Propagate(
       std::span<const RegBinding> regfile,
       std::span<const StationRequest> stations) const;
+
+  /// Same function into a caller-owned buffer, in O(n + L) total: a single
+  /// program-order sweep keeps the running last-writer binding per register
+  /// in @p out.final_regs (seeded from @p regfile), resolving each
+  /// station's arguments in O(1). Allocation-free once @p out has warmed up
+  /// to this datapath's dimensions.
+  void PropagateInto(std::span<const RegBinding> regfile,
+                     std::span<const StationRequest> stations,
+                     UsiiPropagation& out) const;
 
   /// Critical-path gate depth of one propagation for the given requests,
   /// modelling broadcasts as buffer chains (grid) or fan-out trees (mesh).

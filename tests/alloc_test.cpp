@@ -1,0 +1,127 @@
+// Steady-state allocation test for the cycle loops (own binary: it
+// replaces the global allocator).
+//
+// Every operator new is counted. For each processor model we run the same
+// configuration on a short and on a long ALU-only workload; if any cycle
+// phase allocated, the long run's allocation count would exceed the short
+// run's by at least the extra simulated cycles (hundreds). The allowed
+// delta only covers amortized container growth that is proportional to
+// *results*, not cycles: the commit timeline and the fetch buffer double
+// O(log extra_instructions) times.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/core.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* CountedAlloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(align, (size + align - 1) / align * align))
+    return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace ultra {
+namespace {
+
+using core::CoreConfig;
+using core::ProcessorKind;
+
+struct RunCost {
+  std::uint64_t allocations = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+};
+
+RunCost MeasuredRun(ProcessorKind kind, const CoreConfig& cfg,
+                    const isa::Program& program) {
+  auto proc = core::MakeProcessor(kind, cfg);
+  const std::uint64_t before = g_allocations.load();
+  const auto result = proc->Run(program);
+  RunCost cost;
+  cost.allocations = g_allocations.load() - before;
+  cost.cycles = result.cycles;
+  cost.committed = result.committed;
+  EXPECT_TRUE(result.halted);
+  return cost;
+}
+
+class SteadyStateAllocations : public testing::TestWithParam<ProcessorKind> {
+};
+
+TEST_P(SteadyStateAllocations, CycleLoopDoesNotTouchTheAllocator) {
+  const ProcessorKind kind = GetParam();
+  CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  // ALU-only dependency chains: no memory traffic, no branches, so the
+  // steady state exercises exactly the per-cycle phases (datapath
+  // propagation, sequencing, scheduling, execute, commit, fetch).
+  const auto short_prog = workloads::DependencyChains(
+      {.num_instructions = 512, .ilp = 4, .seed = 11});
+  const auto long_prog = workloads::DependencyChains(
+      {.num_instructions = 4096, .ilp = 4, .seed = 11});
+
+  const RunCost short_run = MeasuredRun(kind, cfg, short_prog);
+  const RunCost long_run = MeasuredRun(kind, cfg, long_prog);
+  ASSERT_GT(long_run.cycles, short_run.cycles + 500u);
+
+  // Per-run setup (state buffers, predictor, memory model) costs the same
+  // in both runs and cancels in the delta; a single allocation per cycle
+  // would put the delta above the extra-cycle count.
+  const std::uint64_t delta = long_run.allocations - short_run.allocations;
+  const std::uint64_t extra_cycles = long_run.cycles - short_run.cycles;
+  EXPECT_LT(delta, 64u) << "long run: " << long_run.allocations
+                        << " allocations over " << long_run.cycles
+                        << " cycles; short run: " << short_run.allocations
+                        << " over " << short_run.cycles;
+  EXPECT_LT(delta * 8, extra_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCores, SteadyStateAllocations,
+    testing::Values(ProcessorKind::kIdeal, ProcessorKind::kUltrascalarI,
+                    ProcessorKind::kUltrascalarII, ProcessorKind::kHybrid),
+    [](const auto& info) {
+      return std::string(core::ProcessorKindName(info.param));
+    });
+
+}  // namespace
+}  // namespace ultra

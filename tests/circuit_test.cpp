@@ -179,6 +179,29 @@ INSTANTIATE_TEST_SUITE_P(
       return "n" + std::to_string(info.param.n);
     });
 
+TEST(CsppValuesHint, AnySetSegmentBitYieldsIdenticalOutputs) {
+  // The start_hint only replaces the O(n) segment scan; starting the walk
+  // from any set segment position must produce the same outputs, and the
+  // hinted call must match the scanning call exactly.
+  std::mt19937 rng(0x5eed);
+  for (int n : {1, 2, 3, 5, 8, 17, 64}) {
+    SCOPED_TRACE(n);
+    std::vector<int> raw(static_cast<std::size_t>(n));
+    std::vector<U8> segs(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) raw[static_cast<std::size_t>(i)] = i + 1;
+    for (auto& s : segs) s = static_cast<U8>((rng() % 3) == 0);
+    segs[rng() % static_cast<unsigned>(n)] = 1;
+    const auto scanned = CsppValues<int, PassFirstOp>(raw, segs);
+    std::vector<int> hinted(static_cast<std::size_t>(n));
+    for (int h = 0; h < n; ++h) {
+      if (!segs[static_cast<std::size_t>(h)]) continue;
+      SCOPED_TRACE(h);
+      CsppValuesInto<int, PassFirstOp>(raw, segs, hinted, PassFirstOp{}, h);
+      EXPECT_EQ(hinted, scanned);
+    }
+  }
+}
+
 // --- Noncyclic segmented prefix -------------------------------------------
 
 class SppEquivalence : public testing::TestWithParam<CsppCase> {};

@@ -1,0 +1,329 @@
+// Differential tests for the incremental, allocation-free datapath
+// evaluation paths: randomized mutation sequences drive a caller-owned
+// state object and a plain mirror of the full-recompute inputs in
+// lockstep, and after every PropagateIncremental the state's outputs must
+// equal both the full Propagate and an independent program-order
+// reference, element for element — including cells of stations a core
+// would consider dead (docs/runtime.md, "dirty-set invariants").
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "datapath/datapath.hpp"
+
+namespace ultra::datapath {
+namespace {
+
+// --- Ultrascalar I -----------------------------------------------------------
+
+/// Program-order reference for the US-I ring (same walk as datapath_test).
+std::vector<RegBinding> UsiReference(int n, int L,
+                                     const std::vector<RegBinding>& outgoing,
+                                     const std::vector<std::uint8_t>& modified,
+                                     int oldest) {
+  std::vector<RegBinding> incoming(static_cast<std::size_t>(n) * L);
+  for (int r = 0; r < L; ++r) {
+    for (int i = 0; i < n; ++i) {
+      RegBinding value{};
+      for (int m = 1; m <= n; ++m) {
+        const int j = (i - m + n) % n;
+        if (j == oldest ||
+            modified[static_cast<std::size_t>(j) * L + r] != 0) {
+          value = outgoing[static_cast<std::size_t>(j) * L + r];
+          break;
+        }
+      }
+      incoming[static_cast<std::size_t>(i) * L + r] = value;
+    }
+  }
+  return incoming;
+}
+
+/// Mirror of UsiDatapathState kept as plain full-recompute inputs. The
+/// station-major outgoing buffer is assembled on demand: modified cells
+/// carry the station's driven value, the oldest station's unmodified cells
+/// carry the committed file (the incremental path gives an explicit write
+/// at the oldest priority over the committed insertion, so the mirror must
+/// too), and everything else is a sentinel that must never be delivered.
+struct UsiMirror {
+  int n;
+  int L;
+  int oldest = 0;
+  std::vector<RegBinding> cell;        // [i*L + r], valid when modified.
+  std::vector<std::uint8_t> modified;  // [i*L + r].
+  std::vector<RegBinding> committed;   // [r].
+
+  UsiMirror(int n_in, int L_in)
+      : n(n_in),
+        L(L_in),
+        cell(static_cast<std::size_t>(n_in) * L_in),
+        modified(static_cast<std::size_t>(n_in) * L_in, 0),
+        committed(static_cast<std::size_t>(L_in)) {}
+
+  [[nodiscard]] std::vector<RegBinding> Outgoing() const {
+    std::vector<RegBinding> out(static_cast<std::size_t>(n) * L,
+                                RegBinding{0xDEADu, false});
+    for (int i = 0; i < n; ++i) {
+      for (int r = 0; r < L; ++r) {
+        const std::size_t idx = static_cast<std::size_t>(i) * L + r;
+        if (modified[idx]) {
+          out[idx] = cell[idx];
+        } else if (i == oldest) {
+          out[idx] = committed[static_cast<std::size_t>(r)];
+        }
+      }
+    }
+    return out;
+  }
+};
+
+RegBinding RandomBinding(std::mt19937& rng) {
+  return {static_cast<isa::Word>(rng() % 10000),
+          static_cast<bool>(rng() % 2)};
+}
+
+class UsiIncremental : public testing::TestWithParam<int> {};
+
+TEST_P(UsiIncremental, MutationSequencesMatchFullPropagateAndReference) {
+  const int n = GetParam();
+  const int L = 5;
+  std::mt19937 rng(static_cast<unsigned>(n) * 12345u + 7u);
+  const UltrascalarIDatapath dp(n, L);
+  UsiDatapathState state(n, L);
+  UsiMirror mirror(n, L);
+  for (int r = 0; r < L; ++r) {
+    const RegBinding b = RandomBinding(rng);
+    state.SetCommitted(r, b);
+    mirror.committed[static_cast<std::size_t>(r)] = b;
+  }
+
+  std::vector<RegBinding> prev_incoming(static_cast<std::size_t>(n) * L);
+  std::vector<std::uint8_t> changed(static_cast<std::size_t>(n));
+  bool have_prev = false;
+
+  for (int trial = 0; trial < 120; ++trial) {
+    SCOPED_TRACE(trial);
+    const int num_mutations = 1 + static_cast<int>(rng() % 8);
+    for (int m = 0; m < num_mutations; ++m) {
+      const int i = static_cast<int>(rng() % static_cast<unsigned>(n));
+      const int r = static_cast<int>(rng() % static_cast<unsigned>(L));
+      const std::size_t idx = static_cast<std::size_t>(i) * L + r;
+      switch (rng() % 6) {
+        case 0:
+        case 1: {  // Assert a write (sometimes re-asserting the same value).
+          const RegBinding b = (rng() % 4 == 0 && mirror.modified[idx])
+                                   ? mirror.cell[idx]
+                                   : RandomBinding(rng);
+          state.SetWrite(i, r, b);
+          mirror.cell[idx] = b;
+          mirror.modified[idx] = 1;
+          break;
+        }
+        case 2:  // Drop a write (possibly already absent).
+          state.ClearWrite(i, r);
+          mirror.modified[idx] = 0;
+          break;
+        case 3: {  // Committed-file update.
+          const RegBinding b = RandomBinding(rng);
+          state.SetCommitted(r, b);
+          mirror.committed[static_cast<std::size_t>(r)] = b;
+          break;
+        }
+        case 4:  // Oldest pointer moves (commit / wrap).
+          state.SetOldest(i);
+          mirror.oldest = i;
+          break;
+        case 5:  // Full invalidation must also converge.
+          if (rng() % 8 == 0) state.MarkAllDirty();
+          break;
+      }
+    }
+
+    std::fill(changed.begin(), changed.end(), 0);
+    dp.PropagateIncremental(state, changed);
+    const auto outgoing = mirror.Outgoing();
+    const auto full = dp.Propagate(outgoing, mirror.modified, mirror.oldest);
+    const auto ref =
+        UsiReference(n, L, outgoing, mirror.modified, mirror.oldest);
+    for (int i = 0; i < n; ++i) {
+      bool any_changed = false;
+      for (int r = 0; r < L; ++r) {
+        const std::size_t idx = static_cast<std::size_t>(i) * L + r;
+        SCOPED_TRACE("station " + std::to_string(i) + " reg " +
+                     std::to_string(r));
+        ASSERT_EQ(state.incoming(i, r), full[idx]);
+        ASSERT_EQ(full[idx], ref[idx]);
+        if (have_prev && !(prev_incoming[idx] == state.incoming(i, r))) {
+          any_changed = true;
+        }
+        prev_incoming[idx] = state.incoming(i, r);
+      }
+      // changed_stations must flag exactly the stations whose delivered
+      // values moved (the hybrid datapath skips unflagged clusters).
+      if (have_prev) {
+        ASSERT_EQ(changed[static_cast<std::size_t>(i)] != 0, any_changed);
+      }
+    }
+    have_prev = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UsiIncremental,
+                         testing::Values(1, 2, 3, 4, 8, 16, 33),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(UsiIncremental, SetStationWriteRetargetsCleanly) {
+  // A station that switches destination register must clear its old column.
+  const int n = 4;
+  const int L = 3;
+  const UltrascalarIDatapath dp(n, L);
+  UsiDatapathState state(n, L);
+  for (int r = 0; r < L; ++r) state.SetCommitted(r, {100u + r, true});
+  state.SetStationWrite(1, true, 0, {7, true});
+  dp.PropagateIncremental(state);
+  EXPECT_EQ(state.incoming(2, 0), (RegBinding{7, true}));
+  state.SetStationWrite(1, true, 2, {9, true});  // Retarget r0 -> r2.
+  dp.PropagateIncremental(state);
+  EXPECT_EQ(state.incoming(2, 0), (RegBinding{100, true}));
+  EXPECT_EQ(state.incoming(2, 2), (RegBinding{9, true}));
+  state.SetStationWrite(1, false, 0, {});  // Squash: no write at all.
+  dp.PropagateIncremental(state);
+  EXPECT_EQ(state.incoming(2, 2), (RegBinding{102, true}));
+}
+
+// --- Ultrascalar II ----------------------------------------------------------
+
+StationRequest RandomRequest(std::mt19937& rng, int L) {
+  StationRequest s;
+  s.reads1 = rng() % 2;
+  s.arg1 = static_cast<isa::RegId>(rng() % static_cast<unsigned>(L));
+  s.reads2 = rng() % 2;
+  s.arg2 = static_cast<isa::RegId>(rng() % static_cast<unsigned>(L));
+  s.writes = rng() % 2;
+  s.dest = static_cast<isa::RegId>(rng() % static_cast<unsigned>(L));
+  s.result = RandomBinding(rng);
+  return s;
+}
+
+TEST(UsiiIncremental, PropagateIntoMatchesPropagateAcrossReusedBuffer) {
+  const int n = 12;
+  const int L = 6;
+  std::mt19937 rng(2024);
+  const UltrascalarIIDatapath dp(n, L);
+  // One output buffer reused across every trial: stale contents from the
+  // previous iteration (e.g. args of stations that no longer read) must
+  // never leak through.
+  UsiiPropagation into;
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE(trial);
+    std::vector<RegBinding> regfile(static_cast<std::size_t>(L));
+    for (auto& b : regfile) b = RandomBinding(rng);
+    std::vector<StationRequest> stations(static_cast<std::size_t>(n));
+    for (auto& s : stations) s = RandomRequest(rng, L);
+    const auto full = dp.Propagate(regfile, stations);
+    dp.PropagateInto(regfile, stations, into);
+    ASSERT_EQ(into.args.size(), full.args.size());
+    ASSERT_EQ(into.final_regs.size(), full.final_regs.size());
+    for (int i = 0; i < n; ++i) {
+      SCOPED_TRACE(i);
+      ASSERT_EQ(into.args[static_cast<std::size_t>(i)],
+                full.args[static_cast<std::size_t>(i)]);
+    }
+    for (int r = 0; r < L; ++r) {
+      SCOPED_TRACE(r);
+      ASSERT_EQ(into.final_regs[static_cast<std::size_t>(r)],
+                full.final_regs[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+// --- Hybrid ------------------------------------------------------------------
+
+class HybridIncremental
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HybridIncremental, MutationSequencesMatchFullPropagate) {
+  const auto [num_clusters, cluster_size] = GetParam();
+  const int n = num_clusters * cluster_size;
+  const int L = 5;
+  std::mt19937 rng(static_cast<unsigned>(n) * 97u + cluster_size);
+  const HybridDatapath dp(n, L, cluster_size);
+  HybridDatapathState state(n, L, cluster_size);
+
+  // Plain mirror of the full-recompute inputs.
+  std::vector<RegBinding> committed(static_cast<std::size_t>(L));
+  std::vector<StationRequest> stations(static_cast<std::size_t>(n));
+  int oldest_cluster = 0;
+  for (int r = 0; r < L; ++r) {
+    const RegBinding b = RandomBinding(rng);
+    state.SetCommitted(r, b);
+    committed[static_cast<std::size_t>(r)] = b;
+  }
+
+  for (int trial = 0; trial < 120; ++trial) {
+    SCOPED_TRACE(trial);
+    const int num_mutations = 1 + static_cast<int>(rng() % 8);
+    for (int m = 0; m < num_mutations; ++m) {
+      const int i = static_cast<int>(rng() % static_cast<unsigned>(n));
+      switch (rng() % 5) {
+        case 0:
+        case 1: {  // Replace a station request (sometimes with itself).
+          const StationRequest s =
+              rng() % 4 == 0 ? stations[static_cast<std::size_t>(i)]
+                             : RandomRequest(rng, L);
+          state.SetStation(i, s);
+          stations[static_cast<std::size_t>(i)] = s;
+          break;
+        }
+        case 2: {  // Committed-file update.
+          const int r = static_cast<int>(rng() % static_cast<unsigned>(L));
+          const RegBinding b = RandomBinding(rng);
+          state.SetCommitted(r, b);
+          committed[static_cast<std::size_t>(r)] = b;
+          break;
+        }
+        case 3: {  // Oldest cluster advances.
+          const int k = static_cast<int>(
+              rng() % static_cast<unsigned>(num_clusters));
+          state.SetOldestCluster(k);
+          oldest_cluster = k;
+          break;
+        }
+        case 4:
+          if (rng() % 8 == 0) state.MarkAllDirty();
+          break;
+      }
+    }
+
+    dp.PropagateIncremental(state);
+    const auto full = dp.Propagate(committed, stations, oldest_cluster);
+    for (int i = 0; i < n; ++i) {
+      SCOPED_TRACE("station " + std::to_string(i));
+      ASSERT_EQ(state.args(i), full.args[static_cast<std::size_t>(i)]);
+    }
+    for (int k = 0; k < num_clusters; ++k) {
+      for (int r = 0; r < L; ++r) {
+        SCOPED_TRACE("cluster " + std::to_string(k) + " reg " +
+                     std::to_string(r));
+        ASSERT_EQ(state.cluster_in(k, r),
+                  full.cluster_in[static_cast<std::size_t>(k) * L + r]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HybridIncremental,
+    testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 4),
+                    std::make_tuple(4, 1), std::make_tuple(3, 5),
+                    std::make_tuple(4, 8), std::make_tuple(8, 4)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "c" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ultra::datapath

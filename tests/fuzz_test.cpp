@@ -153,6 +153,87 @@ TEST(KernelEquivalence, SortAndIndirectionMatchFunctionalState) {
   ExpectMatchesFunctional(workloads::MemCopy(24), cfg);
 }
 
+// The incremental datapath evaluation (CoreConfig::datapath_eval, the
+// default) is a pure simulator optimization: on every program it must
+// produce the exact RunResult of the full-recompute reference path —
+// cycle-for-cycle, not just the same architectural state.
+void ExpectIncrementalMatchesFullRecompute(const isa::Program& program,
+                                           CoreConfig cfg) {
+  for (const auto kind :
+       {ProcessorKind::kIdeal, ProcessorKind::kUltrascalarI,
+        ProcessorKind::kUltrascalarII, ProcessorKind::kHybrid}) {
+    SCOPED_TRACE(core::ProcessorKindName(kind));
+    cfg.datapath_eval = core::DatapathEval::kFullRecompute;
+    const auto full = core::MakeProcessor(kind, cfg)->Run(program);
+    cfg.datapath_eval = core::DatapathEval::kIncremental;
+    const auto incr = core::MakeProcessor(kind, cfg)->Run(program);
+    ASSERT_EQ(incr.halted, full.halted);
+    ASSERT_EQ(incr.cycles, full.cycles);
+    ASSERT_EQ(incr.committed, full.committed);
+    ASSERT_EQ(incr.regs, full.regs);
+    ASSERT_EQ(incr.memory, full.memory);
+    ASSERT_EQ(incr.stats.mispredictions, full.stats.mispredictions);
+    ASSERT_EQ(incr.stats.squashed_instructions,
+              full.stats.squashed_instructions);
+    ASSERT_EQ(incr.stats.fetch_stall_cycles, full.stats.fetch_stall_cycles);
+    ASSERT_EQ(incr.stats.window_full_cycles, full.stats.window_full_cycles);
+    ASSERT_EQ(incr.timeline.size(), full.timeline.size());
+    for (std::size_t t = 0; t < incr.timeline.size(); ++t) {
+      ASSERT_EQ(incr.timeline[t].issue_cycle, full.timeline[t].issue_cycle)
+          << "t=" << t;
+      ASSERT_EQ(incr.timeline[t].complete_cycle,
+                full.timeline[t].complete_cycle)
+          << "t=" << t;
+      ASSERT_EQ(incr.timeline[t].commit_cycle, full.timeline[t].commit_cycle)
+          << "t=" << t;
+    }
+  }
+}
+
+class EvalPathFuzz : public testing::TestWithParam<unsigned> {};
+
+TEST_P(EvalPathFuzz, DagWithSpeculationAndSquashes) {
+  const auto program = workloads::RandomForwardDag(
+      {.num_blocks = 12, .block_size = 5, .seed = GetParam()});
+  CoreConfig cfg;
+  cfg.window_size = 24;
+  cfg.cluster_size = 6;
+  cfg.predictor = core::PredictorKind::kBtfn;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  ExpectIncrementalMatchesFullRecompute(program, cfg);
+}
+
+TEST_P(EvalPathFuzz, MixWithMemoryLatencyForwardingAndSharedAlus) {
+  const auto program = workloads::RandomMix(
+      {.num_instructions = 150, .load_fraction = 0.2, .store_fraction = 0.2,
+       .memory_words = 16, .seed = GetParam() ^ 0xbeef});
+  CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 4;
+  cfg.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+  cfg.mem.regime = memory::BandwidthRegime::kSqrt;
+  cfg.store_forwarding = true;
+  cfg.num_alus = 3;
+  ExpectIncrementalMatchesFullRecompute(program, cfg);
+}
+
+TEST_P(EvalPathFuzz, PipelinedUsiReadNetwork) {
+  const auto program = workloads::RandomForwardDag(
+      {.num_blocks = 8, .block_size = 6, .seed = GetParam() ^ 0x7f7f});
+  CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 4;
+  cfg.predictor = core::PredictorKind::kNotTaken;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  cfg.pipeline_levels_per_stage = 2;  // Exercises the last-writer scan.
+  ExpectIncrementalMatchesFullRecompute(program, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalPathFuzz, testing::Range(900u, 912u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 TEST(DagGenerator, AlwaysTerminates) {
   for (unsigned seed = 0; seed < 50; ++seed) {
     const auto program = workloads::RandomForwardDag({.seed = seed});
