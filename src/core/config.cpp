@@ -40,6 +40,15 @@ void CoreConfig::Validate(bool for_hybrid) const {
            std::to_string(trace_branches));
     }
   }
+  if (datapath_eval == DatapathEval::kChecked && checker_stride < 1) {
+    fail("checker_stride must be >= 1 in checked mode, got " +
+         std::to_string(checker_stride));
+  }
+  if (fault_plan && datapath_eval == DatapathEval::kFullRecompute) {
+    fail("fault_plan requires datapath_eval incremental or checked (the "
+         "full-recompute path rebuilds every delivery each cycle, so "
+         "injected corruptions could never persist)");
+  }
   if (for_hybrid && (cluster_size < 1 || cluster_size > window_size)) {
     fail("hybrid cluster_size must lie in [1, window_size]: C = " +
          std::to_string(cluster_size) + ", n = " +

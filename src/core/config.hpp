@@ -1,13 +1,19 @@
 // Shared configuration and result types for all processor models.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "isa/isa.hpp"
 #include "memory/memory_system.hpp"
+
+namespace ultra::fault {
+class FaultPlan;
+}  // namespace ultra::fault
 
 namespace ultra::core {
 
@@ -29,13 +35,19 @@ enum class FetchMode : std::uint8_t {
   kTraceCache,  // Crosses up to trace_branches taken transfers on a hit.
 };
 
-/// How the cycle loop evaluates the register datapaths. Both paths compute
-/// the same function and produce identical RunResults (the fuzz tests
-/// assert this); the incremental path re-evaluates only what changed since
-/// the previous cycle and never allocates in steady state.
+/// How the cycle loop evaluates the register datapaths. All modes compute
+/// the same function and produce identical RunResults on clean inputs (the
+/// fuzz tests assert this); the incremental path re-evaluates only what
+/// changed since the previous cycle and never allocates in steady state.
 enum class DatapathEval : std::uint8_t {
   kIncremental,    // Dirty-set propagation into persistent state (default).
   kFullRecompute,  // Rebuild-everything reference path.
+  /// Incremental, plus a DatapathChecker that cross-validates the
+  /// delivered state against a full recompute every checker_stride cycles
+  /// (eagerly on cycles with hazardous injected faults) and
+  /// resynchronizes from the full path on divergence. See
+  /// docs/robustness.md.
+  kChecked,
 };
 
 struct CoreConfig {
@@ -71,9 +83,29 @@ struct CoreConfig {
 
   /// Simulator-internal knob (not a hardware parameter, not exported by
   /// sweep_io): which evaluation strategy the cycle loops use. Results are
-  /// identical either way; kFullRecompute exists as the reference for the
-  /// differential tests and the throughput benchmark's baseline.
+  /// identical on clean inputs; kFullRecompute exists as the reference for
+  /// the differential tests and the throughput benchmark's baseline, and
+  /// kChecked adds the self-checking layer used by the fault experiments.
   DatapathEval datapath_eval = DatapathEval::kIncremental;
+
+  /// Cross-validation cadence for datapath_eval = kChecked: the checker
+  /// compares the incremental delivery buffers against a full recompute
+  /// every checker_stride cycles (and immediately on cycles where a
+  /// hazardous fault was injected). Must be >= 1 in checked mode.
+  int checker_stride = 64;
+
+  /// Deterministic fault-injection schedule (see src/fault/). Null = no
+  /// faults. Requires datapath_eval kIncremental (faults flow unchecked —
+  /// useful to demonstrate silent corruption) or kChecked (faults are
+  /// detected and repaired). The IdealOoO core has no scalable datapath
+  /// and ignores the plan.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
+
+  /// Cooperative cancellation: when non-null, the cycle loops poll the
+  /// flag every 1024 cycles and abandon the run (RunResult.halted = false)
+  /// once it is set. The SweepRunner's watchdog uses this to enforce
+  /// per-point wall-clock deadlines. The pointee must outlive Run().
+  const std::atomic<bool>* cancel = nullptr;
 
   [[nodiscard]] int EffectiveFetchWidth() const {
     return fetch_width > 0 ? fetch_width : window_size;
@@ -111,6 +143,13 @@ struct RunStats {
   /// cores share this definition.
   std::uint64_t fetch_stall_cycles = 0;
   std::uint64_t window_full_cycles = 0;
+  // Fault-injection / self-checking counters (zero on clean runs; see
+  // docs/robustness.md for definitions).
+  std::uint64_t faults_injected = 0;       // FaultPlan events staged.
+  std::uint64_t checker_checks = 0;        // Cross-validations run.
+  std::uint64_t divergences_detected = 0;  // Mismatched cells, summed.
+  std::uint64_t checker_resyncs = 0;       // Checks finding >= 1 mismatch.
+  std::uint64_t squashes_under_fault = 0;  // Squashes from forced faults.
 };
 
 struct RunResult {

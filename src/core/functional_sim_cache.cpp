@@ -1,5 +1,8 @@
 #include "core/functional_sim_cache.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "isa/instruction.hpp"
 
 namespace ultra::core {
@@ -27,7 +30,17 @@ std::uint64_t HashKey(const std::vector<std::uint64_t>& code,
   return h;
 }
 
+std::size_t MaxEntriesFromEnv() {
+  if (const char* env = std::getenv("ULTRA_FNSIM_CACHE_ENTRIES")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return FunctionalSimCache::kDefaultMaxEntries;
+}
+
 }  // namespace
+
+FunctionalSimCache::FunctionalSimCache() : max_entries_(MaxEntriesFromEnv()) {}
 
 FunctionalSimCache& FunctionalSimCache::Global() {
   static FunctionalSimCache cache;
@@ -48,16 +61,23 @@ std::shared_ptr<const FunctionalResult> FunctionalSimCache::Get(
            e.encoded_code == code && e.initial_memory == mem;
   };
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = entries_.find(hash); it != entries_.end()) {
-      for (const Entry& e : it->second) {
-        if (matches(e)) {
-          ++stats_.hits;
-          return e.result;
-        }
+  // Looks up the entry under mu_; a hit moves it to the MRU position.
+  const auto find_locked = [&]() -> std::shared_ptr<const FunctionalResult> {
+    const auto it = index_.find(hash);
+    if (it == index_.end()) return nullptr;
+    for (const LruList::iterator entry_it : it->second) {
+      if (matches(*entry_it)) {
+        lru_.splice(lru_.begin(), lru_, entry_it);
+        ++stats_.hits;
+        return entry_it->result;
       }
     }
+    return nullptr;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto found = find_locked()) return found;
   }
 
   // Miss: simulate outside the lock (runs can be long; workers must not
@@ -67,22 +87,47 @@ std::shared_ptr<const FunctionalResult> FunctionalSimCache::Get(
       std::make_shared<const FunctionalResult>(sim.Run(program, max_steps));
 
   std::lock_guard<std::mutex> lock(mu_);
-  auto& bucket = entries_[hash];
-  for (const Entry& e : bucket) {
-    if (matches(e)) {  // Lost a race; adopt the canonical entry.
-      ++stats_.hits;
-      return e.result;
-    }
-  }
+  if (auto found = find_locked()) return found;  // Lost a race; adopt.
   ++stats_.misses;
-  bucket.push_back(Entry{std::move(code), std::move(mem), num_regs,
-                         max_steps, result});
+  lru_.push_front(Entry{std::move(code), std::move(mem), num_regs, max_steps,
+                        hash, result});
+  index_[hash].push_back(lru_.begin());
+  EvictLocked();
   return result;
+}
+
+void FunctionalSimCache::EvictLocked() {
+  while (lru_.size() > max_entries_) {
+    const LruList::iterator victim = std::prev(lru_.end());
+    const auto bucket = index_.find(victim->hash);
+    auto& slots = bucket->second;
+    slots.erase(std::find(slots.begin(), slots.end(), victim));
+    if (slots.empty()) index_.erase(bucket);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
 }
 
 void FunctionalSimCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
+  lru_.clear();
+  index_.clear();
+}
+
+void FunctionalSimCache::SetMaxEntries(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = std::max<std::size_t>(1, max_entries);
+  EvictLocked();
+}
+
+std::size_t FunctionalSimCache::max_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_entries_;
+}
+
+std::size_t FunctionalSimCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
 }
 
 FunctionalSimCache::Stats FunctionalSimCache::stats() const {

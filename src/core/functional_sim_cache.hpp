@@ -1,4 +1,5 @@
-// Process-wide, thread-safe cache of functional-simulation results.
+// Process-wide, thread-safe, bounded LRU cache of functional-simulation
+// results.
 //
 // Several consumers need the functional pre-run of a program: the oracle
 // branch predictor (MakePredictor used to re-run the simulation for every
@@ -10,12 +11,20 @@
 // image) and the register count, so structurally identical programs share
 // one entry regardless of object identity.
 //
+// The cache is bounded: at most max_entries() results are retained, evicting
+// the least-recently-used entry first, so a long-lived process sweeping many
+// generated workloads cannot grow the cache without limit. The bound comes
+// from the ULTRA_FNSIM_CACHE_ENTRIES environment variable when set to a
+// positive integer, else kDefaultMaxEntries. Evicted results stay alive for
+// as long as callers hold the returned shared_ptr.
+//
 // Thread safety: Get() may be called concurrently from sweep worker
 // threads. Misses are computed outside the lock; a losing racer adopts the
 // winner's entry, so callers always observe one canonical result object.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -28,10 +37,16 @@ namespace ultra::core {
 
 class FunctionalSimCache {
  public:
+  /// Bound used when ULTRA_FNSIM_CACHE_ENTRIES is unset or invalid.
+  static constexpr std::size_t kDefaultMaxEntries = 256;
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
   };
+
+  FunctionalSimCache();
 
   /// The shared process-wide instance (used by MakePredictor and the sweep
   /// runner). Separate instances are only useful for isolation in tests.
@@ -40,7 +55,8 @@ class FunctionalSimCache {
   /// Returns the functional result for @p program under @p num_regs
   /// logical registers, running the simulation only on the first request.
   /// @p max_steps participates in the key: a truncated run is not
-  /// interchangeable with a complete one.
+  /// interchangeable with a complete one. The returned entry becomes the
+  /// most recently used.
   std::shared_ptr<const FunctionalResult> Get(
       const isa::Program& program, int num_regs,
       std::uint64_t max_steps = 10'000'000);
@@ -48,6 +64,13 @@ class FunctionalSimCache {
   /// Drops every entry (tests; long-lived processes changing workloads).
   void Clear();
 
+  /// Changes the retention bound (clamped to >= 1), evicting LRU entries
+  /// immediately if the cache is over the new bound. Tests only; the
+  /// process-wide instance reads ULTRA_FNSIM_CACHE_ENTRIES at construction.
+  void SetMaxEntries(std::size_t max_entries);
+
+  [[nodiscard]] std::size_t max_entries() const;
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] Stats stats() const;
 
  private:
@@ -57,11 +80,18 @@ class FunctionalSimCache {
     std::vector<std::pair<isa::Word, isa::Word>> initial_memory;
     int num_regs = 0;
     std::uint64_t max_steps = 0;
+    std::uint64_t hash = 0;  // Bucket key, so eviction can unindex itself.
     std::shared_ptr<const FunctionalResult> result;
   };
+  using LruList = std::list<Entry>;
+
+  /// Drops LRU entries until size() <= max_entries_. Caller holds mu_.
+  void EvictLocked();
 
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<std::uint64_t, std::vector<LruList::iterator>> index_;
+  std::size_t max_entries_ = kDefaultMaxEntries;
   Stats stats_;
 };
 

@@ -6,6 +6,7 @@
 #include "core/fetch.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
+#include "fault/fault.hpp"
 
 namespace ultra::core {
 
@@ -39,8 +40,19 @@ RunResult HybridCore::Run(const isa::Program& program) {
     return cluster * C + pos % C;
   };
 
+  // Checked mode runs the incremental machinery plus the cross-validation
+  // below, so everything keyed on `incremental` applies to it too.
   const bool incremental =
-      config_.datapath_eval == DatapathEval::kIncremental;
+      config_.datapath_eval != DatapathEval::kFullRecompute;
+  const bool checked = config_.datapath_eval == DatapathEval::kChecked;
+
+  fault::FaultInjector injector(config_.fault_plan.get());
+  fault::DatapathChecker checker(config_.checker_stride);
+  // Checked-mode scratch: the per-station resolved arguments the execute
+  // phase would consume.
+  std::vector<datapath::ResolvedArgs> check_args;
+  if (checked) check_args.resize(static_cast<std::size_t>(n));
+  std::vector<int> fault_stall(static_cast<std::size_t>(n), 0);
 
   // Persistent datapath state for the incremental path.
   datapath::HybridDatapathState dp_state(n, L, C);
@@ -71,6 +83,10 @@ RunResult HybridCore::Run(const isa::Program& program) {
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
+    if (config_.cancel && (cycle & 1023u) == 0 &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      break;  // Abandoned run: halted stays false.
+    }
     result.cycles = cycle + 1;
 
     // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
@@ -97,6 +113,39 @@ RunResult HybridCore::Run(const isa::Program& program) {
       dp.PropagateIncremental(dp_state);
     } else {
       prop = dp.Propagate(committed, requests, head_cluster);
+    }
+
+    // --- Phase 1b: fault injection + self-checking (before any station
+    // reads its resolved arguments this cycle). ---
+    if (injector.active()) {
+      injector.BeginCycle(cycle);
+      injector.ApplyDatapathFaults(dp_state);
+      for (const fault::FaultEvent& e : injector.pending()) {
+        if (e.kind == fault::FaultKind::kStallStation) {
+          fault_stall[static_cast<std::size_t>(e.station % n)] +=
+              static_cast<int>(e.payload % 8) + 1;
+          injector.NoteStall();
+        }
+      }
+    }
+    if (checked && checker.Due(cycle, injector.HasHazardousPending())) {
+      checker.RecordCheck();
+      // Snapshot the (possibly corrupted) argument buffer, rebuild it from
+      // the inputs, and diff; the rebuild is itself the resync.
+      for (int i = 0; i < n; ++i) {
+        check_args[static_cast<std::size_t>(i)] = dp_state.args(i);
+      }
+      dp_state.MarkAllDirty();
+      dp.PropagateIncremental(dp_state);
+      std::uint64_t mismatched = 0;
+      for (int i = 0; i < n; ++i) {
+        const datapath::ResolvedArgs& truth = dp_state.args(i);
+        const datapath::ResolvedArgs& seen =
+            check_args[static_cast<std::size_t>(i)];
+        if (seen.arg1 != truth.arg1) ++mismatched;
+        if (seen.arg2 != truth.arg2) ++mismatched;
+      }
+      if (mismatched > 0) checker.RecordDivergence(cycle, mismatched);
     }
 
     // Sequencing flags in program order over the allocated positions.
@@ -169,6 +218,10 @@ RunResult HybridCore::Run(const isa::Program& program) {
       const int i = station_index(p);
       Station& st = stations[static_cast<std::size_t>(i)];
       if (!st.valid || st.finished) continue;
+      if (fault_stall[static_cast<std::size_t>(i)] > 0) {
+        --fault_stall[static_cast<std::size_t>(i)];
+        continue;  // Injected stall: the station sits out this cycle.
+      }
       StepContext ctx;
       ctx.prev_stores_done =
           prev_stores_done[static_cast<std::size_t>(p)] != 0;
@@ -201,6 +254,45 @@ RunResult HybridCore::Run(const isa::Program& program) {
         }
         tail = p + 1;
         fetch.Redirect(st.actual_next_pc);
+      }
+    }
+
+    // Forced mispredictions (fault injection): squash + redirect through
+    // the normal recovery machinery.
+    if (injector.active()) {
+      for (const fault::FaultEvent& e : injector.pending()) {
+        if (e.kind != fault::FaultKind::kForceMispredict) continue;
+        if (tail <= commit_ptr) {
+          injector.NoteMasked();
+          continue;
+        }
+        const int p = commit_ptr + e.station % (tail - commit_ptr);
+        Station& st =
+            stations[static_cast<std::size_t>(station_index(p))];
+        if (!st.valid || st.inst().op == isa::Opcode::kHalt) {
+          injector.NoteMasked();
+          continue;
+        }
+        std::size_t redirect_pc;
+        if (isa::IsControlFlow(st.inst().op)) {
+          redirect_pc = st.resolved ? st.actual_next_pc
+                                    : st.fetched.predicted_next_pc;
+        } else {
+          redirect_pc = st.fetched.pc + 1;
+        }
+        injector.NoteForcedMispredict();
+        for (int m = p + 1; m < tail; ++m) {
+          Station& victim =
+              stations[static_cast<std::size_t>(station_index(m))];
+          if (victim.valid) {
+            ++result.stats.squashed_instructions;
+            ++result.stats.squashes_under_fault;
+            victim.Clear();
+            ++victim.generation;
+          }
+        }
+        tail = p + 1;
+        fetch.Redirect(redirect_pc);
       }
     }
 
@@ -275,6 +367,10 @@ RunResult HybridCore::Run(const isa::Program& program) {
         committed[static_cast<std::size_t>(r)].value;
   }
   result.memory = mem.store().Snapshot();
+  result.stats.faults_injected = injector.stats().injected;
+  result.stats.checker_checks = checker.stats().checks;
+  result.stats.divergences_detected = checker.stats().divergences;
+  result.stats.checker_resyncs = checker.stats().resyncs;
   return result;
 }
 

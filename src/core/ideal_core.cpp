@@ -89,6 +89,10 @@ RunResult IdealCore::Run(const isa::Program& program) {
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
+    if (config_.cancel && (cycle & 1023u) == 0 &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      break;  // Abandoned run: halted stays false.
+    }
     result.cycles = cycle + 1;
 
     // --- Phase 1: snapshot end-of-last-cycle readiness (results become

@@ -6,6 +6,7 @@
 #include "core/fetch.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
+#include "fault/fault.hpp"
 
 namespace ultra::core {
 
@@ -57,9 +58,21 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
   RunResult result;
   bool done = false;
 
+  // Checked mode runs the incremental machinery plus the cross-validation
+  // below, so everything keyed on `incremental` applies to it too.
   const bool incremental =
-      config_.datapath_eval == DatapathEval::kIncremental;
+      config_.datapath_eval != DatapathEval::kFullRecompute;
+  const bool checked = config_.datapath_eval == DatapathEval::kChecked;
   const bool pipelined = config_.pipeline_levels_per_stage > 0;
+
+  fault::FaultInjector injector(config_.fault_plan.get());
+  fault::DatapathChecker checker(config_.checker_stride);
+  // Checked-mode scratch: the delivery buffer as the stations would read
+  // it, register-major like the state's own storage.
+  std::vector<datapath::RegBinding> check_snapshot;
+  if (checked) check_snapshot.resize(static_cast<std::size_t>(n) * L);
+  // Remaining injected-stall cycles per station.
+  std::vector<int> fault_stall(static_cast<std::size_t>(n), 0);
 
   // Persistent datapath state for the incremental path: mutated through
   // self-diffing setters each cycle, so only changed register columns are
@@ -96,6 +109,10 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
+    if (config_.cancel && (cycle & 1023u) == 0 &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      break;  // Abandoned run: halted stays false.
+    }
     result.cycles = cycle + 1;
 
     // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
@@ -137,6 +154,45 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       }
       incoming = dp.Propagate(outgoing, modified, head);
     }
+
+    // --- Phase 1b: fault injection + self-checking (before any station
+    // reads the delivered values this cycle). ---
+    if (injector.active()) {
+      injector.BeginCycle(cycle);
+      injector.ApplyDatapathFaults(dp_state);
+      for (const fault::FaultEvent& e : injector.pending()) {
+        if (e.kind == fault::FaultKind::kStallStation) {
+          fault_stall[static_cast<std::size_t>(e.station % n)] +=
+              static_cast<int>(e.payload % 8) + 1;
+          injector.NoteStall();
+        }
+      }
+    }
+    if (checked && checker.Due(cycle, injector.HasHazardousPending())) {
+      checker.RecordCheck();
+      // Snapshot the (possibly corrupted) delivery buffer, rebuild it from
+      // the inputs, and diff. The rebuild is itself the resync, so a
+      // detected divergence costs nothing extra to repair.
+      for (int r = 0; r < L; ++r) {
+        for (int i = 0; i < n; ++i) {
+          check_snapshot[static_cast<std::size_t>(r) * n + i] =
+              dp_state.incoming(i, r);
+        }
+      }
+      dp_state.MarkAllDirty();
+      dp.PropagateIncremental(dp_state);
+      std::uint64_t mismatched = 0;
+      for (int r = 0; r < L; ++r) {
+        for (int i = 0; i < n; ++i) {
+          if (check_snapshot[static_cast<std::size_t>(r) * n + i] !=
+              dp_state.incoming(i, r)) {
+            ++mismatched;
+          }
+        }
+      }
+      if (mismatched > 0) checker.RecordDivergence(cycle, mismatched);
+    }
+
     seq.AllPrecedingSatisfyInto(no_store, head, prev_stores_done);
     seq.AllPrecedingSatisfyInto(no_load, head, prev_loads_done);
     seq.AllPrecedingSatisfyInto(branch_ok, head, prev_confirmed);
@@ -228,6 +284,10 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       const int i = (head + k) % n;
       Station& st = stations[static_cast<std::size_t>(i)];
       if (!st.valid) continue;  // Squashed earlier this cycle.
+      if (fault_stall[static_cast<std::size_t>(i)] > 0) {
+        --fault_stall[static_cast<std::size_t>(i)];
+        continue;  // Injected stall: the station sits out this cycle.
+      }
       const datapath::ResolvedArgs& args =
           args_at[static_cast<std::size_t>(i)];
       StepContext ctx;
@@ -263,6 +323,50 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         }
         count = k + 1;
         fetch.Redirect(st.actual_next_pc);
+      }
+    }
+
+    // --- Phase 3c: forced mispredictions (fault injection). The recovery
+    // machinery exercised is the normal one: squash everything younger
+    // than the chosen station and redirect fetch. ---
+    if (injector.active()) {
+      for (const fault::FaultEvent& e : injector.pending()) {
+        if (e.kind != fault::FaultKind::kForceMispredict) continue;
+        if (count == 0) {
+          injector.NoteMasked();
+          continue;
+        }
+        const int k = e.station % count;
+        const int i = (head + k) % n;
+        Station& st = stations[static_cast<std::size_t>(i)];
+        if (!st.valid || st.inst().op == isa::Opcode::kHalt) {
+          injector.NoteMasked();
+          continue;
+        }
+        // A resolved control transfer replays its known successor; an
+        // unresolved one replays the predicted path (if the prediction is
+        // wrong the ordinary recovery fires when it resolves); anything
+        // else falls through sequentially.
+        std::size_t redirect_pc;
+        if (isa::IsControlFlow(st.inst().op)) {
+          redirect_pc = st.resolved ? st.actual_next_pc
+                                    : st.fetched.predicted_next_pc;
+        } else {
+          redirect_pc = st.fetched.pc + 1;
+        }
+        injector.NoteForcedMispredict();
+        for (int m = k + 1; m < count; ++m) {
+          Station& victim =
+              stations[static_cast<std::size_t>((head + m) % n)];
+          if (victim.valid) {
+            ++result.stats.squashed_instructions;
+            ++result.stats.squashes_under_fault;
+            victim.Clear();
+            ++victim.generation;
+          }
+        }
+        count = k + 1;
+        fetch.Redirect(redirect_pc);
       }
     }
 
@@ -325,6 +429,10 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         committed[static_cast<std::size_t>(r)].value;
   }
   result.memory = mem.store().Snapshot();
+  result.stats.faults_injected = injector.stats().injected;
+  result.stats.checker_checks = checker.stats().checks;
+  result.stats.divergences_detected = checker.stats().divergences;
+  result.stats.checker_resyncs = checker.stats().resyncs;
   return result;
 }
 

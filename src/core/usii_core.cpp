@@ -6,6 +6,7 @@
 #include "core/fetch.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
+#include "fault/fault.hpp"
 
 namespace ultra::core {
 
@@ -45,8 +46,16 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   RunResult result;
   bool done = false;
 
+  // Checked mode runs the incremental machinery plus the cross-validation
+  // below, so everything keyed on `incremental` applies to it too.
   const bool incremental =
-      config_.datapath_eval == DatapathEval::kIncremental;
+      config_.datapath_eval != DatapathEval::kFullRecompute;
+  const bool checked = config_.datapath_eval == DatapathEval::kChecked;
+
+  fault::FaultInjector injector(config_.fault_plan.get());
+  fault::DatapathChecker checker(config_.checker_stride);
+  datapath::UsiiPropagation check_prop;  // Checked-mode recompute target.
+  std::vector<int> fault_stall(static_cast<std::size_t>(n), 0);
 
   std::vector<datapath::StationRequest> requests(
       static_cast<std::size_t>(n));
@@ -68,6 +77,10 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
 
   for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
        ++cycle) {
+    if (config_.cancel && (cycle & 1023u) == 0 &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      break;  // Abandoned run: halted stays false.
+    }
     result.cycles = cycle + 1;
 
     // --- Phase 1: combinational propagation and batch-completion check,
@@ -105,6 +118,42 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
     } else {
       prop = dp.Propagate(regfile, requests);
     }
+
+    // --- Phase 1b: fault injection + self-checking, before the batch
+    // latch and before any station reads prop this cycle. ---
+    if (injector.active()) {
+      injector.BeginCycle(cycle);
+      injector.ApplyDatapathFaults(prop);
+      for (const fault::FaultEvent& e : injector.pending()) {
+        if (e.kind == fault::FaultKind::kStallStation) {
+          fault_stall[static_cast<std::size_t>(e.station % n)] +=
+              static_cast<int>(e.payload % 8) + 1;
+          injector.NoteStall();
+        }
+      }
+    }
+    if (checked && checker.Due(cycle, injector.HasHazardousPending())) {
+      checker.RecordCheck();
+      // Recompute the propagation from the (uncorruptible) inputs into the
+      // scratch buffer and diff against the live one; on divergence adopt
+      // the recomputed truth wholesale.
+      dp.PropagateInto(regfile, requests, check_prop);
+      std::uint64_t mismatched = 0;
+      for (std::size_t i = 0; i < prop.args.size(); ++i) {
+        if (prop.args[i].arg1 != check_prop.args[i].arg1) ++mismatched;
+        if (prop.args[i].arg2 != check_prop.args[i].arg2) ++mismatched;
+      }
+      for (std::size_t r = 0; r < prop.final_regs.size(); ++r) {
+        if (prop.final_regs[r] != check_prop.final_regs[r]) ++mismatched;
+      }
+      if (mismatched > 0) {
+        std::swap(prop.args, check_prop.args);
+        std::swap(prop.final_regs, check_prop.final_regs);
+        prop_valid = true;
+        checker.RecordDivergence(cycle, mismatched);
+      }
+    }
+
     datapath::AllPrecedingSatisfyAcyclicInto(no_store, prev_stores_done);
     datapath::AllPrecedingSatisfyAcyclicInto(no_load, prev_loads_done);
     datapath::AllPrecedingSatisfyAcyclicInto(branch_ok, prev_confirmed);
@@ -190,6 +239,10 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
       for (int i = 0; i < fill; ++i) {
         Station& st = stations[static_cast<std::size_t>(i)];
         if (!st.valid) continue;
+        if (fault_stall[static_cast<std::size_t>(i)] > 0) {
+          --fault_stall[static_cast<std::size_t>(i)];
+          continue;  // Injected stall: the station sits out this cycle.
+        }
         StepContext ctx;
         ctx.prev_stores_done =
             prev_stores_done[static_cast<std::size_t>(i)] != 0;
@@ -225,6 +278,43 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
           fetch.Redirect(st.actual_next_pc);
         }
       }
+
+      // Forced mispredictions (fault injection): squash + redirect through
+      // the normal recovery machinery.
+      if (injector.active()) {
+        for (const fault::FaultEvent& e : injector.pending()) {
+          if (e.kind != fault::FaultKind::kForceMispredict) continue;
+          if (fill == 0) {
+            injector.NoteMasked();
+            continue;
+          }
+          const int i = e.station % fill;
+          Station& st = stations[static_cast<std::size_t>(i)];
+          if (!st.valid || st.inst().op == isa::Opcode::kHalt) {
+            injector.NoteMasked();
+            continue;
+          }
+          std::size_t redirect_pc;
+          if (isa::IsControlFlow(st.inst().op)) {
+            redirect_pc = st.resolved ? st.actual_next_pc
+                                      : st.fetched.predicted_next_pc;
+          } else {
+            redirect_pc = st.fetched.pc + 1;
+          }
+          injector.NoteForcedMispredict();
+          for (int m = i + 1; m < fill; ++m) {
+            Station& victim = stations[static_cast<std::size_t>(m)];
+            if (victim.valid) {
+              ++result.stats.squashed_instructions;
+              ++result.stats.squashes_under_fault;
+              victim.Clear();
+              ++victim.generation;
+            }
+          }
+          fill = i + 1;
+          fetch.Redirect(redirect_pc);
+        }
+      }
     }
 
     // --- Phase 4: fill the batch. ---
@@ -255,6 +345,10 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         regfile[static_cast<std::size_t>(r)].value;
   }
   result.memory = mem.store().Snapshot();
+  result.stats.faults_injected = injector.stats().injected;
+  result.stats.checker_checks = checker.stats().checks;
+  result.stats.divergences_detected = checker.stats().divergences;
+  result.stats.checker_resyncs = checker.stats().resyncs;
   return result;
 }
 

@@ -68,6 +68,14 @@ class HybridDatapathState {
                                      : ring_.incoming(cluster, reg);
   }
 
+  /// Fault-injection hook (src/fault/): mutable access to a station's
+  /// resolved arguments, bypassing the dirty tracking so the corruption
+  /// persists until the cluster is recomputed (naturally, or by a checker
+  /// resync via MarkAllDirty + PropagateIncremental).
+  [[nodiscard]] ResolvedArgs& FaultArgs(int station) {
+    return args_[static_cast<std::size_t>(station)];
+  }
+
  private:
   friend class HybridDatapath;
 

@@ -94,6 +94,16 @@ class UsiDatapathState {
     return incoming_[Cell(station, reg)];
   }
 
+  /// Fault-injection hook (src/fault/): mutable access to a delivered
+  /// cell. Deliberately bypasses the dirty tracking — the corruption
+  /// models a garbled latch on the ring's output side and persists until
+  /// the column is recomputed (naturally, or by a checker resync via
+  /// MarkAllDirty + PropagateIncremental, which rebuilds every cell from
+  /// the uncorrupted inputs).
+  [[nodiscard]] RegBinding& FaultCell(int station, int reg) {
+    return incoming_[Cell(station, reg)];
+  }
+
  private:
   friend class UltrascalarIDatapath;
 

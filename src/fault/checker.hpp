@@ -1,0 +1,54 @@
+// DatapathChecker: the policy and bookkeeping half of datapath_eval =
+// kChecked. The cores own the actual cross-validation (snapshotting the
+// consumed delivery buffer, recomputing it from the inputs via the full
+// path, and comparing) because each core's buffer shape differs; this
+// class decides *when* a check runs and keeps the per-run counters.
+//
+// Check cadence (docs/robustness.md):
+//  * every `stride` cycles (cycle % stride == 0), and
+//  * eagerly on any cycle with a hazardous fault staged — value/ready
+//    corruptions latch into issued arguments the same cycle they land, so
+//    a periodic check alone could let a wrong value commit undetected.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ultra::fault {
+
+class DatapathChecker {
+ public:
+  struct Stats {
+    std::uint64_t checks = 0;       // Cross-validations run.
+    std::uint64_t divergences = 0;  // Mismatched cells, summed over checks.
+    std::uint64_t resyncs = 0;      // Checks that found >= 1 mismatch.
+    std::uint64_t last_divergence_cycle = 0;
+  };
+
+  explicit DatapathChecker(int stride) : stride_(std::max(1, stride)) {}
+
+  [[nodiscard]] int stride() const { return stride_; }
+
+  /// True when a cross-validation should run this cycle.
+  [[nodiscard]] bool Due(std::uint64_t cycle, bool hazard_staged) const {
+    return hazard_staged || cycle % static_cast<std::uint64_t>(stride_) == 0;
+  }
+
+  void RecordCheck() { ++stats_.checks; }
+
+  /// Call after a check that found @p mismatched_cells > 0 differing
+  /// cells; the core has already resynchronized from the full path.
+  void RecordDivergence(std::uint64_t cycle, std::uint64_t mismatched_cells) {
+    stats_.divergences += mismatched_cells;
+    ++stats_.resyncs;
+    stats_.last_divergence_cycle = cycle;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  int stride_;
+  Stats stats_;
+};
+
+}  // namespace ultra::fault

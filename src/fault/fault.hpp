@@ -1,0 +1,8 @@
+// Umbrella header for the fault-injection subsystem. See
+// docs/robustness.md for the fault model and the checked-evaluation
+// contract.
+#pragma once
+
+#include "fault/checker.hpp"     // IWYU pragma: export
+#include "fault/fault_plan.hpp"  // IWYU pragma: export
+#include "fault/injector.hpp"    // IWYU pragma: export

@@ -1,0 +1,78 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ultra::fault {
+
+namespace {
+
+/// SplitMix64 (Steele, Lea & Flood): a tiny, portable generator whose
+/// output is bit-identical on every platform, unlike the standard
+/// library's distributions. Good enough statistical quality for scattering
+/// fault sites.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1) with 53 bits of resolution.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+};
+
+constexpr std::array<FaultKind, 5> kAllKinds = {
+    FaultKind::kCorruptValue, FaultKind::kFlipReady,
+    FaultKind::kDropDelivery, FaultKind::kStallStation,
+    FaultKind::kForceMispredict,
+};
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCorruptValue: return "corrupt_value";
+    case FaultKind::kFlipReady: return "flip_ready";
+    case FaultKind::kDropDelivery: return "drop_delivery";
+    case FaultKind::kStallStation: return "stall_station";
+    case FaultKind::kForceMispredict: return "force_mispredict";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+}
+
+FaultPlan FaultPlan::Random(std::uint64_t seed, double rate_per_cycle,
+                            std::uint64_t horizon_cycles,
+                            std::span<const FaultKind> kinds) {
+  if (kinds.empty()) kinds = kAllKinds;
+  SplitMix64 rng{seed ^ 0xA5A5A5A5DEADBEEFULL};
+  std::vector<FaultEvent> events;
+  for (std::uint64_t cycle = 0; cycle < horizon_cycles; ++cycle) {
+    // Bernoulli per cycle: simple, and exact enough for the rates the
+    // benches sweep (<= ~0.2 events/cycle).
+    if (rng.NextDouble() >= rate_per_cycle) continue;
+    FaultEvent e;
+    e.cycle = cycle;
+    e.kind = kinds[static_cast<std::size_t>(rng.Next() % kinds.size())];
+    e.station = static_cast<int>(rng.Next() % 4096);
+    e.reg = static_cast<int>(rng.Next() % 4096);
+    e.payload = rng.Next();
+    events.push_back(e);
+  }
+  return FaultPlan(std::move(events));
+}
+
+}  // namespace ultra::fault

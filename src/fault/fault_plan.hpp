@@ -1,0 +1,91 @@
+// Deterministic fault plans: which corruption hits which datapath site on
+// which cycle. A plan is data, not behavior — the cores own the application
+// (see src/core/) and the FaultInjector (injector.hpp) owns the staging —
+// so any experiment, bench point, or CI failure is replayable from
+// (seed, rate, horizon) or from the literal event list.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ultra::fault {
+
+/// What kind of corruption an event models. The kinds split into two
+/// classes with different detection contracts (docs/robustness.md):
+///  * Hazardous kinds (kCorruptValue, kFlipReady) can silently poison an
+///    architectural value the moment a station latches its arguments, so
+///    checked mode cross-validates *eagerly* on the cycle they land.
+///  * Fail-stop kinds (kDropDelivery) can only withhold progress, never
+///    commit a wrong value; the periodic stride check repairs them.
+///  * Control kinds (kStallStation, kForceMispredict) perturb timing and
+///    speculation through the cores' ordinary recovery machinery and need
+///    no checker at all.
+enum class FaultKind : std::uint8_t {
+  kCorruptValue,     // XOR a payload mask into a delivered value.
+  kFlipReady,        // Invert a delivered cell's ready bit.
+  kDropDelivery,     // Force a delivered cell not-ready (lost message).
+  kStallStation,     // Inhibit one station's execution for payload cycles.
+  kForceMispredict,  // Treat one station as mispredicted: squash + refetch.
+};
+
+[[nodiscard]] std::string_view FaultKindName(FaultKind kind);
+
+/// True for kinds that can corrupt a value/ready bit in place (the kinds
+/// requiring an eager same-cycle check under datapath_eval = kChecked).
+[[nodiscard]] constexpr bool IsHazardous(FaultKind kind) {
+  return kind == FaultKind::kCorruptValue || kind == FaultKind::kFlipReady;
+}
+
+/// True for kinds that target a datapath delivery cell (as opposed to the
+/// control kinds, which target a station's execution/speculation).
+[[nodiscard]] constexpr bool TargetsDatapath(FaultKind kind) {
+  return kind == FaultKind::kCorruptValue || kind == FaultKind::kFlipReady ||
+         kind == FaultKind::kDropDelivery;
+}
+
+/// One scheduled fault. `station` and `reg` are abstract site coordinates:
+/// the injector resolves them modulo the core's actual station count and
+/// register count at apply time, so one plan is meaningful across window
+/// sizes.
+struct FaultEvent {
+  std::uint64_t cycle = 0;
+  FaultKind kind = FaultKind::kCorruptValue;
+  int station = 0;
+  int reg = 0;
+  /// kCorruptValue: XOR mask (forced nonzero at apply time).
+  /// kStallStation: extra stall cycles (clamped to [1, 8]).
+  /// Other kinds ignore it.
+  std::uint64_t payload = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// An immutable, cycle-sorted schedule of fault events.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  /// Takes any event order; stores them sorted by cycle (stable, so two
+  /// events on the same cycle keep their authored order).
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  /// Deterministic pseudo-random plan: expected @p rate_per_cycle events
+  /// per cycle over [0, horizon_cycles), sites and kinds drawn from a
+  /// portable SplitMix64 stream (identical output on every platform and
+  /// standard library — no std::distribution involved). @p kinds selects
+  /// the kinds to draw from; empty means all five.
+  [[nodiscard]] static FaultPlan Random(
+      std::uint64_t seed, double rate_per_cycle,
+      std::uint64_t horizon_cycles,
+      std::span<const FaultKind> kinds = {});
+
+  [[nodiscard]] std::span<const FaultEvent> events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace ultra::fault

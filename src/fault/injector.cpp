@@ -1,0 +1,74 @@
+#include "fault/injector.hpp"
+
+namespace ultra::fault {
+
+void FaultInjector::BeginCycle(std::uint64_t cycle) {
+  if (!active()) return;
+  begin_ = end_;
+  while (begin_ < events_.size() && events_[begin_].cycle < cycle) ++begin_;
+  end_ = begin_;
+  while (end_ < events_.size() && events_[end_].cycle == cycle) ++end_;
+  stats_.injected += end_ - begin_;
+}
+
+bool FaultInjector::HasHazardousPending() const {
+  for (const FaultEvent& e : pending()) {
+    if (IsHazardous(e.kind)) return true;
+  }
+  return false;
+}
+
+void FaultInjector::ApplyToBinding(const FaultEvent& e,
+                                   datapath::RegBinding& cell) {
+  switch (e.kind) {
+    case FaultKind::kCorruptValue:
+      cell.value ^= static_cast<isa::Word>(e.payload | 1);  // Never a no-op.
+      ++stats_.value_corruptions;
+      break;
+    case FaultKind::kFlipReady:
+      cell.ready = !cell.ready;
+      ++stats_.ready_flips;
+      break;
+    case FaultKind::kDropDelivery:
+      if (!cell.ready) {
+        ++stats_.masked;
+      } else {
+        cell.ready = false;
+        ++stats_.dropped_deliveries;
+      }
+      break;
+    default:
+      break;  // Control kinds are applied by the core.
+  }
+}
+
+void FaultInjector::ApplyDatapathFaults(datapath::UsiDatapathState& state) {
+  const int n = state.num_stations();
+  const int L = state.num_regs();
+  for (const FaultEvent& e : pending()) {
+    if (!TargetsDatapath(e.kind)) continue;
+    ApplyToBinding(e, state.FaultCell(e.station % n, e.reg % L));
+  }
+}
+
+void FaultInjector::ApplyDatapathFaults(datapath::HybridDatapathState& state) {
+  const int n = state.num_stations();
+  for (const FaultEvent& e : pending()) {
+    if (!TargetsDatapath(e.kind)) continue;
+    datapath::ResolvedArgs& args = state.FaultArgs(e.station % n);
+    ApplyToBinding(e, e.reg % 2 == 0 ? args.arg1 : args.arg2);
+  }
+}
+
+void FaultInjector::ApplyDatapathFaults(datapath::UsiiPropagation& prop) {
+  if (prop.args.empty()) return;
+  const std::size_t n = prop.args.size();
+  for (const FaultEvent& e : pending()) {
+    if (!TargetsDatapath(e.kind)) continue;
+    datapath::ResolvedArgs& args =
+        prop.args[static_cast<std::size_t>(e.station) % n];
+    ApplyToBinding(e, e.reg % 2 == 0 ? args.arg1 : args.arg2);
+  }
+}
+
+}  // namespace ultra::fault

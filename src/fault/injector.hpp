@@ -1,0 +1,94 @@
+// FaultInjector: replays a FaultPlan against a running core.
+//
+// The injector is a cursor over the plan's cycle-sorted events plus the
+// application helpers that write the datapath-targeting kinds into each
+// flavor of delivery buffer. The control kinds (kStallStation,
+// kForceMispredict) are applied by the cores themselves — they need the
+// window geometry and the fetch engine — and reported back here so one
+// FaultStats covers the whole run.
+//
+// All three helpers mutate the *delivered* side of a datapath (what the
+// stations read), never the inputs, so a fault models a garbled or lost
+// message on the wires, not a mis-programmed station. Under the
+// incremental evaluation paths the corruption persists until the affected
+// column is naturally recomputed or a checker resync rebuilds it from the
+// inputs — exactly the window in which a real latched soft error would be
+// live.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "datapath/hybrid.hpp"
+#include "datapath/usi.hpp"
+#include "datapath/usii.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace ultra::fault {
+
+struct FaultStats {
+  std::uint64_t injected = 0;  // Events staged into an executed cycle.
+  std::uint64_t value_corruptions = 0;
+  std::uint64_t ready_flips = 0;
+  std::uint64_t dropped_deliveries = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t forced_mispredicts = 0;
+  /// Events that landed on a site already in the faulted state (e.g. a
+  /// dropped delivery on a not-ready cell) or on a site the core cannot
+  /// perturb (e.g. a forced mispredict on an empty window / halt slot).
+  std::uint64_t masked = 0;
+};
+
+class FaultInjector {
+ public:
+  /// @p plan may be null (inactive injector; every method is a no-op).
+  /// The plan must outlive the injector.
+  explicit FaultInjector(const FaultPlan* plan = nullptr)
+      : plan_(plan), events_(plan ? plan->events() : std::span<const FaultEvent>{}) {}
+
+  [[nodiscard]] bool active() const { return !events_.empty(); }
+
+  /// Stages the events due at @p cycle; earlier never-staged events are
+  /// skipped. Cycles must be non-decreasing across calls (one injector per
+  /// core Run).
+  void BeginCycle(std::uint64_t cycle);
+
+  /// The events staged by the last BeginCycle.
+  [[nodiscard]] std::span<const FaultEvent> pending() const {
+    return events_.subspan(begin_, end_ - begin_);
+  }
+
+  /// True when any staged event is hazardous (can silently corrupt a
+  /// value); checked mode cross-validates eagerly on such cycles.
+  [[nodiscard]] bool HasHazardousPending() const;
+
+  /// Applies the staged datapath-targeting events to an Ultrascalar I ring
+  /// state: the event hits incoming cell (station % n, reg % L).
+  void ApplyDatapathFaults(datapath::UsiDatapathState& state);
+
+  /// Hybrid: the event hits station (station % n)'s resolved argument slot
+  /// (reg % 2 selects arg1/arg2).
+  void ApplyDatapathFaults(datapath::HybridDatapathState& state);
+
+  /// Ultrascalar II: the event hits prop.args[station % n], slot reg % 2 —
+  /// a garbled crosspoint delivery in the grid/mesh.
+  void ApplyDatapathFaults(datapath::UsiiPropagation& prop);
+
+  /// Bookkeeping for the core-applied control kinds.
+  void NoteStall() { ++stats_.stalls; }
+  void NoteForcedMispredict() { ++stats_.forced_mispredicts; }
+  void NoteMasked() { ++stats_.masked; }
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  void ApplyToBinding(const FaultEvent& e, datapath::RegBinding& cell);
+
+  const FaultPlan* plan_ = nullptr;
+  std::span<const FaultEvent> events_;
+  std::size_t begin_ = 0;  // Staged range [begin_, end_) of events_.
+  std::size_t end_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace ultra::fault

@@ -1,10 +1,12 @@
 #include "isa/assembler.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ultra::isa {
@@ -30,15 +32,18 @@ std::vector<std::string> Tokenize(std::string_view line) {
   return tokens;
 }
 
-std::optional<RegId> ParseReg(std::string_view tok) {
+/// Syntax-only register parse ("rN"); range checking against the target
+/// machine's register count happens at the use site, where it can produce a
+/// distinct diagnostic.
+std::optional<int> ParseRegIndex(std::string_view tok) {
   if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) return std::nullopt;
   int value = 0;
   const auto* begin = tok.data() + 1;
   const auto* end = tok.data() + tok.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
   if (ec != std::errc{} || ptr != end) return std::nullopt;
-  if (value < 0 || value >= kMaxLogicalRegisters) return std::nullopt;
-  return static_cast<RegId>(value);
+  if (value < 0) return std::nullopt;
+  return value;
 }
 
 std::optional<std::int64_t> ParseInt(std::string_view tok) {
@@ -75,15 +80,20 @@ struct Fixup {
 std::string AssemblyError::ToString() const {
   std::ostringstream os;
   os << "line " << line << ": " << message;
+  if (!token.empty()) os << " (token '" << token << "')";
   return os.str();
 }
 
-AssemblyResult Assemble(std::string_view source) {
+AssemblyResult Assemble(std::string_view source, int num_regs) {
   Program program;
   std::vector<Fixup> fixups;
+  // The encoding caps the register file; a larger request can only ever
+  // reference the encodable subset.
+  const int reg_limit = std::min(num_regs, kMaxLogicalRegisters);
 
-  const auto fail = [](int line, std::string msg) {
-    return AssemblyResult{AssemblyError{line, std::move(msg)}};
+  const auto fail = [](int line, std::string token, std::string msg) {
+    return AssemblyResult{
+        AssemblyError{line, std::move(token), std::move(msg)}};
   };
 
   int line_no = 0;
@@ -101,7 +111,7 @@ AssemblyResult Assemble(std::string_view source) {
     // Labels: "name:" possibly followed by an instruction on the same line.
     while (!tokens.empty() && tokens.front().back() == ':') {
       std::string name = tokens.front().substr(0, tokens.front().size() - 1);
-      if (name.empty()) return fail(line_no, "empty label");
+      if (name.empty()) return fail(line_no, tokens.front(), "empty label");
       program.AddLabel(std::move(name), program.size());
       tokens.erase(tokens.begin());
     }
@@ -110,10 +120,13 @@ AssemblyResult Assemble(std::string_view source) {
     const std::string& mnemonic = tokens[0];
 
     if (mnemonic == ".word") {
-      if (tokens.size() != 3) return fail(line_no, ".word needs ADDR VALUE");
+      if (tokens.size() != 3) {
+        return fail(line_no, mnemonic, ".word needs ADDR VALUE");
+      }
       const auto addr = ParseInt(tokens[1]);
+      if (!addr) return fail(line_no, tokens[1], "bad .word address");
       const auto value = ParseInt(tokens[2]);
-      if (!addr || !value) return fail(line_no, "bad .word operand");
+      if (!value) return fail(line_no, tokens[2], "bad .word value");
       program.SetInitialWord(static_cast<Word>(*addr),
                              static_cast<Word>(*value));
       continue;
@@ -121,7 +134,7 @@ AssemblyResult Assemble(std::string_view source) {
 
     const Opcode op = OpcodeFromName(mnemonic);
     if (op == Opcode::kCount_) {
-      return fail(line_no, "unknown mnemonic '" + mnemonic + "'");
+      return fail(line_no, mnemonic, "unknown mnemonic");
     }
 
     Instruction inst;
@@ -130,83 +143,102 @@ AssemblyResult Assemble(std::string_view source) {
                                                    tokens.end());
     const auto need = [&](std::size_t n) { return operands.size() == n; };
 
+    // Operand parsers that record the offending token on failure so every
+    // diagnostic names what was actually written, not just the line.
+    AssemblyError err;
+    const auto reg = [&](const std::string& tok, RegId& out) {
+      const auto idx = ParseRegIndex(tok);
+      if (!idx) {
+        err = {line_no, tok, "expected a register (rN)"};
+        return false;
+      }
+      if (*idx >= reg_limit) {
+        err = {line_no, tok,
+               "register out of range: machine has " +
+                   std::to_string(reg_limit) + " logical registers (r0..r" +
+                   std::to_string(reg_limit - 1) + ")"};
+        return false;
+      }
+      out = static_cast<RegId>(*idx);
+      return true;
+    };
+    const auto imm32 = [&](const std::string& tok, std::int32_t& out) {
+      const auto value = ParseInt(tok);
+      if (!value) {
+        err = {line_no, tok, "expected an integer immediate"};
+        return false;
+      }
+      out = static_cast<std::int32_t>(*value);
+      return true;
+    };
+
     switch (ClassOf(op)) {
       case OpClass::kNop:
       case OpClass::kHalt:
-        if (!need(0)) return fail(line_no, "operands not allowed");
+        if (!need(0)) {
+          return fail(line_no, operands[0], "operands not allowed");
+        }
         break;
       case OpClass::kIntSimple:
       case OpClass::kIntMul:
       case OpClass::kIntDiv: {
         if (ReadsRs2(op)) {  // rd, rs1, rs2
-          if (!need(3)) return fail(line_no, "expected rd, rs1, rs2");
-          const auto rd = ParseReg(operands[0]);
-          const auto rs1 = ParseReg(operands[1]);
-          const auto rs2 = ParseReg(operands[2]);
-          if (!rd || !rs1 || !rs2) return fail(line_no, "bad register");
-          inst.rd = *rd;
-          inst.rs1 = *rs1;
-          inst.rs2 = *rs2;
+          if (!need(3)) return fail(line_no, mnemonic, "expected rd, rs1, rs2");
+          if (!reg(operands[0], inst.rd) || !reg(operands[1], inst.rs1) ||
+              !reg(operands[2], inst.rs2)) {
+            return AssemblyResult{err};
+          }
         } else if (ReadsRs1(op)) {  // rd, rs1, imm
-          if (!need(3)) return fail(line_no, "expected rd, rs1, imm");
-          const auto rd = ParseReg(operands[0]);
-          const auto rs1 = ParseReg(operands[1]);
-          const auto imm = ParseInt(operands[2]);
-          if (!rd || !rs1 || !imm) return fail(line_no, "bad operand");
-          inst.rd = *rd;
-          inst.rs1 = *rs1;
-          inst.imm = static_cast<std::int32_t>(*imm);
+          if (!need(3)) return fail(line_no, mnemonic, "expected rd, rs1, imm");
+          if (!reg(operands[0], inst.rd) || !reg(operands[1], inst.rs1) ||
+              !imm32(operands[2], inst.imm)) {
+            return AssemblyResult{err};
+          }
         } else {  // li/lui: rd, imm
-          if (!need(2)) return fail(line_no, "expected rd, imm");
-          const auto rd = ParseReg(operands[0]);
-          const auto imm = ParseInt(operands[1]);
-          if (!rd || !imm) return fail(line_no, "bad operand");
-          inst.rd = *rd;
-          inst.imm = static_cast<std::int32_t>(*imm);
+          if (!need(2)) return fail(line_no, mnemonic, "expected rd, imm");
+          if (!reg(operands[0], inst.rd) || !imm32(operands[1], inst.imm)) {
+            return AssemblyResult{err};
+          }
         }
         break;
       }
       case OpClass::kLoad: {
-        if (!need(3)) return fail(line_no, "expected rd, offset(rbase)");
-        const auto rd = ParseReg(operands[0]);
-        const auto off = ParseInt(operands[1]);
-        const auto base = ParseReg(operands[2]);
-        if (!rd || !off || !base) return fail(line_no, "bad operand");
-        inst.rd = *rd;
-        inst.rs1 = *base;
-        inst.imm = static_cast<std::int32_t>(*off);
+        if (!need(3)) {
+          return fail(line_no, mnemonic, "expected rd, offset(rbase)");
+        }
+        if (!reg(operands[0], inst.rd) || !imm32(operands[1], inst.imm) ||
+            !reg(operands[2], inst.rs1)) {
+          return AssemblyResult{err};
+        }
         break;
       }
       case OpClass::kStore: {
-        if (!need(3)) return fail(line_no, "expected rvalue, offset(rbase)");
-        const auto rv = ParseReg(operands[0]);
-        const auto off = ParseInt(operands[1]);
-        const auto base = ParseReg(operands[2]);
-        if (!rv || !off || !base) return fail(line_no, "bad operand");
-        inst.rs2 = *rv;
-        inst.rs1 = *base;
-        inst.imm = static_cast<std::int32_t>(*off);
+        if (!need(3)) {
+          return fail(line_no, mnemonic, "expected rvalue, offset(rbase)");
+        }
+        if (!reg(operands[0], inst.rs2) || !imm32(operands[1], inst.imm) ||
+            !reg(operands[2], inst.rs1)) {
+          return AssemblyResult{err};
+        }
         break;
       }
       case OpClass::kBranch: {
-        if (!need(3)) return fail(line_no, "expected rs1, rs2, target");
-        const auto rs1 = ParseReg(operands[0]);
-        const auto rs2 = ParseReg(operands[1]);
-        if (!rs1 || !rs2) return fail(line_no, "bad register");
-        inst.rs1 = *rs1;
-        inst.rs2 = *rs2;
+        if (!need(3)) {
+          return fail(line_no, mnemonic, "expected rs1, rs2, target");
+        }
+        if (!reg(operands[0], inst.rs1) || !reg(operands[1], inst.rs2)) {
+          return AssemblyResult{err};
+        }
         fixups.push_back({program.size(), operands[2], line_no});
         break;
       }
       case OpClass::kJump: {
         if (op == Opcode::kJal) {
-          if (!need(2)) return fail(line_no, "expected rd, target");
-          const auto rd = ParseReg(operands[0]);
-          if (!rd) return fail(line_no, "bad register");
-          inst.rd = *rd;
+          if (!need(2)) return fail(line_no, mnemonic, "expected rd, target");
+          if (!reg(operands[0], inst.rd)) return AssemblyResult{err};
           fixups.push_back({program.size(), operands[1], line_no});
         } else {
-          if (!need(1)) return fail(line_no, "expected target");
+          if (!need(1)) return fail(line_no, mnemonic, "expected target");
           fixups.push_back({program.size(), operands[0], line_no});
         }
         break;
@@ -226,7 +258,7 @@ AssemblyResult Assemble(std::string_view source) {
       target = static_cast<std::int32_t>(*num);
     } else {
       return AssemblyResult{
-          AssemblyError{fx.line, "undefined label '" + fx.target + "'"}};
+          AssemblyError{fx.line, fx.target, "undefined label"}};
     }
     code[fx.inst_index].imm = target;
   }
@@ -241,8 +273,8 @@ AssemblyResult Assemble(std::string_view source) {
   return AssemblyResult{std::move(resolved)};
 }
 
-Program AssembleOrDie(std::string_view source) {
-  auto result = Assemble(source);
+Program AssembleOrDie(std::string_view source, int num_regs) {
+  auto result = Assemble(source, num_regs);
   if (auto* err = std::get_if<AssemblyError>(&result)) {
     throw std::runtime_error("assembly failed: " + err->ToString());
   }

@@ -24,19 +24,26 @@ namespace ultra::isa {
 
 struct AssemblyError {
   int line = 0;             // 1-based source line
+  std::string token;        // The offending token ("" if none applies).
   std::string message;
 
+  /// "line N: message (token 'tok')".
   [[nodiscard]] std::string ToString() const;
 };
 
 using AssemblyResult = std::variant<Program, AssemblyError>;
 
 /// Assembles @p source. On success returns the Program; on the first error
-/// returns an AssemblyError naming the offending line.
-AssemblyResult Assemble(std::string_view source);
+/// returns an AssemblyError naming the offending line and token. Register
+/// operands are validated against @p num_regs (clamped to the encodable
+/// kMaxLogicalRegisters), so a program assembled for a 32-register machine
+/// cannot silently reference r40.
+AssemblyResult Assemble(std::string_view source,
+                        int num_regs = kMaxLogicalRegisters);
 
 /// Convenience wrapper that throws std::runtime_error on assembly errors;
 /// used by examples and tests where failure is a bug.
-Program AssembleOrDie(std::string_view source);
+Program AssembleOrDie(std::string_view source,
+                      int num_regs = kMaxLogicalRegisters);
 
 }  // namespace ultra::isa

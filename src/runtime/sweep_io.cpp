@@ -104,7 +104,9 @@ void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
         "fetch_width,fetch_mode,predictor,mem_mode,num_alus,"
         "store_forwarding,pipeline_levels_per_stage,ok,error,halted,cycles,"
         "committed,ipc,mispredictions,squashed_instructions,forwarded_loads,"
-        "load_count,store_count,fetch_stall_cycles,window_full_cycles\n";
+        "load_count,store_count,fetch_stall_cycles,window_full_cycles,"
+        "faults_injected,divergences_detected,checker_resyncs,"
+        "squashes_under_fault,attempts,deadline_exceeded\n";
   for (const SweepOutcome& o : outcomes) {
     const core::CoreConfig& c = o.config;
     const core::RunStats& s = o.result.stats;
@@ -119,12 +121,27 @@ void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << o.result.committed << ',' << FormatIpc(o.result) << ','
        << s.mispredictions << ',' << s.squashed_instructions << ','
        << s.forwarded_loads << ',' << s.load_count << ',' << s.store_count
-       << ',' << s.fetch_stall_cycles << ',' << s.window_full_cycles << '\n';
+       << ',' << s.fetch_stall_cycles << ',' << s.window_full_cycles << ','
+       << s.faults_injected << ',' << s.divergences_detected << ','
+       << s.checker_resyncs << ',' << s.squashes_under_fault << ','
+       << o.attempts << ',' << (o.deadline_exceeded ? 1 : 0) << '\n';
+  }
+  // Quarantine section: failed points again, as comment lines a CSV reader
+  // skips, so a partial sweep's artifact names its casualties in one place.
+  const auto bad = Quarantine(outcomes);
+  os << "# quarantine: " << bad.size() << " failed point"
+     << (bad.size() == 1 ? "" : "s") << '\n';
+  for (const SweepOutcome* o : bad) {
+    os << "# index=" << o->index << " processor="
+       << core::ProcessorKindName(o->kind) << " workload="
+       << CsvEscape(o->workload) << " attempts=" << o->attempts
+       << " deadline_exceeded=" << (o->deadline_exceeded ? 1 : 0)
+       << " error=" << CsvEscape(o->error) << '\n';
   }
 }
 
 void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
-  os << "[\n";
+  os << "{\"points\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const SweepOutcome& o = outcomes[i];
     const core::CoreConfig& c = o.config;
@@ -143,7 +160,9 @@ void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << ", \"pipeline_levels_per_stage\": " << c.pipeline_levels_per_stage
        << ", \"max_cycles\": " << c.max_cycles << "},\n"
        << "   \"ok\": " << (o.ok ? "true" : "false") << ", \"error\": \""
-       << JsonEscape(o.error) << "\",\n"
+       << JsonEscape(o.error) << "\", \"attempts\": " << o.attempts
+       << ", \"deadline_exceeded\": "
+       << (o.deadline_exceeded ? "true" : "false") << ",\n"
        << "   \"result\": {\"halted\": " << (o.result.halted ? "true" : "false")
        << ", \"cycles\": " << o.result.cycles
        << ", \"committed\": " << o.result.committed << ", \"ipc\": "
@@ -154,10 +173,26 @@ void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << ", \"load_count\": " << s.load_count
        << ", \"store_count\": " << s.store_count
        << ", \"fetch_stall_cycles\": " << s.fetch_stall_cycles
-       << ", \"window_full_cycles\": " << s.window_full_cycles << "}}}"
+       << ", \"window_full_cycles\": " << s.window_full_cycles
+       << ", \"faults_injected\": " << s.faults_injected
+       << ", \"divergences_detected\": " << s.divergences_detected
+       << ", \"checker_resyncs\": " << s.checker_resyncs
+       << ", \"squashes_under_fault\": " << s.squashes_under_fault << "}}}"
        << (i + 1 < outcomes.size() ? "," : "") << "\n";
   }
-  os << "]\n";
+  os << "],\n \"quarantine\": [";
+  const auto bad = Quarantine(outcomes);
+  for (std::size_t i = 0; i < bad.size(); ++i) {
+    const SweepOutcome& o = *bad[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "  {\"index\": " << o.index << ", \"processor\": \""
+       << core::ProcessorKindName(o.kind) << "\", \"workload\": \""
+       << JsonEscape(o.workload) << "\", \"attempts\": " << o.attempts
+       << ", \"deadline_exceeded\": "
+       << (o.deadline_exceeded ? "true" : "false") << ", \"error\": \""
+       << JsonEscape(o.error) << "\"}";
+  }
+  os << (bad.empty() ? "" : "\n ") << "]}\n";
 }
 
 SweepCli ParseSweepCli(int& argc, char** argv) {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -22,38 +24,78 @@ int DefaultThreadCount() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+namespace {
+
+std::string SummarizeFailures(
+    const std::vector<ParallelForError::Failure>& failures) {
+  std::ostringstream os;
+  os << failures.size() << " iteration" << (failures.size() == 1 ? "" : "s")
+     << " failed:";
+  const std::size_t shown = std::min<std::size_t>(failures.size(), 3);
+  for (std::size_t i = 0; i < shown; ++i) {
+    os << " [" << failures[i].index << "] " << failures[i].message << ';';
+  }
+  if (failures.size() > shown) {
+    os << " ... (" << failures.size() - shown << " more)";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+ParallelForError::ParallelForError(std::vector<Failure> failures)
+    : std::runtime_error(SummarizeFailures(failures)),
+      failures_(std::move(failures)) {}
+
 void ParallelFor(int num_threads, std::size_t count,
                  const std::function<void(std::size_t)>& body) {
   if (num_threads <= 0) num_threads = DefaultThreadCount();
   if (count == 0) return;
-  if (num_threads == 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
+  std::vector<ParallelForError::Failure> failures;
+  const auto run_one = [&body](std::size_t i)
+      -> std::optional<ParallelForError::Failure> {
+    try {
+      body(i);
+      return std::nullopt;
+    } catch (const std::exception& e) {
+      return ParallelForError::Failure{i, e.what()};
+    } catch (...) {
+      return ParallelForError::Failure{i, "unknown error"};
     }
   };
 
-  const std::size_t spawn =
-      std::min<std::size_t>(static_cast<std::size_t>(num_threads), count);
-  std::vector<std::thread> threads;
-  threads.reserve(spawn);
-  for (std::size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
-  for (auto& th : threads) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (num_threads == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (auto f = run_one(i)) failures.push_back(std::move(*f));
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex failures_mu;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        if (auto f = run_one(i)) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(std::move(*f));
+        }
+      }
+    };
+    const std::size_t spawn =
+        std::min<std::size_t>(static_cast<std::size_t>(num_threads), count);
+    std::vector<std::thread> threads;
+    threads.reserve(spawn);
+    for (std::size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
+    for (auto& th : threads) th.join();
+  }
+
+  if (!failures.empty()) {
+    // Completion order is nondeterministic; index order is not.
+    std::sort(failures.begin(), failures.end(),
+              [](const auto& a, const auto& b) { return a.index < b.index; });
+    throw ParallelForError(std::move(failures));
+  }
 }
 
 namespace {
@@ -87,7 +129,43 @@ std::string CheckArchitecturalState(const SweepPoint& point,
   return {};
 }
 
+/// Deterministic per-(point, attempt) jitter in [0.5, 1.5): a SplitMix-style
+/// hash, not a global RNG, so the sweep's behavior is reproducible and
+/// independent of scheduling.
+double BackoffJitter(std::size_t index, int attempt) {
+  std::uint64_t h = (static_cast<std::uint64_t>(index) + 1) *
+                    0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(attempt) * 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return 0.5 + static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-point watchdog slot: the worker arms deadline_ns before a run and
+/// disarms it after; the watchdog thread raises cancel once the armed
+/// deadline passes.
+struct PointWatch {
+  std::atomic<bool> cancel{false};
+  std::atomic<std::int64_t> deadline_ns{0};  // 0 = disarmed.
+};
+
 }  // namespace
+
+std::vector<const SweepOutcome*> Quarantine(
+    const std::vector<SweepOutcome>& outcomes) {
+  std::vector<const SweepOutcome*> bad;
+  for (const SweepOutcome& o : outcomes) {
+    if (!o.ok) bad.push_back(&o);
+  }
+  return bad;
+}
 
 SweepRunner::SweepRunner(SweepOptions options)
     : options_(options),
@@ -97,6 +175,30 @@ SweepRunner::SweepRunner(SweepOptions options)
 std::vector<SweepOutcome> SweepRunner::Run(
     const std::vector<SweepPoint>& points) const {
   std::vector<SweepOutcome> outcomes(points.size());
+  const double deadline_s = options_.point_deadline_seconds;
+  const int max_attempts = std::max(1, options_.max_attempts);
+
+  // Deadline watchdog: one background thread scans the armed slots. The
+  // cores poll CoreConfig::cancel every 1024 cycles, so enforcement is
+  // cooperative (a few microseconds of slack, never a torn simulation).
+  std::vector<PointWatch> watch(deadline_s > 0 ? points.size() : 0);
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (deadline_s > 0 && !points.empty()) {
+    watchdog = std::thread([&] {
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        const std::int64_t now = SteadyNowNs();
+        for (PointWatch& w : watch) {
+          const std::int64_t d = w.deadline_ns.load(std::memory_order_acquire);
+          if (d != 0 && now >= d) {
+            w.cancel.store(true, std::memory_order_release);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
   ParallelFor(num_threads_, points.size(), [&](std::size_t i) {
     const SweepPoint& point = points[i];
     SweepOutcome& out = outcomes[i];
@@ -104,31 +206,71 @@ std::vector<SweepOutcome> SweepRunner::Run(
     out.kind = point.kind;
     out.workload = point.workload;
     out.config = point.config;
+    PointWatch* w = deadline_s > 0 ? &watch[i] : nullptr;
     const auto start = std::chrono::steady_clock::now();
-    try {
-      if (!point.program) throw std::invalid_argument("null program");
-      auto proc = core::MakeProcessor(point.kind, point.config);
-      out.result = proc->Run(*point.program);
-      out.ok = true;
-      if (options_.check_architectural_state) {
-        if (auto err = CheckArchitecturalState(point, out.result);
-            !err.empty()) {
-          out.ok = false;
-          out.error = std::move(err);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      out.attempts = attempt;
+      out.deadline_exceeded = false;
+      std::string err;
+      bool retryable = true;
+      try {
+        if (!point.program) throw std::invalid_argument("null program");
+        core::CoreConfig cfg = point.config;
+        if (w) {
+          w->cancel.store(false, std::memory_order_release);
+          cfg.cancel = &w->cancel;
+          w->deadline_ns.store(
+              SteadyNowNs() + static_cast<std::int64_t>(deadline_s * 1e9),
+              std::memory_order_release);
         }
+        auto proc = core::MakeProcessor(point.kind, cfg);
+        out.result = proc->Run(*point.program);
+        if (w) w->deadline_ns.store(0, std::memory_order_release);
+        if (w && !out.result.halted &&
+            w->cancel.load(std::memory_order_acquire)) {
+          out.deadline_exceeded = true;
+          std::ostringstream os;
+          os << "deadline exceeded (" << deadline_s << "s) after "
+             << out.result.cycles << " cycles";
+          err = os.str();
+        } else if (options_.check_architectural_state) {
+          err = CheckArchitecturalState(point, out.result);
+          retryable = err.empty();  // An oracle mismatch is deterministic.
+        }
+      } catch (const std::invalid_argument& e) {
+        err = e.what();
+        retryable = false;  // Rejected configs fail identically every time.
+      } catch (const std::exception& e) {
+        err = e.what();
+        if (err.empty()) err = "unknown error";
+      } catch (...) {
+        err = "unknown error";
       }
-    } catch (const std::exception& e) {
+      if (w) w->deadline_ns.store(0, std::memory_order_release);
+      if (err.empty()) {
+        out.ok = true;
+        out.error.clear();
+        break;
+      }
       out.ok = false;
-      out.error = e.what();
-    } catch (...) {
-      out.ok = false;
-      out.error = "unknown error";
+      out.error = err;
+      out.attempt_errors.push_back(std::move(err));
+      if (!retryable || attempt == max_attempts) break;
+      const double delay = options_.retry_backoff_seconds *
+                           static_cast<double>(1 << (attempt - 1)) *
+                           BackoffJitter(i, attempt);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
     }
     out.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
   });
+
+  watchdog_stop.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
   return outcomes;
 }
 

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,11 +33,36 @@ namespace ultra::runtime {
 /// else std::thread::hardware_concurrency() (at least 1).
 int DefaultThreadCount();
 
+/// Thrown by ParallelFor after all iterations have run: carries *every*
+/// failed iteration (index + message), not just the first, so a caller can
+/// report or retry precisely. what() summarizes the failure count and the
+/// first few messages.
+class ParallelForError : public std::runtime_error {
+ public:
+  struct Failure {
+    std::size_t index;
+    std::string message;
+  };
+
+  explicit ParallelForError(std::vector<Failure> failures);
+
+  /// All failed iterations, sorted by index (deterministic at any thread
+  /// count).
+  [[nodiscard]] const std::vector<Failure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  std::vector<Failure> failures_;
+};
+
 /// Runs body(0) .. body(count - 1) across at most @p num_threads workers
 /// (<= 0 resolves via DefaultThreadCount). Indices are claimed dynamically,
 /// so callers must not rely on which worker runs which index -- only on all
-/// of them having run when the call returns. The first exception thrown by
-/// any body is rethrown on the calling thread after all workers join.
+/// of them having run when the call returns. A throwing body never aborts
+/// the loop: every iteration runs, and afterwards a single
+/// ParallelForError carrying every failure (sorted by index) is thrown on
+/// the calling thread.
 void ParallelFor(int num_threads, std::size_t count,
                  const std::function<void(std::size_t)>& body);
 
@@ -55,10 +81,17 @@ struct SweepOutcome {
   std::string workload;
   core::CoreConfig config;
   bool ok = false;        // False: error holds what went wrong.
-  std::string error;
+  std::string error;      // Error of the last attempt.
   core::RunResult result;
-  /// Wall time of this point alone. Informational only -- deliberately
-  /// excluded from the CSV/JSON exports so they stay deterministic.
+  /// Number of attempts consumed (1 = succeeded or failed without retry).
+  int attempts = 0;
+  /// True when the last attempt was cancelled by the deadline watchdog.
+  bool deadline_exceeded = false;
+  /// The error of every failed attempt, in attempt order.
+  std::vector<std::string> attempt_errors;
+  /// Wall time of this point alone (all attempts, including backoff).
+  /// Informational only -- deliberately excluded from the CSV/JSON exports
+  /// so they stay deterministic.
   double wall_seconds = 0.0;
 };
 
@@ -69,15 +102,34 @@ struct SweepOptions {
   /// outcome !ok with a description (points that hit max_cycles are
   /// reported as not halted but are not failed against the oracle).
   bool check_architectural_state = false;
+  /// Wall-clock budget per point attempt; <= 0 disables the watchdog. An
+  /// attempt over budget is cancelled cooperatively (CoreConfig::cancel),
+  /// marked deadline_exceeded, and counts as a transient failure.
+  double point_deadline_seconds = 0.0;
+  /// Total attempts per point (>= 1). Only transient failures are retried
+  /// -- deadline hits and unexpected exceptions; invalid configurations
+  /// and oracle mismatches are deterministic and fail immediately.
+  int max_attempts = 1;
+  /// Base delay between attempts; attempt a sleeps roughly
+  /// base * 2^(a-1), scaled by a deterministic per-(point, attempt)
+  /// jitter in [0.5, 1.5) so retry storms decorrelate without making the
+  /// sweep's *output* depend on timing.
+  double retry_backoff_seconds = 0.05;
 };
+
+/// The failed outcomes of a sweep, in submission order -- the quarantine
+/// list the exporters append to CSV/JSON.
+std::vector<const SweepOutcome*> Quarantine(
+    const std::vector<SweepOutcome>& outcomes);
 
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions options = {});
 
   /// Runs every point and returns outcomes in submission order. A point
-  /// that throws (e.g. an invalid configuration) yields ok == false rather
-  /// than aborting the sweep.
+  /// that throws (e.g. an invalid configuration), exceeds its deadline, or
+  /// fails the oracle check yields ok == false rather than aborting the
+  /// sweep, so a long sweep always produces a usable artifact.
   [[nodiscard]] std::vector<SweepOutcome> Run(
       const std::vector<SweepPoint>& points) const;
 

@@ -280,6 +280,57 @@ TEST(Assembler, AssembleOrDieThrowsOnError) {
   EXPECT_THROW(AssembleOrDie("bogus\n"), std::runtime_error);
 }
 
+TEST(AssemblerDiagnostics, ErrorsCarryLineAndToken) {
+  const auto result = Assemble("li r1, 1\nadd r1, banana, r3\nhalt\n");
+  const auto& err = std::get<AssemblyError>(result);
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.token, "banana");
+  EXPECT_NE(err.message.find("register"), std::string::npos);
+  EXPECT_NE(err.ToString().find("line 2"), std::string::npos);
+  EXPECT_NE(err.ToString().find("'banana'"), std::string::npos);
+}
+
+TEST(AssemblerDiagnostics, UnknownMnemonicNamesTheToken) {
+  const auto& err =
+      std::get<AssemblyError>(Assemble("nop\nfrobnicate r1\n"));
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.token, "frobnicate");
+}
+
+TEST(AssemblerDiagnostics, BadImmediateNamesTheToken) {
+  const auto& err = std::get<AssemblyError>(Assemble("li r1, twelve\n"));
+  EXPECT_EQ(err.line, 1);
+  EXPECT_EQ(err.token, "twelve");
+  EXPECT_NE(err.message.find("immediate"), std::string::npos);
+}
+
+TEST(AssemblerDiagnostics, UndefinedLabelNamesTheToken) {
+  const auto& err =
+      std::get<AssemblyError>(Assemble("jmp nowhere\nhalt\n"));
+  EXPECT_EQ(err.token, "nowhere");
+  EXPECT_NE(err.message.find("undefined label"), std::string::npos);
+}
+
+TEST(AssemblerDiagnostics, RegistersAreValidatedAgainstNumRegs) {
+  // r12 is encodable, but an 8-register machine must reject it.
+  const auto result = Assemble("add r1, r2, r12\nhalt\n", /*num_regs=*/8);
+  const auto& err = std::get<AssemblyError>(result);
+  EXPECT_EQ(err.line, 1);
+  EXPECT_EQ(err.token, "r12");
+  EXPECT_NE(err.message.find("out of range"), std::string::npos);
+  EXPECT_NE(err.message.find("r0..r7"), std::string::npos);
+  // The same source assembles for a machine with enough registers.
+  EXPECT_TRUE(std::holds_alternative<Program>(
+      Assemble("add r1, r2, r12\nhalt\n", /*num_regs=*/16)));
+}
+
+TEST(AssemblerDiagnostics, NumRegsIsClampedToTheEncodableMaximum) {
+  const auto result = Assemble("add r1, r2, r200\nhalt\n", /*num_regs=*/500);
+  const auto& err = std::get<AssemblyError>(result);
+  EXPECT_EQ(err.token, "r200");
+  EXPECT_NE(err.message.find("out of range"), std::string::npos);
+}
+
 TEST(Program, DisassembleListsLabels) {
   const auto program = AssembleOrDie("top: addi r1, r1, 1\njmp top\nhalt\n");
   const std::string listing = program.Disassemble();

@@ -1,10 +1,13 @@
 // Tests for the runtime layer: ParallelFor, the deterministic SweepRunner,
 // CSV/JSON export, the shared FunctionalSimCache, and CoreConfig::Validate.
 #include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -30,12 +33,52 @@ TEST(ParallelFor, ZeroCountIsANoop) {
 }
 
 TEST(ParallelFor, RethrowsBodyException) {
+  // ParallelForError derives from std::runtime_error, so callers that only
+  // know "something threw" keep working.
   EXPECT_THROW(
       runtime::ParallelFor(4, 16,
                            [](std::size_t i) {
                              if (i == 7) throw std::runtime_error("boom");
                            }),
       std::runtime_error);
+}
+
+TEST(ParallelFor, AggregatesEveryFailureAcrossWorkers) {
+  std::atomic<int> ran{0};
+  try {
+    runtime::ParallelFor(4, 16, [&](std::size_t i) {
+      ++ran;
+      if (i == 3 || i == 7 || i == 11) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const runtime::ParallelForError& e) {
+    EXPECT_EQ(ran.load(), 16);  // Failures never abort the loop.
+    ASSERT_EQ(e.failures().size(), 3u);
+    EXPECT_EQ(e.failures()[0].index, 3u);
+    EXPECT_EQ(e.failures()[1].index, 7u);
+    EXPECT_EQ(e.failures()[2].index, 11u);
+    EXPECT_EQ(e.failures()[1].message, "boom 7");
+    EXPECT_NE(std::string(e.what()).find("3 iterations failed"),
+              std::string::npos);
+  }
+}
+
+TEST(ParallelFor, SerialPathAggregatesToo) {
+  std::atomic<int> ran{0};
+  try {
+    runtime::ParallelFor(1, 8, [&](std::size_t i) {
+      ++ran;
+      if (i % 4 == 0) throw std::runtime_error("bad");
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const runtime::ParallelForError& e) {
+    EXPECT_EQ(ran.load(), 8);
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].index, 0u);
+    EXPECT_EQ(e.failures()[1].index, 4u);
+  }
 }
 
 TEST(ParallelFor, SerialAndParallelAgree) {
@@ -117,6 +160,85 @@ TEST(SweepRunner, InvalidConfigFailsThePointNotTheSweep) {
   EXPECT_TRUE(outcomes[2].ok) << outcomes[2].error;
 }
 
+TEST(SweepRunner, HardenedSweepQuarantinesHungThrowingAndMismatchedPoints) {
+  const auto fib = std::make_shared<const isa::Program>(
+      workloads::Fibonacci(10));
+  const auto spin = std::make_shared<const isa::Program>(
+      isa::AssembleOrDie("loop: jmp loop\n"));
+  std::vector<runtime::SweepPoint> points(5);
+  for (auto& p : points) {
+    p.program = fib;
+    p.workload = "fib(10)";
+    p.config.mem.mode = memory::MemTimingMode::kMagic;
+  }
+  // Point 1 hangs: an infinite loop with an effectively unbounded cycle
+  // budget, so only the deadline watchdog can end it.
+  points[1].program = spin;
+  points[1].workload = "spin";
+  points[1].config.max_cycles = ~std::uint64_t{0};
+  // Point 2 throws: Validate() rejects the config inside Run().
+  points[2].config.window_size = 0;
+  // Point 3 mismatches the oracle: too few cycles to reach halt.
+  points[3].config.max_cycles = 4;
+
+  runtime::SweepOptions opt;
+  opt.num_threads = 2;
+  opt.check_architectural_state = true;
+  opt.point_deadline_seconds = 0.15;
+  opt.max_attempts = 2;
+  opt.retry_backoff_seconds = 0.001;
+  const auto outcomes = runtime::SweepRunner(opt).Run(points);
+  ASSERT_EQ(outcomes.size(), 5u);
+
+  for (const std::size_t healthy : {std::size_t{0}, std::size_t{4}}) {
+    EXPECT_TRUE(outcomes[healthy].ok) << outcomes[healthy].error;
+    EXPECT_EQ(outcomes[healthy].attempts, 1);
+    EXPECT_FALSE(outcomes[healthy].deadline_exceeded);
+  }
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_TRUE(outcomes[1].deadline_exceeded);
+  EXPECT_EQ(outcomes[1].attempts, 2);  // Deadline hits are retried.
+  EXPECT_EQ(outcomes[1].attempt_errors.size(), 2u);
+  EXPECT_NE(outcomes[1].error.find("deadline exceeded"), std::string::npos);
+  EXPECT_FALSE(outcomes[2].ok);
+  EXPECT_EQ(outcomes[2].attempts, 1);  // Invalid configs are not retried.
+  EXPECT_NE(outcomes[2].error.find("window_size"), std::string::npos);
+  EXPECT_FALSE(outcomes[3].ok);
+  EXPECT_EQ(outcomes[3].attempts, 1);  // Oracle mismatches are not retried.
+  EXPECT_NE(outcomes[3].error.find("functional reference"),
+            std::string::npos);
+
+  const auto bad = runtime::Quarantine(outcomes);
+  ASSERT_EQ(bad.size(), 3u);
+  EXPECT_EQ(bad[0]->index, 1u);
+  EXPECT_EQ(bad[1]->index, 2u);
+  EXPECT_EQ(bad[2]->index, 3u);
+
+  std::ostringstream csv, json;
+  runtime::WriteCsv(csv, outcomes);
+  runtime::WriteJson(json, outcomes);
+  EXPECT_NE(csv.str().find("# quarantine: 3 failed points"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("deadline exceeded"), std::string::npos);
+  EXPECT_NE(json.str().find("\"quarantine\": ["), std::string::npos);
+  EXPECT_NE(json.str().find("\"deadline_exceeded\": true"),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"workload\": \"spin\""), std::string::npos);
+}
+
+TEST(SweepRunner, NullProgramFailsWithoutRetry) {
+  std::vector<runtime::SweepPoint> points(1);
+  points[0].workload = "null";
+  runtime::SweepOptions opt;
+  opt.num_threads = 1;
+  opt.max_attempts = 3;
+  opt.retry_backoff_seconds = 0.0;
+  const auto outcomes = runtime::SweepRunner(opt).Run(points);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_EQ(outcomes[0].attempts, 1);
+  EXPECT_NE(outcomes[0].error.find("null program"), std::string::npos);
+}
+
 TEST(SweepRunner, MapReturnsResultsInIndexOrder) {
   const runtime::SweepRunner runner({.num_threads = 4});
   const auto squares = runner.Map<std::size_t>(
@@ -166,6 +288,49 @@ TEST(FunctionalSimCache, ClearDropsEntries) {
   cache.Clear();
   (void)cache.Get(program, 32);
   EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(FunctionalSimCache, EvictsLeastRecentlyUsedBeyondTheBound) {
+  core::FunctionalSimCache cache;
+  cache.SetMaxEntries(2);
+  const auto a = cache.Get(workloads::Fibonacci(5), 32);
+  const auto b = cache.Get(workloads::Fibonacci(6), 32);
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.Get(workloads::Fibonacci(5), 32);  // Touch A: B becomes LRU.
+  (void)cache.Get(workloads::Fibonacci(7), 32);  // Evicts B, keeps A.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const auto a2 = cache.Get(workloads::Fibonacci(5), 32);
+  EXPECT_EQ(a2.get(), a.get());  // A survived the eviction.
+  EXPECT_EQ(cache.stats().misses, 3u);
+  const auto b2 = cache.Get(workloads::Fibonacci(6), 32);  // Re-simulated.
+  EXPECT_NE(b2.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(FunctionalSimCache, ShrinkingTheBoundEvictsImmediately) {
+  core::FunctionalSimCache cache;
+  (void)cache.Get(workloads::Fibonacci(5), 32);
+  (void)cache.Get(workloads::Fibonacci(6), 32);
+  (void)cache.Get(workloads::Fibonacci(7), 32);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.SetMaxEntries(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // The survivor is the most recently used entry.
+  (void)cache.Get(workloads::Fibonacci(7), 32);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(FunctionalSimCache, BoundComesFromTheEnvironment) {
+  ::setenv("ULTRA_FNSIM_CACHE_ENTRIES", "3", 1);
+  core::FunctionalSimCache small;
+  EXPECT_EQ(small.max_entries(), 3u);
+  ::unsetenv("ULTRA_FNSIM_CACHE_ENTRIES");
+  core::FunctionalSimCache fresh;
+  EXPECT_EQ(fresh.max_entries(),
+            core::FunctionalSimCache::kDefaultMaxEntries);
 }
 
 TEST(FunctionalSimCache, ConcurrentGetsConverge) {
