@@ -130,10 +130,10 @@ int main(int argc, char** argv) {
       const auto& s = o.result.stats;
       analysis::Table& row = table.Row();
       row.Cell(rates[r], 3);
-      row.Cell(static_cast<double>(s.faults_injected), 0);
-      row.Cell(static_cast<double>(s.divergences_detected), 0);
-      row.Cell(static_cast<double>(s.checker_resyncs), 0);
-      row.Cell(static_cast<double>(s.squashes_under_fault), 0);
+      row.Cell(static_cast<double>(s.faults_injected()), 0);
+      row.Cell(static_cast<double>(s.divergences_detected()), 0);
+      row.Cell(static_cast<double>(s.checker_resyncs()), 0);
+      row.Cell(static_cast<double>(s.squashes_under_fault()), 0);
       row.Cell(static_cast<double>(o.result.cycles), 0);
       row.Cell(o.result.Ipc(), 4);
       row.Cell(base_ipc > 0.0 ? o.result.Ipc() / base_ipc : 0.0, 4);
@@ -164,10 +164,10 @@ int main(int argc, char** argv) {
           << ", \"ipc\": " << o.result.Ipc()
           << ", \"ipc_rel_baseline\": "
           << (base_ipc > 0.0 ? o.result.Ipc() / base_ipc : 0.0)
-          << ", \"faults_injected\": " << s.faults_injected
-          << ", \"divergences_detected\": " << s.divergences_detected
-          << ", \"checker_resyncs\": " << s.checker_resyncs
-          << ", \"squashes_under_fault\": " << s.squashes_under_fault
+          << ", \"faults_injected\": " << s.faults_injected()
+          << ", \"divergences_detected\": " << s.divergences_detected()
+          << ", \"checker_resyncs\": " << s.checker_resyncs()
+          << ", \"squashes_under_fault\": " << s.squashes_under_fault()
           << ", \"oracle_ok\": true}"
           << (next < outcomes.size() ? "," : "") << "\n";
     }

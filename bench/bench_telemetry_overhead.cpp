@@ -1,0 +1,208 @@
+// Telemetry overhead gate (engineering, not a paper figure).
+//
+// Measures simulator throughput (cycles/sec) of the Ultrascalar I core in
+// four telemetry states:
+//
+//   baseline  CoreConfig::telemetry == nullptr (hooks compile to a dead
+//             null test; the pre-telemetry configuration)
+//   disabled  a RunTelemetry attached with metrics_enabled == false and no
+//             tracer -- the state every instrumented-but-off consumer pays
+//   metrics   metrics enabled (occupancy gauge + two histograms per cycle)
+//   full      metrics plus a 64Ki-event pipeline trace ring
+//
+// The gate: "disabled" must stay within --tolerance (default 2%) of
+// "baseline" cycles/sec -- judged on the best per-pass paired ratio so
+// machine-wide drift cancels -- and enforced by exit code so CI fails
+// when someone puts real work on the disabled path. "metrics"/"full" are
+// reported for context but not gated -- enabling instrumentation is
+// allowed to cost.
+//
+// Usage: bench_telemetry_overhead [--quick] [--json=PATH] [--tolerance=F]
+//   --quick        shorter workload and measurement windows (CI smoke run)
+//   --json         output path (default BENCH_telemetry_overhead.json)
+//   --tolerance    allowed fractional slowdown for "disabled" (default 0.02)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ultra;
+
+struct Options {
+  bool quick = false;
+  std::string json_path = "BENCH_telemetry_overhead.json";
+  double tolerance = 0.02;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      opt.tolerance = std::atof(arg.c_str() + std::strlen("--tolerance="));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+  return opt;
+}
+
+struct Mode {
+  const char* name;
+  bool attach = false;   // Hand a RunTelemetry to the core at all.
+  bool metrics = false;  // metrics_enabled.
+  bool trace = false;    // Attach a 64Ki-event ring.
+};
+
+struct Measurement {
+  double cycles_per_sec = 0.0;
+  std::uint64_t cycles_per_run = 0;
+  int runs = 0;
+};
+
+/// One measurement pass: repeat Run() until ~target_seconds of wall time
+/// has accumulated, then report aggregate cycles/sec. The telemetry sink
+/// and ring are constructed once per pass (matching how a sweep reuses its
+/// per-point sink), so only the steady-state hook cost is on the clock.
+Measurement MeasureOnce(const core::CoreConfig& base,
+                        const isa::Program& program, const Mode& mode,
+                        double target_seconds) {
+  telemetry::PipelineTracer tracer({.capacity = std::size_t{1} << 16});
+  telemetry::RunTelemetry telem;
+  telem.metrics_enabled = mode.metrics;
+  if (mode.trace) telem.tracer = &tracer;
+
+  core::CoreConfig cfg = base;
+  cfg.telemetry = mode.attach ? &telem : nullptr;
+
+  Measurement m;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t total_cycles = 0;
+  double elapsed = 0.0;
+  do {
+    auto proc = core::MakeProcessor(core::ProcessorKind::kUltrascalarI, cfg);
+    const auto result = proc->Run(program);
+    m.cycles_per_run = result.cycles;
+    total_cycles += result.cycles;
+    ++m.runs;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < target_seconds);
+  m.cycles_per_sec =
+      elapsed > 0.0 ? static_cast<double>(total_cycles) / elapsed : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseArgs(argc, argv);
+  const double target_s = opt.quick ? 0.15 : 0.3;
+  const int passes = 5;  // Best-of to shrug off scheduler noise.
+
+  const isa::Program program = workloads::DependencyChains(
+      {.num_instructions = opt.quick ? 2048 : 8192, .ilp = 4});
+
+  core::CoreConfig base;
+  base.window_size = 256;
+  base.num_regs = 32;
+  base.mem.mode = memory::MemTimingMode::kMagic;
+
+  const Mode modes[] = {
+      {.name = "baseline"},
+      {.name = "disabled", .attach = true},
+      {.name = "metrics", .attach = true, .metrics = true},
+      {.name = "full", .attach = true, .metrics = true, .trace = true},
+  };
+
+  std::printf("=== Telemetry overhead (UltrascalarI n=%d L=%d, %s) ===\n",
+              base.window_size, base.num_regs,
+              opt.quick ? "quick" : "full");
+  // Warm-up round (discarded): lets the CPU reach its steady clock and
+  // faults in code/data before anything lands on the record. Without it
+  // the first measured mode -- always "baseline" -- gets a different
+  // machine than the rest and the gate ratio drifts by several percent.
+  for (const Mode& mode : modes) {
+    (void)MeasureOnce(base, program, mode, target_s / 3.0);
+  }
+
+  // Each pass measures every mode back-to-back and the gate uses the
+  // *paired* ratio (mode vs the same pass's baseline), taking the best
+  // pass. Pairing cancels slow machine-wide drift (frequency scaling,
+  // co-tenant load) that a best-of over independent measurements cannot:
+  // one lucky baseline pass would otherwise sink the ratio. A genuine
+  // systematic slowdown still fails -- no pass can reach the bar.
+  std::vector<Measurement> best(std::size(modes));
+  std::vector<double> best_ratio(std::size(modes), 0.0);
+  for (int pass = 0; pass < passes; ++pass) {
+    std::vector<Measurement> now(std::size(modes));
+    for (std::size_t i = 0; i < std::size(modes); ++i) {
+      now[i] = MeasureOnce(base, program, modes[i], target_s);
+      if (now[i].cycles_per_sec > best[i].cycles_per_sec) best[i] = now[i];
+    }
+    if (now[0].cycles_per_sec <= 0.0) continue;
+    for (std::size_t i = 0; i < std::size(modes); ++i) {
+      const double r = now[i].cycles_per_sec / now[0].cycles_per_sec;
+      if (r > best_ratio[i]) best_ratio[i] = r;
+    }
+  }
+
+  const double baseline = best[0].cycles_per_sec;
+  std::printf("%-10s %14s %10s %12s %8s\n", "mode", "cycles/s", "vs base",
+              "paired best", "runs");
+  for (std::size_t i = 0; i < std::size(modes); ++i) {
+    const double ratio =
+        baseline > 0.0 ? best[i].cycles_per_sec / baseline : 0.0;
+    std::printf("%-10s %14.0f %9.2f%% %11.2f%% %8d\n", modes[i].name,
+                best[i].cycles_per_sec, (ratio - 1.0) * 100.0,
+                (best_ratio[i] - 1.0) * 100.0, best[i].runs);
+  }
+
+  const double disabled_ratio = best_ratio[1];
+  const bool ok = disabled_ratio >= 1.0 - opt.tolerance;
+  std::printf("\ngate: disabled >= %.1f%% of baseline: %s (%.2f%%)\n",
+              (1.0 - opt.tolerance) * 100.0, ok ? "PASS" : "FAIL",
+              disabled_ratio * 100.0);
+
+  std::ofstream out(opt.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"mode\": \"" << (opt.quick ? "quick" : "full")
+      << "\",\n  \"core\": \"usi\", \"window\": " << base.window_size
+      << ", \"num_regs\": " << base.num_regs
+      << ",\n  \"tolerance\": " << opt.tolerance
+      << ", \"gate_passed\": " << (ok ? "true" : "false")
+      << ",\n  \"modes\": [\n";
+  for (std::size_t i = 0; i < std::size(modes); ++i) {
+    const double ratio =
+        baseline > 0.0 ? best[i].cycles_per_sec / baseline : 0.0;
+    out << "    {\"name\": \"" << modes[i].name
+        << "\", \"cycles_per_sec\": " << best[i].cycles_per_sec
+        << ", \"cycles_per_run\": " << best[i].cycles_per_run
+        << ", \"runs\": " << best[i].runs
+        << ", \"ratio_vs_baseline\": " << ratio
+        << ", \"paired_best_ratio\": " << best_ratio[i] << "}"
+        << (i + 1 < std::size(modes) ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return ok ? 0 : 1;
+}

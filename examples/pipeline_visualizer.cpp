@@ -1,5 +1,8 @@
 // Pipeline visualizer: run a named workload on a chosen processor model and
-// render its execution schedule, Figure 3 style.
+// render its execution schedule, Figure 3 style. The schedule is rebuilt
+// from the telemetry subsystem's pipeline trace (telemetry::PipelineTracer)
+// rather than the core's committed timeline, exercising the same event
+// stream the Perfetto exporter consumes.
 //
 // Usage:
 //   pipeline_visualizer [processor] [workload] [window] [cluster]
@@ -11,9 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "analysis/analysis.hpp"
 #include "core/core.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -51,17 +56,41 @@ int main(int argc, char** argv) {
   const int window = argc > 3 ? std::atoi(argv[3]) : 16;
   const int cluster = argc > 4 ? std::atoi(argv[4]) : 8;
 
+  telemetry::PipelineTracer tracer(
+      {.capacity = std::size_t{1} << 18});
+  telemetry::RunTelemetry telem;
+  telem.tracer = &tracer;
+  telem.metrics_enabled = false;  // Only the event stream is rendered.
+
   core::CoreConfig cfg;
   cfg.window_size = window;
   cfg.cluster_size = cluster;
   cfg.predictor = core::PredictorKind::kBtfn;
   cfg.mem.mode = memory::MemTimingMode::kMagic;
+  cfg.telemetry = &telem;
 
   const auto kind = ParseKind(kind_name);
   const auto program = ParseWorkload(workload);
 
   auto proc = core::MakeProcessor(kind, cfg);
   const auto result = proc->Run(program);
+
+  // Rebuild commit-ordered timing records from the trace: retired spans
+  // come back in terminating-event (= commit) order.
+  std::vector<core::InstrTiming> timeline;
+  for (const auto& sp : telemetry::CollectInstrSpans(tracer.Events())) {
+    if (!sp.retired) continue;
+    core::InstrTiming t;
+    t.seq = sp.seq;
+    t.station = sp.station;
+    t.pc = sp.pc;
+    if (sp.pc < program.size()) t.inst = program.at(sp.pc);
+    t.fetch_cycle = sp.fetch_cycle;
+    t.issue_cycle = sp.issue_cycle;
+    t.complete_cycle = sp.complete_cycle;
+    t.commit_cycle = sp.end_cycle;
+    timeline.push_back(t);
+  }
 
   std::printf("%s, window=%d%s, workload=%s\n",
               std::string(core::ProcessorKindName(kind)).c_str(), window,
@@ -74,7 +103,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.committed),
               result.Ipc(),
               static_cast<unsigned long long>(result.stats.mispredictions));
-  std::printf("%s",
-              analysis::RenderTimingDiagram(result.timeline, 48).c_str());
+  std::printf("%s", analysis::RenderTimingDiagram(timeline, 48).c_str());
   return 0;
 }

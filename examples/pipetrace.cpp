@@ -1,5 +1,6 @@
-// Pipetrace: per-cycle station-occupancy map, reconstructed from the
-// committed timeline.
+// Pipetrace: per-cycle station-occupancy map, rebuilt from the telemetry
+// subsystem's pipeline trace (telemetry::PipelineTracer), with an optional
+// Perfetto export of the same events.
 //
 //   rows    = execution stations
 //   columns = cycles
@@ -10,15 +11,20 @@
 // Ultrascalar I ring stays densely packed (stations refill continually),
 // while the batch-mode Ultrascalar II drains to empty before every refill.
 //
-// Usage: pipetrace [processor] [workload] [window]
-//   processor: ideal | usi | usii | hybrid   (default usii)
-//   workload:  fib | dot | chains | storm    (default fib)
+// Usage: pipetrace [processor] [workload] [window] [--perfetto=FILE]
+//   processor: ideal | usi | usii | hybrid            (default usii)
+//   workload:  fib | dot | chains | storm | figure3   (default fib)
+//   --perfetto=FILE  write the trace as Chrome trace_event JSON, loadable
+//                    in ui.perfetto.dev or chrome://tracing
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/core.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -42,6 +48,7 @@ isa::Program ParseWorkload(const std::string& name) {
         {.num_instructions = 48, .ilp = 4, .use_long_ops = true});
   }
   if (name == "storm") return workloads::BranchStorm(8);
+  if (name == "figure3") return workloads::Figure3Example();
   std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
   std::exit(1);
 }
@@ -49,20 +56,42 @@ isa::Program ParseWorkload(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --perfetto=FILE before reading positionals.
+  std::string perfetto_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--perfetto=", 11) == 0) {
+      perfetto_path = argv[i] + 11;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
   const std::string kind_name = argc > 1 ? argv[1] : "usii";
   const std::string workload = argc > 2 ? argv[2] : "fib";
   const int window = argc > 3 ? std::atoi(argv[3]) : 12;
+
+  telemetry::PipelineTracer tracer(
+      {.capacity = std::size_t{1} << 18});
+  telemetry::RunTelemetry telem;
+  telem.tracer = &tracer;
+  telem.metrics_enabled = false;  // This tool only needs the event stream.
 
   core::CoreConfig cfg;
   cfg.window_size = window;
   cfg.cluster_size = std::max(1, window / 4);
   cfg.predictor = core::PredictorKind::kBtfn;
   cfg.mem.mode = memory::MemTimingMode::kMagic;
+  cfg.telemetry = &telem;
 
   const auto kind = ParseKind(kind_name);
   const auto program = ParseWorkload(workload);
   auto proc = core::MakeProcessor(kind, cfg);
   const auto result = proc->Run(program);
+
+  const auto events = tracer.Events();
+  const auto spans = telemetry::CollectInstrSpans(events);
 
   const int max_cols = 160;
   const auto cycles =
@@ -70,12 +99,16 @@ int main(int argc, char** argv) {
   std::vector<std::string> grid(
       static_cast<std::size_t>(window),
       std::string(static_cast<std::size_t>(cycles), '.'));
-  for (const auto& t : result.timeline) {
-    auto& row = grid[static_cast<std::size_t>(t.station)];
-    for (std::uint64_t c = t.fetch_cycle;
-         c <= t.commit_cycle && c < static_cast<std::uint64_t>(cycles); ++c) {
+  for (const auto& sp : spans) {
+    if (sp.station < 0 || sp.station >= window) continue;
+    auto& row = grid[static_cast<std::size_t>(sp.station)];
+    for (std::uint64_t c = sp.fetch_cycle;
+         c <= sp.end_cycle && c < static_cast<std::uint64_t>(cycles); ++c) {
       char mark = 'o';
-      if (c >= t.issue_cycle && c <= t.complete_cycle) mark = 'X';
+      if (sp.issued && c >= sp.issue_cycle &&
+          (!sp.completed || c <= sp.complete_cycle)) {
+        mark = 'X';
+      }
       row[static_cast<std::size_t>(c)] = mark;
     }
   }
@@ -91,10 +124,31 @@ int main(int argc, char** argv) {
   if (result.cycles > static_cast<std::uint64_t>(max_cols)) {
     std::printf("  ... truncated at %d cycles\n", max_cols);
   }
+  if (tracer.dropped() > 0) {
+    std::printf("  (ring dropped %llu oldest events)\n",
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
   std::printf(
       "\n('.' empty, 'o' occupied, 'X' executing. Compare `pipetrace usii`\n"
       "with `pipetrace usi`: the batch machine moves in lockstep waves --\n"
       "every station waits for the slowest before the next refill -- while\n"
       "the ring's stations turn over independently.)\n");
+
+  if (!perfetto_path.empty()) {
+    std::ofstream os(perfetto_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", perfetto_path.c_str());
+      return 1;
+    }
+    telemetry::PerfettoOptions opt;
+    opt.process_name = kind_name + " " + workload;
+    opt.slice_label = [&program](const telemetry::InstrSpan& sp) {
+      return sp.pc < program.size() ? isa::ToString(program.at(sp.pc))
+                                    : "seq=" + std::to_string(sp.seq);
+    };
+    telemetry::WritePerfettoTrace(os, events, opt);
+    std::printf("\nwrote Perfetto trace: %s (%zu events)\n",
+                perfetto_path.c_str(), events.size());
+  }
   return 0;
 }

@@ -15,6 +15,10 @@ namespace ultra::fault {
 class FaultPlan;
 }  // namespace ultra::fault
 
+namespace ultra::telemetry {
+struct RunTelemetry;
+}  // namespace ultra::telemetry
+
 namespace ultra::core {
 
 /// Which branch predictor the fetch engine uses. For cycle-identical
@@ -107,6 +111,14 @@ struct CoreConfig {
   /// per-point wall-clock deadlines. The pointee must outlive Run().
   const std::atomic<bool>* cancel = nullptr;
 
+  /// Optional telemetry sink (see src/telemetry/ and docs/observability.md):
+  /// occupancy / latency / propagation-distance histograms, fault counters,
+  /// and per-cycle pipeline trace events. Null = no instrumentation; an
+  /// attached sink with metrics_enabled = false and no tracer costs one
+  /// null test per hook site (gated <= 2% by bench_telemetry_overhead).
+  /// Single-threaded like the cores themselves; must outlive Run().
+  telemetry::RunTelemetry* telemetry = nullptr;
+
   [[nodiscard]] int EffectiveFetchWidth() const {
     return fetch_width > 0 ? fetch_width : window_size;
   }
@@ -131,6 +143,18 @@ struct InstrTiming {
   std::uint64_t commit_cycle = 0;
 };
 
+/// Fault-injection / self-checking counters (zero on clean runs; see
+/// docs/robustness.md for definitions). One snapshot block instead of loose
+/// parallel fields: the cores fill it through CoreTelemetry::FinalizeFaults,
+/// and the same block feeds the telemetry registry's "fault.*" counters.
+struct FaultCounters {
+  std::uint64_t injected = 0;     // FaultPlan events staged.
+  std::uint64_t checks = 0;       // Cross-validations run.
+  std::uint64_t divergences = 0;  // Mismatched cells, summed.
+  std::uint64_t resyncs = 0;      // Checks finding >= 1 mismatch.
+  std::uint64_t squashes = 0;     // Squashes from forced faults.
+};
+
 struct RunStats {
   std::uint64_t mispredictions = 0;
   std::uint64_t forwarded_loads = 0;  // Loads satisfied without memory.
@@ -143,13 +167,20 @@ struct RunStats {
   /// cores share this definition.
   std::uint64_t fetch_stall_cycles = 0;
   std::uint64_t window_full_cycles = 0;
-  // Fault-injection / self-checking counters (zero on clean runs; see
-  // docs/robustness.md for definitions).
-  std::uint64_t faults_injected = 0;       // FaultPlan events staged.
-  std::uint64_t checker_checks = 0;        // Cross-validations run.
-  std::uint64_t divergences_detected = 0;  // Mismatched cells, summed.
-  std::uint64_t checker_resyncs = 0;       // Checks finding >= 1 mismatch.
-  std::uint64_t squashes_under_fault = 0;  // Squashes from forced faults.
+  FaultCounters fault;
+
+  // Compatibility accessors for the former loose fault-counter fields.
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return fault.injected;
+  }
+  [[nodiscard]] std::uint64_t checker_checks() const { return fault.checks; }
+  [[nodiscard]] std::uint64_t divergences_detected() const {
+    return fault.divergences;
+  }
+  [[nodiscard]] std::uint64_t checker_resyncs() const { return fault.resyncs; }
+  [[nodiscard]] std::uint64_t squashes_under_fault() const {
+    return fault.squashes;
+  }
 };
 
 struct RunResult {

@@ -4,6 +4,7 @@
 
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
+#include "core/telemetry_hooks.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
 #include "fault/fault.hpp"
@@ -54,6 +55,10 @@ RunResult HybridCore::Run(const isa::Program& program) {
   if (checked) check_args.resize(static_cast<std::size_t>(n));
   std::vector<int> fault_stall(static_cast<std::size_t>(n), 0);
 
+  CoreTelemetry tel(config_);
+  // Program-position last writer per register (propagation-distance metric).
+  std::vector<int> last_writer(static_cast<std::size_t>(L));
+
   // Persistent datapath state for the incremental path.
   datapath::HybridDatapathState dp_state(n, L, C);
   for (int r = 0; r < L; ++r) {
@@ -88,6 +93,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
       break;  // Abandoned run: halted stays false.
     }
     result.cycles = cycle + 1;
+    tel.OnCycle(cycle, tail - commit_ptr);
 
     // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
     for (int i = 0; i < n; ++i) {
@@ -120,6 +126,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
     if (injector.active()) {
       injector.BeginCycle(cycle);
       injector.ApplyDatapathFaults(dp_state);
+      tel.OnFaults(cycle, injector.pending());
       for (const fault::FaultEvent& e : injector.pending()) {
         if (e.kind == fault::FaultKind::kStallStation) {
           fault_stall[static_cast<std::size_t>(e.station % n)] +=
@@ -130,6 +137,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
     }
     if (checked && checker.Due(cycle, injector.HasHazardousPending())) {
       checker.RecordCheck();
+      tel.OnCheckerCheck(cycle);
       // Snapshot the (possibly corrupted) argument buffer, rebuild it from
       // the inputs, and diff; the rebuild is itself the resync.
       for (int i = 0; i < n; ++i) {
@@ -145,7 +153,37 @@ RunResult HybridCore::Run(const isa::Program& program) {
         if (seen.arg1 != truth.arg1) ++mismatched;
         if (seen.arg2 != truth.arg2) ++mismatched;
       }
-      if (mismatched > 0) checker.RecordDivergence(cycle, mismatched);
+      if (mismatched > 0) {
+        checker.RecordDivergence(cycle, mismatched);
+        tel.OnCheckerResync(cycle, mismatched);
+      }
+    }
+
+    // Propagation distances in program order: positions crossed from each
+    // operand's nearest preceding writer (committed stations still drive
+    // the ring until their cluster is freed), or from the committed file at
+    // the head cluster when no station in the window writes the register.
+    if (tel.metrics_on()) {
+      std::fill(last_writer.begin(), last_writer.end(), -1);
+      for (int p = 0; p < tail; ++p) {
+        const Station& st =
+            stations[static_cast<std::size_t>(station_index(p))];
+        if (!st.valid) continue;
+        const isa::Instruction& inst = st.inst();
+        if (p >= commit_ptr) {
+          if (isa::ReadsRs1(inst.op)) {
+            const int j = last_writer[static_cast<std::size_t>(inst.rs1)];
+            tel.OnDistance(j >= 0 ? p - j : p + 1);
+          }
+          if (isa::ReadsRs2(inst.op)) {
+            const int j = last_writer[static_cast<std::size_t>(inst.rs2)];
+            tel.OnDistance(j >= 0 ? p - j : p + 1);
+          }
+        }
+        if (isa::WritesRd(inst.op)) {
+          last_writer[static_cast<std::size_t>(inst.rd)] = p;
+        }
+      }
     }
 
     // Sequencing flags in program order over the allocated positions.
@@ -184,7 +222,9 @@ RunResult HybridCore::Run(const isa::Program& program) {
       inflight.erase(it);
       Station& st = stations[static_cast<std::size_t>(tag.tag)];
       if (st.valid && st.generation == tag.generation) {
+        const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
+        tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
     }
 
@@ -238,16 +278,20 @@ RunResult HybridCore::Run(const isa::Program& program) {
         ctx.load_forward = decision.forward;
         ctx.forward_value = decision.value;
       }
+      const bool was_issued = st.issued;
+      const bool was_finished = st.finished;
       const bool mispredicted = StepStation(
           st, args_of(i), ctx, config_.latencies, mem, cycle, i,
           static_cast<std::uint64_t>(i), inflight, result.stats);
+      tel.OnStep(cycle, i, st, was_issued, was_finished);
       if (mispredicted) {
         ++result.stats.mispredictions;
         for (int m = p + 1; m < tail; ++m) {
-          Station& victim =
-              stations[static_cast<std::size_t>(station_index(m))];
+          const int vi = station_index(m);
+          Station& victim = stations[static_cast<std::size_t>(vi)];
           if (victim.valid) {
             ++result.stats.squashed_instructions;
+            tel.OnSquash(cycle, vi, victim);
             victim.Clear();
             ++victim.generation;
           }
@@ -282,11 +326,12 @@ RunResult HybridCore::Run(const isa::Program& program) {
         }
         injector.NoteForcedMispredict();
         for (int m = p + 1; m < tail; ++m) {
-          Station& victim =
-              stations[static_cast<std::size_t>(station_index(m))];
+          const int vi = station_index(m);
+          Station& victim = stations[static_cast<std::size_t>(vi)];
           if (victim.valid) {
             ++result.stats.squashed_instructions;
-            ++result.stats.squashes_under_fault;
+            ++result.stats.fault.squashes;
+            tel.OnSquash(cycle, vi, victim);
             victim.Clear();
             ++victim.generation;
           }
@@ -314,6 +359,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
       }
       result.timeline.push_back(st.timing);
       ++result.committed;
+      tel.OnCommit(cycle, station_index(commit_ptr), st);
       const bool was_halt = inst.op == isa::Opcode::kHalt;
       ++commit_ptr;
       if (was_halt) {
@@ -347,11 +393,11 @@ RunResult HybridCore::Run(const isa::Program& program) {
         ++result.stats.fetch_stall_cycles;
       }
       for (const auto& f : fetch_batch) {
-        FillStation(
-            stations[static_cast<std::size_t>(station_index(tail))], f,
-            next_seq++, cycle);
-        stations[static_cast<std::size_t>(station_index(tail))]
-            .timing.station = station_index(tail);
+        const int slot = station_index(tail);
+        FillStation(stations[static_cast<std::size_t>(slot)], f, next_seq++,
+                    cycle);
+        stations[static_cast<std::size_t>(slot)].timing.station = slot;
+        tel.OnFetch(cycle, slot, stations[static_cast<std::size_t>(slot)]);
         ++tail;
       }
       if (fetch.stalled() && commit_ptr == tail) {
@@ -367,10 +413,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
         committed[static_cast<std::size_t>(r)].value;
   }
   result.memory = mem.store().Snapshot();
-  result.stats.faults_injected = injector.stats().injected;
-  result.stats.checker_checks = checker.stats().checks;
-  result.stats.divergences_detected = checker.stats().divergences;
-  result.stats.checker_resyncs = checker.stats().resyncs;
+  tel.FinalizeFaults(result.stats, injector, checker);
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
+#include "core/telemetry_hooks.hpp"
 #include "datapath/scheduler.hpp"
 #include "datapath/sequencing.hpp"
 
@@ -51,6 +52,8 @@ RunResult IdealCore::Run(const isa::Program& program) {
   RunResult result;
   bool done = false;
 
+  CoreTelemetry tel(config_);
+
   const auto ent = [&](int k) -> Entry& {
     return window[static_cast<std::size_t>((head + k) % n)];
   };
@@ -94,6 +97,7 @@ RunResult IdealCore::Run(const isa::Program& program) {
       break;  // Abandoned run: halted stays false.
     }
     result.cycles = cycle + 1;
+    tel.OnCycle(cycle, count);
 
     // --- Phase 1: snapshot end-of-last-cycle readiness (results become
     // visible to consumers one cycle after they are produced, matching the
@@ -134,7 +138,10 @@ RunResult IdealCore::Run(const isa::Program& program) {
       const MemTag tag = it->second;
       inflight.erase(it);
       if (Entry* e = find_entry(tag.tag); e != nullptr) {
+        const bool entry_was_finished = e->st.finished;
         ApplyMemResponse(e->st, resp, cycle);
+        tel.OnMemComplete(cycle, e->st.timing.station, e->st,
+                          entry_was_finished);
       }
     }
 
@@ -205,11 +212,20 @@ RunResult IdealCore::Run(const isa::Program& program) {
         ctx.load_forward = decision.forward;
         ctx.forward_value = decision.value;
       }
+      const bool step_was_issued = e.st.issued;
+      const bool step_was_finished = e.st.finished;
       const bool mispredicted = StepStation(
           e.st, args_at[ks], ctx, config_.latencies, mem, cycle, k, e.st.seq,
           inflight, result.stats);
+      tel.OnStep(cycle, e.st.timing.station, e.st, step_was_issued,
+                 step_was_finished);
       if (mispredicted) {
         ++result.stats.mispredictions;
+        if (tel.trace_on() || tel.metrics_on()) {
+          for (int m = k + 1; m < count; ++m) {
+            tel.OnSquash(cycle, ent(m).st.timing.station, ent(m).st);
+          }
+        }
         result.stats.squashed_instructions +=
             static_cast<std::uint64_t>(count - (k + 1));
         count = k + 1;
@@ -247,6 +263,7 @@ RunResult IdealCore::Run(const isa::Program& program) {
       }
       result.timeline.push_back(st.timing);
       ++result.committed;
+      tel.OnCommit(cycle, st.timing.station, st);
       const bool was_halt = inst.op == isa::Opcode::kHalt;
       head = (head + 1) % n;
       --count;
@@ -269,6 +286,7 @@ RunResult IdealCore::Run(const isa::Program& program) {
       for (const auto& f : fetch_batch) {
         Entry& e = ent(count);
         FillStation(e.st, f, next_seq++, cycle);
+        e.st.timing.station = (head + count) % n;
         e.dep1_inflight = false;
         e.dep1_seq = 0;
         e.val1 = 0;
@@ -293,6 +311,13 @@ RunResult IdealCore::Run(const isa::Program& program) {
           }
         }
         if (isa::WritesRd(inst.op)) rename[inst.rd] = e.st.seq;
+        tel.OnFetch(cycle, e.st.timing.station, e.st);
+        if (e.dep1_inflight) {
+          tel.OnRename(cycle, e.st.timing.station, e.st, e.dep1_seq);
+        }
+        if (e.dep2_inflight) {
+          tel.OnRename(cycle, e.st.timing.station, e.st, e.dep2_seq);
+        }
         ++count;
       }
       if (fetch.stalled() && count == 0) {

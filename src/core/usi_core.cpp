@@ -4,6 +4,7 @@
 
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
+#include "core/telemetry_hooks.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
 #include "fault/fault.hpp"
@@ -65,6 +66,11 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
   const bool checked = config_.datapath_eval == DatapathEval::kChecked;
   const bool pipelined = config_.pipeline_levels_per_stage > 0;
 
+  CoreTelemetry tel(config_);
+  // The program-order last-writer sweep serves both the pipelined datapath
+  // and the propagation-distance histogram.
+  const bool track_writers = pipelined || tel.metrics_on();
+
   fault::FaultInjector injector(config_.fault_plan.get());
   fault::DatapathChecker checker(config_.checker_stride);
   // Checked-mode scratch: the delivery buffer as the stations would read
@@ -114,6 +120,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       break;  // Abandoned run: halted stays false.
     }
     result.cycles = cycle + 1;
+    tel.OnCycle(cycle, count);
 
     // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
     for (int i = 0; i < n; ++i) {
@@ -160,6 +167,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
     if (injector.active()) {
       injector.BeginCycle(cycle);
       injector.ApplyDatapathFaults(dp_state);
+      tel.OnFaults(cycle, injector.pending());
       for (const fault::FaultEvent& e : injector.pending()) {
         if (e.kind == fault::FaultKind::kStallStation) {
           fault_stall[static_cast<std::size_t>(e.station % n)] +=
@@ -170,6 +178,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
     }
     if (checked && checker.Due(cycle, injector.HasHazardousPending())) {
       checker.RecordCheck();
+      tel.OnCheckerCheck(cycle);
       // Snapshot the (possibly corrupted) delivery buffer, rebuild it from
       // the inputs, and diff. The rebuild is itself the resync, so a
       // detected divergence costs nothing extra to repair.
@@ -190,7 +199,10 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
           }
         }
       }
-      if (mismatched > 0) checker.RecordDivergence(cycle, mismatched);
+      if (mismatched > 0) {
+        checker.RecordDivergence(cycle, mismatched);
+        tel.OnCheckerResync(cycle, mismatched);
+      }
     }
 
     seq.AllPrecedingSatisfyInto(no_store, head, prev_stores_done);
@@ -206,7 +218,9 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       inflight.erase(it);
       Station& st = stations[static_cast<std::size_t>(tag.tag)];
       if (st.valid && st.generation == tag.generation) {
+        const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
+        tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
     }
 
@@ -214,7 +228,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
     const int live = count;
     std::fill(args_at.begin(), args_at.end(), datapath::ResolvedArgs{});
     mem_window.assign(static_cast<std::size_t>(live), core::MemWindowEntry{});
-    if (pipelined) std::fill(last_writer.begin(), last_writer.end(), -1);
+    if (track_writers) std::fill(last_writer.begin(), last_writer.end(), -1);
     for (int k = 0; k < live; ++k) {
       const int i = (head + k) % n;
       const Station& st = stations[static_cast<std::size_t>(i)];
@@ -223,6 +237,13 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       datapath::ResolvedArgs args;
       // The oldest station ignores the ring and reads the committed file.
       const auto read = [&](isa::RegId r) -> datapath::RegBinding {
+        if (tel.metrics_on()) {
+          // Ring distance from the value's source: the nearest preceding
+          // writer, or the committed file at the oldest station.
+          const int j =
+              k == 0 ? head : last_writer[static_cast<std::size_t>(r)];
+          tel.OnDistance(j >= 0 ? (i - j + n) % n : (i - head + n) % n);
+        }
         if (k == 0) return committed[r];
         if (!pipelined) {
           return incremental
@@ -256,7 +277,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       if (isa::ReadsRs1(inst.op)) args.arg1 = read(inst.rs1);
       if (isa::ReadsRs2(inst.op)) args.arg2 = read(inst.rs2);
       args_at[static_cast<std::size_t>(i)] = args;
-      if (pipelined && isa::WritesRd(inst.op)) {
+      if (track_writers && isa::WritesRd(inst.op)) {
         last_writer[static_cast<std::size_t>(inst.rd)] = i;
       }
       if (config_.store_forwarding) {
@@ -308,15 +329,20 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         ctx.load_forward = decision.forward;
         ctx.forward_value = decision.value;
       }
+      const bool was_issued = st.issued;
+      const bool was_finished = st.finished;
       const bool mispredicted =
           StepStation(st, args, ctx, config_.latencies, mem, cycle, i,
                       static_cast<std::uint64_t>(i), inflight, result.stats);
+      tel.OnStep(cycle, i, st, was_issued, was_finished);
       if (mispredicted) {
         ++result.stats.mispredictions;
         for (int m = k + 1; m < count; ++m) {
-          Station& victim = stations[static_cast<std::size_t>((head + m) % n)];
+          const int vi = (head + m) % n;
+          Station& victim = stations[static_cast<std::size_t>(vi)];
           if (victim.valid) {
             ++result.stats.squashed_instructions;
+            tel.OnSquash(cycle, vi, victim);
             victim.Clear();
             ++victim.generation;
           }
@@ -356,11 +382,12 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         }
         injector.NoteForcedMispredict();
         for (int m = k + 1; m < count; ++m) {
-          Station& victim =
-              stations[static_cast<std::size_t>((head + m) % n)];
+          const int vi = (head + m) % n;
+          Station& victim = stations[static_cast<std::size_t>(vi)];
           if (victim.valid) {
             ++result.stats.squashed_instructions;
-            ++result.stats.squashes_under_fault;
+            ++result.stats.fault.squashes;
+            tel.OnSquash(cycle, vi, victim);
             victim.Clear();
             ++victim.generation;
           }
@@ -388,6 +415,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       }
       result.timeline.push_back(st.timing);
       ++result.committed;
+      tel.OnCommit(cycle, head, st);
       const bool was_halt = inst.op == isa::Opcode::kHalt;
       st.Clear();
       head = (head + 1) % n;
@@ -413,6 +441,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         FillStation(stations[static_cast<std::size_t>(slot)], f, next_seq++,
                     cycle);
         stations[static_cast<std::size_t>(slot)].timing.station = slot;
+        tel.OnFetch(cycle, slot, stations[static_cast<std::size_t>(slot)]);
         ++count;
       }
       if (fetch.stalled() && count == 0) {
@@ -429,10 +458,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         committed[static_cast<std::size_t>(r)].value;
   }
   result.memory = mem.store().Snapshot();
-  result.stats.faults_injected = injector.stats().injected;
-  result.stats.checker_checks = checker.stats().checks;
-  result.stats.divergences_detected = checker.stats().divergences;
-  result.stats.checker_resyncs = checker.stats().resyncs;
+  tel.FinalizeFaults(result.stats, injector, checker);
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
+#include "core/telemetry_hooks.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
 #include "fault/fault.hpp"
@@ -57,6 +58,10 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   datapath::UsiiPropagation check_prop;  // Checked-mode recompute target.
   std::vector<int> fault_stall(static_cast<std::size_t>(n), 0);
 
+  CoreTelemetry tel(config_);
+  // Batch-position last writer per register (propagation-distance metric).
+  std::vector<int> last_writer(static_cast<std::size_t>(L));
+
   std::vector<datapath::StationRequest> requests(
       static_cast<std::size_t>(n));
   std::vector<std::uint8_t> no_store(static_cast<std::size_t>(n));
@@ -82,18 +87,39 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
       break;  // Abandoned run: halted stays false.
     }
     result.cycles = cycle + 1;
+    tel.OnCycle(cycle, fill);
 
     // --- Phase 1: combinational propagation and batch-completion check,
     // both against end-of-last-cycle state. ---
     bool all_finished = true;
     bool any_valid = false;
     bool requests_changed = false;
+    if (tel.metrics_on()) {
+      std::fill(last_writer.begin(), last_writer.end(), -1);
+    }
     for (int i = 0; i < n; ++i) {
       const Station& st = stations[static_cast<std::size_t>(i)];
       datapath::StationRequest req = MakeRequest(st);
       if (req != requests[static_cast<std::size_t>(i)]) {
         requests[static_cast<std::size_t>(i)] = req;
         requests_changed = true;
+      }
+      if (tel.metrics_on() && st.valid) {
+        // Grid distance to each operand's source: rows crossed from the
+        // nearest preceding writer, or from the register file (one row
+        // above the batch) when no station in the batch writes it.
+        const isa::Instruction& inst = st.inst();
+        if (isa::ReadsRs1(inst.op)) {
+          const int j = last_writer[static_cast<std::size_t>(inst.rs1)];
+          tel.OnDistance(j >= 0 ? i - j : i + 1);
+        }
+        if (isa::ReadsRs2(inst.op)) {
+          const int j = last_writer[static_cast<std::size_t>(inst.rs2)];
+          tel.OnDistance(j >= 0 ? i - j : i + 1);
+        }
+        if (isa::WritesRd(inst.op)) {
+          last_writer[static_cast<std::size_t>(inst.rd)] = i;
+        }
       }
       if (st.valid) {
         any_valid = true;
@@ -124,6 +150,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
     if (injector.active()) {
       injector.BeginCycle(cycle);
       injector.ApplyDatapathFaults(prop);
+      tel.OnFaults(cycle, injector.pending());
       for (const fault::FaultEvent& e : injector.pending()) {
         if (e.kind == fault::FaultKind::kStallStation) {
           fault_stall[static_cast<std::size_t>(e.station % n)] +=
@@ -134,6 +161,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
     }
     if (checked && checker.Due(cycle, injector.HasHazardousPending())) {
       checker.RecordCheck();
+      tel.OnCheckerCheck(cycle);
       // Recompute the propagation from the (uncorruptible) inputs into the
       // scratch buffer and diff against the live one; on divergence adopt
       // the recomputed truth wholesale.
@@ -151,6 +179,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         std::swap(prop.final_regs, check_prop.final_regs);
         prop_valid = true;
         checker.RecordDivergence(cycle, mismatched);
+        tel.OnCheckerResync(cycle, mismatched);
       }
     }
 
@@ -171,6 +200,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
             prop.final_regs[static_cast<std::size_t>(r)];
       }
       regfile_changed = true;
+      const std::uint64_t committed_before = result.committed;
       for (int i = 0; i < fill && !done; ++i) {
         Station& st = stations[static_cast<std::size_t>(i)];
         if (!st.valid) continue;
@@ -180,6 +210,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         }
         result.timeline.push_back(st.timing);
         ++result.committed;
+        tel.OnCommit(cycle, i, st);
         if (st.inst().op == isa::Opcode::kHalt) {
           done = true;
           result.halted = true;
@@ -187,6 +218,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         st.Clear();
         ++st.generation;
       }
+      tel.OnBatchRetire(cycle, result.committed - committed_before);
       for (auto& st : stations) {
         if (st.valid) {
           st.Clear();
@@ -205,7 +237,9 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
       inflight.erase(it);
       Station& st = stations[static_cast<std::size_t>(tag.tag)];
       if (st.valid && st.generation == tag.generation) {
+        const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
+        tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
     }
 
@@ -260,16 +294,20 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
           ctx.load_forward = decision.forward;
           ctx.forward_value = decision.value;
         }
+        const bool was_issued = st.issued;
+        const bool was_finished = st.finished;
         const bool mispredicted = StepStation(
             st, prop.args[static_cast<std::size_t>(i)], ctx,
             config_.latencies, mem, cycle, i, static_cast<std::uint64_t>(i),
             inflight, result.stats);
+        tel.OnStep(cycle, i, st, was_issued, was_finished);
         if (mispredicted) {
           ++result.stats.mispredictions;
           for (int m = i + 1; m < fill; ++m) {
             Station& victim = stations[static_cast<std::size_t>(m)];
             if (victim.valid) {
               ++result.stats.squashed_instructions;
+              tel.OnSquash(cycle, m, victim);
               victim.Clear();
               ++victim.generation;
             }
@@ -306,7 +344,8 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
             Station& victim = stations[static_cast<std::size_t>(m)];
             if (victim.valid) {
               ++result.stats.squashed_instructions;
-              ++result.stats.squashes_under_fault;
+              ++result.stats.fault.squashes;
+              tel.OnSquash(cycle, m, victim);
               victim.Clear();
               ++victim.generation;
             }
@@ -330,6 +369,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         FillStation(stations[static_cast<std::size_t>(fill)], f, next_seq++,
                     cycle);
         stations[static_cast<std::size_t>(fill)].timing.station = fill;
+        tel.OnFetch(cycle, fill, stations[static_cast<std::size_t>(fill)]);
         ++fill;
       }
       if (fetch.stalled() && fill == 0) {
@@ -345,10 +385,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         regfile[static_cast<std::size_t>(r)].value;
   }
   result.memory = mem.store().Snapshot();
-  result.stats.faults_injected = injector.stats().injected;
-  result.stats.checker_checks = checker.stats().checks;
-  result.stats.divergences_detected = checker.stats().divergences;
-  result.stats.checker_resyncs = checker.stats().resyncs;
+  tel.FinalizeFaults(result.stats, injector, checker);
   return result;
 }
 

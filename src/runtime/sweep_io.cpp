@@ -7,6 +7,8 @@
 #include <ostream>
 #include <string>
 
+#include "telemetry/metrics.hpp"
+
 namespace ultra::runtime {
 
 namespace {
@@ -97,6 +99,47 @@ std::string FormatIpc(const core::RunResult& result) {
   return buf;
 }
 
+bool AnyMetrics(const std::vector<SweepOutcome>& outcomes) {
+  for (const SweepOutcome& o : outcomes) {
+    if (!o.metrics.empty()) return true;
+  }
+  return false;
+}
+
+/// Compact single-token metric rendering for the CSV comment trailer:
+/// counters/gauges as name=value, histograms as
+/// name=count:C,sum:S,buckets:b0|b1|...|overflow.
+void WriteCsvMetric(std::ostream& os, const telemetry::MetricValue& m) {
+  os << m.name << '=';
+  if (m.kind == telemetry::MetricKind::kHistogram) {
+    os << "count:" << m.count << ",sum:" << m.sum << ",buckets:";
+    for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+      os << (b == 0 ? "" : "|") << m.buckets[b];
+    }
+  } else {
+    os << m.value;
+  }
+}
+
+void WriteJsonMetric(std::ostream& os, const telemetry::MetricValue& m) {
+  os << "{\"name\": \"" << JsonEscape(m.name) << "\", \"kind\": \""
+     << telemetry::MetricKindName(m.kind) << "\", ";
+  if (m.kind == telemetry::MetricKind::kHistogram) {
+    os << "\"count\": " << m.count << ", \"sum\": " << m.sum
+       << ", \"bounds\": [";
+    for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << m.bounds[b];
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << m.buckets[b];
+    }
+    os << "]}";
+  } else {
+    os << "\"value\": " << m.value << '}';
+  }
+}
+
 }  // namespace
 
 void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
@@ -122,8 +165,8 @@ void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << s.mispredictions << ',' << s.squashed_instructions << ','
        << s.forwarded_loads << ',' << s.load_count << ',' << s.store_count
        << ',' << s.fetch_stall_cycles << ',' << s.window_full_cycles << ','
-       << s.faults_injected << ',' << s.divergences_detected << ','
-       << s.checker_resyncs << ',' << s.squashes_under_fault << ','
+       << s.faults_injected() << ',' << s.divergences_detected() << ','
+       << s.checker_resyncs() << ',' << s.squashes_under_fault() << ','
        << o.attempts << ',' << (o.deadline_exceeded ? 1 : 0) << '\n';
   }
   // Quarantine section: failed points again, as comment lines a CSV reader
@@ -137,6 +180,26 @@ void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << CsvEscape(o->workload) << " attempts=" << o->attempts
        << " deadline_exceeded=" << (o->deadline_exceeded ? 1 : 0)
        << " error=" << CsvEscape(o->error) << '\n';
+  }
+  // Metrics trailer: one comment line per instrumented point. Emitted only
+  // when SweepOptions::collect_metrics populated snapshots, so legacy
+  // sweeps produce byte-identical files with or without this build.
+  if (AnyMetrics(outcomes)) {
+    std::size_t instrumented = 0;
+    for (const SweepOutcome& o : outcomes) {
+      if (!o.metrics.empty()) ++instrumented;
+    }
+    os << "# metrics: " << instrumented << " instrumented point"
+       << (instrumented == 1 ? "" : "s") << '\n';
+    for (const SweepOutcome& o : outcomes) {
+      if (o.metrics.empty()) continue;
+      os << "# metrics index=" << o.index;
+      for (const telemetry::MetricValue& m : o.metrics.metrics) {
+        os << ' ';
+        WriteCsvMetric(os, m);
+      }
+      os << '\n';
+    }
   }
 }
 
@@ -174,11 +237,22 @@ void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << ", \"store_count\": " << s.store_count
        << ", \"fetch_stall_cycles\": " << s.fetch_stall_cycles
        << ", \"window_full_cycles\": " << s.window_full_cycles
-       << ", \"faults_injected\": " << s.faults_injected
-       << ", \"divergences_detected\": " << s.divergences_detected
-       << ", \"checker_resyncs\": " << s.checker_resyncs
-       << ", \"squashes_under_fault\": " << s.squashes_under_fault << "}}}"
-       << (i + 1 < outcomes.size() ? "," : "") << "\n";
+       << ", \"faults_injected\": " << s.faults_injected()
+       << ", \"divergences_detected\": " << s.divergences_detected()
+       << ", \"checker_resyncs\": " << s.checker_resyncs()
+       << ", \"squashes_under_fault\": " << s.squashes_under_fault() << "}}";
+    // Per-point metrics, present only when collect_metrics filled them, so
+    // uninstrumented sweeps keep the historical byte-exact shape.
+    if (!o.metrics.empty()) {
+      os << ",\n   \"metrics\": [";
+      const auto& ms = o.metrics.metrics;
+      for (std::size_t m = 0; m < ms.size(); ++m) {
+        os << (m == 0 ? "\n    " : ",\n    ");
+        WriteJsonMetric(os, ms[m]);
+      }
+      os << "\n   ]";
+    }
+    os << '}' << (i + 1 < outcomes.size() ? "," : "") << "\n";
   }
   os << "],\n \"quarantine\": [";
   const auto bad = Quarantine(outcomes);

@@ -16,10 +16,14 @@
 
 namespace ultra::runtime {
 
-/// One row per outcome; the first line is the header.
+/// One row per outcome; the first line is the header. When outcomes carry
+/// metrics snapshots (SweepOptions::collect_metrics), a trailer of
+/// "# metrics index=..." comment lines follows the quarantine section.
 void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes);
 
-/// A JSON array of per-point objects.
+/// A JSON array of per-point objects. Points with a non-empty metrics
+/// snapshot additionally carry a "metrics" array of
+/// {name, kind, value | count/sum/bounds/buckets} objects.
 void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes);
 
 /// Flags shared by the sweep-based benches:

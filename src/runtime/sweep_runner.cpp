@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/functional_sim_cache.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ultra::runtime {
 
@@ -156,6 +157,30 @@ struct PointWatch {
   std::atomic<std::int64_t> deadline_ns{0};  // 0 = disarmed.
 };
 
+/// Bucket edges for sweep.point_wall_time_us: decades from 100us to 1min.
+constexpr std::uint64_t kWallTimeBoundsUs[] = {
+    100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000, 60'000'000};
+
+/// Pre-registered handles for the runner's own metrics. Registration
+/// happens on the calling thread before the workers start; each worker
+/// then writes its own per-point shard, so no slot is ever contended.
+struct RunnerMetrics {
+  telemetry::MetricsRegistry registry;
+  telemetry::CounterId attempts = registry.Counter("sweep.attempts");
+  telemetry::CounterId retries = registry.Counter("sweep.retries");
+  telemetry::CounterId deadline_exceeded =
+      registry.Counter("sweep.deadline_exceeded");
+  telemetry::CounterId failed_points = registry.Counter("sweep.failed_points");
+  telemetry::CounterId backoff_wait_us =
+      registry.Counter("sweep.backoff_wait_us");
+  telemetry::HistogramId point_wall_time_us =
+      registry.Histogram("sweep.point_wall_time_us", kWallTimeBoundsUs);
+  telemetry::CounterId cache_hits = registry.Counter("fnsim_cache.hits");
+  telemetry::CounterId cache_misses = registry.Counter("fnsim_cache.misses");
+  telemetry::CounterId cache_evictions =
+      registry.Counter("fnsim_cache.evictions");
+};
+
 }  // namespace
 
 std::vector<const SweepOutcome*> Quarantine(
@@ -174,9 +199,24 @@ SweepRunner::SweepRunner(SweepOptions options)
 
 std::vector<SweepOutcome> SweepRunner::Run(
     const std::vector<SweepPoint>& points) const {
-  std::vector<SweepOutcome> outcomes(points.size());
+  return RunWithReport(points).outcomes;
+}
+
+SweepReport SweepRunner::RunWithReport(
+    const std::vector<SweepPoint>& points) const {
+  SweepReport report;
+  std::vector<SweepOutcome>& outcomes = report.outcomes;
+  outcomes.resize(points.size());
   const double deadline_s = options_.point_deadline_seconds;
   const int max_attempts = std::max(1, options_.max_attempts);
+
+  // Runner metrics: handles are registered here (cold path, calling
+  // thread); every point gets its own shard so workers never share a slot,
+  // and the shards merge in submission order after the join.
+  RunnerMetrics rm;
+  std::vector<telemetry::MetricSheet> shards(points.size());
+  const core::FunctionalSimCache::Stats cache_before =
+      core::FunctionalSimCache::Global().stats();
 
   // Deadline watchdog: one background thread scans the armed slots. The
   // cores poll CoreConfig::cancel every 1024 cycles, so enforcement is
@@ -206,6 +246,8 @@ std::vector<SweepOutcome> SweepRunner::Run(
     out.kind = point.kind;
     out.workload = point.workload;
     out.config = point.config;
+    telemetry::MetricSheet& shard = shards[i];
+    shard.Bind(&rm.registry);
     PointWatch* w = deadline_s > 0 ? &watch[i] : nullptr;
     const auto start = std::chrono::steady_clock::now();
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -216,6 +258,11 @@ std::vector<SweepOutcome> SweepRunner::Run(
       try {
         if (!point.program) throw std::invalid_argument("null program");
         core::CoreConfig cfg = point.config;
+        // A fresh sink per attempt: a retried attempt must not inherit the
+        // failed attempt's counts, and the simulation is single-threaded,
+        // so the sink never crosses a thread.
+        telemetry::RunTelemetry rt;
+        if (options_.collect_metrics) cfg.telemetry = &rt;
         if (w) {
           w->cancel.store(false, std::memory_order_release);
           cfg.cancel = &w->cancel;
@@ -225,6 +272,7 @@ std::vector<SweepOutcome> SweepRunner::Run(
         }
         auto proc = core::MakeProcessor(point.kind, cfg);
         out.result = proc->Run(*point.program);
+        if (options_.collect_metrics) out.metrics = rt.Snapshot();
         if (w) w->deadline_ns.store(0, std::memory_order_release);
         if (w && !out.result.halted &&
             w->cancel.load(std::memory_order_acquire)) {
@@ -247,6 +295,7 @@ std::vector<SweepOutcome> SweepRunner::Run(
         err = "unknown error";
       }
       if (w) w->deadline_ns.store(0, std::memory_order_release);
+      if (out.deadline_exceeded) shard.Add(rm.deadline_exceeded);
       if (err.empty()) {
         out.ok = true;
         out.error.clear();
@@ -260,6 +309,8 @@ std::vector<SweepOutcome> SweepRunner::Run(
                            static_cast<double>(1 << (attempt - 1)) *
                            BackoffJitter(i, attempt);
       if (delay > 0) {
+        shard.Add(rm.backoff_wait_us,
+                  static_cast<std::uint64_t>(delay * 1e6));
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));
       }
     }
@@ -267,11 +318,30 @@ std::vector<SweepOutcome> SweepRunner::Run(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    shard.Add(rm.attempts, static_cast<std::uint64_t>(out.attempts));
+    if (out.attempts > 1) {
+      shard.Add(rm.retries, static_cast<std::uint64_t>(out.attempts - 1));
+    }
+    if (!out.ok) shard.Add(rm.failed_points);
+    shard.Observe(rm.point_wall_time_us,
+                  static_cast<std::uint64_t>(out.wall_seconds * 1e6));
   });
 
   watchdog_stop.store(true, std::memory_order_release);
   if (watchdog.joinable()) watchdog.join();
-  return outcomes;
+
+  // Aggregate the per-point shards in submission order, then fold in the
+  // process-wide functional-sim cache delta observed across this sweep.
+  telemetry::MetricSheet total(&rm.registry);
+  for (const telemetry::MetricSheet& shard : shards) total.MergeFrom(shard);
+  const core::FunctionalSimCache::Stats cache_after =
+      core::FunctionalSimCache::Global().stats();
+  total.Add(rm.cache_hits, cache_after.hits - cache_before.hits);
+  total.Add(rm.cache_misses, cache_after.misses - cache_before.misses);
+  total.Add(rm.cache_evictions,
+            cache_after.evictions - cache_before.evictions);
+  report.runner_metrics = total.Snapshot();
+  return report;
 }
 
 }  // namespace ultra::runtime

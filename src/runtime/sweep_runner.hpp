@@ -25,6 +25,7 @@
 #include "core/config.hpp"
 #include "core/processor.hpp"
 #include "isa/program.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ultra::runtime {
 
@@ -93,6 +94,12 @@ struct SweepOutcome {
   /// Informational only -- deliberately excluded from the CSV/JSON exports
   /// so they stay deterministic.
   double wall_seconds = 0.0;
+  /// Per-point core metrics (window occupancy, issue-to-commit latency,
+  /// propagation distance, fault counters). Empty unless
+  /// SweepOptions::collect_metrics is set; the values come from the
+  /// deterministic single-threaded simulation, so they are identical at any
+  /// thread count and safe for the exporters to emit.
+  telemetry::MetricsSnapshot metrics;
 };
 
 struct SweepOptions {
@@ -115,12 +122,30 @@ struct SweepOptions {
   /// jitter in [0.5, 1.5) so retry storms decorrelate without making the
   /// sweep's *output* depend on timing.
   double retry_backoff_seconds = 0.05;
+  /// Attach a fresh telemetry::RunTelemetry to every point attempt and
+  /// snapshot its metrics into SweepOutcome::metrics. Off by default: the
+  /// hooks cost a few percent of simulation throughput when live, and the
+  /// exporters only grow metric sections when snapshots are present.
+  bool collect_metrics = false;
 };
 
 /// The failed outcomes of a sweep, in submission order -- the quarantine
 /// list the exporters append to CSV/JSON.
 std::vector<const SweepOutcome*> Quarantine(
     const std::vector<SweepOutcome>& outcomes);
+
+/// A sweep's outcomes plus the runner's own operational metrics.
+struct SweepReport {
+  std::vector<SweepOutcome> outcomes;  // Submission order.
+  /// Runner-level counters aggregated across points in submission order:
+  /// sweep.attempts / sweep.retries / sweep.deadline_exceeded /
+  /// sweep.failed_points / sweep.backoff_wait_us, the
+  /// sweep.point_wall_time_us histogram, and the FunctionalSimCache
+  /// hit/miss/eviction delta (fnsim_cache.*). Wall-clock derived, so NOT
+  /// deterministic and deliberately never exported -- programmatic
+  /// consumption only (operators, tests asserting attempt counts).
+  telemetry::MetricsSnapshot runner_metrics;
+};
 
 class SweepRunner {
  public:
@@ -131,6 +156,11 @@ class SweepRunner {
   /// fails the oracle check yields ok == false rather than aborting the
   /// sweep, so a long sweep always produces a usable artifact.
   [[nodiscard]] std::vector<SweepOutcome> Run(
+      const std::vector<SweepPoint>& points) const;
+
+  /// Like Run(), additionally returning the runner's operational metrics
+  /// (see SweepReport). Run() simply discards that report section.
+  [[nodiscard]] SweepReport RunWithReport(
       const std::vector<SweepPoint>& points) const;
 
   /// Deterministic parallel map for analytic sweeps (VLSI models, delay

@@ -1,0 +1,211 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ultra::telemetry {
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::Find(
+    std::string_view name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+CounterId MetricsRegistry::Counter(std::string_view name) {
+  if (const Metric* m = Find(name)) {
+    if (m->kind != MetricKind::kCounter) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered as " +
+                                  std::string(MetricKindName(m->kind)));
+    }
+    return CounterId{m->slot};
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_count_);
+  metrics_.push_back(Metric{std::string(name), MetricKind::kCounter, slot,
+                            /*bounds_begin=*/0, /*num_bounds=*/0});
+  slot_count_ += 1;
+  return CounterId{slot};
+}
+
+GaugeId MetricsRegistry::Gauge(std::string_view name) {
+  if (const Metric* m = Find(name)) {
+    if (m->kind != MetricKind::kGauge) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered as " +
+                                  std::string(MetricKindName(m->kind)));
+    }
+    return GaugeId{m->slot};
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_count_);
+  metrics_.push_back(Metric{std::string(name), MetricKind::kGauge, slot,
+                            /*bounds_begin=*/0, /*num_bounds=*/0});
+  slot_count_ += 1;
+  return GaugeId{slot};
+}
+
+HistogramId MetricsRegistry::Histogram(std::string_view name,
+                                       std::span<const std::uint64_t> bounds) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("histogram '" + std::string(name) +
+                                "' needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      throw std::invalid_argument("histogram '" + std::string(name) +
+                                  "' bounds must be strictly increasing");
+    }
+  }
+  if (const Metric* m = Find(name)) {
+    if (m->kind != MetricKind::kHistogram) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered as " +
+                                  std::string(MetricKindName(m->kind)));
+    }
+    const std::span<const std::uint64_t> existing(
+        bounds_.data() + m->bounds_begin, m->num_bounds);
+    if (!std::ranges::equal(existing, bounds)) {
+      throw std::invalid_argument("histogram '" + std::string(name) +
+                                  "' re-registered with different bounds");
+    }
+    return HistogramId{m->slot, m->bounds_begin, m->num_bounds};
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_count_);
+  const auto bounds_begin = static_cast<std::uint32_t>(bounds_.size());
+  const auto num_bounds = static_cast<std::uint32_t>(bounds.size());
+  bounds_.insert(bounds_.end(), bounds.begin(), bounds.end());
+  metrics_.push_back(
+      Metric{std::string(name), MetricKind::kHistogram, slot, bounds_begin,
+             num_bounds});
+  slot_count_ += bounds.size() + 3;  // Buckets + overflow + count + sum.
+  return HistogramId{slot, bounds_begin, num_bounds};
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(
+    std::span<const std::uint64_t> slots) const {
+  MetricsSnapshot snap;
+  snap.metrics.reserve(metrics_.size());
+  for (const Metric& m : metrics_) {
+    MetricValue v;
+    v.name = m.name;
+    v.kind = m.kind;
+    if (m.kind == MetricKind::kHistogram) {
+      v.bounds.assign(bounds_.begin() + m.bounds_begin,
+                      bounds_.begin() + m.bounds_begin + m.num_bounds);
+      v.buckets.assign(slots.begin() + m.slot,
+                       slots.begin() + m.slot + m.num_bounds + 1);
+      v.count = slots[m.slot + m.num_bounds + 1];
+      v.sum = slots[m.slot + m.num_bounds + 2];
+    } else {
+      v.value = slots[m.slot];
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const MetricValue& o : other.metrics) {
+    MetricValue* mine = nullptr;
+    for (MetricValue& m : metrics) {
+      if (m.name == o.name) {
+        mine = &m;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      metrics.push_back(o);
+      continue;
+    }
+    if (mine->kind != o.kind) {
+      throw std::invalid_argument("snapshot merge: metric '" + o.name +
+                                  "' has mismatched kinds");
+    }
+    switch (o.kind) {
+      case MetricKind::kCounter:
+        mine->value += o.value;
+        break;
+      case MetricKind::kGauge:
+        mine->value = std::max(mine->value, o.value);
+        break;
+      case MetricKind::kHistogram: {
+        if (mine->bounds != o.bounds) {
+          throw std::invalid_argument("snapshot merge: histogram '" + o.name +
+                                      "' has mismatched bounds");
+        }
+        for (std::size_t i = 0; i < mine->buckets.size(); ++i) {
+          mine->buckets[i] += o.buckets[i];
+        }
+        mine->count += o.count;
+        mine->sum += o.sum;
+        break;
+      }
+    }
+  }
+}
+
+void MetricSheet::Bind(const MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    registry_ = nullptr;
+    slots_.clear();
+    data_ = nullptr;
+    bounds_data_ = nullptr;
+    return;
+  }
+  if (registry_ != registry) {
+    slots_.assign(registry->slot_count(), 0);
+  } else {
+    slots_.resize(registry->slot_count(), 0);
+  }
+  registry_ = registry;
+  data_ = slots_.data();
+  bounds_data_ = registry->bounds_pool().data();
+}
+
+void MetricSheet::Reset() { std::ranges::fill(slots_, 0); }
+
+void MetricSheet::MergeFrom(const MetricSheet& other) {
+  if (registry_ == nullptr || other.registry_ != registry_) return;
+  const std::size_t n = std::min(slots_.size(), other.slots_.size());
+  for (const MetricsRegistry::Metric& m : registry_->metrics()) {
+    if (m.slot >= n) continue;
+    if (m.kind == MetricKind::kGauge) {
+      slots_[m.slot] = std::max(slots_[m.slot], other.slots_[m.slot]);
+    } else if (m.kind == MetricKind::kCounter) {
+      slots_[m.slot] += other.slots_[m.slot];
+    } else {
+      const std::size_t end = m.slot + m.num_bounds + 3;
+      for (std::size_t s = m.slot; s < end && s < n; ++s) {
+        slots_[s] += other.slots_[s];
+      }
+    }
+  }
+}
+
+MetricsSnapshot MetricSheet::Snapshot() const {
+  if (registry_ == nullptr) return {};
+  return registry_->Snapshot(slots_);
+}
+
+}  // namespace ultra::telemetry

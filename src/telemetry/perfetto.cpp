@@ -1,0 +1,174 @@
+#include "telemetry/perfetto.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ultra::telemetry {
+namespace {
+
+/// Pseudo-tid hosting core-level instant events (station == -1).
+constexpr std::int64_t kCoreTid = 1'000'000;
+constexpr int kPid = 1;
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  }
+
+  void Emit(const std::string& line) {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << line;
+  }
+
+  void Finish() { os_ << "\n]}\n"; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+std::string Metadata(std::string_view what, std::int64_t tid,
+                     std::string_view name, bool with_tid) {
+  std::string line = "{\"ph\":\"M\",\"pid\":" + std::to_string(kPid);
+  if (with_tid) line += ",\"tid\":" + std::to_string(tid);
+  line += ",\"name\":\"";
+  line += what;
+  line += "\",\"args\":{\"name\":\"";
+  AppendEscaped(line, name);
+  line += "\"}}";
+  return line;
+}
+
+std::string DefaultLabel(const InstrSpan& s) {
+  return "op" + std::to_string(s.op) + " seq=" + std::to_string(s.seq);
+}
+
+}  // namespace
+
+void WritePerfettoTrace(std::ostream& os, std::span<const TraceEvent> events,
+                        const PerfettoOptions& options) {
+  EventWriter w(os);
+  w.Emit(Metadata("process_name", 0, options.process_name,
+                  /*with_tid=*/false));
+
+  // Thread-name metadata for every station that appears, ascending, then
+  // the pseudo-thread for core-level events if any exist.
+  std::set<std::int32_t> stations;
+  bool any_core_events = false;
+  for (const TraceEvent& e : events) {
+    if (e.station >= 0) {
+      stations.insert(e.station);
+    } else {
+      any_core_events = true;
+    }
+  }
+  for (const std::int32_t st : stations) {
+    w.Emit(Metadata("thread_name", st, "station " + std::to_string(st),
+                    /*with_tid=*/true));
+  }
+  if (any_core_events) {
+    w.Emit(Metadata("thread_name", kCoreTid, "core", /*with_tid=*/true));
+  }
+
+  // Instruction slices, one outer fetch->end slice plus a nested exec
+  // slice per span, in span order (commit order for retired instructions).
+  for (const InstrSpan& s : CollectInstrSpans(events)) {
+    const std::string label = options.slice_label
+                                  ? options.slice_label(s)
+                                  : DefaultLabel(s);
+    const std::uint64_t dur =
+        (s.end_cycle >= s.fetch_cycle ? s.end_cycle - s.fetch_cycle : 0) + 1;
+    std::string line = "{\"ph\":\"X\",\"pid\":" + std::to_string(kPid) +
+                       ",\"tid\":" + std::to_string(s.station) +
+                       ",\"ts\":" + std::to_string(s.fetch_cycle) +
+                       ",\"dur\":" + std::to_string(dur) + ",\"name\":\"";
+    AppendEscaped(line, label);
+    line += "\",\"cat\":\"";
+    line += s.retired ? "instruction" : (s.squashed ? "squashed" : "inflight");
+    line += "\",\"args\":{\"seq\":" + std::to_string(s.seq) +
+            ",\"pc\":" + std::to_string(s.pc);
+    if (s.issued) line += ",\"issue\":" + std::to_string(s.issue_cycle);
+    if (s.completed) line += ",\"complete\":" + std::to_string(s.complete_cycle);
+    line += ",\"end\":" + std::to_string(s.end_cycle) + "}}";
+    w.Emit(line);
+
+    if (s.issued) {
+      const std::uint64_t exec_end =
+          s.completed ? s.complete_cycle : s.end_cycle;
+      const std::uint64_t exec_dur =
+          (exec_end >= s.issue_cycle ? exec_end - s.issue_cycle : 0) + 1;
+      std::string exec = "{\"ph\":\"X\",\"pid\":" + std::to_string(kPid) +
+                         ",\"tid\":" + std::to_string(s.station) +
+                         ",\"ts\":" + std::to_string(s.issue_cycle) +
+                         ",\"dur\":" + std::to_string(exec_dur) +
+                         ",\"name\":\"exec\",\"cat\":\"exec\",\"args\":{" +
+                         "\"seq\":" + std::to_string(s.seq) + "}}";
+      w.Emit(exec);
+    }
+  }
+
+  // Non-instruction events as instants, in stream order.
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kBatchRetire:
+      case TraceEventKind::kCheckerCheck:
+      case TraceEventKind::kCheckerResync:
+      case TraceEventKind::kFaultInject: {
+        const std::int64_t tid = e.station >= 0 ? e.station : kCoreTid;
+        std::string line = "{\"ph\":\"i\",\"pid\":" + std::to_string(kPid) +
+                           ",\"tid\":" + std::to_string(tid) +
+                           ",\"ts\":" + std::to_string(e.cycle) +
+                           ",\"s\":\"t\",\"name\":\"";
+        line += TraceEventKindName(e.kind);
+        line += "\",\"args\":{\"payload\":" + std::to_string(e.payload) + "}}";
+        w.Emit(line);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  w.Finish();
+}
+
+void WritePerfettoTrace(std::ostream& os, const PipelineTracer& tracer,
+                        const PerfettoOptions& options) {
+  const std::vector<TraceEvent> events = tracer.Events();
+  WritePerfettoTrace(os, events, options);
+}
+
+}  // namespace ultra::telemetry

@@ -1,0 +1,38 @@
+// Chrome trace_event JSON export for PipelineTracer, loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping: one process per trace; one thread per station (tid = station,
+// named "station N"); one "X" complete slice per instruction spanning
+// fetch -> commit/squash, with a nested "exec" slice spanning
+// issue -> complete; core-level events (checker resync, fault injection,
+// batch retire) become "i" instant events on a pseudo-thread. Timestamps
+// are simulated cycles expressed as microseconds, so one cycle reads as
+// 1 us on the Perfetto timeline. Output is deterministic for a given event
+// sequence (golden-tested in tests/telemetry_test.cpp).
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "telemetry/trace.hpp"
+
+namespace ultra::telemetry {
+
+struct PerfettoOptions {
+  /// Shown as the process name in the Perfetto track hierarchy.
+  std::string process_name = "ultrascalar";
+  /// Optional slice-label callback for instruction slices (receives the
+  /// instruction's span rebuilt from its events). Defaults to
+  /// "<opcode-tag> seq=<seq>"; pipetrace passes a disassembler here.
+  std::function<std::string(const InstrSpan&)> slice_label;
+};
+
+void WritePerfettoTrace(std::ostream& os, std::span<const TraceEvent> events,
+                        const PerfettoOptions& options = {});
+
+void WritePerfettoTrace(std::ostream& os, const PipelineTracer& tracer,
+                        const PerfettoOptions& options = {});
+
+}  // namespace ultra::telemetry

@@ -1,0 +1,32 @@
+// Umbrella header for the telemetry subsystem: allocation-free metrics
+// (metrics.hpp), per-cycle pipeline tracing (trace.hpp), and Perfetto
+// export (perfetto.hpp). See docs/observability.md.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/perfetto.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ultra::telemetry {
+
+/// The per-run telemetry sink a caller hands to a core through
+/// CoreConfig::telemetry. One RunTelemetry serves one Run() at a time (the
+/// sheet is a single-threaded shard); SweepRunner gives every point its own
+/// instance so workers never contend and merges/snapshots deterministically.
+struct RunTelemetry {
+  /// Metric name -> handle map. Cores register their handles at the top of
+  /// Run() (idempotent, so reuse across runs re-finds the same slots).
+  MetricsRegistry registry;
+  /// The raw slots the hot paths increment. Bound by the core after
+  /// registration; unbound (metrics_enabled == false) it is a no-op sink.
+  MetricSheet sheet;
+  /// Optional event ring; null disables tracing entirely.
+  PipelineTracer* tracer = nullptr;
+  /// False skips metric registration and leaves the sheet unbound, so an
+  /// attached-but-disabled sink costs one null test per hook site.
+  bool metrics_enabled = true;
+
+  [[nodiscard]] MetricsSnapshot Snapshot() const { return sheet.Snapshot(); }
+};
+
+}  // namespace ultra::telemetry

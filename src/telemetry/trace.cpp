@@ -1,0 +1,116 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ultra::telemetry {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kFetch:
+      return "fetch";
+    case TraceEventKind::kRename:
+      return "rename";
+    case TraceEventKind::kIssue:
+      return "issue";
+    case TraceEventKind::kComplete:
+      return "complete";
+    case TraceEventKind::kCommit:
+      return "commit";
+    case TraceEventKind::kSquash:
+      return "squash";
+    case TraceEventKind::kBatchRetire:
+      return "batch_retire";
+    case TraceEventKind::kCheckerCheck:
+      return "checker_check";
+    case TraceEventKind::kCheckerResync:
+      return "checker_resync";
+    case TraceEventKind::kFaultInject:
+      return "fault_inject";
+  }
+  return "unknown";
+}
+
+PipelineTracer::PipelineTracer(const Options& options) : opt_(options) {
+  ring_.resize(std::max<std::size_t>(opt_.capacity, 1));
+}
+
+void PipelineTracer::Clear() {
+  write_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  filtered_ = 0;
+}
+
+std::vector<TraceEvent> PipelineTracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  ForEach([&out](const TraceEvent& e) { out.push_back(e); });
+  return out;
+}
+
+std::vector<InstrSpan> CollectInstrSpans(std::span<const TraceEvent> events) {
+  std::vector<InstrSpan> spans;
+  // Open instructions keyed by (station, seq): a station holds one
+  // instruction at a time, but a seq can revisit a station after a squash.
+  std::map<std::pair<std::int32_t, std::uint64_t>, InstrSpan> open;
+
+  const auto start = [&open](const TraceEvent& e) -> InstrSpan& {
+    auto [it, inserted] = open.try_emplace({e.station, e.seq});
+    InstrSpan& s = it->second;
+    if (inserted) {
+      s.seq = e.seq;
+      s.pc = e.pc;
+      s.station = e.station;
+      s.op = e.op;
+      s.fetch_cycle = e.cycle;
+    }
+    s.end_cycle = std::max(s.end_cycle, e.cycle);
+    return s;
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kFetch: {
+        InstrSpan& s = start(e);
+        s.fetch_cycle = e.cycle;
+        break;
+      }
+      case TraceEventKind::kRename:
+        start(e);
+        break;
+      case TraceEventKind::kIssue: {
+        InstrSpan& s = start(e);
+        s.issued = true;
+        s.issue_cycle = e.cycle;
+        break;
+      }
+      case TraceEventKind::kComplete: {
+        InstrSpan& s = start(e);
+        s.completed = true;
+        s.complete_cycle = e.cycle;
+        break;
+      }
+      case TraceEventKind::kCommit:
+      case TraceEventKind::kSquash: {
+        InstrSpan s = start(e);
+        s.retired = e.kind == TraceEventKind::kCommit;
+        s.squashed = e.kind == TraceEventKind::kSquash;
+        s.end_cycle = e.cycle;
+        spans.push_back(s);
+        open.erase({e.station, e.seq});
+        break;
+      }
+      case TraceEventKind::kBatchRetire:
+      case TraceEventKind::kCheckerCheck:
+      case TraceEventKind::kCheckerResync:
+      case TraceEventKind::kFaultInject:
+        break;
+    }
+  }
+  // Still-in-flight instructions, in (station, seq) order.
+  for (const auto& [key, s] : open) spans.push_back(s);
+  return spans;
+}
+
+}  // namespace ultra::telemetry

@@ -1,0 +1,145 @@
+// Per-cycle pipeline tracing: a fixed-capacity ring buffer of POD events
+// (fetch / rename / issue / complete / commit / squash, checker activity,
+// fault injection) with optional cycle-range and station-range filters.
+//
+// The ring is sized once by the caller; Record() never allocates, so a
+// tracer can stay attached across an allocation-audited steady state
+// (tests/alloc_test.cpp). When the ring fills, the oldest events are
+// overwritten and counted in dropped(); events rejected by a filter are
+// counted in filtered(). Iteration is oldest -> newest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ultra::telemetry {
+
+enum class TraceEventKind : std::uint8_t {
+  kFetch = 0,     // Instruction entered a station.
+  kRename,        // Operand renamed to an in-flight producer (ideal core).
+  kIssue,         // Operands resolved; execution started.
+  kComplete,      // Result available (ALU latency or memory response).
+  kCommit,        // Instruction retired in order.
+  kSquash,        // Instruction discarded (misprediction or forced fault).
+  kBatchRetire,   // USII batch commit; payload = instructions retired.
+  kCheckerCheck,  // Datapath checker cross-validated this cycle.
+  kCheckerResync, // Checker found a divergence; payload = mismatched cells.
+  kFaultInject,   // Fault event staged; payload = fault::FaultKind.
+};
+
+[[nodiscard]] std::string_view TraceEventKindName(TraceEventKind kind);
+
+/// One pipeline event. POD, 32 bytes; equality makes golden tests easy.
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  std::uint64_t seq = 0;      // Instruction sequence number (0 if none).
+  std::uint64_t payload = 0;  // Kind-specific (see TraceEventKind).
+  std::uint32_t pc = 0;       // Program counter (0 if none).
+  std::int32_t station = -1;  // Station slot; -1 = core-level event.
+  TraceEventKind kind = TraceEventKind::kFetch;
+  std::uint8_t op = 0;        // isa::Opcode of the instruction (0 if none).
+  std::uint16_t pad = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// One instruction's lifetime reconstructed from its events (see
+/// CollectInstrSpans). Used by the Perfetto exporter and the examples that
+/// used to keep bespoke per-cycle capture structs.
+struct InstrSpan {
+  std::uint64_t seq = 0;
+  std::uint32_t pc = 0;
+  std::int32_t station = -1;
+  std::uint8_t op = 0;
+  std::uint64_t fetch_cycle = 0;
+  std::uint64_t issue_cycle = 0;     // Valid when issued.
+  std::uint64_t complete_cycle = 0;  // Valid when completed.
+  std::uint64_t end_cycle = 0;       // Commit/squash cycle, else last seen.
+  bool issued = false;
+  bool completed = false;
+  bool retired = false;   // Ended in kCommit.
+  bool squashed = false;  // Ended in kSquash.
+};
+
+class PipelineTracer {
+ public:
+  struct Options {
+    /// Events retained; the ring is allocated once at this size.
+    std::size_t capacity = std::size_t{1} << 16;
+    /// Half-open cycle filter [cycle_begin, cycle_end).
+    std::uint64_t cycle_begin = 0;
+    std::uint64_t cycle_end = std::numeric_limits<std::uint64_t>::max();
+    /// Half-open station filter [station_begin, station_end). Core-level
+    /// events (station < 0) always pass.
+    std::int32_t station_begin = 0;
+    std::int32_t station_end = std::numeric_limits<std::int32_t>::max();
+  };
+
+  PipelineTracer() : PipelineTracer(Options{}) {}
+  explicit PipelineTracer(const Options& options);
+
+  void Record(const TraceEvent& e) {
+    if (e.cycle < opt_.cycle_begin || e.cycle >= opt_.cycle_end ||
+        (e.station >= 0 && (e.station < opt_.station_begin ||
+                            e.station >= opt_.station_end))) {
+      ++filtered_;
+      return;
+    }
+    ring_[write_] = e;
+    if (++write_ == ring_.size()) write_ = 0;
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] const Options& options() const { return opt_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently held (<= capacity()).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Accepted events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Events rejected by the cycle/station filters.
+  [[nodiscard]] std::uint64_t filtered() const { return filtered_; }
+
+  /// Drops buffered events and zeroes the drop/filter counters.
+  void Clear();
+
+  /// Visits the retained events oldest -> newest.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const std::size_t cap = ring_.size();
+    std::size_t idx = (write_ + cap - size_) % cap;
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(ring_[idx]);
+      if (++idx == cap) idx = 0;
+    }
+  }
+
+  /// Copies the retained events oldest -> newest.
+  [[nodiscard]] std::vector<TraceEvent> Events() const;
+
+ private:
+  Options opt_;
+  std::vector<TraceEvent> ring_;
+  std::size_t write_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t filtered_ = 0;
+};
+
+/// Pairs instruction events back into per-instruction lifetimes. Spans are
+/// ordered by terminating event (commit order for retired instructions);
+/// instructions still in flight at the last event are appended afterwards
+/// in station order. Non-instruction events (checker, fault, batch) are
+/// ignored. An instruction whose kFetch fell off the ring still yields a
+/// span starting at its earliest surviving event.
+[[nodiscard]] std::vector<InstrSpan> CollectInstrSpans(
+    std::span<const TraceEvent> events);
+
+}  // namespace ultra::telemetry

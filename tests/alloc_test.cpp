@@ -15,6 +15,7 @@
 #include <new>
 
 #include "core/core.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -113,6 +114,66 @@ TEST_P(SteadyStateAllocations, CycleLoopDoesNotTouchTheAllocator) {
                         << " cycles; short run: " << short_run.allocations
                         << " over " << short_run.cycles;
   EXPECT_LT(delta * 8, extra_cycles);
+}
+
+/// Telemetry variant of the short-vs-long methodology. The sink is fresh
+/// per run, so the registration/bind allocations at the top of Run() cost
+/// the same in both runs and cancel in the delta; what the delta isolates
+/// is the per-cycle hook cost, which must be zero. The tracer ring is
+/// pre-sized outside the measured region -- overwriting a full ring is the
+/// designed steady state and must not allocate either.
+RunCost MeasuredTelemetryRun(ProcessorKind kind, const CoreConfig& base,
+                             const isa::Program& program, bool metrics,
+                             bool trace) {
+  telemetry::PipelineTracer tracer({.capacity = std::size_t{1} << 14});
+  telemetry::RunTelemetry telem;
+  telem.metrics_enabled = metrics;
+  if (trace) telem.tracer = &tracer;
+  CoreConfig cfg = base;
+  cfg.telemetry = &telem;
+  return MeasuredRun(kind, cfg, program);
+}
+
+TEST_P(SteadyStateAllocations, TelemetryDisabledAddsNoAllocations) {
+  const ProcessorKind kind = GetParam();
+  CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  const auto short_prog = workloads::DependencyChains(
+      {.num_instructions = 512, .ilp = 4, .seed = 11});
+  const auto long_prog = workloads::DependencyChains(
+      {.num_instructions = 4096, .ilp = 4, .seed = 11});
+
+  const RunCost short_run =
+      MeasuredTelemetryRun(kind, cfg, short_prog, false, false);
+  const RunCost long_run =
+      MeasuredTelemetryRun(kind, cfg, long_prog, false, false);
+  ASSERT_GT(long_run.cycles, short_run.cycles + 500u);
+  const std::uint64_t delta = long_run.allocations - short_run.allocations;
+  EXPECT_LT(delta, 64u);
+  EXPECT_LT(delta * 8, long_run.cycles - short_run.cycles);
+}
+
+TEST_P(SteadyStateAllocations, TelemetryEnabledStaysAllocationFree) {
+  const ProcessorKind kind = GetParam();
+  CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  const auto short_prog = workloads::DependencyChains(
+      {.num_instructions = 512, .ilp = 4, .seed = 11});
+  const auto long_prog = workloads::DependencyChains(
+      {.num_instructions = 4096, .ilp = 4, .seed = 11});
+
+  const RunCost short_run =
+      MeasuredTelemetryRun(kind, cfg, short_prog, true, true);
+  const RunCost long_run =
+      MeasuredTelemetryRun(kind, cfg, long_prog, true, true);
+  ASSERT_GT(long_run.cycles, short_run.cycles + 500u);
+  const std::uint64_t delta = long_run.allocations - short_run.allocations;
+  EXPECT_LT(delta, 64u);
+  EXPECT_LT(delta * 8, long_run.cycles - short_run.cycles);
 }
 
 INSTANTIATE_TEST_SUITE_P(

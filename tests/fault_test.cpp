@@ -153,10 +153,10 @@ TEST_P(ScalableCores, CheckedModeIsANoopOnCleanRuns) {
   EXPECT_EQ(checked.cycles, plain.cycles);
   EXPECT_EQ(checked.committed, plain.committed);
   EXPECT_EQ(checked.regs, plain.regs);
-  EXPECT_GT(checked.stats.checker_checks, 0u);
-  EXPECT_EQ(checked.stats.divergences_detected, 0u);
-  EXPECT_EQ(checked.stats.checker_resyncs, 0u);
-  EXPECT_EQ(checked.stats.faults_injected, 0u);
+  EXPECT_GT(checked.stats.checker_checks(), 0u);
+  EXPECT_EQ(checked.stats.divergences_detected(), 0u);
+  EXPECT_EQ(checked.stats.checker_resyncs(), 0u);
+  EXPECT_EQ(checked.stats.faults_injected(), 0u);
 }
 
 TEST_P(ScalableCores, EveryFaultKindIsMaskedOrRepairedUnderCheckedMode) {
@@ -168,7 +168,7 @@ TEST_P(ScalableCores, EveryFaultKindIsMaskedOrRepairedUnderCheckedMode) {
       std::make_shared<const FaultPlan>(FaultPlan::Random(7, 0.05, 300));
   const auto result = RunOn(GetParam(), program, cfg);
   EXPECT_TRUE(result.halted);
-  EXPECT_GT(result.stats.faults_injected, 0u);
+  EXPECT_GT(result.stats.faults_injected(), 0u);
   ExpectMatchesFunctional(program, result, cfg.num_regs);
 }
 
@@ -182,11 +182,11 @@ TEST_P(ScalableCores, ValueCorruptionIsDetectedAndResynced) {
       FaultPlan::Random(11, 0.1, 200, kinds));
   const auto result = RunOn(GetParam(), program, cfg);
   EXPECT_TRUE(result.halted);
-  EXPECT_GT(result.stats.faults_injected, 0u);
+  EXPECT_GT(result.stats.faults_injected(), 0u);
   // An XORed delivery always differs from the recomputed truth, so every
   // staged corruption on a live cycle must surface as a divergence.
-  EXPECT_GT(result.stats.divergences_detected, 0u);
-  EXPECT_GT(result.stats.checker_resyncs, 0u);
+  EXPECT_GT(result.stats.divergences_detected(), 0u);
+  EXPECT_GT(result.stats.checker_resyncs(), 0u);
   ExpectMatchesFunctional(program, result, cfg.num_regs);
 }
 
@@ -200,7 +200,7 @@ TEST_P(ScalableCores, DroppedDeliveriesAreRepairedByThePeriodicCheck) {
       FaultPlan::Random(23, 0.05, 300, kinds));
   const auto result = RunOn(GetParam(), program, cfg);
   EXPECT_TRUE(result.halted);
-  EXPECT_GT(result.stats.faults_injected, 0u);
+  EXPECT_GT(result.stats.faults_injected(), 0u);
   ExpectMatchesFunctional(program, result, cfg.num_regs);
 }
 
@@ -217,8 +217,8 @@ TEST_P(ScalableCores, WrongPathBurstSquashesAndRecommitsCorrectly) {
   cfg.fault_plan = std::make_shared<const FaultPlan>(FaultPlan(events));
   const auto result = RunOn(GetParam(), program, cfg);
   EXPECT_TRUE(result.halted);
-  EXPECT_GT(result.stats.faults_injected, 0u);
-  EXPECT_GT(result.stats.squashes_under_fault, 0u);
+  EXPECT_GT(result.stats.faults_injected(), 0u);
+  EXPECT_GT(result.stats.squashes_under_fault(), 0u);
   ExpectMatchesFunctional(program, result, cfg.num_regs);
 }
 
@@ -231,7 +231,7 @@ TEST_P(ScalableCores, StallsOnlyDelayExecution) {
   const auto baseline = RunOn(GetParam(), program, BaseConfig());
   const auto result = RunOn(GetParam(), program, cfg);
   EXPECT_TRUE(result.halted);
-  EXPECT_GT(result.stats.faults_injected, 0u);
+  EXPECT_GT(result.stats.faults_injected(), 0u);
   EXPECT_GE(result.cycles, baseline.cycles);
   ExpectMatchesFunctional(program, result, cfg.num_regs);
 }

@@ -291,21 +291,23 @@ TEST(AssemblerDiagnostics, ErrorsCarryLineAndToken) {
 }
 
 TEST(AssemblerDiagnostics, UnknownMnemonicNamesTheToken) {
-  const auto& err =
+  // Copy out of the temporary variant: std::get on an rvalue returns a
+  // reference into the expiring object, so a const& here would dangle.
+  const auto err =
       std::get<AssemblyError>(Assemble("nop\nfrobnicate r1\n"));
   EXPECT_EQ(err.line, 2);
   EXPECT_EQ(err.token, "frobnicate");
 }
 
 TEST(AssemblerDiagnostics, BadImmediateNamesTheToken) {
-  const auto& err = std::get<AssemblyError>(Assemble("li r1, twelve\n"));
+  const auto err = std::get<AssemblyError>(Assemble("li r1, twelve\n"));
   EXPECT_EQ(err.line, 1);
   EXPECT_EQ(err.token, "twelve");
   EXPECT_NE(err.message.find("immediate"), std::string::npos);
 }
 
 TEST(AssemblerDiagnostics, UndefinedLabelNamesTheToken) {
-  const auto& err =
+  const auto err =
       std::get<AssemblyError>(Assemble("jmp nowhere\nhalt\n"));
   EXPECT_EQ(err.token, "nowhere");
   EXPECT_NE(err.message.find("undefined label"), std::string::npos);
