@@ -13,8 +13,16 @@
 // the same core's fault-free baseline.
 //
 // Usage: bench_fault_recovery [--quick] [--threads=N] [--json=PATH]
-//   --quick    smaller grid and shorter workload (CI smoke run)
-//   --json     output path (default BENCH_fault_recovery.json)
+//                             [--bundle-dir=DIR] [--force-failure]
+//   --quick         smaller grid and shorter workload (CI smoke run)
+//   --json          output path (default BENCH_fault_recovery.json)
+//   --bundle-dir    emit a repro bundle per failed point into DIR
+//   --force-failure append one unchecked fault-injection point that is
+//                   *expected* to fail the oracle (faults flow with no
+//                   checker). With --bundle-dir, this deterministically
+//                   produces a bundle the CI job replays via
+//                   examples/replay_bundle; the forced failure does not
+//                   affect the exit code.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +42,8 @@ struct Options {
   bool quick = false;
   int threads = 1;
   std::string json_path = "BENCH_fault_recovery.json";
+  std::string bundle_dir;
+  bool force_failure = false;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -46,6 +56,10 @@ Options ParseArgs(int argc, char** argv) {
       opt.threads = std::atoi(arg.c_str() + std::strlen("--threads="));
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--bundle-dir=", 0) == 0) {
+      opt.bundle_dir = arg.substr(std::strlen("--bundle-dir="));
+    } else if (arg == "--force-failure") {
+      opt.force_failure = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
     }
@@ -102,12 +116,47 @@ int main(int argc, char** argv) {
     }
   }
 
-  const runtime::SweepRunner runner(
-      {.num_threads = opt.threads, .check_architectural_state = true});
+  // The forced-failure point (only with --force-failure): a fault plan
+  // with datapath_eval kIncremental and no checker, so the corruption
+  // flows to architectural state and the oracle quarantines the point.
+  // Every parameter is pinned (independent of --quick) because most
+  // injected faults are masked by downstream recomputation — this exact
+  // (seed, rate, workload, window) combination is verified to corrupt
+  // architectural state, and being deterministic its repro bundle replays
+  // exactly.
+  std::size_t forced_index = points.size();  // == size(): none.
+  if (opt.force_failure) {
+    runtime::SweepPoint point;
+    point.kind = core::ProcessorKind::kUltrascalarI;
+    point.config.window_size = 32;
+    point.config.mem.mode = memory::MemTimingMode::kMagic;
+    point.config.datapath_eval = core::DatapathEval::kIncremental;
+    point.config.fault_plan = std::make_shared<const fault::FaultPlan>(
+        fault::FaultPlan::Random(424242, 0.05, horizon));
+    point.program = std::make_shared<isa::Program>(
+        workloads::RandomMix({.num_instructions = 1024}));
+    point.workload = "mix-forced-fault";
+    forced_index = points.size();
+    points.push_back(std::move(point));
+    point_rate.push_back(0.05);
+    point_seed.push_back(424242);
+  }
+
+  runtime::SweepOptions sweep_options{.num_threads = opt.threads,
+                                      .check_architectural_state = true};
+  if (!opt.bundle_dir.empty()) {
+    sweep_options.bundle_dir = opt.bundle_dir;
+    sweep_options.checkpoint_every = 256;
+  }
+  const runtime::SweepRunner runner(sweep_options);
   const auto outcomes = runner.Run(points);
   bool failed = false;
   for (const auto& o : outcomes) {
-    if (!o.ok) {
+    if (!o.ok && o.index == forced_index) {
+      std::printf(
+          "forced failure quarantined as expected: point %zu: %s\n",
+          o.index, o.error.c_str());
+    } else if (!o.ok) {
       std::fprintf(stderr,
                    "UNDETECTED DIVERGENCE: point %zu (%s, rate=%g): %s\n",
                    o.index,
@@ -117,6 +166,11 @@ int main(int argc, char** argv) {
     }
   }
   if (failed) return 1;
+  if (opt.force_failure && outcomes[forced_index].ok) {
+    std::fprintf(stderr,
+                 "--force-failure point unexpectedly passed the oracle\n");
+    return 1;
+  }
 
   std::size_t next = 0;
   for (const auto kind : kinds) {
@@ -169,7 +223,7 @@ int main(int argc, char** argv) {
           << ", \"checker_resyncs\": " << s.checker_resyncs()
           << ", \"squashes_under_fault\": " << s.squashes_under_fault()
           << ", \"oracle_ok\": true}"
-          << (next < outcomes.size() ? "," : "") << "\n";
+          << (next < std::size(kinds) * rates.size() ? "," : "") << "\n";
     }
   }
   out << "  ]\n}\n";

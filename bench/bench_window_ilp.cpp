@@ -15,6 +15,12 @@
 // any --csv/--json export) are identical at every thread count.
 //
 // Usage: bench_window_ilp [--threads=N] [--csv=PATH] [--json=PATH]
+//                         [--journal=PATH] [--resume]
+//
+// With --journal, each completed point is committed to a crash-safe journal
+// and --resume skips the points already recorded — the exported CSV/JSON is
+// byte-identical to an uninterrupted run (the CI kill-and-resume smoke job
+// exercises exactly this path).
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -67,7 +73,7 @@ int main(int argc, char** argv) {
     }
   }
   const runtime::SweepRunner runner({.num_threads = cli.threads});
-  const auto outcomes = runner.Run(points);
+  const auto outcomes = runtime::RunSweepCli(runner, cli, points).outcomes;
 
   std::size_t next = 0;
   for (const auto predictor :

@@ -1,0 +1,172 @@
+// Standalone re-execution of a repro bundle (see src/runtime/repro_bundle.hpp).
+//
+// A sweep run with SweepOptions::bundle_dir emits one bundle directory per
+// failed point. This tool re-runs such a bundle with no access to the
+// original sweep — the bundle itself carries the config, the program, the
+// fault plan, and the recorded outcome — and diffs the fresh result against
+// the recorded one field by field. A deterministic failure (an injected
+// fault corrupting architectural state, a wrong-result workload) REPRODUCES:
+// the re-run lands on exactly the recorded cycles/committed/stats/registers.
+//
+// Usage: replay_bundle BUNDLE_DIR [--from-checkpoint]
+//
+//   --from-checkpoint  resume from the bundled checkpoint.bin (the periodic
+//                      capture nearest the failure) instead of running from
+//                      cycle 0; the diff must still match, which doubles as
+//                      an end-to-end check of the checkpoint/restore path.
+//
+// Exit codes: 0 = reproduced, 1 = diverged, 2 = usage or unreadable bundle.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/core.hpp"
+#include "runtime/repro_bundle.hpp"
+
+namespace {
+
+int Diff(const ultra::core::RunResult& got,
+         const ultra::core::RunResult& want) {
+  int mismatches = 0;
+  const auto check_u64 = [&](const char* name, std::uint64_t g,
+                             std::uint64_t w) {
+    if (g == w) return;
+    ++mismatches;
+    std::printf("  MISMATCH %-22s got %llu, recorded %llu\n", name,
+                static_cast<unsigned long long>(g),
+                static_cast<unsigned long long>(w));
+  };
+  check_u64("halted", got.halted ? 1 : 0, want.halted ? 1 : 0);
+  check_u64("cycles", got.cycles, want.cycles);
+  check_u64("committed", got.committed, want.committed);
+  check_u64("mispredictions", got.stats.mispredictions,
+            want.stats.mispredictions);
+  check_u64("forwarded_loads", got.stats.forwarded_loads,
+            want.stats.forwarded_loads);
+  check_u64("squashed_instructions", got.stats.squashed_instructions,
+            want.stats.squashed_instructions);
+  check_u64("load_count", got.stats.load_count, want.stats.load_count);
+  check_u64("store_count", got.stats.store_count, want.stats.store_count);
+  check_u64("fetch_stall_cycles", got.stats.fetch_stall_cycles,
+            want.stats.fetch_stall_cycles);
+  check_u64("window_full_cycles", got.stats.window_full_cycles,
+            want.stats.window_full_cycles);
+  check_u64("faults_injected", got.stats.fault.injected,
+            want.stats.fault.injected);
+  check_u64("divergences_detected", got.stats.fault.divergences,
+            want.stats.fault.divergences);
+  check_u64("checker_resyncs", got.stats.fault.resyncs,
+            want.stats.fault.resyncs);
+  check_u64("squashes_under_fault", got.stats.fault.squashes,
+            want.stats.fault.squashes);
+  if (got.regs.size() != want.regs.size()) {
+    ++mismatches;
+    std::printf("  MISMATCH register file size: got %zu, recorded %zu\n",
+                got.regs.size(), want.regs.size());
+  } else {
+    for (std::size_t r = 0; r < want.regs.size(); ++r) {
+      if (got.regs[r] != want.regs[r]) {
+        ++mismatches;
+        std::printf("  MISMATCH r%-3zu got %u, recorded %u\n", r,
+                    got.regs[r], want.regs[r]);
+      }
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ultra;
+  std::string dir;
+  bool from_checkpoint = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--from-checkpoint") == 0) {
+      from_checkpoint = true;
+    } else if (dir.empty()) {
+      dir = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: replay_bundle BUNDLE_DIR [--from-checkpoint]\n");
+    return 2;
+  }
+
+  runtime::ReproBundle bundle;
+  try {
+    bundle = runtime::ReadReproBundle(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot read bundle %s: %s\n", dir.c_str(),
+                 e.what());
+    return 2;
+  }
+
+  const runtime::SweepOutcome& rec = bundle.outcome;
+  std::printf("bundle:    %s\n", dir.c_str());
+  std::printf("point:     #%zu %s on %s\n", rec.index,
+              rec.workload.c_str(),
+              std::string(core::ProcessorKindName(rec.kind)).c_str());
+  std::printf("recorded:  %s after %d attempt%s\n",
+              rec.ok ? "ok" : "FAILED", rec.attempts,
+              rec.attempts == 1 ? "" : "s");
+  if (!rec.error.empty()) std::printf("error:     %s\n", rec.error.c_str());
+  if (bundle.checkpoint) {
+    std::printf("checkpoint: cycle %llu\n",
+                static_cast<unsigned long long>(
+                    bundle.checkpoint->header.cycle));
+  }
+
+  core::CoreConfig cfg = bundle.point.config;
+  if (!rec.result.halted && rec.result.cycles > 0) {
+    // The recorded run stopped early (deadline cancel or max_cycles);
+    // capping max_cycles at the recorded cycle count reproduces the same
+    // partial state deterministically.
+    cfg.max_cycles = rec.result.cycles;
+  }
+
+  if (from_checkpoint && !bundle.checkpoint) {
+    std::fprintf(stderr,
+                 "--from-checkpoint requested but the bundle has no "
+                 "checkpoint.bin\n");
+    return 2;
+  }
+
+  core::RunResult got;
+  try {
+    const auto proc = core::MakeProcessor(bundle.point.kind, cfg);
+    if (from_checkpoint) {
+      got = proc->RestoreCheckpoint(*bundle.point.program,
+                                    *bundle.checkpoint);
+    } else {
+      got = proc->Run(*bundle.point.program);
+    }
+  } catch (const std::exception& e) {
+    // A point whose recorded failure *was* an exception (e.g. an invalid
+    // config) reproduces by throwing the same message again.
+    if (!rec.ok && rec.error == e.what()) {
+      std::printf("\nREPRODUCED: re-run threw the recorded error\n");
+      return 0;
+    }
+    std::fprintf(stderr, "re-run threw: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("\nre-ran %s: halted=%d cycles=%llu committed=%llu\n",
+              from_checkpoint ? "from checkpoint" : "from cycle 0",
+              got.halted ? 1 : 0,
+              static_cast<unsigned long long>(got.cycles),
+              static_cast<unsigned long long>(got.committed));
+  const int mismatches = Diff(got, rec.result);
+  if (mismatches == 0) {
+    std::printf("REPRODUCED: run matches the recorded outcome exactly\n");
+    return 0;
+  }
+  std::printf("DIVERGED: %d field%s differ from the recorded outcome\n",
+              mismatches, mismatches == 1 ? "" : "s");
+  return 1;
+}

@@ -15,6 +15,10 @@ namespace ultra::fault {
 class FaultPlan;
 }  // namespace ultra::fault
 
+namespace ultra::persist {
+struct CheckpointControl;
+}  // namespace ultra::persist
+
 namespace ultra::telemetry {
 struct RunTelemetry;
 }  // namespace ultra::telemetry
@@ -118,6 +122,16 @@ struct CoreConfig {
   /// null test per hook site (gated <= 2% by bench_telemetry_overhead).
   /// Single-threaded like the cores themselves; must outlive Run().
   telemetry::RunTelemetry* telemetry = nullptr;
+
+  /// Checkpoint/restore control (see src/persist/checkpoint.hpp and
+  /// docs/robustness.md). Null = no checkpointing. When attached, the core
+  /// captures full-state checkpoints at the top of the cycle loop on the
+  /// cycles the control selects, and — when control->resume is set —
+  /// restores that checkpoint before the first cycle and continues
+  /// cycle-for-cycle identically to the uninterrupted run. Like cancel and
+  /// telemetry, this is a per-invocation attachment: it does not affect
+  /// FingerprintConfig and the pointee must outlive Run().
+  persist::CheckpointControl* checkpoint = nullptr;
 
   [[nodiscard]] int EffectiveFetchWidth() const {
     return fetch_width > 0 ? fetch_width : window_size;

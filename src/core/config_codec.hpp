@@ -1,0 +1,23 @@
+// Binary codec + fingerprint for CoreConfig.
+//
+// The encoding covers every field that affects simulated behavior —
+// including the attached fault plan — and skips the runtime attachments
+// (cancel flag, telemetry sink, checkpoint control), which are
+// per-invocation plumbing rather than machine configuration. Checkpoint
+// headers carry FingerprintConfig so a restore into a differently
+// configured core is rejected instead of silently diverging; repro bundles
+// carry the full encoding so replay_bundle can rebuild the exact machine.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "persist/serial.hpp"
+
+namespace ultra::core {
+
+void EncodeCoreConfig(persist::Encoder& e, const CoreConfig& config);
+[[nodiscard]] CoreConfig DecodeCoreConfig(persist::Decoder& d);
+[[nodiscard]] std::uint64_t FingerprintConfig(const CoreConfig& config);
+
+}  // namespace ultra::core

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/checkpoint_util.hpp"
+
 namespace ultra::core {
 
 FetchEngine::FetchEngine(const isa::Program* program,
@@ -133,6 +135,43 @@ void FetchEngine::FetchCycle(int max_count, std::vector<FetchedInstr>& out) {
 
 void FetchEngine::NotifyOutcome(std::size_t pc, bool taken) {
   predictor_->Update(pc, taken);
+}
+
+void FetchEngine::SaveState(persist::Encoder& e) const {
+  e.U64(next_pc_);
+  e.Bool(stalled_);
+  // Only the undelivered suffix of the ring is live state; restore with
+  // head_ = 0 (the compaction FillPending would do anyway).
+  e.U32(static_cast<std::uint32_t>(pending_.size() - head_));
+  for (std::size_t i = head_; i < pending_.size(); ++i) {
+    SaveFetchedInstr(e, pending_[i]);
+  }
+  e.U64(stats_.fetched);
+  e.U64(stats_.redirects);
+  predictor_->SaveState(e);
+  e.Bool(trace_cache_ != nullptr);
+  if (trace_cache_ != nullptr) trace_cache_->SaveState(e);
+}
+
+void FetchEngine::RestoreState(persist::Decoder& d) {
+  next_pc_ = static_cast<std::size_t>(d.U64());
+  stalled_ = d.Bool();
+  pending_.clear();
+  head_ = 0;
+  const std::uint32_t n = d.U32();
+  pending_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    FetchedInstr f;
+    RestoreFetchedInstr(d, f);
+    pending_.push_back(f);
+  }
+  stats_.fetched = d.U64();
+  stats_.redirects = d.U64();
+  predictor_->RestoreState(d);
+  if (d.Bool() != (trace_cache_ != nullptr)) {
+    throw persist::FormatError("fetch mode mismatch (trace cache)");
+  }
+  if (trace_cache_ != nullptr) trace_cache_->RestoreState(d);
 }
 
 }  // namespace ultra::core

@@ -60,6 +60,12 @@ class FetchEngine {
     return trace_cache_ ? &trace_cache_->stats() : nullptr;
   }
 
+  /// Checkpoint support: fetch cursor, undelivered pending instructions,
+  /// stats, mutable predictor state, and the trace cache. Restore requires
+  /// an engine built for the same program/config.
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
+
  private:
   const isa::Program* program_;
   CoreConfig config_;

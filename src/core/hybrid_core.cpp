@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/checkpoint_util.hpp"
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
 #include "core/telemetry_hooks.hpp"
@@ -86,8 +87,51 @@ RunResult HybridCore::Run(const isa::Program& program) {
                        : prop.args[static_cast<std::size_t>(i)];
   };
 
-  for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
+  CheckpointSession ckpt(config_, ProcessorKind::kHybrid, program);
+  const auto save_state = [&](persist::Encoder& e) {
+    for (const Station& st : stations) SaveStation(e, st);
+    for (const auto& b : committed) datapath::Save(e, b);
+    e.I32(head_cluster);
+    e.I32(tail);
+    e.I32(commit_ptr);
+    e.U64(next_seq);
+    SaveInflight(e, inflight);
+    SavePartialResult(e, result);
+    for (const int s : fault_stall) e.I32(s);
+    dp_state.SaveState(e);
+    injector.SaveState(e);
+    checker.SaveState(e);
+    fetch.SaveState(e);
+    mem.SaveState(e);
+    SaveTelemetrySlots(e, config_);
+  };
+  std::uint64_t start_cycle = 0;
+  if (ckpt.resume() != nullptr) {
+    persist::Decoder d(ckpt.resume()->state);
+    for (Station& st : stations) RestoreStation(d, st);
+    for (auto& b : committed) datapath::Restore(d, b);
+    head_cluster = d.I32();
+    tail = d.I32();
+    commit_ptr = d.I32();
+    next_seq = d.U64();
+    RestoreInflight(d, inflight);
+    RestorePartialResult(d, result);
+    for (int& s : fault_stall) s = d.I32();
+    dp_state.RestoreState(d);
+    injector.RestoreState(d);
+    checker.RestoreState(d);
+    fetch.RestoreState(d);
+    mem.RestoreState(d);
+    RestoreTelemetrySlots(d, config_);
+    if (!d.AtEnd()) {
+      throw persist::FormatError("trailing checkpoint bytes");
+    }
+    start_cycle = ckpt.resume()->header.cycle;
+  }
+
+  for (std::uint64_t cycle = start_cycle; cycle < config_.max_cycles && !done;
        ++cycle) {
+    if (ckpt.MaybeSave(cycle, save_state)) break;
     if (config_.cancel && (cycle & 1023u) == 0 &&
         config_.cancel->load(std::memory_order_relaxed)) {
       break;  // Abandoned run: halted stays false.

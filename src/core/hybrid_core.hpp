@@ -19,6 +19,9 @@ class HybridCore final : public Processor {
   [[nodiscard]] RunResult Run(const isa::Program& program) override;
   [[nodiscard]] std::string_view Name() const override { return "Hybrid"; }
   [[nodiscard]] const CoreConfig& config() const override { return config_; }
+  [[nodiscard]] ProcessorKind kind() const override {
+    return ProcessorKind::kHybrid;
+  }
 
  private:
   CoreConfig config_;

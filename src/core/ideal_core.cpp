@@ -4,6 +4,7 @@
 #include <optional>
 #include <span>
 
+#include "core/checkpoint_util.hpp"
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
 #include "core/telemetry_hooks.hpp"
@@ -90,8 +91,77 @@ RunResult IdealCore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> alu_grant;
   std::vector<FetchedInstr> fetch_batch;
 
-  for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
+  CheckpointSession ckpt(config_, ProcessorKind::kIdeal, program);
+  const auto save_state = [&](persist::Encoder& e) {
+    // Ring position matters downstream (timing.station records the slot a
+    // future allocation lands in), so head is preserved, not normalized.
+    e.I32(head);
+    e.I32(count);
+    for (int k = 0; k < count; ++k) {
+      const Entry& en = ent(k);
+      SaveStation(e, en.st);
+      e.Bool(en.dep1_inflight);
+      e.U64(en.dep1_seq);
+      e.U32(en.val1);
+      e.Bool(en.dep2_inflight);
+      e.U64(en.dep2_seq);
+      e.U32(en.val2);
+    }
+    for (const isa::Word r : regs) e.U32(r);
+    for (const auto& r : rename) {
+      e.Bool(r.has_value());
+      e.U64(r.has_value() ? *r : 0);
+    }
+    e.U64(next_seq);
+    SaveInflight(e, inflight);
+    SavePartialResult(e, result);
+    fetch.SaveState(e);
+    mem.SaveState(e);
+    SaveTelemetrySlots(e, config_);
+  };
+  std::uint64_t start_cycle = 0;
+  if (ckpt.resume() != nullptr) {
+    persist::Decoder d(ckpt.resume()->state);
+    head = d.I32();
+    count = d.I32();
+    if (head < 0 || head >= n || count < 0 || count > n) {
+      throw persist::FormatError("ideal window geometry out of range");
+    }
+    for (int k = 0; k < count; ++k) {
+      Entry& en = ent(k);
+      RestoreStation(d, en.st);
+      en.dep1_inflight = d.Bool();
+      en.dep1_seq = d.U64();
+      en.val1 = d.U32();
+      en.dep2_inflight = d.Bool();
+      en.dep2_seq = d.U64();
+      en.val2 = d.U32();
+    }
+    for (isa::Word& r : regs) r = d.U32();
+    for (auto& r : rename) {
+      const bool has = d.Bool();
+      const std::uint64_t seq = d.U64();
+      if (has) {
+        r = seq;
+      } else {
+        r.reset();
+      }
+    }
+    next_seq = d.U64();
+    RestoreInflight(d, inflight);
+    RestorePartialResult(d, result);
+    fetch.RestoreState(d);
+    mem.RestoreState(d);
+    RestoreTelemetrySlots(d, config_);
+    if (!d.AtEnd()) {
+      throw persist::FormatError("trailing checkpoint bytes");
+    }
+    start_cycle = ckpt.resume()->header.cycle;
+  }
+
+  for (std::uint64_t cycle = start_cycle; cycle < config_.max_cycles && !done;
        ++cycle) {
+    if (ckpt.MaybeSave(cycle, save_state)) break;
     if (config_.cancel && (cycle & 1023u) == 0 &&
         config_.cancel->load(std::memory_order_relaxed)) {
       break;  // Abandoned run: halted stays false.

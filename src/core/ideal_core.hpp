@@ -27,6 +27,9 @@ class IdealCore final : public Processor {
   [[nodiscard]] RunResult Run(const isa::Program& program) override;
   [[nodiscard]] std::string_view Name() const override { return "Ideal"; }
   [[nodiscard]] const CoreConfig& config() const override { return config_; }
+  [[nodiscard]] ProcessorKind kind() const override {
+    return ProcessorKind::kIdeal;
+  }
 
  private:
   CoreConfig config_;

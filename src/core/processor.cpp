@@ -1,6 +1,9 @@
 #include "core/processor.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "core/functional_sim_cache.hpp"
 #include "core/hybrid_core.hpp"
@@ -38,6 +41,37 @@ std::unique_ptr<Processor> MakeProcessor(ProcessorKind kind,
       return std::make_unique<HybridCore>(config);
   }
   throw std::invalid_argument("unknown processor kind");
+}
+
+persist::Checkpoint Processor::SaveCheckpoint(const isa::Program& program,
+                                              std::uint64_t cycle) const {
+  persist::CheckpointControl control;
+  control.save_at = cycle;
+  control.stop_after_save = true;
+  std::optional<persist::Checkpoint> captured;
+  control.sink = [&captured](persist::Checkpoint&& c) {
+    captured = std::move(c);
+  };
+  CoreConfig cfg = config();
+  cfg.checkpoint = &control;
+  const auto scratch = MakeProcessor(kind(), cfg);
+  (void)scratch->Run(program);
+  if (!captured) {
+    throw std::runtime_error(
+        "SaveCheckpoint: run ended before cycle " + std::to_string(cycle));
+  }
+  return std::move(*captured);
+}
+
+RunResult Processor::RestoreCheckpoint(
+    const isa::Program& program,
+    const persist::Checkpoint& checkpoint) const {
+  persist::CheckpointControl control;
+  control.resume = &checkpoint;
+  CoreConfig cfg = config();
+  cfg.checkpoint = &control;
+  const auto scratch = MakeProcessor(kind(), cfg);
+  return scratch->Run(program);
 }
 
 std::unique_ptr<memory::BranchPredictor> MakePredictor(

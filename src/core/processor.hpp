@@ -14,8 +14,16 @@
 #include "core/config.hpp"
 #include "isa/program.hpp"
 #include "memory/branch_predictor.hpp"
+#include "persist/checkpoint.hpp"
 
 namespace ultra::core {
+
+enum class ProcessorKind : std::uint8_t {
+  kIdeal,
+  kUltrascalarI,
+  kUltrascalarII,
+  kHybrid,
+};
 
 class Processor {
  public:
@@ -26,13 +34,24 @@ class Processor {
 
   [[nodiscard]] virtual std::string_view Name() const = 0;
   [[nodiscard]] virtual const CoreConfig& config() const = 0;
-};
+  [[nodiscard]] virtual ProcessorKind kind() const = 0;
 
-enum class ProcessorKind : std::uint8_t {
-  kIdeal,
-  kUltrascalarI,
-  kUltrascalarII,
-  kHybrid,
+  /// Runs @p program just long enough to capture a checkpoint at the top
+  /// of cycle @p cycle (full microarchitectural + architectural state; see
+  /// docs/robustness.md), then stops. Throws std::runtime_error when the
+  /// run ends before reaching that cycle. Leaves this processor untouched
+  /// — the capture happens in a scratch instance with the same config.
+  [[nodiscard]] persist::Checkpoint SaveCheckpoint(
+      const isa::Program& program, std::uint64_t cycle) const;
+
+  /// Resumes @p program from @p checkpoint and runs to completion. The
+  /// result is identical — cycles, stats, timeline, registers, memory — to
+  /// an uninterrupted Run() of the same program. Throws
+  /// persist::FormatError when the checkpoint was taken by a different
+  /// core kind, config, or program.
+  [[nodiscard]] RunResult RestoreCheckpoint(
+      const isa::Program& program,
+      const persist::Checkpoint& checkpoint) const;
 };
 
 std::string_view ProcessorKindName(ProcessorKind kind);

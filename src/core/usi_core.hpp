@@ -20,6 +20,9 @@ class UltrascalarICore final : public Processor {
     return "UltrascalarI";
   }
   [[nodiscard]] const CoreConfig& config() const override { return config_; }
+  [[nodiscard]] ProcessorKind kind() const override {
+    return ProcessorKind::kUltrascalarI;
+  }
 
  private:
   CoreConfig config_;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/checkpoint_util.hpp"
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
 #include "core/telemetry_hooks.hpp"
@@ -80,8 +81,62 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> alu_grant;
   std::vector<FetchedInstr> fetch_batch;
 
-  for (std::uint64_t cycle = 0; cycle < config_.max_cycles && !done;
+  CheckpointSession ckpt(config_, ProcessorKind::kUltrascalarII, program);
+  const auto save_state = [&](persist::Encoder& e) {
+    for (const Station& st : stations) SaveStation(e, st);
+    for (const auto& b : regfile) datapath::Save(e, b);
+    e.I32(fill);
+    e.U64(next_seq);
+    SaveInflight(e, inflight);
+    SavePartialResult(e, result);
+    for (const int s : fault_stall) e.I32(s);
+    for (const auto& req : requests) datapath::Save(e, req);
+    // The memoized propagation (prop/prop_valid/regfile_changed) is reused
+    // across cycles when valid, so it is machine state, not scratch: a live
+    // fault corruption can sit in `prop` until the inputs next change.
+    e.Bool(prop_valid);
+    e.Bool(regfile_changed);
+    e.U32(static_cast<std::uint32_t>(prop.args.size()));
+    for (const auto& a : prop.args) datapath::Save(e, a);
+    e.U32(static_cast<std::uint32_t>(prop.final_regs.size()));
+    for (const auto& b : prop.final_regs) datapath::Save(e, b);
+    injector.SaveState(e);
+    checker.SaveState(e);
+    fetch.SaveState(e);
+    mem.SaveState(e);
+    SaveTelemetrySlots(e, config_);
+  };
+  std::uint64_t start_cycle = 0;
+  if (ckpt.resume() != nullptr) {
+    persist::Decoder d(ckpt.resume()->state);
+    for (Station& st : stations) RestoreStation(d, st);
+    for (auto& b : regfile) datapath::Restore(d, b);
+    fill = d.I32();
+    next_seq = d.U64();
+    RestoreInflight(d, inflight);
+    RestorePartialResult(d, result);
+    for (int& s : fault_stall) s = d.I32();
+    for (auto& req : requests) datapath::Restore(d, req);
+    prop_valid = d.Bool();
+    regfile_changed = d.Bool();
+    prop.args.resize(d.U32());
+    for (auto& a : prop.args) datapath::Restore(d, a);
+    prop.final_regs.resize(d.U32());
+    for (auto& b : prop.final_regs) datapath::Restore(d, b);
+    injector.RestoreState(d);
+    checker.RestoreState(d);
+    fetch.RestoreState(d);
+    mem.RestoreState(d);
+    RestoreTelemetrySlots(d, config_);
+    if (!d.AtEnd()) {
+      throw persist::FormatError("trailing checkpoint bytes");
+    }
+    start_cycle = ckpt.resume()->header.cycle;
+  }
+
+  for (std::uint64_t cycle = start_cycle; cycle < config_.max_cycles && !done;
        ++cycle) {
+    if (ckpt.MaybeSave(cycle, save_state)) break;
     if (config_.cancel && (cycle & 1023u) == 0 &&
         config_.cancel->load(std::memory_order_relaxed)) {
       break;  // Abandoned run: halted stays false.

@@ -21,6 +21,9 @@ class UltrascalarIICore final : public Processor {
     return "UltrascalarII";
   }
   [[nodiscard]] const CoreConfig& config() const override { return config_; }
+  [[nodiscard]] ProcessorKind kind() const override {
+    return ProcessorKind::kUltrascalarII;
+  }
 
  private:
   CoreConfig config_;

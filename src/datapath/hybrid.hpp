@@ -76,6 +76,14 @@ class HybridDatapathState {
     return args_[static_cast<std::size_t>(station)];
   }
 
+  /// Checkpoint support: station requests, dirty bits, the inter-cluster
+  /// ring, and the delivered args — the args round-trip verbatim so live
+  /// fault corruptions survive a restore (see UsiDatapathState::SaveState).
+  /// Scratch buffers are rebuilt on the next propagation and not saved.
+  /// Restore requires matching (num_stations, num_regs, cluster_size).
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
+
  private:
   friend class HybridDatapath;
 

@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "persist/serial.hpp"
+
 namespace ultra::fault {
 
 class DatapathChecker {
@@ -45,6 +47,20 @@ class DatapathChecker {
   }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Checkpoint support (the stride is configuration, not state).
+  void SaveState(persist::Encoder& e) const {
+    e.U64(stats_.checks);
+    e.U64(stats_.divergences);
+    e.U64(stats_.resyncs);
+    e.U64(stats_.last_divergence_cycle);
+  }
+  void RestoreState(persist::Decoder& d) {
+    stats_.checks = d.U64();
+    stats_.divergences = d.U64();
+    stats_.resyncs = d.U64();
+    stats_.last_divergence_cycle = d.U64();
+  }
 
  private:
   int stride_;

@@ -72,7 +72,9 @@ FaultPlan FaultPlan::Random(std::uint64_t seed, double rate_per_cycle,
     e.payload = rng.Next();
     events.push_back(e);
   }
-  return FaultPlan(std::move(events));
+  FaultPlan plan(std::move(events));
+  plan.SetProvenance({true, seed, rate_per_cycle, horizon_cycles});
+  return plan;
 }
 
 }  // namespace ultra::fault

@@ -62,6 +62,19 @@ struct FaultEvent {
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
+/// How a plan was produced. Plans built by Random() carry their generator
+/// inputs so exports, journals, and repro bundles can name the seed that
+/// produced a failure (and rebuild the identical plan from scratch).
+struct FaultPlanProvenance {
+  bool randomized = false;  // True only for FaultPlan::Random plans.
+  std::uint64_t seed = 0;
+  double rate_per_cycle = 0.0;
+  std::uint64_t horizon_cycles = 0;
+
+  friend bool operator==(const FaultPlanProvenance&,
+                         const FaultPlanProvenance&) = default;
+};
+
 /// An immutable, cycle-sorted schedule of fault events.
 class FaultPlan {
  public:
@@ -84,8 +97,16 @@ class FaultPlan {
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
 
+  [[nodiscard]] const FaultPlanProvenance& provenance() const {
+    return provenance_;
+  }
+  void SetProvenance(const FaultPlanProvenance& provenance) {
+    provenance_ = provenance;
+  }
+
  private:
   std::vector<FaultEvent> events_;
+  FaultPlanProvenance provenance_;
 };
 
 }  // namespace ultra::fault

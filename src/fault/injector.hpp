@@ -23,6 +23,7 @@
 #include "datapath/usi.hpp"
 #include "datapath/usii.hpp"
 #include "fault/fault_plan.hpp"
+#include "persist/serial.hpp"
 
 namespace ultra::fault {
 
@@ -80,6 +81,34 @@ class FaultInjector {
   void NoteMasked() { ++stats_.masked; }
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// Checkpoint support: the cursor over the plan plus the accumulated
+  /// stats. Restore requires an injector constructed over the same plan.
+  void SaveState(persist::Encoder& e) const {
+    e.U64(begin_);
+    e.U64(end_);
+    e.U64(stats_.injected);
+    e.U64(stats_.value_corruptions);
+    e.U64(stats_.ready_flips);
+    e.U64(stats_.dropped_deliveries);
+    e.U64(stats_.stalls);
+    e.U64(stats_.forced_mispredicts);
+    e.U64(stats_.masked);
+  }
+  void RestoreState(persist::Decoder& d) {
+    begin_ = static_cast<std::size_t>(d.U64());
+    end_ = static_cast<std::size_t>(d.U64());
+    if (end_ > events_.size() || begin_ > end_) {
+      throw persist::FormatError("fault cursor out of range");
+    }
+    stats_.injected = d.U64();
+    stats_.value_corruptions = d.U64();
+    stats_.ready_flips = d.U64();
+    stats_.dropped_deliveries = d.U64();
+    stats_.stalls = d.U64();
+    stats_.forced_mispredicts = d.U64();
+    stats_.masked = d.U64();
+  }
 
  private:
   void ApplyToBinding(const FaultEvent& e, datapath::RegBinding& cell);

@@ -1,0 +1,15 @@
+// Binary serialization of fault plans (events + provenance) for config
+// fingerprints, sweep journals, and repro bundles. The literal event list is
+// always carried — a decoded plan replays identically even if the Random()
+// generator ever changes — with the provenance alongside for reporting.
+#pragma once
+
+#include "fault/fault_plan.hpp"
+#include "persist/serial.hpp"
+
+namespace ultra::fault {
+
+void EncodeFaultPlan(persist::Encoder& e, const FaultPlan& plan);
+[[nodiscard]] FaultPlan DecodeFaultPlan(persist::Decoder& d);
+
+}  // namespace ultra::fault

@@ -1,0 +1,53 @@
+#include "isa/program_codec.hpp"
+
+namespace ultra::isa {
+
+void EncodeProgram(persist::Encoder& e, const Program& program) {
+  e.U32(static_cast<std::uint32_t>(program.size()));
+  for (const Instruction& inst : program.code()) {
+    e.U64(Encode(inst));
+  }
+  e.U32(static_cast<std::uint32_t>(program.initial_memory().size()));
+  for (const auto& [addr, value] : program.initial_memory()) {
+    e.U32(addr);
+    e.U32(value);
+  }
+  e.U32(static_cast<std::uint32_t>(program.labels().size()));
+  for (const auto& [name, index] : program.labels()) {
+    e.Str(name);
+    e.U64(index);
+  }
+}
+
+Program DecodeProgram(persist::Decoder& d) {
+  const std::uint32_t code_size = d.U32();
+  std::vector<Instruction> code;
+  code.reserve(code_size);
+  for (std::uint32_t i = 0; i < code_size; ++i) {
+    const auto inst = Decode(d.U64());
+    if (!inst) throw persist::FormatError("undecodable instruction");
+    code.push_back(*inst);
+  }
+  Program program(std::move(code));
+  const std::uint32_t mem_size = d.U32();
+  for (std::uint32_t i = 0; i < mem_size; ++i) {
+    const Word addr = d.U32();
+    const Word value = d.U32();
+    program.SetInitialWord(addr, value);
+  }
+  const std::uint32_t num_labels = d.U32();
+  for (std::uint32_t i = 0; i < num_labels; ++i) {
+    std::string name = d.Str();
+    const std::uint64_t index = d.U64();
+    program.AddLabel(std::move(name), static_cast<std::size_t>(index));
+  }
+  return program;
+}
+
+std::uint64_t FingerprintProgram(const Program& program) {
+  persist::Encoder e;
+  EncodeProgram(e, program);
+  return persist::Fnv1a64(e.bytes());
+}
+
+}  // namespace ultra::isa

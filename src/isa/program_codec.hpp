@@ -1,0 +1,22 @@
+// Binary serialization of programs for checkpoints and repro bundles.
+//
+// Instructions use the fixed 64-bit isa::Encode layout; the initial memory
+// image and labels follow in sorted (std::map) order, so the encoding is
+// deterministic and FingerprintProgram can key caches and validate restores.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "persist/serial.hpp"
+
+namespace ultra::isa {
+
+void EncodeProgram(persist::Encoder& e, const Program& program);
+/// Throws persist::FormatError on truncated or undecodable input.
+[[nodiscard]] Program DecodeProgram(persist::Decoder& d);
+
+/// FNV-1a over the serialized program.
+[[nodiscard]] std::uint64_t FingerprintProgram(const Program& program);
+
+}  // namespace ultra::isa

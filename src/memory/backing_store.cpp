@@ -22,4 +22,23 @@ std::map<isa::Word, isa::Word> BackingStore::Snapshot() const {
   return {words_.begin(), words_.end()};
 }
 
+void BackingStore::SaveState(persist::Encoder& e) const {
+  const std::map<isa::Word, isa::Word> sorted(words_.begin(), words_.end());
+  e.U32(static_cast<std::uint32_t>(sorted.size()));
+  for (const auto& [addr, value] : sorted) {
+    e.U32(addr);
+    e.U32(value);
+  }
+}
+
+void BackingStore::RestoreState(persist::Decoder& d) {
+  words_.clear();
+  const std::uint32_t n = d.U32();
+  words_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const isa::Word addr = d.U32();
+    words_[addr] = d.U32();
+  }
+}
+
 }  // namespace ultra::memory

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "isa/opcode.hpp"
+#include "persist/serial.hpp"
 
 namespace ultra::memory {
 
@@ -26,6 +27,11 @@ class BackingStore {
   /// Sorted copy of every populated word (byte address -> word), for
   /// cross-simulator final-state comparison and result export.
   [[nodiscard]] std::map<isa::Word, isa::Word> Snapshot() const;
+
+  /// Checkpoint support: the populated words in sorted address order (the
+  /// hash map's iteration order must never reach the serialized bytes).
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
 
  private:
   static isa::Word Align(isa::Word a) { return a & ~isa::Word{3}; }

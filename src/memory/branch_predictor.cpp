@@ -50,4 +50,28 @@ std::unique_ptr<BranchPredictor> OraclePredictor::Clone() const {
   return std::make_unique<OraclePredictor>(outcomes_by_pc_);
 }
 
+void TwoBitPredictor::SaveState(persist::Encoder& e) const {
+  e.U32(static_cast<std::uint32_t>(counters_.size()));
+  for (const std::uint8_t c : counters_) e.U8(c);
+}
+
+void TwoBitPredictor::RestoreState(persist::Decoder& d) {
+  if (d.U32() != counters_.size()) {
+    throw persist::FormatError("predictor table size mismatch");
+  }
+  for (std::uint8_t& c : counters_) c = d.U8();
+}
+
+void OraclePredictor::SaveState(persist::Encoder& e) const {
+  e.U32(static_cast<std::uint32_t>(next_index_.size()));
+  for (const std::size_t k : next_index_) e.U64(k);
+}
+
+void OraclePredictor::RestoreState(persist::Decoder& d) {
+  if (d.U32() != next_index_.size()) {
+    throw persist::FormatError("oracle cursor count mismatch");
+  }
+  for (std::size_t& k : next_index_) k = static_cast<std::size_t>(d.U64());
+}
+
 }  // namespace ultra::memory

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "isa/instruction.hpp"
+#include "persist/serial.hpp"
 
 namespace ultra::memory {
 
@@ -28,6 +29,13 @@ class BranchPredictor {
   /// Fresh predictor of the same kind (for running several processors on
   /// identical initial predictor state).
   [[nodiscard]] virtual std::unique_ptr<BranchPredictor> Clone() const = 0;
+
+  /// Checkpoint support: only *mutable* prediction state is serialized
+  /// (two-bit counters, oracle replay cursors); derived tables such as the
+  /// oracle's outcome lists are rebuilt by reconstructing the predictor the
+  /// same way the original run did. Stateless predictors inherit the no-op.
+  virtual void SaveState(persist::Encoder& e) const { (void)e; }
+  virtual void RestoreState(persist::Decoder& d) { (void)d; }
 };
 
 /// Conditional branches predicted not taken.
@@ -60,6 +68,8 @@ class TwoBitPredictor final : public BranchPredictor {
     return std::make_unique<TwoBitPredictor>(
         static_cast<int>(counters_.size()));
   }
+  void SaveState(persist::Encoder& e) const override;
+  void RestoreState(persist::Decoder& d) override;
 
  private:
   std::vector<std::uint8_t> counters_;  // 0..3; >=2 predicts taken.
@@ -78,6 +88,8 @@ class OraclePredictor final : public BranchPredictor {
   bool PredictTaken(std::size_t pc, const isa::Instruction& inst) override;
   void Update(std::size_t, bool) override {}
   [[nodiscard]] std::unique_ptr<BranchPredictor> Clone() const override;
+  void SaveState(persist::Encoder& e) const override;
+  void RestoreState(persist::Decoder& d) override;
 
  private:
   std::vector<std::vector<std::uint8_t>> outcomes_by_pc_;

@@ -98,4 +98,70 @@ std::vector<ButterflyNetwork::Arrival> ButterflyNetwork::DrainReverse() {
   return out;
 }
 
+void ButterflyNetwork::SaveState(persist::Encoder& e) const {
+  const auto save_net = [&e](const std::vector<std::vector<Node>>& net) {
+    e.U32(static_cast<std::uint32_t>(net.size()));
+    for (const auto& stage : net) {
+      e.U32(static_cast<std::uint32_t>(stage.size()));
+      for (const Node& node : stage) {
+        e.U32(static_cast<std::uint32_t>(node.queue.size()));
+        for (const Msg& m : node.queue) {
+          e.U64(m.id);
+          e.I32(m.dest);
+        }
+      }
+    }
+  };
+  const auto save_out = [&e](const std::vector<Arrival>& out) {
+    e.U32(static_cast<std::uint32_t>(out.size()));
+    for (const Arrival& a : out) {
+      e.I32(a.port);
+      e.U64(a.id);
+    }
+  };
+  save_net(fwd_);
+  save_net(rev_);
+  save_out(fwd_out_);
+  save_out(rev_out_);
+  e.U64(stats_.messages);
+  e.U64(stats_.queue_cycles);
+  e.U64(stats_.max_queue_depth);
+}
+
+void ButterflyNetwork::RestoreState(persist::Decoder& d) {
+  const auto restore_net = [&d](std::vector<std::vector<Node>>& net) {
+    if (d.U32() != net.size()) {
+      throw persist::FormatError("butterfly geometry mismatch");
+    }
+    for (auto& stage : net) {
+      if (d.U32() != stage.size()) {
+        throw persist::FormatError("butterfly geometry mismatch");
+      }
+      for (Node& node : stage) {
+        node.queue.clear();
+        const std::uint32_t n = d.U32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const std::uint64_t id = d.U64();
+          node.queue.push_back({id, d.I32()});
+        }
+      }
+    }
+  };
+  const auto restore_out = [&d](std::vector<Arrival>& out) {
+    out.clear();
+    const std::uint32_t n = d.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const int port = d.I32();
+      out.push_back({port, d.U64()});
+    }
+  };
+  restore_net(fwd_);
+  restore_net(rev_);
+  restore_out(fwd_out_);
+  restore_out(rev_out_);
+  stats_.messages = d.U64();
+  stats_.queue_cycles = d.U64();
+  stats_.max_queue_depth = d.U64();
+}
+
 }  // namespace ultra::memory

@@ -14,6 +14,8 @@
 #include <deque>
 #include <vector>
 
+#include "persist/serial.hpp"
+
 namespace ultra::memory {
 
 struct ButterflyStats {
@@ -47,6 +49,11 @@ class ButterflyNetwork {
   std::vector<Arrival> DrainReverse();
 
   [[nodiscard]] const ButterflyStats& stats() const { return stats_; }
+
+  /// Checkpoint support: all queued messages (both directions), undrained
+  /// arrivals, and stats.
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
 
  private:
   struct Msg {

@@ -85,4 +85,38 @@ void InterleavedCache::Flush() {
   for (auto& line : lines_) line.valid = false;
 }
 
+void InterleavedCache::SaveState(persist::Encoder& e) const {
+  e.U32(static_cast<std::uint32_t>(lines_.size()));
+  for (const Line& line : lines_) {
+    e.U64(line.tag);
+    e.Bool(line.valid);
+    e.U64(line.lru);
+  }
+  e.U32(static_cast<std::uint32_t>(ports_used_.size()));
+  for (const int p : ports_used_) e.I32(p);
+  e.U64(access_counter_);
+  e.U64(stats_.hits);
+  e.U64(stats_.misses);
+  e.U64(stats_.bank_conflicts);
+}
+
+void InterleavedCache::RestoreState(persist::Decoder& d) {
+  if (d.U32() != lines_.size()) {
+    throw persist::FormatError("cache geometry mismatch");
+  }
+  for (Line& line : lines_) {
+    line.tag = d.U64();
+    line.valid = d.Bool();
+    line.lru = d.U64();
+  }
+  if (d.U32() != ports_used_.size()) {
+    throw persist::FormatError("cache bank count mismatch");
+  }
+  for (int& p : ports_used_) p = d.I32();
+  access_counter_ = d.U64();
+  stats_.hits = d.U64();
+  stats_.misses = d.U64();
+  stats_.bank_conflicts = d.U64();
+}
+
 }  // namespace ultra::memory

@@ -14,6 +14,7 @@
 
 #include "isa/opcode.hpp"
 #include "memory/backing_store.hpp"
+#include "persist/serial.hpp"
 
 namespace ultra::memory {
 
@@ -62,6 +63,12 @@ class InterleavedCache {
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  /// Checkpoint support: full timing state — lines (tags, validity, LRU
+  /// stamps), per-cycle port counts, and stats — so a restored run observes
+  /// the same hit/miss/conflict sequence as the uninterrupted one.
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
 
  private:
   struct Line {

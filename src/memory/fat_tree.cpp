@@ -127,4 +127,64 @@ std::vector<FatTreeNetwork::Delivery> FatTreeNetwork::DrainLeaves() {
   return out;
 }
 
+void FatTreeNetwork::SaveState(persist::Encoder& e) const {
+  e.U32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const Node& node : nodes_) {
+    e.U32(static_cast<std::uint32_t>(node.up.size()));
+    for (const Msg& m : node.up) {
+      e.U64(m.id);
+      e.I32(m.leaf);
+    }
+    e.U32(static_cast<std::uint32_t>(node.down.size()));
+    for (const Msg& m : node.down) {
+      e.U64(m.id);
+      e.I32(m.leaf);
+    }
+  }
+  e.U32(static_cast<std::uint32_t>(at_root_.size()));
+  for (const std::uint64_t id : at_root_) e.U64(id);
+  e.U32(static_cast<std::uint32_t>(at_leaves_.size()));
+  for (const Delivery& dl : at_leaves_) {
+    e.I32(dl.leaf);
+    e.U64(dl.id);
+  }
+  e.U64(stats_.messages_up);
+  e.U64(stats_.messages_down);
+  e.U64(stats_.queue_cycles);
+  e.U64(stats_.max_queue_depth);
+}
+
+void FatTreeNetwork::RestoreState(persist::Decoder& d) {
+  if (d.U32() != nodes_.size()) {
+    throw persist::FormatError("fat-tree geometry mismatch");
+  }
+  for (Node& node : nodes_) {
+    node.up.clear();
+    node.down.clear();
+    const std::uint32_t up = d.U32();
+    for (std::uint32_t i = 0; i < up; ++i) {
+      const std::uint64_t id = d.U64();
+      node.up.push_back({id, d.I32()});
+    }
+    const std::uint32_t down = d.U32();
+    for (std::uint32_t i = 0; i < down; ++i) {
+      const std::uint64_t id = d.U64();
+      node.down.push_back({id, d.I32()});
+    }
+  }
+  at_root_.clear();
+  const std::uint32_t roots = d.U32();
+  for (std::uint32_t i = 0; i < roots; ++i) at_root_.push_back(d.U64());
+  at_leaves_.clear();
+  const std::uint32_t leaves = d.U32();
+  for (std::uint32_t i = 0; i < leaves; ++i) {
+    const int leaf = d.I32();
+    at_leaves_.push_back({leaf, d.U64()});
+  }
+  stats_.messages_up = d.U64();
+  stats_.messages_down = d.U64();
+  stats_.queue_cycles = d.U64();
+  stats_.max_queue_depth = d.U64();
+}
+
 }  // namespace ultra::memory

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "memory/bandwidth.hpp"
+#include "persist/serial.hpp"
 
 namespace ultra::memory {
 
@@ -53,6 +54,11 @@ class FatTreeNetwork {
   [[nodiscard]] int LinkCapacity(int subtree_leaves) const;
 
   [[nodiscard]] const FatTreeStats& stats() const { return stats_; }
+
+  /// Checkpoint support: every queued message at every node, the undrained
+  /// root/leaf arrivals, and the stats.
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
 
  private:
   struct Msg {

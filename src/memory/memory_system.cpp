@@ -281,4 +281,169 @@ std::vector<MemResponse> MemorySystem::DrainCompleted() {
   return out;
 }
 
+void MemorySystem::SaveState(persist::Encoder& e) const {
+  const auto save_request = [&e](const Request& req) {
+    e.U64(req.id);
+    e.I32(req.leaf);
+    e.Bool(req.is_store);
+    e.U32(req.addr);
+    e.U32(req.loaded_value);
+  };
+  const auto save_queue = [&](const std::queue<Request>& q) {
+    std::queue<Request> copy = q;
+    e.U32(static_cast<std::uint32_t>(copy.size()));
+    while (!copy.empty()) {
+      save_request(copy.front());
+      copy.pop();
+    }
+  };
+
+  e.U64(next_id_);
+  e.U64(now_);
+  save_queue(admission_queue_);
+  save_queue(root_retry_queue_);
+
+  e.U32(static_cast<std::uint32_t>(pending_downs_.size()));
+  for (const auto& [ready, req] : pending_downs_) {
+    e.U64(ready);
+    save_request(req);
+  }
+
+  e.U32(static_cast<std::uint32_t>(completions_.size()));
+  for (const auto& [cycle, resps] : completions_) {  // std::map: sorted.
+    e.U64(cycle);
+    e.U32(static_cast<std::uint32_t>(resps.size()));
+    for (const auto& resp : resps) {
+      e.U64(resp.id);
+      e.Bool(resp.is_store);
+      e.U32(resp.value);
+    }
+  }
+
+  // Hash map: emit sorted by id for deterministic bytes.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(in_network_.size());
+  for (const auto& [id, req] : in_network_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  e.U32(static_cast<std::uint32_t>(ids.size()));
+  for (const std::uint64_t id : ids) save_request(in_network_.at(id));
+
+  e.U32(static_cast<std::uint32_t>(completed_.size()));
+  for (const auto& resp : completed_) {
+    e.U64(resp.id);
+    e.Bool(resp.is_store);
+    e.U32(resp.value);
+  }
+
+  e.U32(static_cast<std::uint32_t>(cluster_caches_.size()));
+  for (const auto& cache : cluster_caches_) {  // LRU order is significant.
+    e.U32(static_cast<std::uint32_t>(cache.size()));
+    for (const isa::Word w : cache) e.U32(w);
+  }
+  e.U64(cluster_stats_.local_hits);
+  e.U64(cluster_stats_.local_misses);
+  e.U64(cluster_stats_.invalidations);
+
+  store_.SaveState(e);
+  e.Bool(cache_ != nullptr);
+  if (cache_ != nullptr) cache_->SaveState(e);
+  e.Bool(network_ != nullptr);
+  if (network_ != nullptr) network_->SaveState(e);
+  e.Bool(butterfly_ != nullptr);
+  if (butterfly_ != nullptr) butterfly_->SaveState(e);
+}
+
+void MemorySystem::RestoreState(persist::Decoder& d) {
+  const auto restore_request = [&d]() {
+    Request req;
+    req.id = d.U64();
+    req.leaf = d.I32();
+    req.is_store = d.Bool();
+    req.addr = d.U32();
+    req.loaded_value = d.U32();
+    return req;
+  };
+  const auto restore_queue = [&](std::queue<Request>& q) {
+    q = {};
+    const std::uint32_t n = d.U32();
+    for (std::uint32_t i = 0; i < n; ++i) q.push(restore_request());
+  };
+
+  next_id_ = d.U64();
+  now_ = d.U64();
+  restore_queue(admission_queue_);
+  restore_queue(root_retry_queue_);
+
+  pending_downs_.clear();
+  const std::uint32_t num_pending = d.U32();
+  pending_downs_.reserve(num_pending);
+  for (std::uint32_t i = 0; i < num_pending; ++i) {
+    const std::uint64_t ready = d.U64();
+    pending_downs_.emplace_back(ready, restore_request());
+  }
+
+  completions_.clear();
+  const std::uint32_t num_completion_cycles = d.U32();
+  for (std::uint32_t i = 0; i < num_completion_cycles; ++i) {
+    const std::uint64_t cycle = d.U64();
+    const std::uint32_t count = d.U32();
+    auto& resps = completions_[cycle];
+    resps.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      MemResponse resp;
+      resp.id = d.U64();
+      resp.is_store = d.Bool();
+      resp.value = d.U32();
+      resps.push_back(resp);
+    }
+  }
+
+  in_network_.clear();
+  const std::uint32_t num_in_network = d.U32();
+  in_network_.reserve(num_in_network);
+  for (std::uint32_t i = 0; i < num_in_network; ++i) {
+    Request req = restore_request();
+    in_network_.emplace(req.id, req);
+  }
+
+  completed_.clear();
+  const std::uint32_t num_completed = d.U32();
+  completed_.reserve(num_completed);
+  for (std::uint32_t i = 0; i < num_completed; ++i) {
+    MemResponse resp;
+    resp.id = d.U64();
+    resp.is_store = d.Bool();
+    resp.value = d.U32();
+    completed_.push_back(resp);
+  }
+
+  const std::uint32_t num_clusters = d.U32();
+  if (num_clusters != cluster_caches_.size()) {
+    throw persist::FormatError("cluster cache count mismatch");
+  }
+  for (auto& cache : cluster_caches_) {
+    cache.clear();
+    const std::uint32_t words = d.U32();
+    cache.reserve(words);
+    for (std::uint32_t k = 0; k < words; ++k) cache.push_back(d.U32());
+  }
+  cluster_stats_.local_hits = d.U64();
+  cluster_stats_.local_misses = d.U64();
+  cluster_stats_.invalidations = d.U64();
+
+  store_.RestoreState(d);
+  if (d.Bool() != (cache_ != nullptr)) {
+    throw persist::FormatError("memory mode mismatch (cache)");
+  }
+  if (cache_ != nullptr) cache_->RestoreState(d);
+  if (d.Bool() != (network_ != nullptr)) {
+    throw persist::FormatError("memory mode mismatch (fat tree)");
+  }
+  if (network_ != nullptr) network_->RestoreState(d);
+  if (d.Bool() != (butterfly_ != nullptr)) {
+    throw persist::FormatError("memory mode mismatch (butterfly)");
+  }
+  if (butterfly_ != nullptr) butterfly_->RestoreState(d);
+}
+
 }  // namespace ultra::memory

@@ -24,6 +24,7 @@
 
 #include "memory/backing_store.hpp"
 #include "memory/bandwidth.hpp"
+#include "persist/serial.hpp"
 #include "memory/cache.hpp"
 #include "memory/butterfly.hpp"
 #include "memory/fat_tree.hpp"
@@ -102,6 +103,13 @@ class MemorySystem {
   [[nodiscard]] const ClusterCacheStats& cluster_cache_stats() const {
     return cluster_stats_;
   }
+
+  /// Checkpoint support: the full timing + architectural state — backing
+  /// store, cache lines, network queues, and every in-flight request —
+  /// written deterministically (hash maps in sorted key order). Restore
+  /// requires a MemorySystem constructed with the same config/leaf count.
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
 
  private:
   struct Request {

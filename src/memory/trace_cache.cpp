@@ -46,4 +46,36 @@ void TraceCache::Install(std::size_t pc, std::uint32_t outcome_bits,
   traces_.emplace(key, std::make_pair(std::move(pcs), lru_.begin()));
 }
 
+void TraceCache::SaveState(persist::Encoder& e) const {
+  e.U32(static_cast<std::uint32_t>(lru_.size()));
+  for (const Key key : lru_) {  // Most recent first.
+    e.U64(key);
+    const auto it = traces_.find(key);
+    e.U32(static_cast<std::uint32_t>(it->second.first.size()));
+    for (const std::size_t pc : it->second.first) e.U64(pc);
+  }
+  e.U64(stats_.hits);
+  e.U64(stats_.misses);
+}
+
+void TraceCache::RestoreState(persist::Decoder& d) {
+  lru_.clear();
+  traces_.clear();
+  const std::uint32_t n = d.U32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Key key = d.U64();
+    const std::uint32_t len = d.U32();
+    std::vector<std::size_t> pcs;
+    pcs.reserve(len);
+    for (std::uint32_t k = 0; k < len; ++k) {
+      pcs.push_back(static_cast<std::size_t>(d.U64()));
+    }
+    // Records were saved most-recent-first; push_back keeps that order.
+    lru_.push_back(key);
+    traces_.emplace(key, std::make_pair(std::move(pcs), std::prev(lru_.end())));
+  }
+  stats_.hits = d.U64();
+  stats_.misses = d.U64();
+}
+
 }  // namespace ultra::memory

@@ -12,6 +12,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "persist/serial.hpp"
+
 namespace ultra::memory {
 
 struct TraceCacheStats {
@@ -40,6 +42,11 @@ class TraceCache {
                std::vector<std::size_t> pcs);
 
   [[nodiscard]] const TraceCacheStats& stats() const { return stats_; }
+
+  /// Checkpoint support: traces in LRU order (most recent first) plus
+  /// stats, so replacement decisions replay identically after a restore.
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
 
  private:
   using Key = std::uint64_t;

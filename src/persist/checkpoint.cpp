@@ -1,0 +1,59 @@
+#include "persist/checkpoint.hpp"
+
+namespace ultra::persist {
+
+std::vector<std::uint8_t> EncodeCheckpoint(const Checkpoint& checkpoint) {
+  Encoder e;
+  e.U32(kCheckpointMagic);
+  e.U32(kCheckpointVersion);
+  e.U8(checkpoint.header.core_kind);
+  e.U64(checkpoint.header.cycle);
+  e.U64(checkpoint.header.config_fingerprint);
+  e.U64(checkpoint.header.program_fingerprint);
+  e.Bytes(checkpoint.state);
+  std::vector<std::uint8_t> out = e.Take();
+  const std::uint32_t crc = Crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+Checkpoint DecodeCheckpoint(std::span<const std::uint8_t> data) {
+  if (data.size() < 4) throw FormatError("checkpoint truncated");
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(data[data.size() - 4 + i])
+                  << (8 * i);
+  }
+  const auto body = data.first(data.size() - 4);
+  if (Crc32(body) != stored_crc) throw FormatError("checkpoint CRC mismatch");
+  Decoder d(body);
+  if (d.U32() != kCheckpointMagic) throw FormatError("not a checkpoint file");
+  const std::uint32_t version = d.U32();
+  if (version != kCheckpointVersion) {
+    throw FormatError("unsupported checkpoint version " +
+                      std::to_string(version));
+  }
+  Checkpoint ck;
+  ck.header.core_kind = d.U8();
+  ck.header.cycle = d.U64();
+  ck.header.config_fingerprint = d.U64();
+  ck.header.program_fingerprint = d.U64();
+  ck.state = d.Bytes();
+  if (!d.AtEnd()) throw FormatError("trailing bytes after checkpoint");
+  return ck;
+}
+
+void WriteCheckpointFile(const std::string& path,
+                         const Checkpoint& checkpoint) {
+  const std::vector<std::uint8_t> bytes = EncodeCheckpoint(checkpoint);
+  AtomicWriteFile(path, std::span<const std::uint8_t>(bytes));
+}
+
+Checkpoint ReadCheckpointFile(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = ReadFileBytes(path);
+  return DecodeCheckpoint(bytes);
+}
+
+}  // namespace ultra::persist

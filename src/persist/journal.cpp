@@ -1,0 +1,107 @@
+#include "persist/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ultra::persist {
+
+JournalWriter::JournalWriter(const std::string& path, bool truncate)
+    : path_(path) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open journal " + path + ": " +
+                             std::strerror(errno));
+  }
+  // Make the journal's existence itself durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::Append(std::uint32_t type,
+                           std::span<const std::uint8_t> payload) {
+  // CRC covers (type, length, payload) so a frame whose header or body was
+  // torn by a crash fails validation as a unit.
+  Encoder crc_input;
+  crc_input.U32(type);
+  crc_input.U32(static_cast<std::uint32_t>(payload.size()));
+  Encoder frame;
+  frame.U32(kJournalMagic);
+  frame.U32(type);
+  frame.U32(static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::uint8_t> crc_bytes = crc_input.Take();
+  crc_bytes.insert(crc_bytes.end(), payload.begin(), payload.end());
+  frame.U32(Crc32(crc_bytes));
+  std::vector<std::uint8_t> bytes = frame.Take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("cannot append to journal " + path_ + ": " +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("cannot fsync journal " + path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+std::vector<JournalRecord> ReadJournal(const std::string& path) {
+  std::vector<std::uint8_t> data;
+  try {
+    data = ReadFileBytes(path);
+  } catch (const FormatError&) {
+    return {};  // Missing journal = nothing completed yet.
+  }
+
+  std::vector<JournalRecord> records;
+  std::size_t pos = 0;
+  const auto u32_at = [&](std::size_t p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[p + i]) << (8 * i);
+    }
+    return v;
+  };
+  while (data.size() - pos >= 16) {
+    if (u32_at(pos) != kJournalMagic) break;
+    const std::uint32_t type = u32_at(pos + 4);
+    const std::uint32_t length = u32_at(pos + 8);
+    const std::uint32_t stored_crc = u32_at(pos + 12);
+    if (data.size() - pos - 16 < length) break;  // Torn tail.
+    Encoder crc_input;
+    crc_input.U32(type);
+    crc_input.U32(length);
+    std::vector<std::uint8_t> crc_bytes = crc_input.Take();
+    crc_bytes.insert(crc_bytes.end(), data.begin() + pos + 16,
+                     data.begin() + pos + 16 + length);
+    if (Crc32(crc_bytes) != stored_crc) break;  // Corrupt tail.
+    records.push_back(
+        {type, std::vector<std::uint8_t>(data.begin() + pos + 16,
+                                         data.begin() + pos + 16 + length)});
+    pos += 16 + length;
+  }
+  return records;
+}
+
+}  // namespace ultra::persist

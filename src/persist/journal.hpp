@@ -1,0 +1,62 @@
+// Crash-safe append-only journal: the framing layer under SweepRunner's
+// resume support.
+//
+// A journal is a sequence of CRC-framed records. Appends are durable — each
+// record is written with a single write() and fsync'd before Append returns,
+// so a record either survives a crash whole or was never committed. The
+// reader validates each frame and stops at the first torn or corrupt one,
+// discarding the tail: after a SIGKILL mid-append, every record before the
+// torn frame is intact and the torn frame itself is ignored.
+//
+// Record frame (little-endian):
+//   u32 magic "UJNL" | u32 record type | u32 payload length |
+//   u32 CRC-32 of (type, length, payload) | payload bytes
+// Payload semantics belong to the caller (src/runtime/sweep_journal.*
+// defines the sweep header/outcome records).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "persist/serial.hpp"
+
+namespace ultra::persist {
+
+inline constexpr std::uint32_t kJournalMagic = 0x4C4E4A55;  // "UJNL" LE.
+
+struct JournalRecord {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends durable records to a journal file. Not thread-safe; callers
+/// serialize Append (SweepRunner holds a mutex around it).
+class JournalWriter {
+ public:
+  /// Opens @p path for appending, creating it if missing; @p truncate
+  /// discards existing contents first (a fresh, non-resumed sweep). Throws
+  /// std::runtime_error when the file cannot be opened.
+  JournalWriter(const std::string& path, bool truncate);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Frames, writes, and fsyncs one record. Throws std::runtime_error on
+  /// I/O failure.
+  void Append(std::uint32_t type, std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Reads every intact record of @p path, in append order. A missing file
+/// yields an empty vector; a torn or corrupt tail is silently discarded
+/// (that is the crash contract, not an error).
+[[nodiscard]] std::vector<JournalRecord> ReadJournal(const std::string& path);
+
+}  // namespace ultra::persist

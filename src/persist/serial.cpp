@@ -1,0 +1,175 @@
+#include "persist/serial.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ultra::persist {
+
+void Encoder::F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+
+void Encoder::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Encoder::Bytes(std::span<const std::uint8_t> data) {
+  U32(static_cast<std::uint32_t>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::uint64_t Decoder::Le(int n) {
+  if (remaining() < static_cast<std::size_t>(n)) {
+    throw FormatError("truncated input");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += static_cast<std::size_t>(n);
+  return v;
+}
+
+bool Decoder::Bool() {
+  const std::uint8_t v = U8();
+  if (v > 1) throw FormatError("corrupt bool");
+  return v != 0;
+}
+
+double Decoder::F64() { return std::bit_cast<double>(U64()); }
+
+std::string Decoder::Str() {
+  const std::uint32_t n = U32();
+  if (remaining() < n) throw FormatError("truncated string");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> Decoder::Bytes() {
+  const std::uint32_t n = U32();
+  if (remaining() < n) throw FormatError("truncated blob");
+  std::vector<std::uint8_t> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              data_.begin() +
+                                  static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t Fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+namespace {
+
+void ThrowErrno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// fsync the directory containing @p path so a rename/create survives a
+/// crash. Best-effort: some filesystems reject directory fsync.
+void SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+void AtomicWriteFile(const std::string& path,
+                     std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) ThrowErrno("cannot create", tmp);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      ThrowErrno("cannot write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    ThrowErrno("cannot fsync", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    ThrowErrno("cannot rename over", path);
+  }
+  SyncParentDir(path);
+}
+
+void AtomicWriteFile(const std::string& path, std::string_view text) {
+  AtomicWriteFile(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size()));
+}
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw FormatError("cannot open " + path);
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw FormatError("cannot read " + path);
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+}  // namespace ultra::persist

@@ -1,0 +1,102 @@
+// Deterministic binary serialization primitives for checkpoints, sweep
+// journals, and repro bundles.
+//
+// The encoding is little-endian, fixed-width, and position-independent: the
+// same logical state always produces the same bytes on every platform, so
+// checkpoint files can be fingerprinted, CRC-framed, and compared
+// byte-for-byte (the golden-format tests rely on this). Callers that
+// serialize hash-ordered containers must emit them in sorted key order.
+//
+// No dependencies beyond the standard library: every subsystem (isa,
+// memory, datapath, fault, core, runtime) links ultra_persist to put its own
+// Save/Restore methods next to the state they capture.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ultra::persist {
+
+/// Thrown by Decoder and the file/frame readers on truncated, corrupt, or
+/// version-mismatched input. Restores must treat it as "this artifact is
+/// unusable", never as partial data.
+class FormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only byte sink. All integers are written little-endian at fixed
+/// width; strings and byte blobs carry a u32 length prefix.
+class Encoder {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+  void U16(std::uint16_t v) { Le(v, 2); }
+  void U32(std::uint32_t v) { Le(v, 4); }
+  void U64(std::uint64_t v) { Le(v, 8); }
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void F64(double v);
+  void Str(std::string_view s);
+  void Bytes(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  void Le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader over a byte span (not owned). Throws FormatError on underflow, so
+/// a truncated artifact fails loudly instead of yielding garbage state.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t U8() { return static_cast<std::uint8_t>(Le(1)); }
+  std::uint16_t U16() { return static_cast<std::uint16_t>(Le(2)); }
+  std::uint32_t U32() { return static_cast<std::uint32_t>(Le(4)); }
+  std::uint64_t U64() { return Le(8); }
+  std::int32_t I32() { return static_cast<std::int32_t>(U32()); }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  bool Bool();
+  double F64();
+  std::string Str();
+  std::vector<std::uint8_t> Bytes();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::uint64_t Le(int n);
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over @p data.
+[[nodiscard]] std::uint32_t Crc32(std::span<const std::uint8_t> data);
+
+/// FNV-1a 64-bit hash, the fingerprint primitive for configs and programs.
+[[nodiscard]] std::uint64_t Fnv1a64(std::span<const std::uint8_t> data);
+
+/// Writes @p data to @p path atomically and durably: a temp file in the same
+/// directory is written, fsync'd, renamed over @p path, and the directory is
+/// fsync'd. Readers never observe a half-written artifact. Throws
+/// std::runtime_error on any I/O failure.
+void AtomicWriteFile(const std::string& path,
+                     std::span<const std::uint8_t> data);
+void AtomicWriteFile(const std::string& path, std::string_view text);
+
+/// Reads a whole file; throws FormatError when it cannot be opened.
+[[nodiscard]] std::vector<std::uint8_t> ReadFileBytes(const std::string& path);
+
+}  // namespace ultra::persist

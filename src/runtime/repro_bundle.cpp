@@ -1,0 +1,156 @@
+#include "runtime/repro_bundle.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/config_codec.hpp"
+#include "fault/fault_plan.hpp"
+#include "isa/program_codec.hpp"
+#include "runtime/sweep_journal.hpp"
+
+namespace ultra::runtime {
+
+namespace {
+
+// Shared light framing for config/program/outcome files: a magic, a
+// version, the payload, and a trailing CRC so a truncated or bit-flipped
+// bundle file is rejected instead of silently misread.
+constexpr std::uint32_t kBundleFileMagic = 0x444E4255;  // "UBND" LE.
+constexpr std::uint32_t kBundleFileVersion = 1;
+
+void WriteFramed(const std::string& path,
+                 std::vector<std::uint8_t> payload) {
+  persist::Encoder e;
+  e.U32(kBundleFileMagic);
+  e.U32(kBundleFileVersion);
+  e.Bytes(payload);
+  const std::uint32_t crc = persist::Crc32(e.bytes());
+  e.U32(crc);
+  persist::AtomicWriteFile(path, e.bytes());
+}
+
+std::vector<std::uint8_t> ReadFramed(const std::string& path) {
+  const std::vector<std::uint8_t> raw = persist::ReadFileBytes(path);
+  if (raw.size() < 16) {
+    throw persist::FormatError("bundle file truncated: " + path);
+  }
+  const std::span<const std::uint8_t> body(raw.data(), raw.size() - 4);
+  persist::Decoder tail(
+      std::span<const std::uint8_t>(raw.data() + raw.size() - 4, 4));
+  if (tail.U32() != persist::Crc32(body)) {
+    throw persist::FormatError("bundle file CRC mismatch: " + path);
+  }
+  persist::Decoder d(body);
+  if (d.U32() != kBundleFileMagic) {
+    throw persist::FormatError("bad bundle file magic: " + path);
+  }
+  if (d.U32() != kBundleFileVersion) {
+    throw persist::FormatError("unsupported bundle file version: " + path);
+  }
+  const std::vector<std::uint8_t> payload = d.Bytes();
+  if (!d.AtEnd()) {
+    throw persist::FormatError("trailing bundle file bytes: " + path);
+  }
+  return payload;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WriteReproBundle(const std::string& dir, const SweepPoint& point,
+                             const SweepOutcome& outcome,
+                             const persist::Checkpoint* checkpoint) {
+  const std::filesystem::path bundle =
+      std::filesystem::path(dir) / ("point-" + std::to_string(outcome.index));
+  std::filesystem::create_directories(bundle);
+
+  {
+    persist::Encoder e;
+    core::EncodeCoreConfig(e, point.config);
+    WriteFramed((bundle / "config.bin").string(), e.Take());
+  }
+  {
+    persist::Encoder e;
+    isa::EncodeProgram(e, *point.program);
+    WriteFramed((bundle / "program.bin").string(), e.Take());
+  }
+  {
+    persist::Encoder e;
+    EncodeOutcome(e, outcome);
+    WriteFramed((bundle / "outcome.bin").string(), e.Take());
+  }
+  if (checkpoint != nullptr) {
+    persist::WriteCheckpointFile((bundle / "checkpoint.bin").string(),
+                                 *checkpoint);
+  }
+
+  std::ostringstream manifest;
+  manifest << "{\n"
+           << "  \"index\": " << outcome.index << ",\n"
+           << "  \"processor\": \"" << core::ProcessorKindName(outcome.kind)
+           << "\",\n"
+           << "  \"workload\": \"" << JsonEscape(outcome.workload) << "\",\n"
+           << "  \"attempts\": " << outcome.attempts << ",\n"
+           << "  \"deadline_exceeded\": "
+           << (outcome.deadline_exceeded ? "true" : "false") << ",\n"
+           << "  \"error\": \"" << JsonEscape(outcome.error) << "\",\n";
+  if (point.config.fault_plan != nullptr &&
+      point.config.fault_plan->provenance().randomized) {
+    manifest << "  \"fault_seed\": "
+             << point.config.fault_plan->provenance().seed << ",\n";
+  }
+  if (checkpoint != nullptr) {
+    manifest << "  \"checkpoint_cycle\": " << checkpoint->header.cycle
+             << ",\n";
+  }
+  manifest << "  \"files\": [\"config.bin\", \"program.bin\", \"outcome.bin\""
+           << (checkpoint != nullptr ? ", \"checkpoint.bin\"" : "")
+           << "]\n}\n";
+  persist::AtomicWriteFile((bundle / "manifest.json").string(),
+                           manifest.str());
+  return bundle.string();
+}
+
+ReproBundle ReadReproBundle(const std::string& bundle_path) {
+  const std::filesystem::path bundle(bundle_path);
+  ReproBundle out;
+  {
+    const auto payload = ReadFramed((bundle / "config.bin").string());
+    persist::Decoder d(payload);
+    out.point.config = core::DecodeCoreConfig(d);
+  }
+  {
+    const auto payload = ReadFramed((bundle / "program.bin").string());
+    persist::Decoder d(payload);
+    out.point.program =
+        std::make_shared<const isa::Program>(isa::DecodeProgram(d));
+  }
+  {
+    const auto payload = ReadFramed((bundle / "outcome.bin").string());
+    persist::Decoder d(payload);
+    out.outcome = DecodeOutcome(d);
+  }
+  out.point.kind = out.outcome.kind;
+  out.point.workload = out.outcome.workload;
+  const std::filesystem::path ckpt = bundle / "checkpoint.bin";
+  if (std::filesystem::exists(ckpt)) {
+    out.checkpoint = persist::ReadCheckpointFile(ckpt.string());
+  }
+  return out;
+}
+
+}  // namespace ultra::runtime

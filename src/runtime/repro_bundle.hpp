@@ -1,0 +1,45 @@
+// Self-contained repro bundles for failed sweep points.
+//
+// When a point fails (oracle mismatch, deadline, exception) and
+// SweepOptions::bundle_dir is set, the runner writes a directory holding
+// everything needed to re-execute the point standalone — no access to the
+// original sweep, workload generators, or journal required:
+//
+//   <dir>/point-<index>/
+//     manifest.json    human-readable summary (index, kind, workload,
+//                      error, attempts, fault seed, checkpoint cycle)
+//     config.bin       full CoreConfig, including the fault plan
+//     program.bin      instruction stream + initial memory + labels
+//     outcome.bin      the recorded SweepOutcome (journal record codec)
+//     checkpoint.bin   (optional) the periodic checkpoint nearest the
+//                      failure, when SweepOptions::checkpoint_every armed one
+//
+// examples/replay_bundle re-runs a bundle and diffs against outcome.bin.
+// All binary files are CRC-framed and written atomically (temp + rename).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "persist/checkpoint.hpp"
+#include "runtime/sweep_runner.hpp"
+
+namespace ultra::runtime {
+
+struct ReproBundle {
+  SweepPoint point;       // config + program + workload label.
+  SweepOutcome outcome;   // As recorded at failure time.
+  std::optional<persist::Checkpoint> checkpoint;
+};
+
+/// Writes the bundle under "<dir>/point-<outcome.index>" (created as
+/// needed) and returns that path. @p checkpoint may be null.
+std::string WriteReproBundle(const std::string& dir, const SweepPoint& point,
+                             const SweepOutcome& outcome,
+                             const persist::Checkpoint* checkpoint);
+
+/// Loads a bundle directory written by WriteReproBundle. Throws
+/// persist::FormatError on missing or corrupt files.
+[[nodiscard]] ReproBundle ReadReproBundle(const std::string& bundle_path);
+
+}  // namespace ultra::runtime

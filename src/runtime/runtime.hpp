@@ -3,12 +3,16 @@
 // The runtime layer turns the point-by-point experiment drivers into
 // deterministic parallel sweeps: SweepRunner fans simulation points across
 // a thread pool with submission-order aggregation, sweep_io exports the
-// results as CSV/JSON, and the core-layer FunctionalSimCache (re-exported
+// results as CSV/JSON, sweep_journal + repro_bundle make long sweeps
+// crash-safe (resume from an append-only journal, self-contained bundles
+// for failed points), and the core-layer FunctionalSimCache (re-exported
 // here because MakePredictor lives below this layer) deduplicates the
 // functional pre-runs that oracle predictors and architectural-state
 // checks share.
 #pragma once
 
 #include "core/functional_sim_cache.hpp"  // IWYU pragma: export
+#include "runtime/repro_bundle.hpp"       // IWYU pragma: export
 #include "runtime/sweep_io.hpp"           // IWYU pragma: export
+#include "runtime/sweep_journal.hpp"      // IWYU pragma: export
 #include "runtime/sweep_runner.hpp"       // IWYU pragma: export

@@ -3,10 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <string>
 
+#include "fault/fault_plan.hpp"
+#include "persist/serial.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace ultra::runtime {
@@ -177,7 +179,16 @@ void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
   for (const SweepOutcome* o : bad) {
     os << "# index=" << o->index << " processor="
        << core::ProcessorKindName(o->kind) << " workload="
-       << CsvEscape(o->workload) << " attempts=" << o->attempts
+       << CsvEscape(o->workload);
+    // The seed that produced the failing fault plan, when there was one:
+    // enough to rebuild the identical plan via FaultPlan::Random. Omitted
+    // entirely for fault-free sweeps so their artifacts keep the
+    // historical byte shape.
+    if (o->config.fault_plan != nullptr &&
+        o->config.fault_plan->provenance().randomized) {
+      os << " fault_seed=" << o->config.fault_plan->provenance().seed;
+    }
+    os << " attempts=" << o->attempts
        << " deadline_exceeded=" << (o->deadline_exceeded ? 1 : 0)
        << " error=" << CsvEscape(o->error) << '\n';
   }
@@ -263,8 +274,23 @@ void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << core::ProcessorKindName(o.kind) << "\", \"workload\": \""
        << JsonEscape(o.workload) << "\", \"attempts\": " << o.attempts
        << ", \"deadline_exceeded\": "
-       << (o.deadline_exceeded ? "true" : "false") << ", \"error\": \""
-       << JsonEscape(o.error) << "\"}";
+       << (o.deadline_exceeded ? "true" : "false");
+    if (o.config.fault_plan != nullptr &&
+        o.config.fault_plan->provenance().randomized) {
+      os << ", \"fault_seed\": " << o.config.fault_plan->provenance().seed;
+    }
+    // Full retry history, not just the terminal error — but only when
+    // there *was* a retry, so single-attempt sweeps keep the historical
+    // byte-exact shape.
+    if (o.attempt_errors.size() > 1) {
+      os << ", \"attempt_errors\": [";
+      for (std::size_t a = 0; a < o.attempt_errors.size(); ++a) {
+        os << (a == 0 ? "" : ", ") << '"' << JsonEscape(o.attempt_errors[a])
+           << '"';
+      }
+      os << ']';
+    }
+    os << ", \"error\": \"" << JsonEscape(o.error) << "\"}";
   }
   os << (bad.empty() ? "" : "\n ") << "]}\n";
 }
@@ -280,6 +306,10 @@ SweepCli ParseSweepCli(int& argc, char** argv) {
       cli.csv_path = arg + 6;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       cli.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+      cli.journal_path = arg + 10;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      cli.resume = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -288,18 +318,29 @@ SweepCli ParseSweepCli(int& argc, char** argv) {
   return cli;
 }
 
+SweepReport RunSweepCli(const SweepRunner& runner, const SweepCli& cli,
+                        const std::vector<SweepPoint>& points) {
+  if (cli.journal_path.empty()) return runner.RunWithReport(points);
+  if (cli.resume) return runner.Resume(points, cli.journal_path);
+  return runner.RunJournaled(points, cli.journal_path);
+}
+
 bool ExportOutcomes(const SweepCli& cli,
                     const std::vector<SweepOutcome>& outcomes) {
   bool ok = true;
   const auto write = [&](const std::string& path, auto writer) {
     if (path.empty()) return;
-    std::ofstream os(path);
-    if (!os) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      ok = false;
-      return;
-    }
+    // Render fully in memory, then commit atomically: a crash mid-export
+    // leaves either the previous artifact or the new one, never a torn
+    // file.
+    std::ostringstream os;
     writer(os, outcomes);
+    try {
+      persist::AtomicWriteFile(path, std::string_view(os.view()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), e.what());
+      ok = false;
+    }
   };
   write(cli.csv_path, WriteCsv);
   write(cli.json_path, WriteJson);

@@ -27,20 +27,33 @@ void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes);
 void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes);
 
 /// Flags shared by the sweep-based benches:
-///   --threads=N   worker threads (default: ULTRA_SWEEP_THREADS or cores)
-///   --csv=PATH    write results as CSV after the run
-///   --json=PATH   write results as JSON after the run
+///   --threads=N     worker threads (default: ULTRA_SWEEP_THREADS or cores)
+///   --csv=PATH      write results as CSV after the run
+///   --json=PATH     write results as JSON after the run
+///   --journal=PATH  journal each completed point to PATH (crash-safe)
+///   --resume        with --journal: skip points already in the journal
 /// Recognized flags are removed from argv; everything else is left for the
 /// binary's own positional arguments.
 struct SweepCli {
   int threads = 0;  // 0 = DefaultThreadCount().
   std::string csv_path;
   std::string json_path;
+  std::string journal_path;  // Empty: no journaling.
+  bool resume = false;       // Only meaningful with journal_path set.
 };
 SweepCli ParseSweepCli(int& argc, char** argv);
 
-/// Writes the requested export files (no-op for empty paths). Returns false
-/// and prints to stderr when a file cannot be written.
+/// Runs @p points through @p runner honoring the CLI's journal flags:
+/// plain RunWithReport without --journal, RunJournaled with it, and
+/// Resume with --journal --resume.
+SweepReport RunSweepCli(const SweepRunner& runner, const SweepCli& cli,
+                        const std::vector<SweepPoint>& points);
+
+/// Writes the requested export files (no-op for empty paths). Each file is
+/// committed atomically (temp + rename), so an export interrupted by a
+/// crash never leaves a half-written artifact where a complete one is
+/// expected. Returns false and prints to stderr when a file cannot be
+/// written.
 bool ExportOutcomes(const SweepCli& cli,
                     const std::vector<SweepOutcome>& outcomes);
 

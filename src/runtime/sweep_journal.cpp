@@ -1,0 +1,124 @@
+#include "runtime/sweep_journal.hpp"
+
+#include "core/config_codec.hpp"
+#include "isa/program_codec.hpp"
+#include "persist/journal.hpp"
+#include "telemetry/snapshot_codec.hpp"
+
+namespace ultra::runtime {
+
+std::uint64_t FingerprintSweep(const std::vector<SweepPoint>& points,
+                               const SweepOptions& options) {
+  persist::Encoder e;
+  e.U32(kSweepJournalVersion);
+  e.U64(static_cast<std::uint64_t>(points.size()));
+  for (const SweepPoint& p : points) {
+    e.U8(static_cast<std::uint8_t>(p.kind));
+    e.Str(p.workload);
+    e.U64(core::FingerprintConfig(p.config));
+    e.U64(p.program ? isa::FingerprintProgram(*p.program) : 0);
+  }
+  e.Bool(options.check_architectural_state);
+  e.I32(options.max_attempts);
+  e.Bool(options.collect_metrics);
+  return persist::Fnv1a64(e.bytes());
+}
+
+void EncodeOutcome(persist::Encoder& e, const SweepOutcome& o) {
+  e.U64(static_cast<std::uint64_t>(o.index));
+  e.U8(static_cast<std::uint8_t>(o.kind));
+  e.Str(o.workload);
+  e.Bool(o.ok);
+  e.Str(o.error);
+  e.I32(o.attempts);
+  e.Bool(o.deadline_exceeded);
+  e.U32(static_cast<std::uint32_t>(o.attempt_errors.size()));
+  for (const std::string& err : o.attempt_errors) e.Str(err);
+  e.Bool(o.result.halted);
+  e.U64(o.result.cycles);
+  e.U64(o.result.committed);
+  e.U32(static_cast<std::uint32_t>(o.result.regs.size()));
+  for (const isa::Word r : o.result.regs) e.U32(r);
+  const core::RunStats& s = o.result.stats;
+  e.U64(s.mispredictions);
+  e.U64(s.forwarded_loads);
+  e.U64(s.squashed_instructions);
+  e.U64(s.load_count);
+  e.U64(s.store_count);
+  e.U64(s.fetch_stall_cycles);
+  e.U64(s.window_full_cycles);
+  e.U64(s.fault.injected);
+  e.U64(s.fault.checks);
+  e.U64(s.fault.divergences);
+  e.U64(s.fault.resyncs);
+  e.U64(s.fault.squashes);
+  telemetry::EncodeSnapshot(e, o.metrics);
+}
+
+SweepOutcome DecodeOutcome(persist::Decoder& d) {
+  SweepOutcome o;
+  o.index = static_cast<std::size_t>(d.U64());
+  o.kind = static_cast<core::ProcessorKind>(d.U8());
+  o.workload = d.Str();
+  o.ok = d.Bool();
+  o.error = d.Str();
+  o.attempts = d.I32();
+  o.deadline_exceeded = d.Bool();
+  const std::uint32_t n_errors = d.U32();
+  o.attempt_errors.reserve(n_errors);
+  for (std::uint32_t i = 0; i < n_errors; ++i) {
+    o.attempt_errors.push_back(d.Str());
+  }
+  o.result.halted = d.Bool();
+  o.result.cycles = d.U64();
+  o.result.committed = d.U64();
+  const std::uint32_t n_regs = d.U32();
+  o.result.regs.reserve(n_regs);
+  for (std::uint32_t i = 0; i < n_regs; ++i) o.result.regs.push_back(d.U32());
+  core::RunStats& s = o.result.stats;
+  s.mispredictions = d.U64();
+  s.forwarded_loads = d.U64();
+  s.squashed_instructions = d.U64();
+  s.load_count = d.U64();
+  s.store_count = d.U64();
+  s.fetch_stall_cycles = d.U64();
+  s.window_full_cycles = d.U64();
+  s.fault.injected = d.U64();
+  s.fault.checks = d.U64();
+  s.fault.divergences = d.U64();
+  s.fault.resyncs = d.U64();
+  s.fault.squashes = d.U64();
+  o.metrics = telemetry::DecodeSnapshot(d);
+  return o;
+}
+
+std::vector<std::uint8_t> EncodeJournalHeader(std::uint64_t sweep_fingerprint,
+                                              std::uint64_t point_count) {
+  persist::Encoder e;
+  e.U32(kSweepJournalVersion);
+  e.U64(sweep_fingerprint);
+  e.U64(point_count);
+  return e.Take();
+}
+
+SweepJournalContents ReadSweepJournal(const std::string& path) {
+  SweepJournalContents contents;
+  for (const persist::JournalRecord& rec : persist::ReadJournal(path)) {
+    persist::Decoder d(rec.payload);
+    if (rec.type == kJournalRecHeader) {
+      contents.version = d.U32();
+      if (contents.version != kSweepJournalVersion) {
+        throw persist::FormatError("unsupported sweep journal version");
+      }
+      contents.sweep_fingerprint = d.U64();
+      contents.point_count = d.U64();
+      contents.has_header = true;
+    } else if (rec.type == kJournalRecOutcome) {
+      contents.outcomes.push_back(DecodeOutcome(d));
+    }
+    // Unknown record types: skip (forward compatibility).
+  }
+  return contents;
+}
+
+}  // namespace ultra::runtime

@@ -12,6 +12,9 @@
 #include <thread>
 
 #include "core/functional_sim_cache.hpp"
+#include "persist/journal.hpp"
+#include "runtime/repro_bundle.hpp"
+#include "runtime/sweep_journal.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ultra::runtime {
@@ -34,7 +37,9 @@ std::string SummarizeFailures(
      << " failed:";
   const std::size_t shown = std::min<std::size_t>(failures.size(), 3);
   for (std::size_t i = 0; i < shown; ++i) {
-    os << " [" << failures[i].index << "] " << failures[i].message << ';';
+    os << " [" << failures[i].index;
+    if (!failures[i].context.empty()) os << ' ' << failures[i].context;
+    os << "] " << failures[i].message << ';';
   }
   if (failures.size() > shown) {
     os << " ... (" << failures.size() - shown << " more)";
@@ -50,19 +55,35 @@ ParallelForError::ParallelForError(std::vector<Failure> failures)
 
 void ParallelFor(int num_threads, std::size_t count,
                  const std::function<void(std::size_t)>& body) {
+  ParallelFor(num_threads, count, body, nullptr);
+}
+
+void ParallelFor(int num_threads, std::size_t count,
+                 const std::function<void(std::size_t)>& body,
+                 const std::function<std::string(std::size_t)>& describe) {
   if (num_threads <= 0) num_threads = DefaultThreadCount();
   if (count == 0) return;
 
+  // The label is computed only on the failure path: describe may allocate,
+  // and the happy path should not pay for it.
+  const auto context_of = [&describe](std::size_t i) -> std::string {
+    if (!describe) return {};
+    try {
+      return describe(i);
+    } catch (...) {
+      return {};  // A broken describe must not mask the real failure.
+    }
+  };
   std::vector<ParallelForError::Failure> failures;
-  const auto run_one = [&body](std::size_t i)
+  const auto run_one = [&body, &context_of](std::size_t i)
       -> std::optional<ParallelForError::Failure> {
     try {
       body(i);
       return std::nullopt;
     } catch (const std::exception& e) {
-      return ParallelForError::Failure{i, e.what()};
+      return ParallelForError::Failure{i, e.what(), context_of(i)};
     } catch (...) {
-      return ParallelForError::Failure{i, "unknown error"};
+      return ParallelForError::Failure{i, "unknown error", context_of(i)};
     }
   };
 
@@ -204,6 +225,44 @@ std::vector<SweepOutcome> SweepRunner::Run(
 
 SweepReport SweepRunner::RunWithReport(
     const std::vector<SweepPoint>& points) const {
+  return RunImpl(points, nullptr, nullptr);
+}
+
+SweepReport SweepRunner::RunJournaled(const std::vector<SweepPoint>& points,
+                                      const std::string& journal_path) const {
+  persist::JournalWriter journal(journal_path, /*truncate=*/true);
+  journal.Append(kJournalRecHeader,
+                 EncodeJournalHeader(FingerprintSweep(points, options_),
+                                     points.size()));
+  return RunImpl(points, &journal, nullptr);
+}
+
+SweepReport SweepRunner::Resume(const std::vector<SweepPoint>& points,
+                                const std::string& journal_path) const {
+  const SweepJournalContents contents = ReadSweepJournal(journal_path);
+  if (!contents.has_header) {
+    // Missing, empty, or torn-before-the-header journal: nothing to trust,
+    // start a fresh journaled sweep.
+    return RunJournaled(points, journal_path);
+  }
+  if (contents.sweep_fingerprint != FingerprintSweep(points, options_) ||
+      contents.point_count != points.size()) {
+    throw std::runtime_error(
+        "sweep journal '" + journal_path +
+        "' was written for a different sweep (fingerprint mismatch); "
+        "refusing to mix results");
+  }
+  std::unordered_map<std::size_t, SweepOutcome> completed;
+  for (const SweepOutcome& o : contents.outcomes) {
+    if (o.index < points.size()) completed.insert_or_assign(o.index, o);
+  }
+  persist::JournalWriter journal(journal_path, /*truncate=*/false);
+  return RunImpl(points, &journal, &completed);
+}
+
+SweepReport SweepRunner::RunImpl(
+    const std::vector<SweepPoint>& points, persist::JournalWriter* journal,
+    const std::unordered_map<std::size_t, SweepOutcome>* completed) const {
   SweepReport report;
   std::vector<SweepOutcome>& outcomes = report.outcomes;
   outcomes.resize(points.size());
@@ -239,9 +298,21 @@ SweepReport SweepRunner::RunWithReport(
     });
   }
 
-  ParallelFor(num_threads_, points.size(), [&](std::size_t i) {
+  std::mutex journal_mu;
+  const auto body = [&](std::size_t i) {
     const SweepPoint& point = points[i];
     SweepOutcome& out = outcomes[i];
+    if (completed != nullptr) {
+      const auto it = completed->find(i);
+      if (it != completed->end()) {
+        // Restored from the journal: identical exported fields, no re-run,
+        // no re-journal. The config is re-attached from the point (the
+        // journal omits it; the sweep fingerprint proved it matches).
+        out = it->second;
+        out.config = point.config;
+        return;
+      }
+    }
     out.index = i;
     out.kind = point.kind;
     out.workload = point.workload;
@@ -249,6 +320,9 @@ SweepReport SweepRunner::RunWithReport(
     telemetry::MetricSheet& shard = shards[i];
     shard.Bind(&rm.registry);
     PointWatch* w = deadline_s > 0 ? &watch[i] : nullptr;
+    const bool want_bundle = !options_.bundle_dir.empty();
+    const bool want_ckpt = want_bundle && options_.checkpoint_every > 0;
+    std::optional<persist::Checkpoint> last_ckpt;
     const auto start = std::chrono::steady_clock::now();
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       out.attempts = attempt;
@@ -263,6 +337,18 @@ SweepReport SweepRunner::RunWithReport(
         // so the sink never crosses a thread.
         telemetry::RunTelemetry rt;
         if (options_.collect_metrics) cfg.telemetry = &rt;
+        // Periodic in-memory checkpoints so a failing attempt's bundle can
+        // carry the state nearest the failure. Reset per attempt: the
+        // bundle documents the *last* (failing) attempt.
+        persist::CheckpointControl ckpt_ctl;
+        if (want_ckpt) {
+          last_ckpt.reset();
+          ckpt_ctl.save_every = options_.checkpoint_every;
+          ckpt_ctl.sink = [&last_ckpt](persist::Checkpoint&& c) {
+            last_ckpt = std::move(c);
+          };
+          cfg.checkpoint = &ckpt_ctl;
+        }
         if (w) {
           w->cancel.store(false, std::memory_order_release);
           cfg.cancel = &w->cancel;
@@ -325,7 +411,40 @@ SweepReport SweepRunner::RunWithReport(
     if (!out.ok) shard.Add(rm.failed_points);
     shard.Observe(rm.point_wall_time_us,
                   static_cast<std::uint64_t>(out.wall_seconds * 1e6));
-  });
+    if (!out.ok && want_bundle && point.program) {
+      // Best-effort: a full disk or unwritable bundle_dir must not turn a
+      // recorded failure into a sweep abort.
+      try {
+        WriteReproBundle(options_.bundle_dir, point, out,
+                         last_ckpt ? &*last_ckpt : nullptr);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "repro bundle for point %zu failed: %s\n", i,
+                     e.what());
+      }
+    }
+    if (journal != nullptr) {
+      // Journal failures DO propagate (via ParallelForError after the
+      // loop): a resume contract against a silently un-written journal
+      // would be worse than a loud error.
+      persist::Encoder e;
+      EncodeOutcome(e, out);
+      const std::lock_guard<std::mutex> lock(journal_mu);
+      journal->Append(kJournalRecOutcome, e.bytes());
+    }
+  };
+  const auto describe = [&points](std::size_t i) {
+    return points[i].workload + " (" +
+           std::string(core::ProcessorKindName(points[i].kind)) + ")";
+  };
+  try {
+    ParallelFor(num_threads_, points.size(), body, describe);
+  } catch (...) {
+    // Journal I/O failures surface as ParallelForError; the watchdog must
+    // still be torn down before the exception leaves this frame.
+    watchdog_stop.store(true, std::memory_order_release);
+    if (watchdog.joinable()) watchdog.join();
+    throw;
+  }
 
   watchdog_stop.store(true, std::memory_order_release);
   if (watchdog.joinable()) watchdog.join();

@@ -20,12 +20,17 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/processor.hpp"
 #include "isa/program.hpp"
 #include "telemetry/metrics.hpp"
+
+namespace ultra::persist {
+class JournalWriter;
+}  // namespace ultra::persist
 
 namespace ultra::runtime {
 
@@ -43,6 +48,9 @@ class ParallelForError : public std::runtime_error {
   struct Failure {
     std::size_t index;
     std::string message;
+    /// Human label of the failed iteration ("fib (UltrascalarI)") when the
+    /// caller supplied a describe callback; empty otherwise.
+    std::string context;
   };
 
   explicit ParallelForError(std::vector<Failure> failures);
@@ -66,6 +74,14 @@ class ParallelForError : public std::runtime_error {
 /// the calling thread.
 void ParallelFor(int num_threads, std::size_t count,
                  const std::function<void(std::size_t)>& body);
+
+/// Same, with a @p describe callback mapping an index to a human label
+/// (e.g. "fib (UltrascalarI)"). Labels are captured into
+/// ParallelForError::Failure::context and shown in what(), so a failure in
+/// a 10,000-point sweep names its point, not just its submission index.
+void ParallelFor(int num_threads, std::size_t count,
+                 const std::function<void(std::size_t)>& body,
+                 const std::function<std::string(std::size_t)>& describe);
 
 /// One simulation point of a sweep.
 struct SweepPoint {
@@ -127,6 +143,16 @@ struct SweepOptions {
   /// hooks cost a few percent of simulation throughput when live, and the
   /// exporters only grow metric sections when snapshots are present.
   bool collect_metrics = false;
+  /// When non-empty, every failed point emits a self-contained repro
+  /// bundle under "<bundle_dir>/point-<index>/" (see repro_bundle.hpp).
+  /// Bundle writes are best-effort: an unwritable bundle directory is
+  /// reported on stderr but never alters the sweep's outcomes.
+  std::string bundle_dir{};
+  /// With bundle_dir set and checkpoint_every > 0, each attempt keeps its
+  /// most recent periodic checkpoint (taken every this-many cycles) in
+  /// memory; on failure it lands in the bundle as checkpoint.bin — the
+  /// recorded state nearest the failure. 0 disables periodic capture.
+  std::uint64_t checkpoint_every = 0;
 };
 
 /// The failed outcomes of a sweep, in submission order -- the quarantine
@@ -163,6 +189,24 @@ class SweepRunner {
   [[nodiscard]] SweepReport RunWithReport(
       const std::vector<SweepPoint>& points) const;
 
+  /// Like RunWithReport(), additionally journaling each completed point to
+  /// @p journal_path (truncating any previous journal): an append-only,
+  /// fsync'd, CRC-framed record per point, so a SIGKILL at any moment
+  /// loses at most the record being written. See docs/robustness.md.
+  [[nodiscard]] SweepReport RunJournaled(const std::vector<SweepPoint>& points,
+                                         const std::string& journal_path) const;
+
+  /// Resumes an interrupted journaled sweep: points already recorded in
+  /// @p journal_path are restored from it (and not re-run); the rest run
+  /// normally and are appended. The merged outcomes — and therefore the
+  /// CSV/JSON exports — are byte-identical to an uninterrupted
+  /// RunJournaled() at any thread count. A missing or headerless journal
+  /// degrades to RunJournaled(); a journal written for different points or
+  /// outcome-affecting options throws std::runtime_error (fingerprint
+  /// mismatch) rather than silently mixing sweeps.
+  [[nodiscard]] SweepReport Resume(const std::vector<SweepPoint>& points,
+                                   const std::string& journal_path) const;
+
   /// Deterministic parallel map for analytic sweeps (VLSI models, delay
   /// fits) that are not Processor::Run points: results are returned in
   /// index order regardless of scheduling. R must be default-constructible.
@@ -179,6 +223,10 @@ class SweepRunner {
   [[nodiscard]] const SweepOptions& options() const { return options_; }
 
  private:
+  [[nodiscard]] SweepReport RunImpl(
+      const std::vector<SweepPoint>& points, persist::JournalWriter* journal,
+      const std::unordered_map<std::size_t, SweepOutcome>* completed) const;
+
   SweepOptions options_;
   int num_threads_;
 };

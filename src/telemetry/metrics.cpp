@@ -185,6 +185,12 @@ void MetricSheet::Bind(const MetricsRegistry* registry) {
 
 void MetricSheet::Reset() { std::ranges::fill(slots_, 0); }
 
+void MetricSheet::RestoreSlots(std::span<const std::uint64_t> values) {
+  if (registry_ == nullptr) return;
+  const std::size_t n = std::min(slots_.size(), values.size());
+  for (std::size_t i = 0; i < n; ++i) slots_[i] = values[i];
+}
+
 void MetricSheet::MergeFrom(const MetricSheet& other) {
   if (registry_ == nullptr || other.registry_ != registry_) return;
   const std::size_t n = std::min(slots_.size(), other.slots_.size());

@@ -187,6 +187,12 @@ class MetricSheet {
     return slots_;
   }
 
+  /// Checkpoint support: overwrites the slot array with @p values so
+  /// telemetry counters resume mid-run exactly where a checkpoint left
+  /// them. @p values must be sized slot_count() of the bound registry;
+  /// silently ignored when the sheet is unbound (telemetry off).
+  void RestoreSlots(std::span<const std::uint64_t> values);
+
   /// Registration-ordered copy of the current values ({} when unbound).
   [[nodiscard]] MetricsSnapshot Snapshot() const;
 

@@ -1,0 +1,48 @@
+#include "telemetry/snapshot_codec.hpp"
+
+namespace ultra::telemetry {
+
+void EncodeSnapshot(persist::Encoder& e, const MetricsSnapshot& snapshot) {
+  e.U32(static_cast<std::uint32_t>(snapshot.metrics.size()));
+  for (const MetricValue& m : snapshot.metrics) {
+    e.Str(m.name);
+    e.U8(static_cast<std::uint8_t>(m.kind));
+    e.U64(m.value);
+    e.U32(static_cast<std::uint32_t>(m.bounds.size()));
+    for (const std::uint64_t b : m.bounds) e.U64(b);
+    e.U32(static_cast<std::uint32_t>(m.buckets.size()));
+    for (const std::uint64_t b : m.buckets) e.U64(b);
+    e.U64(m.count);
+    e.U64(m.sum);
+  }
+}
+
+MetricsSnapshot DecodeSnapshot(persist::Decoder& d) {
+  MetricsSnapshot snapshot;
+  const std::uint32_t n = d.U32();
+  snapshot.metrics.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MetricValue m;
+    m.name = d.Str();
+    const std::uint8_t kind = d.U8();
+    if (kind > static_cast<std::uint8_t>(MetricKind::kHistogram)) {
+      throw persist::FormatError("bad metric kind");
+    }
+    m.kind = static_cast<MetricKind>(kind);
+    m.value = d.U64();
+    const std::uint32_t num_bounds = d.U32();
+    m.bounds.reserve(num_bounds);
+    for (std::uint32_t k = 0; k < num_bounds; ++k) m.bounds.push_back(d.U64());
+    const std::uint32_t num_buckets = d.U32();
+    m.buckets.reserve(num_buckets);
+    for (std::uint32_t k = 0; k < num_buckets; ++k) {
+      m.buckets.push_back(d.U64());
+    }
+    m.count = d.U64();
+    m.sum = d.U64();
+    snapshot.metrics.push_back(std::move(m));
+  }
+  return snapshot;
+}
+
+}  // namespace ultra::telemetry

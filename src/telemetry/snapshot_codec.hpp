@@ -1,0 +1,14 @@
+// Binary codec for MetricsSnapshot, used by the sweep journal (each
+// completed point's metrics ride in its journal record so a resumed sweep
+// exports byte-identical CSV/JSON metric trailers) and by repro bundles.
+#pragma once
+
+#include "persist/serial.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ultra::telemetry {
+
+void EncodeSnapshot(persist::Encoder& e, const MetricsSnapshot& snapshot);
+[[nodiscard]] MetricsSnapshot DecodeSnapshot(persist::Decoder& d);
+
+}  // namespace ultra::telemetry

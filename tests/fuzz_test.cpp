@@ -234,6 +234,95 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EvalPathFuzz, testing::Range(900u, 912u),
                            return "seed" + std::to_string(info.param);
                          });
 
+// Checkpoint/restore fuzz: checkpoint every core at a seed-derived cycle
+// mid-run and require the resumed run to finish indistinguishably from the
+// uninterrupted one — full RunResult equality, timeline included. This is
+// the randomized complement to persist_test's fixed-cycle coverage.
+void ExpectCheckpointRoundTrip(const isa::Program& program,
+                               const CoreConfig& cfg, unsigned seed) {
+  for (const auto kind :
+       {ProcessorKind::kIdeal, ProcessorKind::kUltrascalarI,
+        ProcessorKind::kUltrascalarII, ProcessorKind::kHybrid}) {
+    SCOPED_TRACE(core::ProcessorKindName(kind));
+    const auto proc = core::MakeProcessor(kind, cfg);
+    const auto base = proc->Run(program);
+    ASSERT_TRUE(base.halted);
+    if (base.cycles < 2) continue;
+    // A deterministic pseudo-random interior cycle, different per seed and
+    // per core kind.
+    const std::uint64_t mix =
+        (seed * 2654435761u) ^ (static_cast<std::uint64_t>(kind) << 16);
+    const std::uint64_t cycle = 1 + mix % (base.cycles - 1);
+    SCOPED_TRACE("checkpoint cycle " + std::to_string(cycle) + " of " +
+                 std::to_string(base.cycles));
+    const persist::Checkpoint ckpt = proc->SaveCheckpoint(program, cycle);
+    const auto resumed = proc->RestoreCheckpoint(program, ckpt);
+    ASSERT_EQ(resumed.halted, base.halted);
+    ASSERT_EQ(resumed.cycles, base.cycles);
+    ASSERT_EQ(resumed.committed, base.committed);
+    ASSERT_EQ(resumed.regs, base.regs);
+    ASSERT_EQ(resumed.memory, base.memory);
+    ASSERT_EQ(resumed.stats.mispredictions, base.stats.mispredictions);
+    ASSERT_EQ(resumed.stats.squashed_instructions,
+              base.stats.squashed_instructions);
+    ASSERT_EQ(resumed.stats.forwarded_loads, base.stats.forwarded_loads);
+    ASSERT_EQ(resumed.stats.fetch_stall_cycles, base.stats.fetch_stall_cycles);
+    ASSERT_EQ(resumed.stats.window_full_cycles, base.stats.window_full_cycles);
+    ASSERT_EQ(resumed.stats.fault.injected, base.stats.fault.injected);
+    ASSERT_EQ(resumed.stats.fault.divergences, base.stats.fault.divergences);
+    ASSERT_EQ(resumed.stats.fault.resyncs, base.stats.fault.resyncs);
+    ASSERT_EQ(resumed.timeline.size(), base.timeline.size());
+    for (std::size_t t = 0; t < resumed.timeline.size(); ++t) {
+      ASSERT_EQ(resumed.timeline[t].seq, base.timeline[t].seq) << "t=" << t;
+      ASSERT_EQ(resumed.timeline[t].station, base.timeline[t].station)
+          << "t=" << t;
+      ASSERT_EQ(resumed.timeline[t].fetch_cycle, base.timeline[t].fetch_cycle)
+          << "t=" << t;
+      ASSERT_EQ(resumed.timeline[t].issue_cycle, base.timeline[t].issue_cycle)
+          << "t=" << t;
+      ASSERT_EQ(resumed.timeline[t].complete_cycle,
+                base.timeline[t].complete_cycle)
+          << "t=" << t;
+      ASSERT_EQ(resumed.timeline[t].commit_cycle,
+                base.timeline[t].commit_cycle)
+          << "t=" << t;
+    }
+  }
+}
+
+class CheckpointFuzz : public testing::TestWithParam<unsigned> {};
+
+TEST_P(CheckpointFuzz, DagWithSpeculation) {
+  const auto program = workloads::RandomForwardDag(
+      {.num_blocks = 10, .block_size = 5, .seed = GetParam()});
+  CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 4;
+  cfg.predictor = core::PredictorKind::kBtfn;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  ExpectCheckpointRoundTrip(program, cfg, GetParam());
+}
+
+TEST_P(CheckpointFuzz, MixUnderMemoryLatencyAndForwarding) {
+  const auto program = workloads::RandomMix(
+      {.num_instructions = 150, .load_fraction = 0.2, .store_fraction = 0.2,
+       .memory_words = 16, .seed = GetParam() ^ 0x51ed});
+  CoreConfig cfg;
+  cfg.window_size = 16;
+  cfg.cluster_size = 4;
+  cfg.predictor = core::PredictorKind::kTwoBit;
+  cfg.mem.mode = memory::MemTimingMode::kFatTree;
+  cfg.mem.regime = memory::BandwidthRegime::kSqrt;
+  cfg.store_forwarding = true;
+  cfg.num_alus = 3;
+  ExpectCheckpointRoundTrip(program, cfg, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzz, testing::Range(1200u, 1208u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 TEST(DagGenerator, AlwaysTerminates) {
   for (unsigned seed = 0; seed < 50; ++seed) {
     const auto program = workloads::RandomForwardDag({.seed = seed});

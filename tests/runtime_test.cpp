@@ -81,6 +81,40 @@ TEST(ParallelFor, SerialPathAggregatesToo) {
   }
 }
 
+TEST(ParallelFor, DescribeCallbackLabelsFailures) {
+  try {
+    runtime::ParallelFor(
+        4, 8,
+        [](std::size_t i) {
+          if (i == 2 || i == 5) throw std::runtime_error("boom");
+        },
+        [](std::size_t i) {
+          return "workload-" + std::to_string(i) + " (UltrascalarI)";
+        });
+    FAIL() << "expected ParallelForError";
+  } catch (const runtime::ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].context, "workload-2 (UltrascalarI)");
+    EXPECT_EQ(e.failures()[1].context, "workload-5 (UltrascalarI)");
+    // what() names the point, not just the index.
+    EXPECT_NE(std::string(e.what()).find("workload-2 (UltrascalarI)"),
+              std::string::npos);
+  }
+}
+
+TEST(ParallelFor, ThrowingDescribeNeverMasksTheFailure) {
+  try {
+    runtime::ParallelFor(
+        2, 4, [](std::size_t i) { if (i == 1) throw std::runtime_error("x"); },
+        [](std::size_t) -> std::string { throw std::runtime_error("label"); });
+    FAIL() << "expected ParallelForError";
+  } catch (const runtime::ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 1u);
+    EXPECT_EQ(e.failures()[0].index, 1u);
+    EXPECT_TRUE(e.failures()[0].context.empty());
+  }
+}
+
 TEST(ParallelFor, SerialAndParallelAgree) {
   std::vector<int> serial(100), parallel(100);
   runtime::ParallelFor(1, serial.size(),
