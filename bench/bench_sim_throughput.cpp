@@ -16,15 +16,22 @@
 // Usage: bench_sim_throughput [--quick] [--threads=N] [--json=PATH]
 //   --quick    smaller grid and shorter workloads (CI smoke run)
 //   --json     output path (default BENCH_sim_throughput.json)
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "analysis/table.hpp"
 #include "core/core.hpp"
+#include "core/functional_sim_cache.hpp"
 #include "runtime/runtime.hpp"
 #include "workloads/workloads.hpp"
 
@@ -54,8 +61,17 @@ Options ParseArgs(int argc, char** argv) {
 }
 
 const char* EvalName(ultra::core::DatapathEval eval) {
-  return eval == ultra::core::DatapathEval::kIncremental ? "incremental"
-                                                         : "full";
+  switch (eval) {
+    case ultra::core::DatapathEval::kFullRecompute:
+      return "full";
+    case ultra::core::DatapathEval::kIncremental:
+      return "incremental";
+    case ultra::core::DatapathEval::kChecked:
+      return "checked";
+    case ultra::core::DatapathEval::kPacked:
+      return "packed";
+  }
+  return "unknown";
 }
 
 double PerSecond(std::uint64_t count, double seconds) {
@@ -121,8 +137,31 @@ int main(int argc, char** argv) {
     point.workload = suite[0].name;
     points.push_back(std::move(point));
   }
+  // --- Packed comparison: every kind at the largest window, incremental
+  // vs bit-packed word-parallel evaluation. Also a differential guard: the
+  // two paths must agree cycle-for-cycle. ---
+  const std::size_t packed_base = points.size();
+  for (const auto kind : kinds) {
+    for (const auto eval :
+         {core::DatapathEval::kIncremental, core::DatapathEval::kPacked}) {
+      runtime::SweepPoint point;
+      point.kind = kind;
+      point.config.window_size = big_n;
+      point.config.num_regs = L;
+      point.config.datapath_eval = eval;
+      point.config.mem.mode = memory::MemTimingMode::kMagic;
+      point.program = suite[0].program;
+      point.workload = suite[0].name;
+      points.push_back(std::move(point));
+    }
+  }
 
-  const runtime::SweepRunner runner({.num_threads = opt.threads});
+  // Batching off for the measurement grid: lockstep followers would adopt
+  // their leader's result without running, zeroing the per-point wall times
+  // this benchmark exists to measure. The ensemble section below measures
+  // batching itself.
+  const runtime::SweepRunner runner(
+      {.num_threads = opt.threads, .ensemble_batching = false});
   const auto outcomes = runner.Run(points);
   for (const auto& o : outcomes) {
     if (!o.ok) {
@@ -180,12 +219,135 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- Packed vs incremental, every kind at the largest window. ---
+  std::printf("--- n=%d L=%d, %s: packed vs incremental ---\n", big_n, L,
+              suite[0].name.c_str());
+  struct PackedRow {
+    core::ProcessorKind kind;
+    double incr_cps = 0.0;
+    double packed_cps = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<PackedRow> packed_rows;
+  {
+    analysis::Table table(
+        {"kind", "incr Mcyc/s", "packed Mcyc/s", "speedup"});
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+      const auto& pincr = outcomes[packed_base + 2 * k];
+      const auto& ppacked = outcomes[packed_base + 2 * k + 1];
+      if (pincr.result.cycles != ppacked.result.cycles ||
+          pincr.result.committed != ppacked.result.committed ||
+          pincr.result.regs != ppacked.result.regs) {
+        std::fprintf(
+            stderr,
+            "packed eval diverges from incremental on %s: %llu/%llu cycles, "
+            "%llu/%llu committed\n",
+            std::string(core::ProcessorKindName(kinds[k])).c_str(),
+            static_cast<unsigned long long>(pincr.result.cycles),
+            static_cast<unsigned long long>(ppacked.result.cycles),
+            static_cast<unsigned long long>(pincr.result.committed),
+            static_cast<unsigned long long>(ppacked.result.committed));
+        return 1;
+      }
+      PackedRow row;
+      row.kind = kinds[k];
+      row.incr_cps = PerSecond(pincr.result.cycles, pincr.wall_seconds);
+      row.packed_cps = PerSecond(ppacked.result.cycles, ppacked.wall_seconds);
+      row.speedup = row.incr_cps > 0.0 ? row.packed_cps / row.incr_cps : 0.0;
+      packed_rows.push_back(row);
+      analysis::Table& r = table.Row();
+      r.Cell(std::string(core::ProcessorKindName(kinds[k])));
+      r.Cell(row.incr_cps / 1e6, 3);
+      r.Cell(row.packed_cps / 1e6, 3);
+      r.Cell(row.speedup, 2);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  // --- Ensemble batching: the same sweep with batching off vs on. The
+  // sweep repeats each configuration so interchangeable points exercise the
+  // lockstep-follower path, and the architectural check pulls in the
+  // functional oracle, which batching warms once per program. The
+  // functional-sim cache is cleared before each run so both start cold. ---
+  const int ens_repeats = 3;
+  std::vector<runtime::SweepPoint> ens_points;
+  for (const auto kind : kinds) {
+    for (const auto& w : suite) {
+      for (int r = 0; r < ens_repeats; ++r) {
+        runtime::SweepPoint point;
+        point.kind = kind;
+        point.config.window_size = windows.front();
+        point.config.num_regs = L;
+        point.config.mem.mode = memory::MemTimingMode::kMagic;
+        point.program = w.program;
+        point.workload = w.name;
+        ens_points.push_back(std::move(point));
+      }
+    }
+  }
+  const auto timed_sweep = [&](bool batching) {
+    core::FunctionalSimCache::Global().Clear();
+    runtime::SweepOptions options;
+    options.num_threads = opt.threads;
+    options.check_architectural_state = true;
+    options.ensemble_batching = batching;
+    const runtime::SweepRunner ens_runner(options);
+    const auto start = std::chrono::steady_clock::now();
+    auto report = ens_runner.RunWithReport(ens_points);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    for (const auto& o : report.outcomes) {
+      if (!o.ok) {
+        std::fprintf(stderr, "ensemble point %zu failed: %s\n", o.index,
+                     o.error.c_str());
+        std::exit(1);
+      }
+    }
+    return std::make_pair(wall, std::move(report));
+  };
+  const auto [unbatched_wall, unbatched_report] = timed_sweep(false);
+  const auto [batched_wall, batched_report] = timed_sweep(true);
+  for (std::size_t i = 0; i < ens_points.size(); ++i) {
+    const auto& a = unbatched_report.outcomes[i];
+    const auto& b = batched_report.outcomes[i];
+    if (a.result.cycles != b.result.cycles ||
+        a.result.committed != b.result.committed ||
+        a.result.regs != b.result.regs || a.result.memory != b.result.memory) {
+      std::fprintf(stderr,
+                   "ensemble batching changed point %zu: %llu vs %llu cycles\n",
+                   i, static_cast<unsigned long long>(a.result.cycles),
+                   static_cast<unsigned long long>(b.result.cycles));
+      return 1;
+    }
+  }
+  const auto counter = [](const runtime::SweepReport& report,
+                          std::string_view name) -> std::uint64_t {
+    const telemetry::MetricValue* v = report.runner_metrics.Find(name);
+    return v != nullptr ? v->value : 0;
+  };
+  const std::uint64_t prewarms = counter(batched_report,
+                                         "sweep.oracle_prewarms");
+  const std::uint64_t followers = counter(batched_report,
+                                          "sweep.ensemble_followers");
+  const double ens_speedup =
+      batched_wall > 0.0 ? unbatched_wall / batched_wall : 0.0;
+  std::printf("--- ensemble batching (%zu points, %d repeats, oracle checks, "
+              "threads=%d) ---\n",
+              ens_points.size(), ens_repeats, opt.threads);
+  std::printf("unbatched: %.4f s\n", unbatched_wall);
+  std::printf("batched:   %.4f s  (%llu oracle prewarms, %llu lockstep "
+              "followers)\n",
+              batched_wall, static_cast<unsigned long long>(prewarms),
+              static_cast<unsigned long long>(followers));
+  std::printf("speedup:   %.2fx\n\n", ens_speedup);
+
   std::ofstream out(opt.json_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
     return 1;
   }
-  out << "{\n  \"mode\": \"" << (opt.quick ? "quick" : "full")
+  out << "{\n  \"bench_mode\": \"" << (opt.quick ? "quick" : "full")
       << "\",\n  \"points\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const auto& o = outcomes[i];
@@ -194,7 +356,8 @@ int main(int argc, char** argv) {
         << "\", \"n\": " << o.config.window_size
         << ", \"L\": " << o.config.num_regs << ", \"eval\": \""
         << EvalName(o.config.datapath_eval)
-        << "\", \"cycles\": " << o.result.cycles
+        << "\", \"ensemble_batching\": false"
+        << ", \"cycles\": " << o.result.cycles
         << ", \"committed\": " << o.result.committed
         << ", \"wall_seconds\": " << o.wall_seconds
         << ", \"cycles_per_sec\": "
@@ -206,7 +369,26 @@ int main(int argc, char** argv) {
   out << "  ],\n  \"usi_big_comparison\": {\"n\": " << big_n
       << ", \"L\": " << L << ", \"full_cycles_per_sec\": " << full_cps
       << ", \"incremental_cycles_per_sec\": " << incr_cps
-      << ", \"speedup\": " << speedup << "}\n}\n";
+      << ", \"speedup\": " << speedup << "},\n";
+  out << "  \"packed_comparison\": {\"n\": " << big_n << ", \"L\": " << L
+      << ", \"workload\": \"" << suite[0].name << "\", \"kinds\": [\n";
+  for (std::size_t k = 0; k < packed_rows.size(); ++k) {
+    const PackedRow& row = packed_rows[k];
+    out << "    {\"kind\": \"" << core::ProcessorKindName(row.kind)
+        << "\", \"incremental_cycles_per_sec\": " << row.incr_cps
+        << ", \"packed_cycles_per_sec\": " << row.packed_cps
+        << ", \"speedup\": " << row.speedup << "}"
+        << (k + 1 < packed_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]},\n";
+  out << "  \"ensemble\": {\"points\": " << ens_points.size()
+      << ", \"repeats\": " << ens_repeats
+      << ", \"check_architectural_state\": true"
+      << ", \"unbatched_wall_seconds\": " << unbatched_wall
+      << ", \"batched_wall_seconds\": " << batched_wall
+      << ", \"speedup\": " << ens_speedup
+      << ", \"oracle_prewarms\": " << prewarms
+      << ", \"lockstep_followers\": " << followers << "}\n}\n";
   out.close();
   std::printf("wrote %s\n", opt.json_path.c_str());
   return 0;

@@ -56,6 +56,16 @@ enum class DatapathEval : std::uint8_t {
   /// resynchronizes from the full path on divergence. See
   /// docs/robustness.md.
   kChecked,
+  /// Bit-packed word-parallel evaluation: the per-station booleans (valid,
+  /// finished, issued, readiness, the Figure 5 ordering conditions) live
+  /// 64 to a uint64_t, the sequencing prefixes and ALU grants evaluate 64
+  /// lanes per word op, and the cycle loops visit only stations that can
+  /// act. Results are byte-identical to kIncremental (the differential
+  /// tests assert this); configurations a packed loop does not cover
+  /// (store_forwarding, pipelined datapaths, attached telemetry, fault
+  /// plans) transparently fall back to the incremental path. See
+  /// docs/runtime.md.
+  kPacked,
 };
 
 struct CoreConfig {

@@ -104,7 +104,7 @@ CoreConfig DecodeCoreConfig(persist::Decoder& d) {
   config.store_forwarding = d.Bool();
   config.pipeline_levels_per_stage = d.I32();
   const std::uint8_t eval = d.U8();
-  if (eval > static_cast<std::uint8_t>(DatapathEval::kChecked)) {
+  if (eval > static_cast<std::uint8_t>(DatapathEval::kPacked)) {
     throw persist::FormatError("bad datapath eval mode");
   }
   config.datapath_eval = static_cast<DatapathEval>(eval);

@@ -1,0 +1,53 @@
+#include "core/env.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace ultra::core {
+
+namespace {
+
+std::mutex warned_mu;
+std::set<std::string>& WarnedVars() {
+  static std::set<std::string> vars;
+  return vars;
+}
+
+void WarnOnce(const char* name, const char* value, const char* why) {
+  const std::lock_guard<std::mutex> lock(warned_mu);
+  if (!WarnedVars().insert(name).second) return;
+  std::fprintf(stderr, "warning: ignoring %s=\"%s\" (%s)\n", name, value,
+               why);
+}
+
+}  // namespace
+
+std::optional<long long> ParseEnvInt(const char* name, long long min_value,
+                                     long long max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  const char* end = value + std::strlen(value);
+  long long parsed = 0;
+  const auto [ptr, ec] = std::from_chars(value, end, parsed, 10);
+  if (ec != std::errc{} || ptr != end) {
+    WarnOnce(name, value, "not an integer");
+    return std::nullopt;
+  }
+  if (parsed < min_value || parsed > max_value) {
+    WarnOnce(name, value, "out of range");
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+void ResetEnvWarningsForTest() {
+  const std::lock_guard<std::mutex> lock(warned_mu);
+  WarnedVars().clear();
+}
+
+}  // namespace ultra::core

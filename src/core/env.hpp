@@ -1,0 +1,30 @@
+// Strict environment-variable parsing shared by the tuning knobs
+// (ULTRA_SWEEP_THREADS, ULTRA_FNSIM_CACHE_ENTRIES, ...).
+//
+// The former atoi/atol call sites silently accepted garbage ("8abc" -> 8)
+// and silently ignored zero/negative values. ParseEnvInt parses with
+// std::from_chars, requires the whole value to be consumed, enforces the
+// caller's range, and warns on stderr exactly once per variable when the
+// value is present but unusable -- then falls back to the caller's default
+// (nullopt return).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace ultra::core {
+
+/// Parses environment variable @p name as a base-10 integer in
+/// [@p min_value, @p max_value]. Returns nullopt when the variable is
+/// unset, empty, not an integer, followed by trailing junk, or out of
+/// range; every unusable-but-set case prints a one-time warning naming the
+/// variable and the offending value. Thread-safe; the warn-once latch is
+/// per variable name.
+std::optional<long long> ParseEnvInt(const char* name, long long min_value,
+                                     long long max_value);
+
+/// Test hook: forgets which variables have already warned so a test can
+/// assert the warning fires. Not for production use.
+void ResetEnvWarningsForTest();
+
+}  // namespace ultra::core

@@ -1,8 +1,8 @@
 #include "core/functional_sim_cache.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "core/env.hpp"
 #include "isa/instruction.hpp"
 
 namespace ultra::core {
@@ -31,9 +31,9 @@ std::uint64_t HashKey(const std::vector<std::uint64_t>& code,
 }
 
 std::size_t MaxEntriesFromEnv() {
-  if (const char* env = std::getenv("ULTRA_FNSIM_CACHE_ENTRIES")) {
-    const long n = std::atol(env);
-    if (n > 0) return static_cast<std::size_t>(n);
+  if (const auto n = ParseEnvInt("ULTRA_FNSIM_CACHE_ENTRIES", 1,
+                                 1'000'000'000)) {
+    return static_cast<std::size_t>(*n);
   }
   return FunctionalSimCache::kDefaultMaxEntries;
 }
@@ -75,24 +75,67 @@ std::shared_ptr<const FunctionalResult> FunctionalSimCache::Get(
     return nullptr;
   };
 
+  std::shared_ptr<InFlight> flight;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (auto found = find_locked()) return found;
+    // Coalesce concurrent misses: if another thread is already simulating
+    // this exact key, wait for it instead of duplicating the run.
+    const auto pending = inflight_.find(hash);
+    if (pending != inflight_.end()) {
+      for (const std::shared_ptr<InFlight>& f : pending->second) {
+        if (f->num_regs == num_regs && f->max_steps == max_steps &&
+            f->encoded_code == code && f->initial_memory == mem) {
+          ++stats_.coalesced;
+          std::shared_ptr<InFlight> waiting = f;
+          waiting->done.wait(lock, [&] { return waiting->ready; });
+          if (waiting->result) return waiting->result;
+          // The winner's simulation threw; retry from scratch.
+          lock.unlock();
+          return Get(program, num_regs, max_steps);
+        }
+      }
+    }
+    flight = std::make_shared<InFlight>();
+    flight->encoded_code = code;
+    flight->initial_memory = mem;
+    flight->num_regs = num_regs;
+    flight->max_steps = max_steps;
+    inflight_[hash].push_back(flight);
   }
 
   // Miss: simulate outside the lock (runs can be long; workers must not
   // serialize on each other's unrelated programs).
-  FunctionalSimulator sim(num_regs);
-  auto result =
-      std::make_shared<const FunctionalResult>(sim.Run(program, max_steps));
+  std::shared_ptr<const FunctionalResult> result;
+  try {
+    result = std::make_shared<const FunctionalResult>(
+        FunctionalSimulator(num_regs).Run(program, max_steps));
+  } catch (...) {
+    // Wake the waiters with no result (they retry) and unindex the slot,
+    // or they would block forever on a run that never finishes.
+    std::lock_guard<std::mutex> lock(mu_);
+    flight->ready = true;
+    flight->done.notify_all();
+    auto& slots = inflight_[hash];
+    slots.erase(std::find(slots.begin(), slots.end(), flight));
+    if (slots.empty()) inflight_.erase(hash);
+    throw;
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (auto found = find_locked()) return found;  // Lost a race; adopt.
   ++stats_.misses;
   lru_.push_front(Entry{std::move(code), std::move(mem), num_regs, max_steps,
                         hash, result});
   index_[hash].push_back(lru_.begin());
   EvictLocked();
+  // Release the waiters, then unindex the in-flight slot (they hold their
+  // own shared_ptr, so erasing the map entry is safe).
+  flight->ready = true;
+  flight->result = result;
+  flight->done.notify_all();
+  auto& slots = inflight_[hash];
+  slots.erase(std::find(slots.begin(), slots.end(), flight));
+  if (slots.empty()) inflight_.erase(hash);
   return result;
 }
 

@@ -19,10 +19,13 @@
 // as long as callers hold the returned shared_ptr.
 //
 // Thread safety: Get() may be called concurrently from sweep worker
-// threads. Misses are computed outside the lock; a losing racer adopts the
-// winner's entry, so callers always observe one canonical result object.
+// threads. Misses are computed outside the lock, and concurrent misses on
+// the same key are coalesced: the first caller simulates, later callers
+// block on the in-flight run and adopt its result instead of duplicating
+// the work. Callers always observe one canonical result object.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -44,6 +47,9 @@ class FunctionalSimCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Get() calls that found the same key already being simulated by
+    /// another thread and adopted its result instead of re-running.
+    std::uint64_t coalesced = 0;
   };
 
   FunctionalSimCache();
@@ -85,12 +91,27 @@ class FunctionalSimCache {
   };
   using LruList = std::list<Entry>;
 
+  /// A simulation in progress: later requesters of the same key wait on
+  /// done instead of re-running it. Heap-allocated and shared so waiters
+  /// survive the winner erasing the inflight_ slot.
+  struct InFlight {
+    std::vector<std::uint64_t> encoded_code;
+    std::vector<std::pair<isa::Word, isa::Word>> initial_memory;
+    int num_regs = 0;
+    std::uint64_t max_steps = 0;
+    std::condition_variable done;
+    bool ready = false;  // Guarded by mu_.
+    std::shared_ptr<const FunctionalResult> result;
+  };
+
   /// Drops LRU entries until size() <= max_entries_. Caller holds mu_.
   void EvictLocked();
 
   mutable std::mutex mu_;
   LruList lru_;  // Front = most recently used.
   std::unordered_map<std::uint64_t, std::vector<LruList::iterator>> index_;
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<InFlight>>>
+      inflight_;
   std::size_t max_entries_ = kDefaultMaxEntries;
   Stats stats_;
 };

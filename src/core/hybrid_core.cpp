@@ -2,12 +2,16 @@
 
 #include <cassert>
 
+#include <bit>
+
 #include "core/checkpoint_util.hpp"
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
 #include "core/telemetry_hooks.hpp"
+#include "datapath/bitset.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
+#include "datapath/sequencing.hpp"
 #include "fault/fault.hpp"
 
 namespace ultra::core {
@@ -47,6 +51,16 @@ RunResult HybridCore::Run(const isa::Program& program) {
   const bool incremental =
       config_.datapath_eval != DatapathEval::kFullRecompute;
   const bool checked = config_.datapath_eval == DatapathEval::kChecked;
+  // Word-parallel fast path: sequencing flags, acyclic prefixes, ALU
+  // grants, and the execute phase's visit set evaluate 64 program
+  // positions per word op (the packed lanes are position-indexed, not
+  // station-indexed). Configurations the packed loop does not model fall
+  // back to the plain incremental machinery (kPacked counts as
+  // incremental everywhere else, so results are identical either way).
+  const bool packed = config_.datapath_eval == DatapathEval::kPacked &&
+                      !config_.store_forwarding &&
+                      config_.telemetry == nullptr &&
+                      config_.fault_plan == nullptr;
 
   fault::FaultInjector injector(config_.fault_plan.get());
   fault::DatapathChecker checker(config_.checker_stride);
@@ -81,6 +95,30 @@ RunResult HybridCore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> alu_requests;
   std::vector<std::uint8_t> alu_grant;  // Indexed by program position.
   std::vector<FetchedInstr> fetch_batch;
+
+  // Packed per-cycle scratch (kPacked only), lanes indexed by program
+  // position: recomposed over [0, tail) every cycle, so it is derived
+  // state and never checkpointed. Lanes at or beyond tail may hold stale
+  // values from a cycle with a larger tail; every whole-word reduction
+  // below masks to the live range.
+  const int pw = datapath::PackedWordCount(n);
+  datapath::PackedBits valid_b, fin_b, iss_b, res_b, msub_b, ld_b, stb_b,
+      cf_b, alu_like_b, needs_alu_b, argr_b, cond_b, psd_b, pld_b, pcf_b,
+      req_b, grant_b;
+  if (packed) {
+    for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
+                    &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &cond_b,
+                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b}) {
+      p->Assign(n);
+    }
+  }
+  // Live-lane mask for word @p w given @p limit live positions.
+  const auto live_word_mask = [](int w, int limit) -> std::uint64_t {
+    const int base = w << 6;
+    if (base >= limit) return 0;
+    const int lanes = limit - base;
+    return lanes >= 64 ? ~0ULL : ((1ULL << lanes) - 1);
+  };
 
   const auto args_of = [&](int i) -> const datapath::ResolvedArgs& {
     return incremental ? dp_state.args(i)
@@ -231,31 +269,99 @@ RunResult HybridCore::Run(const isa::Program& program) {
     }
 
     // Sequencing flags in program order over the allocated positions.
-    for (int p = 0; p < tail; ++p) {
-      const Station& st =
-          stations[static_cast<std::size_t>(station_index(p))];
-      const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
-      const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
-      no_store[static_cast<std::size_t>(p)] = !is_store || st.finished;
-      no_load[static_cast<std::size_t>(p)] = !is_load || st.finished;
-      branch_ok[static_cast<std::size_t>(p)] =
-          !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
-    }
-    const std::span<const std::uint8_t> live_store(no_store.data(),
-                                                   static_cast<std::size_t>(tail));
-    const std::span<const std::uint8_t> live_load(no_load.data(),
-                                                  static_cast<std::size_t>(tail));
-    const std::span<const std::uint8_t> live_branch(
-        branch_ok.data(), static_cast<std::size_t>(tail));
-    datapath::AllPrecedingSatisfyAcyclicInto(
-        live_store, std::span<std::uint8_t>(prev_stores_done.data(),
-                                            static_cast<std::size_t>(tail)));
-    datapath::AllPrecedingSatisfyAcyclicInto(
-        live_load, std::span<std::uint8_t>(prev_loads_done.data(),
-                                           static_cast<std::size_t>(tail)));
-    datapath::AllPrecedingSatisfyAcyclicInto(
-        live_branch, std::span<std::uint8_t>(prev_confirmed.data(),
+    if (packed) {
+      // Word-accumulator composition over positions; invalid lanes stay
+      // all-zero, which makes every derived condition for them vacuous.
+      std::uint64_t av = 0, af = 0, ai = 0, ar = 0, am = 0, al = 0, as = 0,
+                    ac = 0, aa = 0, an = 0, ag = 0;
+      for (int p = 0; p < tail; ++p) {
+        const int i = station_index(p);
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (st.valid) {
+          const std::uint64_t bit = 1ULL << (p & 63);
+          av |= bit;
+          if (st.finished) af |= bit;
+          if (st.issued) ai |= bit;
+          if (st.resolved) ar |= bit;
+          if (st.mem_submitted) am |= bit;
+          const isa::Instruction& inst = st.inst();
+          if (inst.op == isa::Opcode::kLoad) {
+            al |= bit;
+          } else if (inst.op == isa::Opcode::kStore) {
+            as |= bit;
+          } else {
+            aa |= bit;
+          }
+          if (isa::IsControlFlow(inst.op)) ac |= bit;
+          if (NeedsAlu(inst.op)) an |= bit;
+          const datapath::ResolvedArgs& args = args_of(i);
+          if ((!isa::ReadsRs1(inst.op) || args.arg1.ready) &&
+              (!isa::ReadsRs2(inst.op) || args.arg2.ready)) {
+            ag |= bit;
+          }
+        }
+        if ((p & 63) == 63 || p == tail - 1) {
+          const int w = p >> 6;
+          valid_b.word(w) = av;
+          fin_b.word(w) = af;
+          iss_b.word(w) = ai;
+          res_b.word(w) = ar;
+          msub_b.word(w) = am;
+          ld_b.word(w) = al;
+          stb_b.word(w) = as;
+          cf_b.word(w) = ac;
+          alu_like_b.word(w) = aa;
+          needs_alu_b.word(w) = an;
+          argr_b.word(w) = ag;
+          av = af = ai = ar = am = al = as = ac = aa = an = ag = 0;
+        }
+      }
+      // Stale lanes >= tail cannot influence the acyclic prefixes (they
+      // only look backward), and every other reduction masks them out.
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(stb_b.word(w) & ~fin_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyAcyclicInto(cond_b, psd_b);
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(ld_b.word(w) & ~fin_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyAcyclicInto(cond_b, pld_b);
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(cf_b.word(w) & ~res_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyAcyclicInto(cond_b, pcf_b);
+    } else {
+      for (int p = 0; p < tail; ++p) {
+        const Station& st =
+            stations[static_cast<std::size_t>(station_index(p))];
+        const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
+        const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
+        no_store[static_cast<std::size_t>(p)] = !is_store || st.finished;
+        no_load[static_cast<std::size_t>(p)] = !is_load || st.finished;
+        branch_ok[static_cast<std::size_t>(p)] =
+            !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
+      }
+      const std::span<const std::uint8_t> live_store(
+          no_store.data(), static_cast<std::size_t>(tail));
+      const std::span<const std::uint8_t> live_load(
+          no_load.data(), static_cast<std::size_t>(tail));
+      const std::span<const std::uint8_t> live_branch(
+          branch_ok.data(), static_cast<std::size_t>(tail));
+      datapath::AllPrecedingSatisfyAcyclicInto(
+          live_store,
+          std::span<std::uint8_t>(prev_stores_done.data(),
+                                  static_cast<std::size_t>(tail)));
+      datapath::AllPrecedingSatisfyAcyclicInto(
+          live_load, std::span<std::uint8_t>(prev_loads_done.data(),
                                              static_cast<std::size_t>(tail)));
+      datapath::AllPrecedingSatisfyAcyclicInto(
+          live_branch,
+          std::span<std::uint8_t>(prev_confirmed.data(),
+                                  static_cast<std::size_t>(tail)));
+    }
 
     // --- Phase 2: memory responses. ---
     mem.Tick();
@@ -268,6 +374,12 @@ RunResult HybridCore::Run(const isa::Program& program) {
       if (st.valid && st.generation == tag.generation) {
         const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
+        if (packed) {
+          // Invert station_index: absolute station -> program position.
+          const int i = static_cast<int>(tag.tag);
+          const int p = ((i / C - head_cluster + K) % K) * C + i % C;
+          if (p < tail) fin_b.Set(p);
+        }
         tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
     }
@@ -283,21 +395,92 @@ RunResult HybridCore::Run(const isa::Program& program) {
       }
     }
     if (config_.num_alus > 0) {
-      alu_requests.assign(static_cast<std::size_t>(live), 0);
-      int occupied = 0;
-      for (int p = 0; p < live; ++p) {
-        const Station& st =
-            stations[static_cast<std::size_t>(station_index(p))];
-        alu_requests[static_cast<std::size_t>(p)] =
-            WantsAlu(st, args_of(station_index(p)));
-        if (st.valid && st.issued && !st.finished && NeedsAlu(st.inst().op)) {
-          ++occupied;
+      if (packed) {
+        int occupied = 0;
+        for (int w = 0; w < pw; ++w) {
+          const std::uint64_t lm = live_word_mask(w, live);
+          occupied += std::popcount(needs_alu_b.word(w) & iss_b.word(w) &
+                                    ~fin_b.word(w) & lm);
+          req_b.word(w) = needs_alu_b.word(w) & ~iss_b.word(w) &
+                          ~fin_b.word(w) & argr_b.word(w) & lm;
         }
+        datapath::AluScheduler::PackedGrantAcyclicInto(
+            req_b, std::max(0, config_.num_alus - occupied), grant_b);
+      } else {
+        alu_requests.assign(static_cast<std::size_t>(live), 0);
+        int occupied = 0;
+        for (int p = 0; p < live; ++p) {
+          const Station& st =
+              stations[static_cast<std::size_t>(station_index(p))];
+          alu_requests[static_cast<std::size_t>(p)] =
+              WantsAlu(st, args_of(station_index(p)));
+          if (st.valid && st.issued && !st.finished &&
+              NeedsAlu(st.inst().op)) {
+            ++occupied;
+          }
+        }
+        alu_grant.resize(static_cast<std::size_t>(live));
+        datapath::AluScheduler::GrantAcyclicInto(
+            alu_requests, std::max(0, config_.num_alus - occupied),
+            alu_grant);
       }
-      alu_grant.resize(static_cast<std::size_t>(live));
-      datapath::AluScheduler::GrantAcyclicInto(
-          alu_requests, std::max(0, config_.num_alus - occupied), alu_grant);
     }
+    if (packed) {
+      // Visit only stations whose StepStation call would act; the mask
+      // mirrors its no-op predicate exactly, so skipping is identical.
+      int p0 = commit_ptr;
+      bool squashed = false;
+      while (p0 < tail && !squashed) {
+        const int w = p0 >> 6;
+        const int lo = p0 & 63;
+        const int hi = std::min(64, tail - (w << 6));
+        const std::uint64_t grant_ok =
+            config_.num_alus > 0 ? (grant_b.word(w) | ~needs_alu_b.word(w))
+                                 : ~0ULL;
+        std::uint64_t mv =
+            valid_b.word(w) & ~fin_b.word(w) &
+            ((alu_like_b.word(w) &
+              (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
+             (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+              psd_b.word(w)) |
+             (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+              pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)));
+        const int cw = hi - lo;
+        mv &= (cw == 64 ? ~0ULL : ((1ULL << cw) - 1)) << lo;
+        while (mv != 0) {
+          const int b = std::countr_zero(mv);
+          mv &= mv - 1;
+          const int p = (w << 6) + b;
+          const int i = station_index(p);
+          Station& st = stations[static_cast<std::size_t>(i)];
+          StepContext ctx;
+          ctx.prev_stores_done = psd_b.Test(p);
+          ctx.prev_loads_done = pld_b.Test(p);
+          ctx.committed_ok = pcf_b.Test(p);
+          ctx.alu_granted = config_.num_alus == 0 || grant_b.Test(p);
+          const bool mispredicted = StepStation(
+              st, args_of(i), ctx, config_.latencies, mem, cycle, i,
+              static_cast<std::uint64_t>(i), inflight, result.stats);
+          if (mispredicted) {
+            ++result.stats.mispredictions;
+            for (int m = p + 1; m < tail; ++m) {
+              const int vi = station_index(m);
+              Station& victim = stations[static_cast<std::size_t>(vi)];
+              if (victim.valid) {
+                ++result.stats.squashed_instructions;
+                victim.Clear();
+                ++victim.generation;
+              }
+            }
+            tail = p + 1;
+            fetch.Redirect(st.actual_next_pc);
+            squashed = true;
+            break;
+          }
+        }
+        p0 = (w << 6) + hi;
+      }
+    } else {
     for (int p = commit_ptr; p < live; ++p) {
       const int i = station_index(p);
       Station& st = stations[static_cast<std::size_t>(i)];
@@ -343,6 +526,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
         tail = p + 1;
         fetch.Redirect(st.actual_next_pc);
       }
+    }
     }
 
     // Forced mispredictions (fault injection): squash + redirect through

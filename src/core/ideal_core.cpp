@@ -1,13 +1,17 @@
 #include "core/ideal_core.hpp"
 
+#include <bit>
 #include <cassert>
 #include <optional>
 #include <span>
+#include <unordered_map>
+#include <utility>
 
 #include "core/checkpoint_util.hpp"
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
 #include "core/telemetry_hooks.hpp"
+#include "datapath/bitset.hpp"
 #include "datapath/scheduler.hpp"
 #include "datapath/sequencing.hpp"
 
@@ -29,9 +33,25 @@ struct Entry {
   isa::Word val2 = 0;
 };
 
+/// The packed fast path covers the plain configuration; features it does
+/// not model word-parallel fall back to the reference cycle loop (results
+/// are identical either way -- see docs/runtime.md).
+bool PackedIdealEligible(const CoreConfig& config) {
+  return config.datapath_eval == DatapathEval::kPacked &&
+         !config.store_forwarding && config.telemetry == nullptr;
+}
+
+RunResult RunPackedIdeal(const CoreConfig& config_,
+                         const isa::Program& program);
+
 }  // namespace
 
 RunResult IdealCore::Run(const isa::Program& program) {
+  if (PackedIdealEligible(config_)) return RunPackedIdeal(config_, program);
+  return RunReference(program);
+}
+
+RunResult IdealCore::RunReference(const isa::Program& program) {
   const int n = config_.window_size;
   const int L = config_.num_regs;
   memory::MemorySystem mem(config_.mem, n);
@@ -401,5 +421,493 @@ RunResult IdealCore::Run(const isa::Program& program) {
   result.memory = mem.store().Snapshot();
   return result;
 }
+
+namespace {
+
+/// Bit-packed word-parallel twin of RunReference. Cycle-for-cycle and
+/// byte-for-byte identical output (the differential tests assert this), but
+/// the per-cycle cost is O(n/64) words plus work proportional to what
+/// actually happens:
+///  * the Figure 5 ordering conditions and their prefixes are PackedBits
+///    words (64 stations per op) instead of byte loops;
+///  * wake-up is event-driven through per-producer consumer lists instead
+///    of an O(n) scan consulting an O(n) finished-sequence list;
+///  * only stations that can act this cycle are stepped -- the must-visit
+///    set is composed from the packed flags exactly mirroring
+///    StepStation's no-op predicate, so skipping is provably identical;
+///  * commit converts consumers through the producer's list, and memory
+///    responses find their station through a seq->slot map.
+/// Canonical state (window entries, rename map, fetch, memory, inflight)
+/// is maintained exactly as the reference loop does, so checkpoints saved
+/// from either path are interchangeable.
+RunResult RunPackedIdeal(const CoreConfig& config_,
+                         const isa::Program& program) {
+  const int n = config_.window_size;
+  const int L = config_.num_regs;
+  const int num_words = datapath::PackedWordCount(n);
+  memory::MemorySystem mem(config_.mem, n);
+  mem.Reset(program.initial_memory());
+  FetchEngine fetch(&program, config_, MakePredictor(config_, program));
+
+  std::vector<Entry> window(static_cast<std::size_t>(n));
+  int head = 0;
+  int count = 0;
+  std::vector<isa::Word> regs(static_cast<std::size_t>(L), 0);
+  std::vector<std::optional<std::uint64_t>> rename(
+      static_cast<std::size_t>(L));
+  std::uint64_t next_seq = 0;
+  InflightMap inflight;
+  RunResult result;
+  bool done = false;
+
+  const auto ent = [&](int k) -> Entry& {
+    return window[static_cast<std::size_t>((head + k) % n)];
+  };
+  const auto rebuild_rename = [&] {
+    for (auto& r : rename) r.reset();
+    for (int k = 0; k < count; ++k) {
+      const Entry& e = ent(k);
+      if (isa::WritesRd(e.st.inst().op)) {
+        rename[e.st.inst().rd] = e.st.seq;
+      }
+    }
+  };
+
+  // --- Packed acceleration structures (derived from the canonical state,
+  // never checkpointed). All are slot-indexed; program position k lives at
+  // slot (head + k) % n. ---
+  datapath::PackedBits valid_b(n), finished_b(n), issued_b(n), resolved_b(n),
+      store_b(n), load_b(n), cf_b(n), alu_like_b(n), needs_alu_b(n),
+      mem_sub_b(n), args_ready_b(n);
+  datapath::PackedBits cond(n), psd(n), pld(n), pcf(n), requests(n),
+      grants(n);
+  std::vector<datapath::ResolvedArgs> args_cache(static_cast<std::size_t>(n));
+  // consumers[p]: (consumer slot, which arg) pairs registered at rename
+  // time; entries are verified against the consumer's dep seq at use, so
+  // stale registrations from squashed-and-refilled slots are harmless.
+  std::vector<std::vector<std::pair<int, std::uint8_t>>> consumers(
+      static_cast<std::size_t>(n));
+  std::unordered_map<std::uint64_t, int> seq_slot;
+  seq_slot.reserve(static_cast<std::size_t>(2 * n));
+  // Stations that finished this cycle; their consumers' cached args are
+  // refreshed at end of cycle (visible next cycle, like the reference
+  // loop's start-of-cycle snapshot).
+  std::vector<std::pair<int, std::uint64_t>> finish_events;
+  finish_events.reserve(static_cast<std::size_t>(n));
+  datapath::AluScheduler sched(n);
+  std::vector<FetchedInstr> fetch_batch;
+
+  const auto recompute_args_ready = [&](int slot, const Entry& e) {
+    const isa::Instruction& inst = e.st.inst();
+    const auto& args = args_cache[static_cast<std::size_t>(slot)];
+    const bool r1 = !isa::ReadsRs1(inst.op) || args.arg1.ready;
+    const bool r2 = !isa::ReadsRs2(inst.op) || args.arg2.ready;
+    args_ready_b.SetTo(slot, r1 && r2);
+  };
+  const auto clear_slot_bits = [&](int slot) {
+    valid_b.Clear(slot);
+    finished_b.Clear(slot);
+    issued_b.Clear(slot);
+    resolved_b.Clear(slot);
+    store_b.Clear(slot);
+    load_b.Clear(slot);
+    cf_b.Clear(slot);
+    alu_like_b.Clear(slot);
+    needs_alu_b.Clear(slot);
+    mem_sub_b.Clear(slot);
+    args_ready_b.Clear(slot);
+    args_cache[static_cast<std::size_t>(slot)] = {};
+    consumers[static_cast<std::size_t>(slot)].clear();
+  };
+  const auto sync_station_bits = [&](int slot, const Station& st) {
+    issued_b.SetTo(slot, st.issued);
+    finished_b.SetTo(slot, st.finished);
+    resolved_b.SetTo(slot, st.resolved);
+    mem_sub_b.SetTo(slot, st.mem_submitted);
+  };
+  // Registers a freshly filled/restored slot's classification bits and
+  // seeds its cached args (immediates now; in-flight producers that have
+  // already finished deliver immediately, matching the snapshot the
+  // reference wake-up loop would see next cycle).
+  const auto register_slot = [&](int slot) {
+    Entry& e = window[static_cast<std::size_t>(slot)];
+    const isa::Instruction& inst = e.st.inst();
+    valid_b.Set(slot);
+    sync_station_bits(slot, e.st);
+    const bool is_load = inst.op == isa::Opcode::kLoad;
+    const bool is_store = inst.op == isa::Opcode::kStore;
+    load_b.SetTo(slot, is_load);
+    store_b.SetTo(slot, is_store);
+    cf_b.SetTo(slot, isa::IsControlFlow(inst.op));
+    alu_like_b.SetTo(slot, !is_load && !is_store);
+    needs_alu_b.SetTo(slot, NeedsAlu(inst.op));
+    auto& args = args_cache[static_cast<std::size_t>(slot)];
+    args = {};
+    if (isa::ReadsRs1(inst.op)) {
+      if (!e.dep1_inflight) {
+        args.arg1 = {e.val1, true};
+      } else {
+        const auto it = seq_slot.find(e.dep1_seq);
+        assert(it != seq_slot.end());
+        consumers[static_cast<std::size_t>(it->second)].emplace_back(slot, 1);
+        const Station& prod = window[static_cast<std::size_t>(it->second)].st;
+        if (prod.finished) args.arg1 = prod.result;
+      }
+    }
+    if (isa::ReadsRs2(inst.op)) {
+      if (!e.dep2_inflight) {
+        args.arg2 = {e.val2, true};
+      } else {
+        const auto it = seq_slot.find(e.dep2_seq);
+        assert(it != seq_slot.end());
+        consumers[static_cast<std::size_t>(it->second)].emplace_back(slot, 2);
+        const Station& prod = window[static_cast<std::size_t>(it->second)].st;
+        if (prod.finished) args.arg2 = prod.result;
+      }
+    }
+    recompute_args_ready(slot, e);
+  };
+
+  CheckpointSession ckpt(config_, ProcessorKind::kIdeal, program);
+  const auto save_state = [&](persist::Encoder& e) {
+    e.I32(head);
+    e.I32(count);
+    for (int k = 0; k < count; ++k) {
+      const Entry& en = ent(k);
+      SaveStation(e, en.st);
+      e.Bool(en.dep1_inflight);
+      e.U64(en.dep1_seq);
+      e.U32(en.val1);
+      e.Bool(en.dep2_inflight);
+      e.U64(en.dep2_seq);
+      e.U32(en.val2);
+    }
+    for (const isa::Word r : regs) e.U32(r);
+    for (const auto& r : rename) {
+      e.Bool(r.has_value());
+      e.U64(r.has_value() ? *r : 0);
+    }
+    e.U64(next_seq);
+    SaveInflight(e, inflight);
+    SavePartialResult(e, result);
+    fetch.SaveState(e);
+    mem.SaveState(e);
+    SaveTelemetrySlots(e, config_);
+  };
+  std::uint64_t start_cycle = 0;
+  if (ckpt.resume() != nullptr) {
+    persist::Decoder d(ckpt.resume()->state);
+    head = d.I32();
+    count = d.I32();
+    if (head < 0 || head >= n || count < 0 || count > n) {
+      throw persist::FormatError("ideal window geometry out of range");
+    }
+    for (int k = 0; k < count; ++k) {
+      Entry& en = ent(k);
+      RestoreStation(d, en.st);
+      en.dep1_inflight = d.Bool();
+      en.dep1_seq = d.U64();
+      en.val1 = d.U32();
+      en.dep2_inflight = d.Bool();
+      en.dep2_seq = d.U64();
+      en.val2 = d.U32();
+    }
+    for (isa::Word& r : regs) r = d.U32();
+    for (auto& r : rename) {
+      const bool has = d.Bool();
+      const std::uint64_t seq = d.U64();
+      if (has) {
+        r = seq;
+      } else {
+        r.reset();
+      }
+    }
+    next_seq = d.U64();
+    RestoreInflight(d, inflight);
+    RestorePartialResult(d, result);
+    fetch.RestoreState(d);
+    mem.RestoreState(d);
+    RestoreTelemetrySlots(d, config_);
+    if (!d.AtEnd()) {
+      throw persist::FormatError("trailing checkpoint bytes");
+    }
+    start_cycle = ckpt.resume()->header.cycle;
+    // Rebuild the packed shadow from the canonical window. Producer slots
+    // must be mapped before consumers register against them.
+    for (int k = 0; k < count; ++k) {
+      seq_slot.emplace(ent(k).st.seq, (head + k) % n);
+    }
+    for (int k = 0; k < count; ++k) register_slot((head + k) % n);
+  }
+
+  const std::uint64_t tail_mask = datapath::PackedTailMask(n);
+  const int last_word = num_words - 1;
+
+  for (std::uint64_t cycle = start_cycle; cycle < config_.max_cycles && !done;
+       ++cycle) {
+    if (ckpt.MaybeSave(cycle, save_state)) break;
+    if (config_.cancel && (cycle & 1023u) == 0 &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      break;  // Abandoned run: halted stays false.
+    }
+    result.cycles = cycle + 1;
+
+    // --- Phase 1: the Figure 5 ordering prefixes from end-of-last-cycle
+    // state. Dead slots contribute vacuously true conditions, so the
+    // cyclic prefix from the head equals the reference loop's acyclic
+    // prefix over live positions; the head's own lane is forced true just
+    // as the acyclic prefix's position 0 is. ---
+    const bool any_mem = store_b.AnySet() || load_b.AnySet();
+    if (count > 0 && any_mem) {
+      for (int w = 0; w < num_words; ++w) {
+        cond.word(w) = ~(store_b.word(w) & ~finished_b.word(w));
+      }
+      cond.word(last_word) &= tail_mask;
+      datapath::PackedAllPrecedingSatisfyInto(cond, head, psd);
+      psd.Set(head);
+      for (int w = 0; w < num_words; ++w) {
+        cond.word(w) = ~(load_b.word(w) & ~finished_b.word(w));
+      }
+      cond.word(last_word) &= tail_mask;
+      datapath::PackedAllPrecedingSatisfyInto(cond, head, pld);
+      pld.Set(head);
+    } else {
+      psd.SetAll();
+      pld.SetAll();
+    }
+    if (count > 0 && store_b.AnySet()) {
+      // Branch confirmation only gates stores; skip the prefix otherwise.
+      for (int w = 0; w < num_words; ++w) {
+        cond.word(w) = ~(cf_b.word(w) & ~resolved_b.word(w));
+      }
+      cond.word(last_word) &= tail_mask;
+      datapath::PackedAllPrecedingSatisfyInto(cond, head, pcf);
+      pcf.Set(head);
+    }
+
+    // --- Phase 2: memory responses (seq->slot map instead of a window
+    // scan). ---
+    mem.Tick();
+    for (const auto& resp : mem.DrainCompleted()) {
+      const auto it = inflight.find(resp.id);
+      if (it == inflight.end()) continue;
+      const MemTag tag = it->second;
+      inflight.erase(it);
+      const auto sit = seq_slot.find(tag.tag);
+      if (sit == seq_slot.end()) continue;  // Committed or squashed.
+      const int slot = sit->second;
+      Entry& e = window[static_cast<std::size_t>(slot)];
+      assert(e.st.seq == tag.tag);
+      ApplyMemResponse(e.st, resp, cycle);
+      finished_b.Set(slot);
+      finish_events.emplace_back(slot, e.st.seq);
+    }
+
+    // --- Phase 3a: ALU scheduling over packed request lanes. ---
+    const bool have_grants = config_.num_alus > 0;
+    if (have_grants) {
+      int occupied = 0;
+      for (int w = 0; w < num_words; ++w) {
+        occupied += std::popcount(needs_alu_b.word(w) & issued_b.word(w) &
+                                  ~finished_b.word(w));
+        requests.word(w) = valid_b.word(w) & ~issued_b.word(w) &
+                           ~finished_b.word(w) & needs_alu_b.word(w) &
+                           args_ready_b.word(w);
+      }
+      sched.PackedGrantInto(requests, std::max(0, config_.num_alus - occupied),
+                            head, grants);
+    }
+
+    // --- Phase 3b: execute only stations that can act, in program order.
+    // The must-visit mask mirrors StepStation's no-op predicate exactly:
+    // a skipped station would have returned without touching anything. ---
+    if (count > 0) {
+      int pos = head;
+      int processed = 0;
+      bool squashed = false;
+      while (processed < count && !squashed) {
+        const int w = pos >> 6;
+        const int lo = pos & 63;
+        int hi = std::min(64, n - (w << 6));
+        hi = std::min(hi, lo + (count - processed));
+        const std::uint64_t grant_ok =
+            have_grants ? (grants.word(w) | ~needs_alu_b.word(w)) : ~0ULL;
+        std::uint64_t mv =
+            valid_b.word(w) & ~finished_b.word(w) &
+            ((alu_like_b.word(w) &
+              (issued_b.word(w) | (args_ready_b.word(w) & grant_ok))) |
+             (load_b.word(w) & ~mem_sub_b.word(w) & args_ready_b.word(w) &
+              psd.word(w)) |
+             (store_b.word(w) & ~mem_sub_b.word(w) & args_ready_b.word(w) &
+              pld.word(w) & psd.word(w) & pcf.word(w)));
+        const int width = hi - lo;
+        mv &= (width == 64 ? ~0ULL : ((1ULL << width) - 1)) << lo;
+        while (mv != 0) {
+          const int b = std::countr_zero(mv);
+          mv &= mv - 1;
+          const int slot = (w << 6) + b;
+          int k = slot - head;
+          if (k < 0) k += n;
+          Entry& e = window[static_cast<std::size_t>(slot)];
+          StepContext ctx;
+          ctx.prev_stores_done = psd.Test(slot);
+          ctx.prev_loads_done = pld.Test(slot);
+          ctx.committed_ok = !store_b.Test(slot) || pcf.Test(slot);
+          ctx.alu_granted = !have_grants || grants.Test(slot);
+          const bool mispredicted =
+              StepStation(e.st, args_cache[static_cast<std::size_t>(slot)],
+                          ctx, config_.latencies, mem, cycle, k, e.st.seq,
+                          inflight, result.stats);
+          sync_station_bits(slot, e.st);
+          if (e.st.finished) finish_events.emplace_back(slot, e.st.seq);
+          if (mispredicted) {
+            ++result.stats.mispredictions;
+            result.stats.squashed_instructions +=
+                static_cast<std::uint64_t>(count - (k + 1));
+            for (int m = k + 1; m < count; ++m) {
+              const int s2 = (head + m) % n;
+              seq_slot.erase(window[static_cast<std::size_t>(s2)].st.seq);
+              clear_slot_bits(s2);
+            }
+            count = k + 1;
+            rebuild_rename();
+            fetch.Redirect(e.st.actual_next_pc);
+            squashed = true;
+            break;
+          }
+        }
+        processed += hi - lo;
+        pos = (w << 6) + hi;
+        if (pos >= n) pos = 0;
+      }
+    }
+
+    // --- Phase 4: in-order commit; consumers convert via the producer's
+    // list instead of a window scan. ---
+    while (count > 0 && window[static_cast<std::size_t>(head)].st.finished) {
+      Entry& e = window[static_cast<std::size_t>(head)];
+      Station& st = e.st;
+      st.timing.commit_cycle = cycle;
+      const isa::Instruction& inst = st.inst();
+      if (isa::WritesRd(inst.op)) {
+        assert(st.result.ready);
+        regs[inst.rd] = st.result.value;
+        if (rename[inst.rd] == st.seq) rename[inst.rd].reset();
+        for (const auto& [cslot, which] :
+             consumers[static_cast<std::size_t>(head)]) {
+          if (!valid_b.Test(cslot)) continue;
+          Entry& c = window[static_cast<std::size_t>(cslot)];
+          auto& cargs = args_cache[static_cast<std::size_t>(cslot)];
+          if (which == 1 && c.dep1_inflight && c.dep1_seq == st.seq) {
+            c.dep1_inflight = false;
+            c.val1 = st.result.value;
+            cargs.arg1 = {st.result.value, true};
+            recompute_args_ready(cslot, c);
+          } else if (which == 2 && c.dep2_inflight && c.dep2_seq == st.seq) {
+            c.dep2_inflight = false;
+            c.val2 = st.result.value;
+            cargs.arg2 = {st.result.value, true};
+            recompute_args_ready(cslot, c);
+          }
+        }
+      }
+      if (isa::IsControlFlow(inst.op)) {
+        fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
+      }
+      result.timeline.push_back(st.timing);
+      ++result.committed;
+      const bool was_halt = inst.op == isa::Opcode::kHalt;
+      seq_slot.erase(st.seq);
+      clear_slot_bits(head);
+      head = (head + 1) % n;
+      --count;
+      if (was_halt) {
+        done = true;
+        result.halted = true;
+        break;
+      }
+    }
+
+    // --- Phase 5: fetch and rename. ---
+    if (!done) {
+      const int free = n - count;
+      if (free == 0) ++result.stats.window_full_cycles;
+      const int width = std::min(config_.EffectiveFetchWidth(), free);
+      fetch.FetchCycle(width, fetch_batch);
+      if (fetch_batch.empty() && free > 0 && count > 0 && !fetch.stalled()) {
+        ++result.stats.fetch_stall_cycles;
+      }
+      for (const auto& f : fetch_batch) {
+        const int slot = (head + count) % n;
+        Entry& e = window[static_cast<std::size_t>(slot)];
+        FillStation(e.st, f, next_seq++, cycle);
+        e.st.timing.station = slot;
+        e.dep1_inflight = false;
+        e.dep1_seq = 0;
+        e.val1 = 0;
+        e.dep2_inflight = false;
+        e.dep2_seq = 0;
+        e.val2 = 0;
+        const isa::Instruction& inst = f.inst;
+        if (isa::ReadsRs1(inst.op)) {
+          if (rename[inst.rs1].has_value()) {
+            e.dep1_inflight = true;
+            e.dep1_seq = *rename[inst.rs1];
+          } else {
+            e.val1 = regs[inst.rs1];
+          }
+        }
+        if (isa::ReadsRs2(inst.op)) {
+          if (rename[inst.rs2].has_value()) {
+            e.dep2_inflight = true;
+            e.dep2_seq = *rename[inst.rs2];
+          } else {
+            e.val2 = regs[inst.rs2];
+          }
+        }
+        if (isa::WritesRd(inst.op)) rename[inst.rd] = e.st.seq;
+        clear_slot_bits(slot);
+        seq_slot.emplace(e.st.seq, slot);
+        register_slot(slot);
+        ++count;
+      }
+      if (fetch.stalled() && count == 0) {
+        done = true;
+        result.halted = true;
+      }
+    }
+
+    // --- End of cycle: deliver this cycle's finish events to registered
+    // consumers. Running after commit/fetch makes the refreshed args
+    // visible exactly from the next cycle on, matching the reference
+    // loop's start-of-cycle readiness snapshot, and leaves no pending
+    // event state for checkpoints to carry. ---
+    for (const auto& [slot, seq] : finish_events) {
+      if (!valid_b.Test(slot)) continue;  // Committed/squashed this cycle.
+      const Station& prod = window[static_cast<std::size_t>(slot)].st;
+      if (prod.seq != seq || !prod.finished) continue;
+      for (const auto& [cslot, which] :
+           consumers[static_cast<std::size_t>(slot)]) {
+        if (!valid_b.Test(cslot)) continue;
+        Entry& c = window[static_cast<std::size_t>(cslot)];
+        auto& cargs = args_cache[static_cast<std::size_t>(cslot)];
+        if (which == 1 && c.dep1_inflight && c.dep1_seq == seq) {
+          cargs.arg1 = prod.result;
+          recompute_args_ready(cslot, c);
+        } else if (which == 2 && c.dep2_inflight && c.dep2_seq == seq) {
+          cargs.arg2 = prod.result;
+          recompute_args_ready(cslot, c);
+        }
+      }
+    }
+    finish_events.clear();
+  }
+
+  result.regs = regs;
+  result.memory = mem.store().Snapshot();
+  return result;
+}
+
+}  // namespace
 
 }  // namespace ultra::core

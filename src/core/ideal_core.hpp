@@ -31,6 +31,10 @@ class IdealCore final : public Processor {
     return ProcessorKind::kIdeal;
   }
 
+  /// The byte-lane reference cycle loop (every DatapathEval except the
+  /// packed fast path). Exposed for the differential tests.
+  [[nodiscard]] RunResult RunReference(const isa::Program& program);
+
  private:
   CoreConfig config_;
 };

@@ -2,10 +2,13 @@
 
 #include <cassert>
 
+#include <bit>
+
 #include "core/checkpoint_util.hpp"
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
 #include "core/telemetry_hooks.hpp"
+#include "datapath/bitset.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
 #include "fault/fault.hpp"
@@ -66,6 +69,15 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       config_.datapath_eval != DatapathEval::kFullRecompute;
   const bool checked = config_.datapath_eval == DatapathEval::kChecked;
   const bool pipelined = config_.pipeline_levels_per_stage > 0;
+  // Word-parallel fast path: the Figure 5 flags, their CSPP prefixes, the
+  // ALU grants, and the execute phase's visit set all evaluate 64 stations
+  // per word op. Configurations the packed loop does not model fall back to
+  // the plain incremental machinery (kPacked counts as incremental
+  // everywhere else, so results are identical either way).
+  const bool packed = config_.datapath_eval == DatapathEval::kPacked &&
+                      !config_.store_forwarding && !pipelined &&
+                      config_.telemetry == nullptr &&
+                      config_.fault_plan == nullptr;
 
   CoreTelemetry tel(config_);
   // The program-order last-writer sweep serves both the pipelined datapath
@@ -113,6 +125,20 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
   // datapath only); replaces the per-operand backward window scan.
   std::vector<int> last_writer(static_cast<std::size_t>(L));
   std::vector<FetchedInstr> fetch_batch;
+
+  // Packed per-cycle scratch (kPacked only): recomposed from the stations
+  // every cycle, so it is derived state and never checkpointed.
+  const int pw = datapath::PackedWordCount(n);
+  datapath::PackedBits valid_b, fin_b, iss_b, res_b, msub_b, ld_b, stb_b,
+      cf_b, alu_like_b, needs_alu_b, argr_b, cond_b, psd_b, pld_b, pcf_b,
+      req_b, grant_b;
+  if (packed) {
+    for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
+                    &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &cond_b,
+                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b}) {
+      p->Assign(n);
+    }
+  }
 
   CheckpointSession ckpt(config_, ProcessorKind::kUltrascalarI, program);
   const auto save_state = [&](persist::Encoder& e) {
@@ -167,14 +193,56 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
     tel.OnCycle(cycle, count);
 
     // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
-    for (int i = 0; i < n; ++i) {
-      const Station& st = stations[static_cast<std::size_t>(i)];
-      const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
-      const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
-      no_store[static_cast<std::size_t>(i)] = !is_store || st.finished;
-      no_load[static_cast<std::size_t>(i)] = !is_load || st.finished;
-      branch_ok[static_cast<std::size_t>(i)] =
-          !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
+    if (packed) {
+      // Word-accumulator composition: invalid lanes are all-zero (their
+      // class bits being clear makes every derived condition vacuous).
+      std::uint64_t av = 0, af = 0, ai = 0, ar = 0, am = 0, al = 0, as = 0,
+                    ac = 0, aa = 0, an = 0;
+      for (int i = 0; i < n; ++i) {
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (st.valid) {
+          const std::uint64_t bit = 1ULL << (i & 63);
+          av |= bit;
+          if (st.finished) af |= bit;
+          if (st.issued) ai |= bit;
+          if (st.resolved) ar |= bit;
+          if (st.mem_submitted) am |= bit;
+          const isa::Opcode op = st.inst().op;
+          if (op == isa::Opcode::kLoad) {
+            al |= bit;
+          } else if (op == isa::Opcode::kStore) {
+            as |= bit;
+          } else {
+            aa |= bit;
+          }
+          if (isa::IsControlFlow(op)) ac |= bit;
+          if (NeedsAlu(op)) an |= bit;
+        }
+        if ((i & 63) == 63 || i == n - 1) {
+          const int w = i >> 6;
+          valid_b.word(w) = av;
+          fin_b.word(w) = af;
+          iss_b.word(w) = ai;
+          res_b.word(w) = ar;
+          msub_b.word(w) = am;
+          ld_b.word(w) = al;
+          stb_b.word(w) = as;
+          cf_b.word(w) = ac;
+          alu_like_b.word(w) = aa;
+          needs_alu_b.word(w) = an;
+          av = af = ai = ar = am = al = as = ac = aa = an = 0;
+        }
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
+        const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
+        no_store[static_cast<std::size_t>(i)] = !is_store || st.finished;
+        no_load[static_cast<std::size_t>(i)] = !is_load || st.finished;
+        branch_ok[static_cast<std::size_t>(i)] =
+            !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
+      }
     }
     if (incremental) {
       // Diff the window into the persistent state; commits already pushed
@@ -249,9 +317,33 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       }
     }
 
-    seq.AllPrecedingSatisfyInto(no_store, head, prev_stores_done);
-    seq.AllPrecedingSatisfyInto(no_load, head, prev_loads_done);
-    seq.AllPrecedingSatisfyInto(branch_ok, head, prev_confirmed);
+    if (packed) {
+      // Dead stations contribute vacuously true conditions (their class
+      // bits are clear), so the cyclic prefixes match the byte-lane CSPP;
+      // the head lane is forced true like the reference's k == 0 override.
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(stb_b.word(w) & ~fin_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyInto(cond_b, head, psd_b);
+      psd_b.Set(head);
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(ld_b.word(w) & ~fin_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyInto(cond_b, head, pld_b);
+      pld_b.Set(head);
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(cf_b.word(w) & ~res_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyInto(cond_b, head, pcf_b);
+      pcf_b.Set(head);
+    } else {
+      seq.AllPrecedingSatisfyInto(no_store, head, prev_stores_done);
+      seq.AllPrecedingSatisfyInto(no_load, head, prev_loads_done);
+      seq.AllPrecedingSatisfyInto(branch_ok, head, prev_confirmed);
+    }
 
     // --- Phase 2: memory responses arriving this cycle. ---
     mem.Tick();
@@ -264,6 +356,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       if (st.valid && st.generation == tag.generation) {
         const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
+        if (packed) fin_b.Set(static_cast<int>(tag.tag));
         tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
     }
@@ -321,6 +414,10 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       if (isa::ReadsRs1(inst.op)) args.arg1 = read(inst.rs1);
       if (isa::ReadsRs2(inst.op)) args.arg2 = read(inst.rs2);
       args_at[static_cast<std::size_t>(i)] = args;
+      if (packed) {
+        argr_b.SetTo(i, (!isa::ReadsRs1(inst.op) || args.arg1.ready) &&
+                            (!isa::ReadsRs2(inst.op) || args.arg2.ready));
+      }
       if (track_writers && isa::WritesRd(inst.op)) {
         last_writer[static_cast<std::size_t>(inst.rd)] = i;
       }
@@ -330,22 +427,98 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       }
     }
     if (config_.num_alus > 0) {
-      int occupied = 0;
-      for (int i = 0; i < n; ++i) {
-        const Station& st = stations[static_cast<std::size_t>(i)];
-        alu_requests[static_cast<std::size_t>(i)] =
-            WantsAlu(st, args_at[static_cast<std::size_t>(i)]);
-        if (st.valid && st.issued && !st.finished && NeedsAlu(st.inst().op)) {
-          ++occupied;
+      if (packed) {
+        int occupied = 0;
+        for (int w = 0; w < pw; ++w) {
+          occupied += std::popcount(needs_alu_b.word(w) & iss_b.word(w) &
+                                    ~fin_b.word(w));
+          req_b.word(w) = needs_alu_b.word(w) & ~iss_b.word(w) &
+                          ~fin_b.word(w) & argr_b.word(w);
         }
+        alu_scheduler.PackedGrantInto(
+            req_b, std::max(0, config_.num_alus - occupied), head, grant_b);
+      } else {
+        int occupied = 0;
+        for (int i = 0; i < n; ++i) {
+          const Station& st = stations[static_cast<std::size_t>(i)];
+          alu_requests[static_cast<std::size_t>(i)] =
+              WantsAlu(st, args_at[static_cast<std::size_t>(i)]);
+          if (st.valid && st.issued && !st.finished &&
+              NeedsAlu(st.inst().op)) {
+            ++occupied;
+          }
+        }
+        alu_scheduler.GrantInto(alu_requests,
+                                std::max(0, config_.num_alus - occupied),
+                                head, alu_grant);
       }
-      alu_scheduler.GrantInto(alu_requests,
-                              std::max(0, config_.num_alus - occupied), head,
-                              alu_grant);
     }
 
     // --- Phase 3b: execute, in program order from the oldest station. ---
-    for (int k = 0; k < live; ++k) {
+    if (packed) {
+      // Visit only stations whose StepStation call would act; the mask
+      // mirrors its no-op predicate exactly, so skipping is identical.
+      int pos = head;
+      int processed = 0;
+      bool squashed = false;
+      while (processed < live && !squashed) {
+        const int w = pos >> 6;
+        const int lo = pos & 63;
+        int hi = std::min(64, n - (w << 6));
+        hi = std::min(hi, lo + (live - processed));
+        const std::uint64_t grant_ok =
+            config_.num_alus > 0 ? (grant_b.word(w) | ~needs_alu_b.word(w))
+                                 : ~0ULL;
+        std::uint64_t mv =
+            valid_b.word(w) & ~fin_b.word(w) &
+            ((alu_like_b.word(w) &
+              (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
+             (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+              psd_b.word(w)) |
+             (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+              pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)));
+        const int cw = hi - lo;
+        mv &= (cw == 64 ? ~0ULL : ((1ULL << cw) - 1)) << lo;
+        while (mv != 0) {
+          const int b = std::countr_zero(mv);
+          mv &= mv - 1;
+          const int i = (w << 6) + b;
+          int k = i - head;
+          if (k < 0) k += n;
+          Station& st = stations[static_cast<std::size_t>(i)];
+          StepContext ctx;
+          ctx.prev_stores_done = psd_b.Test(i);
+          ctx.prev_loads_done = pld_b.Test(i);
+          ctx.committed_ok = pcf_b.Test(i);
+          ctx.alu_granted = config_.num_alus == 0 || grant_b.Test(i);
+          const bool mispredicted =
+              StepStation(st, args_at[static_cast<std::size_t>(i)], ctx,
+                          config_.latencies, mem, cycle, i,
+                          static_cast<std::uint64_t>(i), inflight,
+                          result.stats);
+          if (mispredicted) {
+            ++result.stats.mispredictions;
+            for (int m = k + 1; m < count; ++m) {
+              const int vi = (head + m) % n;
+              Station& victim = stations[static_cast<std::size_t>(vi)];
+              if (victim.valid) {
+                ++result.stats.squashed_instructions;
+                victim.Clear();
+                ++victim.generation;
+              }
+            }
+            count = k + 1;
+            fetch.Redirect(st.actual_next_pc);
+            squashed = true;
+            break;
+          }
+        }
+        processed += hi - lo;
+        pos = (w << 6) + hi;
+        if (pos >= n) pos = 0;
+      }
+    } else {
+      for (int k = 0; k < live; ++k) {
       const int i = (head + k) % n;
       Station& st = stations[static_cast<std::size_t>(i)];
       if (!st.valid) continue;  // Squashed earlier this cycle.
@@ -393,6 +566,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         }
         count = k + 1;
         fetch.Redirect(st.actual_next_pc);
+      }
       }
     }
 

@@ -2,12 +2,16 @@
 
 #include <cassert>
 
+#include <bit>
+
 #include "core/checkpoint_util.hpp"
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
 #include "core/telemetry_hooks.hpp"
+#include "datapath/bitset.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
+#include "datapath/sequencing.hpp"
 #include "fault/fault.hpp"
 
 namespace ultra::core {
@@ -53,6 +57,15 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   const bool incremental =
       config_.datapath_eval != DatapathEval::kFullRecompute;
   const bool checked = config_.datapath_eval == DatapathEval::kChecked;
+  // Word-parallel fast path: sequencing flags, acyclic prefixes, ALU
+  // grants, and the execute phase's visit set evaluate 64 stations per
+  // word op. Configurations the packed loop does not model fall back to
+  // the plain incremental machinery (kPacked counts as incremental
+  // everywhere else, so results are identical either way).
+  const bool packed = config_.datapath_eval == DatapathEval::kPacked &&
+                      !config_.store_forwarding &&
+                      config_.telemetry == nullptr &&
+                      config_.fault_plan == nullptr;
 
   fault::FaultInjector injector(config_.fault_plan.get());
   fault::DatapathChecker checker(config_.checker_stride);
@@ -80,6 +93,20 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   std::vector<std::uint8_t> alu_requests;
   std::vector<std::uint8_t> alu_grant;
   std::vector<FetchedInstr> fetch_batch;
+
+  // Packed per-cycle scratch (kPacked only): recomposed from the stations
+  // every cycle, so it is derived state and never checkpointed.
+  const int pw = datapath::PackedWordCount(n);
+  datapath::PackedBits valid_b, fin_b, iss_b, res_b, msub_b, ld_b, stb_b,
+      cf_b, alu_like_b, needs_alu_b, argr_b, cond_b, psd_b, pld_b, pcf_b,
+      req_b, grant_b;
+  if (packed) {
+    for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
+                    &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &cond_b,
+                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b}) {
+      p->Assign(n);
+    }
+  }
 
   CheckpointSession ckpt(config_, ProcessorKind::kUltrascalarII, program);
   const auto save_state = [&](persist::Encoder& e) {
@@ -152,6 +179,11 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
     if (tel.metrics_on()) {
       std::fill(last_writer.begin(), last_writer.end(), -1);
     }
+    // Word accumulators for the packed composition: one bit per station,
+    // flushed every 64 lanes. Invalid lanes stay all-zero, which keeps every
+    // derived condition vacuous.
+    std::uint64_t av = 0, af = 0, ai = 0, ar = 0, am = 0, al = 0, as = 0,
+                  ac = 0, aa = 0, an = 0;
     for (int i = 0; i < n; ++i) {
       const Station& st = stations[static_cast<std::size_t>(i)];
       datapath::StationRequest req = MakeRequest(st);
@@ -180,12 +212,47 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         any_valid = true;
         if (!st.finished) all_finished = false;
       }
-      const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
-      const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
-      no_store[static_cast<std::size_t>(i)] = !is_store || st.finished;
-      no_load[static_cast<std::size_t>(i)] = !is_load || st.finished;
-      branch_ok[static_cast<std::size_t>(i)] =
-          !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
+      if (packed) {
+        if (st.valid) {
+          const std::uint64_t bit = 1ULL << (i & 63);
+          av |= bit;
+          if (st.finished) af |= bit;
+          if (st.issued) ai |= bit;
+          if (st.resolved) ar |= bit;
+          if (st.mem_submitted) am |= bit;
+          const isa::Opcode op = st.inst().op;
+          if (op == isa::Opcode::kLoad) {
+            al |= bit;
+          } else if (op == isa::Opcode::kStore) {
+            as |= bit;
+          } else {
+            aa |= bit;
+          }
+          if (isa::IsControlFlow(op)) ac |= bit;
+          if (NeedsAlu(op)) an |= bit;
+        }
+        if ((i & 63) == 63 || i == n - 1) {
+          const int w = i >> 6;
+          valid_b.word(w) = av;
+          fin_b.word(w) = af;
+          iss_b.word(w) = ai;
+          res_b.word(w) = ar;
+          msub_b.word(w) = am;
+          ld_b.word(w) = al;
+          stb_b.word(w) = as;
+          cf_b.word(w) = ac;
+          alu_like_b.word(w) = aa;
+          needs_alu_b.word(w) = an;
+          av = af = ai = ar = am = al = as = ac = aa = an = 0;
+        }
+      } else {
+        const bool is_store = st.valid && st.inst().op == isa::Opcode::kStore;
+        const bool is_load = st.valid && st.inst().op == isa::Opcode::kLoad;
+        no_store[static_cast<std::size_t>(i)] = !is_store || st.finished;
+        no_load[static_cast<std::size_t>(i)] = !is_load || st.finished;
+        branch_ok[static_cast<std::size_t>(i)] =
+            !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
+      }
     }
     if (incremental) {
       // The whole propagation is a pure function of (regfile, requests):
@@ -238,9 +305,29 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
       }
     }
 
-    datapath::AllPrecedingSatisfyAcyclicInto(no_store, prev_stores_done);
-    datapath::AllPrecedingSatisfyAcyclicInto(no_load, prev_loads_done);
-    datapath::AllPrecedingSatisfyAcyclicInto(branch_ok, prev_confirmed);
+    if (packed) {
+      // Dead stations contribute vacuously true conditions (their class
+      // bits are clear), so the acyclic prefixes match the byte lanes.
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(stb_b.word(w) & ~fin_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyAcyclicInto(cond_b, psd_b);
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(ld_b.word(w) & ~fin_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyAcyclicInto(cond_b, pld_b);
+      for (int w = 0; w < pw; ++w) {
+        cond_b.word(w) = ~(cf_b.word(w) & ~res_b.word(w));
+      }
+      cond_b.word(pw - 1) &= datapath::PackedTailMask(n);
+      datapath::PackedAllPrecedingSatisfyAcyclicInto(cond_b, pcf_b);
+    } else {
+      datapath::AllPrecedingSatisfyAcyclicInto(no_store, prev_stores_done);
+      datapath::AllPrecedingSatisfyAcyclicInto(no_load, prev_loads_done);
+      datapath::AllPrecedingSatisfyAcyclicInto(branch_ok, prev_confirmed);
+    }
 
     // The batch completes once every station is finished and no more
     // instructions are on the way into it ("At that time, the final values
@@ -294,12 +381,32 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
       if (st.valid && st.generation == tag.generation) {
         const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
+        if (packed) fin_b.Set(static_cast<int>(tag.tag));
         tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
     }
 
     // --- Phase 3: execute, in program order within the batch. ---
     if (!batch_complete && !done) {
+      if (packed) {
+        std::uint64_t ag = 0;
+        for (int i = 0; i < fill; ++i) {
+          const Station& st = stations[static_cast<std::size_t>(i)];
+          if (st.valid) {
+            const isa::Instruction& inst = st.inst();
+            const datapath::ResolvedArgs& args =
+                prop.args[static_cast<std::size_t>(i)];
+            if ((!isa::ReadsRs1(inst.op) || args.arg1.ready) &&
+                (!isa::ReadsRs2(inst.op) || args.arg2.ready)) {
+              ag |= 1ULL << (i & 63);
+            }
+          }
+          if ((i & 63) == 63 || i == fill - 1) {
+            argr_b.word(i >> 6) = ag;
+            ag = 0;
+          }
+        }
+      }
       if (config_.store_forwarding) {
         mem_window.assign(static_cast<std::size_t>(fill), MemWindowEntry{});
         for (int i = 0; i < fill; ++i) {
@@ -309,22 +416,86 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         }
       }
       if (config_.num_alus > 0) {
-        alu_requests.assign(static_cast<std::size_t>(fill), 0);
-        int occupied = 0;
-        for (int i = 0; i < fill; ++i) {
-          const Station& st = stations[static_cast<std::size_t>(i)];
-          alu_requests[static_cast<std::size_t>(i)] =
-              WantsAlu(st, prop.args[static_cast<std::size_t>(i)]);
-          if (st.valid && st.issued && !st.finished &&
-              NeedsAlu(st.inst().op)) {
-            ++occupied;
+        if (packed) {
+          int occupied = 0;
+          for (int w = 0; w < pw; ++w) {
+            occupied += std::popcount(needs_alu_b.word(w) & iss_b.word(w) &
+                                      ~fin_b.word(w));
+            req_b.word(w) = needs_alu_b.word(w) & ~iss_b.word(w) &
+                            ~fin_b.word(w) & argr_b.word(w);
+          }
+          datapath::AluScheduler::PackedGrantAcyclicInto(
+              req_b, std::max(0, config_.num_alus - occupied), grant_b);
+        } else {
+          alu_requests.assign(static_cast<std::size_t>(fill), 0);
+          int occupied = 0;
+          for (int i = 0; i < fill; ++i) {
+            const Station& st = stations[static_cast<std::size_t>(i)];
+            alu_requests[static_cast<std::size_t>(i)] =
+                WantsAlu(st, prop.args[static_cast<std::size_t>(i)]);
+            if (st.valid && st.issued && !st.finished &&
+                NeedsAlu(st.inst().op)) {
+              ++occupied;
+            }
+          }
+          alu_grant.resize(static_cast<std::size_t>(fill));
+          datapath::AluScheduler::GrantAcyclicInto(
+              alu_requests, std::max(0, config_.num_alus - occupied),
+              alu_grant);
+        }
+      }
+      if (packed) {
+        // Visit only stations whose StepStation call would act; the mask
+        // mirrors its no-op predicate exactly, so skipping is identical.
+        bool squashed = false;
+        for (int w = 0; w < pw && !squashed; ++w) {
+          const int base = w << 6;
+          if (base >= fill) break;
+          const int hi = std::min(64, fill - base);
+          const std::uint64_t grant_ok =
+              config_.num_alus > 0 ? (grant_b.word(w) | ~needs_alu_b.word(w))
+                                   : ~0ULL;
+          std::uint64_t mv =
+              valid_b.word(w) & ~fin_b.word(w) &
+              ((alu_like_b.word(w) &
+                (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
+               (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+                psd_b.word(w)) |
+               (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+                pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)));
+          mv &= hi == 64 ? ~0ULL : ((1ULL << hi) - 1);
+          while (mv != 0) {
+            const int b = std::countr_zero(mv);
+            mv &= mv - 1;
+            const int i = base + b;
+            Station& st = stations[static_cast<std::size_t>(i)];
+            StepContext ctx;
+            ctx.prev_stores_done = psd_b.Test(i);
+            ctx.prev_loads_done = pld_b.Test(i);
+            ctx.committed_ok = pcf_b.Test(i);
+            ctx.alu_granted = config_.num_alus == 0 || grant_b.Test(i);
+            const bool mispredicted = StepStation(
+                st, prop.args[static_cast<std::size_t>(i)], ctx,
+                config_.latencies, mem, cycle, i,
+                static_cast<std::uint64_t>(i), inflight, result.stats);
+            if (mispredicted) {
+              ++result.stats.mispredictions;
+              for (int m = i + 1; m < fill; ++m) {
+                Station& victim = stations[static_cast<std::size_t>(m)];
+                if (victim.valid) {
+                  ++result.stats.squashed_instructions;
+                  victim.Clear();
+                  ++victim.generation;
+                }
+              }
+              fill = i + 1;
+              fetch.Redirect(st.actual_next_pc);
+              squashed = true;
+              break;
+            }
           }
         }
-        alu_grant.resize(static_cast<std::size_t>(fill));
-        datapath::AluScheduler::GrantAcyclicInto(
-            alu_requests, std::max(0, config_.num_alus - occupied),
-            alu_grant);
-      }
+      } else {
       for (int i = 0; i < fill; ++i) {
         Station& st = stations[static_cast<std::size_t>(i)];
         if (!st.valid) continue;
@@ -370,6 +541,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
           fill = i + 1;
           fetch.Redirect(st.actual_next_pc);
         }
+      }
       }
 
       // Forced mispredictions (fault injection): squash + redirect through

@@ -1,0 +1,172 @@
+// Bit-packed boolean lanes for the word-parallel datapath evaluators.
+//
+// The sequencing circuits of Figure 5 and the scheduler of Memo 2 are
+// 1-bit-per-station parallel prefixes; simulated one byte per station they
+// cost O(n) scalar ops per cycle. PackedBits stores those per-station
+// booleans 64 to a uint64_t so the same prefixes evaluate 64 lanes per word
+// op: a word's AND-prefix is a trailing-ones count, its OR-prefix a
+// trailing-zeros count, and oldest-first ALU granting a popcount walk. The
+// packed sequencing/scheduler entry points (sequencing.hpp, scheduler.hpp)
+// and the cores' DatapathEval::kPacked fast paths build on this header.
+//
+// Invariant: bits at positions >= size() ("tail bits") are always zero --
+// every mutator maintains this, so whole-word reductions never see ghost
+// lanes.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ultra::datapath {
+
+/// Number of 64-bit words needed for @p bits bit lanes.
+[[nodiscard]] constexpr int PackedWordCount(int bits) {
+  return (bits + 63) >> 6;
+}
+
+/// Mask selecting the live lanes of the last word of an @p bits-lane array
+/// (all-ones when @p bits is a multiple of 64).
+[[nodiscard]] constexpr std::uint64_t PackedTailMask(int bits) {
+  const int rem = bits & 63;
+  return rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
+}
+
+/// A fixed-size array of single-bit lanes packed 64 per uint64_t word.
+class PackedBits {
+ public:
+  PackedBits() = default;
+  explicit PackedBits(int bits) { Assign(bits); }
+
+  /// Resizes to @p bits lanes, all clear.
+  void Assign(int bits) {
+    assert(bits >= 0);
+    bits_ = bits;
+    words_.assign(static_cast<std::size_t>(PackedWordCount(bits)), 0);
+  }
+
+  [[nodiscard]] int size() const { return bits_; }
+  [[nodiscard]] int num_words() const {
+    return static_cast<int>(words_.size());
+  }
+
+  [[nodiscard]] bool Test(int i) const {
+    assert(i >= 0 && i < bits_);
+    return (words_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1U;
+  }
+  void Set(int i) {
+    assert(i >= 0 && i < bits_);
+    words_[static_cast<std::size_t>(i >> 6)] |= 1ULL << (i & 63);
+  }
+  void Clear(int i) {
+    assert(i >= 0 && i < bits_);
+    words_[static_cast<std::size_t>(i >> 6)] &= ~(1ULL << (i & 63));
+  }
+  void SetTo(int i, bool value) { value ? Set(i) : Clear(i); }
+
+  void ClearAll() { words_.assign(words_.size(), 0); }
+  void SetAll() {
+    if (bits_ == 0) return;
+    words_.assign(words_.size(), ~0ULL);
+    words_.back() &= PackedTailMask(bits_);
+  }
+
+  [[nodiscard]] std::uint64_t word(int w) const {
+    return words_[static_cast<std::size_t>(w)];
+  }
+  [[nodiscard]] std::uint64_t& word(int w) {
+    return words_[static_cast<std::size_t>(w)];
+  }
+
+  [[nodiscard]] bool AnySet() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] int PopCount() const {
+    int count = 0;
+    for (const std::uint64_t w : words_) count += std::popcount(w);
+    return count;
+  }
+
+  friend bool operator==(const PackedBits&, const PackedBits&) = default;
+
+ private:
+  int bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Calls fn(i) for every set lane of @p bits, in increasing lane order.
+template <typename Fn>
+void ForEachSetBit(const PackedBits& bits, Fn&& fn) {
+  for (int w = 0; w < bits.num_words(); ++w) {
+    std::uint64_t word = bits.word(w);
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      fn((w << 6) + b);
+      word &= word - 1;
+    }
+  }
+}
+
+/// Calls fn(i) for every set lane of (a.word(w) | b.word(w)), increasing
+/// order. The operands must be the same size.
+template <typename Fn>
+void ForEachSetBitOr(const PackedBits& a, const PackedBits& b, Fn&& fn) {
+  assert(a.size() == b.size());
+  for (int w = 0; w < a.num_words(); ++w) {
+    std::uint64_t word = a.word(w) | b.word(w);
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn((w << 6) + bit);
+      word &= word - 1;
+    }
+  }
+}
+
+namespace packed_internal {
+
+/// Exclusive AND-prefix over lanes [lo, hi) of @p cond with carry-in
+/// @p carry: writes the delivered prefix into the same lane span of
+/// @p out_word and advances @p carry to include every lane of the range.
+inline void PrefixAndRange(std::uint64_t cond, int lo, int hi, bool& carry,
+                           std::uint64_t& out_word) {
+  const int width = hi - lo;
+  const std::uint64_t width_mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  const std::uint64_t cs = (cond >> lo) & width_mask;
+  const int t = std::countr_one(cs);  // Lanes before the first unsatisfied.
+  std::uint64_t o = 0;
+  if (carry) {
+    // Delivered lanes 0..t are true (lane k sees lanes 0..k-1 only).
+    o = t >= 63 ? ~0ULL : ((1ULL << (t + 1)) - 1);
+    o &= width_mask;
+  }
+  out_word = (out_word & ~(width_mask << lo)) | (o << lo);
+  carry = carry && t >= width;
+}
+
+/// OR twin of PrefixAndRange.
+inline void PrefixOrRange(std::uint64_t cond, int lo, int hi, bool& carry,
+                          std::uint64_t& out_word) {
+  const int width = hi - lo;
+  const std::uint64_t width_mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  const std::uint64_t cs = (cond >> lo) & width_mask;
+  std::uint64_t o;
+  if (carry) {
+    o = width_mask;
+  } else {
+    const int s = std::countr_zero(cs);  // First satisfied lane.
+    o = s >= width ? 0
+                   : (width_mask & ~(s >= 63 ? ~0ULL : ((1ULL << (s + 1)) - 1)));
+  }
+  out_word = (out_word & ~(width_mask << lo)) | (o << lo);
+  carry = carry || cs != 0;
+}
+
+}  // namespace packed_internal
+
+}  // namespace ultra::datapath

@@ -1,5 +1,7 @@
 #include "datapath/scheduler.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "circuit/circuit.hpp"
@@ -70,6 +72,77 @@ void AluScheduler::GrantAcyclicInto(std::span<const std::uint8_t> requests,
       grants[i] = rank < available;
       ++rank;
     }
+  }
+}
+
+namespace {
+
+/// Grants the lowest @p remaining set lanes of @p requests_chunk (already
+/// shifted to lane 0) and returns the grant word; assumes
+/// popcount(requests_chunk) > remaining.
+std::uint64_t LowestSetBits(std::uint64_t requests_chunk, int remaining) {
+  std::uint64_t grants = 0;
+  for (int k = 0; k < remaining; ++k) {
+    grants |= requests_chunk & (~requests_chunk + 1);
+    requests_chunk &= requests_chunk - 1;
+  }
+  return grants;
+}
+
+/// One word-aligned chunk of the oldest-first grant walk: lanes [lo, hi) of
+/// @p requests word @p rw. Fully grantable chunks cost one popcount;
+/// exhausted chunks clear their lanes wholesale.
+void GrantRange(std::uint64_t rw, int lo, int hi, int available, int& rank,
+                std::uint64_t& grants_word) {
+  const int width = hi - lo;
+  const std::uint64_t width_mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  const std::uint64_t req = (rw >> lo) & width_mask;
+  const int remaining = available - rank;
+  std::uint64_t g;
+  if (remaining <= 0) {
+    g = 0;
+  } else if (std::popcount(req) <= remaining) {
+    g = req;
+  } else {
+    g = LowestSetBits(req, remaining);
+  }
+  grants_word = (grants_word & ~(width_mask << lo)) | (g << lo);
+  rank += std::popcount(req);
+}
+
+}  // namespace
+
+void AluScheduler::PackedGrantInto(const PackedBits& requests, int available,
+                                   int oldest, PackedBits& grants) const {
+  const int n = n_;
+  assert(requests.size() == n && grants.size() == n);
+  assert(oldest >= 0 && oldest < n);
+  assert(&grants != &requests);
+  int rank = 0;
+  int pos = oldest;
+  int processed = 0;
+  while (processed < n) {
+    const int w = pos >> 6;
+    const int lo = pos & 63;
+    int hi = std::min(64, n - (w << 6));
+    hi = std::min(hi, lo + (n - processed));
+    GrantRange(requests.word(w), lo, hi, available, rank, grants.word(w));
+    processed += hi - lo;
+    pos = (w << 6) + hi;
+    if (pos >= n) pos = 0;
+  }
+}
+
+void AluScheduler::PackedGrantAcyclicInto(const PackedBits& requests,
+                                          int available, PackedBits& grants) {
+  const int n = requests.size();
+  assert(grants.size() == n);
+  assert(&grants != &requests);
+  int rank = 0;
+  for (int w = 0; w < requests.num_words(); ++w) {
+    const int hi = std::min(64, n - (w << 6));
+    GrantRange(requests.word(w), 0, hi, available, rank, grants.word(w));
   }
 }
 

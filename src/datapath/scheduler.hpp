@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "datapath/bitset.hpp"
 #include "datapath/usi.hpp"
 
 namespace ultra::datapath {
@@ -50,6 +51,16 @@ class AluScheduler {
   static void GrantAcyclicInto(std::span<const std::uint8_t> requests,
                                int available,
                                std::span<std::uint8_t> grants);
+
+  /// Word-parallel twins of GrantInto / GrantAcyclicInto: identical grant
+  /// lanes, but a fully grantable word costs one popcount instead of 64
+  /// rank steps, and once the free ALUs are exhausted whole words are
+  /// zeroed at a time. @p grants may not alias @p requests and must match
+  /// its size.
+  void PackedGrantInto(const PackedBits& requests, int available, int oldest,
+                       PackedBits& grants) const;
+  static void PackedGrantAcyclicInto(const PackedBits& requests,
+                                     int available, PackedBits& grants);
 
   /// Critical-path gate depth of one scheduling decision. The prefix nodes
   /// add log2(n)-bit numbers, so the depth is O(log n * log log n)-ish but

@@ -1,5 +1,6 @@
 #include "datapath/sequencing.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "circuit/circuit.hpp"
@@ -94,6 +95,71 @@ int SequencingCspp::MeasureGateDepth(std::span<const std::uint8_t> condition,
   int worst = 0;
   for (const auto& s : out) worst = std::max(worst, s.depth);
   return worst;
+}
+
+namespace {
+
+/// Shared chunk walk for the packed cyclic prefixes: visits the n lanes in
+/// cyclic order starting at @p oldest, one word-aligned chunk at a time
+/// (at most two partial chunks: the split word holding @p oldest and the
+/// array's tail word), delivering the exclusive prefix to every lane. The
+/// lane delivered to the oldest itself is the full wrap-around reduction,
+/// exactly as RunCyclicInto computes it.
+template <bool kUseOr>
+void PackedRunCyclicInto(const PackedBits& condition, int oldest,
+                         PackedBits& out) {
+  const int n = condition.size();
+  assert(out.size() == n);
+  assert(oldest >= 0 && oldest < n);
+  assert(&out != &condition);
+  bool carry = !kUseOr;  // AND identity = true, OR identity = false.
+  int pos = oldest;
+  int processed = 0;
+  while (processed < n) {
+    const int w = pos >> 6;
+    const int lo = pos & 63;
+    // A chunk ends at the word boundary, the array end, or after the last
+    // unprocessed lane, whichever is first.
+    int hi = 64;
+    hi = std::min(hi, n - (w << 6));
+    hi = std::min(hi, lo + (n - processed));
+    if constexpr (kUseOr) {
+      packed_internal::PrefixOrRange(condition.word(w), lo, hi, carry,
+                                     out.word(w));
+    } else {
+      packed_internal::PrefixAndRange(condition.word(w), lo, hi, carry,
+                                      out.word(w));
+    }
+    processed += hi - lo;
+    pos = (w << 6) + hi;
+    if (pos >= n) pos = 0;
+  }
+  out.SetTo(oldest, carry);  // Full wrap-around reduction.
+}
+
+}  // namespace
+
+void PackedAllPrecedingSatisfyInto(const PackedBits& condition, int oldest,
+                                   PackedBits& out) {
+  PackedRunCyclicInto</*kUseOr=*/false>(condition, oldest, out);
+}
+
+void PackedAnyPrecedingSatisfiesInto(const PackedBits& condition, int oldest,
+                                     PackedBits& out) {
+  PackedRunCyclicInto</*kUseOr=*/true>(condition, oldest, out);
+}
+
+void PackedAllPrecedingSatisfyAcyclicInto(const PackedBits& condition,
+                                          PackedBits& out) {
+  const int n = condition.size();
+  assert(out.size() == n);
+  assert(&out != &condition);
+  bool carry = true;  // Vacuously true before position 0.
+  for (int w = 0; w < condition.num_words(); ++w) {
+    const int hi = std::min(64, n - (w << 6));
+    packed_internal::PrefixAndRange(condition.word(w), 0, hi, carry,
+                                    out.word(w));
+  }
 }
 
 std::vector<std::uint8_t> AllPrecedingSatisfyAcyclic(

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "datapath/bitset.hpp"
 #include "datapath/usi.hpp"
 
 namespace ultra::datapath {
@@ -65,5 +66,17 @@ std::vector<std::uint8_t> AllPrecedingSatisfyAcyclic(
 /// not alias @p condition.
 void AllPrecedingSatisfyAcyclicInto(std::span<const std::uint8_t> condition,
                                     std::span<std::uint8_t> out);
+
+/// Word-parallel twins of the byte-lane circuits above: identical outputs
+/// lane for lane (including the wrap-around value delivered to the oldest
+/// station), evaluated 64 lanes per word op. A word whose condition lanes
+/// are all satisfied costs one trailing-ones count instead of 64 scalar
+/// AND steps. @p out may not alias @p condition and must match its size.
+void PackedAllPrecedingSatisfyInto(const PackedBits& condition, int oldest,
+                                   PackedBits& out);
+void PackedAnyPrecedingSatisfiesInto(const PackedBits& condition, int oldest,
+                                     PackedBits& out);
+void PackedAllPrecedingSatisfyAcyclicInto(const PackedBits& condition,
+                                          PackedBits& out);
 
 }  // namespace ultra::datapath

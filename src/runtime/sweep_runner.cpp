@@ -11,8 +11,10 @@
 #include <sstream>
 #include <thread>
 
+#include "core/env.hpp"
 #include "core/functional_sim_cache.hpp"
 #include "persist/journal.hpp"
+#include "runtime/ensemble.hpp"
 #include "runtime/repro_bundle.hpp"
 #include "runtime/sweep_journal.hpp"
 #include "telemetry/telemetry.hpp"
@@ -20,9 +22,8 @@
 namespace ultra::runtime {
 
 int DefaultThreadCount() {
-  if (const char* env = std::getenv("ULTRA_SWEEP_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+  if (const auto n = core::ParseEnvInt("ULTRA_SWEEP_THREADS", 1, 4096)) {
+    return static_cast<int>(*n);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -194,6 +195,10 @@ struct RunnerMetrics {
   telemetry::CounterId failed_points = registry.Counter("sweep.failed_points");
   telemetry::CounterId backoff_wait_us =
       registry.Counter("sweep.backoff_wait_us");
+  telemetry::CounterId oracle_prewarms =
+      registry.Counter("sweep.oracle_prewarms");
+  telemetry::CounterId ensemble_followers =
+      registry.Counter("sweep.ensemble_followers");
   telemetry::HistogramId point_wall_time_us =
       registry.Histogram("sweep.point_wall_time_us", kWallTimeBoundsUs);
   telemetry::CounterId cache_hits = registry.Counter("fnsim_cache.hits");
@@ -436,8 +441,95 @@ SweepReport SweepRunner::RunImpl(
     return points[i].workload + " (" +
            std::string(core::ProcessorKindName(points[i].kind)) + ")";
   };
+
+  // Ensemble batching (runtime/ensemble.hpp): group same-program points,
+  // warm the functional oracle once per group, schedule groups adjacently,
+  // and elect lockstep leaders among interchangeable points. Outcomes are
+  // byte-identical with batching on or off; with it off every point leads
+  // itself and the run order is plain submission order.
+  EnsembleSchedule schedule;
+  if (options_.ensemble_batching && points.size() > 1) {
+    schedule =
+        BuildEnsembleSchedule(points, options_.check_architectural_state);
+  } else {
+    schedule.leader.resize(points.size());
+    schedule.run_order.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      schedule.leader[i] = i;
+      schedule.run_order.push_back(i);
+    }
+  }
+  const auto restored = [&completed](std::size_t i) {
+    return completed != nullptr && completed->count(i) != 0;
+  };
+  std::size_t prewarms = 0;
+  if (!schedule.warm_groups.empty()) {
+    std::vector<std::size_t> warm;  // Submission index of each warm target.
+    for (const std::size_t g : schedule.warm_groups) {
+      const EnsembleGroup& group = schedule.groups[g];
+      const bool any_to_run =
+          std::any_of(group.members.begin(), group.members.end(),
+                      [&](std::size_t i) { return !restored(i); });
+      if (any_to_run) warm.push_back(group.members.front());
+    }
+    prewarms = warm.size();
+    ParallelFor(num_threads_, warm.size(), [&](std::size_t k) {
+      const SweepPoint& p = points[warm[k]];
+      try {
+        core::FunctionalSimCache::Global().Get(*p.program, p.config.num_regs);
+      } catch (...) {
+        // Best-effort: the owning point reports the real error when it runs.
+      }
+    });
+  }
+
+  // Followers restored from the journal must restore through body (it
+  // copies the journaled outcome); followers that are not restored are
+  // filled in from their leader after the join.
+  std::vector<std::size_t> run_list = schedule.run_order;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (schedule.leader[i] != i && restored(i)) run_list.push_back(i);
+  }
+
+  const auto run_indices = [&](const std::vector<std::size_t>& indices) {
+    ParallelFor(
+        num_threads_, indices.size(),
+        [&](std::size_t j) { body(indices[j]); },
+        [&](std::size_t j) { return describe(indices[j]); });
+  };
   try {
-    ParallelFor(num_threads_, points.size(), body, describe);
+    run_indices(run_list);
+
+    // Lockstep followers: the simulation is deterministic, so a follower of
+    // a successful leader adopts its result outright. A failed leader may
+    // have failed transiently (deadline, exception), so its followers run
+    // for real rather than inheriting a failure they might not reproduce.
+    std::vector<std::size_t> rerun;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t lead = schedule.leader[i];
+      if (lead == i || restored(i)) continue;
+      const SweepOutcome& leader_out = outcomes[lead];
+      if (!leader_out.ok) {
+        rerun.push_back(i);
+        continue;
+      }
+      SweepOutcome& out = outcomes[i];
+      out = leader_out;
+      out.index = i;
+      out.workload = points[i].workload;
+      out.config = points[i].config;
+      out.wall_seconds = 0.0;  // Informational; the follower did not run.
+      telemetry::MetricSheet& shard = shards[i];
+      shard.Bind(&rm.registry);
+      shard.Add(rm.ensemble_followers);
+      if (journal != nullptr) {
+        persist::Encoder e;
+        EncodeOutcome(e, out);
+        const std::lock_guard<std::mutex> lock(journal_mu);
+        journal->Append(kJournalRecOutcome, e.bytes());
+      }
+    }
+    run_indices(rerun);
   } catch (...) {
     // Journal I/O failures surface as ParallelForError; the watchdog must
     // still be torn down before the exception leaves this frame.
@@ -453,6 +545,7 @@ SweepReport SweepRunner::RunImpl(
   // process-wide functional-sim cache delta observed across this sweep.
   telemetry::MetricSheet total(&rm.registry);
   for (const telemetry::MetricSheet& shard : shards) total.MergeFrom(shard);
+  total.Add(rm.oracle_prewarms, prewarms);
   const core::FunctionalSimCache::Stats cache_after =
       core::FunctionalSimCache::Global().stats();
   total.Add(rm.cache_hits, cache_after.hits - cache_before.hits);

@@ -153,6 +153,16 @@ struct SweepOptions {
   /// memory; on failure it lands in the bundle as checkpoint.bin — the
   /// recorded state nearest the failure. 0 disables periodic capture.
   std::uint64_t checkpoint_every = 0;
+  /// Batch same-program points into ensembles (see runtime/ensemble.hpp):
+  /// the functional oracle is warmed once per distinct program before the
+  /// workers start, same-program points are scheduled adjacently, and
+  /// interchangeable points (same kind + semantically identical config)
+  /// run once with followers adopting the leader's result in lockstep.
+  /// Outcomes and exports are byte-identical with this on or off (it is
+  /// deliberately excluded from the sweep fingerprint, so journaled sweeps
+  /// can resume across the toggle); only wall-clock and runner metrics
+  /// change. On by default.
+  bool ensemble_batching = true;
 };
 
 /// The failed outcomes of a sweep, in submission order -- the quarantine
@@ -165,7 +175,8 @@ struct SweepReport {
   std::vector<SweepOutcome> outcomes;  // Submission order.
   /// Runner-level counters aggregated across points in submission order:
   /// sweep.attempts / sweep.retries / sweep.deadline_exceeded /
-  /// sweep.failed_points / sweep.backoff_wait_us, the
+  /// sweep.failed_points / sweep.backoff_wait_us /
+  /// sweep.oracle_prewarms / sweep.ensemble_followers, the
   /// sweep.point_wall_time_us histogram, and the FunctionalSimCache
   /// hit/miss/eviction delta (fnsim_cache.*). Wall-clock derived, so NOT
   /// deterministic and deliberately never exported -- programmatic

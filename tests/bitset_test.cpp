@@ -1,0 +1,141 @@
+// Differential tests for the bit-packed datapath lanes (datapath/bitset.hpp
+// and the packed sequencing/scheduler entry points): every packed circuit
+// must match its byte-lane twin lane for lane, across sizes that exercise
+// word boundaries, split words, and tail masks.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datapath/bitset.hpp"
+#include "datapath/scheduler.hpp"
+#include "datapath/sequencing.hpp"
+
+namespace ultra::datapath {
+namespace {
+
+/// Deterministic xorshift so the differential sweeps are reproducible.
+std::uint64_t NextRand(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+std::vector<std::uint8_t> RandomBytes(int n, double density,
+                                      std::uint64_t& state) {
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(n));
+  const auto threshold =
+      static_cast<std::uint64_t>(density * 18446744073709551615.0);
+  for (auto& b : bytes) b = NextRand(state) < threshold;
+  return bytes;
+}
+
+PackedBits Pack(const std::vector<std::uint8_t>& bytes) {
+  PackedBits bits(static_cast<int>(bytes.size()));
+  for (int i = 0; i < bits.size(); ++i) {
+    if (bytes[static_cast<std::size_t>(i)]) bits.Set(i);
+  }
+  return bits;
+}
+
+void ExpectSameLanes(const std::vector<std::uint8_t>& bytes,
+                     const PackedBits& bits, const char* what, int n,
+                     int oldest) {
+  ASSERT_EQ(static_cast<int>(bytes.size()), bits.size());
+  for (int i = 0; i < bits.size(); ++i) {
+    ASSERT_EQ(bytes[static_cast<std::size_t>(i)] != 0, bits.Test(i))
+        << what << " lane " << i << " n=" << n << " oldest=" << oldest;
+  }
+}
+
+// Sizes straddling word boundaries: sub-word, exact words, word + tail.
+const int kSizes[] = {1, 2, 63, 64, 65, 100, 127, 128, 129, 192, 200};
+
+TEST(PackedBitsTest, BasicInvariants) {
+  PackedBits b(70);
+  EXPECT_EQ(b.size(), 70);
+  EXPECT_EQ(b.num_words(), 2);
+  EXPECT_FALSE(b.AnySet());
+  b.Set(0);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_EQ(b.PopCount(), 2);
+  b.SetAll();
+  EXPECT_EQ(b.PopCount(), 70);
+  // Tail lanes must stay clear so whole-word reductions see no ghosts.
+  EXPECT_EQ(b.word(1) & ~PackedTailMask(70), 0u);
+  b.SetTo(69, false);
+  EXPECT_EQ(b.PopCount(), 69);
+  int visited = 0;
+  ForEachSetBit(b, [&](int i) {
+    EXPECT_TRUE(b.Test(i));
+    ++visited;
+  });
+  EXPECT_EQ(visited, 69);
+}
+
+TEST(PackedSequencingTest, CyclicPrefixesMatchByteLanes) {
+  SCOPED_TRACE("cyclic");
+  std::uint64_t state = 0x1234567890abcdefULL;
+  for (const int n : kSizes) {
+    SequencingCspp seq(n);
+    std::vector<std::uint8_t> out_bytes(static_cast<std::size_t>(n));
+    PackedBits out_bits(n);
+    for (const double density : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+      const auto cond = RandomBytes(n, density, state);
+      const PackedBits packed = Pack(cond);
+      for (int oldest = 0; oldest < n; ++oldest) {
+        seq.AllPrecedingSatisfyInto(cond, oldest, out_bytes);
+        PackedAllPrecedingSatisfyInto(packed, oldest, out_bits);
+        ExpectSameLanes(out_bytes, out_bits, "all-preceding", n, oldest);
+        seq.AnyPrecedingSatisfiesInto(cond, oldest, out_bytes);
+        PackedAnyPrecedingSatisfiesInto(packed, oldest, out_bits);
+        ExpectSameLanes(out_bytes, out_bits, "any-preceding", n, oldest);
+      }
+    }
+  }
+}
+
+TEST(PackedSequencingTest, AcyclicPrefixMatchesByteLanes) {
+  std::uint64_t state = 0xfeedfacecafebeefULL;
+  for (const int n : kSizes) {
+    std::vector<std::uint8_t> out_bytes(static_cast<std::size_t>(n));
+    PackedBits out_bits(n);
+    for (const double density : {0.0, 0.3, 0.7, 1.0}) {
+      for (int trial = 0; trial < 8; ++trial) {
+        const auto cond = RandomBytes(n, density, state);
+        AllPrecedingSatisfyAcyclicInto(cond, out_bytes);
+        PackedAllPrecedingSatisfyAcyclicInto(Pack(cond), out_bits);
+        ExpectSameLanes(out_bytes, out_bits, "acyclic", n, -1);
+      }
+    }
+  }
+}
+
+TEST(PackedSchedulerTest, GrantsMatchByteLanes) {
+  std::uint64_t state = 0x0123456789abcdefULL;
+  for (const int n : kSizes) {
+    AluScheduler sched(n);
+    std::vector<std::uint8_t> out_bytes(static_cast<std::size_t>(n));
+    PackedBits out_bits(n);
+    for (const double density : {0.0, 0.2, 0.6, 1.0}) {
+      const auto requests = RandomBytes(n, density, state);
+      const PackedBits packed = Pack(requests);
+      for (const int available : {0, 1, 2, 7, n / 2, n, n + 5}) {
+        for (int oldest = 0; oldest < n; oldest += (n > 16 ? 7 : 1)) {
+          sched.GrantInto(requests, available, oldest, out_bytes);
+          sched.PackedGrantInto(packed, available, oldest, out_bits);
+          ExpectSameLanes(out_bytes, out_bits, "grant", n, oldest);
+        }
+        AluScheduler::GrantAcyclicInto(requests, available, out_bytes);
+        AluScheduler::PackedGrantAcyclicInto(packed, available, out_bits);
+        ExpectSameLanes(out_bytes, out_bits, "grant-acyclic", n, -1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ultra::datapath

@@ -1,0 +1,79 @@
+// Tests for the strict environment-variable parsing shared by the tuning
+// knobs (core/env.hpp): garbage and out-of-range values must be rejected
+// (with a one-time warning), not silently truncated the way atoi/atol did.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/env.hpp"
+
+namespace ultra::core {
+namespace {
+
+class ParseEnvIntTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetEnvWarningsForTest(); }
+  void TearDown() override {
+    ::unsetenv(kVar);
+    ResetEnvWarningsForTest();
+  }
+  static constexpr const char* kVar = "ULTRA_TEST_ENV_INT";
+  static void Put(const char* value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(ParseEnvIntTest, UnsetReturnsNullopt) {
+  ::unsetenv(kVar);
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+}
+
+TEST_F(ParseEnvIntTest, ParsesPlainIntegers) {
+  Put("8");
+  EXPECT_EQ(ParseEnvInt(kVar, 1, 100), 8);
+  Put("100");
+  EXPECT_EQ(ParseEnvInt(kVar, 1, 100), 100);
+  Put("-3");
+  EXPECT_EQ(ParseEnvInt(kVar, -10, 100), -3);
+}
+
+TEST_F(ParseEnvIntTest, RejectsTrailingGarbage) {
+  // atoi("8abc") == 8; the strict parser must refuse it.
+  Put("8abc");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+  Put("8 ");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+  Put(" 8");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+}
+
+TEST_F(ParseEnvIntTest, RejectsNonNumbers) {
+  Put("");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+  Put("many");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+  Put("0x10");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+}
+
+TEST_F(ParseEnvIntTest, EnforcesRange) {
+  Put("0");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+  Put("-5");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+  Put("101");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+  Put("99999999999999999999999");  // Overflows long long entirely.
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+}
+
+TEST_F(ParseEnvIntTest, WarningDoesNotStickAcrossValues) {
+  // The warning latch is once per variable, but parsing keeps working.
+  Put("junk");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+  Put("7");
+  EXPECT_EQ(ParseEnvInt(kVar, 1, 100), 7);
+  Put("junk2");
+  EXPECT_FALSE(ParseEnvInt(kVar, 1, 100).has_value());
+}
+
+}  // namespace
+}  // namespace ultra::core

@@ -153,10 +153,12 @@ TEST(KernelEquivalence, SortAndIndirectionMatchFunctionalState) {
   ExpectMatchesFunctional(workloads::MemCopy(24), cfg);
 }
 
-// The incremental datapath evaluation (CoreConfig::datapath_eval, the
-// default) is a pure simulator optimization: on every program it must
-// produce the exact RunResult of the full-recompute reference path —
-// cycle-for-cycle, not just the same architectural state.
+// The incremental and bit-packed datapath evaluations
+// (CoreConfig::datapath_eval) are pure simulator optimizations: on every
+// program they must produce the exact RunResult of the full-recompute
+// reference path — cycle-for-cycle, not just the same architectural state.
+// Configurations a packed loop does not cover fall back to the incremental
+// path and must still match.
 void ExpectIncrementalMatchesFullRecompute(const isa::Program& program,
                                            CoreConfig cfg) {
   for (const auto kind :
@@ -165,27 +167,32 @@ void ExpectIncrementalMatchesFullRecompute(const isa::Program& program,
     SCOPED_TRACE(core::ProcessorKindName(kind));
     cfg.datapath_eval = core::DatapathEval::kFullRecompute;
     const auto full = core::MakeProcessor(kind, cfg)->Run(program);
-    cfg.datapath_eval = core::DatapathEval::kIncremental;
-    const auto incr = core::MakeProcessor(kind, cfg)->Run(program);
-    ASSERT_EQ(incr.halted, full.halted);
-    ASSERT_EQ(incr.cycles, full.cycles);
-    ASSERT_EQ(incr.committed, full.committed);
-    ASSERT_EQ(incr.regs, full.regs);
-    ASSERT_EQ(incr.memory, full.memory);
-    ASSERT_EQ(incr.stats.mispredictions, full.stats.mispredictions);
-    ASSERT_EQ(incr.stats.squashed_instructions,
-              full.stats.squashed_instructions);
-    ASSERT_EQ(incr.stats.fetch_stall_cycles, full.stats.fetch_stall_cycles);
-    ASSERT_EQ(incr.stats.window_full_cycles, full.stats.window_full_cycles);
-    ASSERT_EQ(incr.timeline.size(), full.timeline.size());
-    for (std::size_t t = 0; t < incr.timeline.size(); ++t) {
-      ASSERT_EQ(incr.timeline[t].issue_cycle, full.timeline[t].issue_cycle)
-          << "t=" << t;
-      ASSERT_EQ(incr.timeline[t].complete_cycle,
-                full.timeline[t].complete_cycle)
-          << "t=" << t;
-      ASSERT_EQ(incr.timeline[t].commit_cycle, full.timeline[t].commit_cycle)
-          << "t=" << t;
+    for (const auto eval :
+         {core::DatapathEval::kIncremental, core::DatapathEval::kPacked}) {
+      SCOPED_TRACE(eval == core::DatapathEval::kPacked ? "packed"
+                                                       : "incremental");
+      cfg.datapath_eval = eval;
+      const auto incr = core::MakeProcessor(kind, cfg)->Run(program);
+      ASSERT_EQ(incr.halted, full.halted);
+      ASSERT_EQ(incr.cycles, full.cycles);
+      ASSERT_EQ(incr.committed, full.committed);
+      ASSERT_EQ(incr.regs, full.regs);
+      ASSERT_EQ(incr.memory, full.memory);
+      ASSERT_EQ(incr.stats.mispredictions, full.stats.mispredictions);
+      ASSERT_EQ(incr.stats.squashed_instructions,
+                full.stats.squashed_instructions);
+      ASSERT_EQ(incr.stats.fetch_stall_cycles, full.stats.fetch_stall_cycles);
+      ASSERT_EQ(incr.stats.window_full_cycles, full.stats.window_full_cycles);
+      ASSERT_EQ(incr.timeline.size(), full.timeline.size());
+      for (std::size_t t = 0; t < incr.timeline.size(); ++t) {
+        ASSERT_EQ(incr.timeline[t].issue_cycle, full.timeline[t].issue_cycle)
+            << "t=" << t;
+        ASSERT_EQ(incr.timeline[t].complete_cycle,
+                  full.timeline[t].complete_cycle)
+            << "t=" << t;
+        ASSERT_EQ(incr.timeline[t].commit_cycle, full.timeline[t].commit_cycle)
+            << "t=" << t;
+      }
     }
   }
 }
