@@ -32,7 +32,9 @@
 #include "analysis/table.hpp"
 #include "core/core.hpp"
 #include "core/functional_sim_cache.hpp"
+#include "fault/fault.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -155,6 +157,45 @@ int main(int argc, char** argv) {
       points.push_back(std::move(point));
     }
   }
+  // --- Fallback-free guard: packed mode keeps its packed cycle loop under
+  // attached telemetry and under fault plans (there is no transparent
+  // fallback to the incremental loop). Each pair must agree with the
+  // incremental reference byte-for-byte and report zero fallbacks. ---
+  struct FallbackConfig {
+    const char* name;
+    bool with_telemetry;
+    bool with_fault_plan;
+  };
+  const FallbackConfig ff_configs[] = {
+      {"telemetry", true, false},
+      {"fault_plan", false, true},
+  };
+  const auto ff_plan = std::make_shared<const fault::FaultPlan>(
+      fault::FaultPlan::Random(17, 0.01, 20'000));
+  // One sink per telemetry point: a RunTelemetry serves one Run at a time.
+  std::vector<std::unique_ptr<telemetry::RunTelemetry>> telem_slots;
+  const std::size_t ff_base = points.size();
+  for (const auto kind : kinds) {
+    for (const auto& fc : ff_configs) {
+      for (const auto eval :
+           {core::DatapathEval::kIncremental, core::DatapathEval::kPacked}) {
+        runtime::SweepPoint point;
+        point.kind = kind;
+        point.config.window_size = big_n;
+        point.config.num_regs = L;
+        point.config.datapath_eval = eval;
+        point.config.mem.mode = memory::MemTimingMode::kMagic;
+        if (fc.with_telemetry) {
+          telem_slots.push_back(std::make_unique<telemetry::RunTelemetry>());
+          point.config.telemetry = telem_slots.back().get();
+        }
+        if (fc.with_fault_plan) point.config.fault_plan = ff_plan;
+        point.program = suite[0].program;
+        point.workload = suite[0].name;
+        points.push_back(std::move(point));
+      }
+    }
+  }
 
   // Batching off for the measurement grid: lockstep followers would adopt
   // their leader's result without running, zeroing the per-point wall times
@@ -224,42 +265,101 @@ int main(int argc, char** argv) {
               suite[0].name.c_str());
   struct PackedRow {
     core::ProcessorKind kind;
+    const char* config = "plain";
     double incr_cps = 0.0;
     double packed_cps = 0.0;
     double speedup = 0.0;
+    std::uint64_t fallbacks = 0;
+  };
+  // Differential + fallback gate shared by the plain and the
+  // telemetry/fault-plan sections: the packed path must agree with the
+  // incremental reference byte-for-byte and must never have fallen back.
+  const auto check_packed_pair = [&](const runtime::SweepOutcome& pincr,
+                                     const runtime::SweepOutcome& ppacked,
+                                     core::ProcessorKind kind,
+                                     const char* config_name) {
+    if (pincr.result.cycles != ppacked.result.cycles ||
+        pincr.result.committed != ppacked.result.committed ||
+        pincr.result.regs != ppacked.result.regs) {
+      std::fprintf(
+          stderr,
+          "packed eval diverges from incremental on %s (%s): %llu/%llu "
+          "cycles, %llu/%llu committed\n",
+          std::string(core::ProcessorKindName(kind)).c_str(), config_name,
+          static_cast<unsigned long long>(pincr.result.cycles),
+          static_cast<unsigned long long>(ppacked.result.cycles),
+          static_cast<unsigned long long>(pincr.result.committed),
+          static_cast<unsigned long long>(ppacked.result.committed));
+      return false;
+    }
+    if (ppacked.result.stats.fallback_count != 0) {
+      std::fprintf(stderr,
+                   "packed eval fell back %llu times on %s (%s); packed mode "
+                   "must be fallback-free\n",
+                   static_cast<unsigned long long>(
+                       ppacked.result.stats.fallback_count),
+                   std::string(core::ProcessorKindName(kind)).c_str(),
+                   config_name);
+      return false;
+    }
+    return true;
   };
   std::vector<PackedRow> packed_rows;
   {
     analysis::Table table(
-        {"kind", "incr Mcyc/s", "packed Mcyc/s", "speedup"});
+        {"kind", "incr Mcyc/s", "packed Mcyc/s", "speedup", "fallbacks"});
     for (std::size_t k = 0; k < std::size(kinds); ++k) {
       const auto& pincr = outcomes[packed_base + 2 * k];
       const auto& ppacked = outcomes[packed_base + 2 * k + 1];
-      if (pincr.result.cycles != ppacked.result.cycles ||
-          pincr.result.committed != ppacked.result.committed ||
-          pincr.result.regs != ppacked.result.regs) {
-        std::fprintf(
-            stderr,
-            "packed eval diverges from incremental on %s: %llu/%llu cycles, "
-            "%llu/%llu committed\n",
-            std::string(core::ProcessorKindName(kinds[k])).c_str(),
-            static_cast<unsigned long long>(pincr.result.cycles),
-            static_cast<unsigned long long>(ppacked.result.cycles),
-            static_cast<unsigned long long>(pincr.result.committed),
-            static_cast<unsigned long long>(ppacked.result.committed));
-        return 1;
-      }
+      if (!check_packed_pair(pincr, ppacked, kinds[k], "plain")) return 1;
       PackedRow row;
       row.kind = kinds[k];
       row.incr_cps = PerSecond(pincr.result.cycles, pincr.wall_seconds);
       row.packed_cps = PerSecond(ppacked.result.cycles, ppacked.wall_seconds);
       row.speedup = row.incr_cps > 0.0 ? row.packed_cps / row.incr_cps : 0.0;
+      row.fallbacks = ppacked.result.stats.fallback_count;
       packed_rows.push_back(row);
       analysis::Table& r = table.Row();
       r.Cell(std::string(core::ProcessorKindName(kinds[k])));
       r.Cell(row.incr_cps / 1e6, 3);
       r.Cell(row.packed_cps / 1e6, 3);
       r.Cell(row.speedup, 2);
+      r.Cell(static_cast<double>(row.fallbacks), 0);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  // --- Packed under telemetry and fault plans (fallback-free configs). ---
+  std::printf(
+      "--- n=%d L=%d, %s: packed under telemetry / fault plans ---\n", big_n,
+      L, suite[0].name.c_str());
+  std::vector<PackedRow> ff_rows;
+  {
+    analysis::Table table({"kind", "config", "incr Mcyc/s", "packed Mcyc/s",
+                           "speedup", "fallbacks"});
+    std::size_t idx = ff_base;
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+      for (const auto& fc : ff_configs) {
+        const auto& pincr = outcomes[idx++];
+        const auto& ppacked = outcomes[idx++];
+        if (!check_packed_pair(pincr, ppacked, kinds[k], fc.name)) return 1;
+        PackedRow row;
+        row.kind = kinds[k];
+        row.config = fc.name;
+        row.incr_cps = PerSecond(pincr.result.cycles, pincr.wall_seconds);
+        row.packed_cps =
+            PerSecond(ppacked.result.cycles, ppacked.wall_seconds);
+        row.speedup = row.incr_cps > 0.0 ? row.packed_cps / row.incr_cps : 0.0;
+        row.fallbacks = ppacked.result.stats.fallback_count;
+        ff_rows.push_back(row);
+        analysis::Table& r = table.Row();
+        r.Cell(std::string(core::ProcessorKindName(kinds[k])));
+        r.Cell(fc.name);
+        r.Cell(row.incr_cps / 1e6, 3);
+        r.Cell(row.packed_cps / 1e6, 3);
+        r.Cell(row.speedup, 2);
+        r.Cell(static_cast<double>(row.fallbacks), 0);
+      }
     }
     std::printf("%s\n", table.ToString().c_str());
   }
@@ -377,8 +477,20 @@ int main(int argc, char** argv) {
     out << "    {\"kind\": \"" << core::ProcessorKindName(row.kind)
         << "\", \"incremental_cycles_per_sec\": " << row.incr_cps
         << ", \"packed_cycles_per_sec\": " << row.packed_cps
-        << ", \"speedup\": " << row.speedup << "}"
+        << ", \"speedup\": " << row.speedup
+        << ", \"fallback_count\": " << row.fallbacks << "}"
         << (k + 1 < packed_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"fallback_free\": [\n";
+  for (std::size_t k = 0; k < ff_rows.size(); ++k) {
+    const PackedRow& row = ff_rows[k];
+    out << "    {\"kind\": \"" << core::ProcessorKindName(row.kind)
+        << "\", \"config\": \"" << row.config
+        << "\", \"incremental_cycles_per_sec\": " << row.incr_cps
+        << ", \"packed_cycles_per_sec\": " << row.packed_cps
+        << ", \"speedup\": " << row.speedup
+        << ", \"fallback_count\": " << row.fallbacks << "}"
+        << (k + 1 < ff_rows.size() ? "," : "") << "\n";
   }
   out << "  ]},\n";
   out << "  \"ensemble\": {\"points\": " << ens_points.size()

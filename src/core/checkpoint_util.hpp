@@ -150,6 +150,7 @@ inline void SavePartialResult(persist::Encoder& e, const RunResult& r) {
   e.U64(r.stats.store_count);
   e.U64(r.stats.fetch_stall_cycles);
   e.U64(r.stats.window_full_cycles);
+  e.U64(r.stats.fallback_count);
   e.U64(r.stats.fault.injected);
   e.U64(r.stats.fault.checks);
   e.U64(r.stats.fault.divergences);
@@ -170,6 +171,7 @@ inline void RestorePartialResult(persist::Decoder& d, RunResult& r) {
   r.stats.store_count = d.U64();
   r.stats.fetch_stall_cycles = d.U64();
   r.stats.window_full_cycles = d.U64();
+  r.stats.fallback_count = d.U64();
   r.stats.fault.injected = d.U64();
   r.stats.fault.checks = d.U64();
   r.stats.fault.divergences = d.U64();

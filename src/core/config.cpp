@@ -45,8 +45,8 @@ void CoreConfig::Validate(bool for_hybrid) const {
          std::to_string(checker_stride));
   }
   if (fault_plan && datapath_eval == DatapathEval::kFullRecompute) {
-    fail("fault_plan requires datapath_eval incremental or checked (the "
-         "full-recompute path rebuilds every delivery each cycle, so "
+    fail("fault_plan requires datapath_eval incremental, packed, or checked "
+         "(the full-recompute path rebuilds every delivery each cycle, so "
          "injected corruptions could never persist)");
   }
   if (for_hybrid && (cluster_size < 1 || cluster_size > window_size)) {

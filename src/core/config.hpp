@@ -60,11 +60,15 @@ enum class DatapathEval : std::uint8_t {
   /// finished, issued, readiness, the Figure 5 ordering conditions) live
   /// 64 to a uint64_t, the sequencing prefixes and ALU grants evaluate 64
   /// lanes per word op, and the cycle loops visit only stations that can
-  /// act. Results are byte-identical to kIncremental (the differential
-  /// tests assert this); configurations a packed loop does not cover
-  /// (store_forwarding, pipelined datapaths, attached telemetry, fault
-  /// plans) transparently fall back to the incremental path. See
-  /// docs/runtime.md.
+  /// act. Packed mode is fallback-free: every CoreConfig -- store
+  /// forwarding, attached telemetry, fault plans, pipelined datapaths --
+  /// runs through the packed cycle loop (RunStats::fallback_count stays 0)
+  /// and produces results byte-identical to kIncremental (the differential
+  /// tests assert this). Most configurations take the event-driven fast
+  /// tier, which replaces the per-cycle datapath propagation with
+  /// PackedWriterMap word scans; fault plans and pipelined delivery keep
+  /// the incremental argument machinery under the packed walk (the
+  /// observation tier). See docs/runtime.md.
   kPacked,
 };
 
@@ -113,10 +117,11 @@ struct CoreConfig {
   int checker_stride = 64;
 
   /// Deterministic fault-injection schedule (see src/fault/). Null = no
-  /// faults. Requires datapath_eval kIncremental (faults flow unchecked —
-  /// useful to demonstrate silent corruption) or kChecked (faults are
-  /// detected and repaired). The IdealOoO core has no scalable datapath
-  /// and ignores the plan.
+  /// faults. Requires datapath_eval kIncremental or kPacked (faults flow
+  /// unchecked — useful to demonstrate silent corruption; packed mode runs
+  /// its observation tier so corruptions propagate byte-identically to the
+  /// incremental path) or kChecked (faults are detected and repaired). The
+  /// IdealOoO core has no scalable datapath and ignores the plan.
   std::shared_ptr<const fault::FaultPlan> fault_plan;
 
   /// Cooperative cancellation: when non-null, the cycle loops poll the
@@ -191,6 +196,11 @@ struct RunStats {
   /// cores share this definition.
   std::uint64_t fetch_stall_cycles = 0;
   std::uint64_t window_full_cycles = 0;
+  /// Cycles (or whole runs) where a requested evaluation strategy was
+  /// abandoned for a different one. Always 0 since packed mode became
+  /// fallback-free; the field exists so the bench differential and CI can
+  /// gate on it never regressing to silent scalar execution.
+  std::uint64_t fallback_count = 0;
   FaultCounters fault;
 
   // Compatibility accessors for the former loose fault-counter fields.

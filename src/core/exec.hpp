@@ -16,6 +16,7 @@
 //    stores.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -96,5 +97,28 @@ LoadForwardDecision ResolveLoadForwarding(
 /// Fills a MemWindowEntry from a station and its current arguments.
 MemWindowEntry MakeMemWindowEntry(const Station& st,
                                   const datapath::ResolvedArgs& args);
+
+/// Mapped twin of ResolveLoadForwarding for cores whose window entries are
+/// not contiguous in age order (the packed fast paths keep them indexed by
+/// ring position or station slot): @p entry_at(k) returns the entry for age
+/// index k. The walk and the decision rules are identical to the span
+/// variant, which remains the reference the differential tests compare
+/// against.
+template <typename EntryAt>
+LoadForwardDecision ResolveLoadForwardingMapped(EntryAt&& entry_at,
+                                                std::size_t pos) {
+  const MemWindowEntry& self = entry_at(pos);
+  assert(self.is_load && self.addr_known);
+  const isa::Word addr = self.addr;
+  for (std::size_t j = pos; j-- > 0;) {
+    const MemWindowEntry& e = entry_at(j);
+    if (!e.is_store) continue;
+    if (!e.addr_known) return {};  // Ambiguous: wait.
+    if (e.addr != addr) continue;
+    if (!e.data_ready) return {};  // Right store, data not yet known.
+    return {true, true, e.data};
+  }
+  return {true, false, 0};  // Disambiguated against every preceding store.
+}
 
 }  // namespace ultra::core

@@ -10,6 +10,7 @@
 #include "core/telemetry_hooks.hpp"
 #include "datapath/bitset.hpp"
 #include "datapath/datapath.hpp"
+#include "datapath/packed_resolve.hpp"
 #include "datapath/scheduler.hpp"
 #include "datapath/sequencing.hpp"
 #include "fault/fault.hpp"
@@ -51,16 +52,18 @@ RunResult HybridCore::Run(const isa::Program& program) {
   const bool incremental =
       config_.datapath_eval != DatapathEval::kFullRecompute;
   const bool checked = config_.datapath_eval == DatapathEval::kChecked;
-  // Word-parallel fast path: sequencing flags, acyclic prefixes, ALU
+  // Word-parallel packed mode: sequencing flags, acyclic prefixes, ALU
   // grants, and the execute phase's visit set evaluate 64 program
   // positions per word op (the packed lanes are position-indexed, not
-  // station-indexed). Configurations the packed loop does not model fall
-  // back to the plain incremental machinery (kPacked counts as
-  // incremental everywhere else, so results are identical either way).
-  const bool packed = config_.datapath_eval == DatapathEval::kPacked &&
-                      !config_.store_forwarding &&
-                      config_.telemetry == nullptr &&
-                      config_.fault_plan == nullptr;
+  // station-indexed). kPacked always runs the packed cycle loop; the
+  // `fast` tier additionally replaces the per-cycle request rebuild and
+  // mesh propagation with event-driven argument resolution over
+  // per-register writer/reader rows. Fault plans keep the propagation
+  // machinery underneath the packed walk (corruptions live inside
+  // dp_state), but never change the executed loop.
+  const bool packed = config_.datapath_eval == DatapathEval::kPacked;
+  const bool fast = packed && config_.fault_plan == nullptr;
+  const bool maintain_dp = incremental && !fast;
 
   fault::FaultInjector injector(config_.fault_plan.get());
   fault::DatapathChecker checker(config_.checker_stride);
@@ -104,11 +107,12 @@ RunResult HybridCore::Run(const isa::Program& program) {
   const int pw = datapath::PackedWordCount(n);
   datapath::PackedBits valid_b, fin_b, iss_b, res_b, msub_b, ld_b, stb_b,
       cf_b, alu_like_b, needs_alu_b, argr_b, cond_b, psd_b, pld_b, pcf_b,
-      req_b, grant_b;
+      req_b, grant_b, stall_b, stale_b;
   if (packed) {
     for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
                     &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &cond_b,
-                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b}) {
+                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b, &stall_b,
+                    &stale_b}) {
       p->Assign(n);
     }
   }
@@ -123,6 +127,74 @@ RunResult HybridCore::Run(const isa::Program& program) {
   const auto args_of = [&](int i) -> const datapath::ResolvedArgs& {
     return incremental ? dp_state.args(i)
                        : prop.args[static_cast<std::size_t>(i)];
+  };
+
+  // Fast-tier state. The writer/reader rows and the stale mask live in
+  // position space (they shift down by C with the masks when a cluster
+  // deallocates); the cached arguments and the memory-window entries live
+  // in station space, which survives renumbering untouched -- a station's
+  // cached binding is a value copy, and a deallocated writer's readers
+  // re-resolve to the committed file, which that writer's commit made
+  // byte-identical to its result.
+  datapath::PackedWriterMap wmap;
+  std::vector<datapath::ResolvedArgs> args_at;
+  std::vector<MemWindowEntry> mem_window_sta;
+  datapath::PackedBits mw_stale_b;  // Station-indexed, unlike stale_b.
+  if (fast) {
+    wmap.Assign(n, L);
+    args_at.resize(static_cast<std::size_t>(n));
+    mem_window_sta.resize(static_cast<std::size_t>(n));
+    mw_stale_b.Assign(n);
+  }
+  const bool fwd = config_.store_forwarding;
+
+  // Fast-tier event helpers, keyed by (position, station). Clearing must
+  // run while the station still holds its instruction.
+  const auto fast_clear_slot = [&](int p, int i, const Station& st) {
+    const isa::Instruction& inst = st.inst();
+    if (isa::WritesRd(inst.op)) wmap.ClearWriter(p, inst.rd);
+    if (isa::ReadsRs1(inst.op)) wmap.ClearReader(p, inst.rs1);
+    if (isa::ReadsRs2(inst.op)) wmap.ClearReader(p, inst.rs2);
+    for (auto* m : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
+                    &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &stale_b}) {
+      m->Clear(p);
+    }
+    mw_stale_b.Clear(i);
+    args_at[static_cast<std::size_t>(i)] = datapath::ResolvedArgs{};
+    if (fwd) mem_window_sta[static_cast<std::size_t>(i)] = MemWindowEntry{};
+  };
+  const auto fast_fill_slot = [&](int p, int i, const Station& st) {
+    const isa::Instruction& inst = st.inst();
+    valid_b.Set(p);
+    const isa::Opcode op = inst.op;
+    if (op == isa::Opcode::kLoad) {
+      ld_b.Set(p);
+    } else if (op == isa::Opcode::kStore) {
+      stb_b.Set(p);
+    } else {
+      alu_like_b.Set(p);
+    }
+    if (isa::IsControlFlow(op)) cf_b.Set(p);
+    if (NeedsAlu(op)) needs_alu_b.Set(p);
+    if (isa::WritesRd(op)) wmap.SetWriter(p, inst.rd);
+    if (isa::ReadsRs1(op)) wmap.AddReader(p, inst.rs1);
+    if (isa::ReadsRs2(op)) wmap.AddReader(p, inst.rs2);
+    stale_b.Set(p);
+    if (fwd) mw_stale_b.Set(i);
+  };
+  // Position @p p's result binding for register @p r changed: only the
+  // readers between p and the next writer of r (inclusive -- a position
+  // both reading and writing r resolves its read against the previous
+  // writer) see a different source. Acyclic position order.
+  const auto mark_result_change = [&](int p, isa::RegId r) {
+    const int nw = datapath::LowestSetInRange(
+        wmap.writers(static_cast<int>(r)), p + 1, n);
+    wmap.OrReadersInCyclicRange(static_cast<int>(r), p + 1,
+                                nw >= 0 ? nw + 1 : 0, stale_b);
+  };
+  // Invert station_index: absolute station slot -> program position.
+  const auto position_of = [&](int i) {
+    return ((i / C - head_cluster + K) % K) * C + i % C;
   };
 
   CheckpointSession ckpt(config_, ProcessorKind::kHybrid, program);
@@ -165,6 +237,22 @@ RunResult HybridCore::Run(const isa::Program& program) {
       throw persist::FormatError("trailing checkpoint bytes");
     }
     start_cycle = ckpt.resume()->header.cycle;
+    if (fast) {
+      // Rebuild the derived packed shadow from the restored stations. The
+      // cached arguments are a pure function of (stations, committed), so
+      // marking every live position stale makes the first phase-1 drain
+      // recompute exactly the values the uninterrupted run carried.
+      for (int p = 0; p < tail; ++p) {
+        const int i = station_index(p);
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (!st.valid) continue;
+        fast_fill_slot(p, i, st);
+        fin_b.SetTo(p, st.finished);
+        iss_b.SetTo(p, st.issued);
+        res_b.SetTo(p, st.resolved);
+        msub_b.SetTo(p, st.mem_submitted);
+      }
+    }
   }
 
   for (std::uint64_t cycle = start_cycle; cycle < config_.max_cycles && !done;
@@ -178,6 +266,39 @@ RunResult HybridCore::Run(const isa::Program& program) {
     tel.OnCycle(cycle, tail - commit_ptr);
 
     // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
+    if (fast) {
+      // Event-driven delivery: re-resolve only the positions whose
+      // argument source changed since the last cycle (writer result
+      // movement, their own fill, or a squash). Stations are untouched
+      // since the end of the previous cycle, so this drain sees exactly
+      // the snapshot the mesh propagation would have delivered.
+      ForEachSetBit(stale_b, [&](int p) {
+        const int i = station_index(p);
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (!st.valid) return;
+        const isa::Instruction& inst = st.inst();
+        datapath::ResolvedArgs args;
+        // The nearest preceding writer's binding, verbatim (ready or
+        // not); committed stations keep driving the ring until their
+        // cluster deallocates, and a reader with no preceding writer
+        // takes the committed file.
+        const auto resolve = [&](isa::RegId r) -> datapath::RegBinding {
+          const int j =
+              wmap.NearestWriterBeforeAcyclic(p, static_cast<int>(r));
+          return j >= 0
+                     ? stations[static_cast<std::size_t>(station_index(j))]
+                           .result
+                     : committed[r];
+        };
+        if (isa::ReadsRs1(inst.op)) args.arg1 = resolve(inst.rs1);
+        if (isa::ReadsRs2(inst.op)) args.arg2 = resolve(inst.rs2);
+        args_at[static_cast<std::size_t>(i)] = args;
+        argr_b.SetTo(p, (!isa::ReadsRs1(inst.op) || args.arg1.ready) &&
+                            (!isa::ReadsRs2(inst.op) || args.arg2.ready));
+        if (fwd) mw_stale_b.Set(i);
+      });
+      stale_b.ClearAll();
+    } else {
     for (int i = 0; i < n; ++i) {
       datapath::StationRequest& req = requests[static_cast<std::size_t>(i)];
       req = datapath::StationRequest{};
@@ -201,6 +322,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
       dp.PropagateIncremental(dp_state);
     } else {
       prop = dp.Propagate(committed, requests, head_cluster);
+    }
     }
 
     // --- Phase 1b: fault injection + self-checking (before any station
@@ -270,10 +392,14 @@ RunResult HybridCore::Run(const isa::Program& program) {
 
     // Sequencing flags in program order over the allocated positions.
     if (packed) {
+      if (!fast) {
       // Word-accumulator composition over positions; invalid lanes stay
       // all-zero, which makes every derived condition for them vacuous.
+      // Tier B (fault plans): the injected-stall lanes are recomposed from
+      // the station-indexed counters every cycle, because positions
+      // renumber at cluster deallocation while the counters stay put.
       std::uint64_t av = 0, af = 0, ai = 0, ar = 0, am = 0, al = 0, as = 0,
-                    ac = 0, aa = 0, an = 0, ag = 0;
+                    ac = 0, aa = 0, an = 0, ag = 0, ast = 0;
       for (int p = 0; p < tail; ++p) {
         const int i = station_index(p);
         const Station& st = stations[static_cast<std::size_t>(i)];
@@ -284,6 +410,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
           if (st.issued) ai |= bit;
           if (st.resolved) ar |= bit;
           if (st.mem_submitted) am |= bit;
+          if (fault_stall[static_cast<std::size_t>(i)] > 0) ast |= bit;
           const isa::Instruction& inst = st.inst();
           if (inst.op == isa::Opcode::kLoad) {
             al |= bit;
@@ -313,8 +440,10 @@ RunResult HybridCore::Run(const isa::Program& program) {
           alu_like_b.word(w) = aa;
           needs_alu_b.word(w) = an;
           argr_b.word(w) = ag;
-          av = af = ai = ar = am = al = as = ac = aa = an = ag = 0;
+          stall_b.word(w) = ast;
+          av = af = ai = ar = am = al = as = ac = aa = an = ag = ast = 0;
         }
+      }
       }
       // Stale lanes >= tail cannot influence the acyclic prefixes (they
       // only look backward), and every other reduction masks them out.
@@ -375,10 +504,20 @@ RunResult HybridCore::Run(const isa::Program& program) {
         const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
         if (packed) {
-          // Invert station_index: absolute station -> program position.
           const int i = static_cast<int>(tag.tag);
-          const int p = ((i / C - head_cluster + K) % K) * C + i % C;
-          if (p < tail) fin_b.Set(p);
+          const int p = position_of(i);
+          if (p < tail) {
+            fin_b.Set(p);
+            if (fast) {
+              // The load's result binding just became ready: its readers
+              // re-resolve at the next phase-1 drain, exactly when the
+              // propagation would have delivered the new value.
+              if (isa::WritesRd(st.inst().op)) {
+                mark_result_change(p, st.inst().rd);
+              }
+              if (fwd) mw_stale_b.Set(i);
+            }
+          }
         }
         tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
@@ -386,12 +525,25 @@ RunResult HybridCore::Run(const isa::Program& program) {
 
     // --- Phase 3: execute in program order. ---
     const int live = tail;
-    if (config_.store_forwarding) {
-      mem_window.assign(static_cast<std::size_t>(live), MemWindowEntry{});
-      for (int p = 0; p < live; ++p) {
-        const int i = station_index(p);
-        mem_window[static_cast<std::size_t>(p)] = MakeMemWindowEntry(
-            stations[static_cast<std::size_t>(i)], args_of(i));
+    if (fwd) {
+      if (fast) {
+        // Refresh only the station-indexed window entries whose station or
+        // arguments moved -- after phase 2, so this cycle's memory
+        // completions are visible to disambiguation, as in the rebuilt
+        // window below.
+        ForEachSetBit(mw_stale_b, [&](int i) {
+          mem_window_sta[static_cast<std::size_t>(i)] = MakeMemWindowEntry(
+              stations[static_cast<std::size_t>(i)],
+              args_at[static_cast<std::size_t>(i)]);
+        });
+        mw_stale_b.ClearAll();
+      } else {
+        mem_window.assign(static_cast<std::size_t>(live), MemWindowEntry{});
+        for (int p = 0; p < live; ++p) {
+          const int i = station_index(p);
+          mem_window[static_cast<std::size_t>(p)] = MakeMemWindowEntry(
+              stations[static_cast<std::size_t>(i)], args_of(i));
+        }
       }
     }
     if (config_.num_alus > 0) {
@@ -426,8 +578,14 @@ RunResult HybridCore::Run(const isa::Program& program) {
       }
     }
     if (packed) {
-      // Visit only stations whose StepStation call would act; the mask
-      // mirrors its no-op predicate exactly, so skipping is identical.
+      // Visit only stations whose StepStation call would act (the mask
+      // mirrors its no-op predicate exactly, so skipping is identical),
+      // plus stations serving an injected stall, which must decrement
+      // their counters in walk order like the scalar loop's skip does
+      // (after the valid/finished screen, hence the & ~fin term). With
+      // store forwarding on, a load's gate is its disambiguation decision
+      // rather than the prev-stores-done prefix, so the load term drops
+      // psd (an undecidable load is visited and no-ops).
       int p0 = commit_ptr;
       bool squashed = false;
       while (p0 < tail && !squashed) {
@@ -437,14 +595,16 @@ RunResult HybridCore::Run(const isa::Program& program) {
         const std::uint64_t grant_ok =
             config_.num_alus > 0 ? (grant_b.word(w) | ~needs_alu_b.word(w))
                                  : ~0ULL;
+        const std::uint64_t load_gate = fwd ? ~0ULL : psd_b.word(w);
         std::uint64_t mv =
-            valid_b.word(w) & ~fin_b.word(w) &
-            ((alu_like_b.word(w) &
-              (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
-             (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
-              psd_b.word(w)) |
-             (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
-              pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)));
+            (valid_b.word(w) & ~fin_b.word(w) &
+             ((alu_like_b.word(w) &
+               (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
+              (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+               load_gate) |
+              (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+               pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)))) |
+            (stall_b.word(w) & valid_b.word(w) & ~fin_b.word(w));
         const int cw = hi - lo;
         mv &= (cw == 64 ? ~0ULL : ((1ULL << cw) - 1)) << lo;
         while (mv != 0) {
@@ -452,15 +612,60 @@ RunResult HybridCore::Run(const isa::Program& program) {
           mv &= mv - 1;
           const int p = (w << 6) + b;
           const int i = station_index(p);
+          if (stall_b.Test(p)) {
+            // Injected stall: the station sits this cycle out.
+            if (--fault_stall[static_cast<std::size_t>(i)] == 0) {
+              stall_b.Clear(p);
+            }
+            continue;
+          }
           Station& st = stations[static_cast<std::size_t>(i)];
+          const datapath::ResolvedArgs& args =
+              fast ? args_at[static_cast<std::size_t>(i)] : args_of(i);
           StepContext ctx;
           ctx.prev_stores_done = psd_b.Test(p);
           ctx.prev_loads_done = pld_b.Test(p);
           ctx.committed_ok = pcf_b.Test(p);
           ctx.alu_granted = config_.num_alus == 0 || grant_b.Test(p);
+          ctx.forwarding_enabled = fwd;
+          if (fwd && st.inst().op == isa::Opcode::kLoad) {
+            if (fast) {
+              if (mem_window_sta[static_cast<std::size_t>(i)].addr_known) {
+                const auto decision = ResolveLoadForwardingMapped(
+                    [&](std::size_t k) -> const MemWindowEntry& {
+                      return mem_window_sta[static_cast<std::size_t>(
+                          station_index(static_cast<int>(k)))];
+                    },
+                    static_cast<std::size_t>(p));
+                ctx.load_can_proceed = decision.can_proceed;
+                ctx.load_forward = decision.forward;
+                ctx.forward_value = decision.value;
+              }
+            } else if (mem_window[static_cast<std::size_t>(p)].addr_known) {
+              const auto decision = ResolveLoadForwarding(
+                  mem_window, static_cast<std::size_t>(p));
+              ctx.load_can_proceed = decision.can_proceed;
+              ctx.load_forward = decision.forward;
+              ctx.forward_value = decision.value;
+            }
+          }
+          const bool was_issued = st.issued;
+          const bool was_finished = st.finished;
+          const datapath::RegBinding pre_result = st.result;
           const bool mispredicted = StepStation(
-              st, args_of(i), ctx, config_.latencies, mem, cycle, i,
+              st, args, ctx, config_.latencies, mem, cycle, i,
               static_cast<std::uint64_t>(i), inflight, result.stats);
+          tel.OnStep(cycle, i, st, was_issued, was_finished);
+          if (fast) {
+            iss_b.SetTo(p, st.issued);
+            fin_b.SetTo(p, st.finished);
+            res_b.SetTo(p, st.resolved);
+            msub_b.SetTo(p, st.mem_submitted);
+            if (st.result != pre_result && isa::WritesRd(st.inst().op)) {
+              mark_result_change(p, st.inst().rd);
+            }
+            if (fwd) mw_stale_b.Set(i);
+          }
           if (mispredicted) {
             ++result.stats.mispredictions;
             for (int m = p + 1; m < tail; ++m) {
@@ -468,6 +673,8 @@ RunResult HybridCore::Run(const isa::Program& program) {
               Station& victim = stations[static_cast<std::size_t>(vi)];
               if (victim.valid) {
                 ++result.stats.squashed_instructions;
+                tel.OnSquash(cycle, vi, victim);
+                if (fast) fast_clear_slot(m, vi, victim);
                 victim.Clear();
                 ++victim.generation;
               }
@@ -580,7 +787,11 @@ RunResult HybridCore::Run(const isa::Program& program) {
       if (isa::WritesRd(inst.op)) {
         assert(st.result.ready);
         committed[inst.rd] = st.result;
-        if (incremental) dp_state.SetCommitted(inst.rd, st.result);
+        if (maintain_dp) dp_state.SetCommitted(inst.rd, st.result);
+        // Fast tier: no reader re-resolution is needed at commit. The
+        // committing writer's station keeps driving the ring until its
+        // cluster deallocates, so every in-window reader's nearest
+        // preceding writer -- and the binding it delivers -- is unchanged.
       }
       if (isa::IsControlFlow(inst.op)) {
         fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
@@ -600,10 +811,32 @@ RunResult HybridCore::Run(const isa::Program& program) {
     // available for refilling (the "super execution station" reuse rule).
     while (commit_ptr >= C) {
       for (int s = 0; s < C; ++s) {
-        Station& st =
-            stations[static_cast<std::size_t>(head_cluster * C + s)];
+        const int i = head_cluster * C + s;
+        Station& st = stations[static_cast<std::size_t>(i)];
+        if (fast) {
+          // Station-indexed caches are cleared point-wise; the slot is
+          // about to be refilled with a new instruction.
+          mw_stale_b.Clear(i);
+          args_at[static_cast<std::size_t>(i)] = datapath::ResolvedArgs{};
+          if (fwd) mem_window_sta[static_cast<std::size_t>(i)] =
+              MemWindowEntry{};
+        }
         st.Clear();
         ++st.generation;
+      }
+      if (fast) {
+        // Every live position renumbers down by C. No reader goes stale:
+        // a reader whose nearest preceding writer just deallocated must
+        // have been reading r's last committed writer, whose commit made
+        // committed[r] byte-identical to the binding it was delivering --
+        // so re-resolving to the committed file yields the same value.
+        // Cached arguments are value copies and survive untouched.
+        for (auto* m : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b,
+                        &stb_b, &cf_b, &alu_like_b, &needs_alu_b, &argr_b,
+                        &stale_b}) {
+          datapath::PackedShiftDown(*m, C);
+        }
+        wmap.ShiftDown(C);
       }
       head_cluster = (head_cluster + 1) % K;
       commit_ptr -= C;
@@ -626,6 +859,9 @@ RunResult HybridCore::Run(const isa::Program& program) {
                     cycle);
         stations[static_cast<std::size_t>(slot)].timing.station = slot;
         tel.OnFetch(cycle, slot, stations[static_cast<std::size_t>(slot)]);
+        if (fast) {
+          fast_fill_slot(tail, slot, stations[static_cast<std::size_t>(slot)]);
+        }
         ++tail;
       }
       if (fetch.stalled() && commit_ptr == tail) {

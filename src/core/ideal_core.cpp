@@ -33,21 +33,19 @@ struct Entry {
   isa::Word val2 = 0;
 };
 
-/// The packed fast path covers the plain configuration; features it does
-/// not model word-parallel fall back to the reference cycle loop (results
-/// are identical either way -- see docs/runtime.md).
-bool PackedIdealEligible(const CoreConfig& config) {
-  return config.datapath_eval == DatapathEval::kPacked &&
-         !config.store_forwarding && config.telemetry == nullptr;
-}
-
 RunResult RunPackedIdeal(const CoreConfig& config_,
                          const isa::Program& program);
 
 }  // namespace
 
 RunResult IdealCore::Run(const isa::Program& program) {
-  if (PackedIdealEligible(config_)) return RunPackedIdeal(config_, program);
+  // kPacked always takes the word-parallel loop: telemetry, store
+  // forwarding, and checkpointing are modeled inside it, so there is no
+  // configuration that falls back to the reference loop (results are
+  // byte-identical either way -- see docs/runtime.md).
+  if (config_.datapath_eval == DatapathEval::kPacked) {
+    return RunPackedIdeal(config_, program);
+  }
   return RunReference(program);
 }
 
@@ -460,6 +458,15 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
   RunResult result;
   bool done = false;
 
+  CoreTelemetry tel(config_);
+  const bool fwd = config_.store_forwarding;
+
+  // Slot of the youngest in-flight writer per register, maintained next to
+  // `rename` (meaningful only while rename[r] holds a value). Lets the fill
+  // path register consumers against their producer's slot without a
+  // seq->slot map lookup.
+  std::vector<int> rename_slot(static_cast<std::size_t>(L), -1);
+
   const auto ent = [&](int k) -> Entry& {
     return window[static_cast<std::size_t>((head + k) % n)];
   };
@@ -469,6 +476,7 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
       const Entry& e = ent(k);
       if (isa::WritesRd(e.st.inst().op)) {
         rename[e.st.inst().rd] = e.st.seq;
+        rename_slot[e.st.inst().rd] = (head + k) % n;
       }
     }
   };
@@ -496,6 +504,12 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
   finish_events.reserve(static_cast<std::size_t>(n));
   datapath::AluScheduler sched(n);
   std::vector<FetchedInstr> fetch_batch;
+  // Store forwarding: slot-indexed disambiguation window, refreshed
+  // event-driven (a slot's entry changes only when its station steps, its
+  // memory op completes, its cached args move, or the slot turns over).
+  datapath::PackedBits mw_stale(n);
+  std::vector<MemWindowEntry> mem_window_slot;
+  if (fwd) mem_window_slot.resize(static_cast<std::size_t>(n));
 
   const auto recompute_args_ready = [&](int slot, const Entry& e) {
     const isa::Instruction& inst = e.st.inst();
@@ -518,18 +532,24 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
     args_ready_b.Clear(slot);
     args_cache[static_cast<std::size_t>(slot)] = {};
     consumers[static_cast<std::size_t>(slot)].clear();
+    mw_stale.Clear(slot);
+    if (fwd) mem_window_slot[static_cast<std::size_t>(slot)] = MemWindowEntry{};
   };
   const auto sync_station_bits = [&](int slot, const Station& st) {
     issued_b.SetTo(slot, st.issued);
     finished_b.SetTo(slot, st.finished);
     resolved_b.SetTo(slot, st.resolved);
     mem_sub_b.SetTo(slot, st.mem_submitted);
+    if (fwd) mw_stale.Set(slot);
   };
   // Registers a freshly filled/restored slot's classification bits and
   // seeds its cached args (immediates now; in-flight producers that have
   // already finished deliver immediately, matching the snapshot the
-  // reference wake-up loop would see next cycle).
-  const auto register_slot = [&](int slot) {
+  // reference wake-up loop would see next cycle). @p prod1 / @p prod2 are
+  // the producers' slots when the corresponding dep is in flight: the fill
+  // path passes rename_slot (a fresh dep is always the youngest writer),
+  // the restore path resolves arbitrary dep seqs through its own scan.
+  const auto register_slot = [&](int slot, int prod1, int prod2) {
     Entry& e = window[static_cast<std::size_t>(slot)];
     const isa::Instruction& inst = e.st.inst();
     valid_b.Set(slot);
@@ -547,10 +567,10 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
       if (!e.dep1_inflight) {
         args.arg1 = {e.val1, true};
       } else {
-        const auto it = seq_slot.find(e.dep1_seq);
-        assert(it != seq_slot.end());
-        consumers[static_cast<std::size_t>(it->second)].emplace_back(slot, 1);
-        const Station& prod = window[static_cast<std::size_t>(it->second)].st;
+        assert(prod1 >= 0 &&
+               window[static_cast<std::size_t>(prod1)].st.seq == e.dep1_seq);
+        consumers[static_cast<std::size_t>(prod1)].emplace_back(slot, 1);
+        const Station& prod = window[static_cast<std::size_t>(prod1)].st;
         if (prod.finished) args.arg1 = prod.result;
       }
     }
@@ -558,10 +578,10 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
       if (!e.dep2_inflight) {
         args.arg2 = {e.val2, true};
       } else {
-        const auto it = seq_slot.find(e.dep2_seq);
-        assert(it != seq_slot.end());
-        consumers[static_cast<std::size_t>(it->second)].emplace_back(slot, 2);
-        const Station& prod = window[static_cast<std::size_t>(it->second)].st;
+        assert(prod2 >= 0 &&
+               window[static_cast<std::size_t>(prod2)].st.seq == e.dep2_seq);
+        consumers[static_cast<std::size_t>(prod2)].emplace_back(slot, 2);
+        const Station& prod = window[static_cast<std::size_t>(prod2)].st;
         if (prod.finished) args.arg2 = prod.result;
       }
     }
@@ -632,12 +652,35 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
       throw persist::FormatError("trailing checkpoint bytes");
     }
     start_cycle = ckpt.resume()->header.cycle;
-    // Rebuild the packed shadow from the canonical window. Producer slots
-    // must be mapped before consumers register against them.
+    // Rebuild the packed shadow from the canonical window. A restored dep
+    // may point at any older writer (not just the youngest), so producer
+    // slots are resolved by scanning the window -- restore-only cost.
+    const auto slot_of_seq = [&](std::uint64_t seq) {
+      for (int k = 0; k < count; ++k) {
+        if (ent(k).st.seq == seq) return (head + k) % n;
+      }
+      return -1;
+    };
     for (int k = 0; k < count; ++k) {
-      seq_slot.emplace(ent(k).st.seq, (head + k) % n);
+      const Entry& en = ent(k);
+      const isa::Opcode op = en.st.inst().op;
+      if (op == isa::Opcode::kLoad || op == isa::Opcode::kStore) {
+        seq_slot.emplace(en.st.seq, (head + k) % n);
+      }
     }
-    for (int k = 0; k < count; ++k) register_slot((head + k) % n);
+    for (int k = 0; k < count; ++k) {
+      const int slot = (head + k) % n;
+      Entry& en = window[static_cast<std::size_t>(slot)];
+      register_slot(slot,
+                    en.dep1_inflight ? slot_of_seq(en.dep1_seq) : -1,
+                    en.dep2_inflight ? slot_of_seq(en.dep2_seq) : -1);
+    }
+    for (int r = 0; r < L; ++r) {
+      if (rename[static_cast<std::size_t>(r)].has_value()) {
+        rename_slot[static_cast<std::size_t>(r)] =
+            slot_of_seq(*rename[static_cast<std::size_t>(r)]);
+      }
+    }
   }
 
   const std::uint64_t tail_mask = datapath::PackedTailMask(n);
@@ -651,6 +694,7 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
       break;  // Abandoned run: halted stays false.
     }
     result.cycles = cycle + 1;
+    tel.OnCycle(cycle, count);
 
     // --- Phase 1: the Figure 5 ordering prefixes from end-of-last-cycle
     // state. Dead slots contribute vacuously true conditions, so the
@@ -698,12 +742,25 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
       const int slot = sit->second;
       Entry& e = window[static_cast<std::size_t>(slot)];
       assert(e.st.seq == tag.tag);
+      const bool entry_was_finished = e.st.finished;
       ApplyMemResponse(e.st, resp, cycle);
       finished_b.Set(slot);
+      if (fwd) mw_stale.Set(slot);
       finish_events.emplace_back(slot, e.st.seq);
+      tel.OnMemComplete(cycle, e.st.timing.station, e.st, entry_was_finished);
     }
 
-    // --- Phase 3a: ALU scheduling over packed request lanes. ---
+    // --- Phase 3a: refresh moved disambiguation-window entries (after
+    // phase 2, so this cycle's memory completions are visible, matching
+    // the reference loop's per-cycle rebuild), then ALU scheduling. ---
+    if (fwd) {
+      ForEachSetBit(mw_stale, [&](int slot) {
+        mem_window_slot[static_cast<std::size_t>(slot)] = MakeMemWindowEntry(
+            window[static_cast<std::size_t>(slot)].st,
+            args_cache[static_cast<std::size_t>(slot)]);
+      });
+      mw_stale.ClearAll();
+    }
     const bool have_grants = config_.num_alus > 0;
     if (have_grants) {
       int occupied = 0;
@@ -732,12 +789,16 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
         hi = std::min(hi, lo + (count - processed));
         const std::uint64_t grant_ok =
             have_grants ? (grants.word(w) | ~needs_alu_b.word(w)) : ~0ULL;
+        // With store forwarding on, a load's gate is its disambiguation
+        // decision rather than the prev-stores-done prefix, so the load
+        // term drops psd (an undecidable load is visited and no-ops).
+        const std::uint64_t load_gate = fwd ? ~0ULL : psd.word(w);
         std::uint64_t mv =
             valid_b.word(w) & ~finished_b.word(w) &
             ((alu_like_b.word(w) &
               (issued_b.word(w) | (args_ready_b.word(w) & grant_ok))) |
              (load_b.word(w) & ~mem_sub_b.word(w) & args_ready_b.word(w) &
-              psd.word(w)) |
+              load_gate) |
              (store_b.word(w) & ~mem_sub_b.word(w) & args_ready_b.word(w) &
               pld.word(w) & psd.word(w) & pcf.word(w)));
         const int width = hi - lo;
@@ -754,10 +815,27 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
           ctx.prev_loads_done = pld.Test(slot);
           ctx.committed_ok = !store_b.Test(slot) || pcf.Test(slot);
           ctx.alu_granted = !have_grants || grants.Test(slot);
+          ctx.forwarding_enabled = fwd;
+          if (fwd && load_b.Test(slot) &&
+              mem_window_slot[static_cast<std::size_t>(slot)].addr_known) {
+            const auto decision = ResolveLoadForwardingMapped(
+                [&](std::size_t kk) -> const MemWindowEntry& {
+                  return mem_window_slot[static_cast<std::size_t>(
+                      (head + static_cast<int>(kk)) % n)];
+                },
+                static_cast<std::size_t>(k));
+            ctx.load_can_proceed = decision.can_proceed;
+            ctx.load_forward = decision.forward;
+            ctx.forward_value = decision.value;
+          }
+          const bool step_was_issued = e.st.issued;
+          const bool step_was_finished = e.st.finished;
           const bool mispredicted =
               StepStation(e.st, args_cache[static_cast<std::size_t>(slot)],
                           ctx, config_.latencies, mem, cycle, k, e.st.seq,
                           inflight, result.stats);
+          tel.OnStep(cycle, e.st.timing.station, e.st, step_was_issued,
+                     step_was_finished);
           sync_station_bits(slot, e.st);
           if (e.st.finished) finish_events.emplace_back(slot, e.st.seq);
           if (mispredicted) {
@@ -766,7 +844,9 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
                 static_cast<std::uint64_t>(count - (k + 1));
             for (int m = k + 1; m < count; ++m) {
               const int s2 = (head + m) % n;
-              seq_slot.erase(window[static_cast<std::size_t>(s2)].st.seq);
+              Station& victim = window[static_cast<std::size_t>(s2)].st;
+              tel.OnSquash(cycle, victim.timing.station, victim);
+              seq_slot.erase(victim.seq);
               clear_slot_bits(s2);
             }
             count = k + 1;
@@ -803,11 +883,13 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
             c.val1 = st.result.value;
             cargs.arg1 = {st.result.value, true};
             recompute_args_ready(cslot, c);
+            if (fwd) mw_stale.Set(cslot);
           } else if (which == 2 && c.dep2_inflight && c.dep2_seq == st.seq) {
             c.dep2_inflight = false;
             c.val2 = st.result.value;
             cargs.arg2 = {st.result.value, true};
             recompute_args_ready(cslot, c);
+            if (fwd) mw_stale.Set(cslot);
           }
         }
       }
@@ -816,6 +898,7 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
       }
       result.timeline.push_back(st.timing);
       ++result.committed;
+      tel.OnCommit(cycle, st.timing.station, st);
       const bool was_halt = inst.op == isa::Opcode::kHalt;
       seq_slot.erase(st.seq);
       clear_slot_bits(head);
@@ -849,10 +932,16 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
         e.dep2_seq = 0;
         e.val2 = 0;
         const isa::Instruction& inst = f.inst;
+        // Producer slots are captured with the dep seqs (before a
+        // same-register write below retargets rename): a fresh dep is
+        // always the current youngest writer.
+        int prod1 = -1;
+        int prod2 = -1;
         if (isa::ReadsRs1(inst.op)) {
           if (rename[inst.rs1].has_value()) {
             e.dep1_inflight = true;
             e.dep1_seq = *rename[inst.rs1];
+            prod1 = rename_slot[inst.rs1];
           } else {
             e.val1 = regs[inst.rs1];
           }
@@ -861,14 +950,30 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
           if (rename[inst.rs2].has_value()) {
             e.dep2_inflight = true;
             e.dep2_seq = *rename[inst.rs2];
+            prod2 = rename_slot[inst.rs2];
           } else {
             e.val2 = regs[inst.rs2];
           }
         }
-        if (isa::WritesRd(inst.op)) rename[inst.rd] = e.st.seq;
+        if (isa::WritesRd(inst.op)) {
+          rename[inst.rd] = e.st.seq;
+          rename_slot[inst.rd] = slot;
+        }
         clear_slot_bits(slot);
-        seq_slot.emplace(e.st.seq, slot);
-        register_slot(slot);
+        // Only memory ops enter the seq->slot map (its sole steady-state
+        // consumer is the memory-response path), keeping the allocator out
+        // of the ALU fill path.
+        if (inst.op == isa::Opcode::kLoad || inst.op == isa::Opcode::kStore) {
+          seq_slot.emplace(e.st.seq, slot);
+        }
+        register_slot(slot, prod1, prod2);
+        tel.OnFetch(cycle, e.st.timing.station, e.st);
+        if (e.dep1_inflight) {
+          tel.OnRename(cycle, e.st.timing.station, e.st, e.dep1_seq);
+        }
+        if (e.dep2_inflight) {
+          tel.OnRename(cycle, e.st.timing.station, e.st, e.dep2_seq);
+        }
         ++count;
       }
       if (fetch.stalled() && count == 0) {
@@ -894,9 +999,11 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
         if (which == 1 && c.dep1_inflight && c.dep1_seq == seq) {
           cargs.arg1 = prod.result;
           recompute_args_ready(cslot, c);
+          if (fwd) mw_stale.Set(cslot);
         } else if (which == 2 && c.dep2_inflight && c.dep2_seq == seq) {
           cargs.arg2 = prod.result;
           recompute_args_ready(cslot, c);
+          if (fwd) mw_stale.Set(cslot);
         }
       }
     }

@@ -10,6 +10,7 @@
 #include "core/telemetry_hooks.hpp"
 #include "datapath/bitset.hpp"
 #include "datapath/datapath.hpp"
+#include "datapath/packed_resolve.hpp"
 #include "datapath/scheduler.hpp"
 #include "fault/fault.hpp"
 
@@ -69,15 +70,25 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       config_.datapath_eval != DatapathEval::kFullRecompute;
   const bool checked = config_.datapath_eval == DatapathEval::kChecked;
   const bool pipelined = config_.pipeline_levels_per_stage > 0;
-  // Word-parallel fast path: the Figure 5 flags, their CSPP prefixes, the
-  // ALU grants, and the execute phase's visit set all evaluate 64 stations
-  // per word op. Configurations the packed loop does not model fall back to
-  // the plain incremental machinery (kPacked counts as incremental
-  // everywhere else, so results are identical either way).
-  const bool packed = config_.datapath_eval == DatapathEval::kPacked &&
-                      !config_.store_forwarding && !pipelined &&
-                      config_.telemetry == nullptr &&
-                      config_.fault_plan == nullptr;
+  // Word-parallel packed mode, fallback-free: the Figure 5 flags, their
+  // CSPP prefixes, the ALU grants, and the execute phase's visit set all
+  // evaluate 64 stations per word op under every CoreConfig. Two tiers
+  // share that machinery:
+  //  * fast tier -- argument delivery is event-driven through a
+  //    PackedWriterMap (per-register writer/reader rows over the ring), so
+  //    the per-cycle O(n) datapath propagation and argument sweep disappear
+  //    entirely; a stale mask re-resolves only stations whose source
+  //    changed. Store forwarding and telemetry run here.
+  //  * observation tier -- fault plans corrupt the incremental delivery
+  //    state and pipelined delivery is a function of wall-clock distance,
+  //    so those configs keep the incremental argument machinery (dp_state
+  //    propagation + the per-cycle resolve sweep) underneath the packed
+  //    prefixes and walk. Byte-identical by construction, and the only
+  //    packed configs that still pay O(n) per cycle.
+  const bool packed = config_.datapath_eval == DatapathEval::kPacked;
+  const bool fast =
+      packed && config_.fault_plan == nullptr && !pipelined;
+  const bool maintain_dp = incremental && !fast;
 
   CoreTelemetry tel(config_);
   // The program-order last-writer sweep serves both the pipelined datapath
@@ -126,19 +137,79 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
   std::vector<int> last_writer(static_cast<std::size_t>(L));
   std::vector<FetchedInstr> fetch_batch;
 
-  // Packed per-cycle scratch (kPacked only): recomposed from the stations
-  // every cycle, so it is derived state and never checkpointed.
+  // Packed shadow state (kPacked only). The observation tier recomposes the
+  // flag masks from the stations every cycle; the fast tier mutates them at
+  // event sites and never rebuilds them. Either way they are derived state
+  // and never checkpointed (RebuildPackedShadow below reconstructs them on
+  // resume).
   const int pw = datapath::PackedWordCount(n);
   datapath::PackedBits valid_b, fin_b, iss_b, res_b, msub_b, ld_b, stb_b,
       cf_b, alu_like_b, needs_alu_b, argr_b, cond_b, psd_b, pld_b, pcf_b,
-      req_b, grant_b;
+      req_b, grant_b, stall_b, stale_b, mw_stale_b;
   if (packed) {
     for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
                     &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &cond_b,
-                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b}) {
+                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b, &stall_b,
+                    &stale_b, &mw_stale_b}) {
       p->Assign(n);
     }
   }
+  // Fast-tier structures: per-register writer/reader rows over the ring,
+  // cached resolved arguments, and a position-indexed memory window (the
+  // observation/incremental paths keep the age-indexed mem_window above).
+  datapath::PackedWriterMap wmap;
+  std::vector<core::MemWindowEntry> mem_window_pos;
+  if (fast) {
+    wmap.Assign(n, L);
+    mem_window_pos.resize(static_cast<std::size_t>(n));
+  }
+  const bool fwd = config_.store_forwarding;
+
+  // Fast-tier event helpers. Clearing a slot must run while the station
+  // still holds its instruction (the writer/reader rows are keyed by its
+  // register fields).
+  const auto fast_clear_slot = [&](int i, const Station& st) {
+    const isa::Instruction& inst = st.inst();
+    if (isa::WritesRd(inst.op)) wmap.ClearWriter(i, inst.rd);
+    if (isa::ReadsRs1(inst.op)) wmap.ClearReader(i, inst.rs1);
+    if (isa::ReadsRs2(inst.op)) wmap.ClearReader(i, inst.rs2);
+    for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
+                    &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &stale_b,
+                    &mw_stale_b}) {
+      p->Clear(i);
+    }
+    args_at[static_cast<std::size_t>(i)] = datapath::ResolvedArgs{};
+    if (fwd) mem_window_pos[static_cast<std::size_t>(i)] = MemWindowEntry{};
+  };
+  const auto fast_fill_slot = [&](int i, const Station& st) {
+    const isa::Instruction& inst = st.inst();
+    valid_b.Set(i);
+    const isa::Opcode op = inst.op;
+    if (op == isa::Opcode::kLoad) {
+      ld_b.Set(i);
+    } else if (op == isa::Opcode::kStore) {
+      stb_b.Set(i);
+    } else {
+      alu_like_b.Set(i);
+    }
+    if (isa::IsControlFlow(op)) cf_b.Set(i);
+    if (NeedsAlu(op)) needs_alu_b.Set(i);
+    if (isa::WritesRd(op)) wmap.SetWriter(i, inst.rd);
+    if (isa::ReadsRs1(op)) wmap.AddReader(i, inst.rs1);
+    if (isa::ReadsRs2(op)) wmap.AddReader(i, inst.rs2);
+    stale_b.Set(i);
+    if (fwd) mw_stale_b.Set(i);
+  };
+  // Station @p j's result binding for register @p r changed (it issued,
+  // finished, or its load data arrived): only the readers between j and the
+  // next in-flight writer of r resolve against j, so only that span goes
+  // stale. Readers beyond the next writer already bind to it; readers at or
+  // before j bind elsewhere.
+  const auto mark_result_change = [&](int j, isa::RegId r) {
+    const int nw = wmap.NearestWriterAfter(j, static_cast<int>(r), head);
+    wmap.OrReadersInCyclicRange(static_cast<int>(r), (j + 1) % n,
+                                nw >= 0 ? (nw + 1) % n : head, stale_b);
+  };
 
   CheckpointSession ckpt(config_, ProcessorKind::kUltrascalarI, program);
   const auto save_state = [&](persist::Encoder& e) {
@@ -180,6 +251,24 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       throw persist::FormatError("trailing checkpoint bytes");
     }
     start_cycle = ckpt.resume()->header.cycle;
+    if (packed) {
+      // Rebuild the derived packed shadow from the restored stations. The
+      // fast tier's cached arguments are a pure function of station state
+      // and the committed file, so marking every live station stale makes
+      // the first resumed cycle recompute exactly the values the
+      // uninterrupted run had cached.
+      for (int i = 0; i < n; ++i) {
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (fast && st.valid) {
+          fast_fill_slot(i, st);
+          fin_b.SetTo(i, st.finished);
+          iss_b.SetTo(i, st.issued);
+          res_b.SetTo(i, st.resolved);
+          msub_b.SetTo(i, st.mem_submitted);
+        }
+        if (fault_stall[static_cast<std::size_t>(i)] > 0) stall_b.Set(i);
+      }
+    }
   }
 
   for (std::uint64_t cycle = start_cycle; cycle < config_.max_cycles && !done;
@@ -193,7 +282,33 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
     tel.OnCycle(cycle, count);
 
     // --- Phase 1: combinational propagation (end-of-last-cycle state). ---
-    if (packed) {
+    if (fast) {
+      // Event-driven delivery: re-resolve only stations whose argument
+      // source changed since the last cycle (writer result movement, a
+      // commit touching their register, a squash, their own fill, or the
+      // head advancing onto them). Stations are untouched since the end of
+      // the previous cycle, so this drain sees exactly the snapshot the
+      // incremental path's phase-1 propagation would have delivered.
+      ForEachSetBit(stale_b, [&](int i) {
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (!st.valid) return;
+        const isa::Instruction& inst = st.inst();
+        datapath::ResolvedArgs args;
+        const auto resolve = [&](isa::RegId r) -> datapath::RegBinding {
+          if (i == head) return committed[r];  // Oldest reads the file.
+          const int j = wmap.NearestWriterBefore(i, r, head);
+          return j >= 0 ? stations[static_cast<std::size_t>(j)].result
+                        : committed[r];
+        };
+        if (isa::ReadsRs1(inst.op)) args.arg1 = resolve(inst.rs1);
+        if (isa::ReadsRs2(inst.op)) args.arg2 = resolve(inst.rs2);
+        args_at[static_cast<std::size_t>(i)] = args;
+        argr_b.SetTo(i, (!isa::ReadsRs1(inst.op) || args.arg1.ready) &&
+                            (!isa::ReadsRs2(inst.op) || args.arg2.ready));
+        if (fwd) mw_stale_b.Set(i);
+      });
+      stale_b.ClearAll();
+    } else if (packed) {
       // Word-accumulator composition: invalid lanes are all-zero (their
       // class bits being clear makes every derived condition vacuous).
       std::uint64_t av = 0, af = 0, ai = 0, ar = 0, am = 0, al = 0, as = 0,
@@ -244,7 +359,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
             !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
       }
     }
-    if (incremental) {
+    if (maintain_dp) {
       // Diff the window into the persistent state; commits already pushed
       // their register updates in phase 4 of the previous cycle.
       dp_state.SetOldest(head);
@@ -255,7 +370,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
                                  st.result);
       }
       dp.PropagateIncremental(dp_state);
-    } else {
+    } else if (!incremental) {
       std::fill(modified.begin(), modified.end(), 0);
       for (auto& b : outgoing) b = datapath::RegBinding{};
       for (int r = 0; r < L; ++r) {
@@ -284,6 +399,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         if (e.kind == fault::FaultKind::kStallStation) {
           fault_stall[static_cast<std::size_t>(e.station % n)] +=
               static_cast<int>(e.payload % 8) + 1;
+          if (packed) stall_b.Set(e.station % n);
           injector.NoteStall();
         }
       }
@@ -357,12 +473,57 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
         if (packed) fin_b.Set(static_cast<int>(tag.tag));
+        if (fast) {
+          // The load's result binding just became ready: its readers
+          // re-resolve at the next phase-1 drain, exactly when the
+          // incremental propagation would deliver the new value.
+          if (isa::WritesRd(st.inst().op)) {
+            mark_result_change(static_cast<int>(tag.tag), st.inst().rd);
+          }
+          if (fwd) mw_stale_b.Set(static_cast<int>(tag.tag));
+        }
         tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
     }
 
     // --- Phase 3a: resolve arguments and schedule shared resources. ---
     const int live = count;
+    if (fast) {
+      // Arguments were refreshed by the phase-1 stale drain. Refresh the
+      // memory-window entries whose station or arguments moved -- after
+      // phase 2, which is when the incremental path builds its window, so
+      // this cycle's memory completions are visible to disambiguation.
+      if (fwd) {
+        ForEachSetBit(mw_stale_b, [&](int i) {
+          mem_window_pos[static_cast<std::size_t>(i)] = MakeMemWindowEntry(
+              stations[static_cast<std::size_t>(i)],
+              args_at[static_cast<std::size_t>(i)]);
+        });
+        mw_stale_b.ClearAll();
+      }
+      if (tel.metrics_on()) {
+        // Propagation-distance sweep: position bookkeeping only (no
+        // argument resolution), replicating the OnDistance calls the
+        // incremental resolve sweep makes, in the same order.
+        std::fill(last_writer.begin(), last_writer.end(), -1);
+        for (int k = 0; k < live; ++k) {
+          const int i = (head + k) % n;
+          const Station& st = stations[static_cast<std::size_t>(i)];
+          if (!st.valid) continue;
+          const isa::Instruction& inst = st.inst();
+          const auto dist = [&](isa::RegId r) {
+            const int j =
+                k == 0 ? head : last_writer[static_cast<std::size_t>(r)];
+            tel.OnDistance(j >= 0 ? (i - j + n) % n : (i - head + n) % n);
+          };
+          if (isa::ReadsRs1(inst.op)) dist(inst.rs1);
+          if (isa::ReadsRs2(inst.op)) dist(inst.rs2);
+          if (isa::WritesRd(inst.op)) {
+            last_writer[static_cast<std::size_t>(inst.rd)] = i;
+          }
+        }
+      }
+    } else {
     std::fill(args_at.begin(), args_at.end(), datapath::ResolvedArgs{});
     mem_window.assign(static_cast<std::size_t>(live), core::MemWindowEntry{});
     if (track_writers) std::fill(last_writer.begin(), last_writer.end(), -1);
@@ -426,6 +587,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
             MakeMemWindowEntry(st, args);
       }
     }
+    }
     if (config_.num_alus > 0) {
       if (packed) {
         int occupied = 0;
@@ -456,8 +618,13 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
 
     // --- Phase 3b: execute, in program order from the oldest station. ---
     if (packed) {
-      // Visit only stations whose StepStation call would act; the mask
-      // mirrors its no-op predicate exactly, so skipping is identical.
+      // Visit only stations whose StepStation call would act (the mask
+      // mirrors its no-op predicate exactly, so skipping is identical),
+      // plus stations serving an injected stall, which must decrement
+      // their counters in walk order like the scalar loop's skip does.
+      // With store forwarding on, a load's gate is its disambiguation
+      // decision rather than the prev-stores-done prefix, so the load term
+      // drops psd (an undecidable load is visited and no-ops).
       int pos = head;
       int processed = 0;
       bool squashed = false;
@@ -469,20 +636,28 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         const std::uint64_t grant_ok =
             config_.num_alus > 0 ? (grant_b.word(w) | ~needs_alu_b.word(w))
                                  : ~0ULL;
-        std::uint64_t mv =
-            valid_b.word(w) & ~fin_b.word(w) &
-            ((alu_like_b.word(w) &
-              (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
-             (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
-              psd_b.word(w)) |
-             (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
-              pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)));
+        const std::uint64_t load_gate = fwd ? ~0ULL : psd_b.word(w);
+        std::uint64_t cand =
+            (valid_b.word(w) & ~fin_b.word(w) &
+             ((alu_like_b.word(w) &
+               (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
+              (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) & load_gate) |
+              (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+               pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)))) |
+            (stall_b.word(w) & valid_b.word(w));
         const int cw = hi - lo;
-        mv &= (cw == 64 ? ~0ULL : ((1ULL << cw) - 1)) << lo;
-        while (mv != 0) {
-          const int b = std::countr_zero(mv);
-          mv &= mv - 1;
+        cand &= (cw == 64 ? ~0ULL : ((1ULL << cw) - 1)) << lo;
+        while (cand != 0) {
+          const int b = std::countr_zero(cand);
+          cand &= cand - 1;
           const int i = (w << 6) + b;
+          if (stall_b.Test(i)) {
+            // Injected stall: the station sits this cycle out.
+            if (--fault_stall[static_cast<std::size_t>(i)] == 0) {
+              stall_b.Clear(i);
+            }
+            continue;
+          }
           int k = i - head;
           if (k < 0) k += n;
           Station& st = stations[static_cast<std::size_t>(i)];
@@ -491,11 +666,48 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
           ctx.prev_loads_done = pld_b.Test(i);
           ctx.committed_ok = pcf_b.Test(i);
           ctx.alu_granted = config_.num_alus == 0 || grant_b.Test(i);
+          ctx.forwarding_enabled = fwd;
+          if (fwd && st.inst().op == isa::Opcode::kLoad) {
+            const MemWindowEntry& self =
+                fast ? mem_window_pos[static_cast<std::size_t>(i)]
+                     : mem_window[static_cast<std::size_t>(k)];
+            if (self.addr_known) {
+              const auto decision =
+                  fast ? ResolveLoadForwardingMapped(
+                             [&](std::size_t a) -> const MemWindowEntry& {
+                               return mem_window_pos[static_cast<std::size_t>(
+                                   (head + static_cast<int>(a)) % n)];
+                             },
+                             static_cast<std::size_t>(k))
+                       : ResolveLoadForwarding(
+                             std::span<const MemWindowEntry>(
+                                 mem_window.data(),
+                                 static_cast<std::size_t>(live)),
+                             static_cast<std::size_t>(k));
+              ctx.load_can_proceed = decision.can_proceed;
+              ctx.load_forward = decision.forward;
+              ctx.forward_value = decision.value;
+            }
+          }
+          const bool was_issued = st.issued;
+          const bool was_finished = st.finished;
+          const datapath::RegBinding pre_result = st.result;
           const bool mispredicted =
               StepStation(st, args_at[static_cast<std::size_t>(i)], ctx,
                           config_.latencies, mem, cycle, i,
                           static_cast<std::uint64_t>(i), inflight,
                           result.stats);
+          tel.OnStep(cycle, i, st, was_issued, was_finished);
+          if (fast) {
+            iss_b.SetTo(i, st.issued);
+            fin_b.SetTo(i, st.finished);
+            res_b.SetTo(i, st.resolved);
+            msub_b.SetTo(i, st.mem_submitted);
+            if (st.result != pre_result && isa::WritesRd(st.inst().op)) {
+              mark_result_change(i, st.inst().rd);
+            }
+            if (fwd) mw_stale_b.Set(i);
+          }
           if (mispredicted) {
             ++result.stats.mispredictions;
             for (int m = k + 1; m < count; ++m) {
@@ -503,6 +715,8 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
               Station& victim = stations[static_cast<std::size_t>(vi)];
               if (victim.valid) {
                 ++result.stats.squashed_instructions;
+                tel.OnSquash(cycle, vi, victim);
+                if (fast) fast_clear_slot(vi, victim);
                 victim.Clear();
                 ++victim.generation;
               }
@@ -616,6 +830,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
     }
 
     // --- Phase 4: commit finished instructions in program order. ---
+    bool head_moved = false;
     while (count > 0) {
       Station& st = stations[static_cast<std::size_t>(head)];
       assert(st.valid && "the oldest slot is never a squash victim");
@@ -626,7 +841,17 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         assert(st.result.ready);
         committed[inst.rd] = st.result;
         committed_at[inst.rd] = cycle;
-        if (incremental) dp_state.SetCommitted(inst.rd, st.result);
+        if (maintain_dp) dp_state.SetCommitted(inst.rd, st.result);
+        // The committed file changed: only the stations between the head
+        // and the first in-flight writer of rd resolve against it (younger
+        // readers bind to that writer), so only that span re-resolves.
+        if (fast) {
+          const int nw =
+              wmap.NearestWriterAfter(head, static_cast<int>(inst.rd), head);
+          wmap.OrReadersInCyclicRange(static_cast<int>(inst.rd),
+                                      (head + 1) % n,
+                                      nw >= 0 ? (nw + 1) % n : head, stale_b);
+        }
       }
       if (isa::IsControlFlow(inst.op)) {
         fetch.NotifyOutcome(st.fetched.pc, st.actual_taken);
@@ -635,8 +860,10 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
       ++result.committed;
       tel.OnCommit(cycle, head, st);
       const bool was_halt = inst.op == isa::Opcode::kHalt;
+      if (fast) fast_clear_slot(head, st);
       st.Clear();
       head = (head + 1) % n;
+      head_moved = true;
       --count;
       if (was_halt) {
         done = true;
@@ -644,6 +871,9 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
         break;
       }
     }
+    // The station now at the head reads the committed file directly, a
+    // different source than the ring resolution its cached args used.
+    if (fast && head_moved && count > 0) stale_b.Set(head);
 
     // --- Phase 5: fetch into freed slots. ---
     if (!done) {
@@ -660,6 +890,9 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
                     cycle);
         stations[static_cast<std::size_t>(slot)].timing.station = slot;
         tel.OnFetch(cycle, slot, stations[static_cast<std::size_t>(slot)]);
+        if (fast) {
+          fast_fill_slot(slot, stations[static_cast<std::size_t>(slot)]);
+        }
         ++count;
       }
       if (fetch.stalled() && count == 0) {

@@ -3,12 +3,14 @@
 #include <cassert>
 
 #include <bit>
+#include <span>
 
 #include "core/checkpoint_util.hpp"
 #include "core/exec.hpp"
 #include "core/fetch.hpp"
 #include "core/telemetry_hooks.hpp"
 #include "datapath/bitset.hpp"
+#include "datapath/packed_resolve.hpp"
 #include "datapath/datapath.hpp"
 #include "datapath/scheduler.hpp"
 #include "datapath/sequencing.hpp"
@@ -57,15 +59,16 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   const bool incremental =
       config_.datapath_eval != DatapathEval::kFullRecompute;
   const bool checked = config_.datapath_eval == DatapathEval::kChecked;
-  // Word-parallel fast path: sequencing flags, acyclic prefixes, ALU
+  // Word-parallel packed mode: sequencing flags, acyclic prefixes, ALU
   // grants, and the execute phase's visit set evaluate 64 stations per
-  // word op. Configurations the packed loop does not model fall back to
-  // the plain incremental machinery (kPacked counts as incremental
-  // everywhere else, so results are identical either way).
-  const bool packed = config_.datapath_eval == DatapathEval::kPacked &&
-                      !config_.store_forwarding &&
-                      config_.telemetry == nullptr &&
-                      config_.fault_plan == nullptr;
+  // word op. kPacked always runs the packed cycle loop; the `fast` tier
+  // additionally replaces the per-cycle request/propagation rebuild with
+  // event-driven argument resolution over per-register writer/reader rows.
+  // Fault plans keep the propagation machinery underneath the packed walk
+  // (corruptions live inside `prop`), but never change the executed loop.
+  const bool packed = config_.datapath_eval == DatapathEval::kPacked;
+  const bool fast = packed && config_.fault_plan == nullptr;
+  const bool maintain_prop = incremental && !fast;
 
   fault::FaultInjector injector(config_.fault_plan.get());
   fault::DatapathChecker checker(config_.checker_stride);
@@ -99,14 +102,73 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   const int pw = datapath::PackedWordCount(n);
   datapath::PackedBits valid_b, fin_b, iss_b, res_b, msub_b, ld_b, stb_b,
       cf_b, alu_like_b, needs_alu_b, argr_b, cond_b, psd_b, pld_b, pcf_b,
-      req_b, grant_b;
+      req_b, grant_b, stall_b, stale_b, mw_stale_b;
   if (packed) {
     for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
                     &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &cond_b,
-                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b}) {
+                    &psd_b, &pld_b, &pcf_b, &req_b, &grant_b, &stall_b,
+                    &stale_b, &mw_stale_b}) {
       p->Assign(n);
     }
   }
+  // Fast-tier state: cached resolved arguments per batch slot, the
+  // writer/reader rows that answer "whose value does slot i read?", and a
+  // slot-indexed memory window (batch position IS age order here, so the
+  // span-based forwarding walk reads it directly).
+  datapath::PackedWriterMap wmap;
+  std::vector<datapath::ResolvedArgs> args_at;
+  std::vector<MemWindowEntry> mem_window_pos;
+  if (fast) {
+    wmap.Assign(n, L);
+    args_at.resize(static_cast<std::size_t>(n));
+    mem_window_pos.resize(static_cast<std::size_t>(n));
+  }
+  const bool fwd = config_.store_forwarding;
+
+  // Fast-tier event helpers; clearing must run while the station still
+  // holds its instruction (rows are keyed by its register fields).
+  const auto fast_clear_slot = [&](int i, const Station& st) {
+    const isa::Instruction& inst = st.inst();
+    if (isa::WritesRd(inst.op)) wmap.ClearWriter(i, inst.rd);
+    if (isa::ReadsRs1(inst.op)) wmap.ClearReader(i, inst.rs1);
+    if (isa::ReadsRs2(inst.op)) wmap.ClearReader(i, inst.rs2);
+    for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b, &stb_b,
+                    &cf_b, &alu_like_b, &needs_alu_b, &argr_b, &stale_b,
+                    &mw_stale_b}) {
+      p->Clear(i);
+    }
+    args_at[static_cast<std::size_t>(i)] = datapath::ResolvedArgs{};
+    if (fwd) mem_window_pos[static_cast<std::size_t>(i)] = MemWindowEntry{};
+  };
+  const auto fast_fill_slot = [&](int i, const Station& st) {
+    const isa::Instruction& inst = st.inst();
+    valid_b.Set(i);
+    const isa::Opcode op = inst.op;
+    if (op == isa::Opcode::kLoad) {
+      ld_b.Set(i);
+    } else if (op == isa::Opcode::kStore) {
+      stb_b.Set(i);
+    } else {
+      alu_like_b.Set(i);
+    }
+    if (isa::IsControlFlow(op)) cf_b.Set(i);
+    if (NeedsAlu(op)) needs_alu_b.Set(i);
+    if (isa::WritesRd(op)) wmap.SetWriter(i, inst.rd);
+    if (isa::ReadsRs1(op)) wmap.AddReader(i, inst.rs1);
+    if (isa::ReadsRs2(op)) wmap.AddReader(i, inst.rs2);
+    stale_b.Set(i);
+    if (fwd) mw_stale_b.Set(i);
+  };
+  // Slot @p j's result binding for register @p r changed: only the readers
+  // between j and the next writer of r (inclusive -- a slot both reading
+  // and writing r resolves its read against the previous writer) see a
+  // different source. Acyclic program order, so no wraparound.
+  const auto mark_result_change = [&](int j, isa::RegId r) {
+    const int nw = datapath::LowestSetInRange(
+        wmap.writers(static_cast<int>(r)), j + 1, n);
+    wmap.OrReadersInCyclicRange(static_cast<int>(r), j + 1,
+                                nw >= 0 ? nw + 1 : 0, stale_b);
+  };
 
   CheckpointSession ckpt(config_, ProcessorKind::kUltrascalarII, program);
   const auto save_state = [&](persist::Encoder& e) {
@@ -159,6 +221,23 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
       throw persist::FormatError("trailing checkpoint bytes");
     }
     start_cycle = ckpt.resume()->header.cycle;
+    if (packed) {
+      // Rebuild the derived packed shadow from the restored stations. The
+      // fast tier's cached arguments are a pure function of (stations,
+      // regfile), so marking every live slot stale makes the first phase-1
+      // drain recompute exactly the values the uninterrupted run carried.
+      for (int i = 0; i < n; ++i) {
+        if (fault_stall[static_cast<std::size_t>(i)] > 0) stall_b.Set(i);
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (fast && st.valid) {
+          fast_fill_slot(i, st);
+          fin_b.SetTo(i, st.finished);
+          iss_b.SetTo(i, st.issued);
+          res_b.SetTo(i, st.resolved);
+          msub_b.SetTo(i, st.mem_submitted);
+        }
+      }
+    }
   }
 
   for (std::uint64_t cycle = start_cycle; cycle < config_.max_cycles && !done;
@@ -179,6 +258,58 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
     if (tel.metrics_on()) {
       std::fill(last_writer.begin(), last_writer.end(), -1);
     }
+    if (fast) {
+      // Event-driven delivery: the masks carry end-of-last-cycle state, so
+      // batch completion is a word scan and only slots whose argument
+      // source changed since the last cycle re-resolve.
+      for (int w = 0; w < pw; ++w) {
+        const std::uint64_t v = valid_b.word(w);
+        if (v != 0) any_valid = true;
+        if ((v & ~fin_b.word(w)) != 0) all_finished = false;
+      }
+      if (tel.metrics_on()) {
+        // Grid-distance sweep, replicating the incremental loop's
+        // OnDistance calls in the same order (batch positions ascending).
+        for (int i = 0; i < fill; ++i) {
+          const Station& st = stations[static_cast<std::size_t>(i)];
+          if (!st.valid) continue;
+          const isa::Instruction& inst = st.inst();
+          if (isa::ReadsRs1(inst.op)) {
+            const int j = last_writer[static_cast<std::size_t>(inst.rs1)];
+            tel.OnDistance(j >= 0 ? i - j : i + 1);
+          }
+          if (isa::ReadsRs2(inst.op)) {
+            const int j = last_writer[static_cast<std::size_t>(inst.rs2)];
+            tel.OnDistance(j >= 0 ? i - j : i + 1);
+          }
+          if (isa::WritesRd(inst.op)) {
+            last_writer[static_cast<std::size_t>(inst.rd)] = i;
+          }
+        }
+      }
+      ForEachSetBit(stale_b, [&](int i) {
+        const Station& st = stations[static_cast<std::size_t>(i)];
+        if (!st.valid) return;
+        const isa::Instruction& inst = st.inst();
+        datapath::ResolvedArgs args;
+        // The nearest preceding writer's binding, verbatim (ready or not);
+        // slot 0 and readers with no in-batch writer take the register
+        // file, exactly what the mesh-of-trees propagation delivers.
+        const auto resolve = [&](isa::RegId r) -> datapath::RegBinding {
+          const int j =
+              wmap.NearestWriterBeforeAcyclic(i, static_cast<int>(r));
+          return j >= 0 ? stations[static_cast<std::size_t>(j)].result
+                        : regfile[r];
+        };
+        if (isa::ReadsRs1(inst.op)) args.arg1 = resolve(inst.rs1);
+        if (isa::ReadsRs2(inst.op)) args.arg2 = resolve(inst.rs2);
+        args_at[static_cast<std::size_t>(i)] = args;
+        argr_b.SetTo(i, (!isa::ReadsRs1(inst.op) || args.arg1.ready) &&
+                            (!isa::ReadsRs2(inst.op) || args.arg2.ready));
+        if (fwd) mw_stale_b.Set(i);
+      });
+      stale_b.ClearAll();
+    } else {
     // Word accumulators for the packed composition: one bit per station,
     // flushed every 64 lanes. Invalid lanes stay all-zero, which keeps every
     // derived condition vacuous.
@@ -254,7 +385,8 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
             !st.valid || !isa::IsControlFlow(st.inst().op) || st.resolved;
       }
     }
-    if (incremental) {
+    }
+    if (maintain_prop) {
       // The whole propagation is a pure function of (regfile, requests):
       // skip it when neither moved since the last evaluation (common while
       // stations wait on long-latency operations).
@@ -263,7 +395,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         prop_valid = true;
         regfile_changed = false;
       }
-    } else {
+    } else if (!incremental) {
       prop = dp.Propagate(regfile, requests);
     }
 
@@ -277,6 +409,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         if (e.kind == fault::FaultKind::kStallStation) {
           fault_stall[static_cast<std::size_t>(e.station % n)] +=
               static_cast<int>(e.payload % 8) + 1;
+          if (packed) stall_b.Set(e.station % n);
           injector.NoteStall();
         }
       }
@@ -336,10 +469,24 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
     const bool batch_complete =
         any_valid && all_finished && (fill == n || fetch.stalled());
     if (batch_complete) {
-      for (int r = 0; r < L; ++r) {
-        assert(prop.final_regs[static_cast<std::size_t>(r)].ready);
-        regfile[static_cast<std::size_t>(r)] =
-            prop.final_regs[static_cast<std::size_t>(r)];
+      if (fast) {
+        // Each register's final value comes from its last in-batch writer;
+        // unwritten registers keep their incoming file value, matching the
+        // propagation's final row.
+        for (int r = 0; r < L; ++r) {
+          const int j = wmap.HighestWriter(r);
+          if (j >= 0) {
+            assert(stations[static_cast<std::size_t>(j)].result.ready);
+            regfile[static_cast<std::size_t>(r)] =
+                stations[static_cast<std::size_t>(j)].result;
+          }
+        }
+      } else {
+        for (int r = 0; r < L; ++r) {
+          assert(prop.final_regs[static_cast<std::size_t>(r)].ready);
+          regfile[static_cast<std::size_t>(r)] =
+              prop.final_regs[static_cast<std::size_t>(r)];
+        }
       }
       regfile_changed = true;
       const std::uint64_t committed_before = result.committed;
@@ -367,6 +514,18 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
           ++st.generation;
         }
       }
+      if (fast) {
+        // The whole batch left at once: reset the shadow wholesale instead
+        // of slot-by-slot (stall_b survives -- pending injected stalls
+        // stick to the slot and hit its next occupant, and fast excludes
+        // fault plans anyway).
+        wmap.ClearAllRows();
+        for (auto* p : {&valid_b, &fin_b, &iss_b, &res_b, &msub_b, &ld_b,
+                        &stb_b, &cf_b, &alu_like_b, &needs_alu_b, &argr_b,
+                        &stale_b, &mw_stale_b}) {
+          p->ClearAll();
+        }
+      }
       fill = 0;
     }
 
@@ -382,13 +541,22 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         const bool was_finished = st.finished;
         ApplyMemResponse(st, resp, cycle);
         if (packed) fin_b.Set(static_cast<int>(tag.tag));
+        if (fast) {
+          // The load's result binding just became ready: its readers
+          // re-resolve at the next phase-1 drain, exactly when the
+          // propagation would deliver the new value.
+          if (isa::WritesRd(st.inst().op)) {
+            mark_result_change(static_cast<int>(tag.tag), st.inst().rd);
+          }
+          if (fwd) mw_stale_b.Set(static_cast<int>(tag.tag));
+        }
         tel.OnMemComplete(cycle, static_cast<int>(tag.tag), st, was_finished);
       }
     }
 
     // --- Phase 3: execute, in program order within the batch. ---
     if (!batch_complete && !done) {
-      if (packed) {
+      if (packed && !fast) {
         std::uint64_t ag = 0;
         for (int i = 0; i < fill; ++i) {
           const Station& st = stations[static_cast<std::size_t>(i)];
@@ -407,12 +575,24 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
           }
         }
       }
-      if (config_.store_forwarding) {
-        mem_window.assign(static_cast<std::size_t>(fill), MemWindowEntry{});
-        for (int i = 0; i < fill; ++i) {
-          mem_window[static_cast<std::size_t>(i)] = MakeMemWindowEntry(
-              stations[static_cast<std::size_t>(i)],
-              prop.args[static_cast<std::size_t>(i)]);
+      if (fwd) {
+        if (fast) {
+          // Refresh only the window entries whose station or arguments
+          // moved -- after phase 2, so this cycle's memory completions are
+          // visible to disambiguation, as in the rebuilt window below.
+          ForEachSetBit(mw_stale_b, [&](int i) {
+            mem_window_pos[static_cast<std::size_t>(i)] = MakeMemWindowEntry(
+                stations[static_cast<std::size_t>(i)],
+                args_at[static_cast<std::size_t>(i)]);
+          });
+          mw_stale_b.ClearAll();
+        } else {
+          mem_window.assign(static_cast<std::size_t>(fill), MemWindowEntry{});
+          for (int i = 0; i < fill; ++i) {
+            mem_window[static_cast<std::size_t>(i)] = MakeMemWindowEntry(
+                stations[static_cast<std::size_t>(i)],
+                prop.args[static_cast<std::size_t>(i)]);
+          }
         }
       }
       if (config_.num_alus > 0) {
@@ -445,8 +625,13 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
         }
       }
       if (packed) {
-        // Visit only stations whose StepStation call would act; the mask
-        // mirrors its no-op predicate exactly, so skipping is identical.
+        // Visit only stations whose StepStation call would act (the mask
+        // mirrors its no-op predicate exactly, so skipping is identical),
+        // plus stations serving an injected stall, which must decrement
+        // their counters in walk order like the scalar loop's skip does.
+        // With store forwarding on, a load's gate is its disambiguation
+        // decision rather than the prev-stores-done prefix, so the load
+        // term drops psd (an undecidable load is visited and no-ops).
         bool squashed = false;
         for (int w = 0; w < pw && !squashed; ++w) {
           const int base = w << 6;
@@ -455,35 +640,76 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
           const std::uint64_t grant_ok =
               config_.num_alus > 0 ? (grant_b.word(w) | ~needs_alu_b.word(w))
                                    : ~0ULL;
+          const std::uint64_t load_gate = fwd ? ~0ULL : psd_b.word(w);
           std::uint64_t mv =
-              valid_b.word(w) & ~fin_b.word(w) &
-              ((alu_like_b.word(w) &
-                (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
-               (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
-                psd_b.word(w)) |
-               (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
-                pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)));
+              (valid_b.word(w) & ~fin_b.word(w) &
+               ((alu_like_b.word(w) &
+                 (iss_b.word(w) | (argr_b.word(w) & grant_ok))) |
+                (ld_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+                 load_gate) |
+                (stb_b.word(w) & ~msub_b.word(w) & argr_b.word(w) &
+                 pld_b.word(w) & psd_b.word(w) & pcf_b.word(w)))) |
+              (stall_b.word(w) & valid_b.word(w));
           mv &= hi == 64 ? ~0ULL : ((1ULL << hi) - 1);
           while (mv != 0) {
             const int b = std::countr_zero(mv);
             mv &= mv - 1;
             const int i = base + b;
+            if (stall_b.Test(i)) {
+              // Injected stall: the station sits this cycle out.
+              if (--fault_stall[static_cast<std::size_t>(i)] == 0) {
+                stall_b.Clear(i);
+              }
+              continue;
+            }
             Station& st = stations[static_cast<std::size_t>(i)];
+            const datapath::ResolvedArgs& args =
+                fast ? args_at[static_cast<std::size_t>(i)]
+                     : prop.args[static_cast<std::size_t>(i)];
             StepContext ctx;
             ctx.prev_stores_done = psd_b.Test(i);
             ctx.prev_loads_done = pld_b.Test(i);
             ctx.committed_ok = pcf_b.Test(i);
             ctx.alu_granted = config_.num_alus == 0 || grant_b.Test(i);
+            ctx.forwarding_enabled = fwd;
+            if (fwd && st.inst().op == isa::Opcode::kLoad) {
+              const MemWindowEntry* win =
+                  fast ? mem_window_pos.data() : mem_window.data();
+              if (win[i].addr_known) {
+                const auto decision = ResolveLoadForwarding(
+                    std::span<const MemWindowEntry>(
+                        win, static_cast<std::size_t>(fill)),
+                    static_cast<std::size_t>(i));
+                ctx.load_can_proceed = decision.can_proceed;
+                ctx.load_forward = decision.forward;
+                ctx.forward_value = decision.value;
+              }
+            }
+            const bool was_issued = st.issued;
+            const bool was_finished = st.finished;
+            const datapath::RegBinding pre_result = st.result;
             const bool mispredicted = StepStation(
-                st, prop.args[static_cast<std::size_t>(i)], ctx,
-                config_.latencies, mem, cycle, i,
+                st, args, ctx, config_.latencies, mem, cycle, i,
                 static_cast<std::uint64_t>(i), inflight, result.stats);
+            tel.OnStep(cycle, i, st, was_issued, was_finished);
+            if (fast) {
+              iss_b.SetTo(i, st.issued);
+              fin_b.SetTo(i, st.finished);
+              res_b.SetTo(i, st.resolved);
+              msub_b.SetTo(i, st.mem_submitted);
+              if (st.result != pre_result && isa::WritesRd(st.inst().op)) {
+                mark_result_change(i, st.inst().rd);
+              }
+              if (fwd) mw_stale_b.Set(i);
+            }
             if (mispredicted) {
               ++result.stats.mispredictions;
               for (int m = i + 1; m < fill; ++m) {
                 Station& victim = stations[static_cast<std::size_t>(m)];
                 if (victim.valid) {
                   ++result.stats.squashed_instructions;
+                  tel.OnSquash(cycle, m, victim);
+                  if (fast) fast_clear_slot(m, victim);
                   victim.Clear();
                   ++victim.generation;
                 }
@@ -597,6 +823,9 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
                     cycle);
         stations[static_cast<std::size_t>(fill)].timing.station = fill;
         tel.OnFetch(cycle, fill, stations[static_cast<std::size_t>(fill)]);
+        if (fast) {
+          fast_fill_slot(fill, stations[static_cast<std::size_t>(fill)]);
+        }
         ++fill;
       }
       if (fetch.stalled() && fill == 0) {

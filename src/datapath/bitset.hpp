@@ -19,6 +19,10 @@
 #include <cstdint>
 #include <vector>
 
+#if defined(ULTRA_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
 namespace ultra::datapath {
 
 /// Number of 64-bit words needed for @p bits bit lanes.
@@ -78,6 +82,9 @@ class PackedBits {
   [[nodiscard]] std::uint64_t& word(int w) {
     return words_[static_cast<std::size_t>(w)];
   }
+  /// Raw word storage, for the multi-word block kernels below.
+  [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
+  [[nodiscard]] std::uint64_t* words() { return words_.data(); }
 
   [[nodiscard]] bool AnySet() const {
     for (const std::uint64_t w : words_) {
@@ -123,6 +130,231 @@ void ForEachSetBitOr(const PackedBits& a, const PackedBits& b, Fn&& fn) {
       fn((w << 6) + bit);
       word &= word - 1;
     }
+  }
+}
+
+namespace packed_internal {
+
+// Multi-word block kernels. Each processes kBlockWords words per step so the
+// plain-C++ loop auto-vectorizes; under ULTRA_HAVE_AVX2 a block is one
+// 256-bit op. Word counts are tiny (n=1024 lanes is 16 words) so the scalar
+// remainder loop is never hot. The kernels operate on raw word arrays; the
+// PackedBits entry points below re-apply the tail mask on complement forms
+// so the tail-bits-zero invariant survives.
+inline constexpr int kBlockWords = 4;
+
+#if defined(ULTRA_HAVE_AVX2)
+inline void BlockAnd(const std::uint64_t* a, const std::uint64_t* b,
+                     std::uint64_t* dst) {
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(dst),
+      _mm256_and_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b))));
+}
+inline void BlockAndNot(const std::uint64_t* a, const std::uint64_t* b,
+                        std::uint64_t* dst) {
+  // _mm256_andnot_si256(x, y) = ~x & y, so pass b first for a & ~b.
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(dst),
+      _mm256_andnot_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a))));
+}
+inline void BlockOr(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* dst) {
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(dst),
+      _mm256_or_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b))));
+}
+inline void BlockOrNot(const std::uint64_t* a, const std::uint64_t* b,
+                       std::uint64_t* dst) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(dst),
+      _mm256_or_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+          _mm256_xor_si256(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b)),
+              ones)));
+}
+#else
+inline void BlockAnd(const std::uint64_t* a, const std::uint64_t* b,
+                     std::uint64_t* dst) {
+  for (int i = 0; i < kBlockWords; ++i) dst[i] = a[i] & b[i];
+}
+inline void BlockAndNot(const std::uint64_t* a, const std::uint64_t* b,
+                        std::uint64_t* dst) {
+  for (int i = 0; i < kBlockWords; ++i) dst[i] = a[i] & ~b[i];
+}
+inline void BlockOr(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* dst) {
+  for (int i = 0; i < kBlockWords; ++i) dst[i] = a[i] | b[i];
+}
+inline void BlockOrNot(const std::uint64_t* a, const std::uint64_t* b,
+                       std::uint64_t* dst) {
+  for (int i = 0; i < kBlockWords; ++i) dst[i] = a[i] | ~b[i];
+}
+#endif
+
+/// Runs @p block over full blocks of @p nw words and @p scalar over the
+/// remainder.
+template <typename BlockFn, typename ScalarFn>
+inline void ForEachBlock(int nw, BlockFn&& block, ScalarFn&& scalar) {
+  int w = 0;
+  for (; w + kBlockWords <= nw; w += kBlockWords) block(w);
+  for (; w < nw; ++w) scalar(w);
+}
+
+}  // namespace packed_internal
+
+/// out = a & b, word-parallel. All operands must be the same size (out may
+/// alias a or b).
+inline void PackedAndInto(const PackedBits& a, const PackedBits& b,
+                          PackedBits& out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  packed_internal::ForEachBlock(
+      a.num_words(),
+      [&](int w) { packed_internal::BlockAnd(a.words() + w, b.words() + w, out.words() + w); },
+      [&](int w) { out.word(w) = a.word(w) & b.word(w); });
+}
+
+/// out = a & ~b (set difference), word-parallel.
+inline void PackedAndNotInto(const PackedBits& a, const PackedBits& b,
+                             PackedBits& out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  packed_internal::ForEachBlock(
+      a.num_words(),
+      [&](int w) { packed_internal::BlockAndNot(a.words() + w, b.words() + w, out.words() + w); },
+      [&](int w) { out.word(w) = a.word(w) & ~b.word(w); });
+}
+
+/// out = a | b, word-parallel.
+inline void PackedOrInto(const PackedBits& a, const PackedBits& b,
+                         PackedBits& out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  packed_internal::ForEachBlock(
+      a.num_words(),
+      [&](int w) { packed_internal::BlockOr(a.words() + w, b.words() + w, out.words() + w); },
+      [&](int w) { out.word(w) = a.word(w) | b.word(w); });
+}
+
+/// out = a | ~b (e.g. the Figure 5 store-ordering condition
+/// "finished | ~is_store"), word-parallel, tail-masked so the complement
+/// introduces no ghost lanes.
+inline void PackedOrNotInto(const PackedBits& a, const PackedBits& b,
+                            PackedBits& out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  packed_internal::ForEachBlock(
+      a.num_words(),
+      [&](int w) { packed_internal::BlockOrNot(a.words() + w, b.words() + w, out.words() + w); },
+      [&](int w) { out.word(w) = a.word(w) | ~b.word(w); });
+  if (out.num_words() > 0) {
+    out.word(out.num_words() - 1) &= PackedTailMask(out.size());
+  }
+}
+
+/// dst |= src, word-parallel.
+inline void PackedOrAccumulate(PackedBits& dst, const PackedBits& src) {
+  PackedOrInto(dst, src, dst);
+}
+
+/// popcount(a & b) without materializing the intersection.
+[[nodiscard]] inline int PackedAndPopCount(const PackedBits& a,
+                                           const PackedBits& b) {
+  assert(a.size() == b.size());
+  int count = 0;
+  for (int w = 0; w < a.num_words(); ++w) {
+    count += std::popcount(a.word(w) & b.word(w));
+  }
+  return count;
+}
+
+/// Shifts every lane down by @p shift positions (lane i takes lane
+/// i + shift's value; the top @p shift lanes clear). Used by the hybrid
+/// core's cluster deallocation, which retires C positions at once.
+inline void PackedShiftDown(PackedBits& bits, int shift) {
+  assert(shift >= 0);
+  if (shift == 0 || bits.size() == 0) return;
+  if (shift >= bits.size()) {
+    bits.ClearAll();
+    return;
+  }
+  const int nw = bits.num_words();
+  const int ws = shift >> 6;
+  const int bs = shift & 63;
+  if (bs == 0) {
+    for (int w = 0; w + ws < nw; ++w) bits.word(w) = bits.word(w + ws);
+  } else {
+    for (int w = 0; w + ws < nw; ++w) {
+      std::uint64_t v = bits.word(w + ws) >> bs;
+      if (w + ws + 1 < nw) v |= bits.word(w + ws + 1) << (64 - bs);
+      bits.word(w) = v;
+    }
+  }
+  for (int w = nw - ws; w < nw; ++w) bits.word(w) = 0;
+}
+
+/// Index of the highest set lane in [lo, hi), or -1 when none. Word-at-a-time
+/// scan from the top; the building block of the nearest-preceding-writer
+/// searches in packed_resolve.hpp.
+[[nodiscard]] inline int HighestSetInRange(const PackedBits& bits, int lo,
+                                           int hi) {
+  assert(lo >= 0 && hi <= bits.size());
+  if (lo >= hi) return -1;
+  const int wl = lo >> 6;
+  const int wh = (hi - 1) >> 6;
+  for (int w = wh; w >= wl; --w) {
+    std::uint64_t word = bits.word(w);
+    if (w == wh) {
+      const int rem = hi - (w << 6);
+      if (rem < 64) word &= (1ULL << rem) - 1;
+    }
+    if (w == wl) word &= ~((1ULL << (lo & 63)) - 1);
+    if (word != 0) return (w << 6) + 63 - std::countl_zero(word);
+  }
+  return -1;
+}
+
+/// Index of the lowest set lane in [lo, hi), or -1 when none. Twin of
+/// HighestSetInRange for the nearest-following-writer searches.
+[[nodiscard]] inline int LowestSetInRange(const PackedBits& bits, int lo,
+                                          int hi) {
+  assert(lo >= 0 && hi <= bits.size());
+  if (lo >= hi) return -1;
+  const int wl = lo >> 6;
+  const int wh = (hi - 1) >> 6;
+  for (int w = wl; w <= wh; ++w) {
+    std::uint64_t word = bits.word(w);
+    if (w == wl) word &= ~((1ULL << (lo & 63)) - 1);
+    if (w == wh) {
+      const int rem = hi - (w << 6);
+      if (rem < 64) word &= (1ULL << rem) - 1;
+    }
+    if (word != 0) return (w << 6) + std::countr_zero(word);
+  }
+  return -1;
+}
+
+/// dst |= (src restricted to lanes [lo, hi)). Touches only the words the
+/// range spans, so marking a short span costs O(span), not O(n).
+inline void PackedOrRangeInto(const PackedBits& src, int lo, int hi,
+                              PackedBits& dst) {
+  assert(src.size() == dst.size());
+  assert(lo >= 0 && hi <= src.size());
+  if (lo >= hi) return;
+  const int wl = lo >> 6;
+  const int wh = (hi - 1) >> 6;
+  for (int w = wl; w <= wh; ++w) {
+    std::uint64_t word = src.word(w);
+    if (w == wl) word &= ~((1ULL << (lo & 63)) - 1);
+    if (w == wh) {
+      const int rem = hi - (w << 6);
+      if (rem < 64) word &= (1ULL << rem) - 1;
+    }
+    dst.word(w) |= word;
   }
 }
 

@@ -29,7 +29,9 @@
 namespace ultra::persist {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x504B4355;  // "UCKP" LE.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Version 2: RunStats::fallback_count joined the serialized partial result
+// (core/checkpoint_util.hpp).
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 struct CheckpointHeader {
   /// core::ProcessorKind of the core that wrote the blob (stored as the raw

@@ -176,6 +176,59 @@ TEST_P(SteadyStateAllocations, TelemetryEnabledStaysAllocationFree) {
   EXPECT_LT(delta * 8, long_run.cycles - short_run.cycles);
 }
 
+TEST_P(SteadyStateAllocations, PackedCycleLoopDoesNotTouchTheAllocator) {
+  const ProcessorKind kind = GetParam();
+  CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  cfg.datapath_eval = core::DatapathEval::kPacked;
+  const auto short_prog = workloads::DependencyChains(
+      {.num_instructions = 512, .ilp = 4, .seed = 11});
+  const auto long_prog = workloads::DependencyChains(
+      {.num_instructions = 4096, .ilp = 4, .seed = 11});
+
+  const RunCost short_run = MeasuredRun(kind, cfg, short_prog);
+  const RunCost long_run = MeasuredRun(kind, cfg, long_prog);
+  ASSERT_GT(long_run.cycles, short_run.cycles + 500u);
+  const std::uint64_t delta = long_run.allocations - short_run.allocations;
+  const std::uint64_t extra_cycles = long_run.cycles - short_run.cycles;
+  EXPECT_LT(delta, 64u) << "long run: " << long_run.allocations
+                        << " allocations over " << long_run.cycles
+                        << " cycles; short run: " << short_run.allocations
+                        << " over " << short_run.cycles;
+  EXPECT_LT(delta * 8, extra_cycles);
+}
+
+// The fallback-free packed loops keep store forwarding and the telemetry
+// hooks inside the word-parallel walk; with both engaged the steady state
+// must still stay off the allocator.
+TEST_P(SteadyStateAllocations, PackedForwardingTelemetryStaysAllocationFree) {
+  const ProcessorKind kind = GetParam();
+  CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.cluster_size = 8;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  cfg.datapath_eval = core::DatapathEval::kPacked;
+  cfg.store_forwarding = true;
+  const auto short_prog = workloads::DependencyChains(
+      {.num_instructions = 512, .ilp = 4, .seed = 11});
+  const auto long_prog = workloads::DependencyChains(
+      {.num_instructions = 4096, .ilp = 4, .seed = 11});
+
+  const RunCost short_run =
+      MeasuredTelemetryRun(kind, cfg, short_prog, true, true);
+  const RunCost long_run =
+      MeasuredTelemetryRun(kind, cfg, long_prog, true, true);
+  ASSERT_GT(long_run.cycles, short_run.cycles + 500u);
+  const std::uint64_t delta = long_run.allocations - short_run.allocations;
+  EXPECT_LT(delta, 64u) << "long run: " << long_run.allocations
+                        << " allocations over " << long_run.cycles
+                        << " cycles; short run: " << short_run.allocations
+                        << " over " << short_run.cycles;
+  EXPECT_LT(delta * 8, long_run.cycles - short_run.cycles);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCores, SteadyStateAllocations,
     testing::Values(ProcessorKind::kIdeal, ProcessorKind::kUltrascalarI,

@@ -76,6 +76,109 @@ TEST(PackedBitsTest, BasicInvariants) {
   EXPECT_EQ(visited, 69);
 }
 
+// Multi-word block kernels (4 words per step, one AVX2 op per block when
+// ULTRA_HAVE_AVX2 is on): every boolean combiner must match the naive
+// per-lane reference on the same word-boundary-straddling sizes. The same
+// binary runs with AVX2 on and off in CI, so this sweep is the
+// scalar-vs-SIMD equivalence check.
+TEST(PackedBitsTest, BlockCombinersMatchPerLaneReference) {
+  std::uint64_t state = 0xa5a5a5a55a5a5a5aULL;
+  for (const int n : kSizes) {
+    for (const double density : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+      const auto a_bytes = RandomBytes(n, density, state);
+      const auto b_bytes = RandomBytes(n, 1.0 - density, state);
+      const PackedBits a = Pack(a_bytes);
+      const PackedBits b = Pack(b_bytes);
+      PackedBits out(n);
+      std::vector<std::uint8_t> expect(static_cast<std::size_t>(n));
+
+      PackedAndInto(a, b, out);
+      for (int i = 0; i < n; ++i) expect[i] = a_bytes[i] & b_bytes[i];
+      ExpectSameLanes(expect, out, "and", n, -1);
+
+      PackedAndNotInto(a, b, out);
+      for (int i = 0; i < n; ++i) expect[i] = a_bytes[i] & !b_bytes[i];
+      ExpectSameLanes(expect, out, "and-not", n, -1);
+
+      PackedOrInto(a, b, out);
+      for (int i = 0; i < n; ++i) expect[i] = a_bytes[i] | b_bytes[i];
+      ExpectSameLanes(expect, out, "or", n, -1);
+
+      PackedOrNotInto(a, b, out);
+      for (int i = 0; i < n; ++i) expect[i] = a_bytes[i] | !b_bytes[i];
+      ExpectSameLanes(expect, out, "or-not", n, -1);
+      // The complement must not leak ghost lanes into the tail word.
+      EXPECT_EQ(out.word(out.num_words() - 1) & ~PackedTailMask(n), 0u);
+
+      int pc = 0;
+      for (int i = 0; i < n; ++i) pc += a_bytes[i] & b_bytes[i];
+      EXPECT_EQ(PackedAndPopCount(a, b), pc) << "n=" << n;
+
+      PackedBits acc = Pack(a_bytes);
+      PackedOrAccumulate(acc, b);
+      for (int i = 0; i < n; ++i) expect[i] = a_bytes[i] | b_bytes[i];
+      ExpectSameLanes(expect, acc, "or-accumulate", n, -1);
+
+      // Aliased output (out == a) must be safe.
+      PackedBits alias = Pack(a_bytes);
+      PackedAndInto(alias, b, alias);
+      for (int i = 0; i < n; ++i) expect[i] = a_bytes[i] & b_bytes[i];
+      ExpectSameLanes(expect, alias, "and-aliased", n, -1);
+    }
+  }
+}
+
+TEST(PackedBitsTest, ShiftDownMatchesPerLaneReference) {
+  std::uint64_t state = 0xdeadbeefcafef00dULL;
+  for (const int n : kSizes) {
+    const auto bytes = RandomBytes(n, 0.5, state);
+    for (const int shift : {0, 1, 4, 8, 63, 64, 65, n - 1, n, n + 7}) {
+      if (shift < 0) continue;
+      PackedBits bits = Pack(bytes);
+      PackedShiftDown(bits, shift);
+      std::vector<std::uint8_t> expect(static_cast<std::size_t>(n), 0);
+      for (int i = 0; i + shift < n; ++i) expect[i] = bytes[i + shift];
+      ExpectSameLanes(expect, bits, "shift-down", n, shift);
+    }
+  }
+}
+
+TEST(PackedBitsTest, RangeScansMatchLinearReference) {
+  std::uint64_t state = 0x0badc0ffee0ddf00ULL;
+  for (const int n : kSizes) {
+    for (const double density : {0.0, 0.05, 0.5, 1.0}) {
+      const auto bytes = RandomBytes(n, density, state);
+      const PackedBits bits = Pack(bytes);
+      const int step = n > 32 ? 11 : 1;
+      for (int lo = 0; lo <= n; lo += step) {
+        for (int hi = lo; hi <= n; hi += step) {
+          int lowest = -1;
+          int highest = -1;
+          for (int i = lo; i < hi; ++i) {
+            if (!bytes[static_cast<std::size_t>(i)]) continue;
+            if (lowest < 0) lowest = i;
+            highest = i;
+          }
+          ASSERT_EQ(LowestSetInRange(bits, lo, hi), lowest)
+              << "n=" << n << " [" << lo << "," << hi << ")";
+          ASSERT_EQ(HighestSetInRange(bits, lo, hi), highest)
+              << "n=" << n << " [" << lo << "," << hi << ")";
+
+          PackedBits dst(n);
+          dst.Set(0);  // Pre-existing lanes must survive the |=.
+          PackedOrRangeInto(bits, lo, hi, dst);
+          std::vector<std::uint8_t> expect(static_cast<std::size_t>(n), 0);
+          expect[0] = 1;
+          for (int i = lo; i < hi; ++i) {
+            if (bytes[static_cast<std::size_t>(i)]) expect[i] = 1;
+          }
+          ExpectSameLanes(expect, dst, "or-range", n, lo);
+        }
+      }
+    }
+  }
+}
+
 TEST(PackedSequencingTest, CyclicPrefixesMatchByteLanes) {
   SCOPED_TRACE("cyclic");
   std::uint64_t state = 0x1234567890abcdefULL;

@@ -3,9 +3,10 @@
 // path must reproduce the full-recompute reference and the incremental
 // path byte for byte — the complete RunResult, timeline included — across
 // window sizes that exercise partial words, shared ALUs, real memory
-// models, speculation, and squashes. Configurations the packed loops do
-// not cover (fault plans, store forwarding, pipelined datapaths) must fall
-// back transparently and still match. Checkpoint round-trips under packed
+// models, speculation, and squashes. Packed mode is fallback-free: fault
+// plans, store forwarding, telemetry, and pipelined datapaths all run
+// inside the packed cycle loops (RunStats::fallback_count must stay 0)
+// and still match byte for byte. Checkpoint round-trips under packed
 // evaluation must resume cycle-for-cycle identically. See docs/runtime.md,
 // "Bit-packed evaluation".
 #include <gtest/gtest.h>
@@ -140,11 +141,12 @@ TEST(PackedEval, KernelsAgreeOnAllCores) {
   ExpectAllEvalPathsAgree(workloads::DotProduct(40), cfg);
 }
 
-// Configurations outside the packed loops' model: the request must fall
-// back to the incremental path transparently, still byte-identical. Fault
-// injection is the interesting one — the injected events, self-checking
-// resyncs, and fault squashes must all still happen.
-TEST(PackedEvalFallback, FaultInjectionRunsUnchanged) {
+// Configurations that used to route around the packed loops now run
+// inside them — fallback-free, still byte-identical, with the fallback
+// counter pinned at zero. Fault injection is the interesting one — the
+// injected events, self-checking resyncs, and fault squashes must all
+// still happen under the word-parallel walk.
+TEST(PackedEvalFallbackFree, FaultInjectionRunsPackedUnchanged) {
   const auto program = workloads::DependencyChains(
       {.num_instructions = 400, .ilp = 3});
   for (const auto kind : kAllKinds) {
@@ -159,10 +161,16 @@ TEST(PackedEvalFallback, FaultInjectionRunsUnchanged) {
     cfg.datapath_eval = DatapathEval::kPacked;
     const RunResult packed = core::MakeProcessor(kind, cfg)->Run(program);
     ExpectSameRun(packed, incr);
+    // The Ideal core models no delivery hardware to corrupt; only the
+    // scalable cores take injections.
+    if (kind != ProcessorKind::kIdeal) {
+      EXPECT_GT(packed.stats.fault.injected, 0u);
+    }
+    EXPECT_EQ(packed.stats.fallback_count, 0u);
   }
 }
 
-TEST(PackedEvalFallback, StoreForwardingRunsUnchanged) {
+TEST(PackedEvalFallbackFree, StoreForwardingRunsPackedUnchanged) {
   const auto program = workloads::RandomMix(
       {.num_instructions = 400, .load_fraction = 0.3, .store_fraction = 0.25,
        .memory_words = 32, .seed = 3});
@@ -177,7 +185,28 @@ TEST(PackedEvalFallback, StoreForwardingRunsUnchanged) {
     cfg.datapath_eval = DatapathEval::kPacked;
     const RunResult packed = core::MakeProcessor(kind, cfg)->Run(program);
     ExpectSameRun(packed, incr);
+    EXPECT_GT(packed.stats.forwarded_loads, 0u);
+    EXPECT_EQ(packed.stats.fallback_count, 0u);
   }
+}
+
+// Pipelined register delivery is an Ultrascalar I feature; packed mode
+// must model the staged delivery rather than routing around it.
+TEST(PackedEvalFallbackFree, PipelinedDatapathRunsPackedUnchanged) {
+  const auto program = workloads::DependencyChains(
+      {.num_instructions = 400, .ilp = 3});
+  CoreConfig cfg;
+  cfg.window_size = 80;
+  cfg.pipeline_levels_per_stage = 2;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  cfg.datapath_eval = DatapathEval::kIncremental;
+  const RunResult incr =
+      core::MakeProcessor(ProcessorKind::kUltrascalarI, cfg)->Run(program);
+  cfg.datapath_eval = DatapathEval::kPacked;
+  const RunResult packed =
+      core::MakeProcessor(ProcessorKind::kUltrascalarI, cfg)->Run(program);
+  ExpectSameRun(packed, incr);
+  EXPECT_EQ(packed.stats.fallback_count, 0u);
 }
 
 // Checkpoint/restore under packed evaluation: save mid-run, restore, and
@@ -206,6 +235,39 @@ TEST(PackedEvalCheckpoint, RoundTripsMatchUninterruptedRun) {
       const persist::Checkpoint ckpt = proc->SaveCheckpoint(program, cycle);
       const RunResult resumed = proc->RestoreCheckpoint(program, ckpt);
       ExpectSameRun(resumed, packed);
+    }
+  }
+}
+
+// The hard case for fallback-free packed mode: a checkpoint taken while a
+// fault plan has corruption live in the delivery buffers must restore into
+// the packed loop and reproduce the faulted trajectory (divergences,
+// resyncs, squashes) cycle for cycle — with zero fallbacks.
+TEST(PackedEvalCheckpoint, RoundTripsUnderLiveFaultPlan) {
+  const auto program = workloads::RandomMix({.num_instructions = 512});
+  for (const auto kind : kAllKinds) {
+    if (kind == ProcessorKind::kIdeal) continue;  // No fault injection.
+    SCOPED_TRACE(core::ProcessorKindName(kind));
+    CoreConfig cfg;
+    cfg.window_size = 16;
+    cfg.cluster_size = 4;
+    cfg.mem.mode = memory::MemTimingMode::kMagic;
+    cfg.datapath_eval = DatapathEval::kPacked;
+    cfg.fault_plan = std::make_shared<const fault::FaultPlan>(
+        fault::FaultPlan::Random(7, 0.02, 50'000));
+    const auto proc = core::MakeProcessor(kind, cfg);
+    const RunResult packed = proc->Run(program);
+    ASSERT_TRUE(packed.halted);
+    EXPECT_GT(packed.stats.fault.injected, 0u);
+    EXPECT_EQ(packed.stats.fallback_count, 0u);
+    for (const std::uint64_t cycle : {packed.cycles / 4, packed.cycles / 2,
+                                      (3 * packed.cycles) / 4}) {
+      if (cycle == 0 || cycle >= packed.cycles) continue;
+      SCOPED_TRACE("checkpoint at cycle " + std::to_string(cycle));
+      const persist::Checkpoint ckpt = proc->SaveCheckpoint(program, cycle);
+      const RunResult resumed = proc->RestoreCheckpoint(program, ckpt);
+      ExpectSameRun(resumed, packed);
+      EXPECT_EQ(resumed.stats.fallback_count, 0u);
     }
   }
 }

@@ -154,7 +154,7 @@ TEST(CheckpointFile, GoldenHeaderBytesLockTheFormatVersion) {
   ckpt.state = {0xDE, 0xAD};
   const std::vector<std::uint8_t> bytes = persist::EncodeCheckpoint(ckpt);
   ASSERT_GE(bytes.size(), 8u);
-  const std::uint8_t golden[8] = {'U', 'C', 'K', 'P', 1, 0, 0, 0};
+  const std::uint8_t golden[8] = {'U', 'C', 'K', 'P', 2, 0, 0, 0};
   for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(bytes[static_cast<std::size_t>(i)], golden[i]) << "byte " << i;
   }

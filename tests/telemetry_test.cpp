@@ -362,6 +362,35 @@ TEST(CoreTelemetry, Figure3IssueScheduleMatchesThePaper) {
   }
 }
 
+// Packed evaluation folds the telemetry hooks into the word-parallel walk
+// instead of falling back to the incremental loop; the full metric sheet
+// (every counter, gauge, and histogram bucket) must come out identical to
+// the incremental run's on the paper's Figure 3 schedule.
+TEST(CoreTelemetry, PackedMetricSheetMatchesIncrementalOnFigure3) {
+  const auto program = workloads::Figure3Example();
+  const auto run = [&](core::ProcessorKind kind, core::DatapathEval eval) {
+    telemetry::RunTelemetry telem;
+    core::CoreConfig cfg;
+    cfg.window_size = 64;
+    cfg.predictor = core::PredictorKind::kBtfn;
+    cfg.mem.mode = memory::MemTimingMode::kMagic;
+    cfg.datapath_eval = eval;
+    cfg.telemetry = &telem;
+    const auto result = core::MakeProcessor(kind, cfg)->Run(program);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(result.stats.fallback_count, 0u);
+    return telem.Snapshot();
+  };
+  for (const auto kind :
+       {core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
+        core::ProcessorKind::kUltrascalarII, core::ProcessorKind::kHybrid}) {
+    SCOPED_TRACE(std::string(core::ProcessorKindName(kind)));
+    const auto incr = run(kind, core::DatapathEval::kIncremental);
+    const auto packed = run(kind, core::DatapathEval::kPacked);
+    EXPECT_EQ(packed, incr);
+  }
+}
+
 // --- Sweep integration ---------------------------------------------------
 
 std::vector<runtime::SweepPoint> MetricsGrid() {
