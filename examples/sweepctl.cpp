@@ -1,0 +1,337 @@
+// sweepctl: operator CLI for the sweep service (src/service/).
+//
+//   sweepctl serve  --socket=S --state-dir=D [--max-queue=N] [--threads=N]
+//                   [--drain-timeout=SEC]
+//   sweepctl submit --socket=S [point spec] [--deadline=SEC] [--detach]
+//                   [--tag=T] [--csv=NAME] [--json=NAME] [--wait]
+//                   [--csv-out=PATH]
+//   sweepctl status --socket=S
+//   sweepctl wait   --socket=S --id=N [--csv-out=PATH] [--json-out=PATH]
+//   sweepctl cancel --socket=S --id=N
+//   sweepctl shutdown --socket=S [--hard]
+//   sweepctl run    [point spec] [--threads=N] --csv-out=PATH
+//
+// Point spec (shared by submit and run, so the two build *identical*
+// points -- the CI smoke test compares the daemon's export against a local
+// `sweepctl run` of the same spec byte for byte):
+//   --kinds=Ideal,UltrascalarI,UltrascalarII,Hybrid   (default UltrascalarI)
+//   --windows=4,8,16                                  (default 16)
+//   --workload=fib:K | figure3 | dot:N | memcpy:N | sort:N | spin
+//   --max-cycles=N
+// "spin" is an intentionally non-halting loop for exercising deadlines.
+//
+// `serve` runs the daemon in the foreground. SIGTERM and SIGINT drain
+// (in-flight points finish and are journaled, queued requests stay
+// journaled); SIGKILL is the crash case the journals exist for -- restart
+// with the same --state-dir and the service resumes.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "runtime/sweep_io.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "service/client.hpp"
+#include "service/sweep_service.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int sig) { g_signal = sig; }
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> named;
+
+  [[nodiscard]] std::string Get(const std::string& name,
+                                const std::string& fallback = "") const {
+    for (const auto& [k, v] : named) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+  [[nodiscard]] bool Has(const std::string& name) const {
+    for (const auto& [k, v] : named) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+};
+
+Flags Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.named.emplace_back(arg.substr(2), "");
+      } else {
+        flags.named.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    } else {
+      flags.positional.push_back(std::move(arg));
+    }
+  }
+  return flags;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+ultra::core::ProcessorKind KindFromName(const std::string& name) {
+  using ultra::core::ProcessorKind;
+  if (name == "Ideal") return ProcessorKind::kIdeal;
+  if (name == "UltrascalarI") return ProcessorKind::kUltrascalarI;
+  if (name == "UltrascalarII") return ProcessorKind::kUltrascalarII;
+  if (name == "Hybrid") return ProcessorKind::kHybrid;
+  throw std::runtime_error("unknown processor kind: " + name);
+}
+
+/// Builds the deterministic point list both `submit` and `run` share.
+std::vector<ultra::runtime::SweepPoint> BuildPoints(const Flags& flags) {
+  using ultra::isa::Program;
+  const std::string spec = flags.Get("workload", "fib:10");
+  std::shared_ptr<const Program> program;
+  std::string label = spec;
+  if (spec.rfind("fib:", 0) == 0) {
+    program = std::make_shared<const Program>(
+        ultra::workloads::Fibonacci(std::atoi(spec.c_str() + 4)));
+  } else if (spec == "figure3") {
+    program =
+        std::make_shared<const Program>(ultra::workloads::Figure3Example());
+  } else if (spec.rfind("dot:", 0) == 0) {
+    program = std::make_shared<const Program>(
+        ultra::workloads::DotProduct(std::atoi(spec.c_str() + 4)));
+  } else if (spec.rfind("memcpy:", 0) == 0) {
+    program = std::make_shared<const Program>(
+        ultra::workloads::MemCopy(std::atoi(spec.c_str() + 7)));
+  } else if (spec.rfind("sort:", 0) == 0) {
+    program = std::make_shared<const Program>(
+        ultra::workloads::BubbleSort(std::atoi(spec.c_str() + 5)));
+  } else if (spec == "spin") {
+    // Never halts: the workload used to exercise deadlines and drains.
+    program = std::make_shared<const Program>(
+        ultra::isa::AssembleOrDie("loop: jmp loop\n"));
+  } else {
+    throw std::runtime_error("unknown workload spec: " + spec);
+  }
+
+  std::vector<ultra::core::ProcessorKind> kinds;
+  for (const std::string& name :
+       SplitCommas(flags.Get("kinds", "UltrascalarI"))) {
+    kinds.push_back(KindFromName(name));
+  }
+  std::vector<int> windows;
+  for (const std::string& w : SplitCommas(flags.Get("windows", "16"))) {
+    windows.push_back(std::atoi(w.c_str()));
+  }
+
+  std::vector<ultra::runtime::SweepPoint> points;
+  for (const ultra::core::ProcessorKind kind : kinds) {
+    for (const int window : windows) {
+      ultra::runtime::SweepPoint p;
+      p.kind = kind;
+      p.config.window_size = window;
+      if (flags.Has("max-cycles")) {
+        p.config.max_cycles = std::strtoull(
+            flags.Get("max-cycles").c_str(), nullptr, 10);
+      } else if (spec == "spin") {
+        p.config.max_cycles = ~0ull;  // Only a cancel/deadline can end it.
+      }
+      p.program = program;
+      p.workload = label;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+int Serve(const Flags& flags) {
+  ultra::service::ServiceOptions options;
+  options.socket_path = flags.Get("socket", "/tmp/sweepd.sock");
+  options.state_dir = flags.Get("state-dir", "/tmp/sweepd-state");
+  if (flags.Has("max-queue")) {
+    options.max_queue =
+        static_cast<std::size_t>(std::atoll(flags.Get("max-queue").c_str()));
+  }
+  if (flags.Has("drain-timeout")) {
+    options.drain_timeout_seconds = std::atof(flags.Get("drain-timeout").c_str());
+  }
+  if (flags.Has("threads")) {
+    options.sweep.num_threads = std::atoi(flags.Get("threads").c_str());
+  }
+
+  ultra::service::SweepService service(std::move(options));
+  service.Start();
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  // Scripts wait for this line before connecting.
+  std::printf("sweepd: listening on %s (state %s)\n",
+              service.options().socket_path.c_str(),
+              service.options().state_dir.c_str());
+  std::fflush(stdout);
+
+  while (g_signal == 0 && !service.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Signals drain; a client kShutdown carries its own drain/hard choice.
+  const bool drain = g_signal != 0 ? true : service.shutdown_drain();
+  std::printf("sweepd: stopping (%s)\n", drain ? "drain" : "hard");
+  std::fflush(stdout);
+  service.Stop(drain);
+  return 0;
+}
+
+int Submit(const Flags& flags) {
+  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  ultra::service::SubmitRequest request;
+  request.points = BuildPoints(flags);
+  request.deadline_seconds = std::atof(flags.Get("deadline", "0").c_str());
+  request.detach = flags.Has("detach");
+  request.tag = flags.Get("tag");
+  request.csv_name = flags.Get("csv");
+  request.json_name = flags.Get("json");
+
+  const ultra::service::SubmitReply reply = client.Submit(request);
+  std::printf("submit: %s id=%llu queue_depth=%llu %s\n",
+              std::string(AdmitStatusName(reply.status)).c_str(),
+              static_cast<unsigned long long>(reply.request_id),
+              static_cast<unsigned long long>(reply.queue_depth),
+              reply.message.c_str());
+  if (reply.status != ultra::service::AdmitStatus::kAccepted) {
+    // Overload maps to a distinct exit code so retry loops in scripts can
+    // tell "back off" from "give up".
+    return reply.status == ultra::service::AdmitStatus::kOverloaded ? 3 : 2;
+  }
+  if (!flags.Has("wait")) return 0;
+
+  ultra::service::WaitRequest wait;
+  wait.request_id = reply.request_id;
+  wait.want_csv = flags.Has("csv-out");
+  const ultra::service::WaitReply done = client.Wait(wait);
+  std::printf("wait: %s ok=%llu failed=%llu %s\n",
+              std::string(RequestStateName(done.state)).c_str(),
+              static_cast<unsigned long long>(done.ok_points),
+              static_cast<unsigned long long>(done.failed_points),
+              done.message.c_str());
+  if (wait.want_csv && !done.csv_text.empty()) {
+    std::ofstream out(flags.Get("csv-out"), std::ios::binary);
+    out << done.csv_text;
+  }
+  return done.state == ultra::service::RequestState::kDone ? 0 : 2;
+}
+
+int Wait(const Flags& flags) {
+  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  ultra::service::WaitRequest wait;
+  wait.request_id = std::strtoull(flags.Get("id", "0").c_str(), nullptr, 10);
+  wait.want_csv = flags.Has("csv-out");
+  wait.want_json = flags.Has("json-out");
+  const ultra::service::WaitReply done = client.Wait(wait);
+  std::printf("wait: %s ok=%llu failed=%llu %s\n",
+              std::string(RequestStateName(done.state)).c_str(),
+              static_cast<unsigned long long>(done.ok_points),
+              static_cast<unsigned long long>(done.failed_points),
+              done.message.c_str());
+  if (wait.want_csv && !done.csv_text.empty()) {
+    std::ofstream out(flags.Get("csv-out"), std::ios::binary);
+    out << done.csv_text;
+  }
+  if (wait.want_json && !done.json_text.empty()) {
+    std::ofstream out(flags.Get("json-out"), std::ios::binary);
+    out << done.json_text;
+  }
+  return done.state == ultra::service::RequestState::kDone ? 0 : 2;
+}
+
+int Status(const Flags& flags) {
+  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  std::fputs(client.Status().c_str(), stdout);
+  return 0;
+}
+
+int Cancel(const Flags& flags) {
+  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  const ultra::service::CancelReply reply = client.Cancel(
+      std::strtoull(flags.Get("id", "0").c_str(), nullptr, 10));
+  std::printf("cancel: %s %s\n", reply.cancelled ? "ok" : "no",
+              reply.message.c_str());
+  return reply.cancelled ? 0 : 2;
+}
+
+int Shutdown(const Flags& flags) {
+  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  client.Shutdown(/*drain=*/!flags.Has("hard"));
+  std::printf("shutdown: requested (%s)\n", flags.Has("hard") ? "hard" : "drain");
+  return 0;
+}
+
+/// Runs the same point spec locally -- the reference artifact the CI smoke
+/// compares the daemon's crash-recovered export against.
+int Run(const Flags& flags) {
+  ultra::runtime::SweepOptions options;
+  if (flags.Has("threads")) {
+    options.num_threads = std::atoi(flags.Get("threads").c_str());
+  }
+  const ultra::runtime::SweepRunner runner(options);
+  const std::vector<ultra::runtime::SweepOutcome> outcomes =
+      runner.Run(BuildPoints(flags));
+  if (flags.Has("csv-out")) {
+    std::ofstream out(flags.Get("csv-out"), std::ios::binary);
+    ultra::runtime::WriteCsv(out, outcomes);
+  }
+  if (flags.Has("json-out")) {
+    std::ofstream out(flags.Get("json-out"), std::ios::binary);
+    ultra::runtime::WriteJson(out, outcomes);
+  }
+  std::printf("run: %zu points\n", outcomes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Parse(argc, argv);
+  if (flags.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: sweepctl serve|submit|status|wait|cancel|shutdown|run "
+                 "[--flags]\n(see the header comment of examples/sweepctl.cpp)\n");
+    return 1;
+  }
+  const std::string& cmd = flags.positional.front();
+  try {
+    if (cmd == "serve") return Serve(flags);
+    if (cmd == "submit") return Submit(flags);
+    if (cmd == "status") return Status(flags);
+    if (cmd == "wait") return Wait(flags);
+    if (cmd == "cancel") return Cancel(flags);
+    if (cmd == "shutdown") return Shutdown(flags);
+    if (cmd == "run") return Run(flags);
+    std::fprintf(stderr, "sweepctl: unknown command '%s'\n", cmd.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweepctl %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}

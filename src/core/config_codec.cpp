@@ -42,7 +42,11 @@ memory::MemoryConfig DecodeMemConfig(persist::Decoder& d) {
   mem.cache.hit_latency = d.I32();
   mem.cache.miss_penalty = d.I32();
   mem.cache.ports_per_bank = d.I32();
-  mem.regime = static_cast<memory::BandwidthRegime>(d.U8());
+  const std::uint8_t regime = d.U8();
+  if (regime > static_cast<std::uint8_t>(memory::BandwidthRegime::kLinear)) {
+    throw persist::FormatError("bad bandwidth regime");
+  }
+  mem.regime = static_cast<memory::BandwidthRegime>(regime);
   mem.bandwidth_scale = d.F64();
   mem.cluster_cache_leaves = d.I32();
   mem.cluster_cache_words = d.I32();
@@ -96,7 +100,13 @@ CoreConfig DecodeCoreConfig(persist::Decoder& d) {
   }
   config.predictor = static_cast<PredictorKind>(predictor);
   for (int c = 0; c < kNumOpClasses; ++c) {
-    config.latencies.Set(static_cast<isa::OpClass>(c), d.I32());
+    const std::int32_t cycles = d.I32();
+    // Validate before LatencyModel::Set, whose >= 1 contract is an assert:
+    // corrupt input must be a FormatError, never an abort.
+    if (cycles < 1) {
+      throw persist::FormatError("bad op-class latency");
+    }
+    config.latencies.Set(static_cast<isa::OpClass>(c), cycles);
   }
   config.mem = DecodeMemConfig(d);
   config.max_cycles = d.U64();

@@ -1,5 +1,7 @@
 #include "isa/program_codec.hpp"
 
+#include <algorithm>
+
 namespace ultra::isa {
 
 void EncodeProgram(persist::Encoder& e, const Program& program) {
@@ -22,7 +24,9 @@ void EncodeProgram(persist::Encoder& e, const Program& program) {
 Program DecodeProgram(persist::Decoder& d) {
   const std::uint32_t code_size = d.U32();
   std::vector<Instruction> code;
-  code.reserve(code_size);
+  // Clamp by the bytes present (8 per instruction): a corrupt count must
+  // underflow into FormatError, never drive a huge allocation.
+  code.reserve(std::min<std::size_t>(code_size, d.remaining() / 8));
   for (std::uint32_t i = 0; i < code_size; ++i) {
     const auto inst = Decode(d.U64());
     if (!inst) throw persist::FormatError("undecodable instruction");

@@ -50,31 +50,40 @@ void JournalWriter::Append(std::uint32_t type,
   std::vector<std::uint8_t> bytes = frame.Take();
   bytes.insert(bytes.end(), payload.begin(), payload.end());
 
+  // A failed write() or fsync() (ENOSPC, I/O error) can leave a *partial*
+  // frame on disk. Readers stop at the first bad frame, so leaving the torn
+  // bytes in place would silently orphan every record appended afterwards.
+  // Roll the file back to its pre-append length before reporting failure.
+  const off_t pre_size = ::lseek(fd_, 0, SEEK_END);
+  const auto fail = [&](const char* what) {
+    const int saved_errno = errno;
+    if (pre_size >= 0 && ::ftruncate(fd_, pre_size) == 0) {
+      ::fsync(fd_);  // Make the rollback itself durable (best-effort).
+    }
+    throw std::runtime_error(std::string(what) + " journal " + path_ + ": " +
+                             std::strerror(saved_errno));
+  };
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("cannot append to journal " + path_ + ": " +
-                               std::strerror(errno));
+      fail("cannot append to");
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0) {
-    throw std::runtime_error("cannot fsync journal " + path_ + ": " +
-                             std::strerror(errno));
-  }
+  if (::fsync(fd_) != 0) fail("cannot fsync");
 }
 
-std::vector<JournalRecord> ReadJournal(const std::string& path) {
+JournalScan ScanJournal(const std::string& path) {
+  JournalScan scan;
   std::vector<std::uint8_t> data;
   try {
     data = ReadFileBytes(path);
   } catch (const FormatError&) {
-    return {};  // Missing journal = nothing completed yet.
+    return scan;  // Missing journal = nothing completed yet.
   }
 
-  std::vector<JournalRecord> records;
   std::size_t pos = 0;
   const auto u32_at = [&](std::size_t p) {
     std::uint32_t v = 0;
@@ -96,12 +105,37 @@ std::vector<JournalRecord> ReadJournal(const std::string& path) {
     crc_bytes.insert(crc_bytes.end(), data.begin() + pos + 16,
                      data.begin() + pos + 16 + length);
     if (Crc32(crc_bytes) != stored_crc) break;  // Corrupt tail.
-    records.push_back(
+    scan.records.push_back(
         {type, std::vector<std::uint8_t>(data.begin() + pos + 16,
                                          data.begin() + pos + 16 + length)});
     pos += 16 + length;
   }
-  return records;
+  scan.valid_bytes = pos;
+  scan.discarded_bytes = data.size() - pos;
+  return scan;
+}
+
+std::vector<JournalRecord> ReadJournal(const std::string& path) {
+  return ScanJournal(path).records;
+}
+
+std::uint64_t RepairJournal(const std::string& path) {
+  const JournalScan scan = ScanJournal(path);
+  if (scan.discarded_bytes == 0) return 0;
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open journal " + path +
+                             " for repair: " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot truncate journal " + path + ": " +
+                             std::strerror(saved_errno));
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return scan.discarded_bytes;
 }
 
 }  // namespace ultra::persist

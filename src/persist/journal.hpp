@@ -44,7 +44,11 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   /// Frames, writes, and fsyncs one record. Throws std::runtime_error on
-  /// I/O failure.
+  /// I/O failure. A failed append (ENOSPC, I/O error) never leaves a
+  /// partial frame behind: the file is truncated back to its pre-append
+  /// length before the error propagates, so later appends — possibly from
+  /// a retried request after the disk recovered — land after the last
+  /// *whole* record instead of after garbage that would orphan them.
   void Append(std::uint32_t type, std::span<const std::uint8_t> payload);
 
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -54,9 +58,34 @@ class JournalWriter {
   int fd_ = -1;
 };
 
+/// The result of walking a journal file frame by frame.
+struct JournalScan {
+  std::vector<JournalRecord> records;  // Every intact record, append order.
+  /// Byte offset just past the last intact frame: the length RepairJournal
+  /// would truncate the file to.
+  std::uint64_t valid_bytes = 0;
+  /// Trailing bytes after the last intact frame (a torn append, bit rot,
+  /// or garbage written after a crash). 0 for a clean journal.
+  std::uint64_t discarded_bytes = 0;
+};
+
+/// Reads every intact record of @p path and reports — rather than silently
+/// dropping — how many trailing bytes did not form an intact frame. A
+/// missing file scans as empty and clean.
+[[nodiscard]] JournalScan ScanJournal(const std::string& path);
+
 /// Reads every intact record of @p path, in append order. A missing file
 /// yields an empty vector; a torn or corrupt tail is silently discarded
-/// (that is the crash contract, not an error).
+/// (that is the crash contract, not an error). Use ScanJournal when the
+/// discarded-byte count matters.
 [[nodiscard]] std::vector<JournalRecord> ReadJournal(const std::string& path);
+
+/// Truncates @p path to its last intact frame so a restarted service can
+/// keep appending to a journal whose tail was torn by a crash (appending
+/// *after* the garbage would orphan every later record, since readers stop
+/// at the first bad frame). Returns the number of bytes removed (0 when the
+/// journal is clean or missing). Throws std::runtime_error when the
+/// truncation itself fails.
+std::uint64_t RepairJournal(const std::string& path);
 
 }  // namespace ultra::persist

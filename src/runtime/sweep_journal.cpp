@@ -1,5 +1,7 @@
 #include "runtime/sweep_journal.hpp"
 
+#include <algorithm>
+
 #include "core/config_codec.hpp"
 #include "isa/program_codec.hpp"
 #include "persist/journal.hpp"
@@ -65,7 +67,9 @@ SweepOutcome DecodeOutcome(persist::Decoder& d) {
   o.attempts = d.I32();
   o.deadline_exceeded = d.Bool();
   const std::uint32_t n_errors = d.U32();
-  o.attempt_errors.reserve(n_errors);
+  // Clamp by the bytes actually present: a corrupt count must underflow
+  // into FormatError, never drive a huge up-front allocation.
+  o.attempt_errors.reserve(std::min<std::size_t>(n_errors, d.remaining()));
   for (std::uint32_t i = 0; i < n_errors; ++i) {
     o.attempt_errors.push_back(d.Str());
   }
@@ -73,7 +77,7 @@ SweepOutcome DecodeOutcome(persist::Decoder& d) {
   o.result.cycles = d.U64();
   o.result.committed = d.U64();
   const std::uint32_t n_regs = d.U32();
-  o.result.regs.reserve(n_regs);
+  o.result.regs.reserve(std::min<std::size_t>(n_regs, d.remaining()));
   for (std::uint32_t i = 0; i < n_regs; ++i) o.result.regs.push_back(d.U32());
   core::RunStats& s = o.result.stats;
   s.mispredictions = d.U64();

@@ -192,6 +192,8 @@ struct RunnerMetrics {
   telemetry::CounterId retries = registry.Counter("sweep.retries");
   telemetry::CounterId deadline_exceeded =
       registry.Counter("sweep.deadline_exceeded");
+  telemetry::CounterId cancelled_points =
+      registry.Counter("sweep.cancelled_points");
   telemetry::CounterId failed_points = registry.Counter("sweep.failed_points");
   telemetry::CounterId backoff_wait_us =
       registry.Counter("sweep.backoff_wait_us");
@@ -261,6 +263,10 @@ SweepReport SweepRunner::Resume(const std::vector<SweepPoint>& points,
   for (const SweepOutcome& o : contents.outcomes) {
     if (o.index < points.size()) completed.insert_or_assign(o.index, o);
   }
+  // Reclaim a torn or corrupt tail before reopening for append: O_APPEND
+  // would land new records after the garbage, and readers (which stop at
+  // the first bad frame) would never see them — silently orphaned work.
+  persist::RepairJournal(journal_path);
   persist::JournalWriter journal(journal_path, /*truncate=*/false);
   return RunImpl(points, &journal, &completed);
 }
@@ -285,16 +291,24 @@ SweepReport SweepRunner::RunImpl(
   // Deadline watchdog: one background thread scans the armed slots. The
   // cores poll CoreConfig::cancel every 1024 cycles, so enforcement is
   // cooperative (a few microseconds of slack, never a torn simulation).
-  std::vector<PointWatch> watch(deadline_s > 0 ? points.size() : 0);
+  // The same thread fans a sweep-level cancel (SweepOptions::cancel, raised
+  // by a cancelled service request or a draining daemon) into every
+  // per-point slot, so one flag cooperatively stops the whole sweep.
+  const std::atomic<bool>* sweep_cancel = options_.cancel;
+  const bool watched = deadline_s > 0 || sweep_cancel != nullptr;
+  std::vector<PointWatch> watch(watched ? points.size() : 0);
   std::atomic<bool> watchdog_stop{false};
   std::thread watchdog;
-  if (deadline_s > 0 && !points.empty()) {
+  if (watched && !points.empty()) {
     watchdog = std::thread([&] {
       while (!watchdog_stop.load(std::memory_order_acquire)) {
+        const bool cancel_all =
+            sweep_cancel != nullptr &&
+            sweep_cancel->load(std::memory_order_acquire);
         const std::int64_t now = SteadyNowNs();
         for (PointWatch& w : watch) {
           const std::int64_t d = w.deadline_ns.load(std::memory_order_acquire);
-          if (d != 0 && now >= d) {
+          if (cancel_all || (d != 0 && now >= d)) {
             w.cancel.store(true, std::memory_order_release);
           }
         }
@@ -324,14 +338,33 @@ SweepReport SweepRunner::RunImpl(
     out.config = point.config;
     telemetry::MetricSheet& shard = shards[i];
     shard.Bind(&rm.registry);
-    PointWatch* w = deadline_s > 0 ? &watch[i] : nullptr;
+    PointWatch* w = watched ? &watch[i] : nullptr;
+    const auto sweep_cancelled = [&] {
+      return sweep_cancel != nullptr &&
+             sweep_cancel->load(std::memory_order_acquire);
+    };
+    const auto sweep_draining = [&] {
+      return options_.drain != nullptr &&
+             options_.drain->load(std::memory_order_acquire);
+    };
     const bool want_bundle = !options_.bundle_dir.empty();
     const bool want_ckpt = want_bundle && options_.checkpoint_every > 0;
     std::optional<persist::Checkpoint> last_ckpt;
     const auto start = std::chrono::steady_clock::now();
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (sweep_cancelled() || sweep_draining()) {
+        // Cancelled, or draining before the point's first attempt began:
+        // don't spend simulation time on work nobody will read. (A retry
+        // under drain is also skipped — the point already failed once and
+        // a draining sweep owes it nothing.)
+        out.ok = false;
+        out.cancelled = true;
+        out.error = "cancelled";
+        break;
+      }
       out.attempts = attempt;
       out.deadline_exceeded = false;
+      out.cancelled = false;
       std::string err;
       bool retryable = true;
       try {
@@ -357,9 +390,11 @@ SweepReport SweepRunner::RunImpl(
         if (w) {
           w->cancel.store(false, std::memory_order_release);
           cfg.cancel = &w->cancel;
-          w->deadline_ns.store(
-              SteadyNowNs() + static_cast<std::int64_t>(deadline_s * 1e9),
-              std::memory_order_release);
+          if (deadline_s > 0) {
+            w->deadline_ns.store(
+                SteadyNowNs() + static_cast<std::int64_t>(deadline_s * 1e9),
+                std::memory_order_release);
+          }
         }
         auto proc = core::MakeProcessor(point.kind, cfg);
         out.result = proc->Run(*point.program);
@@ -367,11 +402,19 @@ SweepReport SweepRunner::RunImpl(
         if (w) w->deadline_ns.store(0, std::memory_order_release);
         if (w && !out.result.halted &&
             w->cancel.load(std::memory_order_acquire)) {
-          out.deadline_exceeded = true;
-          std::ostringstream os;
-          os << "deadline exceeded (" << deadline_s << "s) after "
-             << out.result.cycles << " cycles";
-          err = os.str();
+          if (sweep_cancelled()) {
+            // Sweep-level cancel, not this point's deadline: the partial
+            // run is abandoned and will be redone if the sweep resumes.
+            out.cancelled = true;
+            err = "cancelled";
+            retryable = false;
+          } else {
+            out.deadline_exceeded = true;
+            std::ostringstream os;
+            os << "deadline exceeded (" << deadline_s << "s) after "
+               << out.result.cycles << " cycles";
+            err = os.str();
+          }
         } else if (options_.check_architectural_state) {
           err = CheckArchitecturalState(point, out.result);
           retryable = err.empty();  // An oracle mismatch is deterministic.
@@ -409,6 +452,7 @@ SweepReport SweepRunner::RunImpl(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (out.cancelled) shard.Add(rm.cancelled_points);
     shard.Add(rm.attempts, static_cast<std::uint64_t>(out.attempts));
     if (out.attempts > 1) {
       shard.Add(rm.retries, static_cast<std::uint64_t>(out.attempts - 1));
@@ -427,10 +471,12 @@ SweepReport SweepRunner::RunImpl(
                      e.what());
       }
     }
-    if (journal != nullptr) {
+    if (journal != nullptr && !out.cancelled) {
       // Journal failures DO propagate (via ParallelForError after the
       // loop): a resume contract against a silently un-written journal
-      // would be worse than a loud error.
+      // would be worse than a loud error. Cancelled points are never
+      // journaled: recording them would make a resumed sweep keep the
+      // cancellation instead of running the point for real.
       persist::Encoder e;
       EncodeOutcome(e, out);
       const std::lock_guard<std::mutex> lock(journal_mu);

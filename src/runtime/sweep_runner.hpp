@@ -15,6 +15,7 @@
 // happens once per distinct program rather than once per processor.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -104,6 +105,12 @@ struct SweepOutcome {
   int attempts = 0;
   /// True when the last attempt was cancelled by the deadline watchdog.
   bool deadline_exceeded = false;
+  /// True when the point was abandoned because SweepOptions::cancel was
+  /// raised (a cancelled request or a draining service). Cancelled points
+  /// are never journaled: a resumed sweep re-runs them for real, which is
+  /// what makes a drain-then-restart cycle converge on the uninterrupted
+  /// sweep's exact artifact.
+  bool cancelled = false;
   /// The error of every failed attempt, in attempt order.
   std::vector<std::string> attempt_errors;
   /// Wall time of this point alone (all attempts, including backoff).
@@ -153,6 +160,21 @@ struct SweepOptions {
   /// memory; on failure it lands in the bundle as checkpoint.bin — the
   /// recorded state nearest the failure. 0 disables periodic capture.
   std::uint64_t checkpoint_every = 0;
+  /// Sweep-level cooperative cancellation: when non-null and set, points
+  /// that have not started are skipped and in-flight points are cancelled
+  /// through the same CoreConfig::cancel machinery the deadline watchdog
+  /// uses. Affected outcomes come back !ok with SweepOutcome::cancelled
+  /// set and are NOT journaled (see that field). The pointee must outlive
+  /// the Run*() call. Deliberately excluded from the sweep fingerprint —
+  /// like thread count, it shapes timing, not results.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Soft counterpart of `cancel` for graceful drain: once raised, points
+  /// that have not started come back cancelled (and un-journaled, so a
+  /// resume runs them), but points already simulating run to completion
+  /// and are journaled normally. This is how a SIGTERM'd service finishes
+  /// the work it already paid for without starting more. Excluded from the
+  /// sweep fingerprint for the same reason as `cancel`.
+  const std::atomic<bool>* drain = nullptr;
   /// Batch same-program points into ensembles (see runtime/ensemble.hpp):
   /// the functional oracle is warmed once per distinct program before the
   /// workers start, same-program points are scheduled adjacently, and
@@ -175,7 +197,7 @@ struct SweepReport {
   std::vector<SweepOutcome> outcomes;  // Submission order.
   /// Runner-level counters aggregated across points in submission order:
   /// sweep.attempts / sweep.retries / sweep.deadline_exceeded /
-  /// sweep.failed_points / sweep.backoff_wait_us /
+  /// sweep.cancelled_points / sweep.failed_points / sweep.backoff_wait_us /
   /// sweep.oracle_prewarms / sweep.ensemble_followers, the
   /// sweep.point_wall_time_us histogram, and the FunctionalSimCache
   /// hit/miss/eviction delta (fnsim_cache.*). Wall-clock derived, so NOT

@@ -1,0 +1,104 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ultra::service {
+
+SweepClient::SweepClient(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("cannot create socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved_errno = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to " + socket_path + ": " +
+                             std::strerror(saved_errno));
+  }
+}
+
+SweepClient::~SweepClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SweepClient::SweepClient(SweepClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+SweepClient& SweepClient::operator=(SweepClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Frame SweepClient::Call(MsgType request, const persist::Encoder& payload,
+                        MsgType expected_reply) {
+  WriteFrame(fd_, static_cast<std::uint32_t>(request), payload.bytes());
+  std::optional<Frame> reply = ReadFrame(fd_);
+  if (!reply.has_value()) {
+    throw std::runtime_error(
+        "server closed the connection without replying (poisoned frame or "
+        "daemon shutdown)");
+  }
+  if (reply->type != static_cast<std::uint32_t>(expected_reply)) {
+    throw persist::FormatError("unexpected reply message type");
+  }
+  return *std::move(reply);
+}
+
+SubmitReply SweepClient::Submit(const SubmitRequest& request) {
+  persist::Encoder e;
+  EncodeSubmitRequest(e, request);
+  const Frame reply = Call(MsgType::kSubmit, e, MsgType::kSubmitReply);
+  persist::Decoder d(reply.payload);
+  return DecodeSubmitReply(d);
+}
+
+WaitReply SweepClient::Wait(const WaitRequest& request) {
+  persist::Encoder e;
+  EncodeWaitRequest(e, request);
+  const Frame reply = Call(MsgType::kWait, e, MsgType::kWaitReply);
+  persist::Decoder d(reply.payload);
+  return DecodeWaitReply(d);
+}
+
+std::string SweepClient::Status() {
+  persist::Encoder e;
+  const Frame reply = Call(MsgType::kStatus, e, MsgType::kStatusReply);
+  persist::Decoder d(reply.payload);
+  return DecodeStatusReply(d).text;
+}
+
+CancelReply SweepClient::Cancel(std::uint64_t request_id) {
+  persist::Encoder e;
+  EncodeCancelRequest(e, CancelRequest{request_id});
+  const Frame reply = Call(MsgType::kCancel, e, MsgType::kCancelReply);
+  persist::Decoder d(reply.payload);
+  return DecodeCancelReply(d);
+}
+
+void SweepClient::Shutdown(bool drain) {
+  persist::Encoder e;
+  EncodeShutdownRequest(e, ShutdownRequest{drain});
+  (void)Call(MsgType::kShutdown, e, MsgType::kShutdownReply);
+}
+
+}  // namespace ultra::service

@@ -1,0 +1,57 @@
+// Blocking C++ client for the sweep service: one connection, strict
+// request/reply (see protocol.hpp). This is the library under the sweepctl
+// CLI and the service tests; anything a client can do goes through here.
+//
+// Error model: connection and framing failures throw std::runtime_error /
+// persist::FormatError. Service-level refusals (overload, shutdown, invalid
+// submission, unknown request id) are *values* in the reply structs, not
+// exceptions — an overloaded service is a normal condition a caller handles
+// (retry with backoff, shed load), not a programming error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace ultra::service {
+
+class SweepClient {
+ public:
+  /// Connects to the daemon's unix-domain socket. Throws std::runtime_error
+  /// when the socket is absent or refuses (no daemon running).
+  explicit SweepClient(const std::string& socket_path);
+  ~SweepClient();
+  SweepClient(const SweepClient&) = delete;
+  SweepClient& operator=(const SweepClient&) = delete;
+  SweepClient(SweepClient&& other) noexcept;
+  SweepClient& operator=(SweepClient&& other) noexcept;
+
+  /// Submits a sweep. Inspect reply.status: kAccepted carries the request
+  /// id to Wait()/Cancel() on; kOverloaded is the bounded queue saying
+  /// "retry later".
+  [[nodiscard]] SubmitReply Submit(const SubmitRequest& request);
+
+  /// Blocks until the request reaches a terminal state (the server holds
+  /// the connection open) and returns it. With want_csv/want_json the exact
+  /// bytes of the server-side exports ride back in the reply.
+  [[nodiscard]] WaitReply Wait(const WaitRequest& request);
+
+  /// The /metrics-style status text surface.
+  [[nodiscard]] std::string Status();
+
+  [[nodiscard]] CancelReply Cancel(std::uint64_t request_id);
+
+  /// Asks the daemon to stop: drain = finish in-flight points and journal
+  /// the rest; hard = cancel everything (unfinished work re-runs on the
+  /// next start either way, minus what drain managed to finish).
+  void Shutdown(bool drain);
+
+ private:
+  Frame Call(MsgType request, const persist::Encoder& payload,
+             MsgType expected_reply);
+
+  int fd_ = -1;
+};
+
+}  // namespace ultra::service

@@ -1,0 +1,295 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "core/config_codec.hpp"
+#include "isa/program_codec.hpp"
+
+namespace ultra::service {
+
+namespace {
+
+void SendAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+    // not as a SIGPIPE that kills the daemon.
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("socket write failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly @p size bytes. Returns false on EOF at offset 0 (clean
+/// close between frames); throws on EOF mid-buffer or I/O error.
+bool RecvExact(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, data + off, size - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("socket read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0) return false;
+      throw persist::FormatError("connection closed mid-frame");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint32_t U32At(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void WriteFrame(int fd, std::uint32_t type,
+                std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::runtime_error("frame payload exceeds kMaxFramePayload");
+  }
+  persist::Encoder crc_input;
+  crc_input.U32(type);
+  crc_input.U32(static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::uint8_t> crc_bytes = crc_input.Take();
+  crc_bytes.insert(crc_bytes.end(), payload.begin(), payload.end());
+
+  persist::Encoder header;
+  header.U32(kFrameMagic);
+  header.U32(type);
+  header.U32(static_cast<std::uint32_t>(payload.size()));
+  header.U32(persist::Crc32(crc_bytes));
+  std::vector<std::uint8_t> bytes = header.Take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  SendAll(fd, bytes.data(), bytes.size());
+}
+
+std::optional<Frame> ReadFrame(int fd) {
+  std::uint8_t header[16];
+  if (!RecvExact(fd, header, sizeof header)) return std::nullopt;
+  if (U32At(header) != kFrameMagic) {
+    throw persist::FormatError("bad frame magic");
+  }
+  Frame frame;
+  frame.type = U32At(header + 4);
+  const std::uint32_t length = U32At(header + 8);
+  const std::uint32_t stored_crc = U32At(header + 12);
+  if (length > kMaxFramePayload) {
+    throw persist::FormatError("frame payload length exceeds limit");
+  }
+  frame.payload.resize(length);
+  if (length != 0 && !RecvExact(fd, frame.payload.data(), length)) {
+    throw persist::FormatError("connection closed mid-frame");
+  }
+  persist::Encoder crc_input;
+  crc_input.U32(frame.type);
+  crc_input.U32(length);
+  std::vector<std::uint8_t> crc_bytes = crc_input.Take();
+  crc_bytes.insert(crc_bytes.end(), frame.payload.begin(),
+                   frame.payload.end());
+  if (persist::Crc32(crc_bytes) != stored_crc) {
+    throw persist::FormatError("frame CRC mismatch");
+  }
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+
+void EncodeSubmitRequest(persist::Encoder& e, const SubmitRequest& req) {
+  e.U32(kProtocolVersion);
+  e.F64(req.deadline_seconds);
+  e.Bool(req.detach);
+  e.Str(req.tag);
+  e.Str(req.csv_name);
+  e.Str(req.json_name);
+  e.U32(static_cast<std::uint32_t>(req.points.size()));
+  for (const runtime::SweepPoint& p : req.points) {
+    e.U8(static_cast<std::uint8_t>(p.kind));
+    e.Str(p.workload);
+    core::EncodeCoreConfig(e, p.config);
+    if (p.program == nullptr) {
+      throw std::invalid_argument("SubmitRequest point has a null program");
+    }
+    isa::EncodeProgram(e, *p.program);
+  }
+}
+
+SubmitRequest DecodeSubmitRequest(persist::Decoder& d) {
+  const std::uint32_t version = d.U32();
+  if (version != kProtocolVersion) {
+    throw persist::FormatError("unsupported protocol version");
+  }
+  SubmitRequest req;
+  req.deadline_seconds = d.F64();
+  req.detach = d.Bool();
+  req.tag = d.Str();
+  req.csv_name = d.Str();
+  req.json_name = d.Str();
+  const std::uint32_t n = d.U32();
+  // Every point needs at least a kind byte and three length prefixes, so a
+  // hostile count cannot force a huge up-front reservation.
+  req.points.reserve(std::min<std::size_t>(n, d.remaining()));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    runtime::SweepPoint p;
+    p.kind = static_cast<core::ProcessorKind>(d.U8());
+    p.workload = d.Str();
+    p.config = core::DecodeCoreConfig(d);
+    p.program =
+        std::make_shared<const isa::Program>(isa::DecodeProgram(d));
+    req.points.push_back(std::move(p));
+  }
+  return req;
+}
+
+std::string_view AdmitStatusName(AdmitStatus status) {
+  switch (status) {
+    case AdmitStatus::kAccepted:
+      return "accepted";
+    case AdmitStatus::kOverloaded:
+      return "overloaded";
+    case AdmitStatus::kShuttingDown:
+      return "shutting_down";
+    case AdmitStatus::kInvalid:
+      return "invalid";
+  }
+  return "?";
+}
+
+void EncodeSubmitReply(persist::Encoder& e, const SubmitReply& reply) {
+  e.U8(static_cast<std::uint8_t>(reply.status));
+  e.U64(reply.request_id);
+  e.U64(reply.queue_depth);
+  e.Str(reply.message);
+}
+
+SubmitReply DecodeSubmitReply(persist::Decoder& d) {
+  SubmitReply reply;
+  const std::uint8_t status = d.U8();
+  if (status > static_cast<std::uint8_t>(AdmitStatus::kInvalid)) {
+    throw persist::FormatError("corrupt admit status");
+  }
+  reply.status = static_cast<AdmitStatus>(status);
+  reply.request_id = d.U64();
+  reply.queue_depth = d.U64();
+  reply.message = d.Str();
+  return reply;
+}
+
+void EncodeStatusReply(persist::Encoder& e, const StatusReply& reply) {
+  e.Str(reply.text);
+}
+
+StatusReply DecodeStatusReply(persist::Decoder& d) {
+  StatusReply reply;
+  reply.text = d.Str();
+  return reply;
+}
+
+void EncodeWaitRequest(persist::Encoder& e, const WaitRequest& req) {
+  e.U64(req.request_id);
+  e.Bool(req.want_csv);
+  e.Bool(req.want_json);
+}
+
+WaitRequest DecodeWaitRequest(persist::Decoder& d) {
+  WaitRequest req;
+  req.request_id = d.U64();
+  req.want_csv = d.Bool();
+  req.want_json = d.Bool();
+  return req;
+}
+
+std::string_view RequestStateName(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kRunning:
+      return "running";
+    case RequestState::kDone:
+      return "done";
+    case RequestState::kCancelled:
+      return "cancelled";
+    case RequestState::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case RequestState::kFailed:
+      return "failed";
+    case RequestState::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+void EncodeWaitReply(persist::Encoder& e, const WaitReply& reply) {
+  e.U8(static_cast<std::uint8_t>(reply.state));
+  e.U64(reply.ok_points);
+  e.U64(reply.failed_points);
+  e.Str(reply.csv_text);
+  e.Str(reply.json_text);
+  e.Str(reply.message);
+}
+
+WaitReply DecodeWaitReply(persist::Decoder& d) {
+  WaitReply reply;
+  const std::uint8_t state = d.U8();
+  if (state > static_cast<std::uint8_t>(RequestState::kUnknown)) {
+    throw persist::FormatError("corrupt request state");
+  }
+  reply.state = static_cast<RequestState>(state);
+  reply.ok_points = d.U64();
+  reply.failed_points = d.U64();
+  reply.csv_text = d.Str();
+  reply.json_text = d.Str();
+  reply.message = d.Str();
+  return reply;
+}
+
+void EncodeCancelRequest(persist::Encoder& e, const CancelRequest& req) {
+  e.U64(req.request_id);
+}
+
+CancelRequest DecodeCancelRequest(persist::Decoder& d) {
+  CancelRequest req;
+  req.request_id = d.U64();
+  return req;
+}
+
+void EncodeCancelReply(persist::Encoder& e, const CancelReply& reply) {
+  e.Bool(reply.cancelled);
+  e.Str(reply.message);
+}
+
+CancelReply DecodeCancelReply(persist::Decoder& d) {
+  CancelReply reply;
+  reply.cancelled = d.Bool();
+  reply.message = d.Str();
+  return reply;
+}
+
+void EncodeShutdownRequest(persist::Encoder& e, const ShutdownRequest& req) {
+  e.Bool(req.drain);
+}
+
+ShutdownRequest DecodeShutdownRequest(persist::Decoder& d) {
+  ShutdownRequest req;
+  req.drain = d.Bool();
+  return req;
+}
+
+}  // namespace ultra::service

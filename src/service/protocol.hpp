@@ -1,0 +1,175 @@
+// Wire protocol of the sweep service: length-prefixed, CRC-framed messages
+// over a unix-domain stream socket.
+//
+// Framing reuses the persist primitives (Encoder/Decoder/Crc32) and mirrors
+// the journal frame shape, so one set of corruption-tolerance rules covers
+// both the on-disk and on-wire formats:
+//
+//   u32 magic "USVC" | u32 message type | u32 payload length |
+//   u32 CRC-32 of (type, length, payload) | payload bytes
+//
+// The conversation is strict request/reply: a client writes one request
+// frame and reads exactly one reply frame. kWait is the only slow reply —
+// the server holds the connection until the request completes (or the
+// client vanishes). A frame that fails validation (bad magic, oversize
+// length, CRC mismatch) poisons the connection: the server drops it rather
+// than guess at resynchronization, and the client sees EOF.
+//
+// Payload codecs throw persist::FormatError on malformed input — a hostile
+// or truncated payload must never crash the daemon (the deserializer fuzz
+// in tests/fuzz_test.cpp covers these codecs too).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/serial.hpp"
+#include "runtime/sweep_runner.hpp"
+
+namespace ultra::service {
+
+inline constexpr std::uint32_t kFrameMagic = 0x43565355;  // "USVC" LE.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload. A corrupt or hostile length field
+/// must translate into a FormatError, never an unbounded allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB.
+
+enum class MsgType : std::uint32_t {
+  kSubmit = 1,
+  kSubmitReply = 2,
+  kStatus = 3,
+  kStatusReply = 4,
+  kWait = 5,
+  kWaitReply = 6,
+  kCancel = 7,
+  kCancelReply = 8,
+  kShutdown = 9,
+  kShutdownReply = 10,
+};
+
+struct Frame {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Writes one framed message to @p fd (send with MSG_NOSIGNAL: a vanished
+/// peer yields EPIPE, not a process-killing SIGPIPE). Throws
+/// std::runtime_error on I/O failure or oversize payload.
+void WriteFrame(int fd, std::uint32_t type,
+                std::span<const std::uint8_t> payload);
+
+/// Reads one framed message. Returns std::nullopt on clean EOF before the
+/// first header byte (peer closed between messages). Throws
+/// persist::FormatError on bad magic, oversize length, CRC mismatch, or
+/// EOF mid-frame, and std::runtime_error on I/O errors.
+[[nodiscard]] std::optional<Frame> ReadFrame(int fd);
+
+// ---------------------------------------------------------------------------
+// Messages.
+
+/// A sweep submission. Export names are bare file names resolved inside the
+/// server's state directory (never client paths — a client must not be able
+/// to make the daemon write outside its state dir); empty = no export.
+struct SubmitRequest {
+  std::vector<runtime::SweepPoint> points;
+  /// Wall-clock budget for the whole request, counted from admission;
+  /// <= 0 = none. On expiry the request is cancelled cooperatively.
+  double deadline_seconds = 0.0;
+  /// Detached requests survive their client's disconnect (and, being
+  /// journaled, a daemon crash). Attached requests are cancelled the
+  /// moment their connection dies, so orphaned work never hogs the pool.
+  bool detach = false;
+  std::string tag;        // Free-form client label, shown in status.
+  std::string csv_name;   // Server-side CSV export file name.
+  std::string json_name;  // Server-side JSON export file name.
+};
+void EncodeSubmitRequest(persist::Encoder& e, const SubmitRequest& req);
+[[nodiscard]] SubmitRequest DecodeSubmitRequest(persist::Decoder& d);
+
+enum class AdmitStatus : std::uint8_t {
+  kAccepted = 0,
+  /// The bounded admission queue is full. Explicit backpressure: the
+  /// client retries (with backoff) or sheds the work; the server never
+  /// buffers unboundedly.
+  kOverloaded = 1,
+  kShuttingDown = 2,
+  kInvalid = 3,  // Malformed submission (empty, oversize, bad export name).
+};
+[[nodiscard]] std::string_view AdmitStatusName(AdmitStatus status);
+
+struct SubmitReply {
+  AdmitStatus status = AdmitStatus::kInvalid;
+  std::uint64_t request_id = 0;   // Valid when accepted.
+  std::uint64_t queue_depth = 0;  // Depth after this admission decision.
+  std::string message;            // Human-readable detail on rejection.
+};
+void EncodeSubmitReply(persist::Encoder& e, const SubmitReply& reply);
+[[nodiscard]] SubmitReply DecodeSubmitReply(persist::Decoder& d);
+
+/// kStatus has an empty payload; the reply is the /metrics-style text
+/// surface (see SweepService::MetricsText).
+struct StatusReply {
+  std::string text;
+};
+void EncodeStatusReply(persist::Encoder& e, const StatusReply& reply);
+[[nodiscard]] StatusReply DecodeStatusReply(persist::Decoder& d);
+
+struct WaitRequest {
+  std::uint64_t request_id = 0;
+  /// Ship the rendered CSV / JSON artifact back in the reply (exact bytes
+  /// of the server-side export) so a client can keep a local copy without
+  /// access to the server's state directory.
+  bool want_csv = false;
+  bool want_json = false;
+};
+void EncodeWaitRequest(persist::Encoder& e, const WaitRequest& req);
+[[nodiscard]] WaitRequest DecodeWaitRequest(persist::Decoder& d);
+
+enum class RequestState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kCancelled = 3,
+  kDeadlineExceeded = 4,
+  kFailed = 5,   // Infrastructure failure (e.g. journal I/O), not a bad point.
+  kUnknown = 6,  // No such request id (or pruned long ago).
+};
+[[nodiscard]] std::string_view RequestStateName(RequestState state);
+
+struct WaitReply {
+  RequestState state = RequestState::kUnknown;
+  std::uint64_t ok_points = 0;
+  std::uint64_t failed_points = 0;
+  std::string csv_text;   // Filled when want_csv and results are retained.
+  std::string json_text;  // Filled when want_json and results are retained.
+  std::string message;
+};
+void EncodeWaitReply(persist::Encoder& e, const WaitReply& reply);
+[[nodiscard]] WaitReply DecodeWaitReply(persist::Decoder& d);
+
+struct CancelRequest {
+  std::uint64_t request_id = 0;
+};
+void EncodeCancelRequest(persist::Encoder& e, const CancelRequest& req);
+[[nodiscard]] CancelRequest DecodeCancelRequest(persist::Decoder& d);
+
+struct CancelReply {
+  bool cancelled = false;  // False: already finished or unknown id.
+  std::string message;
+};
+void EncodeCancelReply(persist::Encoder& e, const CancelReply& reply);
+[[nodiscard]] CancelReply DecodeCancelReply(persist::Decoder& d);
+
+struct ShutdownRequest {
+  /// Drain first (finish in-flight points, journal the rest) or stop hard.
+  bool drain = true;
+};
+void EncodeShutdownRequest(persist::Encoder& e, const ShutdownRequest& req);
+[[nodiscard]] ShutdownRequest DecodeShutdownRequest(persist::Decoder& d);
+
+}  // namespace ultra::service

@@ -1,0 +1,872 @@
+#include "service/sweep_service.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/config_codec.hpp"
+#include "isa/program_codec.hpp"
+#include "persist/journal.hpp"
+#include "runtime/sweep_io.hpp"
+
+namespace ultra::service {
+
+namespace {
+
+// Record types of <state_dir>/requests.journal. A request's lifetime on disk
+// is exactly: one kSubmitRecord (appended before its admission is
+// acknowledged), then at most one kDoneRecord (appended when it reaches a
+// terminal state). A request with no done record is unfinished — a restarted
+// daemon re-queues it. Drained and crashed requests deliberately never get a
+// done record, which is what makes them resume.
+constexpr std::uint32_t kSubmitRecord = 1;
+constexpr std::uint32_t kDoneRecord = 2;
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Export names are resolved inside the state directory; anything that could
+/// escape it (path separators, "..", empty-after-trim tricks) is rejected at
+/// admission so a client can never make the daemon write outside its dir.
+bool ValidExportName(const std::string& name) {
+  if (name.empty()) return true;  // Empty = no export requested.
+  if (name == "." || name == "..") return false;
+  return name.find('/') == std::string::npos;
+}
+
+}  // namespace
+
+struct SweepService::Request {
+  enum class CancelReason { kNone, kClient, kDeadline, kDrain };
+
+  std::uint64_t id = 0;
+  SubmitRequest submit;
+  /// Connection that submitted it; 0 = none (detached, or re-queued by
+  /// recovery — the original client is gone either way).
+  std::uint64_t owner_connection = 0;
+  /// The cooperative cancel flag SweepOptions::cancel points at. The only
+  /// field touched outside mu_ (by the runner's watchdog readers).
+  std::atomic<bool> cancel{false};
+  // Everything below is guarded by SweepService::mu_.
+  CancelReason reason = CancelReason::kNone;
+  RequestState state = RequestState::kQueued;
+  std::string error;
+  std::uint64_t deadline_ns = 0;  // steady_clock deadline; 0 = none.
+  std::uint64_t ok_points = 0;
+  std::uint64_t failed_points = 0;
+  std::string csv_text;
+  std::string json_text;
+  bool results_retained = false;
+
+  [[nodiscard]] bool terminal() const {
+    return state != RequestState::kQueued && state != RequestState::kRunning;
+  }
+};
+
+SweepService::SweepService(ServiceOptions options)
+    : options_(std::move(options)) {}
+
+SweepService::~SweepService() { Stop(/*drain=*/false); }
+
+// ---------------------------------------------------------------------------
+// Start / recovery.
+
+void SweepService::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("SweepService already started");
+  }
+  if (::mkdir(options_.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cannot create state dir " + options_.state_dir +
+                             ": " + std::strerror(errno));
+  }
+
+  // One daemon per state directory: two writers interleaving appends into
+  // the same request journal would corrupt each other's recovery, so the
+  // lock is taken before anything else touches the dir.
+  const std::string lock_path = options_.state_dir + "/lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    throw std::runtime_error("cannot open " + lock_path + ": " +
+                             std::strerror(errno));
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw std::runtime_error("state dir " + options_.state_dir +
+                             " is locked by another daemon");
+  }
+
+  RecoverFromJournal();
+
+  // Reopen the (now self-healed) request journal for appending.
+  request_journal_ = std::make_unique<persist::JournalWriter>(
+      options_.state_dir + "/requests.journal", /*truncate=*/false);
+
+  // A socket file left behind by a crashed daemon would make bind() fail;
+  // the state-dir lock above already guarantees no live daemon owns it.
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("cannot create socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + options_.socket_path);
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error("cannot bind/listen on " + options_.socket_path +
+                             ": " + std::strerror(errno));
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  stopped_ = false;
+  running_.store(true, std::memory_order_release);
+  executor_thread_ = std::thread([this] { ExecutorLoop(); });
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void SweepService::RecoverFromJournal() {
+  const std::string path = options_.state_dir + "/requests.journal";
+  // Self-heal before anything reads or appends: a torn tail left by a crash
+  // mid-append must be reclaimed, or the next append would land after
+  // garbage and be invisible to every future reader.
+  counters_.journal_repaired_bytes += persist::RepairJournal(path);
+
+  for (const persist::JournalRecord& record : persist::ReadJournal(path)) {
+    persist::Decoder d(record.payload);
+    try {
+      if (record.type == kSubmitRecord) {
+        const std::uint64_t id = d.U64();
+        auto req = std::make_shared<Request>();
+        req->id = id;
+        req->submit = DecodeSubmitRequest(d);
+        requests_[id] = std::move(req);
+        if (id >= next_request_id_) next_request_id_ = id + 1;
+      } else if (record.type == kDoneRecord) {
+        const std::uint64_t id = d.U64();
+        const std::uint8_t state = d.U8();
+        const std::string error = d.Str();
+        auto it = requests_.find(id);
+        if (it != requests_.end() &&
+            state <= static_cast<std::uint8_t>(RequestState::kUnknown)) {
+          it->second->state = static_cast<RequestState>(state);
+          it->second->error = error;
+          it->second->ok_points = d.U64();
+          it->second->failed_points = d.U64();
+        }
+      }
+      // Unknown record types: skip (forward compatibility).
+    } catch (const persist::FormatError& e) {
+      // The frame CRC was intact but the payload did not decode — a version
+      // drift, not disk corruption. Skipping the record degrades gracefully
+      // (that request is forgotten) instead of refusing to start.
+      std::fprintf(stderr,
+                   "sweep-service: skipping undecodable journal record: %s\n",
+                   e.what());
+    }
+  }
+
+  // Re-queue every request with no done record, in admission order. These
+  // were already admitted once — they bypass max_queue rather than being
+  // re-rejected, and their deadline clock restarts now (the original
+  // admission instant did not survive the crash, by design: wall-clock
+  // times are never journaled).
+  const std::uint64_t now = NowNs();
+  for (auto& [id, req] : requests_) {
+    if (req->terminal()) continue;
+    req->state = RequestState::kQueued;
+    req->owner_connection = 0;  // The submitting client is gone.
+    if (req->submit.deadline_seconds > 0) {
+      req->deadline_ns =
+          now + static_cast<std::uint64_t>(req->submit.deadline_seconds * 1e9);
+    }
+    queue_.push_back(req);
+    ++counters_.recovered;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stop.
+
+void SweepService::Stop(bool drain) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopped_ || !running_.load(std::memory_order_acquire)) return;
+
+    stopping_.store(true, std::memory_order_release);
+    if (drain) {
+      // Soft: the runner's drain hook lets in-flight points finish (and be
+      // journaled) while unstarted ones come back cancelled/un-journaled.
+      draining_.store(true, std::memory_order_release);
+    } else {
+      // Hard: cooperatively cancel everything, reason kDrain so no done
+      // record is written — the closest simulation of a crash that still
+      // joins threads, and exactly what the crash-restart tests exercise.
+      for (auto& [id, req] : requests_) {
+        if (req->terminal()) continue;
+        if (req->reason == Request::CancelReason::kNone) {
+          req->reason = Request::CancelReason::kDrain;
+        }
+        req->cancel.store(true, std::memory_order_release);
+      }
+    }
+    queue_cv_.notify_all();
+
+    if (drain) {
+      // Give the active request its drain budget, then escalate to hard
+      // cancellation so a stuck point cannot wedge the shutdown forever.
+      const auto budget = std::chrono::duration<double>(
+          options_.drain_timeout_seconds > 0 ? options_.drain_timeout_seconds
+                                             : 0.0);
+      if (!done_cv_.wait_for(lk, budget, [this] { return active_ == nullptr; })) {
+        for (auto& [id, req] : requests_) {
+          if (req->terminal()) continue;
+          if (req->reason == Request::CancelReason::kNone) {
+            req->reason = Request::CancelReason::kDrain;
+          }
+          req->cancel.store(true, std::memory_order_release);
+        }
+      }
+    }
+  }
+
+  // Unblock and join the accept loop (it polls stopping_ every 100 ms).
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock every connection thread: shutdown() makes a blocked recv()
+  // return EOF without a race on the fd number (the thread still owns the
+  // close()).
+  std::vector<std::thread> connections;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (auto& [cid, fd] : connections_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connection_threads_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+
+  if (executor_thread_.joinable()) executor_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    ::unlink(options_.socket_path.c_str());
+    request_journal_.reset();
+    if (lock_fd_ >= 0) {
+      ::flock(lock_fd_, LOCK_UN);
+      ::close(lock_fd_);
+      lock_fd_ = -1;
+    }
+    stopped_ = true;
+    running_.store(false, std::memory_order_release);
+  }
+  done_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Accept / connection threads.
+
+void SweepService::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (r <= 0) continue;  // Timeout, EINTR: re-check stopping_.
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    const std::uint64_t cid = next_connection_id_++;
+    connections_[cid] = fd;
+    connection_threads_.emplace_back(
+        [this, fd, cid] { ConnectionLoop(fd, cid); });
+  }
+}
+
+void SweepService::ConnectionLoop(int fd, std::uint64_t connection_id) {
+  try {
+    for (;;) {
+      std::optional<Frame> frame = ReadFrame(fd);
+      if (!frame.has_value()) break;  // Clean EOF between messages.
+      persist::Encoder reply;
+      switch (static_cast<MsgType>(frame->type)) {
+        case MsgType::kSubmit: {
+          persist::Decoder d(frame->payload);
+          EncodeSubmitReply(reply, HandleSubmit(d, connection_id));
+          WriteFrame(fd, static_cast<std::uint32_t>(MsgType::kSubmitReply),
+                     reply.bytes());
+          break;
+        }
+        case MsgType::kStatus: {
+          EncodeStatusReply(reply, StatusReply{MetricsText()});
+          WriteFrame(fd, static_cast<std::uint32_t>(MsgType::kStatusReply),
+                     reply.bytes());
+          break;
+        }
+        case MsgType::kWait: {
+          persist::Decoder d(frame->payload);
+          EncodeWaitReply(reply, HandleWait(DecodeWaitRequest(d), fd));
+          WriteFrame(fd, static_cast<std::uint32_t>(MsgType::kWaitReply),
+                     reply.bytes());
+          break;
+        }
+        case MsgType::kCancel: {
+          persist::Decoder d(frame->payload);
+          EncodeCancelReply(reply, HandleCancel(DecodeCancelRequest(d)));
+          WriteFrame(fd, static_cast<std::uint32_t>(MsgType::kCancelReply),
+                     reply.bytes());
+          break;
+        }
+        case MsgType::kShutdown: {
+          persist::Decoder d(frame->payload);
+          const ShutdownRequest req = DecodeShutdownRequest(d);
+          // Acknowledge before flipping the flags — the serve loop will
+          // call Stop(), and Stop() joins this very thread, so the actual
+          // teardown cannot happen here.
+          WriteFrame(fd, static_cast<std::uint32_t>(MsgType::kShutdownReply),
+                     {});
+          shutdown_drain_.store(req.drain, std::memory_order_release);
+          if (req.drain) draining_.store(true, std::memory_order_release);
+          stopping_.store(true, std::memory_order_release);
+          queue_cv_.notify_all();
+          done_cv_.notify_all();
+          break;
+        }
+        default:
+          // Unknown message type: poison the connection rather than guess.
+          throw persist::FormatError("unknown message type");
+      }
+    }
+  } catch (const std::exception&) {
+    // Malformed frame, hostile payload, or the peer vanished mid-reply
+    // (EPIPE). Either way the connection is unusable; drop it. The daemon
+    // itself must never die from a bad client.
+  }
+  CancelOwnedBy(connection_id);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    connections_.erase(connection_id);
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Request handlers.
+
+SubmitReply SweepService::HandleSubmit(persist::Decoder& d,
+                                       std::uint64_t connection_id) {
+  SubmitReply reply;
+  SubmitRequest submit;
+  try {
+    submit = DecodeSubmitRequest(d);
+  } catch (const persist::FormatError& e) {
+    reply.status = AdmitStatus::kInvalid;
+    reply.message = std::string("malformed submission: ") + e.what();
+    ++counters_.rejected_invalid;
+    return reply;
+  }
+
+  if (submit.points.empty()) {
+    reply.status = AdmitStatus::kInvalid;
+    reply.message = "submission has no points";
+  } else if (submit.points.size() > options_.max_points_per_request) {
+    reply.status = AdmitStatus::kInvalid;
+    reply.message = "submission exceeds max_points_per_request";
+  } else if (!ValidExportName(submit.csv_name) ||
+             !ValidExportName(submit.json_name)) {
+    reply.status = AdmitStatus::kInvalid;
+    reply.message = "export names must be bare file names";
+  }
+  if (reply.status == AdmitStatus::kInvalid && !reply.message.empty()) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++counters_.rejected_invalid;
+    return reply;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopping_.load(std::memory_order_acquire) ||
+      draining_.load(std::memory_order_acquire)) {
+    reply.status = AdmitStatus::kShuttingDown;
+    reply.message = "service is shutting down";
+    ++counters_.rejected_shutdown;
+    return reply;
+  }
+  if (queue_.size() >= options_.max_queue) {
+    // Explicit backpressure: the queue is the *only* buffer, and it is
+    // bounded. Clients retry with backoff or shed load; the daemon's memory
+    // never grows with offered load.
+    reply.status = AdmitStatus::kOverloaded;
+    reply.queue_depth = queue_.size();
+    reply.message = "admission queue full; retry later";
+    ++counters_.rejected_overload;
+    return reply;
+  }
+
+  auto req = std::make_shared<Request>();
+  req->id = next_request_id_++;
+  req->submit = std::move(submit);
+  req->owner_connection = req->submit.detach ? 0 : connection_id;
+  if (req->submit.deadline_seconds > 0) {
+    req->deadline_ns =
+        NowNs() +
+        static_cast<std::uint64_t>(req->submit.deadline_seconds * 1e9);
+  }
+
+  // Journal the admission *before* acknowledging it: once the client hears
+  // "accepted", a crash must not lose the request. The append fsyncs, so an
+  // acknowledged submission is durable.
+  try {
+    persist::Encoder e;
+    e.U64(req->id);
+    EncodeSubmitRequest(e, req->submit);
+    request_journal_->Append(kSubmitRecord, e.bytes());
+  } catch (const std::exception& e) {
+    // Torn-frame safety in JournalWriter::Append guarantees the failed
+    // append left no partial frame, so rejecting here is clean.
+    reply.status = AdmitStatus::kInvalid;
+    reply.message = std::string("cannot journal request: ") + e.what();
+    ++counters_.rejected_invalid;
+    return reply;
+  }
+
+  requests_[req->id] = req;
+  queue_.push_back(req);
+  ++counters_.accepted;
+  reply.status = AdmitStatus::kAccepted;
+  reply.request_id = req->id;
+  reply.queue_depth = queue_.size();
+  queue_cv_.notify_all();
+  return reply;
+}
+
+WaitReply SweepService::HandleWait(const WaitRequest& wait, int fd) {
+  WaitReply reply;
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = requests_.find(wait.request_id);
+  if (it == requests_.end()) {
+    reply.state = RequestState::kUnknown;
+    reply.message = "no such request";
+    return reply;
+  }
+  std::shared_ptr<Request> req = it->second;
+
+  while (!req->terminal() && !stopping_.load(std::memory_order_acquire)) {
+    done_cv_.wait_for(lk, std::chrono::milliseconds(100));
+    // Probe the waiting client: if it vanished, stop holding this thread —
+    // the reply write would fail anyway, and ConnectionLoop's unwind will
+    // cancel whatever the connection owned.
+    std::uint8_t probe = 0;
+    const ssize_t r = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (r == 0) break;  // Peer closed.
+  }
+
+  reply.state = req->state;
+  reply.ok_points = req->ok_points;
+  reply.failed_points = req->failed_points;
+  reply.message = req->error;
+  if (req->results_retained) {
+    if (wait.want_csv) reply.csv_text = req->csv_text;
+    if (wait.want_json) reply.json_text = req->json_text;
+  } else if ((wait.want_csv || wait.want_json) && req->terminal()) {
+    if (!reply.message.empty()) reply.message += "; ";
+    reply.message += "results not retained in memory (exports remain on disk)";
+  }
+  return reply;
+}
+
+CancelReply SweepService::HandleCancel(const CancelRequest& cancel) {
+  CancelReply reply;
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = requests_.find(cancel.request_id);
+  if (it == requests_.end()) {
+    reply.message = "no such request";
+    return reply;
+  }
+  std::shared_ptr<Request> req = it->second;
+  if (req->terminal()) {
+    reply.message = "request already finished";
+    return reply;
+  }
+  if (req->reason == Request::CancelReason::kNone) {
+    req->reason = Request::CancelReason::kClient;
+  }
+  req->cancel.store(true, std::memory_order_release);
+  if (req->state == RequestState::kQueued) {
+    // Still waiting its turn: finalize right here instead of making it
+    // travel through the executor just to be reaped.
+    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+      if ((*qit)->id == req->id) {
+        queue_.erase(qit);
+        break;
+      }
+    }
+    FinalizeLocked(req, RequestState::kCancelled, "cancelled by client");
+  }
+  reply.cancelled = true;
+  reply.message = "cancellation requested";
+  return reply;
+}
+
+void SweepService::CancelOwnedBy(std::uint64_t connection_id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (auto& [id, req] : requests_) {
+    if (req->owner_connection != connection_id || req->terminal()) continue;
+    if (req->reason == Request::CancelReason::kNone) {
+      req->reason = Request::CancelReason::kClient;
+    }
+    req->cancel.store(true, std::memory_order_release);
+    ++counters_.disconnect_cancels;
+    if (req->state == RequestState::kQueued) {
+      for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+        if ((*qit)->id == req->id) {
+          queue_.erase(qit);
+          break;
+        }
+      }
+      FinalizeLocked(req, RequestState::kCancelled, "client disconnected");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Executor.
+
+void SweepService::ExecutorLoop() {
+  for (;;) {
+    std::shared_ptr<Request> req;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) break;
+      req = queue_.front();
+      queue_.pop_front();
+      req->state = RequestState::kRunning;
+      active_ = req;
+    }
+    Execute(req);
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      active_ = nullptr;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void SweepService::Execute(const std::shared_ptr<Request>& request) {
+  // A cancel that landed while the request was queued: honor it without
+  // spinning up the runner at all.
+  if (request->cancel.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> lk(mu_);
+    switch (request->reason) {
+      case Request::CancelReason::kClient:
+        FinalizeLocked(request, RequestState::kCancelled,
+                       "cancelled by client");
+        break;
+      case Request::CancelReason::kDeadline:
+        FinalizeLocked(request, RequestState::kDeadlineExceeded,
+                       "deadline exceeded before execution");
+        break;
+      default:
+        // Drain / shutdown: no done record — the request stays journaled
+        // and re-runs on the next start.
+        request->state = RequestState::kQueued;
+        break;
+    }
+    return;
+  }
+
+  runtime::SweepOptions sweep = options_.sweep;
+  sweep.cancel = &request->cancel;
+  sweep.drain = &draining_;
+  runtime::SweepRunner runner(sweep);
+  const std::string journal_path = RequestJournalPath(request->id);
+
+  runtime::SweepReport report;
+  try {
+    try {
+      // Resume degrades to a fresh journaled run when the journal is
+      // missing or headerless, so first run and crash-recovery share one
+      // call site.
+      report = runner.Resume(request->submit.points, journal_path);
+    } catch (const std::runtime_error&) {
+      // Fingerprint mismatch: the journal belongs to a different sweep or
+      // was written under different outcome-affecting options. Discard it
+      // and run fresh — stale partial results must never leak into this
+      // request's artifact.
+      ::unlink(journal_path.c_str());
+      report = runner.Resume(request->submit.points, journal_path);
+    }
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> lk(mu_);
+    FinalizeLocked(request, RequestState::kFailed,
+                   std::string("sweep infrastructure failure: ") + e.what());
+    return;
+  }
+
+  bool any_cancelled = false;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  for (const runtime::SweepOutcome& out : report.outcomes) {
+    if (out.cancelled) any_cancelled = true;
+    if (out.ok) {
+      ++ok;
+    } else {
+      ++failed;
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  runner_metrics_.MergeFrom(report.runner_metrics);
+
+  if (any_cancelled) {
+    switch (request->reason) {
+      case Request::CancelReason::kClient:
+        FinalizeLocked(request, RequestState::kCancelled,
+                       "cancelled by client");
+        return;
+      case Request::CancelReason::kDeadline:
+        FinalizeLocked(request, RequestState::kDeadlineExceeded,
+                       "request deadline exceeded");
+        return;
+      default:
+        // Drain (explicit reason or the service-wide draining_ flag with no
+        // per-request reason). No done record, no export: the finished
+        // points are journaled, the cancelled ones are not, and the next
+        // start resumes exactly where this one stopped — converging on the
+        // same bytes an uninterrupted run would have produced.
+        request->state = RequestState::kQueued;
+        return;
+    }
+  }
+
+  // Normal completion: render both artifacts deterministically and write
+  // the requested ones atomically, *before* the done record — once the
+  // journal says done, the export must already be durable.
+  request->ok_points = ok;
+  request->failed_points = failed;
+  {
+    std::ostringstream csv;
+    runtime::WriteCsv(csv, report.outcomes);
+    request->csv_text = csv.str();
+    std::ostringstream json;
+    runtime::WriteJson(json, report.outcomes);
+    request->json_text = json.str();
+    request->results_retained = true;
+  }
+  try {
+    if (!request->submit.csv_name.empty()) {
+      persist::AtomicWriteFile(
+          options_.state_dir + "/" + request->submit.csv_name,
+          std::string_view(request->csv_text));
+    }
+    if (!request->submit.json_name.empty()) {
+      persist::AtomicWriteFile(
+          options_.state_dir + "/" + request->submit.json_name,
+          std::string_view(request->json_text));
+    }
+  } catch (const std::exception& e) {
+    FinalizeLocked(request, RequestState::kFailed,
+                   std::string("cannot write export: ") + e.what());
+    return;
+  }
+  FinalizeLocked(request, RequestState::kDone, "");
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: request-level deadlines.
+
+void SweepService::WatchdogLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      const std::uint64_t now = NowNs();
+      // Queued requests past their deadline are reaped right here — they
+      // must not wait behind a long-running request just to be declared
+      // dead. The running request is cancelled cooperatively and reaped by
+      // the executor when the runner returns.
+      for (auto qit = queue_.begin(); qit != queue_.end();) {
+        const std::shared_ptr<Request>& req = *qit;
+        if (req->deadline_ns != 0 && now >= req->deadline_ns) {
+          req->reason = Request::CancelReason::kDeadline;
+          req->cancel.store(true, std::memory_order_release);
+          std::shared_ptr<Request> dead = req;
+          qit = queue_.erase(qit);
+          FinalizeLocked(dead, RequestState::kDeadlineExceeded,
+                         "deadline exceeded before execution");
+        } else {
+          ++qit;
+        }
+      }
+      if (active_ != nullptr && active_->deadline_ns != 0 &&
+          now >= active_->deadline_ns && !active_->terminal()) {
+        if (active_->reason == Request::CancelReason::kNone) {
+          active_->reason = Request::CancelReason::kDeadline;
+        }
+        active_->cancel.store(true, std::memory_order_release);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping.
+
+void SweepService::FinalizeLocked(const std::shared_ptr<Request>& request,
+                                  RequestState state,
+                                  const std::string& error) {
+  request->state = state;
+  request->error = error;
+  AppendDoneRecordLocked(*request, state, error);
+  switch (state) {
+    case RequestState::kDone:
+      ++counters_.completed;
+      break;
+    case RequestState::kCancelled:
+      ++counters_.cancelled;
+      break;
+    case RequestState::kDeadlineExceeded:
+      ++counters_.deadline_exceeded;
+      break;
+    case RequestState::kFailed:
+      ++counters_.failed;
+      break;
+    default:
+      break;
+  }
+  if (state != RequestState::kFailed) {
+    // The per-point journal has served its purpose. A failed request keeps
+    // its journal for postmortem (the done record already prevents resume).
+    ::unlink(RequestJournalPath(request->id).c_str());
+  }
+  PruneRetainedLocked();
+  done_cv_.notify_all();
+}
+
+void SweepService::AppendDoneRecordLocked(const Request& request,
+                                          RequestState state,
+                                          const std::string& error) {
+  if (request_journal_ == nullptr) return;
+  try {
+    persist::Encoder e;
+    e.U64(request.id);
+    e.U8(static_cast<std::uint8_t>(state));
+    e.Str(error);
+    e.U64(request.ok_points);
+    e.U64(request.failed_points);
+    request_journal_->Append(kDoneRecord, e.bytes());
+  } catch (const std::exception& e) {
+    // A done record that cannot be written means the request will re-run
+    // after a restart — wasteful but correct (results are deterministic
+    // and exports are atomic). Never take the daemon down over it.
+    std::fprintf(stderr, "sweep-service: cannot journal completion: %s\n",
+                 e.what());
+  }
+}
+
+std::string SweepService::RequestJournalPath(std::uint64_t id) const {
+  return options_.state_dir + "/req-" + std::to_string(id) + ".journal";
+}
+
+void SweepService::PruneRetainedLocked() {
+  // Bound the daemon's memory: only the most recent terminal requests stay
+  // queryable. Exports already written to the state dir are unaffected.
+  std::size_t terminal = 0;
+  for (const auto& [id, req] : requests_) {
+    if (req->terminal()) ++terminal;
+  }
+  for (auto it = requests_.begin();
+       it != requests_.end() && terminal > options_.max_retained_results;) {
+    if (it->second->terminal()) {
+      it = requests_.erase(it);
+      --terminal;
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+std::string SweepService::MetricsText() const {
+  telemetry::MetricsSnapshot snapshot;
+  const auto counter = [&snapshot](std::string name, std::uint64_t value) {
+    telemetry::MetricValue v;
+    v.name = std::move(name);
+    v.kind = telemetry::MetricKind::kCounter;
+    v.value = value;
+    snapshot.metrics.push_back(std::move(v));
+  };
+  const auto gauge = [&snapshot](std::string name, std::uint64_t value) {
+    telemetry::MetricValue v;
+    v.name = std::move(name);
+    v.kind = telemetry::MetricKind::kGauge;
+    v.value = value;
+    snapshot.metrics.push_back(std::move(v));
+  };
+
+  std::unique_lock<std::mutex> lk(mu_);
+  counter("service.accepted", counters_.accepted);
+  counter("service.rejected_overload", counters_.rejected_overload);
+  counter("service.rejected_invalid", counters_.rejected_invalid);
+  counter("service.rejected_shutdown", counters_.rejected_shutdown);
+  counter("service.completed", counters_.completed);
+  counter("service.cancelled", counters_.cancelled);
+  counter("service.deadline_exceeded", counters_.deadline_exceeded);
+  counter("service.failed", counters_.failed);
+  counter("service.recovered", counters_.recovered);
+  counter("service.disconnect_cancels", counters_.disconnect_cancels);
+  counter("service.journal_repaired_bytes", counters_.journal_repaired_bytes);
+  gauge("service.queue_depth", queue_.size());
+  gauge("service.active", active_ != nullptr ? 1 : 0);
+  snapshot.MergeFrom(runner_metrics_);
+
+  std::ostringstream os;
+  telemetry::WriteMetricsText(os, snapshot);
+  return os.str();
+}
+
+SweepService::Counters SweepService::counters() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::size_t SweepService::queue_depth() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace ultra::service

@@ -1,0 +1,208 @@
+// SweepService: a crash-restartable daemon that serves sweep requests from
+// many concurrent clients over a unix-domain socket.
+//
+// Robustness envelope, by construction:
+//
+//  * Bounded admission — at most ServiceOptions::max_queue requests wait
+//    behind the one being executed; further submissions are rejected with
+//    AdmitStatus::kOverloaded (explicit backpressure, never unbounded
+//    buffering). Load drains, the service recovers, new work is accepted.
+//  * Per-request deadlines — a request over its wall-clock budget is
+//    cancelled cooperatively (SweepOptions::cancel fanned into
+//    CoreConfig::cancel by the runner's watchdog) and reported
+//    kDeadlineExceeded.
+//  * Orphan detection — a non-detached request whose client connection
+//    dies is cancelled, so abandoned work never hogs the pool.
+//  * Graceful shutdown — SIGTERM (via Stop(drain=true)) stops admissions,
+//    lets in-flight points finish (they are journaled), skips unstarted
+//    ones, and leaves queued requests journaled for the next start.
+//  * Crash restart — every accepted request is journaled (points,
+//    options, export names) before its admission is acknowledged, and
+//    every completed point is journaled by SweepRunner::RunJournaled
+//    machinery. A SIGKILL'd daemon restarts, self-heals both journal
+//    levels (persist::RepairJournal), re-queues unfinished requests in
+//    admission order, resumes them point-by-point, and writes exports
+//    byte-identical to an uninterrupted run's.
+//
+// State directory layout:
+//   <state_dir>/lock              flock'd while a daemon is alive
+//   <state_dir>/requests.journal  admission log + completion records
+//   <state_dir>/req-<id>.journal  per-point result journal (SweepRunner)
+//   <state_dir>/<export name>     CSV/JSON artifacts, written atomically
+//
+// Threading: one accept loop, one connection thread per client, one
+// executor that runs requests serially through the shared SweepRunner
+// thread pool (points are the unit of parallelism), and one watchdog for
+// request deadlines. See docs/service.md for the protocol and runbook.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/sweep_runner.hpp"
+#include "service/protocol.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ultra::persist {
+class JournalWriter;
+}  // namespace ultra::persist
+
+namespace ultra::service {
+
+struct ServiceOptions {
+  std::string socket_path;  // Unix-domain socket (sun_path limits apply).
+  std::string state_dir;    // Journals, lock file, exports.
+  /// Bound on *waiting* requests (beyond the one running). 0 means no
+  /// waiting room: a submission is rejected unless the executor is idle.
+  std::size_t max_queue = 8;
+  /// Submissions with more points than this are rejected as invalid.
+  std::size_t max_points_per_request = 65536;
+  /// Budget for Stop(drain=true): how long in-flight points may keep
+  /// running after the drain began before cancellation escalates to hard.
+  double drain_timeout_seconds = 30.0;
+  /// Completed requests whose outcomes stay queryable via kWait. Older
+  /// ones are pruned to a summary (their exports remain on disk).
+  std::size_t max_retained_results = 256;
+  /// Base sweep options for every request (thread count, oracle checks,
+  /// retries...). The cancel/drain hooks are owned by the service and
+  /// overwritten per request. Note check_architectural_state,
+  /// max_attempts, and collect_metrics enter the per-request journal
+  /// fingerprint: changing them across a restart makes old point journals
+  /// unusable (they are then discarded and those requests re-run fresh).
+  runtime::SweepOptions sweep;
+};
+
+class SweepService {
+ public:
+  explicit SweepService(ServiceOptions options);
+  /// Equivalent to Stop(/*drain=*/false) if still running.
+  ~SweepService();
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  /// Acquires the state-dir lock, self-heals and replays the request
+  /// journal (re-queuing unfinished requests), binds the socket, and
+  /// starts serving. Throws std::runtime_error when the state dir is
+  /// locked by another daemon or the socket cannot be bound.
+  void Start();
+
+  /// Stops the service. drain = true: stop admitting, let in-flight
+  /// points finish (up to drain_timeout_seconds, then escalate to hard
+  /// cancel), leave unfinished requests journaled for the next Start().
+  /// drain = false: hard cooperative cancel of everything in flight —
+  /// the closest simulation of a crash that still joins the threads.
+  /// Idempotent; safe to call from any thread (not from signal context —
+  /// signal handlers should set a flag/pipe and let the main loop call
+  /// this, as examples/sweepctl.cpp does).
+  void Stop(bool drain);
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// True once a Stop() (or a client kShutdown) has begun — the daemon's
+  /// serve loop polls this to know when to exit.
+  [[nodiscard]] bool stop_requested() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  /// Whether a client-requested shutdown asked for a drain (true) or a hard
+  /// stop. The serve loop passes this to Stop() once stop_requested() —
+  /// a connection thread cannot call Stop() itself, since Stop() joins the
+  /// connection threads.
+  [[nodiscard]] bool shutdown_drain() const {
+    return shutdown_drain_.load(std::memory_order_acquire);
+  }
+
+  /// The /metrics-style text surface served for kStatus: service counters
+  /// (queue depth, rejections, cancellations, recoveries, journal-repair
+  /// bytes) followed by the cumulative SweepRunner runner metrics
+  /// (sweep.attempts, sweep.retries, fnsim_cache.* ...).
+  [[nodiscard]] std::string MetricsText() const;
+
+  /// Service-level counters, for tests and operators.
+  struct Counters {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_invalid = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t recovered = 0;           // Re-queued at Start().
+    std::uint64_t disconnect_cancels = 0;  // Orphaned attached requests.
+    std::uint64_t journal_repaired_bytes = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Request;
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd, std::uint64_t connection_id);
+  void ExecutorLoop();
+  void WatchdogLoop();
+
+  /// One request end to end: resume-or-run its point journal, write its
+  /// exports, record completion. Never throws.
+  void Execute(const std::shared_ptr<Request>& request);
+
+  SubmitReply HandleSubmit(persist::Decoder& d, std::uint64_t connection_id);
+  WaitReply HandleWait(const WaitRequest& wait, int fd);
+  CancelReply HandleCancel(const CancelRequest& cancel);
+  void CancelOwnedBy(std::uint64_t connection_id);
+
+  void RecoverFromJournal();
+  /// Moves @p request to a terminal @p state: appends the done record (so a
+  /// restart will not re-run it), bumps the matching counter, unlinks the
+  /// per-point journal where it is no longer needed, and wakes waiters.
+  /// Callers hold mu_.
+  void FinalizeLocked(const std::shared_ptr<Request>& request,
+                      RequestState state, const std::string& error);
+  void AppendDoneRecordLocked(const Request& request, RequestState state,
+                              const std::string& error);
+  [[nodiscard]] std::string RequestJournalPath(std::uint64_t id) const;
+  void PruneRetainedLocked();
+
+  ServiceOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};  // SweepOptions::drain hook.
+  std::atomic<bool> shutdown_drain_{true};
+  bool stopped_ = false;  // Stop() already ran to completion (guarded by mu_).
+
+  int listen_fd_ = -1;
+  int lock_fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // Executor wakeup.
+  std::condition_variable done_cv_;   // Waiters + Stop() drain.
+  std::deque<std::shared_ptr<Request>> queue_;
+  std::map<std::uint64_t, std::shared_ptr<Request>> requests_;  // By id.
+  std::shared_ptr<Request> active_;  // The request the executor is running.
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_connection_id_ = 1;
+  std::map<std::uint64_t, int> connections_;  // id -> fd, for shutdown.
+  std::unique_ptr<persist::JournalWriter> request_journal_;
+  Counters counters_;
+  telemetry::MetricsSnapshot runner_metrics_;  // Cumulative across requests.
+
+  std::thread accept_thread_;
+  std::thread executor_thread_;
+  std::thread watchdog_thread_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace ultra::service

@@ -1,6 +1,7 @@
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 
@@ -212,6 +213,28 @@ void MetricSheet::MergeFrom(const MetricSheet& other) {
 MetricsSnapshot MetricSheet::Snapshot() const {
   if (registry_ == nullptr) return {};
   return registry_->Snapshot(slots_);
+}
+
+void WriteMetricsText(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const MetricValue& m : snapshot.metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      os << m.name << "_count " << m.count << '\n'
+         << m.name << "_sum " << m.sum << '\n';
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+        cumulative += m.buckets[b];
+        os << m.name << "_le_";
+        if (b < m.bounds.size()) {
+          os << m.bounds[b];
+        } else {
+          os << "inf";
+        }
+        os << ' ' << cumulative << '\n';
+      }
+    } else {
+      os << m.name << ' ' << m.value << '\n';
+    }
+  }
 }
 
 }  // namespace ultra::telemetry

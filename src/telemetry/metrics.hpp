@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
@@ -81,6 +82,14 @@ struct MetricsSnapshot {
   friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) =
       default;
 };
+
+/// Renders @p snapshot as a "/metrics"-style plain-text surface: one
+/// `name value` line per counter and gauge, and for each histogram a
+/// `name_count`, a `name_sum`, and one cumulative `name_le_<bound>` line
+/// per bucket (plus `name_le_inf` for the overflow bucket). Line order
+/// follows the snapshot's (registration) order, so the surface is
+/// deterministic and diffable.
+void WriteMetricsText(std::ostream& os, const MetricsSnapshot& snapshot);
 
 /// The metric name -> slot map. Registration is idempotent by name (the
 /// existing handle is returned); re-registering a name under a different

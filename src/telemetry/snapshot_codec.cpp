@@ -1,5 +1,7 @@
 #include "telemetry/snapshot_codec.hpp"
 
+#include <algorithm>
+
 namespace ultra::telemetry {
 
 void EncodeSnapshot(persist::Encoder& e, const MetricsSnapshot& snapshot) {
@@ -20,7 +22,9 @@ void EncodeSnapshot(persist::Encoder& e, const MetricsSnapshot& snapshot) {
 MetricsSnapshot DecodeSnapshot(persist::Decoder& d) {
   MetricsSnapshot snapshot;
   const std::uint32_t n = d.U32();
-  snapshot.metrics.reserve(n);
+  // Clamped by the bytes present so corrupt counts cannot force huge
+  // allocations; the element loops underflow into FormatError instead.
+  snapshot.metrics.reserve(std::min<std::size_t>(n, d.remaining()));
   for (std::uint32_t i = 0; i < n; ++i) {
     MetricValue m;
     m.name = d.Str();
@@ -31,10 +35,10 @@ MetricsSnapshot DecodeSnapshot(persist::Decoder& d) {
     m.kind = static_cast<MetricKind>(kind);
     m.value = d.U64();
     const std::uint32_t num_bounds = d.U32();
-    m.bounds.reserve(num_bounds);
+    m.bounds.reserve(std::min<std::size_t>(num_bounds, d.remaining()));
     for (std::uint32_t k = 0; k < num_bounds; ++k) m.bounds.push_back(d.U64());
     const std::uint32_t num_buckets = d.U32();
-    m.buckets.reserve(num_buckets);
+    m.buckets.reserve(std::min<std::size_t>(num_buckets, d.remaining()));
     for (std::uint32_t k = 0; k < num_buckets; ++k) {
       m.buckets.push_back(d.U64());
     }

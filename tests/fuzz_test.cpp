@@ -6,7 +6,15 @@
 // combinations and must reproduce the functional simulator's state.
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "core/config_codec.hpp"
 #include "core/core.hpp"
+#include "isa/program_codec.hpp"
+#include "persist/checkpoint.hpp"
+#include "runtime/sweep_journal.hpp"
+#include "service/protocol.hpp"
+#include "telemetry/snapshot_codec.hpp"
 #include "workloads/workloads.hpp"
 
 namespace ultra {
@@ -327,6 +335,82 @@ TEST_P(CheckpointFuzz, MixUnderMemoryLatencyAndForwarding) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzz, testing::Range(1200u, 1208u),
                          [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// --- Deserializer fuzz ----------------------------------------------------
+//
+// Every binary decoder must treat arbitrary bytes as "this artifact is
+// unusable" (persist::FormatError), never as a crash, hang, or huge
+// allocation: these decoders sit behind journal payloads, checkpoint files,
+// repro bundles, and now the sweep service's network frames, all of which
+// can arrive truncated, bit-rotted, or hostile.
+
+/// Feeds @p bytes to every decoder; success and FormatError are the only
+/// acceptable outcomes. (std::bad_alloc here would mean a corrupt length
+/// field drove an unbounded allocation — the exact bug the decoders clamp
+/// against.)
+void ExpectDecodersRejectGracefully(const std::vector<std::uint8_t>& bytes) {
+  const auto try_decode = [&](auto&& decode) {
+    persist::Decoder d(bytes);
+    try {
+      (void)decode(d);
+    } catch (const persist::FormatError&) {
+      // The expected rejection path.
+    }
+  };
+  try_decode([](persist::Decoder& d) { return isa::DecodeProgram(d); });
+  try_decode([](persist::Decoder& d) { return core::DecodeCoreConfig(d); });
+  try_decode([](persist::Decoder& d) { return telemetry::DecodeSnapshot(d); });
+  try_decode([](persist::Decoder& d) { return runtime::DecodeOutcome(d); });
+  try_decode(
+      [](persist::Decoder& d) { return service::DecodeSubmitRequest(d); });
+  try_decode(
+      [](persist::Decoder& d) { return service::DecodeSubmitReply(d); });
+  try_decode([](persist::Decoder& d) { return service::DecodeWaitReply(d); });
+  try {
+    (void)persist::DecodeCheckpoint(bytes);
+  } catch (const persist::FormatError&) {
+  }
+}
+
+class DecoderFuzz : public testing::TestWithParam<unsigned> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashDecoders) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> length(0, 512);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> bytes(length(rng));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(byte(rng));
+    ExpectDecodersRejectGracefully(bytes);
+  }
+}
+
+TEST_P(DecoderFuzz, MutatedValidEncodingsNeverCrashDecoders) {
+  // Mutations of *valid* encodings probe deeper than pure noise: most random
+  // strings die at the first length field, while a flipped byte inside a
+  // valid artifact reaches the interior of every decode loop.
+  persist::Encoder e;
+  isa::EncodeProgram(e, workloads::Fibonacci(8));
+  core::EncodeCoreConfig(e, CoreConfig{});
+  const std::vector<std::uint8_t> valid = e.Take();
+
+  std::mt19937 rng(GetParam() * 7919u + 13u);
+  std::uniform_int_distribution<std::size_t> pos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  for (int round = 0; round < 200; ++round) {
+    auto mutated = valid;
+    // A couple of bit flips plus a truncation.
+    mutated[pos(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+    mutated[pos(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+    mutated.resize(pos(rng) + 1);
+    ExpectDecodersRejectGracefully(mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, testing::Range(3000u, 3008u),
+                         [](const testing::TestParamInfo<unsigned>& info) {
                            return "seed" + std::to_string(info.param);
                          });
 

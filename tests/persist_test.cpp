@@ -232,6 +232,93 @@ TEST(Journal, TornTailIsDiscardedNotFatal) {
   EXPECT_EQ(records[0].type, 1u);
 }
 
+TEST(Journal, ScanReportsDiscardedTailBytes) {
+  const TempDir tmp;
+  const std::string path = tmp.File("scan.journal");
+  {
+    persist::JournalWriter w(path, /*truncate=*/true);
+    w.Append(1, std::vector<std::uint8_t>{1, 2, 3});
+    w.Append(2, std::vector<std::uint8_t>{4, 5, 6});
+  }
+  const std::uint64_t clean_size = persist::ReadFileBytes(path).size();
+  persist::JournalScan scan = persist::ScanJournal(path);
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.valid_bytes, clean_size);
+  EXPECT_EQ(scan.discarded_bytes, 0u);
+
+  // Tear the second frame: the scan must account for every lost byte.
+  auto bytes = persist::ReadFileBytes(path);
+  bytes.resize(bytes.size() - 5);
+  persist::AtomicWriteFile(path, bytes);
+  scan = persist::ScanJournal(path);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes + scan.discarded_bytes, bytes.size());
+  EXPECT_GT(scan.discarded_bytes, 0u);
+
+  // A missing file scans as empty and clean.
+  scan = persist::ScanJournal(tmp.File("absent.journal"));
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.discarded_bytes, 0u);
+}
+
+TEST(Journal, RepairReclaimsTornTailSoNewAppendsAreVisible) {
+  const TempDir tmp;
+  const std::string path = tmp.File("heal.journal");
+  {
+    persist::JournalWriter w(path, /*truncate=*/true);
+    w.Append(1, std::vector<std::uint8_t>{1});
+    w.Append(2, std::vector<std::uint8_t>{2});
+  }
+  // A crash mid-append leaves half a frame. Appending *after* that garbage
+  // (which is what O_APPEND alone would do) orphans every later record,
+  // because readers stop at the first bad frame. RepairJournal is what
+  // makes post-crash appends reachable.
+  auto bytes = persist::ReadFileBytes(path);
+  const std::vector<std::uint8_t> half_frame = {'U', 'J', 'N', 'L', 9, 9};
+  bytes.insert(bytes.end(), half_frame.begin(), half_frame.end());
+  persist::AtomicWriteFile(path, bytes);
+
+  EXPECT_EQ(persist::RepairJournal(path), half_frame.size());
+  EXPECT_EQ(persist::RepairJournal(path), 0u);  // Idempotent once clean.
+  {
+    persist::JournalWriter w(path, /*truncate=*/false);
+    w.Append(3, std::vector<std::uint8_t>{3});
+  }
+  const auto records = persist::ReadJournal(path);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, 1u);
+  EXPECT_EQ(records[1].type, 2u);
+  EXPECT_EQ(records[2].type, 3u);
+
+  // Repairing a missing journal is a clean no-op (fresh service start).
+  EXPECT_EQ(persist::RepairJournal(tmp.File("absent.journal")), 0u);
+}
+
+TEST(Journal, BitFlipsNeverCrashTheReader) {
+  const TempDir tmp;
+  const std::string path = tmp.File("flip.journal");
+  {
+    persist::JournalWriter w(path, /*truncate=*/true);
+    w.Append(7, std::vector<std::uint8_t>{10, 20, 30, 40});
+    w.Append(8, std::vector<std::uint8_t>{50, 60});
+    w.Append(9, {});
+  }
+  const auto good = persist::ReadFileBytes(path);
+  // Flip one bit at every byte position: the reader must return some valid
+  // prefix of the records (possibly empty) and never throw or crash — a
+  // corrupt journal means lost tail records, not a lost daemon.
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    auto bad = good;
+    bad[i] ^= 0x10;
+    persist::AtomicWriteFile(path, bad);
+    const auto records = persist::ReadJournal(path);
+    EXPECT_LE(records.size(), 3u) << "byte " << i;
+    const persist::JournalScan scan = persist::ScanJournal(path);
+    EXPECT_EQ(scan.valid_bytes + scan.discarded_bytes, good.size())
+        << "byte " << i;
+  }
+}
+
 // --- Config / program codecs ---------------------------------------------
 
 TEST(ConfigCodec, RoundTripPreservesFingerprint) {
