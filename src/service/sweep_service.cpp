@@ -8,11 +8,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "core/config_codec.hpp"
@@ -40,13 +42,32 @@ std::uint64_t NowNs() {
           .count());
 }
 
+/// Upper bound on SubmitRequest::deadline_seconds (~31 years). Far beyond
+/// any real sweep, and small enough that the nanosecond conversion (1e18)
+/// stays well inside uint64 — an unchecked huge double would make the
+/// cast undefined behavior and could wrap the deadline into the past.
+constexpr double kMaxDeadlineSeconds = 1e9;
+
 /// Export names are resolved inside the state directory; anything that could
-/// escape it (path separators, "..", empty-after-trim tricks) is rejected at
-/// admission so a client can never make the daemon write outside its dir.
+/// escape it (path separators, "..", empty-after-trim tricks) or collide
+/// with the daemon's own state files (the flock'd "lock", the request
+/// journal, any "*.journal") is rejected at admission. Without the reserved
+/// list, a client naming its export "requests.journal" would have
+/// AtomicWriteFile rename a CSV over the admission log — the open
+/// JournalWriter keeps appending to the dead inode and the next restart
+/// truncates every acknowledged-but-unfinished request away.
 bool ValidExportName(const std::string& name) {
   if (name.empty()) return true;  // Empty = no export requested.
   if (name == "." || name == "..") return false;
-  return name.find('/') == std::string::npos;
+  if (name.find('/') != std::string::npos) return false;
+  if (name == "lock") return false;
+  constexpr std::string_view kJournalSuffix = ".journal";
+  if (name.size() >= kJournalSuffix.size() &&
+      name.compare(name.size() - kJournalSuffix.size(), kJournalSuffix.size(),
+                   kJournalSuffix) == 0) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -199,9 +220,13 @@ void SweepService::RecoverFromJournal() {
     if (req->terminal()) continue;
     req->state = RequestState::kQueued;
     req->owner_connection = 0;  // The submitting client is gone.
-    if (req->submit.deadline_seconds > 0) {
-      req->deadline_ns =
-          now + static_cast<std::uint64_t>(req->submit.deadline_seconds * 1e9);
+    // Admission clamps deadline_seconds, but this value comes off disk —
+    // a journal written by an older daemon (or hand-edited) must not feed
+    // an unchecked double into the ns cast.
+    const double deadline_s =
+        std::min(req->submit.deadline_seconds, kMaxDeadlineSeconds);
+    if (deadline_s > 0) {
+      req->deadline_ns = now + static_cast<std::uint64_t>(deadline_s * 1e9);
     }
     queue_.push_back(req);
     ++counters_.recovered;
@@ -259,13 +284,14 @@ void SweepService::Stop(bool drain) {
   // Unblock every connection thread: shutdown() makes a blocked recv()
   // return EOF without a race on the fd number (the thread still owns the
   // close()).
-  std::vector<std::thread> connections;
+  std::map<std::uint64_t, std::thread> connections;
   {
     std::unique_lock<std::mutex> lk(mu_);
     for (auto& [cid, fd] : connections_) ::shutdown(fd, SHUT_RDWR);
     connections.swap(connection_threads_);
+    finished_connections_.clear();
   }
-  for (std::thread& t : connections) {
+  for (auto& [cid, t] : connections) {
     if (t.joinable()) t.join();
   }
 
@@ -296,6 +322,7 @@ void SweepService::Stop(bool drain) {
 
 void SweepService::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
+    ReapFinishedConnections();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (r <= 0) continue;  // Timeout, EINTR: re-check stopping_.
@@ -308,8 +335,29 @@ void SweepService::AcceptLoop() {
     }
     const std::uint64_t cid = next_connection_id_++;
     connections_[cid] = fd;
-    connection_threads_.emplace_back(
-        [this, fd, cid] { ConnectionLoop(fd, cid); });
+    connection_threads_.emplace(cid,
+                                std::thread([this, fd, cid] { ConnectionLoop(fd, cid); }));
+  }
+}
+
+void SweepService::ReapFinishedConnections() {
+  std::vector<std::thread> done;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (finished_connections_.empty()) return;
+    for (const std::uint64_t cid : finished_connections_) {
+      auto it = connection_threads_.find(cid);
+      if (it == connection_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      connection_threads_.erase(it);
+    }
+    finished_connections_.clear();
+  }
+  // Join outside mu_: by the time a cid appears in finished_connections_
+  // its thread has already released the lock for good, but there is no
+  // reason to block other lock users on the (brief) join.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
   }
 }
 
@@ -376,6 +424,10 @@ void SweepService::ConnectionLoop(int fd, std::uint64_t connection_id) {
   {
     std::unique_lock<std::mutex> lk(mu_);
     connections_.erase(connection_id);
+    // Hand this thread to the accept loop's reaper. Safe ordering: nothing
+    // after this statement touches mu_, so a reaper that sees the cid can
+    // join without deadlock.
+    finished_connections_.push_back(connection_id);
   }
   ::close(fd);
 }
@@ -392,6 +444,7 @@ SubmitReply SweepService::HandleSubmit(persist::Decoder& d,
   } catch (const persist::FormatError& e) {
     reply.status = AdmitStatus::kInvalid;
     reply.message = std::string("malformed submission: ") + e.what();
+    std::unique_lock<std::mutex> lk(mu_);
     ++counters_.rejected_invalid;
     return reply;
   }
@@ -405,7 +458,14 @@ SubmitReply SweepService::HandleSubmit(persist::Decoder& d,
   } else if (!ValidExportName(submit.csv_name) ||
              !ValidExportName(submit.json_name)) {
     reply.status = AdmitStatus::kInvalid;
-    reply.message = "export names must be bare file names";
+    reply.message =
+        "export names must be bare file names and may not shadow service "
+        "state (lock, *.journal)";
+  } else if (!(submit.deadline_seconds <= kMaxDeadlineSeconds)) {
+    // Negated comparison deliberately catches NaN as well as +inf and
+    // too-large values.
+    reply.status = AdmitStatus::kInvalid;
+    reply.message = "deadline_seconds must be a number <= 1e9";
   }
   if (reply.status == AdmitStatus::kInvalid && !reply.message.empty()) {
     std::unique_lock<std::mutex> lk(mu_);
@@ -539,6 +599,10 @@ CancelReply SweepService::HandleCancel(const CancelRequest& cancel) {
 
 void SweepService::CancelOwnedBy(std::uint64_t connection_id) {
   std::unique_lock<std::mutex> lk(mu_);
+  // Two passes: FinalizeLocked prunes retained results, which erases
+  // requests_ entries — possibly the very element a range-for iterator is
+  // standing on. Flag everything first, then finalize outside the map walk.
+  std::vector<std::shared_ptr<Request>> to_finalize;
   for (auto& [id, req] : requests_) {
     if (req->owner_connection != connection_id || req->terminal()) continue;
     if (req->reason == Request::CancelReason::kNone) {
@@ -546,15 +610,16 @@ void SweepService::CancelOwnedBy(std::uint64_t connection_id) {
     }
     req->cancel.store(true, std::memory_order_release);
     ++counters_.disconnect_cancels;
-    if (req->state == RequestState::kQueued) {
-      for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
-        if ((*qit)->id == req->id) {
-          queue_.erase(qit);
-          break;
-        }
+    if (req->state == RequestState::kQueued) to_finalize.push_back(req);
+  }
+  for (const std::shared_ptr<Request>& req : to_finalize) {
+    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+      if ((*qit)->id == req->id) {
+        queue_.erase(qit);
+        break;
       }
-      FinalizeLocked(req, RequestState::kCancelled, "client disconnected");
     }
+    FinalizeLocked(req, RequestState::kCancelled, "client disconnected");
   }
 }
 

@@ -162,6 +162,10 @@ class SweepService {
   WaitReply HandleWait(const WaitRequest& wait, int fd);
   CancelReply HandleCancel(const CancelRequest& cancel);
   void CancelOwnedBy(std::uint64_t connection_id);
+  /// Joins connection threads whose ConnectionLoop has exited. Called from
+  /// the accept loop so a long-lived daemon does not accumulate one dead
+  /// (joinable) std::thread per connection ever accepted.
+  void ReapFinishedConnections();
 
   void RecoverFromJournal();
   /// Moves @p request to a terminal @p state: appends the done record (so a
@@ -202,7 +206,10 @@ class SweepService {
   std::thread accept_thread_;
   std::thread executor_thread_;
   std::thread watchdog_thread_;
-  std::vector<std::thread> connection_threads_;
+  std::map<std::uint64_t, std::thread> connection_threads_;  // By id.
+  /// Connection ids whose loop has exited; their threads are joined by the
+  /// accept loop (ReapFinishedConnections) or, for stragglers, by Stop().
+  std::vector<std::uint64_t> finished_connections_;
 };
 
 }  // namespace ultra::service

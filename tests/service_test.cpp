@@ -13,6 +13,7 @@
 // and ASan.
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -255,7 +256,65 @@ TEST(SweepService, RejectsInvalidSubmissions) {
   slash.json_name = "sub/dir.json";
   EXPECT_EQ(client.Submit(slash).status, service::AdmitStatus::kInvalid);
 
-  EXPECT_EQ(svc.counters().rejected_invalid, 3u);
+  // Reserved names: an export atomically renamed over the daemon's own
+  // state files would destroy the admission log or the flock'd lock file.
+  for (const char* name :
+       {"lock", "requests.journal", "req-1.journal", "other.journal"}) {
+    service::SubmitRequest reserved;
+    reserved.points = SmallSweep();
+    reserved.csv_name = name;
+    EXPECT_EQ(client.Submit(reserved).status, service::AdmitStatus::kInvalid)
+        << name;
+  }
+
+  // Deadlines whose nanosecond conversion would be undefined behavior.
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(), 1e300}) {
+    service::SubmitRequest deadline;
+    deadline.points = SmallSweep();
+    deadline.deadline_seconds = bad;
+    EXPECT_EQ(client.Submit(deadline).status, service::AdmitStatus::kInvalid)
+        << bad;
+  }
+
+  EXPECT_EQ(svc.counters().rejected_invalid, 10u);
+  svc.Stop(/*drain=*/false);
+}
+
+// Regression: client disconnect finalizes every queued request it owned,
+// and with zero retention each finalization prunes the requests_ map
+// mid-cancellation — this must not invalidate the iteration over the map
+// (historically a use-after-erase crash).
+TEST(SweepService, DisconnectCancelsQueuedUnderRetentionPressure) {
+  const TempDir tmp;
+  service::ServiceOptions options = MakeOptions(tmp);
+  options.max_retained_results = 0;  // Prune terminal requests immediately.
+  service::SweepService svc(std::move(options));
+  svc.Start();
+
+  {
+    service::SweepClient client(svc.options().socket_path);
+    // Occupy the executor so the follow-up submissions stay queued.
+    service::SubmitRequest spin;
+    spin.points = SpinSweep();
+    ASSERT_EQ(client.Submit(spin).status, service::AdmitStatus::kAccepted);
+    for (int i = 0; i < 200 && svc.queue_depth() != 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(svc.queue_depth(), 0u);
+
+    for (int i = 0; i < 3; ++i) {
+      service::SubmitRequest req;
+      req.points = SmallSweep();
+      ASSERT_EQ(client.Submit(req).status, service::AdmitStatus::kAccepted);
+    }
+  }  // Disconnect: all four attached requests are orphaned at once.
+
+  for (int i = 0; i < 500 && svc.counters().disconnect_cancels < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(svc.counters().disconnect_cancels, 4u);
+  EXPECT_EQ(svc.queue_depth(), 0u);
   svc.Stop(/*drain=*/false);
 }
 
