@@ -3,73 +3,169 @@
 // "Our analytical results show that memory bandwidth is the dominating
 // factor in the design of large-scale processors."
 //
-// Two views:
+// Three views, all dispatched through the runtime::SweepRunner so the
+// printed tables and any --csv/--json export are byte-identical at every
+// thread count:
 //  (1) Performance: IPC of a memory-streaming workload on the hybrid core
 //      as the chip's accepted memory operations per cycle follow M(n).
-//  (2) Cost: the wire delay the layout must pay to *provide* that M(n).
+//  (2) Cost: the wire delay the layout must pay to *provide* that M(n)
+//      (analytic, via SweepRunner::Map).
+//  (3) Locality: what spares the thin root link -- the per-cluster caches
+//      the paper suggests, against this reproduction's L1D+L2 hierarchy
+//      (see docs/memory.md) on the same reuse-heavy workload.
 // Together they exhibit the paper's tension: bandwidth starves IPC when
-// M(n) is small and wires when M(n) is large.
+// M(n) is small and wires when M(n) is large, unless locality models keep
+// the traffic off the root.
+//
+// Usage: bench_memory_bandwidth [--threads=N] [--csv=PATH] [--json=PATH]
+//                               [--journal=PATH] [--resume]
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "analysis/table.hpp"
 #include "core/core.hpp"
+#include "runtime/runtime.hpp"
 #include "vlsi/vlsi.hpp"
 #include "workloads/workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ultra;
   using memory::BandwidthRegime;
+  const auto cli = runtime::ParseSweepCli(argc, argv);
   std::printf("=== E10: memory-bandwidth pressure ===\n\n");
 
   // Load-dominated straight-line code: ~90% independent loads, no
   // accumulation chain to hide the admission bottleneck.
-  const auto program = workloads::RandomMix({.num_instructions = 512,
-                                             .load_fraction = 0.9,
-                                             .store_fraction = 0.0,
-                                             .memory_words = 1024,
-                                             .seed = 21});
+  const auto program =
+      std::make_shared<isa::Program>(workloads::RandomMix(
+          {.num_instructions = 512,
+           .load_fraction = 0.9,
+           .store_fraction = 0.0,
+           .memory_words = 1024,
+           .seed = 21}));
+  // Load-heavy code with a tiny footprint (8 words): after one fill every
+  // access is a repeat, which any locality model absorbs.
+  const auto reuse =
+      std::make_shared<isa::Program>(workloads::RandomMix(
+          {.num_instructions = 512,
+           .load_fraction = 0.9,
+           .store_fraction = 0.0,
+           .memory_words = 8,
+           .seed = 33}));
+
+  const int kWindows[] = {16, 64, 256};
+  const BandwidthRegime kRegimes[] = {BandwidthRegime::kConstant,
+                                      BandwidthRegime::kSqrt,
+                                      BandwidthRegime::kLinear};
+  enum class Locality { kNone, kClusterCaches, kHierarchy };
+  const Locality kLocalities[] = {Locality::kNone, Locality::kClusterCaches,
+                                  Locality::kHierarchy};
+
+  // One sweep carries every simulated point of the bench.
+  std::vector<runtime::SweepPoint> points;
+  for (const int n : kWindows) {
+    for (const auto regime : kRegimes) {
+      runtime::SweepPoint p;
+      p.kind = core::ProcessorKind::kHybrid;
+      p.config.window_size = n;
+      p.config.cluster_size = std::min(16, n);
+      p.config.predictor = core::PredictorKind::kBtfn;
+      p.config.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+      p.config.mem.regime = regime;
+      p.config.mem.cache.num_banks = 16;
+      p.program = program;
+      p.workload = "stream-mix";
+      points.push_back(std::move(p));
+    }
+  }
+  // Locality models on the reuse workload, all against the same thin
+  // M(n) = Theta(1) root: none, the paper's distributed per-cluster
+  // caches, and the multi-level hierarchy (mutually exclusive knobs).
+  for (const auto locality : kLocalities) {
+    runtime::SweepPoint p;
+    p.kind = core::ProcessorKind::kHybrid;
+    p.config.window_size = 64;
+    p.config.cluster_size = 16;
+    p.config.predictor = core::PredictorKind::kOracle;
+    p.config.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+    p.config.mem.regime = BandwidthRegime::kConstant;
+    p.config.mem.cache.num_banks = 16;
+    switch (locality) {
+      case Locality::kNone:
+        break;
+      case Locality::kClusterCaches:
+        p.config.mem.cluster_cache_leaves = 16;
+        p.config.mem.cluster_cache_words = 64;
+        break;
+      case Locality::kHierarchy:
+        p.config.mem.hierarchy.l1d.enabled = true;
+        p.config.mem.hierarchy.l1d.sets = 16;
+        p.config.mem.hierarchy.l1d.ways = 2;
+        p.config.mem.hierarchy.l1d.block_bytes = 32;
+        p.config.mem.hierarchy.l2.enabled = true;
+        p.config.mem.hierarchy.l2.sets = 64;
+        p.config.mem.hierarchy.l2.ways = 4;
+        p.config.mem.hierarchy.l2.block_bytes = 32;
+        break;
+    }
+    p.program = reuse;
+    p.workload = "reuse-mix";
+    points.push_back(std::move(p));
+  }
+  // The USI cache-statistics view under the sqrt regime.
+  {
+    runtime::SweepPoint p;
+    p.kind = core::ProcessorKind::kUltrascalarI;
+    p.config.window_size = 64;
+    p.config.cluster_size = 16;
+    p.config.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+    p.config.mem.regime = BandwidthRegime::kSqrt;
+    p.program = program;
+    p.workload = "stream-mix";
+    points.push_back(std::move(p));
+  }
+
+  const runtime::SweepRunner runner({.num_threads = cli.threads});
+  const auto outcomes = runtime::RunSweepCli(runner, cli, points).outcomes;
+  std::size_t next = 0;
 
   std::printf("--- achieved IPC vs provided M(n) (hybrid core) ---\n");
   analysis::Table table({"n", "M(n) regime", "ops/cycle", "cycles", "IPC"});
-  for (const int n : {16, 64, 256}) {
-    for (const auto regime :
-         {BandwidthRegime::kConstant, BandwidthRegime::kSqrt,
-          BandwidthRegime::kLinear}) {
-      core::CoreConfig cfg;
-      cfg.window_size = n;
-      cfg.cluster_size = std::min(16, n);
-      cfg.predictor = core::PredictorKind::kBtfn;
-      cfg.mem.mode = memory::MemTimingMode::kBandwidthLimited;
-      cfg.mem.regime = regime;
-      cfg.mem.cache.num_banks = 16;
-      auto proc = core::MakeProcessor(core::ProcessorKind::kHybrid, cfg);
-      const auto result = proc->Run(program);
+  for (const int n : kWindows) {
+    for (const auto regime : kRegimes) {
+      const auto& o = outcomes[next++];
       const auto profile = memory::BandwidthProfile::ForRegime(regime);
       table.Row()
           .Cell(n)
           .Cell(profile.name())
           .Cell(profile.OpsPerCycle(n))
-          .Cell(result.cycles)
-          .Cell(result.Ipc(), 2);
+          .Cell(o.result.cycles)
+          .Cell(o.result.Ipc(), 2);
     }
   }
   std::printf("%s\n", table.ToString().c_str());
 
   std::printf("--- wire delay the layout pays for M(n) (hybrid, L=32) ---\n");
+  // Analytic cost model: a SweepRunner::Map, not simulation points.
+  const std::vector<double> wire_cm = runner.Map<double>(
+      5 * std::size(kRegimes), [&](std::size_t i) {
+        const std::int64_t n = std::int64_t{1} << (10 + 2 * (i / 3));
+        const auto regime = kRegimes[i % 3];
+        const vlsi::HybridLayout layout(
+            32, 32, memory::BandwidthProfile::ForRegime(regime));
+        return layout.At(n).wire_um / 1e4;
+      });
   analysis::Table cost({"n", "M=Theta(1) wire [cm]", "M=Theta(sqrt n) [cm]",
                         "M=Theta(n) [cm]"});
-  for (int e = 10; e <= 18; e += 2) {
-    const std::int64_t n = std::int64_t{1} << e;
-    const auto wire = [&](BandwidthRegime r) {
-      const vlsi::HybridLayout layout(
-          32, 32, memory::BandwidthProfile::ForRegime(r));
-      return layout.At(n).wire_um / 1e4;
-    };
+  for (std::size_t r = 0; r < 5; ++r) {
     cost.Row()
-        .Cell(n)
-        .Cell(wire(BandwidthRegime::kConstant))
-        .Cell(wire(BandwidthRegime::kSqrt))
-        .Cell(wire(BandwidthRegime::kLinear));
+        .Cell(std::int64_t{1} << (10 + 2 * r))
+        .Cell(wire_cm[3 * r + 0])
+        .Cell(wire_cm[3 * r + 1])
+        .Cell(wire_cm[3 * r + 2]);
   }
   std::printf("%s", cost.ToString().c_str());
   std::printf(
@@ -77,60 +173,38 @@ int main() {
       "In this case, all three processors are asymptotically the same.\")\n");
 
   std::printf(
-      "\n--- distributed per-cluster caches (Section 7 suggestion) ---\n");
-  {
-    // Load-heavy straight-line code with a tiny footprint (8 words): after
-    // one fill per cluster every access is a repeat, which the local caches
-    // absorb; the thin M(n) = Theta(1) root stops mattering.
-    const auto reuse = workloads::RandomMix({.num_instructions = 512,
-                                             .load_fraction = 0.9,
-                                             .store_fraction = 0.0,
-                                             .memory_words = 8,
-                                             .seed = 33});
-    analysis::Table dtable(
-        {"configuration", "cycles", "IPC", "loads submitted"});
-    for (const bool distributed : {false, true}) {
-      core::CoreConfig cfg;
-      cfg.window_size = 64;
-      cfg.cluster_size = 16;
-      cfg.predictor = core::PredictorKind::kOracle;
-      cfg.mem.mode = memory::MemTimingMode::kBandwidthLimited;
-      cfg.mem.regime = BandwidthRegime::kConstant;
-      cfg.mem.cache.num_banks = 16;
-      if (distributed) {
-        cfg.mem.cluster_cache_leaves = 16;
-        cfg.mem.cluster_cache_words = 64;
-      }
-      auto proc = core::MakeProcessor(core::ProcessorKind::kHybrid, cfg);
-      const auto result = proc->Run(reuse);
-      dtable.Row()
-          .Cell(distributed ? "distributed caches" : "central cache only")
-          .Cell(result.cycles)
-          .Cell(result.Ipc(), 2)
-          .Cell(result.stats.load_count);
-    }
-    std::printf("%s", dtable.ToString().c_str());
-    std::printf(
-        "\n(Local hits complete without consuming the Theta(1) root link:\n"
-        "\"it is conceivable that a processor could require substantially\n"
-        "reduced memory bandwidth, resulting in dramatically reduced chip\n"
-        "complexity.\")\n");
+      "\n--- locality models vs the Theta(1) root (Section 7 suggestion) "
+      "---\n");
+  analysis::Table dtable({"configuration", "cycles", "IPC",
+                          "loads submitted", "L1D+L2 hits"});
+  for (const auto locality : kLocalities) {
+    const auto& o = outcomes[next++];
+    const auto& m = o.result.stats.mem_hierarchy;
+    dtable.Row()
+        .Cell(locality == Locality::kNone ? "central cache only"
+              : locality == Locality::kClusterCaches
+                  ? "distributed caches"
+                  : "L1D+L2 hierarchy")
+        .Cell(o.result.cycles)
+        .Cell(o.result.Ipc(), 2)
+        .Cell(o.result.stats.load_count)
+        .Cell(m.l1d_hits + m.l2_hits);
   }
+  std::printf("%s", dtable.ToString().c_str());
+  std::printf(
+      "\n(Local hits complete without consuming the Theta(1) root link:\n"
+      "\"it is conceivable that a processor could require substantially\n"
+      "reduced memory bandwidth, resulting in dramatically reduced chip\n"
+      "complexity.\")\n");
 
   std::printf("\n--- cache statistics under the sqrt regime, n = 64 ---\n");
   {
-    core::CoreConfig cfg;
-    cfg.window_size = 64;
-    cfg.cluster_size = 16;
-    cfg.mem.mode = memory::MemTimingMode::kBandwidthLimited;
-    cfg.mem.regime = BandwidthRegime::kSqrt;
-    auto proc = core::MakeProcessor(core::ProcessorKind::kUltrascalarI, cfg);
-    const auto result = proc->Run(program);
+    const auto& o = outcomes[next++];
     std::printf(
         "  cycles=%llu IPC=%.2f loads=%llu stores=%llu\n",
-        static_cast<unsigned long long>(result.cycles), result.Ipc(),
-        static_cast<unsigned long long>(result.stats.load_count),
-        static_cast<unsigned long long>(result.stats.store_count));
+        static_cast<unsigned long long>(o.result.cycles), o.result.Ipc(),
+        static_cast<unsigned long long>(o.result.stats.load_count),
+        static_cast<unsigned long long>(o.result.stats.store_count));
   }
-  return 0;
+  return runtime::ExportOutcomes(cli, outcomes) ? 0 : 1;
 }

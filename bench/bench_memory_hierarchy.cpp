@@ -1,0 +1,310 @@
+// E16 -- Memory-hierarchy sweeps: IPC vs icache size, L2 size, and
+// prefetch depth (ROADMAP item 3).
+//
+// Section 7 of the paper reduces memory to the M(n) bandwidth knob; the
+// Performance-Optimum Superscalar Architecture study (arxiv 1204.2809)
+// shows the interesting design points only appear once cache geometry and
+// latency are swept alongside the window. This bench runs those axes
+// through the runtime::SweepRunner across all four cores:
+//
+//  (1) icache capacity vs a loop whose straight-line body exceeds it
+//      (workloads::CodeFootprint): instruction supply throttles IPC.
+//  (2) L2 capacity vs a strided array walk (workloads::StridedSweep):
+//      passes re-miss until the array fits.
+//  (3) Stride-prefetch depth on a bandwidth-starved backing tier
+//      (kBandwidthLimited): prefetch fills bypass the M(n) admission
+//      bottleneck, so IPC lost to (2)'s misses comes back.
+//
+// The binary doubles as the CI gate for the hierarchy model: it exits
+// non-zero unless (a) miss rates are non-increasing in cache size on the
+// stride kernel, (b) IPC degrades with smaller icache/L2 and recovers with
+// prefetching on at least two cores, and (c) a recorded trace of the
+// stride kernel replays -- through both the text and binary codecs -- to a
+// byte-identical RunResult.
+//
+// Usage: bench_memory_hierarchy [--threads=N] [--csv=PATH] [--json=PATH]
+//                               [--journal=PATH] [--resume]
+// Without --json the results land in BENCH_memory_hierarchy.json.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/checkpoint_util.hpp"
+#include "core/core.hpp"
+#include "runtime/runtime.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ultra;
+
+constexpr core::ProcessorKind kCores[] = {
+    core::ProcessorKind::kIdeal, core::ProcessorKind::kUltrascalarI,
+    core::ProcessorKind::kUltrascalarII, core::ProcessorKind::kHybrid};
+
+// The data-side base configuration shared by every point: a small L1D so
+// the L2 and prefetch axes are the visible knobs.
+core::CoreConfig BaseConfig() {
+  core::CoreConfig cfg;
+  cfg.window_size = 64;
+  cfg.cluster_size = 16;
+  cfg.predictor = core::PredictorKind::kBtfn;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+  return cfg;
+}
+
+memory::CacheLevelConfig Level(int sets, int ways, int block_bytes,
+                               int hit_latency, int miss_latency) {
+  memory::CacheLevelConfig level;
+  level.enabled = true;
+  level.sets = sets;
+  level.ways = ways;
+  level.block_bytes = block_bytes;
+  level.hit_latency = hit_latency;
+  level.miss_latency = miss_latency;
+  return level;
+}
+
+/// Serializes everything a RunResult carries (timing, stats, architectural
+/// state) so the trace-replay gate can demand byte-identity, not just
+/// equal IPC.
+std::vector<std::uint8_t> EncodeResult(const core::RunResult& r) {
+  persist::Encoder e;
+  core::SavePartialResult(e, r);
+  const core::MemHierarchyCounters& m = r.stats.mem_hierarchy;
+  for (const std::uint64_t v :
+       {m.l1d_hits, m.l1d_misses, m.l1d_writebacks, m.l2_hits, m.l2_misses,
+        m.l2_writebacks, m.icache_hits, m.icache_misses,
+        m.icache_stall_cycles, m.prefetch_issued, m.prefetch_fills,
+        m.prefetch_useful}) {
+    e.U64(v);
+  }
+  e.U32(static_cast<std::uint32_t>(r.regs.size()));
+  for (const isa::Word w : r.regs) e.U32(w);
+  e.U32(static_cast<std::uint32_t>(r.memory.size()));
+  for (const auto& [addr, value] : r.memory) {
+    e.U32(addr);
+    e.U32(value);
+  }
+  return e.Take();
+}
+
+int failures = 0;
+
+void Gate(bool ok, const char* what) {
+  if (!ok) {
+    ++failures;
+    std::printf("GATE FAILED: %s\n", what);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = runtime::ParseSweepCli(argc, argv);
+  if (cli.json_path.empty()) cli.json_path = "BENCH_memory_hierarchy.json";
+  std::printf("=== E16: memory-hierarchy sweeps ===\n\n");
+
+  // --- workloads -------------------------------------------------------
+  // ~3 KiB loop body: re-misses every iteration in icaches smaller than
+  // that, hits every iteration in larger ones.
+  const auto footprint = std::make_shared<isa::Program>(
+      workloads::CodeFootprint({.body_instructions = 768, .iterations = 24}));
+  // 16 KiB array walked at a 32-byte stride: larger than L1D, spans the L2
+  // axis, and the constant stride is what the prefetcher locks onto.
+  const auto stride = std::make_shared<isa::Program>(workloads::StridedSweep(
+      {.array_words = 4096, .stride_words = 8, .passes = 6, .unroll = 4}));
+  // 32 KiB dependent walk for the prefetch axis: each address depends on
+  // the previous load, so the window cannot hide the misses itself and
+  // every pass is latency-bound without prefetching.
+  const auto stream = std::make_shared<isa::Program>(workloads::StridedSweep(
+      {.array_words = 8192, .stride_words = 8, .passes = 2, .dependent = true}));
+
+  // --- axis 1: icache capacity ----------------------------------------
+  const int kIcacheSets[] = {8, 32, 128, 512};  // x2 ways x16 B = 256 B..16 KiB.
+  std::vector<runtime::SweepPoint> points;
+  for (const auto kind : kCores) {
+    for (const int sets : kIcacheSets) {
+      runtime::SweepPoint p;
+      p.kind = kind;
+      p.config = BaseConfig();
+      p.config.mem.hierarchy.l1i = Level(sets, 2, 16, 1, 12);
+      p.program = footprint;
+      p.workload = "footprint(3KiB)";
+      points.push_back(std::move(p));
+    }
+  }
+
+  // --- axis 2: L2 capacity --------------------------------------------
+  const int kL2Sets[] = {32, 128, 512};  // x4 ways x32 B = 4 KiB..64 KiB.
+  for (const auto kind : kCores) {
+    for (const int sets : kL2Sets) {
+      runtime::SweepPoint p;
+      p.kind = kind;
+      p.config = BaseConfig();
+      p.config.mem.hierarchy.l1d = Level(16, 2, 32, 1, 4);  // 1 KiB.
+      p.config.mem.hierarchy.l2 = Level(sets, 4, 32, 4, 24);
+      p.program = stride;
+      p.workload = "stride(16KiB)";
+      points.push_back(std::move(p));
+    }
+  }
+
+  // --- axis 3: prefetch depth on a starved backing tier ---------------
+  const int kDepths[] = {0, 2, 4, 8};
+  for (const auto kind : kCores) {
+    for (const int depth : kDepths) {
+      runtime::SweepPoint p;
+      p.kind = kind;
+      p.config = BaseConfig();
+      p.config.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+      p.config.mem.regime = memory::BandwidthRegime::kConstant;
+      p.config.mem.hierarchy.l1d = Level(16, 2, 32, 1, 12);  // 1 KiB.
+      p.config.mem.hierarchy.prefetch.depth = depth;
+      p.program = stream;
+      p.workload = "stream(32KiB)";
+      points.push_back(std::move(p));
+    }
+  }
+
+  const runtime::SweepRunner runner({.num_threads = cli.threads});
+  const auto outcomes = runtime::RunSweepCli(runner, cli, points).outcomes;
+  for (const auto& o : outcomes) {
+    Gate(o.ok, ("point failed: " + o.workload + ": " + o.error).c_str());
+  }
+
+  std::size_t next = 0;
+
+  std::printf("--- IPC vs icache capacity (footprint ~3 KiB of code) ---\n");
+  analysis::Table icache_table({"core", "256B", "1KiB", "4KiB", "16KiB",
+                                "miss rate 256B", "miss rate 16KiB"});
+  int icache_degraded = 0;
+  for (const auto kind : kCores) {
+    const std::size_t base = next;
+    analysis::Table& row = icache_table.Row();
+    row.Cell(std::string(core::ProcessorKindName(kind)));
+    for (std::size_t i = 0; i < std::size(kIcacheSets); ++i) {
+      row.Cell(outcomes[next++].result.Ipc(), 2);
+    }
+    const auto rate = [&](std::size_t i) {
+      const auto& m = outcomes[base + i].result.stats.mem_hierarchy;
+      const auto total = m.icache_hits + m.icache_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(m.icache_misses) /
+                              static_cast<double>(total);
+    };
+    row.Cell(rate(0), 3);
+    row.Cell(rate(std::size(kIcacheSets) - 1), 3);
+    for (std::size_t i = 1; i < std::size(kIcacheSets); ++i) {
+      Gate(rate(i) <= rate(i - 1) + 1e-9,
+           "icache miss rate must be non-increasing in capacity");
+    }
+    if (outcomes[base + std::size(kIcacheSets) - 1].result.Ipc() >
+        1.02 * outcomes[base].result.Ipc()) {
+      ++icache_degraded;
+    }
+  }
+  std::printf("%s\n", icache_table.ToString().c_str());
+  Gate(icache_degraded >= 2,
+       "a too-small icache must cost IPC on at least two cores");
+
+  std::printf("--- IPC vs L2 capacity (16 KiB strided walk, 1 KiB L1D) ---\n");
+  analysis::Table l2_table({"core", "L2=4KiB", "L2=16KiB", "L2=64KiB",
+                            "L2 miss rate 4KiB", "L2 miss rate 64KiB"});
+  int l2_degraded = 0;
+  for (const auto kind : kCores) {
+    const std::size_t base = next;
+    analysis::Table& row = l2_table.Row();
+    row.Cell(std::string(core::ProcessorKindName(kind)));
+    for (std::size_t i = 0; i < std::size(kL2Sets); ++i) {
+      row.Cell(outcomes[next++].result.Ipc(), 2);
+    }
+    const auto rate = [&](std::size_t i) {
+      const auto& m = outcomes[base + i].result.stats.mem_hierarchy;
+      const auto total = m.l2_hits + m.l2_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(m.l2_misses) /
+                              static_cast<double>(total);
+    };
+    row.Cell(rate(0), 3);
+    row.Cell(rate(std::size(kL2Sets) - 1), 3);
+    // The CI monotonicity gate: on the stride kernel a larger L2 never
+    // misses more.
+    for (std::size_t i = 1; i < std::size(kL2Sets); ++i) {
+      Gate(rate(i) <= rate(i - 1) + 1e-9,
+           "L2 miss rate must be non-increasing in capacity (stride kernel)");
+    }
+    if (outcomes[base + std::size(kL2Sets) - 1].result.Ipc() >
+        1.02 * outcomes[base].result.Ipc()) {
+      ++l2_degraded;
+    }
+  }
+  std::printf("%s\n", l2_table.ToString().c_str());
+  Gate(l2_degraded >= 2,
+       "a too-small L2 must cost IPC on at least two cores");
+
+  std::printf(
+      "--- IPC vs prefetch depth (32 KiB stream, M(n)=Theta(1) backing) "
+      "---\n");
+  analysis::Table pf_table({"core", "depth=0", "depth=2", "depth=4",
+                            "depth=8", "useful prefetches (d=8)"});
+  int recovered = 0;
+  for (const auto kind : kCores) {
+    const std::size_t base = next;
+    analysis::Table& row = pf_table.Row();
+    row.Cell(std::string(core::ProcessorKindName(kind)));
+    for (std::size_t i = 0; i < std::size(kDepths); ++i) {
+      row.Cell(outcomes[next++].result.Ipc(), 2);
+    }
+    row.Cell(static_cast<std::int64_t>(
+        outcomes[base + std::size(kDepths) - 1]
+            .result.stats.mem_hierarchy.prefetch_useful));
+    if (outcomes[base + std::size(kDepths) - 1].result.Ipc() >
+        1.02 * outcomes[base].result.Ipc()) {
+      ++recovered;
+    }
+  }
+  std::printf("%s\n", pf_table.ToString().c_str());
+  Gate(recovered >= 2,
+       "stride prefetching must recover IPC on at least two cores");
+
+  // --- trace record -> replay byte-identity ---------------------------
+  // The stride kernel, recorded and replayed through both codecs, must
+  // produce byte-identical RunResults on cores with the hierarchy live.
+  std::printf("--- trace record -> replay identity (stride kernel) ---\n");
+  const auto trace = workloads::RecordTrace("stride(16KiB)", *stride);
+  const auto from_text =
+      workloads::DecodeTraceText(workloads::EncodeTraceText(trace));
+  const auto from_binary =
+      workloads::DecodeTraceBinary(workloads::EncodeTraceBinary(trace));
+  core::CoreConfig replay_cfg = BaseConfig();
+  replay_cfg.mem.hierarchy.l1d = Level(16, 2, 32, 1, 4);
+  replay_cfg.mem.hierarchy.l2 = Level(128, 4, 32, 4, 24);
+  replay_cfg.mem.hierarchy.prefetch.depth = 2;
+  for (const auto kind :
+       {core::ProcessorKind::kUltrascalarI, core::ProcessorKind::kHybrid}) {
+    const auto run = [&](const isa::Program& program) {
+      return EncodeResult(core::MakeProcessor(kind, replay_cfg)->Run(program));
+    };
+    const auto expected = run(*stride);
+    const bool text_ok =
+        run(workloads::TraceToProgram(from_text)) == expected;
+    const bool binary_ok =
+        run(workloads::TraceToProgram(from_binary)) == expected;
+    Gate(text_ok, "text trace replay must be byte-identical");
+    Gate(binary_ok, "binary trace replay must be byte-identical");
+    std::printf("  %s: text %s, binary %s\n",
+                std::string(core::ProcessorKindName(kind)).c_str(),
+                text_ok ? "identical" : "DIVERGED",
+                binary_ok ? "identical" : "DIVERGED");
+  }
+
+  if (!runtime::ExportOutcomes(cli, outcomes)) ++failures;
+  std::printf("\n%s (%d gate failure%s)\n",
+              failures == 0 ? "ALL GATES PASSED" : "GATES FAILED", failures,
+              failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}

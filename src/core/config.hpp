@@ -184,6 +184,26 @@ struct FaultCounters {
   std::uint64_t squashes = 0;     // Squashes from forced faults.
 };
 
+/// Memory-hierarchy counters (all zero when mem.hierarchy is disabled).
+/// Snapshot semantics mirror FaultCounters: the cores fill the block once at
+/// the end of Run via CoreTelemetry::FinalizeMemory, from the MemorySystem's
+/// L1D/L2 models and the FetchEngine's icache, and the same block feeds the
+/// telemetry registry's "mem.*" counters.
+struct MemHierarchyCounters {
+  std::uint64_t l1d_hits = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l1d_writebacks = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l2_writebacks = 0;
+  std::uint64_t icache_hits = 0;
+  std::uint64_t icache_misses = 0;
+  std::uint64_t icache_stall_cycles = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_fills = 0;   // Prefetched lines installed in L1.
+  std::uint64_t prefetch_useful = 0;  // Demand hits on prefetched lines.
+};
+
 struct RunStats {
   std::uint64_t mispredictions = 0;
   std::uint64_t forwarded_loads = 0;  // Loads satisfied without memory.
@@ -202,6 +222,7 @@ struct RunStats {
   /// gate on it never regressing to silent scalar execution.
   std::uint64_t fallback_count = 0;
   FaultCounters fault;
+  MemHierarchyCounters mem_hierarchy;
 
   // Compatibility accessors for the former loose fault-counter fields.
   [[nodiscard]] std::uint64_t faults_injected() const {

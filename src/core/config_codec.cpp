@@ -1,5 +1,7 @@
 #include "core/config_codec.hpp"
 
+#include <string>
+
 #include "fault/plan_codec.hpp"
 
 namespace ultra::core {
@@ -7,6 +9,45 @@ namespace ultra::core {
 namespace {
 
 constexpr int kNumOpClasses = 9;  // See isa::OpClass.
+
+void EncodeCacheLevel(persist::Encoder& e,
+                      const memory::CacheLevelConfig& level) {
+  e.Bool(level.enabled);
+  e.I32(level.sets);
+  e.I32(level.ways);
+  e.I32(level.block_bytes);
+  e.I32(level.hit_latency);
+  e.I32(level.miss_latency);
+}
+
+memory::CacheLevelConfig DecodeCacheLevel(persist::Decoder& d,
+                                          const char* name) {
+  memory::CacheLevelConfig level;
+  level.enabled = d.Bool();
+  level.sets = d.I32();
+  level.ways = d.I32();
+  level.block_bytes = d.I32();
+  level.hit_latency = d.I32();
+  level.miss_latency = d.I32();
+  if (!level.enabled) return level;
+  // Mirror CoreConfig::Validate: corrupt input must be a FormatError, never
+  // an abort in the CacheLevelModel constructor's geometry asserts.
+  const auto bad = [&name](const char* what) {
+    return persist::FormatError(std::string("bad cache level ") + name + " " +
+                                what);
+  };
+  if (level.sets < 1 || (level.sets & (level.sets - 1)) != 0) {
+    throw bad("sets");
+  }
+  if (level.ways < 1) throw bad("ways");
+  if (level.block_bytes < 4 ||
+      (level.block_bytes & (level.block_bytes - 1)) != 0) {
+    throw bad("block bytes");
+  }
+  if (level.hit_latency < 1) throw bad("hit latency");
+  if (level.miss_latency < 1) throw bad("miss latency");
+  return level;
+}
 
 void EncodeMemConfig(persist::Encoder& e, const memory::MemoryConfig& mem) {
   e.U8(static_cast<std::uint8_t>(mem.mode));
@@ -24,6 +65,12 @@ void EncodeMemConfig(persist::Encoder& e, const memory::MemoryConfig& mem) {
   e.I32(mem.cluster_cache_leaves);
   e.I32(mem.cluster_cache_words);
   e.I32(mem.cluster_cache_hit_latency);
+  EncodeCacheLevel(e, mem.hierarchy.l1i);
+  EncodeCacheLevel(e, mem.hierarchy.l1d);
+  EncodeCacheLevel(e, mem.hierarchy.l2);
+  e.I32(mem.hierarchy.prefetch.depth);
+  e.I32(mem.hierarchy.prefetch.table_entries);
+  e.I32(mem.hierarchy.prefetch.fill_latency);
 }
 
 memory::MemoryConfig DecodeMemConfig(persist::Decoder& d) {
@@ -51,6 +98,25 @@ memory::MemoryConfig DecodeMemConfig(persist::Decoder& d) {
   mem.cluster_cache_leaves = d.I32();
   mem.cluster_cache_words = d.I32();
   mem.cluster_cache_hit_latency = d.I32();
+  mem.hierarchy.l1i = DecodeCacheLevel(d, "l1i");
+  mem.hierarchy.l1d = DecodeCacheLevel(d, "l1d");
+  mem.hierarchy.l2 = DecodeCacheLevel(d, "l2");
+  mem.hierarchy.prefetch.depth = d.I32();
+  mem.hierarchy.prefetch.table_entries = d.I32();
+  mem.hierarchy.prefetch.fill_latency = d.I32();
+  if (mem.hierarchy.prefetch.depth < 0) {
+    throw persist::FormatError("bad prefetch depth");
+  }
+  if (mem.hierarchy.prefetch.depth > 0) {
+    // The StridePrefetcher constructor asserts these; corrupt input must be
+    // a FormatError, never an abort.
+    if (mem.hierarchy.prefetch.table_entries < 1) {
+      throw persist::FormatError("bad prefetch table size");
+    }
+    if (mem.hierarchy.prefetch.fill_latency < 1) {
+      throw persist::FormatError("bad prefetch fill latency");
+    }
+  }
   return mem;
 }
 

@@ -19,6 +19,10 @@ FetchEngine::FetchEngine(const isa::Program* program,
         config_.trace_cache_capacity, config_.trace_branches,
         config_.EffectiveFetchWidth());
   }
+  if (config_.mem.hierarchy.l1i.enabled) {
+    icache_ =
+        std::make_unique<memory::CacheLevelModel>(config_.mem.hierarchy.l1i);
+  }
 }
 
 void FetchEngine::Redirect(std::size_t pc) {
@@ -26,6 +30,7 @@ void FetchEngine::Redirect(std::size_t pc) {
   head_ = 0;
   next_pc_ = pc;
   stalled_ = pc >= program_->size();
+  icache_stall_ = 0;  // The squash abandons the miss; the line is filled.
   ++stats_.redirects;
 }
 
@@ -33,6 +38,18 @@ bool FetchEngine::GenerateOne() {
   if (stalled_ || next_pc_ >= program_->size()) {
     stalled_ = true;
     return false;
+  }
+  if (icache_ != nullptr) {
+    // One icache probe per instruction; sequential pcs in one block hit.
+    const auto iaddr = static_cast<isa::Word>(next_pc_) * 4;
+    if (!icache_->Lookup(iaddr, /*is_store=*/false).hit) {
+      // Fill now (so the post-stall probe hits) and freeze fetch for the
+      // miss latency. stalled_ stays false: this is a transient stall, not
+      // the end of the predicted path.
+      icache_->Fill(iaddr, /*dirty=*/false, /*prefetched=*/false);
+      icache_stall_ = config_.mem.hierarchy.l1i.miss_latency;
+      return false;
+    }
   }
   FetchedInstr f;
   f.pc = next_pc_;
@@ -77,6 +94,14 @@ std::vector<FetchedInstr> FetchEngine::FetchCycle(int max_count) {
 
 void FetchEngine::FetchCycle(int max_count, std::vector<FetchedInstr>& out) {
   out.clear();
+  // An in-progress icache miss freezes fetch entirely; the fill resolves in
+  // the background regardless of window occupancy, so the stall counts down
+  // even on cycles the core offered no fetch slots.
+  if (icache_stall_ > 0) {
+    --icache_stall_;
+    ++stats_.icache_stall_cycles;
+    return;
+  }
   if (max_count <= 0) return;
   const auto width = static_cast<std::size_t>(max_count);
   FillPending(width);
@@ -148,9 +173,13 @@ void FetchEngine::SaveState(persist::Encoder& e) const {
   }
   e.U64(stats_.fetched);
   e.U64(stats_.redirects);
+  e.U64(stats_.icache_stall_cycles);
+  e.I32(icache_stall_);
   predictor_->SaveState(e);
   e.Bool(trace_cache_ != nullptr);
   if (trace_cache_ != nullptr) trace_cache_->SaveState(e);
+  e.Bool(icache_ != nullptr);
+  if (icache_ != nullptr) icache_->SaveState(e);
 }
 
 void FetchEngine::RestoreState(persist::Decoder& d) {
@@ -167,11 +196,17 @@ void FetchEngine::RestoreState(persist::Decoder& d) {
   }
   stats_.fetched = d.U64();
   stats_.redirects = d.U64();
+  stats_.icache_stall_cycles = d.U64();
+  icache_stall_ = d.I32();
   predictor_->RestoreState(d);
   if (d.Bool() != (trace_cache_ != nullptr)) {
     throw persist::FormatError("fetch mode mismatch (trace cache)");
   }
   if (trace_cache_ != nullptr) trace_cache_->RestoreState(d);
+  if (d.Bool() != (icache_ != nullptr)) {
+    throw persist::FormatError("fetch mode mismatch (icache)");
+  }
+  if (icache_ != nullptr) icache_->RestoreState(d);
 }
 
 }  // namespace ultra::core

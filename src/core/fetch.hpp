@@ -13,6 +13,7 @@
 
 #include "core/config.hpp"
 #include "memory/branch_predictor.hpp"
+#include "memory/hierarchy.hpp"
 #include "memory/trace_cache.hpp"
 
 namespace ultra::core {
@@ -28,6 +29,7 @@ struct FetchedInstr {
 struct FetchStats {
   std::uint64_t fetched = 0;
   std::uint64_t redirects = 0;
+  std::uint64_t icache_stall_cycles = 0;  // Cycles fetch sat out on a miss.
 };
 
 class FetchEngine {
@@ -59,6 +61,10 @@ class FetchEngine {
   [[nodiscard]] const memory::TraceCacheStats* trace_cache_stats() const {
     return trace_cache_ ? &trace_cache_->stats() : nullptr;
   }
+  /// L1I hit/miss telemetry (null when the icache is disabled).
+  [[nodiscard]] const memory::CacheLevelStats* icache_stats() const {
+    return icache_ ? &icache_->stats() : nullptr;
+  }
 
   /// Checkpoint support: fetch cursor, undelivered pending instructions,
   /// stats, mutable predictor state, and the trace cache. Restore requires
@@ -71,6 +77,11 @@ class FetchEngine {
   CoreConfig config_;
   std::unique_ptr<memory::BranchPredictor> predictor_;
   std::unique_ptr<memory::TraceCache> trace_cache_;
+  // Imperfect L1 instruction cache (mem.hierarchy.l1i). A miss freezes
+  // fetch for the miss latency; icache_stall_ counts the remaining frozen
+  // cycles and is cleared by Redirect (the squash refetches anyway).
+  std::unique_ptr<memory::CacheLevelModel> icache_;
+  int icache_stall_ = 0;
 
   std::size_t next_pc_ = 0;
   bool stalled_ = false;

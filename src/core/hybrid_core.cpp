@@ -878,6 +878,7 @@ RunResult HybridCore::Run(const isa::Program& program) {
   }
   result.memory = mem.store().Snapshot();
   tel.FinalizeFaults(result.stats, injector, checker);
+  tel.FinalizeMemory(result.stats, mem, fetch);
   return result;
 }
 

@@ -417,6 +417,7 @@ RunResult IdealCore::RunReference(const isa::Program& program) {
 
   result.regs = regs;
   result.memory = mem.store().Snapshot();
+  tel.FinalizeMemory(result.stats, mem, fetch);
   return result;
 }
 
@@ -1012,6 +1013,7 @@ RunResult RunPackedIdeal(const CoreConfig& config_,
 
   result.regs = regs;
   result.memory = mem.store().Snapshot();
+  tel.FinalizeMemory(result.stats, mem, fetch);
   return result;
 }
 

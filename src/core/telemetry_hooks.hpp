@@ -42,6 +42,13 @@ class CoreTelemetry {
     fault_divergences_ = reg.Counter("fault.divergences_detected");
     fault_resyncs_ = reg.Counter("fault.checker_resyncs");
     fault_squashes_ = reg.Counter("fault.squashes_under_fault");
+    mem_l1d_hits_ = reg.Counter("mem.l1d_hits");
+    mem_l1d_misses_ = reg.Counter("mem.l1d_misses");
+    mem_l2_hits_ = reg.Counter("mem.l2_hits");
+    mem_l2_misses_ = reg.Counter("mem.l2_misses");
+    mem_icache_misses_ = reg.Counter("mem.icache_misses");
+    mem_prefetch_issued_ = reg.Counter("mem.prefetch_issued");
+    mem_prefetch_useful_ = reg.Counter("mem.prefetch_useful");
     rt->sheet.Bind(&reg);
     sheet_ = &rt->sheet;
   }
@@ -179,6 +186,48 @@ class CoreTelemetry {
     }
   }
 
+  /// The single snapshot path for the memory-hierarchy counters, mirroring
+  /// FinalizeFaults: copies the L1D/L2/prefetcher totals out of the
+  /// MemorySystem and the icache totals out of the FetchEngine into
+  /// RunStats::mem_hierarchy, then mirrors the block into the "mem.*"
+  /// registry counters when metrics are on. Every core calls this once at
+  /// the end of Run; all counters stay zero when the hierarchy is disabled.
+  void FinalizeMemory(RunStats& stats, const memory::MemorySystem& mem,
+                      const FetchEngine& fetch) {
+    MemHierarchyCounters& h = stats.mem_hierarchy;
+    if (const memory::CacheLevelStats* l1d = mem.l1d_stats()) {
+      h.l1d_hits = l1d->hits;
+      h.l1d_misses = l1d->misses;
+      h.l1d_writebacks = l1d->writebacks;
+      h.prefetch_fills = l1d->prefetch_fills;
+      h.prefetch_useful = l1d->prefetch_hits;
+    }
+    if (const memory::CacheLevelStats* l2 = mem.l2_stats()) {
+      h.l2_hits = l2->hits;
+      h.l2_misses = l2->misses;
+      h.l2_writebacks = l2->writebacks;
+      if (mem.l1d_stats() == nullptr) {
+        h.prefetch_fills = l2->prefetch_fills;
+        h.prefetch_useful = l2->prefetch_hits;
+      }
+    }
+    h.prefetch_issued = mem.prefetch_issued();
+    if (const memory::CacheLevelStats* l1i = fetch.icache_stats()) {
+      h.icache_hits = l1i->hits;
+      h.icache_misses = l1i->misses;
+      h.icache_stall_cycles = fetch.stats().icache_stall_cycles;
+    }
+    if (sheet_ != nullptr) {
+      sheet_->Add(mem_l1d_hits_, h.l1d_hits);
+      sheet_->Add(mem_l1d_misses_, h.l1d_misses);
+      sheet_->Add(mem_l2_hits_, h.l2_hits);
+      sheet_->Add(mem_l2_misses_, h.l2_misses);
+      sheet_->Add(mem_icache_misses_, h.icache_misses);
+      sheet_->Add(mem_prefetch_issued_, h.prefetch_issued);
+      sheet_->Add(mem_prefetch_useful_, h.prefetch_useful);
+    }
+  }
+
  private:
   void Emit(telemetry::TraceEventKind kind, std::uint64_t cycle, int station,
             const Station& st, std::uint64_t payload) {
@@ -204,6 +253,13 @@ class CoreTelemetry {
   telemetry::CounterId fault_divergences_;
   telemetry::CounterId fault_resyncs_;
   telemetry::CounterId fault_squashes_;
+  telemetry::CounterId mem_l1d_hits_;
+  telemetry::CounterId mem_l1d_misses_;
+  telemetry::CounterId mem_l2_hits_;
+  telemetry::CounterId mem_l2_misses_;
+  telemetry::CounterId mem_icache_misses_;
+  telemetry::CounterId mem_prefetch_issued_;
+  telemetry::CounterId mem_prefetch_useful_;
 };
 
 }  // namespace ultra::core

@@ -910,6 +910,7 @@ RunResult UltrascalarICore::Run(const isa::Program& program) {
   }
   result.memory = mem.store().Snapshot();
   tel.FinalizeFaults(result.stats, injector, checker);
+  tel.FinalizeMemory(result.stats, mem, fetch);
   return result;
 }
 

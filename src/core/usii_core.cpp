@@ -842,6 +842,7 @@ RunResult UltrascalarIICore::Run(const isa::Program& program) {
   }
   result.memory = mem.store().Snapshot();
   tel.FinalizeFaults(result.stats, injector, checker);
+  tel.FinalizeMemory(result.stats, mem, fetch);
   return result;
 }
 

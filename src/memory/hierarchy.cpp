@@ -1,0 +1,233 @@
+#include "memory/hierarchy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ultra::memory {
+
+namespace {
+
+constexpr isa::Word kRegionShift = 12;  // 4 KiB stride-detector regions.
+
+int Log2Exact(int value) {
+  int shift = 0;
+  while ((1 << shift) < value) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+CacheLevelModel::CacheLevelModel(const CacheLevelConfig& config)
+    : config_(config), block_shift_(Log2Exact(config.block_bytes)) {
+  assert(config_.sets >= 1 && (config_.sets & (config_.sets - 1)) == 0);
+  assert(config_.ways >= 1);
+  assert(config_.block_bytes >= 4 &&
+         (config_.block_bytes & (config_.block_bytes - 1)) == 0);
+  lines_.assign(static_cast<std::size_t>(config_.sets) *
+                    static_cast<std::size_t>(config_.ways),
+                Line{});
+}
+
+int CacheLevelModel::SetOf(isa::Word byte_address) const {
+  return static_cast<int>((byte_address >> block_shift_) &
+                          static_cast<isa::Word>(config_.sets - 1));
+}
+
+std::uint64_t CacheLevelModel::TagOf(isa::Word byte_address) const {
+  return static_cast<std::uint64_t>(byte_address >> block_shift_) /
+         static_cast<std::uint64_t>(config_.sets);
+}
+
+CacheLevelModel::LookupResult CacheLevelModel::Lookup(isa::Word byte_address,
+                                                      bool is_store) {
+  const int set = SetOf(byte_address);
+  const std::uint64_t tag = TagOf(byte_address);
+  for (int way = 0; way < config_.ways; ++way) {
+    Line& line = lines_[LineIndex(set, way)];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      LookupResult result;
+      result.hit = true;
+      result.was_prefetched = line.prefetched;
+      if (line.prefetched) {
+        ++stats_.prefetch_hits;
+        line.prefetched = false;  // Count each prefetched line once.
+      }
+      if (is_store) line.dirty = true;
+      line.lru = ++access_counter_;
+      return result;
+    }
+  }
+  ++stats_.misses;
+  return LookupResult{};
+}
+
+bool CacheLevelModel::Fill(isa::Word byte_address, bool dirty,
+                           bool prefetched) {
+  const int set = SetOf(byte_address);
+  const std::uint64_t tag = TagOf(byte_address);
+  int victim = 0;
+  for (int way = 0; way < config_.ways; ++way) {
+    Line& line = lines_[LineIndex(set, way)];
+    if (line.valid && line.tag == tag) {
+      // Already present (e.g. a prefetch raced a demand fill): just update.
+      if (dirty) line.dirty = true;
+      line.lru = ++access_counter_;
+      return false;
+    }
+    if (!line.valid) {
+      victim = way;
+    } else if (lines_[LineIndex(set, victim)].valid &&
+               line.lru < lines_[LineIndex(set, victim)].lru) {
+      victim = way;
+    }
+  }
+  Line& line = lines_[LineIndex(set, victim)];
+  const bool writeback = line.valid && line.dirty;
+  if (line.valid) ++stats_.evictions;
+  if (writeback) ++stats_.writebacks;
+  line.valid = true;
+  line.tag = tag;
+  line.dirty = dirty;
+  line.prefetched = prefetched;
+  line.lru = ++access_counter_;
+  if (prefetched) ++stats_.prefetch_fills;
+  return writeback;
+}
+
+bool CacheLevelModel::Contains(isa::Word byte_address) const {
+  const int set = SetOf(byte_address);
+  const std::uint64_t tag = TagOf(byte_address);
+  for (int way = 0; way < config_.ways; ++way) {
+    const Line& line = lines_[LineIndex(set, way)];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+void CacheLevelModel::Flush() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  access_counter_ = 0;
+}
+
+void CacheLevelModel::SaveState(persist::Encoder& e) const {
+  e.U32(static_cast<std::uint32_t>(lines_.size()));
+  for (const Line& line : lines_) {
+    e.U64(line.tag);
+    e.Bool(line.valid);
+    e.Bool(line.dirty);
+    e.Bool(line.prefetched);
+    e.U64(line.lru);
+  }
+  e.U64(access_counter_);
+  e.U64(stats_.hits);
+  e.U64(stats_.misses);
+  e.U64(stats_.evictions);
+  e.U64(stats_.writebacks);
+  e.U64(stats_.prefetch_fills);
+  e.U64(stats_.prefetch_hits);
+}
+
+void CacheLevelModel::RestoreState(persist::Decoder& d) {
+  const std::uint32_t count = d.U32();
+  if (count != lines_.size()) {
+    throw persist::FormatError("cache level geometry mismatch");
+  }
+  for (Line& line : lines_) {
+    line.tag = d.U64();
+    line.valid = d.Bool();
+    line.dirty = d.Bool();
+    line.prefetched = d.Bool();
+    line.lru = d.U64();
+  }
+  access_counter_ = d.U64();
+  stats_.hits = d.U64();
+  stats_.misses = d.U64();
+  stats_.evictions = d.U64();
+  stats_.writebacks = d.U64();
+  stats_.prefetch_fills = d.U64();
+  stats_.prefetch_hits = d.U64();
+}
+
+StridePrefetcher::StridePrefetcher(const PrefetchConfig& config)
+    : config_(config) {
+  assert(config_.depth >= 1);
+  assert(config_.table_entries >= 1);
+  entries_.assign(static_cast<std::size_t>(config_.table_entries), Entry{});
+}
+
+void StridePrefetcher::ObserveMiss(isa::Word block_address, int block_bytes,
+                                   std::vector<isa::Word>& out) {
+  const isa::Word region = block_address >> kRegionShift;
+  Entry* entry = nullptr;
+  Entry* victim = &entries_[0];
+  for (Entry& candidate : entries_) {
+    if (candidate.valid && candidate.region == region) {
+      entry = &candidate;
+      break;
+    }
+    if (!candidate.valid) {
+      victim = &candidate;
+    } else if (victim->valid && candidate.lru < victim->lru) {
+      victim = &candidate;
+    }
+  }
+  if (entry == nullptr) {
+    *victim = Entry{};
+    victim->valid = true;
+    victim->region = region;
+    victim->last_block = block_address;
+    victim->lru = ++use_counter_;
+    return;  // First miss in the region: nothing to predict yet.
+  }
+  const std::int64_t delta = static_cast<std::int64_t>(block_address) -
+                             static_cast<std::int64_t>(entry->last_block);
+  if (delta != 0 && delta == entry->stride) {
+    entry->confidence = std::min(entry->confidence + 1, 4);
+  } else {
+    entry->stride = delta;
+    entry->confidence = delta != 0 ? 1 : 0;
+  }
+  entry->last_block = block_address;
+  entry->lru = ++use_counter_;
+  if (entry->confidence < 2) return;
+  for (int k = 1; k <= config_.depth; ++k) {
+    const std::int64_t predicted =
+        static_cast<std::int64_t>(block_address) + entry->stride * k;
+    if (predicted < 0) break;
+    const isa::Word block = static_cast<isa::Word>(predicted) &
+                            ~static_cast<isa::Word>(block_bytes - 1);
+    out.push_back(block);
+  }
+}
+
+void StridePrefetcher::SaveState(persist::Encoder& e) const {
+  e.U32(static_cast<std::uint32_t>(entries_.size()));
+  for (const Entry& entry : entries_) {
+    e.Bool(entry.valid);
+    e.U32(entry.region);
+    e.U32(entry.last_block);
+    e.I64(entry.stride);
+    e.I32(entry.confidence);
+    e.U64(entry.lru);
+  }
+  e.U64(use_counter_);
+}
+
+void StridePrefetcher::RestoreState(persist::Decoder& d) {
+  const std::uint32_t count = d.U32();
+  if (count != entries_.size()) {
+    throw persist::FormatError("prefetcher table size mismatch");
+  }
+  for (Entry& entry : entries_) {
+    entry.valid = d.Bool();
+    entry.region = d.U32();
+    entry.last_block = d.U32();
+    entry.stride = d.I64();
+    entry.confidence = d.I32();
+    entry.lru = d.U64();
+  }
+  use_counter_ = d.U64();
+}
+
+}  // namespace ultra::memory

@@ -1,0 +1,161 @@
+// Multi-level cache hierarchy models (ROADMAP item 3).
+//
+// The paper's memory model stops at the M(n) bandwidth knob and one banked
+// cache; this file adds the axes the Performance-Optimum Superscalar
+// Architecture study (arxiv 1204.2809) sweeps: per-level size, associativity,
+// block size, hit/miss latency, write-back with dirty eviction, and a stride
+// prefetcher between levels. Like InterleavedCache, every model here is
+// timing-only: architectural data always lives in the BackingStore, so the
+// correctness tests keep a single source of truth.
+//
+//  * CacheLevelModel  -- one set-associative level (L1I, L1D, or L2).
+//  * StridePrefetcher -- region-keyed stride detector feeding L1 fills.
+//
+// MemorySystem composes L1D + L2 + prefetcher in front of the existing
+// kMagic / kBandwidthLimited / kFatTree / kButterfly backing tier;
+// core::FetchEngine owns an L1I instance for instruction fetch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.hpp"
+#include "persist/serial.hpp"
+
+namespace ultra::memory {
+
+struct CacheLevelConfig {
+  bool enabled = false;
+  int sets = 64;         // Power of two.
+  int ways = 4;
+  int block_bytes = 32;  // Power of two, >= 4.
+  int hit_latency = 1;   // Cycles for a lookup that hits.
+  int miss_latency = 8;  // Additional cycles charged when the lookup misses.
+
+  [[nodiscard]] int CapacityBytes() const { return sets * ways * block_bytes; }
+};
+
+struct PrefetchConfig {
+  int depth = 0;           // Blocks prefetched ahead per trigger; 0 = off.
+  int table_entries = 16;  // Stride-detector entries (LRU-replaced).
+  int fill_latency = 12;   // Cycles from prefetch issue to the L1 fill.
+};
+
+struct HierarchyConfig {
+  CacheLevelConfig l1i;
+  CacheLevelConfig l1d;
+  CacheLevelConfig l2;
+  PrefetchConfig prefetch;
+
+  /// True when loads/stores take the hierarchy path in MemorySystem.
+  [[nodiscard]] bool DataPathEnabled() const {
+    return l1d.enabled || l2.enabled;
+  }
+};
+
+struct CacheLevelStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;      // Dirty victims evicted.
+  std::uint64_t prefetch_fills = 0;  // Lines installed by the prefetcher.
+  std::uint64_t prefetch_hits = 0;   // Demand hits on prefetched lines.
+
+  [[nodiscard]] double MissRate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(misses) / total;
+  }
+};
+
+/// One set-associative, write-back cache level. Timing/occupancy only: a
+/// Lookup decides hit or miss and updates LRU/dirty bits; data stays in the
+/// BackingStore.
+class CacheLevelModel {
+ public:
+  explicit CacheLevelModel(const CacheLevelConfig& config);
+
+  struct LookupResult {
+    bool hit = false;
+    bool was_prefetched = false;  // Hit on a line the prefetcher installed.
+  };
+
+  /// Probes @p byte_address. A store that hits marks the line dirty
+  /// (write-back: no traffic to the next tier until eviction).
+  LookupResult Lookup(isa::Word byte_address, bool is_store);
+
+  /// Installs the block holding @p byte_address (LRU victim). Returns true
+  /// when the victim was dirty, i.e. a write-back to the next tier happened.
+  bool Fill(isa::Word byte_address, bool dirty, bool prefetched);
+
+  /// Presence probe with no LRU/stats side effects (prefetch dedup).
+  [[nodiscard]] bool Contains(isa::Word byte_address) const;
+
+  void Flush();
+
+  [[nodiscard]] const CacheLevelConfig& config() const { return config_; }
+  [[nodiscard]] const CacheLevelStats& stats() const { return stats_; }
+
+  /// Checkpoint support: tags, valid/dirty/prefetched bits, LRU stamps, and
+  /// stats, so a restored run observes the same hit/miss sequence.
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;
+    std::uint64_t lru = 0;  // Larger = more recently used.
+  };
+
+  CacheLevelConfig config_;
+  int block_shift_;
+  std::vector<Line> lines_;  // [set][way] flattened.
+  std::uint64_t access_counter_ = 0;
+  CacheLevelStats stats_;
+
+  [[nodiscard]] int SetOf(isa::Word byte_address) const;
+  [[nodiscard]] std::uint64_t TagOf(isa::Word byte_address) const;
+  [[nodiscard]] std::size_t LineIndex(int set, int way) const {
+    return static_cast<std::size_t>(set) * static_cast<std::size_t>(config_.ways) +
+           static_cast<std::size_t>(way);
+  }
+};
+
+/// Region-keyed stride detector. Each entry tracks the last missing block
+/// and the inter-miss stride within one aligned 4 KiB region; two
+/// consecutive equal strides arm the entry, after which every further miss
+/// emits `depth` predicted blocks. Keying by region keeps independent
+/// streams (and out-of-order interleavings across streams) from corrupting
+/// each other's stride state.
+class StridePrefetcher {
+ public:
+  explicit StridePrefetcher(const PrefetchConfig& config);
+
+  /// Observes a demand miss on @p block_address (block-aligned). Appends
+  /// predicted block addresses to @p out (not cleared; may append nothing).
+  void ObserveMiss(isa::Word block_address, int block_bytes,
+                   std::vector<isa::Word>& out);
+
+  [[nodiscard]] const PrefetchConfig& config() const { return config_; }
+
+  void SaveState(persist::Encoder& e) const;
+  void RestoreState(persist::Decoder& d);
+
+ private:
+  struct Entry {
+    bool valid = false;
+    isa::Word region = 0;
+    isa::Word last_block = 0;
+    std::int64_t stride = 0;
+    int confidence = 0;
+    std::uint64_t lru = 0;
+  };
+
+  PrefetchConfig config_;
+  std::vector<Entry> entries_;
+  std::uint64_t use_counter_ = 0;
+};
+
+}  // namespace ultra::memory

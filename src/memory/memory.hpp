@@ -7,5 +7,6 @@
 #include "memory/butterfly.hpp"          // IWYU pragma: export
 #include "memory/cache.hpp"             // IWYU pragma: export
 #include "memory/fat_tree.hpp"          // IWYU pragma: export
+#include "memory/hierarchy.hpp"         // IWYU pragma: export
 #include "memory/memory_system.hpp"     // IWYU pragma: export
 #include "memory/trace_cache.hpp"       // IWYU pragma: export

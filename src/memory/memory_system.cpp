@@ -25,6 +25,16 @@ MemorySystem::MemorySystem(const MemoryConfig& config, int num_leaves)
         config_.cluster_cache_leaves;
     cluster_caches_.assign(static_cast<std::size_t>(clusters), {});
   }
+  if (config_.hierarchy.l1d.enabled) {
+    l1d_ = std::make_unique<CacheLevelModel>(config_.hierarchy.l1d);
+  }
+  if (config_.hierarchy.l2.enabled) {
+    l2_ = std::make_unique<CacheLevelModel>(config_.hierarchy.l2);
+  }
+  if (config_.hierarchy.DataPathEnabled() &&
+      config_.hierarchy.prefetch.depth > 0) {
+    prefetcher_ = std::make_unique<StridePrefetcher>(config_.hierarchy.prefetch);
+  }
 }
 
 int MemorySystem::ButterflyPort(isa::Word addr) const {
@@ -85,6 +95,14 @@ void MemorySystem::Reset(const std::map<isa::Word, isa::Word>& image) {
   completions_.clear();
   in_network_.clear();
   completed_.clear();
+  if (l1d_) l1d_->Flush();
+  if (l2_) l2_->Flush();
+  if (prefetcher_) {
+    prefetcher_ = std::make_unique<StridePrefetcher>(config_.hierarchy.prefetch);
+  }
+  hier_pending_.clear();
+  prefetch_fills_.clear();
+  prefetch_issued_ = 0;
   now_ = 0;
 }
 
@@ -116,11 +134,21 @@ std::uint64_t MemorySystem::Submit(int leaf, bool is_store, isa::Word addr,
     }
   }
 
+  // The L1D/L2 hierarchy intercepts the request before the backing tier:
+  // hits complete locally (consuming no backing bandwidth); full misses pay
+  // the per-level lookup latencies and then dispatch to the backing tier.
+  if ((l1d_ || l2_) && SubmitToHierarchy(req)) return req.id;
+
+  DispatchToBacking(req);
+  return req.id;
+}
+
+void MemorySystem::DispatchToBacking(const Request& req) {
   switch (config_.mode) {
     case MemTimingMode::kMagic:
       CompleteAt(now_ + static_cast<std::uint64_t>(
-                            is_store ? config_.magic_store_latency
-                                     : config_.magic_load_latency),
+                            req.is_store ? config_.magic_store_latency
+                                         : config_.magic_load_latency),
                  req);
       break;
     case MemTimingMode::kBandwidthLimited:
@@ -132,10 +160,93 @@ std::uint64_t MemorySystem::Submit(int leaf, bool is_store, isa::Word addr,
       break;
     case MemTimingMode::kButterfly:
       in_network_.emplace(req.id, req);
-      butterfly_->SubmitForward(req.leaf, ButterflyPort(addr), req.id);
+      butterfly_->SubmitForward(req.leaf, ButterflyPort(req.addr), req.id);
       break;
   }
-  return req.id;
+}
+
+bool MemorySystem::SubmitToHierarchy(const Request& req) {
+  const HierarchyConfig& h = config_.hierarchy;
+  int delay = 0;
+  if (l1d_) {
+    delay += h.l1d.hit_latency;
+    const CacheLevelModel::LookupResult looked =
+        l1d_->Lookup(req.addr, req.is_store);
+    if (looked.hit) {
+      // The first demand hit on a prefetched line re-arms the stream: the
+      // detector sees the access and keeps running ahead of the program
+      // instead of waiting for the next miss. Lookup clears the line's
+      // prefetched bit, so each prefetched line re-arms at most once.
+      if (looked.was_prefetched && prefetcher_) SchedulePrefetches(req.addr);
+      CompleteAt(now_ + static_cast<std::uint64_t>(delay), req);
+      return true;
+    }
+    delay += h.l1d.miss_latency;
+    // Only demand misses train the prefetcher; its fills land in Tick.
+    if (prefetcher_) SchedulePrefetches(req.addr);
+  }
+  if (l2_) {
+    delay += h.l2.hit_latency;
+    // The store's dirtiness lives in the innermost enabled level; the L2
+    // copy stays clean until an L1 write-back would make it dirty (the
+    // timing model charges write-backs at eviction, below).
+    const CacheLevelModel::LookupResult looked =
+        l2_->Lookup(req.addr, req.is_store && !l1d_);
+    if (looked.hit) {
+      if (!l1d_ && looked.was_prefetched && prefetcher_) {
+        SchedulePrefetches(req.addr);  // Re-arm the stream (see L1D above).
+      }
+      if (l1d_ &&
+          l1d_->Fill(req.addr, /*dirty=*/req.is_store, /*prefetched=*/false)) {
+        delay += h.l1d.miss_latency;  // Dirty victim written back to L2.
+      }
+      CompleteAt(now_ + static_cast<std::uint64_t>(delay), req);
+      return true;
+    }
+    delay += h.l2.miss_latency;
+    if (!l1d_ && prefetcher_) SchedulePrefetches(req.addr);
+  }
+  // Full miss: allocate in every enabled level (write-allocate), charging a
+  // write-back penalty per dirty victim, then enter the backing tier once
+  // the lookup latencies have elapsed.
+  if (l2_) {
+    if (l2_->Fill(req.addr, /*dirty=*/req.is_store && !l1d_,
+                  /*prefetched=*/false)) {
+      delay += h.l2.miss_latency;
+    }
+  }
+  if (l1d_) {
+    if (l1d_->Fill(req.addr, /*dirty=*/req.is_store, /*prefetched=*/false)) {
+      delay += h.l1d.miss_latency;
+    }
+  }
+  hier_pending_.emplace_back(now_ + static_cast<std::uint64_t>(delay), req);
+  return true;
+}
+
+void MemorySystem::SchedulePrefetches(isa::Word addr) {
+  const int block_bytes = l1d_ ? config_.hierarchy.l1d.block_bytes
+                               : config_.hierarchy.l2.block_bytes;
+  const isa::Word block =
+      addr & ~static_cast<isa::Word>(block_bytes - 1);
+  prefetch_scratch_.clear();
+  prefetcher_->ObserveMiss(block, block_bytes, prefetch_scratch_);
+  for (const isa::Word candidate : prefetch_scratch_) {
+    if (l1d_ && l1d_->Contains(candidate)) continue;
+    if (!l1d_ && l2_ && l2_->Contains(candidate)) continue;
+    bool queued = false;
+    for (const auto& [ready, pending] : prefetch_fills_) {
+      if (pending == candidate) {
+        queued = true;
+        break;
+      }
+    }
+    if (queued) continue;
+    prefetch_fills_.emplace_back(
+        now_ + static_cast<std::uint64_t>(config_.hierarchy.prefetch.fill_latency),
+        candidate);
+    ++prefetch_issued_;
+  }
 }
 
 std::uint64_t MemorySystem::SubmitLoad(int leaf, isa::Word addr) {
@@ -180,6 +291,36 @@ void MemorySystem::ServiceAtCache(const Request& req,
 void MemorySystem::Tick() {
   ++now_;
   cache_->NewCycle();
+
+  // Hierarchy misses whose L1/L2 lookup latency has elapsed enter the
+  // backing tier this cycle.
+  if (!hier_pending_.empty()) {
+    std::size_t keep = 0;
+    for (auto& [ready, req] : hier_pending_) {
+      if (ready <= now_) {
+        DispatchToBacking(req);
+      } else {
+        hier_pending_[keep++] = {ready, req};
+      }
+    }
+    hier_pending_.resize(keep);
+  }
+  // Prefetched blocks land in the innermost enabled level once their fill
+  // latency elapses. Prefetch fills never charge anyone a write-back
+  // penalty (there is no demand access to charge), but dirty victims still
+  // count in the stats.
+  if (!prefetch_fills_.empty()) {
+    std::size_t keep = 0;
+    for (auto& [ready, block] : prefetch_fills_) {
+      if (ready <= now_) {
+        if (l2_) l2_->Fill(block, /*dirty=*/false, /*prefetched=*/l1d_ == nullptr);
+        if (l1d_) l1d_->Fill(block, /*dirty=*/false, /*prefetched=*/true);
+      } else {
+        prefetch_fills_[keep++] = {ready, block};
+      }
+    }
+    prefetch_fills_.resize(keep);
+  }
 
   switch (config_.mode) {
     case MemTimingMode::kMagic:
@@ -351,6 +492,25 @@ void MemorySystem::SaveState(persist::Encoder& e) const {
   if (network_ != nullptr) network_->SaveState(e);
   e.Bool(butterfly_ != nullptr);
   if (butterfly_ != nullptr) butterfly_->SaveState(e);
+
+  // Hierarchy state: in-flight misses, queued prefetch fills, level models.
+  e.U32(static_cast<std::uint32_t>(hier_pending_.size()));
+  for (const auto& [ready, req] : hier_pending_) {
+    e.U64(ready);
+    save_request(req);
+  }
+  e.U32(static_cast<std::uint32_t>(prefetch_fills_.size()));
+  for (const auto& [ready, block] : prefetch_fills_) {
+    e.U64(ready);
+    e.U32(block);
+  }
+  e.U64(prefetch_issued_);
+  e.Bool(l1d_ != nullptr);
+  if (l1d_ != nullptr) l1d_->SaveState(e);
+  e.Bool(l2_ != nullptr);
+  if (l2_ != nullptr) l2_->SaveState(e);
+  e.Bool(prefetcher_ != nullptr);
+  if (prefetcher_ != nullptr) prefetcher_->SaveState(e);
 }
 
 void MemorySystem::RestoreState(persist::Decoder& d) {
@@ -444,6 +604,35 @@ void MemorySystem::RestoreState(persist::Decoder& d) {
     throw persist::FormatError("memory mode mismatch (butterfly)");
   }
   if (butterfly_ != nullptr) butterfly_->RestoreState(d);
+
+  hier_pending_.clear();
+  const std::uint32_t num_hier = d.U32();
+  hier_pending_.reserve(std::min<std::size_t>(num_hier, d.remaining()));
+  for (std::uint32_t i = 0; i < num_hier; ++i) {
+    const std::uint64_t ready = d.U64();
+    hier_pending_.emplace_back(ready, restore_request());
+  }
+  prefetch_fills_.clear();
+  const std::uint32_t num_prefetch = d.U32();
+  prefetch_fills_.reserve(std::min<std::size_t>(num_prefetch, d.remaining()));
+  for (std::uint32_t i = 0; i < num_prefetch; ++i) {
+    const std::uint64_t ready = d.U64();
+    const isa::Word block = d.U32();
+    prefetch_fills_.emplace_back(ready, block);
+  }
+  prefetch_issued_ = d.U64();
+  if (d.Bool() != (l1d_ != nullptr)) {
+    throw persist::FormatError("memory hierarchy mismatch (L1D)");
+  }
+  if (l1d_ != nullptr) l1d_->RestoreState(d);
+  if (d.Bool() != (l2_ != nullptr)) {
+    throw persist::FormatError("memory hierarchy mismatch (L2)");
+  }
+  if (l2_ != nullptr) l2_->RestoreState(d);
+  if (d.Bool() != (prefetcher_ != nullptr)) {
+    throw persist::FormatError("memory hierarchy mismatch (prefetcher)");
+  }
+  if (prefetcher_ != nullptr) prefetcher_->RestoreState(d);
 }
 
 }  // namespace ultra::memory

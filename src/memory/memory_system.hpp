@@ -28,6 +28,7 @@
 #include "memory/cache.hpp"
 #include "memory/butterfly.hpp"
 #include "memory/fat_tree.hpp"
+#include "memory/hierarchy.hpp"
 
 namespace ultra::memory {
 
@@ -54,6 +55,14 @@ struct MemoryConfig {
   int cluster_cache_leaves = 0;
   int cluster_cache_words = 64;
   int cluster_cache_hit_latency = 1;
+
+  /// Optional multi-level cache hierarchy (L1I/L1D/L2 + stride prefetcher)
+  /// layered in front of whichever backing tier `mode` selects. L1D/L2 hits
+  /// complete locally without consuming backing bandwidth; full misses pay
+  /// the per-level latencies and then enter the backing tier as usual.
+  /// Mutually exclusive with cluster caches (CoreConfig::Validate enforces
+  /// this); the L1I level lives in core::FetchEngine, not here.
+  HierarchyConfig hierarchy;
 };
 
 struct MemResponse {
@@ -103,6 +112,16 @@ class MemorySystem {
   [[nodiscard]] const ClusterCacheStats& cluster_cache_stats() const {
     return cluster_stats_;
   }
+  /// Hierarchy telemetry (null when the level is disabled).
+  [[nodiscard]] const CacheLevelStats* l1d_stats() const {
+    return l1d_ ? &l1d_->stats() : nullptr;
+  }
+  [[nodiscard]] const CacheLevelStats* l2_stats() const {
+    return l2_ ? &l2_->stats() : nullptr;
+  }
+  [[nodiscard]] std::uint64_t prefetch_issued() const {
+    return prefetch_issued_;
+  }
 
   /// Checkpoint support: the full timing + architectural state — backing
   /// store, cache lines, network queues, and every in-flight request —
@@ -128,6 +147,9 @@ class MemorySystem {
   std::unique_ptr<InterleavedCache> cache_;
   std::unique_ptr<FatTreeNetwork> network_;
   std::unique_ptr<ButterflyNetwork> butterfly_;
+  std::unique_ptr<CacheLevelModel> l1d_;
+  std::unique_ptr<CacheLevelModel> l2_;
+  std::unique_ptr<StridePrefetcher> prefetcher_;
 
   std::uint64_t next_id_ = 1;
   std::uint64_t now_ = 0;
@@ -138,6 +160,13 @@ class MemorySystem {
   std::unordered_map<std::uint64_t, Request> in_network_;
   std::vector<MemResponse> completed_;
 
+  /// Hierarchy misses waiting out their L1/L2 lookup latency before they
+  /// enter the backing tier, and prefetched blocks waiting to fill L1/L2.
+  std::vector<std::pair<std::uint64_t, Request>> hier_pending_;
+  std::vector<std::pair<std::uint64_t, isa::Word>> prefetch_fills_;
+  std::vector<isa::Word> prefetch_scratch_;
+  std::uint64_t prefetch_issued_ = 0;
+
   /// Per-cluster local caches (tiny fully-associative word caches with LRU
   /// eviction), indexed by leaf / cluster_cache_leaves.
   std::vector<std::vector<isa::Word>> cluster_caches_;
@@ -145,6 +174,13 @@ class MemorySystem {
 
   std::uint64_t Submit(int leaf, bool is_store, isa::Word addr,
                        isa::Word value);
+  /// Hands @p req to whichever backing tier `mode` selects (the pre-
+  /// hierarchy Submit switch).
+  void DispatchToBacking(const Request& req);
+  /// Hierarchy lookup for @p req. Returns true when the request completed
+  /// (or was queued for deferred backing dispatch) inside the hierarchy.
+  bool SubmitToHierarchy(const Request& req);
+  void SchedulePrefetches(isa::Word addr);
   void CompleteAt(std::uint64_t cycle, const Request& req);
   void ServiceAtCache(const Request& req, int extra_delay_before_response);
   [[nodiscard]] int ClusterOf(int leaf) const;

@@ -31,7 +31,10 @@ namespace ultra::persist {
 inline constexpr std::uint32_t kCheckpointMagic = 0x504B4355;  // "UCKP" LE.
 // Version 2: RunStats::fallback_count joined the serialized partial result
 // (core/checkpoint_util.hpp).
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+// Version 3: MemorySystem and FetchEngine state grew the L1D/L2/icache
+// hierarchy models, in-flight hierarchy misses, and queued prefetch fills
+// (memory/hierarchy.hpp).
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 struct CheckpointHeader {
   /// core::ProcessorKind of the core that wrote the blob (stored as the raw

@@ -55,6 +55,35 @@ const char* MemModeName(memory::MemTimingMode mode) {
   return "?";
 }
 
+/// Compact single-token hierarchy descriptor for the CSV: per-level
+/// sets x ways x block_bytes plus the prefetch depth, or "off" when the
+/// whole hierarchy is disabled. Semicolon-separated so the cell never needs
+/// CSV quoting.
+std::string HierarchyDesc(const memory::HierarchyConfig& h) {
+  if (!h.l1i.enabled && !h.l1d.enabled && !h.l2.enabled &&
+      h.prefetch.depth == 0) {
+    return "off";
+  }
+  std::string out;
+  const auto level = [&out](const char* name,
+                            const memory::CacheLevelConfig& l) {
+    if (!l.enabled) return;
+    if (!out.empty()) out += ';';
+    out += name;
+    out += ':';
+    out += std::to_string(l.sets) + 'x' + std::to_string(l.ways) + 'x' +
+           std::to_string(l.block_bytes);
+  };
+  level("l1i", h.l1i);
+  level("l1d", h.l1d);
+  level("l2", h.l2);
+  if (h.prefetch.depth > 0) {
+    if (!out.empty()) out += ';';
+    out += "pf:" + std::to_string(h.prefetch.depth);
+  }
+  return out;
+}
+
 std::string CsvEscape(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
   std::string out = "\"";
@@ -146,12 +175,14 @@ void WriteJsonMetric(std::ostream& os, const telemetry::MetricValue& m) {
 
 void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
   os << "index,workload,processor,window_size,num_regs,cluster_size,"
-        "fetch_width,fetch_mode,predictor,mem_mode,num_alus,"
+        "fetch_width,fetch_mode,predictor,mem_mode,hierarchy,num_alus,"
         "store_forwarding,pipeline_levels_per_stage,ok,error,halted,cycles,"
         "committed,ipc,mispredictions,squashed_instructions,forwarded_loads,"
         "load_count,store_count,fetch_stall_cycles,window_full_cycles,"
         "faults_injected,divergences_detected,checker_resyncs,"
-        "squashes_under_fault,attempts,deadline_exceeded\n";
+        "squashes_under_fault,l1d_hits,l1d_misses,l2_hits,l2_misses,"
+        "icache_misses,icache_stall_cycles,prefetch_issued,prefetch_useful,"
+        "attempts,deadline_exceeded\n";
   for (const SweepOutcome& o : outcomes) {
     const core::CoreConfig& c = o.config;
     const core::RunStats& s = o.result.stats;
@@ -159,7 +190,8 @@ void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << core::ProcessorKindName(o.kind) << ',' << c.window_size << ','
        << c.num_regs << ',' << c.cluster_size << ',' << c.fetch_width << ','
        << FetchModeName(c.fetch_mode) << ',' << PredictorName(c.predictor)
-       << ',' << MemModeName(c.mem.mode) << ',' << c.num_alus << ','
+       << ',' << MemModeName(c.mem.mode) << ','
+       << HierarchyDesc(c.mem.hierarchy) << ',' << c.num_alus << ','
        << (c.store_forwarding ? 1 : 0) << ',' << c.pipeline_levels_per_stage
        << ',' << (o.ok ? 1 : 0) << ',' << CsvEscape(o.error) << ','
        << (o.result.halted ? 1 : 0) << ',' << o.result.cycles << ','
@@ -169,6 +201,12 @@ void WriteCsv(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << ',' << s.fetch_stall_cycles << ',' << s.window_full_cycles << ','
        << s.faults_injected() << ',' << s.divergences_detected() << ','
        << s.checker_resyncs() << ',' << s.squashes_under_fault() << ','
+       << s.mem_hierarchy.l1d_hits << ',' << s.mem_hierarchy.l1d_misses << ','
+       << s.mem_hierarchy.l2_hits << ',' << s.mem_hierarchy.l2_misses << ','
+       << s.mem_hierarchy.icache_misses << ','
+       << s.mem_hierarchy.icache_stall_cycles << ','
+       << s.mem_hierarchy.prefetch_issued << ','
+       << s.mem_hierarchy.prefetch_useful << ','
        << o.attempts << ',' << (o.deadline_exceeded ? 1 : 0) << '\n';
   }
   // Quarantine section: failed points again, as comment lines a CSV reader
@@ -232,7 +270,8 @@ void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << MemModeName(c.mem.mode) << "\", \"num_alus\": " << c.num_alus
        << ", \"store_forwarding\": " << (c.store_forwarding ? "true" : "false")
        << ", \"pipeline_levels_per_stage\": " << c.pipeline_levels_per_stage
-       << ", \"max_cycles\": " << c.max_cycles << "},\n"
+       << ", \"hierarchy\": \"" << HierarchyDesc(c.mem.hierarchy)
+       << "\", \"max_cycles\": " << c.max_cycles << "},\n"
        << "   \"ok\": " << (o.ok ? "true" : "false") << ", \"error\": \""
        << JsonEscape(o.error) << "\", \"attempts\": " << o.attempts
        << ", \"deadline_exceeded\": "
@@ -251,7 +290,20 @@ void WriteJson(std::ostream& os, const std::vector<SweepOutcome>& outcomes) {
        << ", \"faults_injected\": " << s.faults_injected()
        << ", \"divergences_detected\": " << s.divergences_detected()
        << ", \"checker_resyncs\": " << s.checker_resyncs()
-       << ", \"squashes_under_fault\": " << s.squashes_under_fault() << "}}";
+       << ", \"squashes_under_fault\": " << s.squashes_under_fault()
+       << ",\n     \"l1d_hits\": " << s.mem_hierarchy.l1d_hits
+       << ", \"l1d_misses\": " << s.mem_hierarchy.l1d_misses
+       << ", \"l1d_writebacks\": " << s.mem_hierarchy.l1d_writebacks
+       << ", \"l2_hits\": " << s.mem_hierarchy.l2_hits
+       << ", \"l2_misses\": " << s.mem_hierarchy.l2_misses
+       << ", \"l2_writebacks\": " << s.mem_hierarchy.l2_writebacks
+       << ",\n     \"icache_hits\": " << s.mem_hierarchy.icache_hits
+       << ", \"icache_misses\": " << s.mem_hierarchy.icache_misses
+       << ", \"icache_stall_cycles\": " << s.mem_hierarchy.icache_stall_cycles
+       << ", \"prefetch_issued\": " << s.mem_hierarchy.prefetch_issued
+       << ", \"prefetch_fills\": " << s.mem_hierarchy.prefetch_fills
+       << ", \"prefetch_useful\": " << s.mem_hierarchy.prefetch_useful
+       << "}}";
     // Per-point metrics, present only when collect_metrics filled them, so
     // uninstrumented sweeps keep the historical byte-exact shape.
     if (!o.metrics.empty()) {

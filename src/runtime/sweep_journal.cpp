@@ -54,6 +54,18 @@ void EncodeOutcome(persist::Encoder& e, const SweepOutcome& o) {
   e.U64(s.fault.divergences);
   e.U64(s.fault.resyncs);
   e.U64(s.fault.squashes);
+  e.U64(s.mem_hierarchy.l1d_hits);
+  e.U64(s.mem_hierarchy.l1d_misses);
+  e.U64(s.mem_hierarchy.l1d_writebacks);
+  e.U64(s.mem_hierarchy.l2_hits);
+  e.U64(s.mem_hierarchy.l2_misses);
+  e.U64(s.mem_hierarchy.l2_writebacks);
+  e.U64(s.mem_hierarchy.icache_hits);
+  e.U64(s.mem_hierarchy.icache_misses);
+  e.U64(s.mem_hierarchy.icache_stall_cycles);
+  e.U64(s.mem_hierarchy.prefetch_issued);
+  e.U64(s.mem_hierarchy.prefetch_fills);
+  e.U64(s.mem_hierarchy.prefetch_useful);
   telemetry::EncodeSnapshot(e, o.metrics);
 }
 
@@ -92,6 +104,18 @@ SweepOutcome DecodeOutcome(persist::Decoder& d) {
   s.fault.divergences = d.U64();
   s.fault.resyncs = d.U64();
   s.fault.squashes = d.U64();
+  s.mem_hierarchy.l1d_hits = d.U64();
+  s.mem_hierarchy.l1d_misses = d.U64();
+  s.mem_hierarchy.l1d_writebacks = d.U64();
+  s.mem_hierarchy.l2_hits = d.U64();
+  s.mem_hierarchy.l2_misses = d.U64();
+  s.mem_hierarchy.l2_writebacks = d.U64();
+  s.mem_hierarchy.icache_hits = d.U64();
+  s.mem_hierarchy.icache_misses = d.U64();
+  s.mem_hierarchy.icache_stall_cycles = d.U64();
+  s.mem_hierarchy.prefetch_issued = d.U64();
+  s.mem_hierarchy.prefetch_fills = d.U64();
+  s.mem_hierarchy.prefetch_useful = d.U64();
   o.metrics = telemetry::DecodeSnapshot(d);
   return o;
 }

@@ -26,7 +26,9 @@
 
 namespace ultra::runtime {
 
-inline constexpr std::uint32_t kSweepJournalVersion = 1;
+// Version 2: outcome records carry RunStats::mem_hierarchy (L1D/L2/icache
+// hit/miss/write-back and prefetch counters).
+inline constexpr std::uint32_t kSweepJournalVersion = 2;
 
 /// Record types within the persist::JournalWriter framing.
 inline constexpr std::uint32_t kJournalRecHeader = 1;

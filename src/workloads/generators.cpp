@@ -155,6 +155,66 @@ isa::Program RandomForwardDag(const DagConfig& config) {
   return isa::AssembleOrDie(os.str());
 }
 
+isa::Program CodeFootprint(const FootprintConfig& config) {
+  assert(config.body_instructions >= 1 && config.iterations >= 1);
+  assert(config.num_regs >= 8);
+  std::ostringstream os;
+  os << "  li r1, 0\n"  // i
+     << "  li r2, " << config.iterations << "\n"
+     << "loop:\n";
+  // Rotating destination registers keep the body's ILP high, so the only
+  // bottleneck a sweep can expose is instruction supply.
+  const int body_regs = config.num_regs - 3;
+  for (int i = 0; i < config.body_instructions; ++i) {
+    const int r = 3 + (i % body_regs);
+    os << "  addi r" << r << ", r" << r << ", 1\n";
+  }
+  os << "  addi r1, r1, 1\n"
+     << "  blt r1, r2, loop\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
+isa::Program StridedSweep(const StrideSweepConfig& config) {
+  assert(config.array_words >= 1 && config.stride_words >= 1);
+  assert(config.passes >= 1);
+  assert(config.unroll >= 1 && config.unroll <= 8);
+  const int stride_bytes = 4 * config.stride_words;
+  const int array_bytes = 4 * config.array_words;
+  std::ostringstream os;
+  os << "  li r1, 0\n"  // pointer (byte address)
+     << "  li r2, 0\n"  // pass
+     << "  li r3, " << config.passes << "\n"
+     << "  li r4, 0\n"  // sum
+     << "  li r5, " << array_bytes << "\n"
+     << "pass:\n"
+     << "  li r1, 0\n"
+     << "loop:\n";
+  if (config.dependent) {
+    // The loaded words are all zero, so adding the masked value into the
+    // pointer changes nothing architecturally -- but it makes the next
+    // address data-dependent on the load completing.
+    os << "  ld r8, 0(r1)\n"
+       << "  add r4, r4, r8\n"
+       << "  andi r9, r8, 0\n"
+       << "  add r1, r1, r9\n"
+       << "  addi r1, r1, " << stride_bytes << "\n";
+  } else {
+    for (int k = 0; k < config.unroll; ++k) {
+      os << "  ld r" << 8 + k << ", " << k * stride_bytes << "(r1)\n";
+    }
+    for (int k = 0; k < config.unroll; ++k) {
+      os << "  add r4, r4, r" << 8 + k << "\n";
+    }
+    os << "  addi r1, r1, " << config.unroll * stride_bytes << "\n";
+  }
+  os << "  blt r1, r5, loop\n"
+     << "  addi r2, r2, 1\n"
+     << "  blt r2, r3, pass\n"
+     << "  halt\n";
+  return isa::AssembleOrDie(os.str());
+}
+
 isa::Program BranchStorm(int iterations) {
   assert(iterations >= 1);
   std::ostringstream os;

@@ -49,6 +49,38 @@ isa::Program MemoryStream(const StreamConfig& config);
 /// for static predictors, exercising misprediction recovery.
 isa::Program BranchStorm(int iterations);
 
+/// A loop whose straight-line body is `body_instructions` long, iterated
+/// `iterations` times: the code footprint (~4 * body_instructions bytes) is
+/// the knob. Bodies larger than the L1 icache re-miss every iteration, so
+/// IPC tracks icache capacity; straight-line programs cannot show this
+/// (each pc is touched once).
+struct FootprintConfig {
+  int body_instructions = 256;
+  int iterations = 8;
+  int num_regs = 32;
+};
+isa::Program CodeFootprint(const FootprintConfig& config);
+
+/// Strided passes over an `array_words`-word array: `unroll` independent
+/// loads per loop body, the pointer advancing `stride_words` per load,
+/// restarting from the base each pass. Arrays larger than a cache level
+/// miss on every pass; the constant stride is exactly what the
+/// StridePrefetcher locks onto, so this is the stride kernel of the
+/// hierarchy bench and the CI miss-rate monotonicity gate.
+struct StrideSweepConfig {
+  int array_words = 1024;
+  int stride_words = 8;   // Per-load stride (>= 1).
+  int passes = 4;
+  int unroll = 4;         // Loads per loop body (1..8); ignored if dependent.
+  /// Serialize the walk: each pointer update consumes the previous load's
+  /// value (which is zero), so the next address is data-dependent on the
+  /// previous load and the window cannot run ahead of memory. This is the
+  /// latency-bound kernel of the prefetch-depth axis -- an out-of-order
+  /// window hides the unrolled variant's misses by itself.
+  bool dependent = false;
+};
+isa::Program StridedSweep(const StrideSweepConfig& config);
+
 /// Random control-flow DAG: blocks of straight-line code linked by forward
 /// conditional branches and jumps only, so every path terminates. The
 /// fuzzing workhorse for cross-processor equivalence under speculation.

@@ -1,0 +1,179 @@
+#include "workloads/trace.hpp"
+
+#include <sstream>
+
+#include "isa/program_codec.hpp"
+
+namespace ultra::workloads {
+
+namespace {
+
+[[noreturn]] void Bad(const std::string& what) {
+  throw persist::FormatError("trace: " + what);
+}
+
+isa::RegId ParseReg(long value) {
+  if (value < 0 || value > 255) Bad("register out of range");
+  return static_cast<isa::RegId>(value);
+}
+
+}  // namespace
+
+TraceWorkload RecordTrace(std::string name, const isa::Program& program) {
+  TraceWorkload trace;
+  trace.name = std::move(name);
+  trace.program = program;
+  return trace;
+}
+
+const isa::Program& TraceToProgram(const TraceWorkload& trace) {
+  return trace.program;
+}
+
+std::string EncodeTraceText(const TraceWorkload& trace) {
+  std::ostringstream os;
+  os << "ULTRATRACE " << kTraceFormatVersion << "\n";
+  os << "name " << trace.name << "\n";
+  for (const auto& [addr, value] : trace.program.initial_memory()) {
+    os << "mem " << addr << " " << value << "\n";
+  }
+  for (const auto& [label, index] : trace.program.labels()) {
+    os << "label " << label << " " << index << "\n";
+  }
+  for (const isa::Instruction& inst : trace.program.code()) {
+    os << "i " << isa::OpcodeName(inst.op) << " " << int{inst.rd} << " "
+       << int{inst.rs1} << " " << int{inst.rs2} << " " << inst.imm << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+TraceWorkload DecodeTraceText(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  if (!std::getline(is, line)) Bad("empty input");
+  {
+    std::istringstream header(line);
+    std::string tag;
+    std::uint32_t version = 0;
+    if (!(header >> tag >> version) || tag != "ULTRATRACE") {
+      Bad("bad header (expected 'ULTRATRACE <version>')");
+    }
+    if (version != kTraceFormatVersion) {
+      Bad("unsupported version " + std::to_string(version));
+    }
+  }
+  TraceWorkload trace;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "end") {
+      saw_end = true;
+      break;
+    }
+    if (kind == "name") {
+      // The name is the rest of the line (it may contain spaces).
+      std::string rest;
+      std::getline(fields, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      trace.name = rest;
+    } else if (kind == "mem") {
+      unsigned long addr = 0;
+      unsigned long value = 0;
+      if (!(fields >> addr >> value)) Bad("bad mem record: " + line);
+      trace.program.SetInitialWord(static_cast<isa::Word>(addr),
+                                   static_cast<isa::Word>(value));
+    } else if (kind == "label") {
+      std::string label;
+      unsigned long index = 0;
+      if (!(fields >> label >> index)) Bad("bad label record: " + line);
+      trace.program.AddLabel(std::move(label),
+                             static_cast<std::size_t>(index));
+    } else if (kind == "i") {
+      std::string mnemonic;
+      long rd = 0;
+      long rs1 = 0;
+      long rs2 = 0;
+      long imm = 0;
+      if (!(fields >> mnemonic >> rd >> rs1 >> rs2 >> imm)) {
+        Bad("bad instruction record: " + line);
+      }
+      const isa::Opcode op = isa::OpcodeFromName(mnemonic);
+      if (op == isa::Opcode::kCount_) Bad("unknown mnemonic: " + mnemonic);
+      isa::Instruction inst;
+      inst.op = op;
+      inst.rd = ParseReg(rd);
+      inst.rs1 = ParseReg(rs1);
+      inst.rs2 = ParseReg(rs2);
+      inst.imm = static_cast<std::int32_t>(imm);
+      trace.program.Append(inst);
+    } else {
+      Bad("unknown record kind: " + kind);
+    }
+  }
+  if (!saw_end) Bad("missing 'end' terminator");
+  return trace;
+}
+
+std::vector<std::uint8_t> EncodeTraceBinary(const TraceWorkload& trace) {
+  persist::Encoder e;
+  e.U32(kTraceBinaryMagic);
+  e.U32(kTraceFormatVersion);
+  e.Str(trace.name);
+  isa::EncodeProgram(e, trace.program);
+  const std::uint32_t crc = persist::Crc32(e.bytes());
+  e.U32(crc);
+  return e.Take();
+}
+
+TraceWorkload DecodeTraceBinary(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 12) Bad("binary trace truncated");
+  const std::span<const std::uint8_t> payload = bytes.first(bytes.size() - 4);
+  const std::uint32_t want = persist::Crc32(payload);
+  const std::span<const std::uint8_t> tail = bytes.last(4);
+  const std::uint32_t got = static_cast<std::uint32_t>(tail[0]) |
+                            (static_cast<std::uint32_t>(tail[1]) << 8) |
+                            (static_cast<std::uint32_t>(tail[2]) << 16) |
+                            (static_cast<std::uint32_t>(tail[3]) << 24);
+  if (want != got) Bad("binary trace CRC mismatch");
+  persist::Decoder d(payload);
+  if (d.U32() != kTraceBinaryMagic) Bad("bad binary trace magic");
+  const std::uint32_t version = d.U32();
+  if (version != kTraceFormatVersion) {
+    Bad("unsupported binary version " + std::to_string(version));
+  }
+  TraceWorkload trace;
+  trace.name = d.Str();
+  trace.program = isa::DecodeProgram(d);
+  if (!d.AtEnd()) Bad("trailing bytes after binary trace");
+  return trace;
+}
+
+void SaveTraceFile(const std::string& path, const TraceWorkload& trace,
+                   bool binary) {
+  if (binary) {
+    const std::vector<std::uint8_t> bytes = EncodeTraceBinary(trace);
+    persist::AtomicWriteFile(path, bytes);
+  } else {
+    persist::AtomicWriteFile(path, std::string_view(EncodeTraceText(trace)));
+  }
+}
+
+TraceWorkload LoadTraceFile(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = persist::ReadFileBytes(path);
+  if (bytes.size() >= 4) {
+    const std::uint32_t magic = static_cast<std::uint32_t>(bytes[0]) |
+                                (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                                (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                                (static_cast<std::uint32_t>(bytes[3]) << 24);
+    if (magic == kTraceBinaryMagic) return DecodeTraceBinary(bytes);
+  }
+  return DecodeTraceText(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size()));
+}
+
+}  // namespace ultra::workloads

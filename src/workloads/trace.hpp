@@ -1,0 +1,67 @@
+// Trace-driven workloads (ROADMAP item 3).
+//
+// A trace is a recorded workload -- the full instruction sequence, initial
+// data-memory image, and labels of a Program -- in a versioned format that
+// external tools can produce and consume, so programs that did not come from
+// the in-tree generators can drive all four cores and every sweep axis.
+//
+// Two interchangeable encodings carry the same TraceWorkload:
+//
+//  * Text ("ULTRATRACE 1" header): one record per line, decimal fields,
+//    diff- and script-friendly. See docs/memory.md for the grammar.
+//  * Binary ("UTRC" magic): persist::Encoder framing around
+//    isa::EncodeProgram, with a trailing CRC-32 so torn or corrupt files
+//    fail loudly as persist::FormatError.
+//
+// Round-trip guarantee: Record -> Save -> Load -> TraceToProgram yields a
+// Program whose RunResult is byte-identical to the source workload's on
+// every core (bench_memory_hierarchy and workloads_test assert this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "persist/serial.hpp"
+
+namespace ultra::workloads {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kTraceBinaryMagic = 0x43525455;  // "UTRC" LE.
+
+struct TraceWorkload {
+  std::string name;
+  isa::Program program;
+};
+
+/// Records an existing workload (any generator output or hand-assembled
+/// Program) as a trace.
+[[nodiscard]] TraceWorkload RecordTrace(std::string name,
+                                        const isa::Program& program);
+
+/// Turns a trace back into the Program the cores and SweepPoints consume.
+[[nodiscard]] const isa::Program& TraceToProgram(const TraceWorkload& trace);
+
+/// Text codec. DecodeTraceText throws persist::FormatError on any malformed
+/// input (bad header, unknown mnemonic, out-of-range register, missing
+/// terminator).
+[[nodiscard]] std::string EncodeTraceText(const TraceWorkload& trace);
+[[nodiscard]] TraceWorkload DecodeTraceText(std::string_view text);
+
+/// Binary codec (CRC-protected). DecodeTraceBinary throws
+/// persist::FormatError on truncation, CRC mismatch, bad magic, or an
+/// unsupported version.
+[[nodiscard]] std::vector<std::uint8_t> EncodeTraceBinary(
+    const TraceWorkload& trace);
+[[nodiscard]] TraceWorkload DecodeTraceBinary(
+    std::span<const std::uint8_t> bytes);
+
+/// File helpers. SaveTraceFile writes atomically; LoadTraceFile sniffs the
+/// format from the leading bytes (binary magic, else text).
+void SaveTraceFile(const std::string& path, const TraceWorkload& trace,
+                   bool binary);
+[[nodiscard]] TraceWorkload LoadTraceFile(const std::string& path);
+
+}  // namespace ultra::workloads

@@ -3,3 +3,4 @@
 
 #include "workloads/generators.hpp"  // IWYU pragma: export
 #include "workloads/kernels.hpp"     // IWYU pragma: export
+#include "workloads/trace.hpp"       // IWYU pragma: export

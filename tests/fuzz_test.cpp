@@ -372,6 +372,15 @@ void ExpectDecodersRejectGracefully(const std::vector<std::uint8_t>& bytes) {
     (void)persist::DecodeCheckpoint(bytes);
   } catch (const persist::FormatError&) {
   }
+  try {
+    (void)workloads::DecodeTraceBinary(bytes);
+  } catch (const persist::FormatError&) {
+  }
+  try {
+    (void)workloads::DecodeTraceText(std::string_view(
+        reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  } catch (const persist::FormatError&) {
+  }
 }
 
 class DecoderFuzz : public testing::TestWithParam<unsigned> {};
@@ -393,7 +402,17 @@ TEST_P(DecoderFuzz, MutatedValidEncodingsNeverCrashDecoders) {
   // valid artifact reaches the interior of every decode loop.
   persist::Encoder e;
   isa::EncodeProgram(e, workloads::Fibonacci(8));
-  core::EncodeCoreConfig(e, CoreConfig{});
+  // A hierarchy-enabled config, so flips reach the new cache-geometry and
+  // prefetch validation paths in DecodeCoreConfig.
+  CoreConfig hier;
+  hier.mem.hierarchy.l1i.enabled = true;
+  hier.mem.hierarchy.l1d.enabled = true;
+  hier.mem.hierarchy.l2.enabled = true;
+  hier.mem.hierarchy.prefetch.depth = 2;
+  core::EncodeCoreConfig(e, hier);
+  const auto trace_bytes = workloads::EncodeTraceBinary(
+      workloads::RecordTrace("fuzz", workloads::Fibonacci(8)));
+  e.Bytes(trace_bytes);
   const std::vector<std::uint8_t> valid = e.Take();
 
   std::mt19937 rng(GetParam() * 7919u + 13u);

@@ -522,5 +522,251 @@ TEST(ClusterCache, CoresStayCorrectWithDistributedCaches) {
   }
 }
 
+// --- Multi-level hierarchy (PR 9) -----------------------------------------
+
+CacheLevelConfig SmallLevel() {
+  CacheLevelConfig cfg;
+  cfg.enabled = true;
+  cfg.sets = 2;
+  cfg.ways = 2;
+  cfg.block_bytes = 16;
+  cfg.hit_latency = 1;
+  cfg.miss_latency = 8;
+  return cfg;
+}
+
+TEST(CacheLevel, MissThenHitWithinABlock) {
+  CacheLevelModel level(SmallLevel());
+  EXPECT_FALSE(level.Lookup(0, false).hit);
+  level.Fill(0, /*dirty=*/false, /*prefetched=*/false);
+  EXPECT_TRUE(level.Lookup(0, false).hit);
+  EXPECT_TRUE(level.Lookup(12, false).hit);   // Same 16-byte block.
+  EXPECT_FALSE(level.Lookup(16, false).hit);  // Next block.
+  EXPECT_EQ(level.stats().hits, 2u);
+  EXPECT_EQ(level.stats().misses, 2u);
+}
+
+TEST(CacheLevel, LruEvictionWithinASet) {
+  // 2 sets x 16-byte blocks: addresses 0, 32, 64 share set 0.
+  CacheLevelModel level(SmallLevel());
+  level.Fill(0, false, false);
+  level.Fill(32, false, false);
+  level.Lookup(0, false);        // Touch 0: 32 becomes LRU.
+  level.Fill(64, false, false);  // Evicts 32.
+  EXPECT_TRUE(level.Contains(0));
+  EXPECT_FALSE(level.Contains(32));
+  EXPECT_TRUE(level.Contains(64));
+  EXPECT_EQ(level.stats().evictions, 1u);
+}
+
+TEST(CacheLevel, DirtyVictimCountsAsWriteback) {
+  CacheLevelModel level(SmallLevel());
+  level.Fill(0, /*dirty=*/false, false);
+  level.Lookup(0, /*is_store=*/true);  // Write-back: hit marks dirty.
+  level.Fill(32, false, false);
+  level.Lookup(32, false);                             // 0 is now LRU.
+  EXPECT_TRUE(level.Fill(64, false, false));           // Dirty victim.
+  EXPECT_EQ(level.stats().writebacks, 1u);
+  EXPECT_FALSE(level.Fill(32 + 128, false, false));    // Clean victim (32).
+}
+
+TEST(CacheLevel, ContainsHasNoSideEffects) {
+  CacheLevelModel level(SmallLevel());
+  level.Fill(0, false, false);
+  const auto before = level.stats();
+  EXPECT_TRUE(level.Contains(0));
+  EXPECT_FALSE(level.Contains(16));
+  EXPECT_EQ(level.stats().hits, before.hits);
+  EXPECT_EQ(level.stats().misses, before.misses);
+}
+
+TEST(CacheLevel, PrefetchedLinesAreCountedOnFirstHitOnly) {
+  CacheLevelModel level(SmallLevel());
+  level.Fill(0, false, /*prefetched=*/true);
+  EXPECT_EQ(level.stats().prefetch_fills, 1u);
+  EXPECT_TRUE(level.Lookup(0, false).was_prefetched);
+  EXPECT_FALSE(level.Lookup(0, false).was_prefetched);  // Bit cleared.
+  EXPECT_EQ(level.stats().prefetch_hits, 1u);
+}
+
+TEST(CacheLevel, StateRoundTripsThroughCheckpoint) {
+  CacheLevelModel level(SmallLevel());
+  level.Fill(0, true, false);
+  level.Fill(32, false, true);
+  level.Lookup(0, false);
+  persist::Encoder e;
+  level.SaveState(e);
+  CacheLevelModel restored(SmallLevel());
+  persist::Decoder d(e.bytes());
+  restored.RestoreState(d);
+  EXPECT_TRUE(restored.Contains(0));
+  EXPECT_TRUE(restored.Contains(32));
+  EXPECT_EQ(restored.stats().hits, level.stats().hits);
+  EXPECT_EQ(restored.stats().prefetch_fills, 1u);
+}
+
+TEST(StridePrefetch, TrainsOnConstantStrideOnly) {
+  StridePrefetcher pf({.depth = 2, .table_entries = 4});
+  std::vector<isa::Word> out;
+  pf.ObserveMiss(0, 32, out);    // Allocate.
+  EXPECT_TRUE(out.empty());
+  pf.ObserveMiss(32, 32, out);   // Stride learned, confidence 1.
+  EXPECT_TRUE(out.empty());
+  pf.ObserveMiss(64, 32, out);   // Confidence 2: emit.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 96u);
+  EXPECT_EQ(out[1], 128u);
+  out.clear();
+  pf.ObserveMiss(70000, 32, out);  // Different 4 KiB region: fresh entry.
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StridePrefetch, StrideChangeResetsConfidence) {
+  StridePrefetcher pf({.depth = 2, .table_entries = 4});
+  std::vector<isa::Word> out;
+  pf.ObserveMiss(0, 32, out);
+  pf.ObserveMiss(32, 32, out);
+  pf.ObserveMiss(64, 32, out);
+  ASSERT_FALSE(out.empty());
+  out.clear();
+  pf.ObserveMiss(256, 32, out);  // Stride break.
+  EXPECT_TRUE(out.empty());
+  pf.ObserveMiss(512, 32, out);  // New stride, confidence 1 again.
+  EXPECT_TRUE(out.empty());
+}
+
+MemoryConfig HierarchyConfig1Level() {
+  MemoryConfig cfg;
+  cfg.mode = MemTimingMode::kMagic;
+  cfg.magic_load_latency = 20;
+  cfg.hierarchy.l1d.enabled = true;
+  cfg.hierarchy.l1d.sets = 4;
+  cfg.hierarchy.l1d.ways = 2;
+  cfg.hierarchy.l1d.block_bytes = 16;
+  cfg.hierarchy.l1d.hit_latency = 2;
+  cfg.hierarchy.l1d.miss_latency = 5;
+  return cfg;
+}
+
+int CyclesToComplete(MemorySystem& mem, std::uint64_t id) {
+  for (int cycles = 1; cycles <= 200; ++cycles) {
+    mem.Tick();
+    for (const auto& r : mem.DrainCompleted()) {
+      if (r.id == id) return cycles;
+    }
+  }
+  return -1;
+}
+
+TEST(MemHierarchy, L1HitIsFastAndBypassesBacking) {
+  MemorySystem mem(HierarchyConfig1Level(), 4);
+  mem.Reset({{64, 7}});
+  // Cold miss: L1 lookup (2) + miss penalty (5) + magic backing (20).
+  EXPECT_EQ(CyclesToComplete(mem, mem.SubmitLoad(0, 64)), 27);
+  // Warm hit: the L1 lookup alone.
+  const auto id = mem.SubmitLoad(0, 64);
+  EXPECT_EQ(CyclesToComplete(mem, id), 2);
+  ASSERT_NE(mem.l1d_stats(), nullptr);
+  EXPECT_EQ(mem.l1d_stats()->hits, 1u);
+  EXPECT_EQ(mem.l1d_stats()->misses, 1u);
+}
+
+TEST(MemHierarchy, StoreStaysArchitecturallyImmediate) {
+  MemorySystem mem(HierarchyConfig1Level(), 4);
+  mem.Reset({});
+  mem.SubmitStore(0, 64, 9);
+  EXPECT_EQ(mem.ReadWord(64), 9u);  // Before any timing completes.
+}
+
+TEST(MemHierarchy, DirtyEvictionChargesAWriteback) {
+  auto cfg = HierarchyConfig1Level();
+  cfg.hierarchy.l1d.sets = 1;
+  cfg.hierarchy.l1d.ways = 1;  // Direct-mapped single line.
+  cfg.magic_store_latency = 1;
+  MemorySystem mem(cfg, 4);
+  mem.Reset({});
+  // Dirty the only line, then miss to a conflicting block: the victim
+  // write-back adds another miss_latency before the backing trip.
+  EXPECT_EQ(CyclesToComplete(mem, mem.SubmitStore(0, 0, 1)), 8);  // 2+5+1.
+  EXPECT_EQ(CyclesToComplete(mem, mem.SubmitLoad(0, 16)), 32);
+  EXPECT_EQ(mem.l1d_stats()->writebacks, 1u);
+}
+
+TEST(MemHierarchy, L2HitFillsL1AndSkipsBacking) {
+  auto cfg = HierarchyConfig1Level();
+  cfg.hierarchy.l2.enabled = true;
+  cfg.hierarchy.l2.sets = 8;
+  cfg.hierarchy.l2.ways = 4;
+  cfg.hierarchy.l2.block_bytes = 16;
+  cfg.hierarchy.l2.hit_latency = 4;
+  cfg.hierarchy.l2.miss_latency = 10;
+  cfg.hierarchy.l1d.sets = 1;
+  cfg.hierarchy.l1d.ways = 1;
+  MemorySystem mem(cfg, 4);
+  mem.Reset({});
+  // Cold: 2 + 5 + 4 + 10 + 20. Fills both levels.
+  EXPECT_EQ(CyclesToComplete(mem, mem.SubmitLoad(0, 0)), 41);
+  // Conflict evicts 0 from the one-line L1 but not from L2.
+  EXPECT_EQ(CyclesToComplete(mem, mem.SubmitLoad(0, 16)), 41);
+  // L1 miss, L2 hit: 2 + 5 + 4, no backing trip.
+  EXPECT_EQ(CyclesToComplete(mem, mem.SubmitLoad(0, 0)), 11);
+  ASSERT_NE(mem.l2_stats(), nullptr);
+  EXPECT_EQ(mem.l2_stats()->hits, 1u);
+}
+
+TEST(MemHierarchy, PrefetchFillTurnsTheNextMissIntoAHit) {
+  auto cfg = HierarchyConfig1Level();
+  cfg.hierarchy.prefetch.depth = 2;
+  cfg.hierarchy.prefetch.fill_latency = 3;
+  MemorySystem mem(cfg, 4);
+  mem.Reset({});
+  // Two constant-stride misses train the detector; the third emits
+  // prefetches for blocks 48 and 64.
+  CyclesToComplete(mem, mem.SubmitLoad(0, 0));
+  CyclesToComplete(mem, mem.SubmitLoad(0, 16));
+  CyclesToComplete(mem, mem.SubmitLoad(0, 32));
+  EXPECT_EQ(mem.prefetch_issued(), 2u);
+  // The fills landed during the 27-cycle demand miss above.
+  const auto id = mem.SubmitLoad(0, 48);
+  EXPECT_EQ(CyclesToComplete(mem, id), 2);  // Hit latency only.
+  EXPECT_GE(mem.l1d_stats()->prefetch_fills, 1u);
+  EXPECT_EQ(mem.l1d_stats()->prefetch_hits, 1u);
+}
+
+TEST(MemHierarchy, HierarchyValuesMatchBackingUnderRandomTraffic) {
+  auto cfg = HierarchyConfig1Level();
+  cfg.hierarchy.l2.enabled = true;
+  cfg.hierarchy.l2.sets = 4;
+  cfg.hierarchy.l2.ways = 2;
+  cfg.hierarchy.l2.block_bytes = 32;
+  cfg.hierarchy.prefetch.depth = 2;
+  MemorySystem mem(cfg, 8);
+  mem.Reset({});
+  std::mt19937 rng(7);
+  for (int step = 0; step < 300; ++step) {
+    const auto addr = static_cast<isa::Word>((rng() % 64) * 4);
+    if (rng() % 2) {
+      mem.SubmitStore(static_cast<int>(rng() % 8), addr, rng() % 1000);
+      for (int i = 0; i < 40; ++i) mem.Tick();
+      mem.DrainCompleted();
+    } else {
+      const auto id = mem.SubmitLoad(static_cast<int>(rng() % 8), addr);
+      const isa::Word expected = mem.ReadWord(addr);
+      bool done = false;
+      for (int i = 0; i < 80 && !done; ++i) {
+        mem.Tick();
+        for (const auto& r : mem.DrainCompleted()) {
+          if (r.id == id) {
+            ASSERT_EQ(r.value, expected) << "addr " << addr;
+            done = true;
+          }
+        }
+      }
+      ASSERT_TRUE(done);
+    }
+  }
+  EXPECT_GT(mem.l1d_stats()->hits + mem.l1d_stats()->misses, 0u);
+}
+
 }  // namespace
 }  // namespace ultra::memory

@@ -72,6 +72,25 @@ void ExpectSameResult(const core::RunResult& a, const core::RunResult& b) {
   EXPECT_EQ(a.stats.fault.divergences, b.stats.fault.divergences);
   EXPECT_EQ(a.stats.fault.resyncs, b.stats.fault.resyncs);
   EXPECT_EQ(a.stats.fault.squashes, b.stats.fault.squashes);
+  EXPECT_EQ(a.stats.mem_hierarchy.l1d_hits, b.stats.mem_hierarchy.l1d_hits);
+  EXPECT_EQ(a.stats.mem_hierarchy.l1d_misses,
+            b.stats.mem_hierarchy.l1d_misses);
+  EXPECT_EQ(a.stats.mem_hierarchy.l1d_writebacks,
+            b.stats.mem_hierarchy.l1d_writebacks);
+  EXPECT_EQ(a.stats.mem_hierarchy.l2_hits, b.stats.mem_hierarchy.l2_hits);
+  EXPECT_EQ(a.stats.mem_hierarchy.l2_misses, b.stats.mem_hierarchy.l2_misses);
+  EXPECT_EQ(a.stats.mem_hierarchy.icache_hits,
+            b.stats.mem_hierarchy.icache_hits);
+  EXPECT_EQ(a.stats.mem_hierarchy.icache_misses,
+            b.stats.mem_hierarchy.icache_misses);
+  EXPECT_EQ(a.stats.mem_hierarchy.icache_stall_cycles,
+            b.stats.mem_hierarchy.icache_stall_cycles);
+  EXPECT_EQ(a.stats.mem_hierarchy.prefetch_issued,
+            b.stats.mem_hierarchy.prefetch_issued);
+  EXPECT_EQ(a.stats.mem_hierarchy.prefetch_fills,
+            b.stats.mem_hierarchy.prefetch_fills);
+  EXPECT_EQ(a.stats.mem_hierarchy.prefetch_useful,
+            b.stats.mem_hierarchy.prefetch_useful);
   ASSERT_EQ(a.timeline.size(), b.timeline.size());
   for (std::size_t i = 0; i < a.timeline.size(); ++i) {
     const core::InstrTiming& x = a.timeline[i];
@@ -154,7 +173,9 @@ TEST(CheckpointFile, GoldenHeaderBytesLockTheFormatVersion) {
   ckpt.state = {0xDE, 0xAD};
   const std::vector<std::uint8_t> bytes = persist::EncodeCheckpoint(ckpt);
   ASSERT_GE(bytes.size(), 8u);
-  const std::uint8_t golden[8] = {'U', 'C', 'K', 'P', 2, 0, 0, 0};
+  // Version 3: the mem/fetch SaveState formats grew the L1D/L2/icache
+  // hierarchy models (PR 9).
+  const std::uint8_t golden[8] = {'U', 'C', 'K', 'P', 3, 0, 0, 0};
   for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(bytes[static_cast<std::size_t>(i)], golden[i]) << "byte " << i;
   }
@@ -347,6 +368,69 @@ TEST(ConfigCodec, RoundTripPreservesFingerprint) {
   EXPECT_EQ(back.fault_plan->provenance(), cfg.fault_plan->provenance());
 }
 
+TEST(ConfigCodec, HierarchyRoundTripPreservesFingerprint) {
+  CoreConfig cfg;
+  cfg.window_size = 32;
+  cfg.mem.hierarchy.l1i.enabled = true;
+  cfg.mem.hierarchy.l1i.sets = 32;
+  cfg.mem.hierarchy.l1i.ways = 2;
+  cfg.mem.hierarchy.l1i.block_bytes = 16;
+  cfg.mem.hierarchy.l1i.miss_latency = 9;
+  cfg.mem.hierarchy.l1d.enabled = true;
+  cfg.mem.hierarchy.l1d.sets = 16;
+  cfg.mem.hierarchy.l1d.hit_latency = 2;
+  cfg.mem.hierarchy.l2.enabled = true;
+  cfg.mem.hierarchy.l2.sets = 128;
+  cfg.mem.hierarchy.l2.ways = 8;
+  cfg.mem.hierarchy.prefetch.depth = 4;
+  cfg.mem.hierarchy.prefetch.table_entries = 8;
+  cfg.mem.hierarchy.prefetch.fill_latency = 6;
+
+  persist::Encoder e;
+  core::EncodeCoreConfig(e, cfg);
+  persist::Decoder d(e.bytes());
+  const CoreConfig back = core::DecodeCoreConfig(d);
+  EXPECT_TRUE(d.AtEnd());
+  EXPECT_EQ(core::FingerprintConfig(back), core::FingerprintConfig(cfg));
+  EXPECT_EQ(back.mem.hierarchy.l1i.sets, 32);
+  EXPECT_EQ(back.mem.hierarchy.l1i.miss_latency, 9);
+  EXPECT_EQ(back.mem.hierarchy.l1d.hit_latency, 2);
+  EXPECT_EQ(back.mem.hierarchy.l2.ways, 8);
+  EXPECT_EQ(back.mem.hierarchy.prefetch.depth, 4);
+  EXPECT_EQ(back.mem.hierarchy.prefetch.fill_latency, 6);
+}
+
+TEST(ConfigCodec, RejectsCorruptHierarchyGeometry) {
+  // The encoder writes fields verbatim, so an invalid source config stands
+  // in for a corrupted byte stream: the *decoder* must reject it as a
+  // FormatError rather than hand the simulator an impossible geometry.
+  const auto corrupt = [](void (*mutate)(CoreConfig&)) {
+    CoreConfig cfg;
+    cfg.mem.hierarchy.l1d.enabled = true;
+    mutate(cfg);
+    persist::Encoder e;
+    core::EncodeCoreConfig(e, cfg);
+    persist::Decoder d(e.bytes());
+    EXPECT_THROW((void)core::DecodeCoreConfig(d), persist::FormatError);
+  };
+  corrupt([](CoreConfig& c) { c.mem.hierarchy.l1d.sets = 3; });
+  corrupt([](CoreConfig& c) { c.mem.hierarchy.l1d.sets = 0; });
+  corrupt([](CoreConfig& c) { c.mem.hierarchy.l1d.ways = 0; });
+  corrupt([](CoreConfig& c) { c.mem.hierarchy.l1d.block_bytes = 24; });
+  corrupt([](CoreConfig& c) { c.mem.hierarchy.l1d.block_bytes = 2; });
+  corrupt([](CoreConfig& c) { c.mem.hierarchy.l1d.hit_latency = 0; });
+  corrupt([](CoreConfig& c) { c.mem.hierarchy.l1d.miss_latency = -1; });
+  corrupt([](CoreConfig& c) { c.mem.hierarchy.prefetch.depth = -2; });
+  corrupt([](CoreConfig& c) {
+    c.mem.hierarchy.prefetch.depth = 1;
+    c.mem.hierarchy.prefetch.table_entries = 0;
+  });
+  corrupt([](CoreConfig& c) {
+    c.mem.hierarchy.prefetch.depth = 1;
+    c.mem.hierarchy.prefetch.fill_latency = 0;
+  });
+}
+
 TEST(ProgramCodec, RoundTripPreservesFingerprint) {
   const isa::Program program = workloads::Fibonacci(24);
   persist::Encoder e;
@@ -422,6 +506,50 @@ TEST(Checkpoint, ExactUnderLiveFaultInjection) {
     const core::RunResult base = proc->Run(program);
     ASSERT_TRUE(base.halted);
     EXPECT_GT(base.stats.fault.injected, 0u);
+    for (const std::uint64_t cycle : {base.cycles / 4, base.cycles / 2,
+                                      (3 * base.cycles) / 4}) {
+      if (cycle == 0 || cycle >= base.cycles) continue;
+      ExpectCheckpointExact(kind, cfg, program, base, cycle);
+    }
+  }
+}
+
+TEST(Checkpoint, ExactWithWarmHierarchyAndInFlightMisses) {
+  // The PR 9 case: checkpoints taken with warm L1D/L2/icache contents, a
+  // trained stride prefetcher, queued prefetch fills, and demand misses
+  // mid-flight between the hierarchy and the bandwidth-limited backing
+  // tier. The restored run must replay the exact hit/miss/stall sequence.
+  const isa::Program program = workloads::StridedSweep(
+      {.array_words = 512, .stride_words = 8, .passes = 3, .unroll = 2});
+  for (const auto kind : kAllKinds) {
+    SCOPED_TRACE(core::ProcessorKindName(kind));
+    CoreConfig cfg;
+    cfg.window_size = 16;
+    cfg.cluster_size = 4;
+    cfg.predictor = core::PredictorKind::kBtfn;
+    cfg.mem.mode = memory::MemTimingMode::kBandwidthLimited;
+    cfg.mem.regime = memory::BandwidthRegime::kConstant;
+    cfg.mem.hierarchy.l1i.enabled = true;
+    cfg.mem.hierarchy.l1i.sets = 4;
+    cfg.mem.hierarchy.l1i.ways = 2;
+    cfg.mem.hierarchy.l1i.block_bytes = 16;
+    cfg.mem.hierarchy.l1d.enabled = true;
+    cfg.mem.hierarchy.l1d.sets = 4;
+    cfg.mem.hierarchy.l1d.ways = 2;
+    cfg.mem.hierarchy.l1d.block_bytes = 32;
+    cfg.mem.hierarchy.l2.enabled = true;
+    cfg.mem.hierarchy.l2.sets = 16;
+    cfg.mem.hierarchy.l2.ways = 4;
+    cfg.mem.hierarchy.l2.block_bytes = 32;
+    cfg.mem.hierarchy.prefetch.depth = 2;
+    cfg.mem.hierarchy.prefetch.fill_latency = 7;
+    const auto proc = core::MakeProcessor(kind, cfg);
+    const core::RunResult base = proc->Run(program);
+    ASSERT_TRUE(base.halted);
+    // The axes must actually be live in this configuration.
+    EXPECT_GT(base.stats.mem_hierarchy.l1d_misses, 0u);
+    EXPECT_GT(base.stats.mem_hierarchy.icache_misses, 0u);
+    EXPECT_GT(base.stats.mem_hierarchy.prefetch_issued, 0u);
     for (const std::uint64_t cycle : {base.cycles / 4, base.cycles / 2,
                                       (3 * base.cycles) / 4}) {
       if (cycle == 0 || cycle >= base.cycles) continue;

@@ -412,6 +412,65 @@ TEST(ValidateConfig, HybridClusterSizeMustFitTheWindow) {
   EXPECT_NO_THROW(cfg.Validate(/*for_hybrid=*/true));
 }
 
+TEST(ValidateConfig, RejectsDegenerateHierarchyGeometry) {
+  const auto expect_rejected = [](auto mutate) {
+    core::CoreConfig cfg;
+    cfg.mem.hierarchy.l1d.enabled = true;
+    mutate(cfg);
+    EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  };
+  expect_rejected([](core::CoreConfig& c) { c.mem.hierarchy.l1d.sets = 0; });
+  expect_rejected([](core::CoreConfig& c) { c.mem.hierarchy.l1d.sets = 3; });
+  expect_rejected([](core::CoreConfig& c) { c.mem.hierarchy.l1d.ways = 0; });
+  expect_rejected(
+      [](core::CoreConfig& c) { c.mem.hierarchy.l1d.block_bytes = 2; });
+  expect_rejected(
+      [](core::CoreConfig& c) { c.mem.hierarchy.l1d.block_bytes = 48; });
+  expect_rejected(
+      [](core::CoreConfig& c) { c.mem.hierarchy.l1d.hit_latency = 0; });
+  expect_rejected(
+      [](core::CoreConfig& c) { c.mem.hierarchy.l1d.miss_latency = 0; });
+  expect_rejected([](core::CoreConfig& c) {
+    c.mem.hierarchy.l1i.enabled = true;
+    c.mem.hierarchy.l1i.sets = 7;
+  });
+  // Geometry of a disabled level is irrelevant and must NOT be rejected.
+  {
+    core::CoreConfig cfg;
+    cfg.mem.hierarchy.l1i.sets = 7;
+    EXPECT_NO_THROW(cfg.Validate());
+  }
+  expect_rejected(
+      [](core::CoreConfig& c) { c.mem.hierarchy.prefetch.depth = -1; });
+  expect_rejected([](core::CoreConfig& c) {
+    c.mem.hierarchy.prefetch.depth = 1;
+    c.mem.hierarchy.prefetch.table_entries = 0;
+  });
+  // Prefetching needs a data-side level to fill.
+  {
+    core::CoreConfig cfg;
+    cfg.mem.hierarchy.prefetch.depth = 2;
+    EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  }
+  // The hierarchy and the per-cluster caches are mutually exclusive
+  // locality models.
+  {
+    core::CoreConfig cfg;
+    cfg.mem.hierarchy.l1d.enabled = true;
+    cfg.mem.cluster_cache_leaves = 4;
+    EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  }
+  // A fully-specified valid hierarchy passes.
+  {
+    core::CoreConfig cfg;
+    cfg.mem.hierarchy.l1i.enabled = true;
+    cfg.mem.hierarchy.l1d.enabled = true;
+    cfg.mem.hierarchy.l2.enabled = true;
+    cfg.mem.hierarchy.prefetch.depth = 4;
+    EXPECT_NO_THROW(cfg.Validate());
+  }
+}
+
 TEST(ValidateConfig, MakeProcessorRejectsBadConfigs) {
   core::CoreConfig cfg;
   cfg.window_size = 0;

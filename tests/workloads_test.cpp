@@ -2,10 +2,12 @@
 // and compute the architecturally correct result.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <numeric>
 #include <random>
 
 #include "core/functional_sim.hpp"
+#include "persist/serial.hpp"
 #include "workloads/workloads.hpp"
 
 namespace ultra::workloads {
@@ -187,6 +189,114 @@ TEST(Generators, BranchStormAlternates) {
   const auto result = RunFunctional(BranchStorm(10));
   // Even iterations add 1, odd add 7: 5*1 + 5*7 = 40.
   EXPECT_EQ(result.regs[3], 40u);
+}
+
+TEST(Generators, CodeFootprintComputesItsIterationCount) {
+  const auto result = RunFunctional(
+      CodeFootprint({.body_instructions = 64, .iterations = 5}));
+  EXPECT_EQ(result.regs[1], 5u);   // Loop counter ran to completion.
+  // Each of the 29 rotating registers (r3..r31) absorbed its share of the
+  // 64 adds per iteration, 5 iterations: 64*5 = 320 increments in total.
+  std::uint32_t total = 0;
+  for (int r = 3; r < 32; ++r) total += result.regs[static_cast<size_t>(r)];
+  EXPECT_EQ(total, 320u);
+}
+
+TEST(Generators, StridedSweepWalksEveryPass) {
+  for (const bool dependent : {false, true}) {
+    SCOPED_TRACE(dependent ? "dependent" : "unrolled");
+    const auto result = RunFunctional(StridedSweep({.array_words = 64,
+                                                    .stride_words = 4,
+                                                    .passes = 3,
+                                                    .unroll = 2,
+                                                    .dependent = dependent}));
+    EXPECT_EQ(result.regs[2], 3u);          // All passes ran.
+    EXPECT_GE(result.regs[1], 64u * 4u);    // Pointer crossed the array.
+    EXPECT_EQ(result.regs[4], 0u);          // The array reads as zeros.
+  }
+}
+
+// --- Trace-driven workloads (PR 9) ----------------------------------------
+
+void ExpectSameProgram(const isa::Program& a, const isa::Program& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i), b.at(i)) << "instruction " << i;
+  }
+  EXPECT_EQ(a.initial_memory(), b.initial_memory());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(Trace, TextRoundTripPreservesTheProgram) {
+  const auto trace = RecordTrace("bubble", BubbleSort(12));
+  const auto back = DecodeTraceText(EncodeTraceText(trace));
+  EXPECT_EQ(back.name, "bubble");
+  ExpectSameProgram(TraceToProgram(back), TraceToProgram(trace));
+}
+
+TEST(Trace, BinaryRoundTripPreservesTheProgram) {
+  const auto trace = RecordTrace(
+      "stride", StridedSweep({.array_words = 32, .stride_words = 2}));
+  const auto back = DecodeTraceBinary(EncodeTraceBinary(trace));
+  EXPECT_EQ(back.name, "stride");
+  ExpectSameProgram(TraceToProgram(back), TraceToProgram(trace));
+}
+
+TEST(Trace, ReplayedProgramComputesTheSameResult) {
+  const auto original = Fibonacci(20);
+  const auto replayed = TraceToProgram(
+      DecodeTraceText(EncodeTraceText(RecordTrace("fib", original))));
+  EXPECT_EQ(RunFunctional(replayed).regs, RunFunctional(original).regs);
+}
+
+TEST(Trace, MalformedTextIsRejected) {
+  const auto expect_throws = [](const std::string& text) {
+    EXPECT_THROW((void)DecodeTraceText(text), persist::FormatError) << text;
+  };
+  expect_throws("");                                    // No header.
+  expect_throws("ULTRATRACE 2\nend\n");                 // Bad version.
+  expect_throws("ULTRATRACE 1\n");                      // Missing end.
+  expect_throws("ULTRATRACE 1\ni bogus 1 2 3 0\nend\n");  // Bad mnemonic.
+  expect_throws("ULTRATRACE 1\ni addi 999 0 0 1\nend\n");  // Register range.
+  expect_throws("ULTRATRACE 1\ni addi\nend\n");         // Truncated record.
+  expect_throws("ULTRATRACE 1\nmem 4\nend\n");          // Truncated mem.
+  expect_throws("ULTRATRACE 1\nfrobnicate\nend\n");     // Unknown record.
+}
+
+TEST(Trace, CorruptBinaryIsRejected) {
+  auto bytes = EncodeTraceBinary(RecordTrace("fib", Fibonacci(8)));
+  {
+    auto flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x40;  // Payload flip: CRC catches it.
+    EXPECT_THROW((void)DecodeTraceBinary(flipped), persist::FormatError);
+  }
+  {
+    auto truncated = bytes;
+    truncated.resize(truncated.size() - 5);
+    EXPECT_THROW((void)DecodeTraceBinary(truncated), persist::FormatError);
+  }
+  {
+    auto bad_magic = bytes;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_THROW((void)DecodeTraceBinary(bad_magic), persist::FormatError);
+  }
+}
+
+TEST(Trace, FileHelpersSniffTheFormat) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "ultra_workloads_trace_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto trace = RecordTrace("dot", DotProduct(16));
+  const auto text_path = (dir / "trace.txt").string();
+  const auto bin_path = (dir / "trace.bin").string();
+  SaveTraceFile(text_path, trace, /*binary=*/false);
+  SaveTraceFile(bin_path, trace, /*binary=*/true);
+  ExpectSameProgram(TraceToProgram(LoadTraceFile(text_path)),
+                    TraceToProgram(trace));
+  ExpectSameProgram(TraceToProgram(LoadTraceFile(bin_path)),
+                    TraceToProgram(trace));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
