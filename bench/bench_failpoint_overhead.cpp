@@ -1,0 +1,226 @@
+// Failpoint overhead gate (engineering, not a paper figure).
+//
+// The failpoint seam (src/failpoint/) is compiled into every persist and
+// service I/O call unconditionally; the promise is "zero overhead when
+// disabled". This bench makes that promise a CI exit code, two ways:
+//
+//   sim gate    simulator throughput (cycles/sec, the bench_sim_throughput
+//               quick-mode hot loop: UltrascalarI on a dependency-chain
+//               kernel) measured with the registry fully disarmed vs with a
+//               failpoint *armed on a site the loop never hits*. Arming
+//               flips the global enable, so this is the worst case the
+//               simulator can ever see: the machinery live, the hot loop
+//               unaffected. Gate: within --tolerance (default 1%), judged
+//               on the best per-pass paired ratio so machine drift cancels.
+//
+//   seam gate   the per-call cost of the seam itself: 4 KiB overwrite-in-
+//               place writes to the same tmp fd, direct ::write vs
+//               failpoint::ActiveIo().Write with the registry disabled
+//               (one relaxed atomic load + a virtual passthrough). Gate:
+//               within --tolerance of raw, i.e. the seam disappears into
+//               the syscall it wraps.
+//
+// A "counting" seam pass (registry enabled, mutex + site map per op) is
+// reported for context but not gated -- turning instrumentation on is
+// allowed to cost.
+//
+// Usage: bench_failpoint_overhead [--quick] [--json=PATH] [--tolerance=F]
+//   --quick        shorter measurement windows (CI smoke run)
+//   --json         output path (default BENCH_failpoint_overhead.json)
+//   --tolerance    allowed fractional slowdown (default 0.01)
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "failpoint/failpoint.hpp"
+#include "failpoint/io.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ultra;
+
+struct Options {
+  bool quick = false;
+  std::string json_path = "BENCH_failpoint_overhead.json";
+  double tolerance = 0.01;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      opt.tolerance = std::atof(arg.c_str() + std::strlen("--tolerance="));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    }
+  }
+  return opt;
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One simulator measurement pass: repeat Run() until ~target_seconds of
+/// wall time has accumulated, report cycles/sec.
+double MeasureSim(const core::CoreConfig& cfg, const isa::Program& program,
+                  double target_seconds) {
+  const double start = Now();
+  std::uint64_t total_cycles = 0;
+  double elapsed = 0.0;
+  do {
+    auto proc = core::MakeProcessor(core::ProcessorKind::kUltrascalarI, cfg);
+    total_cycles += proc->Run(program).cycles;
+    elapsed = Now() - start;
+  } while (elapsed < target_seconds);
+  return elapsed > 0.0 ? static_cast<double>(total_cycles) / elapsed : 0.0;
+}
+
+/// One seam measurement pass: overwrite-in-place 4 KiB writes to fd until
+/// ~target_seconds has accumulated, report writes/sec. `seam` routes each
+/// write through failpoint::ActiveIo(); otherwise it is a direct ::write.
+double MeasureWrites(int fd, bool seam, double target_seconds) {
+  static const std::vector<char> block(4096, 0x5C);
+  const double start = Now();
+  std::uint64_t writes = 0;
+  double elapsed = 0.0;
+  do {
+    // 256 writes per clock check keeps the timer off the hot path.
+    for (int i = 0; i < 256; ++i) {
+      ::lseek(fd, 0, SEEK_SET);
+      const ssize_t n =
+          seam ? failpoint::ActiveIo().Write("bench.write", fd, block.data(),
+                                             block.size())
+               : ::write(fd, block.data(), block.size());
+      if (n != static_cast<ssize_t>(block.size())) {
+        std::perror("bench_failpoint_overhead: write");
+        std::exit(2);
+      }
+    }
+    writes += 256;
+    elapsed = Now() - start;
+  } while (elapsed < target_seconds);
+  return elapsed > 0.0 ? static_cast<double>(writes) / elapsed : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseArgs(argc, argv);
+  const double target_s = opt.quick ? 0.15 : 0.3;
+  const int passes = 5;  // Best paired ratio shrugs off scheduler noise.
+  failpoint::Registry& reg = failpoint::Registry::Instance();
+  reg.Reset();
+
+  // --- sim gate: bench_sim_throughput's quick-mode hot loop ---------------
+  const isa::Program program = workloads::DependencyChains(
+      {.num_instructions = opt.quick ? 2048 : 8192, .ilp = 4});
+  core::CoreConfig cfg;
+  cfg.window_size = 256;
+  cfg.num_regs = 32;
+  cfg.mem.mode = memory::MemTimingMode::kMagic;
+
+  std::printf("=== Failpoint overhead (UltrascalarI n=%d, %s) ===\n",
+              cfg.window_size, opt.quick ? "quick" : "full");
+  // Warm-up (discarded): reach steady clocks before anything is recorded.
+  (void)MeasureSim(cfg, program, target_s / 3.0);
+
+  failpoint::Schedule never;
+  failpoint::ParseScheduleSpec("eio@1", &never);
+  double sim_ratio = 0.0;  // Best paired armed/disarmed ratio.
+  double sim_base = 0.0, sim_armed = 0.0;
+  for (int pass = 0; pass < passes; ++pass) {
+    reg.Reset();  // Disarmed: the shipped state.
+    const double base = MeasureSim(cfg, program, target_s);
+    reg.Arm("bench.never.hit", never);  // Machinery live, loop unaffected.
+    const double armed = MeasureSim(cfg, program, target_s);
+    reg.Reset();
+    if (base > sim_base) sim_base = base;
+    if (armed > sim_armed) sim_armed = armed;
+    if (base > 0.0 && armed / base > sim_ratio) sim_ratio = armed / base;
+  }
+
+  // --- seam gate: ActiveIo() dispatch vs raw ::write ----------------------
+  char tmpl[] = "/tmp/ultra_fp_bench.XXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  if (fd < 0) {
+    std::perror("bench_failpoint_overhead: mkstemp");
+    return 2;
+  }
+  ::unlink(tmpl);
+  (void)MeasureWrites(fd, /*seam=*/false, target_s / 3.0);  // Warm-up.
+
+  double seam_ratio = 0.0;  // Best paired seam/raw ratio, registry disabled.
+  double raw_wps = 0.0, seam_wps = 0.0, counting_wps = 0.0;
+  for (int pass = 0; pass < passes; ++pass) {
+    const double raw = MeasureWrites(fd, false, target_s);
+    const double seam = MeasureWrites(fd, true, target_s);
+    if (raw > raw_wps) raw_wps = raw;
+    if (seam > seam_wps) seam_wps = seam;
+    if (raw > 0.0 && seam / raw > seam_ratio) seam_ratio = seam / raw;
+  }
+  // Context only: the cost once someone actually enables the registry.
+  reg.EnableCounting();
+  counting_wps = MeasureWrites(fd, true, target_s);
+  reg.Reset();
+  ::close(fd);
+
+  std::printf("%-22s %16s %12s\n", "measurement", "rate", "vs base");
+  std::printf("%-22s %14.0f/s %11s\n", "sim disarmed", sim_base, "-");
+  std::printf("%-22s %14.0f/s %+10.2f%%\n", "sim armed-elsewhere", sim_armed,
+              (sim_ratio - 1.0) * 100.0);
+  std::printf("%-22s %14.0f/s %11s\n", "write raw", raw_wps, "-");
+  std::printf("%-22s %14.0f/s %+10.2f%%\n", "write via seam (off)", seam_wps,
+              (seam_ratio - 1.0) * 100.0);
+  std::printf("%-22s %14.0f/s %+10.2f%%\n", "write via seam (count)",
+              counting_wps,
+              raw_wps > 0.0 ? (counting_wps / raw_wps - 1.0) * 100.0 : 0.0);
+
+  const bool sim_ok = sim_ratio >= 1.0 - opt.tolerance;
+  const bool seam_ok = seam_ratio >= 1.0 - opt.tolerance;
+  std::printf("\ngate: sim with failpoints armed-elsewhere >= %.1f%%: %s "
+              "(%.2f%%)\n",
+              (1.0 - opt.tolerance) * 100.0, sim_ok ? "PASS" : "FAIL",
+              sim_ratio * 100.0);
+  std::printf("gate: seam (disabled) write rate >= %.1f%% of raw: %s "
+              "(%.2f%%)\n",
+              (1.0 - opt.tolerance) * 100.0, seam_ok ? "PASS" : "FAIL",
+              seam_ratio * 100.0);
+
+  std::ofstream out(opt.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"mode\": \"" << (opt.quick ? "quick" : "full")
+      << "\", \"tolerance\": " << opt.tolerance
+      << ",\n  \"sim\": {\"disarmed_cycles_per_sec\": " << sim_base
+      << ", \"armed_cycles_per_sec\": " << sim_armed
+      << ", \"paired_best_ratio\": " << sim_ratio
+      << ", \"gate_passed\": " << (sim_ok ? "true" : "false") << "},\n"
+      << "  \"seam\": {\"raw_writes_per_sec\": " << raw_wps
+      << ", \"disabled_writes_per_sec\": " << seam_wps
+      << ", \"counting_writes_per_sec\": " << counting_wps
+      << ", \"paired_best_ratio\": " << seam_ratio
+      << ", \"gate_passed\": " << (seam_ok ? "true" : "false") << "}\n}\n";
+  out.close();
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return sim_ok && seam_ok ? 0 : 1;
+}

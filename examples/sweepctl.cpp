@@ -11,6 +11,10 @@
 //   sweepctl shutdown --socket=S [--hard]
 //   sweepctl run    [point spec] [--threads=N] --csv-out=PATH
 //
+// Every client command takes --timeout=SEC: connect + per-read deadline
+// (0 = block forever, the default). A hung daemon then fails the command
+// with "timed out" and exit code 3 instead of hanging the terminal.
+//
 // Point spec (shared by submit and run, so the two build *identical*
 // points -- the CI smoke test compares the daemon's export against a local
 // `sweepctl run` of the same spec byte for byte):
@@ -106,6 +110,16 @@ ultra::core::ProcessorKind KindFromName(const std::string& name) {
   if (name == "UltrascalarII") return ProcessorKind::kUltrascalarII;
   if (name == "Hybrid") return ProcessorKind::kHybrid;
   throw std::runtime_error("unknown processor kind: " + name);
+}
+
+/// Builds a client honoring the shared --socket / --timeout flags.
+ultra::service::SweepClient MakeClient(const Flags& flags) {
+  ultra::service::ClientOptions options;
+  const double timeout = std::atof(flags.Get("timeout", "0").c_str());
+  options.connect_timeout_seconds = timeout;
+  options.recv_timeout_seconds = timeout;
+  return ultra::service::SweepClient(flags.Get("socket", "/tmp/sweepd.sock"),
+                                     options);
 }
 
 /// Builds the deterministic point list both `submit` and `run` share.
@@ -204,7 +218,7 @@ int Serve(const Flags& flags) {
 }
 
 int Submit(const Flags& flags) {
-  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  ultra::service::SweepClient client = MakeClient(flags);
   ultra::service::SubmitRequest request;
   request.points = BuildPoints(flags);
   request.deadline_seconds = std::atof(flags.Get("deadline", "0").c_str());
@@ -243,7 +257,7 @@ int Submit(const Flags& flags) {
 }
 
 int Wait(const Flags& flags) {
-  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  ultra::service::SweepClient client = MakeClient(flags);
   ultra::service::WaitRequest wait;
   wait.request_id = std::strtoull(flags.Get("id", "0").c_str(), nullptr, 10);
   wait.want_csv = flags.Has("csv-out");
@@ -266,13 +280,13 @@ int Wait(const Flags& flags) {
 }
 
 int Status(const Flags& flags) {
-  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  ultra::service::SweepClient client = MakeClient(flags);
   std::fputs(client.Status().c_str(), stdout);
   return 0;
 }
 
 int Cancel(const Flags& flags) {
-  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  ultra::service::SweepClient client = MakeClient(flags);
   const ultra::service::CancelReply reply = client.Cancel(
       std::strtoull(flags.Get("id", "0").c_str(), nullptr, 10));
   std::printf("cancel: %s %s\n", reply.cancelled ? "ok" : "no",
@@ -281,7 +295,7 @@ int Cancel(const Flags& flags) {
 }
 
 int Shutdown(const Flags& flags) {
-  ultra::service::SweepClient client(flags.Get("socket", "/tmp/sweepd.sock"));
+  ultra::service::SweepClient client = MakeClient(flags);
   client.Shutdown(/*drain=*/!flags.Has("hard"));
   std::printf("shutdown: requested (%s)\n", flags.Has("hard") ? "hard" : "drain");
   return 0;
@@ -330,6 +344,9 @@ int main(int argc, char** argv) {
     if (cmd == "run") return Run(flags);
     std::fprintf(stderr, "sweepctl: unknown command '%s'\n", cmd.c_str());
     return 1;
+  } catch (const ultra::service::TimeoutError& e) {
+    std::fprintf(stderr, "sweepctl %s: %s\n", cmd.c_str(), e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweepctl %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# Crash-point chaos smoke (docs/robustness.md, tests/chaos_test.cpp):
+#
+# tests/chaos_test.cpp enumerates *every* crash point in-process with the
+# silent crash mode; this script drives the same enumeration against real
+# sweepctl subprocesses with CRASH_MODE=exit -- _exit(137) in the middle of
+# the faulted syscall, the literal "power cut" no in-process simulation can
+# fake -- plus a plain kill -9 for crash points past the sampled window:
+#
+#   1. run the reference sweep locally (no daemon);
+#   2. counting run: a full daemon submit/drain cycle under
+#      ULTRA_FAILPOINT_COUNT + ULTRA_FAILPOINT_REPORT to learn N, the
+#      number of durability-relevant I/O ops in the cycle;
+#   3. for a bounded sample of crash points k spread over 1..N (CI budget:
+#      the full sweep lives in chaos_test.cpp), start a fresh daemon with
+#      ULTRA_FAILPOINT_CRASH_AT_OP=k, CRASH_MODE=exit, submit detached --
+#      the daemon dies at op k, mid-write, mid-fsync, mid-rename, or
+#      mid-send, wherever k lands. If k lands beyond the ops the cycle
+#      reached before the client finished, kill -9 the daemon instead so
+#      every iteration still crashes;
+#   4. restart on the same state dir with failpoints off: the journal must
+#      self-heal, the lock must be free, stale .tmp files must be swept,
+#      and the recovered (or resubmitted) export must be byte-identical to
+#      the uninterrupted reference;
+#   5. on any violation, preserve the wreckage as a repro bundle and fail.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-sweepctl]
+#   CHAOS_POINTS=M   number of crash points to sample (default 8)
+#   CHAOS_REPRO=DIR  where to leave the repro bundle on failure
+#                    (default ./chaos-repro)
+# Exits nonzero on any violation; prints CHAOS_SMOKE_PASS on success.
+set -euo pipefail
+
+SWEEPCTL=${1:-./build/examples/sweepctl}
+CHAOS_POINTS=${CHAOS_POINTS:-8}
+CHAOS_REPRO=${CHAOS_REPRO:-./chaos-repro}
+# Unix socket paths are length-limited (~108 bytes): stay under /tmp.
+WORK=$(mktemp -d /tmp/sweepd-chaos.XXXXXX)
+SOCK="$WORK/s.sock"
+# Small but multi-point: enough journal/export traffic to be interesting,
+# small enough that ~10 full crash/recover cycles stay in the CI budget.
+SPEC=(--workload=fib:10 --kinds=UltrascalarI --windows=8,16)
+
+SERVER_PID=
+CURRENT_K=
+cleanup() {
+  if [[ -n "$SERVER_PID" ]]; then kill -9 "$SERVER_PID" 2>/dev/null || true; fi
+  rm -rf "$WORK"
+}
+fail() {
+  echo "chaos_smoke: $1" >&2
+  # Repro bundle: the frozen state dir, every log, and the knob values
+  # needed to replay this exact crash point by hand.
+  rm -rf "$CHAOS_REPRO"
+  mkdir -p "$CHAOS_REPRO"
+  cp -r "$WORK"/. "$CHAOS_REPRO"/ 2>/dev/null || true
+  {
+    echo "failure: $1"
+    echo "crash_point_k: ${CURRENT_K:-none}"
+    echo "replay: ULTRA_FAILPOINT_CRASH_AT_OP=\$k ULTRA_FAILPOINT_CRASH_MODE=exit \\"
+    echo "        $SWEEPCTL serve --socket=... --state-dir=... ${SPEC[*]}"
+  } >"$CHAOS_REPRO/REPRO.txt"
+  echo "chaos_smoke: repro bundle left in $CHAOS_REPRO" >&2
+  exit 1
+}
+trap cleanup EXIT
+
+start_daemon() {  # start_daemon <state-dir> <log> [env VAR=VAL ...]
+  local state=$1 log=$2
+  shift 2
+  env "$@" "$SWEEPCTL" serve --socket="$SOCK" --state-dir="$state" \
+    --threads=1 >"$log" 2>&1 &
+  SERVER_PID=$!
+}
+
+wait_ready() {  # wait_ready -> 0 ready, 1 daemon exited first
+  for _ in $(seq 1 100); do
+    if "$SWEEPCTL" status --socket="$SOCK" --timeout=2 >/dev/null 2>&1; then
+      return 0
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+stop_daemon_hard() {
+  if [[ -n "$SERVER_PID" ]]; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=
+  fi
+  rm -f "$SOCK"
+}
+
+echo "== reference run (no daemon) =="
+"$SWEEPCTL" run "${SPEC[@]}" --threads=1 --csv-out="$WORK/reference.csv"
+
+echo "== counting run: learn N over a full submit/drain daemon cycle =="
+start_daemon "$WORK/count-state" "$WORK/serve-count.log" \
+  ULTRA_FAILPOINT_COUNT=1 ULTRA_FAILPOINT_REPORT="$WORK/ops.txt"
+wait_ready || fail "counting daemon never became ready"
+"$SWEEPCTL" submit --socket="$SOCK" "${SPEC[@]}" --detach --csv=chaos.csv \
+  --wait --timeout=30 >"$WORK/count-submit.log" 2>&1 \
+  || fail "counting-run submit failed"
+"$SWEEPCTL" shutdown --socket="$SOCK" --timeout=10
+wait "$SERVER_PID" || fail "counting daemon exited nonzero on drain"
+SERVER_PID=
+rm -f "$SOCK"
+N=$(awk '/^ops /{print $2}' "$WORK/ops.txt")
+[[ -n "$N" && "$N" -gt 0 ]] || fail "no op count in failpoint report"
+cmp -s "$WORK/reference.csv" "$WORK/count-state/chaos.csv" \
+  || fail "counting-run export differs from local reference"
+echo "daemon cycle performs N=$N seam ops; sampling $CHAOS_POINTS crash points"
+
+# Evenly spread sample of 1..N. chaos_test.cpp covers every k; here the
+# budget buys breadth across real process boundaries instead.
+STEP=$(( (N + CHAOS_POINTS - 1) / CHAOS_POINTS ))
+[[ "$STEP" -ge 1 ]] || STEP=1
+
+for K in $(seq 1 "$STEP" "$N"); do
+  CURRENT_K=$K
+  STATE="$WORK/state-k$K"
+  echo "== crash point k=$K of $N =="
+  start_daemon "$STATE" "$WORK/serve-k$K.log" \
+    ULTRA_FAILPOINT_CRASH_AT_OP="$K" ULTRA_FAILPOINT_CRASH_MODE=exit
+  ID=
+  if wait_ready; then
+    # The daemon may die under this client mid-frame: a short --timeout
+    # turns "hang on a dead daemon" into a clean client error.
+    SUBMIT_OUT=$("$SWEEPCTL" submit --socket="$SOCK" "${SPEC[@]}" --detach \
+      --csv=chaos.csv --wait --timeout=5 2>&1) || true
+    ID=$(sed -n 's/.*id=\([0-9][0-9]*\).*/\1/p' <<<"$SUBMIT_OUT" | head -1)
+  fi
+  # If op k lies beyond what the cycle reached (client finished first, or
+  # the daemon never came up far enough to serve it), deliver the crash the
+  # old-fashioned way so every iteration exercises recovery after death.
+  if kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=
+  rm -f "$SOCK"
+
+  # Recovery: a clean daemon on the wreckage. Start succeeding proves the
+  # crashed daemon's state-dir lock died with it and the journal healed.
+  start_daemon "$STATE" "$WORK/recover-k$K.log"
+  wait_ready || fail "k=$K: restart on crashed state dir failed"
+  "$SWEEPCTL" status --socket="$SOCK" --timeout=5 >"$WORK/status-k$K.txt"
+  if ! grep -Eq '^service\.recovered [1-9]' "$WORK/status-k$K.txt" \
+      && ! cmp -s "$WORK/reference.csv" "$STATE/chaos.csv"; then
+    # Crash predates durable admission: no ack, no promise -- resubmit.
+    SUBMIT_OUT=$("$SWEEPCTL" submit --socket="$SOCK" "${SPEC[@]}" --detach \
+      --csv=chaos.csv --timeout=10) \
+      || fail "k=$K: resubmit after recovery failed"
+    ID=$(sed -n 's/.*id=\([0-9][0-9]*\).*/\1/p' <<<"$SUBMIT_OUT" | head -1)
+  fi
+  # Converge on the export; detached work finishes on daemon time.
+  for _ in $(seq 1 200); do
+    cmp -s "$WORK/reference.csv" "$STATE/chaos.csv" && break
+    sleep 0.1
+  done
+  cmp -s "$WORK/reference.csv" "$STATE/chaos.csv" \
+    || fail "k=$K: recovered export differs from reference (request ${ID:-?})"
+  if ls "$STATE"/*.tmp.* >/dev/null 2>&1; then
+    fail "k=$K: orphaned .tmp files survived recovery"
+  fi
+  "$SWEEPCTL" shutdown --socket="$SOCK" --timeout=10
+  # Nonzero here is real (e.g. an ASan report on the recovery path).
+  wait "$SERVER_PID" || fail "k=$K: recovery daemon exited nonzero on drain"
+  SERVER_PID=
+  rm -f "$SOCK"
+done
+CURRENT_K=
+
+echo "CHAOS_SMOKE_PASS"

@@ -1,0 +1,296 @@
+#include "failpoint/failpoint.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace ultra::failpoint {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// SplitMix64: the same portable generator fault::FaultPlan::Random uses —
+/// identical probability schedules on every platform.
+std::uint64_t NextRng(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform [0, 1) from one SplitMix64 draw (53-bit mantissa).
+double NextUniform(std::uint64_t& state) {
+  return static_cast<double>(NextRng(state) >> 11) * 0x1.0p-53;
+}
+
+bool ParseKind(const std::string& name, ErrorKind* out) {
+  if (name == "eio") *out = ErrorKind::kEio;
+  else if (name == "enospc") *out = ErrorKind::kEnospc;
+  else if (name == "short") *out = ErrorKind::kShort;
+  else if (name == "torn") *out = ErrorKind::kTornWrite;
+  else if (name == "reset") *out = ErrorKind::kConnReset;
+  else if (name == "eof") *out = ErrorKind::kEof;
+  else if (name == "crash") *out = ErrorKind::kCrash;
+  else return false;
+  return true;
+}
+
+std::string g_report_path;  // Set once at startup from the environment.
+
+void WriteReportAtExit() {
+  if (g_report_path.empty()) return;
+  std::ofstream out(g_report_path);
+  if (out) Registry::Instance().WriteReport(out);
+}
+
+}  // namespace
+
+bool ParseScheduleSpec(const std::string& spec, Schedule* out) {
+  const std::size_t sep = spec.find_first_of("@%~");
+  if (sep == std::string::npos || sep == 0 || sep + 1 >= spec.size()) {
+    return false;
+  }
+  Schedule s;
+  if (!ParseKind(spec.substr(0, sep), &s.kind)) return false;
+  const std::string arg = spec.substr(sep + 1);
+  char* end = nullptr;
+  errno = 0;
+  switch (spec[sep]) {
+    case '@': {
+      s.nth = std::strtoull(arg.c_str(), &end, 10);
+      if (errno != 0 || end == arg.c_str() || *end != '\0' || s.nth == 0) {
+        return false;
+      }
+      s.max_fires = 1;
+      break;
+    }
+    case '%': {
+      s.every = std::strtoull(arg.c_str(), &end, 10);
+      if (errno != 0 || end == arg.c_str() || *end != '\0' || s.every == 0) {
+        return false;
+      }
+      break;
+    }
+    case '~': {
+      s.probability = std::strtod(arg.c_str(), &end);
+      if (errno != 0 || end == arg.c_str() ||
+          !(s.probability > 0.0 && s.probability <= 1.0)) {
+        return false;
+      }
+      if (*end == ':') {
+        char* seed_end = nullptr;
+        s.seed = std::strtoull(end + 1, &seed_end, 10);
+        if (seed_end == end + 1 || *seed_end != '\0') return false;
+      } else if (*end != '\0') {
+        return false;
+      }
+      break;
+    }
+    default:
+      return false;
+  }
+  *out = s;
+  return true;
+}
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();  // Leaked: outlives atexit.
+  return *instance;
+}
+
+namespace {
+
+/// Force-constructs the registry at program start when any env knob is set.
+/// The hot-path Enabled() check is a bare atomic load and never constructs
+/// the registry on its own, so without this a process that arms nothing
+/// programmatically would silently ignore the environment.
+const bool g_env_armed = [] {
+  for (const char* var :
+       {"ULTRA_FAILPOINT", "ULTRA_FAILPOINT_CRASH_AT_OP",
+        "ULTRA_FAILPOINT_COUNT", "ULTRA_FAILPOINT_REPORT"}) {
+    const char* value = std::getenv(var);
+    if (value != nullptr && *value != '\0') {
+      (void)Registry::Instance();
+      return true;
+    }
+  }
+  return false;
+}();
+
+}  // namespace
+
+Registry::Registry() {
+  // Environment arming happens exactly once, here, so subprocess harnesses
+  // (chaos_smoke.sh) can inject without recompiling or touching flags.
+  const char* spec = std::getenv("ULTRA_FAILPOINT");
+  if (spec != nullptr && *spec != '\0') {
+    std::string error;
+    if (!ArmSpec(spec, &error)) {
+      std::fprintf(stderr, "failpoint: bad ULTRA_FAILPOINT: %s\n",
+                   error.c_str());
+    }
+  }
+  const char* crash_at = std::getenv("ULTRA_FAILPOINT_CRASH_AT_OP");
+  if (crash_at != nullptr && *crash_at != '\0') {
+    const std::uint64_t op = std::strtoull(crash_at, nullptr, 10);
+    CrashMode mode = CrashMode::kExit;  // Env users are subprocess scripts.
+    const char* mode_str = std::getenv("ULTRA_FAILPOINT_CRASH_MODE");
+    if (mode_str != nullptr) {
+      if (std::strcmp(mode_str, "throw") == 0) mode = CrashMode::kThrow;
+      else if (std::strcmp(mode_str, "silent") == 0) mode = CrashMode::kSilent;
+      else if (std::strcmp(mode_str, "exit") != 0) {
+        std::fprintf(stderr, "failpoint: bad ULTRA_FAILPOINT_CRASH_MODE %s\n",
+                     mode_str);
+      }
+    }
+    if (op > 0) ArmCrashAtOp(op, mode);
+  }
+  const char* count = std::getenv("ULTRA_FAILPOINT_COUNT");
+  if (count != nullptr && *count != '\0' && std::strcmp(count, "0") != 0) {
+    EnableCounting();
+  }
+  const char* report = std::getenv("ULTRA_FAILPOINT_REPORT");
+  if (report != nullptr && *report != '\0') {
+    g_report_path = report;
+    EnableCounting();  // A report implies the seam must count.
+    std::atexit(WriteReportAtExit);
+  }
+}
+
+void Registry::Arm(const std::string& site, Schedule schedule) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    SiteState& state = sites_[site];
+    state.schedule = schedule;
+    state.armed = true;
+    state.rng = schedule.seed;
+    state.fires = 0;
+    // hits deliberately survive re-arming: "@N" counts from first contact.
+  }
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+bool Registry::ArmSpec(const std::string& spec, std::string* error) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) *error = "missing '=' in '" + entry + "'";
+      return false;
+    }
+    Schedule s;
+    if (!ParseScheduleSpec(entry.substr(eq + 1), &s)) {
+      if (error != nullptr) *error = "bad schedule in '" + entry + "'";
+      return false;
+    }
+    Arm(entry.substr(0, eq), s);
+  }
+  return true;
+}
+
+void Registry::ArmCrashAtOp(std::uint64_t op, CrashMode mode) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    crash_at_op_ = op;
+  }
+  crash_mode_.store(mode, std::memory_order_release);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void Registry::EnableCounting() {
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void Registry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sites_.clear();
+  op_count_.store(0, std::memory_order_release);
+  total_fires_ = 0;
+  crash_at_op_ = 0;
+  crashed_.store(false, std::memory_order_release);
+  detail::g_enabled.store(false, std::memory_order_release);
+}
+
+Decision Registry::OnOp(const char* site) {
+  Decision decision;
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t op =
+      op_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  decision.op = op;
+  SiteState& state = sites_[site];
+  ++state.hits;
+
+  if (crash_at_op_ != 0 && op == crash_at_op_) {
+    decision.crash = true;
+    ++state.fires;
+    ++total_fires_;
+    return decision;
+  }
+  if (!state.armed) return decision;
+
+  const Schedule& s = state.schedule;
+  bool fire = false;
+  if (s.nth != 0 && state.hits == s.nth) fire = true;
+  if (!fire && s.every != 0 && state.hits % s.every == 0) fire = true;
+  if (!fire && s.probability > 0.0 &&
+      NextUniform(state.rng) < s.probability) {
+    fire = true;
+  }
+  if (!fire || state.fires >= s.max_fires) return decision;
+
+  ++state.fires;
+  ++total_fires_;
+  if (s.kind == ErrorKind::kCrash) {
+    decision.crash = true;
+  } else {
+    decision.kind = s.kind;
+  }
+  return decision;
+}
+
+std::uint64_t Registry::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t Registry::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t Registry::total_fires() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_fires_;
+}
+
+void Registry::WriteReport(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "ops " << op_count_.load(std::memory_order_acquire) << "\n";
+  for (const auto& [name, state] : sites_) {
+    if (state.hits == 0 && !state.armed) continue;
+    os << "site " << name << " hits " << state.hits << " fires "
+       << state.fires << "\n";
+  }
+}
+
+}  // namespace ultra::failpoint

@@ -1,0 +1,274 @@
+#include "failpoint/io.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace ultra::failpoint {
+
+namespace {
+
+class RealIoImpl final : public Io {
+ public:
+  int Open(const char*, const char* path, int flags,
+           unsigned int mode) override {
+    return ::open(path, flags, mode);
+  }
+  ssize_t Read(const char*, int fd, void* buf, std::size_t count) override {
+    return ::read(fd, buf, count);
+  }
+  ssize_t Write(const char*, int fd, const void* buf,
+                std::size_t count) override {
+    return ::write(fd, buf, count);
+  }
+  int Fsync(const char*, int fd) override { return ::fsync(fd); }
+  int Ftruncate(const char*, int fd, off_t length) override {
+    return ::ftruncate(fd, length);
+  }
+  int Rename(const char*, const char* old_path,
+             const char* new_path) override {
+    return ::rename(old_path, new_path);
+  }
+  int Unlink(const char*, const char* path) override {
+    return ::unlink(path);
+  }
+  ssize_t Send(const char*, int fd, const void* buf, std::size_t len,
+               int flags) override {
+    return ::send(fd, buf, len, flags);
+  }
+  ssize_t Recv(const char*, int fd, void* buf, std::size_t len,
+               int flags) override {
+    return ::recv(fd, buf, len, flags);
+  }
+};
+
+class FaultyIoImpl final : public Io {
+ public:
+  int Open(const char* site, const char* path, int flags,
+           unsigned int mode) override {
+    Decision d;
+    if (!Check(site, &d)) {
+      errno = EIO;  // Post-crash: the "machine" is gone; nothing opens.
+      return -1;
+    }
+    if (d.crash) Crash(site, d);  // kSilent falls through to post-crash.
+    if (crashed()) {
+      errno = EIO;
+      return -1;
+    }
+    if (d.kind != ErrorKind::kNone) {
+      errno = ErrnoFor(d.kind);
+      return -1;
+    }
+    return ::open(path, flags, mode);
+  }
+
+  ssize_t Read(const char* site, int fd, void* buf,
+               std::size_t count) override {
+    Decision d;
+    if (!Check(site, &d)) {
+      errno = EIO;
+      return -1;
+    }
+    if (d.crash) Crash(site, d);
+    if (crashed()) {
+      errno = EIO;
+      return -1;
+    }
+    switch (d.kind) {
+      case ErrorKind::kNone:
+        return ::read(fd, buf, count);
+      case ErrorKind::kEof:
+        return 0;
+      case ErrorKind::kShort: {
+        const std::size_t n = count > 1 ? count / 2 : count;
+        return ::read(fd, buf, n);
+      }
+      default:
+        errno = ErrnoFor(d.kind);
+        return -1;
+    }
+  }
+
+  ssize_t Write(const char* site, int fd, const void* buf,
+                std::size_t count) override {
+    Decision d;
+    if (!Check(site, &d)) return static_cast<ssize_t>(count);  // No-op "ok".
+    if (d.crash) {
+      // A crash mid-write leaves a torn prefix on disk — write it for real
+      // before dying so recovery faces what a power cut actually produces.
+      TornPrefixWrite(fd, buf, count);
+      Crash(site, d);
+      return static_cast<ssize_t>(count);  // kSilent: claim success.
+    }
+    switch (d.kind) {
+      case ErrorKind::kNone:
+        return ::write(fd, buf, count);
+      case ErrorKind::kShort: {
+        const std::size_t n = count > 1 ? count / 2 : count;
+        return ::write(fd, buf, n);
+      }
+      case ErrorKind::kTornWrite:
+        TornPrefixWrite(fd, buf, count);
+        errno = EIO;
+        return -1;
+      default:
+        errno = ErrnoFor(d.kind);
+        return -1;
+    }
+  }
+
+  int Fsync(const char* site, int fd) override {
+    return IntOp(site, [&] { return ::fsync(fd); });
+  }
+  int Ftruncate(const char* site, int fd, off_t length) override {
+    return IntOp(site, [&] { return ::ftruncate(fd, length); });
+  }
+  int Rename(const char* site, const char* old_path,
+             const char* new_path) override {
+    return IntOp(site, [&] { return ::rename(old_path, new_path); });
+  }
+  int Unlink(const char* site, const char* path) override {
+    return IntOp(site, [&] { return ::unlink(path); });
+  }
+
+  ssize_t Send(const char* site, int fd, const void* buf, std::size_t len,
+               int flags) override {
+    Decision d;
+    if (!Check(site, &d)) return static_cast<ssize_t>(len);  // No-op "ok".
+    if (d.crash) {
+      TornPrefixSend(fd, buf, len, flags);
+      Crash(site, d);
+      return static_cast<ssize_t>(len);
+    }
+    switch (d.kind) {
+      case ErrorKind::kNone:
+        return ::send(fd, buf, len, flags);
+      case ErrorKind::kShort: {
+        const std::size_t n = len > 1 ? len / 2 : len;
+        return ::send(fd, buf, n, flags);
+      }
+      case ErrorKind::kTornWrite:
+        TornPrefixSend(fd, buf, len, flags);
+        errno = ECONNRESET;
+        return -1;
+      default:
+        errno = ErrnoFor(d.kind);
+        return -1;
+    }
+  }
+
+  ssize_t Recv(const char* site, int fd, void* buf, std::size_t len,
+               int flags) override {
+    Decision d;
+    if (!Check(site, &d)) {
+      errno = EIO;
+      return -1;
+    }
+    if (d.crash) Crash(site, d);
+    if (crashed()) {
+      errno = EIO;
+      return -1;
+    }
+    switch (d.kind) {
+      case ErrorKind::kNone:
+        return ::recv(fd, buf, len, flags);
+      case ErrorKind::kEof:
+        return 0;
+      case ErrorKind::kShort: {
+        const std::size_t n = len > 1 ? len / 2 : len;
+        return ::recv(fd, buf, n, flags);
+      }
+      default:
+        errno = ErrnoFor(d.kind);
+        return -1;
+    }
+  }
+
+ private:
+  static bool crashed() { return Registry::Instance().crashed(); }
+
+  /// Consults the registry unless the process already "crashed" (kThrow /
+  /// kSilent), in which case ops are frozen: returns false and the caller
+  /// applies post-crash semantics (writes no-op "ok", reads fail EIO).
+  static bool Check(const char* site, Decision* d) {
+    Registry& reg = Registry::Instance();
+    if (reg.crashed()) return false;
+    *d = reg.OnOp(site);
+    return true;
+  }
+
+  /// Carries out a crash decision. kExit never returns; kThrow throws
+  /// CrashInjected; kSilent latches crashed() and returns, after which the
+  /// caller serves post-crash semantics for this and every later op.
+  [[noreturn]] static void CrashExit() { ::_exit(137); }
+  static void Crash(const char* site, const Decision& d) {
+    Registry& reg = Registry::Instance();
+    switch (reg.crash_mode()) {
+      case CrashMode::kExit:
+        CrashExit();
+      case CrashMode::kThrow:
+        reg.MarkCrashed();
+        throw CrashInjected{site, d.op};
+      case CrashMode::kSilent:
+        reg.MarkCrashed();
+        return;
+    }
+  }
+
+  static void TornPrefixWrite(int fd, const void* buf, std::size_t count) {
+    const std::size_t torn = count / 2;
+    if (torn > 0) {
+      [[maybe_unused]] ssize_t rc = ::write(fd, buf, torn);
+    }
+  }
+  static void TornPrefixSend(int fd, const void* buf, std::size_t len,
+                             int flags) {
+    const std::size_t torn = len / 2;
+    if (torn > 0) {
+      [[maybe_unused]] ssize_t rc = ::send(fd, buf, torn, flags);
+    }
+  }
+
+  static int ErrnoFor(ErrorKind kind) {
+    switch (kind) {
+      case ErrorKind::kEnospc:
+        return ENOSPC;
+      case ErrorKind::kConnReset:
+        return ECONNRESET;
+      default:
+        return EIO;
+    }
+  }
+
+  template <typename Fn>
+  static int IntOp(const char* site, Fn&& real) {
+    Decision d;
+    if (!Check(site, &d)) return 0;  // Post-crash: no-op, claim success.
+    if (d.crash) {
+      Crash(site, d);
+      return 0;  // kSilent: the op never reached disk, but "succeeded".
+    }
+    if (d.kind != ErrorKind::kNone) {
+      errno = ErrnoFor(d.kind);
+      return -1;
+    }
+    return real();
+  }
+};
+
+}  // namespace
+
+Io& RealIo() {
+  static RealIoImpl io;
+  return io;
+}
+
+Io& FaultyIo() {
+  static FaultyIoImpl io;
+  return io;
+}
+
+}  // namespace ultra::failpoint

@@ -1,0 +1,58 @@
+// The injectable I/O seam the failpoint registry acts through.
+//
+// Every durability-critical syscall in src/persist and src/service goes
+// through ActiveIo() with a site name ("journal.append.write",
+// "atomic.rename", "protocol.recv", ...). With the registry disabled — the
+// production state — ActiveIo() costs one relaxed atomic load and returns
+// the passthrough RealIo. With it enabled, FaultyIo consults
+// Registry::OnOp(site) per call and injects the scheduled error, torn
+// transfer, or crash; after a simulated crash (CrashMode::kThrow/kSilent)
+// every later seam call becomes a no-op so the on-disk state stays frozen
+// exactly as the crash left it.
+//
+// All methods mirror POSIX: return -1 (or 0 for eof) and set errno on
+// failure; callers keep their existing errno-based error handling.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+#include "failpoint/failpoint.hpp"
+
+namespace ultra::failpoint {
+
+/// Abstract seam over the POSIX calls the persist/service stack depends on
+/// for durability. Each method takes the failpoint site name first.
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  virtual int Open(const char* site, const char* path, int flags,
+                   unsigned int mode) = 0;
+  virtual ssize_t Read(const char* site, int fd, void* buf,
+                       std::size_t count) = 0;
+  virtual ssize_t Write(const char* site, int fd, const void* buf,
+                        std::size_t count) = 0;
+  virtual int Fsync(const char* site, int fd) = 0;
+  virtual int Ftruncate(const char* site, int fd, off_t length) = 0;
+  virtual int Rename(const char* site, const char* old_path,
+                     const char* new_path) = 0;
+  virtual int Unlink(const char* site, const char* path) = 0;
+  virtual ssize_t Send(const char* site, int fd, const void* buf,
+                       std::size_t len, int flags) = 0;
+  virtual ssize_t Recv(const char* site, int fd, void* buf, std::size_t len,
+                       int flags) = 0;
+};
+
+/// Straight passthrough to the syscalls (with EINTR left to the callers,
+/// exactly as before the seam existed).
+Io& RealIo();
+
+/// The injecting implementation; consults Registry::OnOp per call.
+Io& FaultyIo();
+
+/// What callers use: RealIo() until something arms the registry.
+inline Io& ActiveIo() { return Enabled() ? FaultyIo() : RealIo(); }
+
+}  // namespace ultra::failpoint

@@ -6,13 +6,16 @@
 #include <cerrno>
 #include <cstring>
 
+#include "failpoint/io.hpp"
+
 namespace ultra::persist {
 
 JournalWriter::JournalWriter(const std::string& path, bool truncate)
     : path_(path) {
+  auto& io = failpoint::ActiveIo();
   int flags = O_WRONLY | O_CREAT | O_APPEND;
   if (truncate) flags |= O_TRUNC;
-  fd_ = ::open(path.c_str(), flags, 0644);
+  fd_ = io.Open("journal.open", path.c_str(), flags, 0644);
   if (fd_ < 0) {
     throw std::runtime_error("cannot open journal " + path + ": " +
                              std::strerror(errno));
@@ -24,7 +27,7 @@ JournalWriter::JournalWriter(const std::string& path, bool truncate)
                               : path.substr(0, slash == 0 ? 1 : slash);
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {
-    ::fsync(dfd);
+    io.Fsync("journal.dirsync", dfd);
     ::close(dfd);
   }
 }
@@ -54,25 +57,29 @@ void JournalWriter::Append(std::uint32_t type,
   // frame on disk. Readers stop at the first bad frame, so leaving the torn
   // bytes in place would silently orphan every record appended afterwards.
   // Roll the file back to its pre-append length before reporting failure.
+  auto& io = failpoint::ActiveIo();
   const off_t pre_size = ::lseek(fd_, 0, SEEK_END);
   const auto fail = [&](const char* what) {
     const int saved_errno = errno;
-    if (pre_size >= 0 && ::ftruncate(fd_, pre_size) == 0) {
-      ::fsync(fd_);  // Make the rollback itself durable (best-effort).
+    if (pre_size >= 0 &&
+        io.Ftruncate("journal.rollback.truncate", fd_, pre_size) == 0) {
+      // Make the rollback itself durable (best-effort).
+      io.Fsync("journal.rollback.fsync", fd_);
     }
     throw std::runtime_error(std::string(what) + " journal " + path_ + ": " +
                              std::strerror(saved_errno));
   };
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    const ssize_t n = io.Write("journal.append.write", fd_,
+                               bytes.data() + off, bytes.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       fail("cannot append to");
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0) fail("cannot fsync");
+  if (io.Fsync("journal.append.fsync", fd_) != 0) fail("cannot fsync");
 }
 
 JournalScan ScanJournal(const std::string& path) {
@@ -122,18 +129,20 @@ std::vector<JournalRecord> ReadJournal(const std::string& path) {
 std::uint64_t RepairJournal(const std::string& path) {
   const JournalScan scan = ScanJournal(path);
   if (scan.discarded_bytes == 0) return 0;
-  const int fd = ::open(path.c_str(), O_WRONLY);
+  auto& io = failpoint::ActiveIo();
+  const int fd = io.Open("journal.repair.open", path.c_str(), O_WRONLY, 0);
   if (fd < 0) {
     throw std::runtime_error("cannot open journal " + path +
                              " for repair: " + std::strerror(errno));
   }
-  if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+  if (io.Ftruncate("journal.repair.truncate", fd,
+                   static_cast<off_t>(scan.valid_bytes)) != 0) {
     const int saved_errno = errno;
     ::close(fd);
     throw std::runtime_error("cannot truncate journal " + path + ": " +
                              std::strerror(saved_errno));
   }
-  ::fsync(fd);
+  io.Fsync("journal.repair.fsync", fd);
   ::close(fd);
   return scan.discarded_bytes;
 }

@@ -1,13 +1,17 @@
 #include "persist/serial.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include "failpoint/io.hpp"
 
 namespace ultra::persist {
 
@@ -119,31 +123,64 @@ void SyncParentDir(const std::string& path) {
 
 void AtomicWriteFile(const std::string& path,
                      std::span<const std::uint8_t> data) {
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  auto& io = failpoint::ActiveIo();
+  // Unique per-writer temp name: a fixed `path + ".tmp"` would let two
+  // concurrent writers to the same destination interleave bytes in one tmp
+  // file. O_EXCL guarantees exclusivity; the counter disambiguates writers
+  // within a process, the pid across processes.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  int fd = -1;
+  std::string tmp;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+          std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
+    fd = io.Open("atomic.open", tmp.c_str(),
+                 O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0 || errno != EEXIST) break;  // EEXIST = stale orphan; retry.
+  }
   if (fd < 0) ThrowErrno("cannot create", tmp);
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    const ssize_t n =
+        io.Write("atomic.write", fd, data.data() + off, data.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int saved_errno = errno;
       ::close(fd);
-      ::unlink(tmp.c_str());
+      io.Unlink("atomic.unlink", tmp.c_str());
+      errno = saved_errno;
       ThrowErrno("cannot write", tmp);
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (io.Fsync("atomic.fsync", fd) != 0) {
+    const int saved_errno = errno;
     ::close(fd);
-    ::unlink(tmp.c_str());
+    io.Unlink("atomic.unlink", tmp.c_str());
+    errno = saved_errno;
     ThrowErrno("cannot fsync", tmp);
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
+  if (io.Rename("atomic.rename", tmp.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
+    io.Unlink("atomic.unlink", tmp.c_str());
+    errno = saved_errno;
     ThrowErrno("cannot rename over", path);
   }
   SyncParentDir(path);
+}
+
+std::size_t RemoveStaleTmpFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  std::size_t removed = 0;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.find(".tmp.") == std::string::npos) continue;
+    if (::unlink((dir + "/" + name).c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 void AtomicWriteFile(const std::string& path, std::string_view text) {
@@ -154,12 +191,13 @@ void AtomicWriteFile(const std::string& path, std::string_view text) {
 }
 
 std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  auto& io = failpoint::ActiveIo();
+  const int fd = io.Open("file.open.read", path.c_str(), O_RDONLY, 0);
   if (fd < 0) throw FormatError("cannot open " + path);
   std::vector<std::uint8_t> data;
   std::uint8_t buf[1 << 16];
   for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof buf);
+    const ssize_t n = io.Read("file.read", fd, buf, sizeof buf);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);

@@ -90,11 +90,20 @@ class Decoder {
 
 /// Writes @p data to @p path atomically and durably: a temp file in the same
 /// directory is written, fsync'd, renamed over @p path, and the directory is
-/// fsync'd. Readers never observe a half-written artifact. Throws
+/// fsync'd. Readers never observe a half-written artifact. The temp name is
+/// unique per writer (`<path>.tmp.<pid>.<seq>`, opened O_EXCL), so
+/// concurrent writers to the same destination cannot clobber each other's
+/// in-flight bytes, and it is unlinked on every error path. Throws
 /// std::runtime_error on any I/O failure.
 void AtomicWriteFile(const std::string& path,
                      std::span<const std::uint8_t> data);
 void AtomicWriteFile(const std::string& path, std::string_view text);
+
+/// Removes orphaned AtomicWriteFile temp files (`*.tmp.*`) left in @p dir by
+/// a writer that crashed between create and rename. Restart paths
+/// (SweepService::Start, the chaos harness's recovery step) call this before
+/// trusting the directory's contents. Returns the number removed.
+std::size_t RemoveStaleTmpFiles(const std::string& dir);
 
 /// Reads a whole file; throws FormatError when it cannot be opened.
 [[nodiscard]] std::vector<std::uint8_t> ReadFileBytes(const std::string& path);

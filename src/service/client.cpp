@@ -5,16 +5,47 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
 namespace ultra::service {
 
-SweepClient::SweepClient(const std::string& socket_path) {
+namespace {
+
+/// Converts a seconds deadline to the timeval SO_SNDTIMEO/SO_RCVTIMEO want.
+/// Sub-microsecond positives round up to 1us instead of truncating to
+/// "block forever".
+timeval ToTimeval(double seconds) {
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - std::floor(seconds)) * 1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  return tv;
+}
+
+}  // namespace
+
+SweepClient::SweepClient(const std::string& socket_path,
+                         const ClientOptions& options) {
   fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     throw std::runtime_error(std::string("cannot create socket: ") +
                              std::strerror(errno));
+  }
+  // Deadlines are kernel-level socket options, deliberately *below* the
+  // failpoint seam: a chaos run that freezes the daemon's sends must still
+  // see this client time out rather than hang the harness.
+  if (options.connect_timeout_seconds > 0.0) {
+    const timeval tv = ToTimeval(options.connect_timeout_seconds);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (options.recv_timeout_seconds > 0.0) {
+    const timeval tv = ToTimeval(options.recv_timeout_seconds);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -29,6 +60,10 @@ SweepClient::SweepClient(const std::string& socket_path) {
     const int saved_errno = errno;
     ::close(fd_);
     fd_ = -1;
+    if (saved_errno == EAGAIN || saved_errno == EWOULDBLOCK ||
+        saved_errno == EINPROGRESS || saved_errno == ETIMEDOUT) {
+      throw TimeoutError("connect to " + socket_path + " timed out");
+    }
     throw std::runtime_error("cannot connect to " + socket_path + ": " +
                              std::strerror(saved_errno));
   }

@@ -16,11 +16,27 @@
 
 namespace ultra::service {
 
+/// Deadlines for one client connection. 0 = block forever (the historical
+/// behavior). A breached deadline surfaces as TimeoutError, distinct from
+/// the runtime_error a dead daemon produces, so callers can tell a *hung*
+/// daemon (kill it, page someone) from an absent one (start it).
+struct ClientOptions {
+  /// Applies to connect() and every frame write (SO_SNDTIMEO: on Linux the
+  /// send timeout also bounds the connect handshake).
+  double connect_timeout_seconds = 0.0;
+  /// Applies to every frame read (SO_RCVTIMEO). Note Wait() replies
+  /// legitimately take as long as the sweep runs — size this to the
+  /// longest request you will wait on, or wait in a retry loop.
+  double recv_timeout_seconds = 0.0;
+};
+
 class SweepClient {
  public:
   /// Connects to the daemon's unix-domain socket. Throws std::runtime_error
-  /// when the socket is absent or refuses (no daemon running).
-  explicit SweepClient(const std::string& socket_path);
+  /// when the socket is absent or refuses (no daemon running), and
+  /// TimeoutError when options.connect_timeout_seconds expires first.
+  explicit SweepClient(const std::string& socket_path,
+                       const ClientOptions& options = {});
   ~SweepClient();
   SweepClient(const SweepClient&) = delete;
   SweepClient& operator=(const SweepClient&) = delete;

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "core/config_codec.hpp"
+#include "failpoint/io.hpp"
 #include "isa/program_codec.hpp"
 
 namespace ultra::service {
@@ -15,13 +16,18 @@ namespace ultra::service {
 namespace {
 
 void SendAll(int fd, const std::uint8_t* data, std::size_t size) {
+  auto& io = failpoint::ActiveIo();
   std::size_t off = 0;
   while (off < size) {
     // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
     // not as a SIGPIPE that kills the daemon.
-    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    const ssize_t n =
+        io.Send("protocol.send", fd, data + off, size - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("socket write timed out");
+      }
       throw std::runtime_error(std::string("socket write failed: ") +
                                std::strerror(errno));
     }
@@ -30,13 +36,18 @@ void SendAll(int fd, const std::uint8_t* data, std::size_t size) {
 }
 
 /// Reads exactly @p size bytes. Returns false on EOF at offset 0 (clean
-/// close between frames); throws on EOF mid-buffer or I/O error.
+/// close between frames); throws on EOF mid-buffer or I/O error, and
+/// TimeoutError when the fd has SO_RCVTIMEO set and the deadline passes.
 bool RecvExact(int fd, std::uint8_t* data, std::size_t size) {
+  auto& io = failpoint::ActiveIo();
   std::size_t off = 0;
   while (off < size) {
-    const ssize_t n = ::recv(fd, data + off, size - off, 0);
+    const ssize_t n = io.Recv("protocol.recv", fd, data + off, size - off, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("socket read timed out");
+      }
       throw std::runtime_error(std::string("socket read failed: ") +
                                std::strerror(errno));
     }

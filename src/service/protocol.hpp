@@ -57,6 +57,15 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// A socket read or write exceeded the peer's configured deadline
+/// (SO_RCVTIMEO / SO_SNDTIMEO). Distinct from generic I/O failure so a
+/// client can tell "the daemon is hung" from "the daemon is gone" and react
+/// differently (retry vs rebuild the connection).
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Writes one framed message to @p fd (send with MSG_NOSIGNAL: a vanished
 /// peer yields EPIPE, not a process-killing SIGPIPE). Throws
 /// std::runtime_error on I/O failure or oversize payload.

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "core/config_codec.hpp"
+#include "failpoint/io.hpp"
 #include "isa/program_codec.hpp"
 #include "persist/journal.hpp"
 #include "runtime/sweep_io.hpp"
@@ -132,32 +133,60 @@ void SweepService::Start() {
                              " is locked by another daemon");
   }
 
-  RecoverFromJournal();
+  // Everything below can throw (journal repair, bind, injected I/O
+  // failures). The lock and any half-initialized fds must be released on
+  // the way out, or Stop() — which early-returns while !running_ — would
+  // never free them and every later Start() on this state dir would see
+  // "locked by another daemon" from our own leaked flock.
+  try {
+    // Sweep AtomicWriteFile droppings from a crashed predecessor: a tmp
+    // file that never reached its rename is garbage (the rename is the
+    // commit point), and leaving it would accumulate per crash forever.
+    counters_.tmp_files_removed +=
+        persist::RemoveStaleTmpFiles(options_.state_dir);
 
-  // Reopen the (now self-healed) request journal for appending.
-  request_journal_ = std::make_unique<persist::JournalWriter>(
-      options_.state_dir + "/requests.journal", /*truncate=*/false);
+    RecoverFromJournal();
 
-  // A socket file left behind by a crashed daemon would make bind() fail;
-  // the state-dir lock above already guarantees no live daemon owns it.
-  ::unlink(options_.socket_path.c_str());
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("cannot create socket: ") +
-                             std::strerror(errno));
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + options_.socket_path);
-  }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    throw std::runtime_error("cannot bind/listen on " + options_.socket_path +
-                             ": " + std::strerror(errno));
+    // Reopen the (now self-healed) request journal for appending.
+    request_journal_ = std::make_unique<persist::JournalWriter>(
+        options_.state_dir + "/requests.journal", /*truncate=*/false);
+
+    // A socket file left behind by a crashed daemon would make bind()
+    // fail; the state-dir lock above already guarantees no live daemon
+    // owns it.
+    ::unlink(options_.socket_path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error(std::string("cannot create socket: ") +
+                               std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " +
+                               options_.socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      throw std::runtime_error("cannot bind/listen on " +
+                               options_.socket_path + ": " +
+                               std::strerror(errno));
+    }
+  } catch (...) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    request_journal_.reset();
+    requests_.clear();
+    queue_.clear();
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw;
   }
 
   stopping_.store(false, std::memory_order_release);
@@ -690,7 +719,8 @@ void SweepService::Execute(const std::shared_ptr<Request>& request) {
       // was written under different outcome-affecting options. Discard it
       // and run fresh — stale partial results must never leak into this
       // request's artifact.
-      ::unlink(journal_path.c_str());
+      failpoint::ActiveIo().Unlink("service.journal.unlink",
+                                   journal_path.c_str());
       report = runner.Resume(request->submit.points, journal_path);
     }
   } catch (const std::exception& e) {
@@ -834,7 +864,10 @@ void SweepService::FinalizeLocked(const std::shared_ptr<Request>& request,
   if (state != RequestState::kFailed) {
     // The per-point journal has served its purpose. A failed request keeps
     // its journal for postmortem (the done record already prevents resume).
-    ::unlink(RequestJournalPath(request->id).c_str());
+    // Seamed: a simulated crash must freeze this unlink too, or the harness
+    // would observe recovery state a real crash leaves behind being deleted.
+    failpoint::ActiveIo().Unlink("service.journal.unlink",
+                                 RequestJournalPath(request->id).c_str());
   }
   PruneRetainedLocked();
   done_cv_.notify_all();
@@ -915,6 +948,7 @@ std::string SweepService::MetricsText() const {
   counter("service.recovered", counters_.recovered);
   counter("service.disconnect_cancels", counters_.disconnect_cancels);
   counter("service.journal_repaired_bytes", counters_.journal_repaired_bytes);
+  counter("service.tmp_files_removed", counters_.tmp_files_removed);
   gauge("service.queue_depth", queue_.size());
   gauge("service.active", active_ != nullptr ? 1 : 0);
   snapshot.MergeFrom(runner_metrics_);

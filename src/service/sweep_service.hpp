@@ -141,6 +141,7 @@ class SweepService {
     std::uint64_t recovered = 0;           // Re-queued at Start().
     std::uint64_t disconnect_cancels = 0;  // Orphaned attached requests.
     std::uint64_t journal_repaired_bytes = 0;
+    std::uint64_t tmp_files_removed = 0;   // Orphaned .tmp.* swept at Start().
   };
   [[nodiscard]] Counters counters() const;
   [[nodiscard]] std::size_t queue_depth() const;

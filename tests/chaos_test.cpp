@@ -1,0 +1,429 @@
+// Crash-point chaos harness: turns "crash-safe" from a hand-reasoned claim
+// into an exhaustively enumerated property.
+//
+// Method, per workload: run once uninterrupted with the failpoint seam in
+// counting mode to learn N, the total number of durability-relevant I/O
+// operations (journal writes/fsyncs, atomic-export steps, socket frame
+// I/O). Then for every k in 1..N re-run with crash-at-op = k in *silent*
+// mode — the process keeps running, but at op k the simulated machine dies:
+// every later seam operation is a no-op, so the on-disk state freezes
+// exactly as a power cut at that instant would leave it (including the torn
+// half-written prefix of the op itself). Disarm, restart/resume on the
+// frozen state, and assert the PR 5 / PR 8 invariants at every single k:
+//
+//   * the journal self-heals to the last whole frame (no discarded bytes
+//     remain after recovery),
+//   * the recovered export is byte-identical to the uninterrupted run's,
+//   * no torn or orphaned `.tmp.` files survive recovery,
+//   * the daemon's state-dir lock is released (a new daemon can start).
+//
+// scripts/chaos_smoke.sh runs the same enumeration with CrashMode::kExit
+// (_exit(137) mid-syscall — a literal kill -9) against real subprocesses;
+// this file keeps the full enumeration under gtest and ASan. The service
+// enumeration is a *universal* property: thread interleaving may shift
+// which operation is the k-th, but whichever op the crash lands on, the
+// recovery contract must hold.
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "failpoint/failpoint.hpp"
+#include "failpoint/io.hpp"
+#include "isa/assembler.hpp"
+#include "persist/journal.hpp"
+#include "persist/serial.hpp"
+#include "runtime/sweep_io.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/sweep_service.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ultra {
+namespace {
+
+namespace fp = failpoint;
+using core::ProcessorKind;
+
+class TempDir {
+ public:
+  TempDir() {
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("ultra_chaos_") + info->name());
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+  [[nodiscard]] std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Whole-test guard: no enumeration step may leak an armed failpoint.
+class ChaosTest : public testing::Test {
+ protected:
+  ChaosTest() { fp::Registry::Instance().Reset(); }
+  ~ChaosTest() override { fp::Registry::Instance().Reset(); }
+};
+
+std::vector<runtime::SweepPoint> SmallSweep() {
+  const auto program =
+      std::make_shared<const isa::Program>(workloads::Fibonacci(9));
+  std::vector<runtime::SweepPoint> points;
+  for (const int window : {8, 16}) {
+    runtime::SweepPoint p;
+    p.kind = ProcessorKind::kUltrascalarI;
+    p.config.window_size = window;
+    p.program = program;
+    p.workload = "fib";
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> TmpDroppings(const std::string& dir) {
+  std::vector<std::string> out;
+  if (!std::filesystem::is_directory(dir)) return out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) out.push_back(name);
+  }
+  return out;
+}
+
+/// True when the flock on <state_dir>/lock is free — i.e. no daemon (alive
+/// or leaked) holds the state directory.
+bool StateLockReleased(const std::string& state_dir) {
+  const int fd = ::open((state_dir + "/lock").c_str(), O_RDWR);
+  if (fd < 0) return true;  // No lock file = nothing holds it.
+  const bool free = ::flock(fd, LOCK_EX | LOCK_NB) == 0;
+  if (free) ::flock(fd, LOCK_UN);
+  ::close(fd);
+  return free;
+}
+
+// --- Journaled sweep: every crash point ------------------------------------
+
+TEST_F(ChaosTest, JournaledSweepRecoversAtEveryCrashPoint) {
+  TempDir tmp;
+  fp::Registry& reg = fp::Registry::Instance();
+  const std::vector<runtime::SweepPoint> points = SmallSweep();
+  runtime::SweepOptions options;
+  options.num_threads = 1;  // Deterministic op order: every k fires.
+  const runtime::SweepRunner runner(options);
+
+  const auto export_csv = [](const runtime::SweepReport& report,
+                             const std::string& csv_path) {
+    std::ostringstream os;
+    runtime::WriteCsv(os, report.outcomes);
+    persist::AtomicWriteFile(csv_path, os.str());
+  };
+
+  // Counting pass: the uninterrupted run, seam enabled only to count. N is
+  // the number of crash candidates to enumerate.
+  reg.EnableCounting();
+  export_csv(runner.RunJournaled(points, tmp.File("ref.journal")),
+             tmp.File("ref.csv"));
+  const std::uint64_t n_ops = reg.ops();
+  const std::string ref_csv = ReadFileText(tmp.File("ref.csv"));
+  reg.Reset();
+  ASSERT_GT(n_ops, 10u) << "the seam should see journal + export traffic";
+  ASSERT_FALSE(ref_csv.empty());
+
+  for (std::uint64_t k = 1; k <= n_ops; ++k) {
+    SCOPED_TRACE("crash at op " + std::to_string(k) + " of " +
+                 std::to_string(n_ops));
+    const std::string dir = tmp.File("k" + std::to_string(k));
+    std::filesystem::create_directories(dir);
+    const std::string journal_path = dir + "/sweep.journal";
+    const std::string csv_path = dir + "/out.csv";
+
+    // Crash phase. Silent mode: no exception at the crash op itself, but
+    // I/O that *observes* the dead machine (opens, reads) fails, so the
+    // run may legitimately abort partway — exactly like a real crash.
+    reg.Reset();
+    reg.ArmCrashAtOp(k, fp::CrashMode::kSilent);
+    try {
+      export_csv(runner.RunJournaled(points, journal_path), csv_path);
+    } catch (const std::exception&) {
+    }
+    EXPECT_TRUE(reg.crashed()) << "single-threaded runs are deterministic: "
+                                  "op k must be reached";
+    reg.Reset();
+
+    // Recovery phase, on the frozen wreckage: sweep tmp droppings (what a
+    // restarting daemon does), resume from whatever the journal holds,
+    // re-export.
+    persist::RemoveStaleTmpFiles(dir);
+    const runtime::SweepReport resumed = runner.Resume(points, journal_path);
+    export_csv(resumed, csv_path);
+
+    EXPECT_EQ(ReadFileText(csv_path), ref_csv)
+        << "recovered export must be byte-identical to the uninterrupted run";
+    EXPECT_EQ(persist::ScanJournal(journal_path).discarded_bytes, 0u)
+        << "journal must have self-healed to the last whole frame";
+    EXPECT_TRUE(TmpDroppings(dir).empty())
+        << "no torn/orphaned .tmp files may survive recovery";
+  }
+}
+
+// --- Service submit/restart cycle: every crash point -----------------------
+
+TEST_F(ChaosTest, ServiceSubmitRestartRecoversAtEveryCrashPoint) {
+  TempDir tmp;
+  fp::Registry& reg = fp::Registry::Instance();
+  const std::vector<runtime::SweepPoint> points = SmallSweep();
+
+  const auto make_options = [&](const std::string& tag) {
+    service::ServiceOptions options;
+    std::filesystem::create_directories(tmp.File(tag));
+    options.socket_path = tmp.File(tag + "/svc.sock");
+    options.state_dir = tmp.File(tag + "/state");
+    options.max_queue = 4;
+    options.drain_timeout_seconds = 10.0;
+    options.sweep.num_threads = 1;
+    return options;
+  };
+  const auto make_request = [&] {
+    service::SubmitRequest request;
+    request.points = points;
+    request.detach = true;  // Must survive both its client and the daemon.
+    request.csv_name = "out.csv";
+    return request;
+  };
+  service::ClientOptions client_options;
+  client_options.connect_timeout_seconds = 5.0;
+  // The crash freezes the daemon's sends; this deadline is what turns
+  // "harness hangs forever on a dead daemon" into a caught TimeoutError.
+  client_options.recv_timeout_seconds = 5.0;
+
+  // Counting pass: uninterrupted submit → wait → drain-stop cycle.
+  reg.EnableCounting();
+  const auto ref_options = make_options("ref");
+  {
+    service::SweepService svc(ref_options);
+    svc.Start();
+    service::SweepClient client(ref_options.socket_path, client_options);
+    const service::SubmitReply submitted = client.Submit(make_request());
+    ASSERT_EQ(submitted.status, service::AdmitStatus::kAccepted);
+    const service::WaitReply done =
+        client.Wait(service::WaitRequest{submitted.request_id, false, false});
+    ASSERT_EQ(done.state, service::RequestState::kDone);
+    svc.Stop(/*drain=*/true);
+  }
+  const std::uint64_t n_ops = reg.ops();
+  const std::string ref_csv =
+      ReadFileText(ref_options.state_dir + "/out.csv");
+  reg.Reset();
+  ASSERT_GT(n_ops, 20u) << "the seam should see frame + journal + export "
+                           "traffic";
+  ASSERT_FALSE(ref_csv.empty());
+
+  for (std::uint64_t k = 1; k <= n_ops; ++k) {
+    SCOPED_TRACE("crash at op " + std::to_string(k) + " of " +
+                 std::to_string(n_ops));
+    const auto options = make_options("k" + std::to_string(k));
+    const std::string csv_path = options.state_dir + "/out.csv";
+
+    // Crash phase: the daemon (and the client — same process, same frozen
+    // seam) dies at op k, wherever that lands this run: admission journal
+    // append, per-request journal, export rename, reply send, ...
+    reg.Reset();
+    reg.ArmCrashAtOp(k, fp::CrashMode::kSilent);
+    std::uint64_t request_id = 0;
+    {
+      service::SweepService svc(options);
+      bool started = false;
+      try {
+        svc.Start();
+        started = true;
+      } catch (const std::exception&) {
+        // Crash landed inside Start() itself (journal open/repair): the
+        // daemon never came up. Start()'s failure path must still have
+        // released the state-dir lock — recovery below proves it.
+      }
+      if (started) {
+        try {
+          service::SweepClient client(options.socket_path, client_options);
+          const service::SubmitReply submitted =
+              client.Submit(make_request());
+          if (submitted.status == service::AdmitStatus::kAccepted) {
+            request_id = submitted.request_id;
+            (void)client.Wait(
+                service::WaitRequest{request_id, false, false});
+          }
+        } catch (const std::exception&) {
+          // TimeoutError, EOF, EIO...: all valid faces of a dead daemon.
+        }
+        svc.Stop(/*drain=*/false);
+      }
+    }
+    reg.Reset();
+    ASSERT_TRUE(StateLockReleased(options.state_dir))
+        << "a crashed/failed daemon must not leave the state dir locked";
+
+    // Recovery phase: a fresh daemon on the same state dir. Start() sweeps
+    // orphaned tmp files, self-heals the request journal, and re-queues
+    // whatever was admitted but unfinished.
+    service::SweepService recovered(options);
+    recovered.Start();
+    const bool was_recovered = recovered.counters().recovered > 0;
+
+    service::SweepClient client(options.socket_path, client_options);
+    if (!was_recovered && ReadFileText(csv_path) != ref_csv) {
+      // The crash predates durable admission (or the ack): the request is
+      // simply gone, exactly as if the client had never submitted. The
+      // client-visible contract is "no ack, no promise" — resubmit.
+      const service::SubmitReply submitted = client.Submit(make_request());
+      ASSERT_EQ(submitted.status, service::AdmitStatus::kAccepted);
+      request_id = submitted.request_id;
+    }
+    // Converge: wait until the export matches the uninterrupted run's.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (ReadFileText(csv_path) != ref_csv &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(ReadFileText(csv_path), ref_csv)
+        << "recovered service export must be byte-identical to the "
+           "uninterrupted run (request "
+        << request_id << (was_recovered ? ", re-queued" : ", resubmitted")
+        << ")";
+    recovered.Stop(/*drain=*/true);
+
+    EXPECT_TRUE(TmpDroppings(options.state_dir).empty())
+        << "no torn/orphaned .tmp files may survive recovery";
+    EXPECT_EQ(persist::ScanJournal(options.state_dir + "/requests.journal")
+                  .discarded_bytes,
+              0u)
+        << "request journal must be healed on restart";
+    EXPECT_TRUE(StateLockReleased(options.state_dir));
+  }
+}
+
+// --- Targeted service failpoints ------------------------------------------
+
+TEST_F(ChaosTest, DaemonSurvivesConnectionResetMidReply) {
+  TempDir tmp;
+  fp::Registry& reg = fp::Registry::Instance();
+  service::ServiceOptions options;
+  options.socket_path = tmp.File("svc.sock");
+  options.state_dir = tmp.File("state");
+  options.sweep.num_threads = 1;
+  service::SweepService svc(options);
+  svc.Start();
+
+  // Site protocol.send is shared by client and daemon (same process): hit 1
+  // is the client's request frame, hit 2 the daemon's reply — so reset@2
+  // injects ECONNRESET into the *daemon's* SendAll, the branch no test
+  // could reach before.
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("reset@2", &s));
+  reg.Arm("protocol.send", s);
+  {
+    service::SweepClient client(options.socket_path);
+    EXPECT_THROW((void)client.Status(), std::runtime_error)
+        << "the daemon dropping the poisoned connection surfaces as EOF";
+  }
+  EXPECT_EQ(reg.fires("protocol.send"), 1u)
+      << "the daemon-side send-failure branch demonstrably executed";
+  reg.Reset();
+
+  // The connection died; the daemon did not. A fresh client works.
+  service::SweepClient client(options.socket_path);
+  EXPECT_NE(client.Status().find("service.accepted"), std::string::npos);
+  svc.Stop(/*drain=*/true);
+}
+
+// --- Client timeout regression (satellite: SweepClient deadlines) ----------
+
+TEST_F(ChaosTest, ClientTimesOutAgainstStalledServer) {
+  TempDir tmp;
+  // A deliberately stalled server: accepts the connection, then never
+  // reads or writes a byte.
+  const std::string sock_path = tmp.File("stall.sock");
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(sock_path.size(), sizeof(addr.sun_path));
+  std::strncpy(addr.sun_path, sock_path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  int accepted_fd = -1;
+  std::thread accepter([&] { accepted_fd = ::accept(listen_fd, nullptr, 0); });
+
+  service::ClientOptions client_options;
+  client_options.connect_timeout_seconds = 2.0;
+  client_options.recv_timeout_seconds = 0.2;
+  service::SweepClient client(sock_path, client_options);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.Status(), service::TimeoutError)
+      << "a stalled server must surface as TimeoutError, not a hang";
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "the deadline must bound the stall";
+
+  accepter.join();
+  if (accepted_fd >= 0) ::close(accepted_fd);
+  ::close(listen_fd);
+}
+
+TEST_F(ChaosTest, ClientWithoutTimeoutStillWorksAgainstLiveDaemon) {
+  TempDir tmp;
+  service::ServiceOptions options;
+  options.socket_path = tmp.File("svc.sock");
+  options.state_dir = tmp.File("state");
+  options.sweep.num_threads = 1;
+  service::SweepService svc(options);
+  svc.Start();
+
+  // Deadlines set, daemon healthy: nothing should time out.
+  service::ClientOptions client_options;
+  client_options.connect_timeout_seconds = 5.0;
+  client_options.recv_timeout_seconds = 5.0;
+  service::SweepClient client(options.socket_path, client_options);
+  service::SubmitRequest request;
+  request.points = SmallSweep();
+  request.detach = true;
+  const service::SubmitReply submitted = client.Submit(request);
+  ASSERT_EQ(submitted.status, service::AdmitStatus::kAccepted);
+  const service::WaitReply done = client.Wait(
+      service::WaitRequest{submitted.request_id, /*want_csv=*/true, false});
+  EXPECT_EQ(done.state, service::RequestState::kDone);
+  EXPECT_FALSE(done.csv_text.empty());
+  svc.Stop(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace ultra

@@ -1,0 +1,515 @@
+// Tests for src/failpoint/: schedule-spec parsing, registry semantics
+// (Nth-hit / every-Kth / seeded-probability schedules, crash-at-op, hit and
+// fire accounting), the FaultyIo seam's error and crash behaviors against a
+// real file, and — the point of the subsystem — the persist error branches
+// nothing could reach before: JournalWriter::Append's ENOSPC / torn-write /
+// fsync-failure rollback and AtomicWriteFile's error-path cleanup, each
+// proven executed via the registry's fire counters and each required to
+// leave the file in a recoverable state with the path in the exception text.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "failpoint/failpoint.hpp"
+#include "failpoint/io.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/journal.hpp"
+#include "persist/serial.hpp"
+
+namespace ultra {
+namespace {
+
+namespace fp = failpoint;
+
+/// Every test disarms the process-global registry on the way out, so a
+/// failing assertion cannot leak an armed failpoint into later tests.
+class FailpointTest : public testing::Test {
+ protected:
+  FailpointTest() { fp::Registry::Instance().Reset(); }
+  ~FailpointTest() override { fp::Registry::Instance().Reset(); }
+
+  /// Scratch directory unique to the running test.
+  [[nodiscard]] std::string Dir() {
+    if (dir_.empty()) {
+      const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+      dir_ = (std::filesystem::temp_directory_path() /
+              (std::string("ultra_fp_") + info->name()))
+                 .string();
+      std::filesystem::remove_all(dir_);
+      std::filesystem::create_directories(dir_);
+    }
+    return dir_;
+  }
+  void TearDown() override {
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+  [[nodiscard]] std::string File(const std::string& name) {
+    return Dir() + "/" + name;
+  }
+
+  /// Names of `.tmp.` droppings under Dir() — must be empty after any
+  /// AtomicWriteFile error path.
+  [[nodiscard]] std::vector<std::string> TmpFiles() {
+    std::vector<std::string> out;
+    for (const auto& entry : std::filesystem::directory_iterator(Dir())) {
+      const std::string name = entry.path().filename().string();
+      if (name.find(".tmp.") != std::string::npos) out.push_back(name);
+    }
+    return out;
+  }
+
+ private:
+  std::string dir_;
+};
+
+// --- Schedule-spec grammar ------------------------------------------------
+
+TEST_F(FailpointTest, ParsesEverySpecForm) {
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("eio@3", &s));
+  EXPECT_EQ(s.kind, fp::ErrorKind::kEio);
+  EXPECT_EQ(s.nth, 3u);
+  EXPECT_EQ(s.max_fires, 1u);  // @N fires once, by definition.
+
+  ASSERT_TRUE(fp::ParseScheduleSpec("enospc%5", &s));
+  EXPECT_EQ(s.kind, fp::ErrorKind::kEnospc);
+  EXPECT_EQ(s.every, 5u);
+
+  ASSERT_TRUE(fp::ParseScheduleSpec("short~0.25:42", &s));
+  EXPECT_EQ(s.kind, fp::ErrorKind::kShort);
+  EXPECT_DOUBLE_EQ(s.probability, 0.25);
+  EXPECT_EQ(s.seed, 42u);
+
+  ASSERT_TRUE(fp::ParseScheduleSpec("torn@1", &s));
+  EXPECT_EQ(s.kind, fp::ErrorKind::kTornWrite);
+  ASSERT_TRUE(fp::ParseScheduleSpec("reset%2", &s));
+  EXPECT_EQ(s.kind, fp::ErrorKind::kConnReset);
+  ASSERT_TRUE(fp::ParseScheduleSpec("eof@1", &s));
+  EXPECT_EQ(s.kind, fp::ErrorKind::kEof);
+  ASSERT_TRUE(fp::ParseScheduleSpec("crash@7", &s));
+  EXPECT_EQ(s.kind, fp::ErrorKind::kCrash);
+}
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  fp::Schedule s;
+  EXPECT_FALSE(fp::ParseScheduleSpec("", &s));
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio", &s));        // No trigger.
+  EXPECT_FALSE(fp::ParseScheduleSpec("@3", &s));         // No kind.
+  EXPECT_FALSE(fp::ParseScheduleSpec("bogus@3", &s));    // Unknown kind.
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio@0", &s));      // Nth is 1-based.
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio@x", &s));
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio@3junk", &s));
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio%0", &s));
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio~0", &s));      // P must be > 0.
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio~1.5", &s));    // P must be <= 1.
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio~0.5:", &s));   // Empty seed.
+  EXPECT_FALSE(fp::ParseScheduleSpec("eio~0.5:1x", &s));
+}
+
+TEST_F(FailpointTest, ArmSpecArmsMultipleSitesAndReportsErrors) {
+  fp::Registry& reg = fp::Registry::Instance();
+  std::string error;
+  ASSERT_TRUE(reg.ArmSpec("a.write=eio@1;b.fsync=enospc%2", &error)) << error;
+  EXPECT_TRUE(fp::Enabled());
+
+  EXPECT_NE(reg.OnOp("a.write").kind, fp::ErrorKind::kNone);
+  EXPECT_EQ(reg.OnOp("b.fsync").kind, fp::ErrorKind::kNone);      // Hit 1.
+  EXPECT_EQ(reg.OnOp("b.fsync").kind, fp::ErrorKind::kEnospc);    // Hit 2.
+
+  EXPECT_FALSE(reg.ArmSpec("missing-equals", &error));
+  EXPECT_NE(error.find("missing '='"), std::string::npos);
+  EXPECT_FALSE(reg.ArmSpec("c.op=bogus@1", &error));
+  EXPECT_NE(error.find("bad schedule"), std::string::npos);
+}
+
+// --- Registry semantics ---------------------------------------------------
+
+TEST_F(FailpointTest, DisabledByDefaultAndZeroCostPathIsReal) {
+  EXPECT_FALSE(fp::Enabled());
+  // The seam routes to the passthrough implementation when disabled.
+  EXPECT_EQ(&fp::ActiveIo(), &fp::RealIo());
+  fp::Registry::Instance().EnableCounting();
+  EXPECT_TRUE(fp::Enabled());
+  EXPECT_EQ(&fp::ActiveIo(), &fp::FaultyIo());
+}
+
+TEST_F(FailpointTest, NthHitScheduleFiresExactlyOnce) {
+  fp::Registry& reg = fp::Registry::Instance();
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("eio@3", &s));
+  reg.Arm("site", s);
+  for (int hit = 1; hit <= 6; ++hit) {
+    const fp::Decision d = reg.OnOp("site");
+    EXPECT_EQ(d.kind == fp::ErrorKind::kEio, hit == 3) << "hit " << hit;
+  }
+  EXPECT_EQ(reg.hits("site"), 6u);
+  EXPECT_EQ(reg.fires("site"), 1u);
+  EXPECT_EQ(reg.total_fires(), 1u);
+}
+
+TEST_F(FailpointTest, EveryKthScheduleFiresPeriodically) {
+  fp::Registry& reg = fp::Registry::Instance();
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("enospc%3", &s));
+  reg.Arm("site", s);
+  int fired = 0;
+  for (int hit = 1; hit <= 9; ++hit) {
+    if (reg.OnOp("site").kind == fp::ErrorKind::kEnospc) {
+      ++fired;
+      EXPECT_EQ(hit % 3, 0) << "hit " << hit;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FailpointTest, SeededProbabilityIsDeterministic) {
+  fp::Registry& reg = fp::Registry::Instance();
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("eio~0.5:7", &s));
+
+  const auto draw_pattern = [&] {
+    reg.Reset();
+    reg.Arm("site", s);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += reg.OnOp("site").kind == fp::ErrorKind::kEio ? '1' : '0';
+    }
+    return pattern;
+  };
+  const std::string first = draw_pattern();
+  EXPECT_EQ(first, draw_pattern()) << "same seed must give the same schedule";
+  EXPECT_NE(first.find('1'), std::string::npos);
+  EXPECT_NE(first.find('0'), std::string::npos);
+
+  ASSERT_TRUE(fp::ParseScheduleSpec("eio~0.5:8", &s));
+  reg.Reset();
+  reg.Arm("site", s);
+  std::string other;
+  for (int i = 0; i < 64; ++i) {
+    other += reg.OnOp("site").kind == fp::ErrorKind::kEio ? '1' : '0';
+  }
+  EXPECT_NE(first, other) << "different seed should give a different stream";
+}
+
+TEST_F(FailpointTest, CrashAtOpCountsAcrossSites) {
+  fp::Registry& reg = fp::Registry::Instance();
+  reg.ArmCrashAtOp(3, fp::CrashMode::kSilent);
+  EXPECT_FALSE(reg.OnOp("a").crash);
+  EXPECT_FALSE(reg.OnOp("b").crash);
+  const fp::Decision d = reg.OnOp("c");
+  EXPECT_TRUE(d.crash);
+  EXPECT_EQ(d.op, 3u);
+  EXPECT_EQ(reg.ops(), 3u);
+}
+
+TEST_F(FailpointTest, WriteReportListsOpsAndSites) {
+  fp::Registry& reg = fp::Registry::Instance();
+  reg.EnableCounting();
+  (void)reg.OnOp("b.site");
+  (void)reg.OnOp("a.site");
+  (void)reg.OnOp("a.site");
+  std::ostringstream os;
+  reg.WriteReport(os);
+  EXPECT_EQ(os.str(),
+            "ops 3\n"
+            "site a.site hits 2 fires 0\n"
+            "site b.site hits 1 fires 0\n");
+}
+
+// --- FaultyIo semantics against a real file -------------------------------
+
+TEST_F(FailpointTest, SeamInjectsErrorsShortAndTornWrites) {
+  fp::Registry& reg = fp::Registry::Instance();
+  reg.EnableCounting();
+  fp::Io& io = fp::ActiveIo();
+  const std::string path = File("data");
+  const int fd = io.Open("t.open", path.c_str(),
+                         O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const char buf[10] = "123456789";
+
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("enospc@1", &s));
+  reg.Arm("t.write", s);
+  errno = 0;
+  EXPECT_EQ(io.Write("t.write", fd, buf, 10), -1);
+  EXPECT_EQ(errno, ENOSPC);
+
+  // Hits are cumulative per site and survive re-arming, so each re-arm
+  // targets the *next* hit number, not "1" again.
+  ASSERT_TRUE(fp::ParseScheduleSpec("short@2", &s));
+  reg.Arm("t.write", s);
+  EXPECT_EQ(io.Write("t.write", fd, buf, 10), 5) << "short write: half";
+
+  ASSERT_TRUE(fp::ParseScheduleSpec("torn@3", &s));
+  reg.Arm("t.write", s);
+  errno = 0;
+  EXPECT_EQ(io.Write("t.write", fd, buf, 10), -1)
+      << "torn write reports failure after transferring a prefix";
+  EXPECT_EQ(errno, EIO);
+  ::close(fd);
+  // 5 bytes from the short write + 5 torn-prefix bytes actually landed.
+  EXPECT_EQ(std::filesystem::file_size(path), 10u);
+
+  ASSERT_TRUE(fp::ParseScheduleSpec("eio@1", &s));
+  reg.Arm("t.fsync", s);
+  const int fd2 = io.Open("t.open", path.c_str(), O_WRONLY, 0);
+  ASSERT_GE(fd2, 0);
+  errno = 0;
+  EXPECT_EQ(io.Fsync("t.fsync", fd2), -1) << "fsync failure = eio on .fsync";
+  EXPECT_EQ(errno, EIO);
+  ::close(fd2);
+}
+
+TEST_F(FailpointTest, ThrowCrashFreezesAllLaterIo) {
+  fp::Registry& reg = fp::Registry::Instance();
+  reg.ArmCrashAtOp(2, fp::CrashMode::kThrow);
+  fp::Io& io = fp::ActiveIo();
+  const std::string path = File("data");
+  const int fd = io.Open("t.open", path.c_str(),
+                         O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+
+  const char buf[8] = "abcdefg";
+  bool crashed = false;
+  try {
+    (void)io.Write("t.write", fd, buf, 8);
+  } catch (const fp::CrashInjected& crash) {
+    crashed = true;
+    EXPECT_EQ(crash.site, "t.write");
+    EXPECT_EQ(crash.op, 2u);
+  }
+  ASSERT_TRUE(crashed);
+  EXPECT_TRUE(reg.crashed());
+
+  // The torn prefix (4 of 8 bytes) landed before the "power cut"...
+  EXPECT_EQ(std::filesystem::file_size(path), 4u);
+  // ...and from here on the disk is frozen: writes claim success without
+  // touching the file, rollback-style truncates are swallowed, opens and
+  // reads fail as if the machine were gone.
+  EXPECT_EQ(io.Write("t.write", fd, buf, 8), 8);
+  EXPECT_EQ(io.Ftruncate("t.truncate", fd, 0), 0);
+  EXPECT_EQ(io.Fsync("t.fsync", fd), 0);
+  ::close(fd);
+  EXPECT_EQ(std::filesystem::file_size(path), 4u) << "frozen at crash point";
+  errno = 0;
+  EXPECT_LT(io.Open("t.open", path.c_str(), O_RDONLY, 0), 0);
+  EXPECT_EQ(errno, EIO);
+
+  // Reset thaws the world: real I/O resumes for the recovery phase.
+  reg.Reset();
+  const int fd2 = ::open(path.c_str(), O_RDONLY);
+  EXPECT_GE(fd2, 0);
+  ::close(fd2);
+}
+
+TEST_F(FailpointTest, SilentCrashKeepsRunningWithFrozenDisk) {
+  fp::Registry& reg = fp::Registry::Instance();
+  reg.ArmCrashAtOp(1, fp::CrashMode::kSilent);
+  fp::Io& io = fp::ActiveIo();
+  const std::string path = File("data");
+  // Op 1 is the crash: in silent mode nothing throws — the open just fails
+  // (the "machine" died mid-call) and the process carries on.
+  errno = 0;
+  EXPECT_LT(io.Open("t.open", path.c_str(), O_WRONLY | O_CREAT, 0644), 0);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_TRUE(reg.crashed());
+  EXPECT_FALSE(std::filesystem::exists(path)) << "create never reached disk";
+  // Ops stop counting once crashed: the op counter stays at the crash op.
+  EXPECT_EQ(reg.ops(), 1u);
+  EXPECT_EQ(io.Unlink("t.unlink", path.c_str()), 0);  // No-op "success".
+}
+
+// --- Persist error branches (previously unreachable) ----------------------
+
+TEST_F(FailpointTest, JournalAppendEnospcRollsBackTornFrame) {
+  fp::Registry& reg = fp::Registry::Instance();
+  reg.EnableCounting();  // Count from the start so "@2" = second append.
+  const std::string path = File("j.journal");
+  persist::JournalWriter writer(path, /*truncate=*/true);
+  const std::vector<std::uint8_t> payload(100, 0xAB);
+  writer.Append(1, payload);
+
+  // The *second* append's write hits ENOSPC. Torn-write semantics apply
+  // (kEnospc transfers nothing, but the rollback must run either way).
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("enospc@2", &s));
+  reg.Arm("journal.append.write", s);
+  try {
+    writer.Append(2, payload);
+    FAIL() << "append must fail when its write hits ENOSPC";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "exception must carry the journal path: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("No space left"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(reg.fires("journal.append.write"), 1u)
+      << "the ENOSPC branch demonstrably executed";
+  reg.Reset();
+
+  // Recoverable: the failed frame was rolled back, record 1 is intact, and
+  // the journal accepts appends again.
+  const persist::JournalScan scan = persist::ScanJournal(path);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.discarded_bytes, 0u) << "rollback truncated the torn frame";
+  writer.Append(3, payload);
+  EXPECT_EQ(persist::ScanJournal(path).records.size(), 2u);
+}
+
+TEST_F(FailpointTest, JournalAppendTornWriteRollsBack) {
+  fp::Registry& reg = fp::Registry::Instance();
+  reg.EnableCounting();  // Count from the start so "@2" = second append.
+  const std::string path = File("j.journal");
+  persist::JournalWriter writer(path, /*truncate=*/true);
+  const std::vector<std::uint8_t> payload(64, 0x5A);
+  writer.Append(1, payload);
+
+  // Half the frame really lands on disk before the EIO — exactly the torn
+  // state the rollback exists for.
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("torn@2", &s));
+  reg.Arm("journal.append.write", s);
+  EXPECT_THROW(writer.Append(2, payload), std::runtime_error);
+  EXPECT_EQ(reg.fires("journal.append.write"), 1u);
+  reg.Reset();
+
+  const persist::JournalScan scan = persist::ScanJournal(path);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.discarded_bytes, 0u);
+}
+
+TEST_F(FailpointTest, JournalAppendFsyncFailureRollsBack) {
+  fp::Registry& reg = fp::Registry::Instance();
+  reg.EnableCounting();  // Count from the start so "@2" = second append.
+  const std::string path = File("j.journal");
+  persist::JournalWriter writer(path, /*truncate=*/true);
+  const std::vector<std::uint8_t> payload(64, 0x77);
+  writer.Append(1, payload);
+
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("eio@2", &s));
+  reg.Arm("journal.append.fsync", s);
+  try {
+    writer.Append(2, payload);
+    FAIL() << "append must fail when its fsync fails";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fsync"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  EXPECT_EQ(reg.fires("journal.append.fsync"), 1u);
+  reg.Reset();
+
+  // An unsynced frame must not be trusted: rollback removed it whole.
+  const persist::JournalScan scan = persist::ScanJournal(path);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.discarded_bytes, 0u);
+}
+
+TEST_F(FailpointTest, CheckpointSaveFsyncFailureLeavesNoTmpAndNoFile) {
+  fp::Registry& reg = fp::Registry::Instance();
+  persist::Checkpoint checkpoint;
+  checkpoint.header.core_kind = 1;
+  checkpoint.header.cycle = 42;
+  checkpoint.state.assign(256, 0xCD);
+  const std::string path = File("core.ckpt");
+
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("eio@1", &s));
+  reg.Arm("atomic.fsync", s);
+  try {
+    persist::WriteCheckpointFile(path, checkpoint);
+    FAIL() << "checkpoint save must fail when the tmp fsync fails";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fsync"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "exception must carry the destination path: " << e.what();
+  }
+  EXPECT_EQ(reg.fires("atomic.fsync"), 1u);
+  reg.Reset();
+
+  EXPECT_TRUE(TmpFiles().empty()) << "error path must unlink its tmp file";
+  EXPECT_FALSE(std::filesystem::exists(path))
+      << "the destination must not exist half-written";
+
+  // And with the failpoint cleared the identical save succeeds.
+  persist::WriteCheckpointFile(path, checkpoint);
+  EXPECT_EQ(persist::ReadCheckpointFile(path).header, checkpoint.header);
+  EXPECT_TRUE(TmpFiles().empty());
+}
+
+TEST_F(FailpointTest, AtomicWriteRenameFailureCleansUpTmp) {
+  fp::Registry& reg = fp::Registry::Instance();
+  const std::string path = File("out.csv");
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("eio@1", &s));
+  reg.Arm("atomic.rename", s);
+  EXPECT_THROW(persist::AtomicWriteFile(path, std::string_view("hello")),
+               std::runtime_error);
+  EXPECT_EQ(reg.fires("atomic.rename"), 1u);
+  reg.Reset();
+  EXPECT_TRUE(TmpFiles().empty());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(FailpointTest, AtomicWriteShortWritesAreRetriedToCompletion) {
+  fp::Registry& reg = fp::Registry::Instance();
+  const std::string path = File("out.bin");
+  // Every write transfers only half: the caller's loop must still land the
+  // whole artifact, bit-exact.
+  fp::Schedule s;
+  ASSERT_TRUE(fp::ParseScheduleSpec("short%1", &s));
+  reg.Arm("atomic.write", s);
+  const std::vector<std::uint8_t> data(1024, 0x3C);
+  persist::AtomicWriteFile(path, data);
+  EXPECT_GT(reg.fires("atomic.write"), 1u);
+  reg.Reset();
+  EXPECT_EQ(persist::ReadFileBytes(path), data);
+  EXPECT_TRUE(TmpFiles().empty());
+}
+
+TEST_F(FailpointTest, RemoveStaleTmpFilesSweepsOnlyTmpDroppings) {
+  persist::AtomicWriteFile(File("keep.csv"), std::string_view("data"));
+  {
+    std::ofstream(File("export.csv.tmp.1234.0")) << "torn";
+    std::ofstream(File("other.json.tmp.99.7")) << "torn";
+  }
+  EXPECT_EQ(persist::RemoveStaleTmpFiles(Dir()), 2u);
+  EXPECT_TRUE(TmpFiles().empty());
+  EXPECT_TRUE(std::filesystem::exists(File("keep.csv")));
+  EXPECT_EQ(persist::RemoveStaleTmpFiles(Dir()), 0u);
+}
+
+TEST_F(FailpointTest, ConcurrentAtomicWritersUseDistinctTmpNames) {
+  // Two writers to the same destination used to race on one `path + .tmp`
+  // name; with O_EXCL + pid/seq suffixes both must land intact and the
+  // survivor must be one writer's bytes, never an interleaving.
+  const std::string path = File("contended.bin");
+  const std::vector<std::uint8_t> a(8192, 0xAA);
+  const std::vector<std::uint8_t> b(8192, 0xBB);
+  std::thread ta([&] {
+    for (int i = 0; i < 50; ++i) persist::AtomicWriteFile(path, a);
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 50; ++i) persist::AtomicWriteFile(path, b);
+  });
+  ta.join();
+  tb.join();
+  const std::vector<std::uint8_t> got = persist::ReadFileBytes(path);
+  EXPECT_TRUE(got == a || got == b) << "survivor must be exactly one "
+                                       "writer's artifact";
+  EXPECT_TRUE(TmpFiles().empty());
+}
+
+}  // namespace
+}  // namespace ultra
